@@ -1,0 +1,110 @@
+#ifndef SDELTA_BENCH_BENCH_FIG9_H_
+#define SDELTA_BENCH_BENCH_FIG9_H_
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/maintenance.h"
+#include "lattice/plan.h"
+
+namespace sdelta::bench {
+
+/// Registers the four series of one panel of the paper's Figure 9:
+///   * Propagate            — summary-delta computation using the
+///                            D-lattice (the lower solid line);
+///   * PropagateNoLattice   — every summary-delta from the base changes
+///                            (the dotted line);
+///   * SummaryDeltaMaint    — propagate + refresh (the upper solid
+///                            line; the paper's "maintenance time");
+///   * Rematerialize        — recompute all four summary tables from
+///                            scratch, exploiting the lattice.
+///
+/// `sweep_changes` selects the x-axis: change-set size 1k..10k at fixed
+/// |pos| (panels a/c) or |pos| 100k..500k at fixed 10k changes (panels
+/// b/d). `cls` selects update-generating (a/b) vs insertion-generating
+/// (c/d) changes.
+inline void RegisterFig9(bool sweep_changes, ChangeClass cls) {
+  constexpr size_t kFixedPos = 500000;
+  constexpr size_t kFixedChanges = 10000;
+
+  auto pos_of = [=](int64_t arg) {
+    return sweep_changes ? kFixedPos : static_cast<size_t>(arg);
+  };
+  auto changes_of = [=](int64_t arg) {
+    return sweep_changes ? static_cast<size_t>(arg) : kFixedChanges;
+  };
+  auto configure = [=](benchmark::internal::Benchmark* b) {
+    if (sweep_changes) {
+      for (int64_t n = 1000; n <= 10000; n += 1000) b->Arg(n);
+    } else {
+      for (int64_t n = 100000; n <= 500000; n += 100000) b->Arg(n);
+    }
+    b->UseManualTime()->Unit(benchmark::kMillisecond)->Iterations(2);
+  };
+
+  configure(benchmark::RegisterBenchmark(
+      "Propagate", [=](benchmark::State& state) {
+        warehouse::Warehouse& wh = WarehouseCache::Instance().Get(
+            pos_of(state.range(0)), {}, "ro");
+        const core::ChangeSet changes = MakeChanges(
+            wh.catalog(), cls, changes_of(state.range(0)), 1);
+        core::PropagateStats stats;
+        for (auto _ : state) {
+          state.SetIterationTime(wh.PropagateOnly(changes, &stats));
+        }
+        state.counters["delta_rows"] =
+            static_cast<double>(stats.delta_groups);
+      }));
+
+  configure(benchmark::RegisterBenchmark(
+      "PropagateNoLattice", [=](benchmark::State& state) {
+        warehouse::Warehouse& wh = WarehouseCache::Instance().Get(
+            pos_of(state.range(0)), {}, "ro");
+        const lattice::MaintenancePlan no_lattice = lattice::ChoosePlan(
+            wh.catalog(), wh.vlattice(), lattice::PlanOptions{false});
+        const core::ChangeSet changes = MakeChanges(
+            wh.catalog(), cls, changes_of(state.range(0)), 1);
+        for (auto _ : state) {
+          core::Stopwatch sw;
+          lattice::LatticePropagateResult result = lattice::PropagateAll(
+              wh.catalog(), wh.vlattice(), no_lattice, changes);
+          state.SetIterationTime(sw.ElapsedSeconds());
+          benchmark::DoNotOptimize(result.deltas.data());
+        }
+      }));
+
+  configure(benchmark::RegisterBenchmark(
+      "SummaryDeltaMaint", [=](benchmark::State& state) {
+        warehouse::Warehouse& wh = WarehouseCache::Instance().Get(
+            pos_of(state.range(0)), {}, "mut");
+        uint64_t seed = 1000;
+        double refresh_total = 0;
+        size_t runs = 0;
+        for (auto _ : state) {
+          const core::ChangeSet changes = MakeChanges(
+              wh.catalog(), cls, changes_of(state.range(0)), ++seed);
+          warehouse::BatchReport report = wh.RunBatch(changes);
+          state.SetIterationTime(report.maintenance_seconds());
+          refresh_total += report.refresh_seconds;
+          ++runs;
+        }
+        state.counters["refresh_ms"] = 1e3 * refresh_total /
+                                       static_cast<double>(runs);
+      }));
+
+  configure(benchmark::RegisterBenchmark(
+      "Rematerialize", [=](benchmark::State& state) {
+        warehouse::Warehouse& wh = WarehouseCache::Instance().Get(
+            pos_of(state.range(0)), {}, "mut");
+        uint64_t seed = 5000;
+        for (auto _ : state) {
+          const core::ChangeSet changes = MakeChanges(
+              wh.catalog(), cls, changes_of(state.range(0)), ++seed);
+          state.SetIterationTime(wh.RematerializeAll(changes));
+        }
+      }));
+}
+
+}  // namespace sdelta::bench
+
+#endif  // SDELTA_BENCH_BENCH_FIG9_H_

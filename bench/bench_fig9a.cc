@@ -1,0 +1,20 @@
+// Figure 9(a): elapsed time vs change-set size (1k..10k) at |pos| =
+// 500k, for UPDATE-GENERATING changes (equal insertions and deletions
+// over existing store/item/date values).
+//
+// Expected shape (paper §6): summary-delta maintenance beats
+// rematerialization by roughly an order of magnitude; lattice-based
+// propagate beats direct propagate, with the gap widening as the change
+// set grows.
+#include <benchmark/benchmark.h>
+
+#include "bench_fig9.h"
+
+int main(int argc, char** argv) {
+  sdelta::bench::RegisterFig9(/*sweep_changes=*/true,
+                              sdelta::bench::ChangeClass::kUpdate);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

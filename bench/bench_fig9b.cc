@@ -1,0 +1,18 @@
+// Figure 9(b): elapsed time vs |pos| (100k..500k) at a fixed 10k-row
+// change set, for UPDATE-GENERATING changes.
+//
+// Expected shape (paper §6): propagate time is virtually independent of
+// |pos|; rematerialization grows linearly with |pos|; refresh gets
+// slightly cheaper as |pos| grows (fewer group deletions).
+#include <benchmark/benchmark.h>
+
+#include "bench_fig9.h"
+
+int main(int argc, char** argv) {
+  sdelta::bench::RegisterFig9(/*sweep_changes=*/false,
+                              sdelta::bench::ChangeClass::kUpdate);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Figure 9(c): elapsed time vs change-set size (1k..10k) at |pos| =
+// 500k, for INSERTION-GENERATING changes (insertions over new dates,
+// existing stores/items).
+//
+// Expected shape (paper §6): incremental maintenance wins by a larger
+// margin than for update-generating changes — the views grouping by
+// date see pure inserts, cutting refresh time (~50% in the paper).
+#include <benchmark/benchmark.h>
+
+#include "bench_fig9.h"
+
+int main(int argc, char** argv) {
+  sdelta::bench::RegisterFig9(/*sweep_changes=*/true,
+                              sdelta::bench::ChangeClass::kInsertion);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Figure 9(d): elapsed time vs |pos| (100k..500k) at a fixed 10k-row
+// change set, for INSERTION-GENERATING changes.
+//
+// Expected shape (paper §6): propagate stays flat with |pos|;
+// rematerialization scales with |pos|; maintenance stays far below
+// rematerialization throughout.
+#include <benchmark/benchmark.h>
+
+#include "bench_fig9.h"
+
+int main(int argc, char** argv) {
+  sdelta::bench::RegisterFig9(/*sweep_changes=*/false,
+                              sdelta::bench::ChangeClass::kInsertion);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Ablation (paper §5.5): the value of the D-lattice as the number of
+// maintained summary tables grows.
+//
+// A family of generalized cube views over the retail schema is
+// maintained with (a) lattice propagation — children derived from
+// parent summary-deltas — and (b) direct propagation from the base
+// changes. The paper's claim: the lattice benefit grows with the number
+// of views (and with change-set size).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/maintenance.h"
+#include "lattice/plan.h"
+#include "lattice/vlattice.h"
+
+namespace sdelta::bench {
+namespace {
+
+constexpr size_t kPosRows = 200000;
+constexpr size_t kChangeSize = 10000;
+
+/// A widening family of views: the four paper views plus further points
+/// of the Figure 5 combined lattice.
+std::vector<core::ViewDef> ViewFamily(size_t count) {
+  using rel::Expression;
+  std::vector<core::ViewDef> all = warehouse::RetailSummaryTables();
+
+  auto add = [&all](const std::string& name,
+                    std::vector<core::DimensionJoin> joins,
+                    std::vector<std::string> group_by) {
+    core::ViewDef v;
+    v.name = name;
+    v.fact_table = "pos";
+    v.joins = std::move(joins);
+    v.group_by = std::move(group_by);
+    v.aggregates = {rel::CountStar("TotalCount"),
+                    rel::Sum(Expression::Column("qty"), "TotalQuantity")};
+    all.push_back(std::move(v));
+  };
+  add("SI_sales", {}, {"storeID", "itemID"});
+  add("SD_sales", {}, {"storeID", "date"});
+  add("ID_sales", {}, {"itemID", "date"});
+  add("iCD_sales", {{"items", "itemID", "itemID"}}, {"category", "date"});
+  add("sC_sales", {{"stores", "storeID", "storeID"}}, {"city"});
+  add("S_sales", {}, {"storeID"});
+  add("I_sales", {}, {"itemID"});
+  add("D_sales", {}, {"date"});
+  if (count > all.size()) count = all.size();
+  all.resize(count);
+  return all;
+}
+
+void RunFamily(benchmark::State& state, bool use_lattice) {
+  const size_t num_views = static_cast<size_t>(state.range(0));
+  static rel::Catalog* catalog = new rel::Catalog(
+      warehouse::MakeRetailCatalog(PaperConfig(kPosRows)));
+
+  std::vector<core::ViewDef> friendly =
+      lattice::MakeLatticeFriendly(*catalog, ViewFamily(num_views));
+  std::vector<core::AugmentedView> augmented;
+  for (const core::ViewDef& v : friendly) {
+    augmented.push_back(core::AugmentForSelfMaintenance(*catalog, v));
+  }
+  lattice::VLattice vlattice =
+      lattice::BuildVLattice(*catalog, std::move(augmented));
+  lattice::MaintenancePlan plan = lattice::ChoosePlan(
+      *catalog, vlattice, lattice::PlanOptions{use_lattice});
+
+  const core::ChangeSet changes =
+      MakeChanges(*catalog, ChangeClass::kUpdate, kChangeSize, 9);
+  size_t from_base = 0;
+  for (const lattice::PlanStep& s : plan.steps) {
+    from_base += s.edge.has_value() ? 0 : 1;
+  }
+  for (auto _ : state) {
+    core::Stopwatch sw;
+    lattice::LatticePropagateResult result =
+        lattice::PropagateAll(*catalog, vlattice, plan, changes);
+    state.SetIterationTime(sw.ElapsedSeconds());
+    benchmark::DoNotOptimize(result.deltas.data());
+  }
+  state.counters["views_from_base"] = static_cast<double>(from_base);
+}
+
+void BM_PropagateLattice(benchmark::State& state) {
+  RunFamily(state, true);
+}
+void BM_PropagateDirect(benchmark::State& state) {
+  RunFamily(state, false);
+}
+
+BENCHMARK(BM_PropagateLattice)
+    ->DenseRange(4, 12, 4)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+BENCHMARK(BM_PropagateDirect)
+    ->DenseRange(4, 12, 4)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+}  // namespace
+}  // namespace sdelta::bench
+
+BENCHMARK_MAIN();

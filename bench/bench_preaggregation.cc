@@ -1,0 +1,77 @@
+// Ablation (paper §4.1.3): pre-aggregating the changes before joining
+// dimension tables.
+//
+// Direct propagate joins every changed tuple with the dimension tables
+// before aggregating; pre-aggregation first collapses the changes to
+// fact-level groups, joining only the (far fewer) partial groups. The
+// benefit grows with the ratio |changes| / |fact-level groups|.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/maintenance.h"
+#include "core/propagate.h"
+#include "core/self_maintenance.h"
+
+namespace sdelta::bench {
+namespace {
+
+constexpr size_t kPosRows = 200000;
+
+/// Propagate all dimension-joining retail views with/without §4.1.3.
+void RunPropagate(benchmark::State& state, bool preaggregate) {
+  static rel::Catalog* catalog = new rel::Catalog(
+      warehouse::MakeRetailCatalog(PaperConfig(kPosRows)));
+  static std::vector<core::AugmentedView>* views = [] {
+    auto* vs = new std::vector<core::AugmentedView>();
+    for (const core::ViewDef& v : warehouse::RetailSummaryTables()) {
+      if (!v.joins.empty()) {
+        vs->push_back(core::AugmentForSelfMaintenance(*catalog, v));
+      }
+    }
+    return vs;
+  }();
+
+  const core::ChangeSet changes =
+      MakeChanges(*catalog, ChangeClass::kUpdate,
+                  static_cast<size_t>(state.range(0)), 7);
+  core::PropagateOptions popts;
+  popts.preaggregate = preaggregate;
+  size_t prepared = 0;
+  for (auto _ : state) {
+    core::Stopwatch sw;
+    for (const core::AugmentedView& av : *views) {
+      core::PropagateStats stats;
+      rel::Table sd =
+          core::ComputeSummaryDelta(*catalog, av, changes, popts, &stats);
+      benchmark::DoNotOptimize(sd.NumRows());
+      prepared = stats.prepared_tuples;
+    }
+    state.SetIterationTime(sw.ElapsedSeconds());
+  }
+  state.counters["prepared_rows"] = static_cast<double>(prepared);
+}
+
+void BM_PropagateDirect(benchmark::State& state) {
+  RunPropagate(state, false);
+}
+void BM_PropagatePreaggregated(benchmark::State& state) {
+  RunPropagate(state, true);
+}
+
+BENCHMARK(BM_PropagateDirect)
+    ->RangeMultiplier(4)
+    ->Range(1000, 64000)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+BENCHMARK(BM_PropagatePreaggregated)
+    ->RangeMultiplier(4)
+    ->Range(1000, 64000)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+}  // namespace
+}  // namespace sdelta::bench
+
+BENCHMARK_MAIN();

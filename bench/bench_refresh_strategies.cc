@@ -1,0 +1,60 @@
+// Ablation (paper §4.2 / §7): refresh strategy.
+//
+// The paper implemented refresh as an embedded-SQL cursor loop and found
+// it slower than expected, arguing vendors should build a "summary-delta
+// join" — an outer-join-style refresh. This bench compares:
+//   * Cursor — keyed lookup per summary-delta tuple (Figure 2/7);
+//   * Merge  — sort-merge outer join rewriting the summary table.
+// Cursor touches O(|sd|) tuples; Merge rewrites the whole table but has
+// no per-tuple probe. The crossover depends on |sd| / |summary|.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/maintenance.h"
+#include "lattice/plan.h"
+
+namespace sdelta::bench {
+namespace {
+
+constexpr size_t kPosRows = 200000;
+
+void RunRefreshBench(benchmark::State& state, core::RefreshStrategy strategy) {
+  warehouse::Warehouse::Options options;
+  options.refresh.strategy = strategy;
+  warehouse::Warehouse& wh = WarehouseCache::Instance().Get(
+      kPosRows, options,
+      strategy == core::RefreshStrategy::kCursor ? "cursor" : "merge");
+  uint64_t seed = 100;
+  for (auto _ : state) {
+    const core::ChangeSet changes = MakeChanges(
+        wh.catalog(), ChangeClass::kUpdate,
+        static_cast<size_t>(state.range(0)), ++seed);
+    warehouse::BatchReport report = wh.RunBatch(changes);
+    state.SetIterationTime(report.refresh_seconds);
+  }
+}
+
+void BM_RefreshCursor(benchmark::State& state) {
+  RunRefreshBench(state, core::RefreshStrategy::kCursor);
+}
+void BM_RefreshMerge(benchmark::State& state) {
+  RunRefreshBench(state, core::RefreshStrategy::kMerge);
+}
+
+BENCHMARK(BM_RefreshCursor)
+    ->RangeMultiplier(4)
+    ->Range(1000, 64000)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+BENCHMARK(BM_RefreshMerge)
+    ->RangeMultiplier(4)
+    ->Range(1000, 64000)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+
+}  // namespace
+}  // namespace sdelta::bench
+
+BENCHMARK_MAIN();

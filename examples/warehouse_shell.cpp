@@ -1,0 +1,143 @@
+// An interactive warehouse shell over the paper's retail schema:
+// define summary tables in SQL, run batch windows, answer queries from
+// materialized views, snapshot to disk. Reads commands from stdin.
+//
+//   ./build/examples/warehouse_shell [pos_rows]
+//
+// Commands:
+//   CREATE VIEW ...   define + materialize a summary table (SQL dialect)
+//   SELECT ...        answer a query (from a view when possible)
+//   DROP <name>       remove a summary table
+//   tables            list base tables
+//   summaries         list summary tables
+//   lattice           show derives edges and the propagation plan
+//   batch <kind> <n>  run a batch window; kind = update | insert |
+//                     backfill | recat
+//   save <dir>        snapshot catalog + summaries
+//   help, quit
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "warehouse/persistence.h"
+#include "warehouse/retail_schema.h"
+#include "warehouse/warehouse.h"
+#include "warehouse/workload.h"
+
+using namespace sdelta;  // NOLINT: example brevity
+
+namespace {
+
+void PrintHelp() {
+  std::printf(
+      "commands: CREATE VIEW ... | SELECT ... | DROP <view> | tables |\n"
+      "          summaries | lattice | batch <update|insert|backfill|"
+      "recat> <n> |\n"
+      "          save <dir> | help | quit\n");
+}
+
+void RunBatchCommand(warehouse::Warehouse& wh, const std::string& kind,
+                     size_t n, uint64_t seed) {
+  core::ChangeSet changes;
+  if (kind == "update") {
+    changes = warehouse::MakeUpdateGeneratingChanges(wh.catalog(), n, seed);
+  } else if (kind == "insert") {
+    changes =
+        warehouse::MakeInsertionGeneratingChanges(wh.catalog(), n, seed);
+  } else if (kind == "backfill") {
+    changes = warehouse::MakeBackfillChanges(wh.catalog(), n, seed);
+  } else if (kind == "recat") {
+    changes = warehouse::MakeItemRecategorization(wh.catalog(), n, seed);
+  } else {
+    std::printf("unknown batch kind '%s'\n", kind.c_str());
+    return;
+  }
+  warehouse::BatchReport report = wh.RunBatch(changes);
+  std::printf("propagate %.2f ms | refresh %.2f ms\n",
+              1e3 * report.propagate_seconds, 1e3 * report.refresh_seconds);
+  for (const warehouse::ViewBatchReport& v : report.views) {
+    std::printf("  %-16s delta=%6zu  +%zu ~%zu -%zu (recomputed %zu)\n",
+                v.view.c_str(), v.delta_rows, v.refresh.inserted,
+                v.refresh.updated, v.refresh.deleted,
+                v.refresh.recomputed_groups);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  warehouse::RetailConfig config;
+  config.num_pos_rows = argc > 1 ? std::stoul(argv[1]) : 20000;
+  warehouse::Warehouse wh(warehouse::MakeRetailCatalog(config));
+  wh.DefineSummaryTables({});  // start with no summary tables
+  std::printf("retail warehouse ready: pos=%zu rows. Type 'help'.\n",
+              config.num_pos_rows);
+
+  uint64_t seed = 1;
+  std::string line;
+  std::printf("> ");
+  while (std::getline(std::cin, line)) {
+    try {
+      std::istringstream in(line);
+      std::string word;
+      in >> word;
+      std::string upper = word;
+      for (char& c : upper) c = static_cast<char>(std::toupper(c));
+
+      if (word.empty()) {
+        // fallthrough to prompt
+      } else if (upper == "QUIT" || upper == "EXIT") {
+        break;
+      } else if (upper == "HELP") {
+        PrintHelp();
+      } else if (upper == "TABLES") {
+        for (const std::string& name : wh.catalog().TableNames()) {
+          std::printf("  %-10s %zu rows\n", name.c_str(),
+                      wh.catalog().GetTable(name).NumRows());
+        }
+      } else if (upper == "SUMMARIES") {
+        for (const core::AugmentedView& av : wh.vlattice().views) {
+          std::printf("  %-16s %zu rows\n", av.name().c_str(),
+                      wh.summary(av.name()).NumRows());
+        }
+      } else if (upper == "LATTICE") {
+        std::printf("%s", wh.vlattice().ToString().c_str());
+        std::printf("plan:\n%s", wh.plan().ToString(wh.vlattice()).c_str());
+      } else if (upper == "BATCH") {
+        std::string kind;
+        size_t n = 0;
+        in >> kind >> n;
+        RunBatchCommand(wh, kind, n == 0 ? 1000 : n, ++seed);
+      } else if (upper == "DROP") {
+        std::string name;
+        in >> name;
+        wh.DropSummaryTable(name);
+        std::printf("dropped %s\n", name.c_str());
+      } else if (upper == "SAVE") {
+        std::string dir;
+        in >> dir;
+        warehouse::SaveWarehouse(wh, dir);
+        std::printf("saved to %s\n", dir.c_str());
+      } else if (upper == "CREATE") {
+        wh.AddSummaryTable(line);
+        std::printf("defined %s (%zu rows)\n",
+                    wh.vlattice().views.back().name().c_str(),
+                    wh.summary(wh.vlattice().views.back().name()).NumRows());
+      } else if (upper == "SELECT") {
+        lattice::AnswerResult r = wh.Query(line);
+        std::printf("-- answered from %s (%zu rows read)\n",
+                    r.from_base ? "base tables" : r.source_view.c_str(),
+                    r.rows_read);
+        std::printf("%s", r.rows.ToString(20).c_str());
+      } else {
+        std::printf("unknown command; try 'help'\n");
+      }
+    } catch (const std::exception& e) {
+      std::printf("error: %s\n", e.what());
+    }
+    std::printf("> ");
+  }
+  std::printf("bye\n");
+  return 0;
+}

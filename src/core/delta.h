@@ -1,0 +1,54 @@
+#ifndef SDELTA_CORE_DELTA_H_
+#define SDELTA_CORE_DELTA_H_
+
+#include <map>
+#include <string>
+
+#include "relational/catalog.h"
+#include "relational/table.h"
+
+namespace sdelta::core {
+
+/// The deferred changes to one base table: a bag of inserted rows and a
+/// bag of deleted rows, both with the base table's schema (the paper's
+/// pos_ins / pos_del tables).
+struct DeltaSet {
+  rel::Table insertions;
+  rel::Table deletions;
+
+  DeltaSet() = default;
+  explicit DeltaSet(const rel::Schema& schema)
+      : insertions(schema, "ins"), deletions(schema, "del") {}
+
+  bool empty() const { return insertions.empty() && deletions.empty(); }
+  size_t size() const { return insertions.NumRows() + deletions.NumRows(); }
+};
+
+/// All deferred changes for one batch window: the fact-table delta plus
+/// (optionally, paper §4.1.4) per-dimension-table deltas.
+struct ChangeSet {
+  std::string fact_table;
+  DeltaSet fact;
+  std::map<std::string, DeltaSet> dimensions;  // dim table name -> delta
+
+  bool empty() const {
+    if (!fact.empty()) return false;
+    for (const auto& [name, d] : dimensions) {
+      if (!d.empty()) return false;
+    }
+    return true;
+  }
+};
+
+/// Applies a delta to its base table in the catalog: inserts every row of
+/// `delta.insertions`, removes one matching occurrence for every row of
+/// `delta.deletions`. Throws std::runtime_error if a deletion does not
+/// match any row (an inconsistent change set).
+void ApplyDeltaToTable(rel::Table& table, const DeltaSet& delta);
+
+/// Applies the whole change set (fact + dimensions) to the catalog.
+void ApplyChangeSet(rel::Catalog& catalog, const ChangeSet& changes);
+
+}  // namespace sdelta::core
+
+#endif  // SDELTA_CORE_DELTA_H_

@@ -1,0 +1,54 @@
+#include "core/maintenance.h"
+
+#include <stdexcept>
+
+namespace sdelta::core {
+
+void ApplyDeltaToTable(rel::Table& table, const DeltaSet& delta) {
+  for (const rel::Row& r : delta.insertions.rows()) {
+    table.Insert(r);
+  }
+  for (const rel::Row& r : delta.deletions.rows()) {
+    if (!table.EraseOneEqual(r)) {
+      throw std::runtime_error("deletion does not match any row of table '" +
+                               table.name() + "'");
+    }
+  }
+}
+
+void ApplyChangeSet(rel::Catalog& catalog, const ChangeSet& changes) {
+  if (!changes.fact.empty()) {
+    ApplyDeltaToTable(catalog.GetTable(changes.fact_table), changes.fact);
+  }
+  for (const auto& [dim, delta] : changes.dimensions) {
+    if (!delta.empty()) {
+      ApplyDeltaToTable(catalog.GetTable(dim), delta);
+    }
+  }
+}
+
+MaintenanceReport MaintainView(rel::Catalog& catalog, SummaryTable& view,
+                               const ChangeSet& changes,
+                               const PropagateOptions& popts,
+                               const RefreshOptions& ropts) {
+  MaintenanceReport report;
+  report.view = view.name();
+
+  // Propagate runs against the pre-change base state, outside the batch
+  // window (summary tables stay readable).
+  Stopwatch sw;
+  rel::Table sd = ComputeSummaryDelta(catalog, view.def(), changes, popts,
+                                      &report.propagate);
+  report.propagate_seconds = sw.ElapsedSeconds();
+
+  // The batch window: apply the changes to the base tables, then refresh
+  // the summary table from the summary-delta.
+  ApplyChangeSet(catalog, changes);
+
+  sw.Reset();
+  report.refresh = Refresh(catalog, view, sd, ropts);
+  report.refresh_seconds = sw.ElapsedSeconds();
+  return report;
+}
+
+}  // namespace sdelta::core

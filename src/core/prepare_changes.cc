@@ -1,0 +1,178 @@
+#include "core/prepare_changes.h"
+
+#include <stdexcept>
+
+#include "relational/operators.h"
+
+namespace sdelta::core {
+
+using rel::Expression;
+using rel::Table;
+
+namespace {
+
+/// The Table 1 aggregate-source expression for one physical aggregate at
+/// the given sign (+1 insertion, -1 deletion).
+Expression AggregateSource(const rel::AggregateSpec& agg, int sign) {
+  switch (agg.kind) {
+    case rel::AggregateKind::kCountStar:
+      return Expression::Literal(rel::Value::Int64(sign));
+    case rel::AggregateKind::kCount:
+      return Expression::CaseIsNull(
+          *agg.argument, Expression::Literal(rel::Value::Int64(0)),
+          Expression::Literal(rel::Value::Int64(sign)));
+    case rel::AggregateKind::kSum:
+      return sign > 0 ? *agg.argument : Expression::Negate(*agg.argument);
+    case rel::AggregateKind::kMin:
+    case rel::AggregateKind::kMax:
+      return *agg.argument;
+    case rel::AggregateKind::kAvg:
+      throw std::logic_error(
+          "AVG reached prepare-changes; views must be augmented first");
+  }
+  throw std::logic_error("unhandled aggregate kind");
+}
+
+/// Projects a joined+filtered relation down to group-by attributes and
+/// signed aggregate sources.
+Table ProjectSources(const rel::Table& joined, const AugmentedView& view,
+                     int sign) {
+  std::vector<rel::ProjectColumn> cols;
+  cols.reserve(view.physical.group_by.size() +
+               view.physical.aggregates.size());
+  for (const std::string& g : view.physical.group_by) {
+    cols.push_back(rel::ProjectColumn{rel::BareName(g), Expression::Column(g)});
+  }
+  for (const rel::AggregateSpec& a : view.physical.aggregates) {
+    cols.push_back(
+        rel::ProjectColumn{a.output_name, AggregateSource(a, sign)});
+  }
+  return rel::Project(joined, cols);
+}
+
+/// Joins `fact_rows` (fact-table schema) with the given per-dimension
+/// tables (instead of the catalog versions), applies the view predicate,
+/// and returns the joined relation. `dim_tables[i]` corresponds to
+/// view.physical.joins[i].
+Table JoinWith(const AugmentedView& view, const rel::Table& fact_rows,
+               const std::vector<const rel::Table*>& dim_tables,
+               const std::optional<Expression>& where) {
+  const ViewDef& def = view.physical;
+  Table current(fact_rows.schema().Qualified(def.fact_table));
+  current.Reserve(fact_rows.NumRows());
+  for (const rel::Row& r : fact_rows.rows()) current.Insert(r);
+
+  for (size_t i = 0; i < def.joins.size(); ++i) {
+    const DimensionJoin& j = def.joins[i];
+    current = rel::HashJoin(
+        current, *dim_tables[i],
+        {{def.fact_table + "." + j.fact_column, j.dim_column}}, j.dim_table,
+        /*drop_right_keys=*/true);
+  }
+  if (where.has_value()) current = rel::Select(current, *where);
+  return current;
+}
+
+}  // namespace
+
+rel::Schema PrepareChangesSchema(const rel::Catalog& catalog,
+                                 const AugmentedView& view) {
+  // Identical to the summary-table schema: group-bys then sources named
+  // after the aggregate outputs.
+  return ViewOutputSchema(catalog, view.physical);
+}
+
+rel::Table PrepareFactChanges(const rel::Catalog& catalog,
+                              const AugmentedView& view,
+                              const rel::Table& fact_rows, int sign) {
+  std::vector<const rel::Table*> dims;
+  for (const DimensionJoin& j : view.physical.joins) {
+    dims.push_back(&catalog.GetTable(j.dim_table));
+  }
+  Table joined = JoinWith(view, fact_rows, dims, view.physical.where);
+  return ProjectSources(joined, view, sign);
+}
+
+rel::Table PrepareChanges(const rel::Catalog& catalog,
+                          const AugmentedView& view,
+                          const ChangeSet& changes) {
+  const ViewDef& def = view.physical;
+  if (changes.fact_table != def.fact_table) {
+    throw std::invalid_argument("change set is for fact table '" +
+                                changes.fact_table + "' but view " +
+                                def.name + " is over '" + def.fact_table +
+                                "'");
+  }
+
+  Table out(PrepareChangesSchema(catalog, view), "pc_" + def.name);
+
+  // Per-source versions: 0 = old, 1 = inserted, 2 = deleted. Source 0 is
+  // the fact table; source i+1 is joins[i]'s dimension table.
+  const size_t num_sources = 1 + def.joins.size();
+  std::vector<int> version(num_sources, 0);
+
+  auto delta_for_dim = [&](const std::string& dim) -> const DeltaSet* {
+    auto it = changes.dimensions.find(dim);
+    return it == changes.dimensions.end() ? nullptr : &it->second;
+  };
+
+  auto table_for = [&](size_t source, int ver) -> const rel::Table* {
+    if (source == 0) {
+      switch (ver) {
+        case 0: return &catalog.GetTable(def.fact_table);
+        case 1: return changes.fact.insertions.empty()
+                           ? nullptr
+                           : &changes.fact.insertions;
+        default: return changes.fact.deletions.empty()
+                            ? nullptr
+                            : &changes.fact.deletions;
+      }
+    }
+    const std::string& dim = def.joins[source - 1].dim_table;
+    const DeltaSet* d = delta_for_dim(dim);
+    switch (ver) {
+      case 0: return &catalog.GetTable(dim);
+      case 1: return (d == nullptr || d->insertions.empty()) ? nullptr
+                                                             : &d->insertions;
+      default: return (d == nullptr || d->deletions.empty()) ? nullptr
+                                                             : &d->deletions;
+    }
+  };
+
+  // Enumerate every combination of versions except all-old; skip combos
+  // with an empty delta table.
+  auto emit = [&](const std::vector<int>& ver) {
+    const rel::Table* fact = table_for(0, ver[0]);
+    if (fact == nullptr) return;
+    std::vector<const rel::Table*> dims;
+    int sign = ver[0] == 2 ? -1 : 1;
+    for (size_t i = 1; i < num_sources; ++i) {
+      const rel::Table* t = table_for(i, ver[i]);
+      if (t == nullptr) return;
+      if (ver[i] == 2) sign = -sign;
+      dims.push_back(t);
+    }
+    Table part = ProjectSources(JoinWith(view, *fact, dims, def.where), view,
+                                sign);
+    for (const rel::Row& r : part.rows()) out.Insert(r);
+  };
+
+  // Iterate the mixed-radix counter over versions.
+  while (true) {
+    bool all_old = true;
+    for (int v : version) all_old &= (v == 0);
+    if (!all_old) emit(version);
+    // increment
+    size_t i = 0;
+    while (i < num_sources) {
+      if (++version[i] <= 2) break;
+      version[i] = 0;
+      ++i;
+    }
+    if (i == num_sources) break;
+  }
+
+  return out;
+}
+
+}  // namespace sdelta::core

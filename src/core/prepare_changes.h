@@ -1,0 +1,50 @@
+#ifndef SDELTA_CORE_PREPARE_CHANGES_H_
+#define SDELTA_CORE_PREPARE_CHANGES_H_
+
+#include "core/delta.h"
+#include "core/self_maintenance.h"
+#include "core/view_def.h"
+
+namespace sdelta::core {
+
+/// Builds the *prepare-changes* relation pc_<view> (paper §4.1.1,
+/// Figure 6): one row per changed joined tuple, carrying
+///   * the view's group-by attributes, and
+///   * one *aggregate-source* column per physical aggregate, derived by
+///     the rules of Table 1:
+///
+///                      prepare-insertions     prepare-deletions
+///     COUNT(*)                 1                     -1
+///     COUNT(expr)   CASE WHEN expr IS NULL   CASE WHEN expr IS NULL
+///                   THEN 0 ELSE 1 END        THEN 0 ELSE -1 END
+///     SUM(expr)              expr                  -expr
+///     MIN(expr)              expr                   expr
+///     MAX(expr)              expr                   expr
+///
+/// Aggregate-source columns are named after the physical aggregate output
+/// columns, so the summary-delta (a GROUP BY over this relation) lines up
+/// with the summary-table schema by name.
+///
+/// Dimension-table deltas (paper §4.1.4) are handled by the signed-delta
+/// join expansion: with the catalog holding the *old* state, the change
+/// to the joined relation F ⋈ D1 ⋈ ... is the union over every
+/// combination of {old, inserted, deleted} per source except all-old,
+/// with the row's sign being the product of the per-source signs.
+rel::Table PrepareChanges(const rel::Catalog& catalog,
+                          const AugmentedView& view, const ChangeSet& changes);
+
+/// The prepare-insertions (sign = +1) or prepare-deletions (sign = -1)
+/// relation for changes to the fact table only — the pi_/pd_ views of
+/// Figure 6. Exposed for tests and documentation; PrepareChanges is the
+/// production entry point.
+rel::Table PrepareFactChanges(const rel::Catalog& catalog,
+                              const AugmentedView& view,
+                              const rel::Table& fact_rows, int sign);
+
+/// Schema of the prepare-changes relation for `view`.
+rel::Schema PrepareChangesSchema(const rel::Catalog& catalog,
+                                 const AugmentedView& view);
+
+}  // namespace sdelta::core
+
+#endif  // SDELTA_CORE_PREPARE_CHANGES_H_

@@ -1,0 +1,247 @@
+#include "core/propagate.h"
+
+#include <stdexcept>
+#include <unordered_set>
+
+#include "core/prepare_changes.h"
+
+namespace sdelta::core {
+
+using rel::Expression;
+using rel::Table;
+
+std::vector<rel::AggregateSpec> DeltaAggregates(const AugmentedView& view) {
+  std::vector<rel::AggregateSpec> specs;
+  specs.reserve(view.physical.aggregates.size());
+  for (const rel::AggregateSpec& a : view.physical.aggregates) {
+    switch (a.kind) {
+      case rel::AggregateKind::kCountStar:
+      case rel::AggregateKind::kCount:
+      case rel::AggregateKind::kSum:
+        specs.push_back(rel::Sum(Expression::Column(a.output_name),
+                                 a.output_name));
+        break;
+      case rel::AggregateKind::kMin:
+        specs.push_back(rel::Min(Expression::Column(a.output_name),
+                                 a.output_name));
+        break;
+      case rel::AggregateKind::kMax:
+        specs.push_back(rel::Max(Expression::Column(a.output_name),
+                                 a.output_name));
+        break;
+      case rel::AggregateKind::kAvg:
+        throw std::logic_error("AVG in physical view " + view.name());
+    }
+  }
+  return specs;
+}
+
+namespace {
+
+/// The taint aggregate over a prepare-changes relation: 1 if any row of
+/// the group carries a negative COUNT(*) source (i.e. stems from a
+/// deletion), else 0.
+rel::AggregateSpec TaintFromSources(const AugmentedView& view) {
+  return rel::Max(
+      Expression::Lt(Expression::Column(view.count_star_column),
+                     Expression::Literal(rel::Value::Int64(0))),
+      kTaintedColumn);
+}
+
+/// True when every referenced column lives in the fact table (resolvable
+/// in the fact table's qualified schema).
+bool FactOnly(const rel::Schema& fact_qualified,
+              const std::vector<std::string>& columns) {
+  for (const std::string& c : columns) {
+    try {
+      if (!fact_qualified.TryResolve(c).has_value()) return false;
+    } catch (const std::invalid_argument&) {
+      return false;  // ambiguous — treat as not fact-only
+    }
+  }
+  return true;
+}
+
+/// Whether the §4.1.3 pre-aggregation rewrite is legal for this view and
+/// change set.
+bool PreaggregationLegal(const rel::Catalog& catalog,
+                         const AugmentedView& view, const ChangeSet& changes) {
+  for (const auto& [dim, delta] : changes.dimensions) {
+    if (!delta.empty()) return false;
+  }
+  const ViewDef& def = view.physical;
+  if (def.joins.empty()) return false;  // nothing to gain
+  const rel::Schema fact_qualified =
+      catalog.GetTable(def.fact_table).schema().Qualified(def.fact_table);
+  if (def.where.has_value() &&
+      !FactOnly(fact_qualified, def.where->ReferencedColumns())) {
+    return false;
+  }
+  for (const rel::AggregateSpec& a : def.aggregates) {
+    if (a.argument.has_value() &&
+        !FactOnly(fact_qualified, a.argument->ReferencedColumns())) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// The §4.1.3 path: project+aggregate the fact delta on fact-level
+/// columns, then join dimensions and re-aggregate to the view's groups.
+Table PreaggregatedDelta(const rel::Catalog& catalog,
+                         const AugmentedView& view, const ChangeSet& changes,
+                         PropagateStats* stats) {
+  const ViewDef& def = view.physical;
+  const rel::Schema fact_qualified =
+      catalog.GetTable(def.fact_table).schema().Qualified(def.fact_table);
+
+  // Fact-level grouping: fact-resident group-bys keep their bare names;
+  // dimension-resident group-bys are replaced by the FK column of the
+  // join that provides them.
+  std::vector<std::string> fact_groups;
+  std::unordered_set<std::string> seen;
+  std::vector<size_t> joins_needed;  // indexes into def.joins
+  for (const std::string& g : def.group_by) {
+    if (fact_qualified.TryResolve(g).has_value()) {
+      if (seen.insert(rel::BareName(g)).second) fact_groups.push_back(g);
+      continue;
+    }
+    // Find the providing dimension join.
+    bool found = false;
+    for (size_t i = 0; i < def.joins.size(); ++i) {
+      const rel::Schema& dim = catalog.GetTable(def.joins[i].dim_table)
+                                   .schema();
+      if (dim.IndexOf(rel::BareName(g)).has_value()) {
+        if (seen.insert(def.joins[i].fact_column).second) {
+          fact_groups.push_back(def.fact_table + "." +
+                                def.joins[i].fact_column);
+        }
+        bool already = false;
+        for (size_t k : joins_needed) already |= (k == i);
+        if (!already) joins_needed.push_back(i);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      throw std::logic_error("group-by attribute " + g +
+                             " not found in fact or dimension tables of " +
+                             def.name);
+    }
+  }
+  // FK columns referenced by needed joins must survive the projection
+  // even when they are not view group-bys (handled above via seen-set).
+
+  // Stage 1: prepare + aggregate over the bare fact delta (no joins).
+  AugmentedView fact_stage = view;
+  fact_stage.physical.joins.clear();
+  fact_stage.physical.group_by = fact_groups;
+  ChangeSet fact_changes;
+  fact_changes.fact_table = changes.fact_table;
+  // Share the underlying tables by copying (tables are cheap to copy at
+  // change-set sizes).
+  fact_changes.fact = changes.fact;
+  Table pc = PrepareChanges(catalog, fact_stage, fact_changes);
+  if (stats != nullptr) stats->prepared_tuples = pc.NumRows();
+  // pc columns carry bare names; group by the bare forms.
+  std::vector<std::string> bare_fact_groups;
+  for (const std::string& g : fact_groups) {
+    bare_fact_groups.push_back(rel::BareName(g));
+  }
+  std::vector<rel::AggregateSpec> stage1 = DeltaAggregates(view);
+  stage1.push_back(TaintFromSources(view));
+  Table sd_fact =
+      rel::GroupBy(pc, rel::GroupCols(bare_fact_groups), stage1);
+
+  // Stage 2: join the needed dimensions onto the pre-aggregated delta.
+  Table current = std::move(sd_fact);
+  for (size_t i : joins_needed) {
+    const DimensionJoin& j = def.joins[i];
+    current = rel::HashJoin(current, catalog.GetTable(j.dim_table),
+                            {{j.fact_column, j.dim_column}}, j.dim_table,
+                            /*drop_right_keys=*/true);
+  }
+
+  // Stage 3: re-aggregate to the view's group-by columns. Re-aggregation
+  // uses the same delta aggregates: SUM of partial sums, MIN of partial
+  // minima, ...
+  std::vector<rel::GroupByColumn> final_groups;
+  for (const std::string& g : def.group_by) {
+    final_groups.push_back(rel::GroupByColumn{rel::BareName(g), ""});
+  }
+  std::vector<rel::AggregateSpec> stage3 = DeltaAggregates(view);
+  stage3.push_back(
+      rel::Max(Expression::Column(kTaintedColumn), kTaintedColumn));
+  Table out = rel::GroupBy(current, final_groups, stage3);
+  Table named(out.schema(), "sd_" + def.name);
+  for (const rel::Row& r : out.rows()) named.Insert(r);
+  return named;
+}
+
+}  // namespace
+
+rel::Table ComputeSummaryDelta(const rel::Catalog& catalog,
+                               const AugmentedView& view,
+                               const ChangeSet& changes,
+                               const PropagateOptions& options,
+                               PropagateStats* stats) {
+  if (options.preaggregate && PreaggregationLegal(catalog, view, changes)) {
+    if (stats != nullptr) stats->preaggregated = true;
+    Table out = PreaggregatedDelta(catalog, view, changes, stats);
+    if (stats != nullptr) stats->delta_groups = out.NumRows();
+    return out;
+  }
+
+  Table pc = PrepareChanges(catalog, view, changes);
+  if (stats != nullptr) stats->prepared_tuples = pc.NumRows();
+  std::vector<rel::GroupByColumn> groups;
+  for (const std::string& g : view.physical.group_by) {
+    groups.push_back(rel::GroupByColumn{rel::BareName(g), ""});
+  }
+  std::vector<rel::AggregateSpec> specs = DeltaAggregates(view);
+  specs.push_back(TaintFromSources(view));
+  Table grouped = rel::GroupBy(pc, groups, specs);
+  Table out(grouped.schema(), "sd_" + view.name());
+  out.Reserve(grouped.NumRows());
+  for (const rel::Row& r : grouped.rows()) out.Insert(r);
+  if (stats != nullptr) stats->delta_groups = out.NumRows();
+  return out;
+}
+
+std::string DerivationRecipe::ToString() const {
+  std::string s = child_name + " <= " + parent_name;
+  if (!joins.empty()) {
+    s += " [join:";
+    for (const DimensionJoin& j : joins) s += " " + j.dim_table;
+    s += "]";
+  }
+  return s;
+}
+
+rel::Table ApplyDerivation(const rel::Catalog& catalog,
+                           const DerivationRecipe& recipe,
+                           const rel::Table& parent_rows) {
+  Table current(parent_rows.schema(), parent_rows.name());
+  current.Reserve(parent_rows.NumRows());
+  for (const rel::Row& r : parent_rows.rows()) current.Insert(r);
+
+  for (const DimensionJoin& j : recipe.joins) {
+    current = rel::HashJoin(current, catalog.GetTable(j.dim_table),
+                            {{j.fact_column, j.dim_column}}, j.dim_table,
+                            /*drop_right_keys=*/true);
+  }
+  // Propagate the hidden taint marker down D-lattice edges (it is absent
+  // when the recipe runs over materialized view rows — the V-side).
+  std::vector<rel::AggregateSpec> specs = recipe.aggregates;
+  if (parent_rows.schema().IndexOf(kTaintedColumn).has_value()) {
+    specs.push_back(
+        rel::Max(Expression::Column(kTaintedColumn), kTaintedColumn));
+  }
+  Table out = rel::GroupBy(current, recipe.group_by, specs);
+  Table named(out.schema(), "sd_" + recipe.child_name);
+  named.Reserve(out.NumRows());
+  for (const rel::Row& r : out.rows()) named.Insert(r);
+  return named;
+}
+
+}  // namespace sdelta::core

@@ -1,0 +1,469 @@
+#include "core/refresh.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/propagate.h"
+#include "core/view_def.h"
+#include "relational/group_key.h"
+#include "relational/operators.h"
+
+namespace sdelta::core {
+
+using rel::GroupKey;
+using rel::Row;
+using rel::Table;
+using rel::Value;
+
+namespace {
+
+/// Column bookkeeping shared by both refresh strategies.
+struct AggregateLayout {
+  rel::AggregateKind kind;
+  size_t index;            ///< column index in the physical row
+  size_t companion_index;  ///< index of the COUNT(e) companion column
+};
+
+struct RefreshLayout {
+  size_t num_groups;
+  size_t arity;  ///< summary-table columns (delta rows may carry extras)
+  size_t count_star_index;
+  /// Index of the hidden kTaintedColumn in delta rows, or npos.
+  size_t tainted_index = static_cast<size_t>(-1);
+  bool has_minmax = false;
+  std::vector<AggregateLayout> aggregates;
+
+  /// Whether the delta group may contain deletion contributions. Deltas
+  /// without the marker column (hand-built or legacy) are conservatively
+  /// treated as tainted.
+  bool Tainted(const Row& delta_row) const {
+    if (tainted_index == static_cast<size_t>(-1)) return true;
+    const Value& v = delta_row[tainted_index];
+    return !v.is_null() && v.as_int64() != 0;
+  }
+};
+
+RefreshLayout MakeLayout(const SummaryTable& view,
+                         const rel::Table& summary_delta) {
+  RefreshLayout layout;
+  const AugmentedView& def = view.def();
+  layout.num_groups = view.num_group_columns();
+  layout.arity = view.schema().NumColumns();
+  layout.count_star_index = view.schema().Resolve(def.count_star_column);
+  if (auto idx = summary_delta.schema().IndexOf(kTaintedColumn)) {
+    layout.tainted_index = *idx;
+  }
+  for (const rel::AggregateSpec& a : def.physical.aggregates) {
+    AggregateLayout al;
+    al.kind = a.kind;
+    al.index = view.schema().Resolve(a.output_name);
+    al.companion_index =
+        view.schema().Resolve(def.companion_count.at(a.output_name));
+    layout.has_minmax |= (a.kind == rel::AggregateKind::kMin ||
+                          a.kind == rel::AggregateKind::kMax);
+    layout.aggregates.push_back(al);
+  }
+  return layout;
+}
+
+int64_t AsCount(const Value& v) {
+  if (v.is_null()) return 0;
+  return v.as_int64();
+}
+
+Value AddIgnoringNull(const Value& a, const Value& b) {
+  if (a.is_null()) return b;
+  if (b.is_null()) return a;
+  return Value::Add(a, b);
+}
+
+Value MinIgnoringNull(const Value& a, const Value& b) {
+  if (a.is_null()) return b;
+  if (b.is_null()) return a;
+  return Value::Compare(a, b) <= 0 ? a : b;
+}
+
+Value MaxIgnoringNull(const Value& a, const Value& b) {
+  if (a.is_null()) return b;
+  if (b.is_null()) return a;
+  return Value::Compare(a, b) >= 0 ? a : b;
+}
+
+/// Figure 7's recompute test for one summary tuple against one delta
+/// tuple: does some MIN/MAX possibly need recomputation from base data?
+bool NeedsRecompute(const RefreshLayout& layout, const Row& old_row,
+                    const Row& delta_row) {
+  for (const AggregateLayout& al : layout.aggregates) {
+    if (al.kind != rel::AggregateKind::kMin &&
+        al.kind != rel::AggregateKind::kMax) {
+      continue;
+    }
+    const Value& old_m = old_row[al.index];
+    const Value& delta_m = delta_row[al.index];
+    if (old_m.is_null() || delta_m.is_null()) continue;
+    const int64_t remaining = AsCount(old_row[al.companion_index]) +
+                              AsCount(delta_row[al.companion_index]);
+    if (remaining <= 0) continue;  // all values gone -> NULL, no recompute
+    const int cmp = Value::Compare(delta_m, old_m);
+    if (al.kind == rel::AggregateKind::kMin ? cmp <= 0 : cmp >= 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Figure 7's in-place update: combines one summary row with one delta
+/// row (no MIN/MAX recompute needed). Writes the result into `old_row`.
+void UpdateInPlace(const RefreshLayout& layout, Row& old_row,
+                   const Row& delta_row) {
+  // Read all companion totals before any column is overwritten.
+  std::vector<int64_t> companion_total(layout.aggregates.size());
+  for (size_t i = 0; i < layout.aggregates.size(); ++i) {
+    const AggregateLayout& al = layout.aggregates[i];
+    companion_total[i] = AsCount(old_row[al.companion_index]) +
+                         AsCount(delta_row[al.companion_index]);
+  }
+  std::vector<Value> new_values(layout.aggregates.size());
+  for (size_t i = 0; i < layout.aggregates.size(); ++i) {
+    const AggregateLayout& al = layout.aggregates[i];
+    const Value& old_v = old_row[al.index];
+    const Value& delta_v = delta_row[al.index];
+    const bool is_count = al.kind == rel::AggregateKind::kCount ||
+                          al.kind == rel::AggregateKind::kCountStar;
+    if (companion_total[i] == 0) {
+      // No values remain for this expression: COUNT columns read 0,
+      // everything else reads NULL.
+      new_values[i] = is_count ? Value::Int64(0) : Value::Null();
+      continue;
+    }
+    switch (al.kind) {
+      case rel::AggregateKind::kCountStar:
+      case rel::AggregateKind::kCount:
+      case rel::AggregateKind::kSum:
+        new_values[i] = AddIgnoringNull(old_v, delta_v);
+        break;
+      case rel::AggregateKind::kMin:
+        new_values[i] = MinIgnoringNull(old_v, delta_v);
+        break;
+      case rel::AggregateKind::kMax:
+        new_values[i] = MaxIgnoringNull(old_v, delta_v);
+        break;
+      case rel::AggregateKind::kAvg:
+        throw std::logic_error("AVG in physical summary table");
+    }
+  }
+  for (size_t i = 0; i < layout.aggregates.size(); ++i) {
+    old_row[layout.aggregates[i].index] = std::move(new_values[i]);
+  }
+}
+
+/// Recomputes every group in `keys` from the (already updated) base
+/// data in one streaming pass over the fact table, writing the fresh
+/// rows into the summary table. Returns rows scanned.
+size_t BatchRecompute(const rel::Catalog& catalog, SummaryTable& view,
+                      const std::unordered_set<GroupKey, rel::GroupKeyHash>&
+                          keys,
+                      RefreshStats* stats) {
+  if (keys.empty()) return 0;
+  const ViewDef& def = view.def().physical;
+  const Table& fact = catalog.GetTable(def.fact_table);
+
+  // Per-join lookup: dim key value -> dim row (FK joins are 1:1).
+  struct DimLookup {
+    const Table* dim;
+    size_t fact_col;  // index in fact schema
+    size_t dim_key_col;
+    std::vector<size_t> carried;  // non-key dim columns, in schema order
+    std::unordered_map<GroupKey, size_t, rel::GroupKeyHash> index;
+  };
+  std::vector<DimLookup> dims;
+  for (const DimensionJoin& j : def.joins) {
+    DimLookup dl;
+    dl.dim = &catalog.GetTable(j.dim_table);
+    dl.fact_col = fact.schema().Resolve(j.fact_column);
+    dl.dim_key_col = dl.dim->schema().Resolve(j.dim_column);
+    for (size_t c = 0; c < dl.dim->schema().NumColumns(); ++c) {
+      if (c != dl.dim_key_col) dl.carried.push_back(c);
+    }
+    dl.index.reserve(dl.dim->NumRows());
+    for (size_t r = 0; r < dl.dim->NumRows(); ++r) {
+      dl.index.emplace(GroupKey{dl.dim->row(r)[dl.dim_key_col]}, r);
+    }
+    dims.push_back(std::move(dl));
+  }
+
+  // Bind the view's names against the joined schema.
+  const rel::Schema joined = JoinedSchema(catalog, def);
+  std::vector<size_t> group_idx;
+  for (const std::string& g : def.group_by) {
+    group_idx.push_back(joined.Resolve(g));
+  }
+  std::vector<rel::BoundExpression> agg_args;
+  for (const rel::AggregateSpec& a : def.aggregates) {
+    if (a.argument.has_value()) {
+      agg_args.push_back(a.argument->Bind(joined));
+    } else {
+      agg_args.emplace_back();
+    }
+  }
+  std::optional<rel::BoundExpression> where;
+  if (def.where.has_value()) where = def.where->Bind(joined);
+
+  std::unordered_map<GroupKey, std::vector<rel::Accumulator>,
+                     rel::GroupKeyHash>
+      groups;
+  for (const GroupKey& k : keys) {
+    std::vector<rel::Accumulator> accs;
+    for (const rel::AggregateSpec& a : def.aggregates) {
+      accs.emplace_back(a.kind);
+    }
+    groups.emplace(k, std::move(accs));
+  }
+
+  size_t scanned = 0;
+  Row joined_row;
+  for (const Row& fr : fact.rows()) {
+    ++scanned;
+    joined_row.assign(fr.begin(), fr.end());
+    bool matched = true;
+    for (const DimLookup& dl : dims) {
+      auto it = dl.index.find(GroupKey{fr[dl.fact_col]});
+      if (it == dl.index.end()) {
+        matched = false;
+        break;
+      }
+      const Row& dr = dl.dim->row(it->second);
+      for (size_t c : dl.carried) joined_row.push_back(dr[c]);
+    }
+    if (!matched) continue;
+    if (where.has_value() && !where->EvalPredicate(joined_row)) continue;
+    GroupKey key = rel::ExtractKey(joined_row, group_idx);
+    auto it = groups.find(key);
+    if (it == groups.end()) continue;
+    for (size_t i = 0; i < def.aggregates.size(); ++i) {
+      if (def.aggregates[i].kind == rel::AggregateKind::kCountStar) {
+        it->second[i].Add(Value::Null());
+      } else {
+        it->second[i].Add(agg_args[i].Eval(joined_row));
+      }
+    }
+  }
+
+  for (auto& [key, accs] : groups) {
+    Row fresh = key;
+    bool any_rows = false;
+    for (size_t i = 0; i < accs.size(); ++i) {
+      Value v = accs[i].Result();
+      if (def.aggregates[i].kind == rel::AggregateKind::kCountStar &&
+          !v.is_null() && v.as_int64() > 0) {
+        any_rows = true;
+      }
+      fresh.push_back(std::move(v));
+    }
+    Row* row = view.FindMutable(key);
+    if (!any_rows) {
+      // The group vanished from base data; a consistent delta would have
+      // deleted it via COUNT(*), so treat as inconsistency.
+      throw std::runtime_error(
+          "refresh: recomputed group has no base rows in view " +
+          view.name());
+    }
+    if (row == nullptr) {
+      view.Insert(std::move(fresh));
+    } else {
+      *row = std::move(fresh);
+    }
+    if (stats != nullptr) ++stats->recomputed_groups;
+  }
+  return scanned;
+}
+
+RefreshStats RefreshCursor(const rel::Catalog& catalog, SummaryTable& view,
+                           const Table& summary_delta,
+                           const RefreshOptions& options) {
+  RefreshStats stats;
+  const RefreshLayout layout = MakeLayout(view, summary_delta);
+  std::unordered_set<GroupKey, rel::GroupKeyHash> recompute;
+
+  for (const Row& t : summary_delta.rows()) {
+    GroupKey key(t.begin(), t.begin() + layout.num_groups);
+    Row* old_row = view.FindMutable(key);
+    if (old_row == nullptr) {
+      const int64_t count = AsCount(t[layout.count_star_index]);
+      if (count < 0) {
+        throw std::runtime_error(
+            "refresh: delta deletes from non-existent group in view " +
+            view.name());
+      }
+      if (count == 0) {
+        // A net no-op for a group that never existed (e.g. a fact row
+        // inserted while its dimension row moved away in the same
+        // batch): every aggregate delta cancels; nothing to apply.
+        continue;
+      }
+      if (layout.has_minmax && layout.Tainted(t)) {
+        // A freshly appearing group whose delta mixes insertions and
+        // deletions (dimension moves): the delta MIN/MAX may reflect
+        // rows that did not survive — recompute from base data.
+        recompute.insert(std::move(key));
+        continue;
+      }
+      view.Insert(Row(t.begin(), t.begin() + layout.arity));
+      ++stats.inserted;
+      continue;
+    }
+    const int64_t count_after = AsCount((*old_row)[layout.count_star_index]) +
+                                AsCount(t[layout.count_star_index]);
+    if (count_after < 0) {
+      throw std::runtime_error(
+          "refresh: COUNT(*) would go negative in view " + view.name());
+    }
+    if (count_after == 0) {
+      view.Erase(key);
+      ++stats.deleted;
+      continue;
+    }
+    const bool may_have_deletions =
+        !options.trust_untainted_minmax || layout.Tainted(t);
+    if (may_have_deletions && NeedsRecompute(layout, *old_row, t)) {
+      if (options.batch_minmax_recompute) {
+        recompute.insert(std::move(key));
+      } else {
+        std::unordered_set<GroupKey, rel::GroupKeyHash> single;
+        single.insert(std::move(key));
+        stats.recompute_scan_rows +=
+            BatchRecompute(catalog, view, single, &stats);
+      }
+      continue;
+    }
+    UpdateInPlace(layout, *old_row, t);
+    ++stats.updated;
+  }
+
+  stats.recompute_scan_rows += BatchRecompute(catalog, view, recompute,
+                                              &stats);
+  return stats;
+}
+
+RefreshStats RefreshMerge(const rel::Catalog& catalog, SummaryTable& view,
+                          const Table& summary_delta,
+                          const RefreshOptions& options) {
+  RefreshStats stats;
+  const RefreshLayout layout = MakeLayout(view, summary_delta);
+
+  auto key_less = [&](const Row& a, const Row& b) {
+    for (size_t i = 0; i < layout.num_groups; ++i) {
+      const int c = Value::Compare(a[i], b[i]);
+      if (c != 0) return c < 0;
+    }
+    return false;
+  };
+
+  std::vector<Row> old_rows(view.rows().begin(), view.rows().end());
+  std::vector<Row> delta_rows(summary_delta.rows().begin(),
+                              summary_delta.rows().end());
+  std::sort(old_rows.begin(), old_rows.end(), key_less);
+  std::sort(delta_rows.begin(), delta_rows.end(), key_less);
+
+  std::vector<Row> merged;
+  merged.reserve(old_rows.size() + delta_rows.size());
+  std::vector<GroupKey> recompute_keys;
+
+  size_t i = 0;
+  size_t j = 0;
+  while (i < old_rows.size() || j < delta_rows.size()) {
+    int order;
+    if (i == old_rows.size()) {
+      order = 1;
+    } else if (j == delta_rows.size()) {
+      order = -1;
+    } else {
+      order = key_less(old_rows[i], delta_rows[j])
+                  ? -1
+                  : (key_less(delta_rows[j], old_rows[i]) ? 1 : 0);
+    }
+    if (order < 0) {
+      merged.push_back(std::move(old_rows[i++]));  // untouched group
+    } else if (order > 0) {
+      Row& t = delta_rows[j++];
+      const int64_t count = AsCount(t[layout.count_star_index]);
+      if (count < 0) {
+        throw std::runtime_error(
+            "refresh: delta deletes from non-existent group in view " +
+            view.name());
+      }
+      if (count == 0) continue;  // net no-op for a never-existing group
+      if (layout.has_minmax && layout.Tainted(t)) {
+        recompute_keys.emplace_back(t.begin(),
+                                    t.begin() + layout.num_groups);
+        continue;  // recomputed (and inserted) from base data below
+      }
+      merged.push_back(Row(t.begin(), t.begin() + layout.arity));
+      ++stats.inserted;
+    } else {
+      Row& old_row = old_rows[i++];
+      const Row& t = delta_rows[j++];
+      const int64_t count_after =
+          AsCount(old_row[layout.count_star_index]) +
+          AsCount(t[layout.count_star_index]);
+      if (count_after < 0) {
+        throw std::runtime_error(
+            "refresh: COUNT(*) would go negative in view " + view.name());
+      }
+      if (count_after == 0) {
+        ++stats.deleted;
+        continue;  // drop the group
+      }
+      const bool may_have_deletions =
+          !options.trust_untainted_minmax || layout.Tainted(t);
+      if (may_have_deletions && NeedsRecompute(layout, old_row, t)) {
+        recompute_keys.emplace_back(old_row.begin(),
+                                    old_row.begin() + layout.num_groups);
+        merged.push_back(std::move(old_row));  // placeholder; fixed below
+        continue;
+      }
+      UpdateInPlace(layout, old_row, t);
+      merged.push_back(std::move(old_row));
+      ++stats.updated;
+    }
+  }
+
+  Table rebuilt(view.schema(), view.name());
+  rebuilt.Reserve(merged.size());
+  for (Row& r : merged) rebuilt.Insert(std::move(r));
+  view.LoadFrom(rebuilt);
+
+  // Merge always batches MIN/MAX recomputation: the table was already
+  // rewritten wholesale, so per-group scans would have no benefit.
+  std::unordered_set<GroupKey, rel::GroupKeyHash> recompute(
+      recompute_keys.begin(), recompute_keys.end());
+  stats.recompute_scan_rows += BatchRecompute(catalog, view, recompute,
+                                              &stats);
+  return stats;
+}
+
+}  // namespace
+
+RefreshStats Refresh(const rel::Catalog& catalog, SummaryTable& view,
+                     const rel::Table& summary_delta,
+                     const RefreshOptions& options) {
+  const size_t arity = view.schema().NumColumns();
+  const size_t delta_arity = summary_delta.schema().NumColumns();
+  const bool has_taint =
+      summary_delta.schema().IndexOf(kTaintedColumn).has_value();
+  if (delta_arity != arity && !(has_taint && delta_arity == arity + 1)) {
+    throw std::invalid_argument(
+        "summary-delta arity does not match summary table " + view.name());
+  }
+  switch (options.strategy) {
+    case RefreshStrategy::kCursor:
+      return RefreshCursor(catalog, view, summary_delta, options);
+    case RefreshStrategy::kMerge:
+      return RefreshMerge(catalog, view, summary_delta, options);
+  }
+  throw std::logic_error("unknown refresh strategy");
+}
+
+}  // namespace sdelta::core

@@ -1,0 +1,16 @@
+#include "core/rematerialize.h"
+
+namespace sdelta::core {
+
+void Rematerialize(const rel::Catalog& catalog, SummaryTable& view) {
+  view.MaterializeFrom(catalog);
+}
+
+void RematerializeFromParent(const rel::Catalog& catalog,
+                             const DerivationRecipe& recipe,
+                             const rel::Table& parent_rows,
+                             SummaryTable& view) {
+  view.LoadFrom(ApplyDerivation(catalog, recipe, parent_rows));
+}
+
+}  // namespace sdelta::core

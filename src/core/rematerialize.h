@@ -1,0 +1,26 @@
+#ifndef SDELTA_CORE_REMATERIALIZE_H_
+#define SDELTA_CORE_REMATERIALIZE_H_
+
+#include <vector>
+
+#include "core/propagate.h"
+#include "core/summary_table.h"
+
+namespace sdelta::core {
+
+/// Recomputes a summary table from scratch off the catalog's (already
+/// updated) base tables — the paper's "Rematerialize" baseline.
+void Rematerialize(const rel::Catalog& catalog, SummaryTable& view);
+
+/// Rematerializes `view` from an already-rematerialized parent via a
+/// derivation recipe (Theorem 5.1: the V-lattice edge query), instead of
+/// from base data. `parent_rows` are the parent's materialized physical
+/// rows.
+void RematerializeFromParent(const rel::Catalog& catalog,
+                             const DerivationRecipe& recipe,
+                             const rel::Table& parent_rows,
+                             SummaryTable& view);
+
+}  // namespace sdelta::core
+
+#endif  // SDELTA_CORE_REMATERIALIZE_H_

@@ -1,0 +1,231 @@
+#include "core/self_maintenance.h"
+
+#include <stdexcept>
+
+#include "relational/operators.h"
+
+namespace sdelta::core {
+
+using rel::AggregateKind;
+using rel::AggregateSpec;
+
+AggregateClass ClassifyAggregate(AggregateKind kind) {
+  switch (kind) {
+    case AggregateKind::kCountStar:
+    case AggregateKind::kCount:
+    case AggregateKind::kSum:
+    case AggregateKind::kMin:
+    case AggregateKind::kMax:
+      return AggregateClass::kDistributive;
+    case AggregateKind::kAvg:
+      return AggregateClass::kAlgebraic;
+  }
+  return AggregateClass::kHolistic;
+}
+
+bool SelfMaintainableOnInsertions(AggregateKind kind) {
+  // All distributive functions are; AVG is via its SUM/COUNT parts.
+  return ClassifyAggregate(kind) != AggregateClass::kHolistic;
+}
+
+bool SelfMaintainableOnDeletions(AggregateKind kind) {
+  switch (kind) {
+    case AggregateKind::kCountStar:
+    case AggregateKind::kCount:
+      return true;
+    case AggregateKind::kSum:  // with COUNT(*) / COUNT(e) help — reported
+    case AggregateKind::kAvg:  // as false for the bare function
+    case AggregateKind::kMin:
+    case AggregateKind::kMax:
+      return false;
+  }
+  return false;
+}
+
+namespace {
+
+/// Finds an existing physical aggregate with the given kind+argument, or
+/// returns nullptr.
+const AggregateSpec* FindAggregate(const std::vector<AggregateSpec>& specs,
+                                   AggregateKind kind,
+                                   const std::optional<rel::Expression>& arg) {
+  for (const AggregateSpec& s : specs) {
+    if (s.kind != kind) continue;
+    if (!arg.has_value() && !s.argument.has_value()) return &s;
+    if (arg.has_value() && s.argument.has_value() && *arg == *s.argument) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+/// Picks a physical column name that is not yet taken by a group-by
+/// column or another aggregate.
+std::string FreshName(const ViewDef& view, const std::string& base) {
+  auto taken = [&](const std::string& n) {
+    for (const std::string& g : view.group_by) {
+      if (rel::BareName(g) == n) return true;
+    }
+    for (const AggregateSpec& a : view.aggregates) {
+      if (a.output_name == n) return true;
+    }
+    return false;
+  };
+  if (!taken(base)) return base;
+  for (int i = 2;; ++i) {
+    std::string candidate = base + "_" + std::to_string(i);
+    if (!taken(candidate)) return candidate;
+  }
+}
+
+}  // namespace
+
+AugmentedView AugmentForSelfMaintenance(const rel::Catalog& catalog,
+                                        const ViewDef& logical) {
+  ValidateView(catalog, logical);
+  for (const AggregateSpec& a : logical.aggregates) {
+    if (ClassifyAggregate(a.kind) == AggregateClass::kHolistic) {
+      throw std::invalid_argument("view " + logical.name +
+                                  ": holistic aggregate " + a.ToString() +
+                                  " cannot be incrementally maintained");
+    }
+  }
+
+  AugmentedView out;
+  out.physical = logical;
+  out.physical.aggregates.clear();
+
+  // Pass 1: materialize the physical aggregates. AVG splits into
+  // SUM + COUNT; everything else carries over (deduplicated).
+  for (const AggregateSpec& a : logical.aggregates) {
+    LogicalColumn lc;
+    lc.logical = a;
+    if (a.kind == AggregateKind::kAvg) {
+      // Copy names out immediately: the vector may reallocate below.
+      std::string sum_name;
+      if (const AggregateSpec* sum = FindAggregate(
+              out.physical.aggregates, AggregateKind::kSum, a.argument)) {
+        sum_name = sum->output_name;
+      } else {
+        sum_name = FreshName(out.physical, "sum_" + a.output_name);
+        out.physical.aggregates.push_back(
+            AggregateSpec{AggregateKind::kSum, a.argument, sum_name});
+      }
+      std::string cnt_name;
+      if (const AggregateSpec* cnt = FindAggregate(
+              out.physical.aggregates, AggregateKind::kCount, a.argument)) {
+        cnt_name = cnt->output_name;
+      } else {
+        cnt_name = FreshName(out.physical, "cnt_" + a.output_name);
+        out.physical.aggregates.push_back(
+            AggregateSpec{AggregateKind::kCount, a.argument, cnt_name});
+      }
+      lc.source = LogicalColumn::Source::kSumOverCount;
+      lc.column = sum_name;
+      lc.count_column = cnt_name;
+    } else {
+      const AggregateSpec* existing =
+          FindAggregate(out.physical.aggregates, a.kind, a.argument);
+      if (existing == nullptr) {
+        out.physical.aggregates.push_back(a);
+        existing = &out.physical.aggregates.back();
+      }
+      lc.source = LogicalColumn::Source::kDirect;
+      lc.column = existing->output_name;
+    }
+    out.logical_columns.push_back(std::move(lc));
+  }
+
+  // Pass 2: ensure COUNT(*).
+  {
+    const AggregateSpec* star = FindAggregate(
+        out.physical.aggregates, AggregateKind::kCountStar, std::nullopt);
+    if (star == nullptr) {
+      out.physical.aggregates.push_back(AggregateSpec{
+          AggregateKind::kCountStar, std::nullopt,
+          FreshName(out.physical, "count_star")});
+      star = &out.physical.aggregates.back();
+    }
+    out.count_star_column = star->output_name;
+  }
+
+  // Pass 3: ensure a COUNT(e) companion for every SUM/MIN/MAX(e), and
+  // record the companion map. Iterate by index because the vector grows.
+  for (size_t i = 0; i < out.physical.aggregates.size(); ++i) {
+    const AggregateSpec a = out.physical.aggregates[i];  // copy: vector grows
+    switch (a.kind) {
+      case AggregateKind::kCountStar:
+      case AggregateKind::kCount:
+        out.companion_count[a.output_name] = a.output_name;
+        break;
+      case AggregateKind::kSum:
+      case AggregateKind::kMin:
+      case AggregateKind::kMax: {
+        const AggregateSpec* cnt = FindAggregate(
+            out.physical.aggregates, AggregateKind::kCount, a.argument);
+        if (cnt == nullptr) {
+          out.physical.aggregates.push_back(AggregateSpec{
+              AggregateKind::kCount, a.argument,
+              FreshName(out.physical, "cnt_" + a.output_name)});
+          cnt = &out.physical.aggregates.back();
+        }
+        out.companion_count[a.output_name] = cnt->output_name;
+        break;
+      }
+      case AggregateKind::kAvg:
+        throw std::logic_error("AVG must have been split in pass 1");
+    }
+  }
+  // Newly added COUNT(e) companions are their own companions.
+  for (const AggregateSpec& a : out.physical.aggregates) {
+    if (out.companion_count.count(a.output_name) == 0) {
+      out.companion_count[a.output_name] = a.output_name;
+    }
+  }
+
+  ValidateView(catalog, out.physical);
+  return out;
+}
+
+rel::Table LogicalRows(const AugmentedView& view,
+                       const rel::Table& physical_rows) {
+  const rel::Schema& phys = physical_rows.schema();
+  const size_t num_groups = view.physical.group_by.size();
+
+  rel::Schema out_schema;
+  for (size_t i = 0; i < num_groups; ++i) {
+    out_schema.AddColumn(phys.column(i).name, phys.column(i).type);
+  }
+  std::vector<std::pair<size_t, size_t>> sources;  // (value col, count col)
+  std::vector<LogicalColumn::Source> kinds;
+  for (const LogicalColumn& lc : view.logical_columns) {
+    const size_t vi = phys.Resolve(lc.column);
+    size_t ci = vi;
+    if (lc.source == LogicalColumn::Source::kSumOverCount) {
+      ci = phys.Resolve(lc.count_column);
+      out_schema.AddColumn(lc.logical.output_name, rel::ValueType::kDouble);
+    } else {
+      out_schema.AddColumn(lc.logical.output_name, phys.column(vi).type);
+    }
+    sources.emplace_back(vi, ci);
+    kinds.push_back(lc.source);
+  }
+
+  rel::Table out(std::move(out_schema), view.name());
+  out.Reserve(physical_rows.NumRows());
+  for (const rel::Row& r : physical_rows.rows()) {
+    rel::Row row(r.begin(), r.begin() + num_groups);
+    for (size_t i = 0; i < sources.size(); ++i) {
+      if (kinds[i] == LogicalColumn::Source::kSumOverCount) {
+        row.push_back(rel::Value::Divide(r[sources[i].first],
+                                         r[sources[i].second]));
+      } else {
+        row.push_back(r[sources[i].first]);
+      }
+    }
+    out.Insert(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace sdelta::core

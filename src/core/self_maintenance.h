@@ -1,0 +1,75 @@
+#ifndef SDELTA_CORE_SELF_MAINTENANCE_H_
+#define SDELTA_CORE_SELF_MAINTENANCE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/view_def.h"
+
+namespace sdelta::core {
+
+/// Classification of aggregate functions from [GBLP96] / paper §3.1.
+enum class AggregateClass {
+  kDistributive,  ///< COUNT, SUM, MIN, MAX
+  kAlgebraic,     ///< AVG = SUM/COUNT
+  kHolistic,      ///< MEDIAN etc. — not supported
+};
+
+AggregateClass ClassifyAggregate(rel::AggregateKind kind);
+
+/// Whether a *single* aggregate function of this kind is self-maintainable
+/// w.r.t. insertions / deletions on its own (paper §3.1): all distributive
+/// functions are insertion-self-maintainable; only COUNT variants are
+/// deletion-self-maintainable without help; MIN/MAX never are.
+bool SelfMaintainableOnInsertions(rel::AggregateKind kind);
+bool SelfMaintainableOnDeletions(rel::AggregateKind kind);
+
+/// How a logical (user-declared) aggregate is read back from the physical
+/// (augmented) summary table.
+struct LogicalColumn {
+  rel::AggregateSpec logical;
+  enum class Source {
+    kDirect,           ///< value of physical column `column`
+    kSumOverCount,     ///< AVG: physical `column` / physical `count_column`
+  };
+  Source source = Source::kDirect;
+  std::string column;        ///< physical column holding the value (or SUM)
+  std::string count_column;  ///< for kSumOverCount: the COUNT(e) column
+};
+
+/// A view augmented for self-maintenance (paper §3.1 / §5.4):
+///  * `physical` always computes COUNT(*);
+///  * every SUM/MIN/MAX/AVG(e) is accompanied by COUNT(e);
+///  * AVG(e) is replaced by SUM(e) (+ the COUNT(e) companion);
+///  * duplicate aggregates (same kind+argument) are computed once.
+///
+/// The physical view is what gets materialized and maintained; the
+/// logical_columns map the user's declared output columns onto it.
+struct AugmentedView {
+  ViewDef physical;
+  std::vector<LogicalColumn> logical_columns;
+  /// Name of the COUNT(*) column in the physical view.
+  std::string count_star_column;
+  /// For each physical aggregate output (by name), the name of the
+  /// COUNT(e) companion column; COUNT(*) maps to itself, COUNT(e) maps to
+  /// itself.
+  std::unordered_map<std::string, std::string> companion_count;
+
+  const std::string& name() const { return physical.name; }
+};
+
+/// Augments `logical` per the rules above. Holistic aggregates (none are
+/// currently constructible, but the check guards future kinds) throw
+/// std::invalid_argument. The logical view is validated first.
+AugmentedView AugmentForSelfMaintenance(const rel::Catalog& catalog,
+                                        const ViewDef& logical);
+
+/// Extracts the logical view's rows (user-declared columns) from a
+/// physical summary-table relation. Used by queries and tests.
+rel::Table LogicalRows(const AugmentedView& view,
+                       const rel::Table& physical_rows);
+
+}  // namespace sdelta::core
+
+#endif  // SDELTA_CORE_SELF_MAINTENANCE_H_

@@ -1,0 +1,587 @@
+#include "core/sql_parser.h"
+
+#include <cctype>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "relational/operators.h"
+
+namespace sdelta::core {
+
+using rel::Expression;
+using rel::Value;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+enum class TokenKind {
+  kIdentifier,  // possibly dotted: pos.storeID
+  kInteger,
+  kDecimal,
+  kString,  // single-quoted
+  kSymbol,  // ( ) , * = <> < <= > >= + - /
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;   // raw text (uppercased for keyword matching on demand)
+  size_t position = 0;
+};
+
+class Tokenizer {
+ public:
+  explicit Tokenizer(const std::string& input) : input_(input) { Advance(); }
+
+  const Token& current() const { return current_; }
+
+  void Advance() {
+    SkipWhitespace();
+    current_.position = pos_;
+    if (pos_ >= input_.size()) {
+      current_ = Token{TokenKind::kEnd, "", pos_};
+      return;
+    }
+    const char c = input_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = pos_;
+      while (pos_ < input_.size() &&
+             (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+              input_[pos_] == '_' || input_[pos_] == '.')) {
+        ++pos_;
+      }
+      current_ = Token{TokenKind::kIdentifier,
+                       input_.substr(start, pos_ - start), start};
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = pos_;
+      bool decimal = false;
+      while (pos_ < input_.size() &&
+             (std::isdigit(static_cast<unsigned char>(input_[pos_])) ||
+              input_[pos_] == '.')) {
+        decimal |= (input_[pos_] == '.');
+        ++pos_;
+      }
+      current_ = Token{decimal ? TokenKind::kDecimal : TokenKind::kInteger,
+                       input_.substr(start, pos_ - start), start};
+      return;
+    }
+    if (c == '\'') {
+      size_t start = ++pos_;
+      std::string text;
+      while (pos_ < input_.size() && input_[pos_] != '\'') {
+        text += input_[pos_++];
+      }
+      if (pos_ >= input_.size()) {
+        throw std::invalid_argument("unterminated string literal at offset " +
+                                    std::to_string(start - 1));
+      }
+      ++pos_;  // closing quote
+      current_ = Token{TokenKind::kString, std::move(text), start - 1};
+      return;
+    }
+    // Multi-char symbols first.
+    for (const char* sym : {"<>", "<=", ">="}) {
+      if (input_.compare(pos_, 2, sym) == 0) {
+        current_ = Token{TokenKind::kSymbol, sym, pos_};
+        pos_ += 2;
+        return;
+      }
+    }
+    static const std::string kSingles = "(),*=<>+-/";
+    if (kSingles.find(c) != std::string::npos) {
+      current_ = Token{TokenKind::kSymbol, std::string(1, c), pos_};
+      ++pos_;
+      return;
+    }
+    throw std::invalid_argument("unexpected character '" + std::string(1, c) +
+                                "' at offset " + std::to_string(pos_));
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& input_;
+  size_t pos_ = 0;
+  Token current_;
+};
+
+std::string Upper(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = static_cast<char>(std::toupper(c));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+class Parser {
+ public:
+  explicit Parser(const std::string& input) : tokens_(input) {}
+
+  /// Keyword test (case-insensitive identifiers).
+  bool AtKeyword(const std::string& kw) const {
+    return tokens_.current().kind == TokenKind::kIdentifier &&
+           Upper(tokens_.current().text) == kw;
+  }
+
+  bool AtSymbol(const std::string& sym) const {
+    return tokens_.current().kind == TokenKind::kSymbol &&
+           tokens_.current().text == sym;
+  }
+
+  bool AtEnd() const { return tokens_.current().kind == TokenKind::kEnd; }
+
+  void ExpectKeyword(const std::string& kw) {
+    if (!AtKeyword(kw)) Fail("expected " + kw);
+    tokens_.Advance();
+  }
+
+  void ExpectSymbol(const std::string& sym) {
+    if (!AtSymbol(sym)) Fail("expected '" + sym + "'");
+    tokens_.Advance();
+  }
+
+  bool ConsumeKeyword(const std::string& kw) {
+    if (!AtKeyword(kw)) return false;
+    tokens_.Advance();
+    return true;
+  }
+
+  bool ConsumeSymbol(const std::string& sym) {
+    if (!AtSymbol(sym)) return false;
+    tokens_.Advance();
+    return true;
+  }
+
+  std::string ExpectIdentifier(const char* what) {
+    if (tokens_.current().kind != TokenKind::kIdentifier) {
+      Fail(std::string("expected ") + what);
+    }
+    std::string text = tokens_.current().text;
+    tokens_.Advance();
+    return text;
+  }
+
+  [[noreturn]] void Fail(const std::string& message) const {
+    throw std::invalid_argument(
+        "SQL parse error at offset " +
+        std::to_string(tokens_.current().position) + ": " + message +
+        " (found '" + tokens_.current().text + "')");
+  }
+
+  // expr := or_expr
+  Expression ParseExpr() { return ParseOr(); }
+
+  // One WHERE conjunct: everything binding tighter than AND. A
+  // top-level OR must be parenthesized to form a single conjunct.
+  Expression ParseConjunct() { return ParseNot(); }
+
+ private:
+  static bool IsKeywordText(const Token& t, const char* kw) {
+    return t.kind == TokenKind::kIdentifier && Upper(t.text) == kw;
+  }
+
+  Expression ParseOr() {
+    Expression lhs = ParseAnd();
+    while (AtKeyword("OR")) {
+      tokens_.Advance();
+      lhs = Expression::Or(std::move(lhs), ParseAnd());
+    }
+    return lhs;
+  }
+
+  Expression ParseAnd() {
+    Expression lhs = ParseNot();
+    while (AtKeyword("AND")) {
+      tokens_.Advance();
+      lhs = Expression::And(std::move(lhs), ParseNot());
+    }
+    return lhs;
+  }
+
+  Expression ParseNot() {
+    if (ConsumeKeyword("NOT")) return Expression::Not(ParseNot());
+    return ParseComparison();
+  }
+
+  Expression ParseComparison() {
+    Expression lhs = ParseAdditive();
+    if (AtKeyword("IS")) {
+      tokens_.Advance();
+      const bool negated = ConsumeKeyword("NOT");
+      ExpectKeyword("NULL");
+      Expression test = Expression::IsNull(std::move(lhs));
+      return negated ? Expression::Not(std::move(test)) : test;
+    }
+    static const struct {
+      const char* sym;
+      Expression (*make)(Expression, Expression);
+    } kOps[] = {
+        {"=", &Expression::Eq},  {"<>", &Expression::Ne},
+        {"<=", &Expression::Le}, {">=", &Expression::Ge},
+        {"<", &Expression::Lt},  {">", &Expression::Gt},
+    };
+    for (const auto& op : kOps) {
+      if (AtSymbol(op.sym)) {
+        tokens_.Advance();
+        return op.make(std::move(lhs), ParseAdditive());
+      }
+    }
+    return lhs;
+  }
+
+  Expression ParseAdditive() {
+    Expression lhs = ParseMultiplicative();
+    while (AtSymbol("+") || AtSymbol("-")) {
+      const bool add = AtSymbol("+");
+      tokens_.Advance();
+      Expression rhs = ParseMultiplicative();
+      lhs = add ? Expression::Add(std::move(lhs), std::move(rhs))
+                : Expression::Subtract(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Expression ParseMultiplicative() {
+    Expression lhs = ParseUnary();
+    while (AtSymbol("*") || AtSymbol("/")) {
+      const bool mul = AtSymbol("*");
+      tokens_.Advance();
+      Expression rhs = ParseUnary();
+      lhs = mul ? Expression::Multiply(std::move(lhs), std::move(rhs))
+                : Expression::Divide(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Expression ParseUnary() {
+    if (ConsumeSymbol("-")) return Expression::Negate(ParseUnary());
+    return ParsePrimary();
+  }
+
+  Expression ParsePrimary() {
+    const Token& t = tokens_.current();
+    switch (t.kind) {
+      case TokenKind::kInteger: {
+        const int64_t v = std::stoll(t.text);
+        tokens_.Advance();
+        return Expression::Literal(Value::Int64(v));
+      }
+      case TokenKind::kDecimal: {
+        const double v = std::stod(t.text);
+        tokens_.Advance();
+        return Expression::Literal(Value::Double(v));
+      }
+      case TokenKind::kString: {
+        std::string v = t.text;
+        tokens_.Advance();
+        return Expression::Literal(Value::String(std::move(v)));
+      }
+      case TokenKind::kSymbol:
+        if (t.text == "(") {
+          tokens_.Advance();
+          Expression inner = ParseExpr();
+          ExpectSymbol(")");
+          return inner;
+        }
+        Fail("expected expression");
+      case TokenKind::kIdentifier: {
+        if (Upper(t.text) == "NULL") {
+          tokens_.Advance();
+          return Expression::Literal(Value::Null());
+        }
+        if (Upper(t.text) == "CASE") {
+          return ParseCaseIsNull();
+        }
+        std::string name = t.text;
+        tokens_.Advance();
+        return Expression::Column(std::move(name));
+      }
+      case TokenKind::kEnd:
+        Fail("unexpected end of input");
+    }
+    Fail("expected expression");
+  }
+
+  // CASE WHEN <e> IS NULL THEN <a> ELSE <b> END
+  Expression ParseCaseIsNull() {
+    ExpectKeyword("CASE");
+    ExpectKeyword("WHEN");
+    Expression test = ParseAdditive();
+    ExpectKeyword("IS");
+    ExpectKeyword("NULL");
+    ExpectKeyword("THEN");
+    Expression if_null = ParseExpr();
+    ExpectKeyword("ELSE");
+    Expression if_not_null = ParseExpr();
+    ExpectKeyword("END");
+    return Expression::CaseIsNull(std::move(test), std::move(if_null),
+                                  std::move(if_not_null));
+  }
+
+  Tokenizer tokens_;
+
+ public:
+  Tokenizer& tokens() { return tokens_; }
+};
+
+/// One SELECT item: either a plain expression (a group-by column) or an
+/// aggregate call.
+struct SelectItem {
+  std::optional<rel::AggregateKind> aggregate;  // nullopt => plain column
+  std::optional<Expression> expr;               // aggregate argument or the
+                                                // plain expression
+  std::string alias;                            // may be empty
+};
+
+std::optional<rel::AggregateKind> AggregateKeyword(const std::string& word) {
+  const std::string up = Upper(word);
+  if (up == "COUNT") return rel::AggregateKind::kCount;  // kCountStar if (*)
+  if (up == "SUM") return rel::AggregateKind::kSum;
+  if (up == "MIN") return rel::AggregateKind::kMin;
+  if (up == "MAX") return rel::AggregateKind::kMax;
+  if (up == "AVG") return rel::AggregateKind::kAvg;
+  return std::nullopt;
+}
+
+SelectItem ParseSelectItem(Parser& p) {
+  SelectItem item;
+  const Token& t = p.tokens().current();
+  if (t.kind == TokenKind::kIdentifier) {
+    if (auto agg = AggregateKeyword(t.text)) {
+      // Lookahead: aggregate keyword must be followed by '('.
+      // (An identifier named e.g. "min" used as a column would need
+      // quoting, which this dialect does not support.)
+      p.tokens().Advance();
+      p.ExpectSymbol("(");
+      if (*agg == rel::AggregateKind::kCount && p.ConsumeSymbol("*")) {
+        item.aggregate = rel::AggregateKind::kCountStar;
+      } else {
+        item.aggregate = agg;
+        item.expr = p.ParseExpr();
+      }
+      p.ExpectSymbol(")");
+      if (p.ConsumeKeyword("AS")) {
+        item.alias = p.ExpectIdentifier("alias after AS");
+      }
+      return item;
+    }
+  }
+  item.expr = p.ParseExpr();
+  if (p.ConsumeKeyword("AS")) {
+    item.alias = p.ExpectIdentifier("alias after AS");
+  }
+  return item;
+}
+
+/// Parses `a AND b AND c` as a conjunct list so that foreign-key join
+/// conditions can be separated from filter predicates. Each conjunct is
+/// parsed at full expression precedence; ParseExpr stops before a
+/// top-level AND only because we consume the ANDs here.
+std::vector<Expression> ParseConjunctList(Parser& p) {
+  std::vector<Expression> out;
+  while (true) {
+    out.push_back(p.ParseConjunct());
+    if (!p.ConsumeKeyword("AND")) break;
+  }
+  return out;
+}
+
+/// If `conjunct` is `t1.c1 = t2.c2` matching a declared foreign key of
+/// `fact_table`, returns the corresponding DimensionJoin.
+std::optional<DimensionJoin> AsForeignKeyJoin(const rel::Catalog& catalog,
+                                              const std::string& fact_table,
+                                              const Expression& conjunct) {
+  if (conjunct.kind() != Expression::Kind::kEq) return std::nullopt;
+  const std::vector<std::string> cols = conjunct.ReferencedColumns();
+  if (cols.size() != 2) return std::nullopt;
+  // Both sides must be bare column references: "a.b = c.d".
+  // (Ensured by checking the expression is exactly Eq(Column, Column):
+  // ReferencedColumns()==2 plus a structural check via ToString shape.)
+  const std::string expect =
+      "(" + cols[0] + " = " + cols[1] + ")";
+  if (conjunct.ToString() != expect) return std::nullopt;
+
+  auto split = [](const std::string& qualified)
+      -> std::optional<std::pair<std::string, std::string>> {
+    const size_t dot = qualified.find('.');
+    if (dot == std::string::npos) return std::nullopt;
+    return std::make_pair(qualified.substr(0, dot),
+                          qualified.substr(dot + 1));
+  };
+  auto a = split(cols[0]);
+  auto b = split(cols[1]);
+  if (!a || !b) return std::nullopt;
+  // Orient: fact side first.
+  if (b->first == fact_table) std::swap(a, b);
+  if (a->first != fact_table) return std::nullopt;
+  const rel::ForeignKey* fk = catalog.FindForeignKey(fact_table, a->second);
+  if (fk == nullptr || fk->dim_table != b->first ||
+      fk->dim_column != b->second) {
+    return std::nullopt;
+  }
+  return DimensionJoin{fk->dim_table, fk->fact_column, fk->dim_column};
+}
+
+}  // namespace
+
+rel::Expression ParseExpression(const std::string& text) {
+  Parser p(text);
+  Expression e = p.ParseExpr();
+  if (!p.AtEnd()) p.Fail("trailing input after expression");
+  return e;
+}
+
+ViewDef ParseQuery(const rel::Catalog& catalog, const std::string& sql) {
+  size_t start = 0;
+  while (start < sql.size() &&
+         std::isspace(static_cast<unsigned char>(sql[start]))) {
+    ++start;
+  }
+  const std::string head = Upper(sql.substr(start, 6));
+  if (head == "SELECT") {
+    return ParseViewDef(catalog, "CREATE VIEW query AS " + sql.substr(start));
+  }
+  return ParseViewDef(catalog, sql);
+}
+
+ViewDef ParseViewDef(const rel::Catalog& catalog, const std::string& sql) {
+  Parser p(sql);
+  ViewDef view;
+
+  p.ExpectKeyword("CREATE");
+  p.ExpectKeyword("VIEW");
+  view.name = p.ExpectIdentifier("view name");
+
+  // Optional output column list.
+  std::vector<std::string> output_names;
+  if (p.ConsumeSymbol("(")) {
+    while (true) {
+      output_names.push_back(p.ExpectIdentifier("output column name"));
+      if (!p.ConsumeSymbol(",")) break;
+    }
+    p.ExpectSymbol(")");
+  }
+
+  p.ExpectKeyword("AS");
+  p.ExpectKeyword("SELECT");
+
+  std::vector<SelectItem> items;
+  while (true) {
+    items.push_back(ParseSelectItem(p));
+    if (!p.ConsumeSymbol(",")) break;
+  }
+  if (!output_names.empty() && output_names.size() != items.size()) {
+    throw std::invalid_argument(
+        "view " + view.name + ": output column list has " +
+        std::to_string(output_names.size()) + " names but SELECT has " +
+        std::to_string(items.size()) + " items");
+  }
+
+  p.ExpectKeyword("FROM");
+  view.fact_table = p.ExpectIdentifier("fact table name");
+  std::vector<std::string> from_tables = {view.fact_table};
+  while (p.ConsumeSymbol(",")) {
+    from_tables.push_back(p.ExpectIdentifier("table name"));
+  }
+
+  std::vector<Expression> predicates;
+  if (p.ConsumeKeyword("WHERE")) {
+    for (Expression& conjunct : ParseConjunctList(p)) {
+      if (auto join = AsForeignKeyJoin(catalog, view.fact_table, conjunct)) {
+        bool dup = false;
+        for (const DimensionJoin& j : view.joins) dup |= (j == *join);
+        if (!dup) view.joins.push_back(*join);
+      } else {
+        predicates.push_back(std::move(conjunct));
+      }
+    }
+  }
+  for (Expression& pred : predicates) {
+    view.where = view.where.has_value()
+                     ? Expression::And(std::move(*view.where),
+                                       std::move(pred))
+                     : std::move(pred);
+  }
+
+  p.ExpectKeyword("GROUP");
+  p.ExpectKeyword("BY");
+  std::vector<std::string> group_by;
+  while (true) {
+    group_by.push_back(p.ExpectIdentifier("group-by column"));
+    if (!p.ConsumeSymbol(",")) break;
+  }
+  if (!p.AtEnd()) p.Fail("trailing input after GROUP BY");
+  view.group_by = std::move(group_by);
+
+  // Every FROM table after the first must have been classified as a
+  // foreign-key join.
+  for (size_t i = 1; i < from_tables.size(); ++i) {
+    bool joined = false;
+    for (const DimensionJoin& j : view.joins) {
+      joined |= (j.dim_table == from_tables[i]);
+    }
+    if (!joined) {
+      throw std::invalid_argument(
+          "view " + view.name + ": table " + from_tables[i] +
+          " appears in FROM but no foreign-key join condition with " +
+          view.fact_table + " was found in WHERE");
+    }
+  }
+
+  // Assemble aggregates from the SELECT items; plain items are expected
+  // to be the group-by columns (validated against GROUP BY).
+  size_t plain_count = 0;
+  for (size_t i = 0; i < items.size(); ++i) {
+    SelectItem& item = items[i];
+    if (!item.aggregate.has_value()) {
+      // Plain column: must reference exactly one column that appears in
+      // GROUP BY (by bare name).
+      const std::vector<std::string> cols = item.expr->ReferencedColumns();
+      if (cols.size() != 1) {
+        throw std::invalid_argument(
+            "view " + view.name +
+            ": non-aggregate SELECT item must be a group-by column");
+      }
+      bool in_group = false;
+      for (const std::string& g : view.group_by) {
+        in_group |= (rel::BareName(g) == rel::BareName(cols[0]));
+      }
+      if (!in_group) {
+        throw std::invalid_argument("view " + view.name + ": column " +
+                                    cols[0] +
+                                    " selected but not in GROUP BY");
+      }
+      ++plain_count;
+      continue;
+    }
+    std::string name = item.alias;
+    if (name.empty() && !output_names.empty()) name = output_names[i];
+    if (name.empty()) {
+      throw std::invalid_argument(
+          "view " + view.name +
+          ": aggregate SELECT item needs an alias (AS name) or a view "
+          "column list");
+    }
+    view.aggregates.push_back(
+        rel::AggregateSpec{*item.aggregate, item.expr, std::move(name)});
+  }
+  (void)plain_count;
+
+  ValidateView(catalog, view);
+  return view;
+}
+
+}  // namespace sdelta::core

@@ -1,0 +1,51 @@
+#ifndef SDELTA_CORE_SQL_PARSER_H_
+#define SDELTA_CORE_SQL_PARSER_H_
+
+#include <string>
+
+#include "core/view_def.h"
+#include "relational/catalog.h"
+
+namespace sdelta::core {
+
+/// Parses a summary-table definition written in the paper's SQL dialect
+/// (Figure 1) into a ViewDef:
+///
+///   CREATE VIEW SiC_sales(storeID, category, TotalCount,
+///                         EarliestSale, TotalQuantity) AS
+///   SELECT storeID, category, COUNT(*) AS TotalCount,
+///          MIN(date) AS EarliestSale, SUM(qty) AS TotalQuantity
+///   FROM pos, items
+///   WHERE pos.itemID = items.itemID
+///   GROUP BY storeID, category
+///
+/// Supported:
+///  * aggregate functions COUNT(*), COUNT(e), SUM(e), MIN(e), MAX(e),
+///    AVG(e) with arbitrary arithmetic expressions e;
+///  * output naming via `AS alias` or the parenthesized view column
+///    list (list entries map positionally onto the SELECT items);
+///  * FROM fact[, dim...]: the first table is the fact table; WHERE
+///    equi-join conjuncts matching a declared foreign key become
+///    DimensionJoins, every other conjunct becomes the view predicate;
+///  * string literals in single quotes, integer and decimal literals,
+///    comparisons (=, <>, <, <=, >, >=), AND/OR/NOT, IS [NOT] NULL,
+///    CASE WHEN e IS NULL THEN a ELSE b END;
+///  * keywords are case-insensitive; identifiers are case-sensitive.
+///
+/// The catalog provides table schemas and foreign keys for join
+/// classification. Malformed input throws std::invalid_argument with
+/// the offending position.
+ViewDef ParseViewDef(const rel::Catalog& catalog, const std::string& sql);
+
+/// Parses just a scalar expression in the same dialect (used by tests
+/// and interactive tools).
+rel::Expression ParseExpression(const std::string& text);
+
+/// Parses an ad-hoc aggregate query: either a full CREATE VIEW
+/// statement, or a bare "SELECT ... FROM ... [WHERE ...] GROUP BY ..."
+/// (which is wrapped as an anonymous view named "query").
+ViewDef ParseQuery(const rel::Catalog& catalog, const std::string& sql);
+
+}  // namespace sdelta::core
+
+#endif  // SDELTA_CORE_SQL_PARSER_H_

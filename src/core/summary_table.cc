@@ -1,0 +1,83 @@
+#include "core/summary_table.h"
+
+#include <stdexcept>
+
+namespace sdelta::core {
+
+SummaryTable::SummaryTable(AugmentedView def, const rel::Catalog& catalog)
+    : def_(std::move(def)),
+      schema_(ViewOutputSchema(catalog, def_.physical)),
+      num_group_columns_(def_.physical.group_by.size()) {}
+
+void SummaryTable::MaterializeFrom(const rel::Catalog& catalog) {
+  LoadFrom(EvaluateView(catalog, def_.physical));
+}
+
+void SummaryTable::LoadFrom(const rel::Table& physical_rows) {
+  if (physical_rows.schema().NumColumns() != schema_.NumColumns()) {
+    throw std::invalid_argument("LoadFrom arity mismatch for summary table " +
+                                name());
+  }
+  rows_.clear();
+  index_.clear();
+  rows_.reserve(physical_rows.NumRows());
+  index_.reserve(physical_rows.NumRows());
+  for (const rel::Row& r : physical_rows.rows()) {
+    Insert(r);
+  }
+}
+
+rel::GroupKey SummaryTable::KeyOf(const rel::Row& row) const {
+  return rel::GroupKey(row.begin(), row.begin() + num_group_columns_);
+}
+
+const rel::Row* SummaryTable::Find(const rel::GroupKey& key) const {
+  auto it = index_.find(key);
+  return it == index_.end() ? nullptr : &rows_[it->second];
+}
+
+rel::Row* SummaryTable::FindMutable(const rel::GroupKey& key) {
+  auto it = index_.find(key);
+  return it == index_.end() ? nullptr : &rows_[it->second];
+}
+
+void SummaryTable::Insert(rel::Row row) {
+  if (row.size() != schema_.NumColumns()) {
+    throw std::invalid_argument("row arity mismatch for summary table " +
+                                name());
+  }
+  rel::GroupKey key = KeyOf(row);
+  auto [it, inserted] = index_.emplace(std::move(key), rows_.size());
+  if (!inserted) {
+    throw std::logic_error("duplicate group inserted into summary table " +
+                           name());
+  }
+  rows_.push_back(std::move(row));
+}
+
+bool SummaryTable::Erase(const rel::GroupKey& key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  const size_t pos = it->second;
+  index_.erase(it);
+  const size_t last = rows_.size() - 1;
+  if (pos != last) {
+    rows_[pos] = std::move(rows_[last]);
+    index_[KeyOf(rows_[pos])] = pos;
+  }
+  rows_.pop_back();
+  return true;
+}
+
+rel::Table SummaryTable::ToTable() const {
+  rel::Table out(schema_, name());
+  out.Reserve(rows_.size());
+  for (const rel::Row& r : rows_) out.Insert(r);
+  return out;
+}
+
+rel::Table SummaryTable::ToLogicalTable() const {
+  return LogicalRows(def_, ToTable());
+}
+
+}  // namespace sdelta::core

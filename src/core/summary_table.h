@@ -1,0 +1,76 @@
+#ifndef SDELTA_CORE_SUMMARY_TABLE_H_
+#define SDELTA_CORE_SUMMARY_TABLE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/self_maintenance.h"
+#include "core/view_def.h"
+#include "relational/group_key.h"
+
+namespace sdelta::core {
+
+/// A materialized summary table: the physical rows of an AugmentedView
+/// with a hash index on the group-by columns (the paper's composite
+/// index), so the refresh function's per-tuple lookup is O(1).
+///
+/// Row layout matches ViewOutputSchema(physical): group-by values first,
+/// then one column per physical aggregate.
+class SummaryTable {
+ public:
+  /// Creates an empty summary table for the given definition.
+  SummaryTable(AugmentedView def, const rel::Catalog& catalog);
+
+  SummaryTable(const SummaryTable&) = delete;
+  SummaryTable& operator=(const SummaryTable&) = delete;
+  SummaryTable(SummaryTable&&) = default;
+  SummaryTable& operator=(SummaryTable&&) = default;
+
+  const AugmentedView& def() const { return def_; }
+  const std::string& name() const { return def_.physical.name; }
+  const rel::Schema& schema() const { return schema_; }
+  size_t NumRows() const { return rows_.size(); }
+  size_t num_group_columns() const { return num_group_columns_; }
+  const std::vector<rel::Row>& rows() const { return rows_; }
+
+  /// Discards current contents and evaluates the physical view from the
+  /// catalog's base tables (initial load / rematerialization).
+  void MaterializeFrom(const rel::Catalog& catalog);
+
+  /// Replaces current contents with the given physical relation (must
+  /// have this table's schema arity; keys must be unique).
+  void LoadFrom(const rel::Table& physical_rows);
+
+  /// The group key of a physical row (its first num_group_columns()
+  /// values).
+  rel::GroupKey KeyOf(const rel::Row& row) const;
+
+  /// Keyed access. Pointers are invalidated by any mutation.
+  const rel::Row* Find(const rel::GroupKey& key) const;
+  rel::Row* FindMutable(const rel::GroupKey& key);
+
+  /// Inserts a new group row; the key must not be present (throws
+  /// std::logic_error otherwise — refresh guarantees this).
+  void Insert(rel::Row row);
+
+  /// Removes the group; returns false if absent.
+  bool Erase(const rel::GroupKey& key);
+
+  /// Copies the physical rows out as a plain Table (tests, examples).
+  rel::Table ToTable() const;
+
+  /// The user-visible (logical) rows, with AVG reconstructed.
+  rel::Table ToLogicalTable() const;
+
+ private:
+  AugmentedView def_;
+  rel::Schema schema_;
+  size_t num_group_columns_ = 0;
+  std::vector<rel::Row> rows_;
+  std::unordered_map<rel::GroupKey, size_t, rel::GroupKeyHash> index_;
+};
+
+}  // namespace sdelta::core
+
+#endif  // SDELTA_CORE_SUMMARY_TABLE_H_

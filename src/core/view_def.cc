@@ -1,0 +1,137 @@
+#include "core/view_def.h"
+
+#include <stdexcept>
+
+#include "relational/operators.h"
+
+namespace sdelta::core {
+
+using rel::Table;
+
+std::string ViewDef::ToString() const {
+  std::string s = "CREATE VIEW " + name + " AS SELECT ";
+  for (size_t i = 0; i < group_by.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += group_by[i];
+  }
+  for (const rel::AggregateSpec& a : aggregates) {
+    if (!s.empty() && s.back() != ' ') s += ", ";
+    s += a.ToString();
+  }
+  s += " FROM " + fact_table;
+  for (const DimensionJoin& j : joins) s += ", " + j.dim_table;
+  if (!joins.empty()) {
+    s += " WHERE ";
+    for (size_t i = 0; i < joins.size(); ++i) {
+      if (i > 0) s += " AND ";
+      s += fact_table + "." + joins[i].fact_column + " = " +
+           joins[i].dim_table + "." + joins[i].dim_column;
+    }
+  }
+  if (where.has_value()) {
+    s += joins.empty() ? " WHERE " : " AND ";
+    s += where->ToString();
+  }
+  s += " GROUP BY ";
+  for (size_t i = 0; i < group_by.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += group_by[i];
+  }
+  return s;
+}
+
+rel::Table JoinedRelation(const rel::Catalog& catalog, const ViewDef& view,
+                          const rel::Table& fact_rows) {
+  // Re-plate the fact rows under the fact table's qualified schema.
+  Table current(fact_rows.schema().Qualified(view.fact_table));
+  current.Reserve(fact_rows.NumRows());
+  for (const rel::Row& r : fact_rows.rows()) current.Insert(r);
+
+  for (const DimensionJoin& j : view.joins) {
+    const Table& dim = catalog.GetTable(j.dim_table);
+    current = rel::HashJoin(current, dim,
+                            {{view.fact_table + "." + j.fact_column,
+                              j.dim_column}},
+                            j.dim_table, /*drop_right_keys=*/true);
+  }
+  if (view.where.has_value()) {
+    current = rel::Select(current, *view.where);
+  }
+  return current;
+}
+
+rel::Schema JoinedSchema(const rel::Catalog& catalog, const ViewDef& view) {
+  rel::Schema joined =
+      catalog.GetTable(view.fact_table).schema().Qualified(view.fact_table);
+  for (const DimensionJoin& j : view.joins) {
+    const rel::Schema& dim = catalog.GetTable(j.dim_table).schema();
+    for (const rel::Column& c : dim.columns()) {
+      if (c.name == j.dim_column) continue;  // dropped by the FK join
+      joined.AddColumn(j.dim_table + "." + c.name, c.type);
+    }
+  }
+  return joined;
+}
+
+rel::Schema ViewOutputSchema(const rel::Catalog& catalog,
+                             const ViewDef& view) {
+  const rel::Schema joined = JoinedSchema(catalog, view);
+  rel::Schema out;
+  for (const std::string& g : view.group_by) {
+    const size_t idx = joined.Resolve(g);
+    out.AddColumn(rel::BareName(g), joined.column(idx).type);
+  }
+  for (const rel::AggregateSpec& a : view.aggregates) {
+    rel::ValueType arg_type = rel::ValueType::kInt64;
+    if (a.argument.has_value()) arg_type = a.argument->ResultType(joined);
+    out.AddColumn(a.output_name, rel::AggregateResultType(a.kind, arg_type));
+  }
+  return out;
+}
+
+rel::Table EvaluateView(const rel::Catalog& catalog, const ViewDef& view) {
+  Table joined =
+      JoinedRelation(catalog, view, catalog.GetTable(view.fact_table));
+  Table out = rel::GroupBy(joined, rel::GroupCols(view.group_by),
+                           view.aggregates);
+  // GroupBy names outputs by bare name already; stamp the view name.
+  Table named(out.schema(), view.name);
+  named.Reserve(out.NumRows());
+  for (const rel::Row& r : out.rows()) named.Insert(r);
+  return named;
+}
+
+void ValidateView(const rel::Catalog& catalog, const ViewDef& view) {
+  if (view.name.empty()) {
+    throw std::invalid_argument("view must have a name");
+  }
+  if (!catalog.HasTable(view.fact_table)) {
+    throw std::invalid_argument("view " + view.name +
+                                ": unknown fact table " + view.fact_table);
+  }
+  for (const DimensionJoin& j : view.joins) {
+    if (!catalog.HasTable(j.dim_table)) {
+      throw std::invalid_argument("view " + view.name +
+                                  ": unknown dimension table " + j.dim_table);
+    }
+    const rel::ForeignKey* fk =
+        catalog.FindForeignKey(view.fact_table, j.fact_column);
+    if (fk == nullptr || fk->dim_table != j.dim_table ||
+        fk->dim_column != j.dim_column) {
+      throw std::invalid_argument(
+          "view " + view.name + ": join " + view.fact_table + "." +
+          j.fact_column + " = " + j.dim_table + "." + j.dim_column +
+          " is not a declared foreign key");
+    }
+  }
+  if (view.group_by.empty() && view.aggregates.empty()) {
+    throw std::invalid_argument("view " + view.name + " selects nothing");
+  }
+  // Resolving the output schema exercises every name in the definition.
+  (void)ViewOutputSchema(catalog, view);
+  if (view.where.has_value()) {
+    (void)view.where->Bind(JoinedSchema(catalog, view));
+  }
+}
+
+}  // namespace sdelta::core

@@ -1,0 +1,82 @@
+#ifndef SDELTA_CORE_VIEW_DEF_H_
+#define SDELTA_CORE_VIEW_DEF_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "relational/aggregate.h"
+#include "relational/catalog.h"
+#include "relational/expression.h"
+#include "relational/table.h"
+
+namespace sdelta::core {
+
+/// One foreign-key join between the fact table and a dimension table, as
+/// in "FROM pos, stores WHERE pos.storeID = stores.storeID".
+struct DimensionJoin {
+  std::string dim_table;    ///< e.g. "stores"
+  std::string fact_column;  ///< FK column in the fact table, e.g. "storeID"
+  std::string dim_column;   ///< key column in the dimension table
+
+  friend bool operator==(const DimensionJoin& a, const DimensionJoin& b) {
+    return a.dim_table == b.dim_table && a.fact_column == b.fact_column &&
+           a.dim_column == b.dim_column;
+  }
+};
+
+/// A *generalized cube view* (paper §3.2): a single
+/// SELECT-FROM-WHERE-GROUPBY block over the fact table, optionally joined
+/// with dimension tables along foreign keys.
+///
+/// Column names inside `where`, `group_by` and aggregate arguments are
+/// resolved against the joined relation, whose columns are the fact
+/// table's columns qualified by its name ("pos.storeID", ...) plus each
+/// dimension's non-key columns qualified by the dimension name
+/// ("stores.city", ...). Unambiguous bare names ("date", "city") resolve
+/// automatically.
+struct ViewDef {
+  std::string name;
+  std::string fact_table;
+  std::vector<DimensionJoin> joins;
+  /// Optional selection over the joined relation. The paper does not
+  /// consider views with *differing* WHERE clauses in one lattice; we
+  /// allow a predicate per view but the lattice layer only relates views
+  /// with syntactically equal predicates.
+  std::optional<rel::Expression> where;
+  /// Group-by attributes; output columns take the bare names.
+  std::vector<std::string> group_by;
+  std::vector<rel::AggregateSpec> aggregates;
+
+  std::string ToString() const;
+};
+
+/// Builds the joined + filtered relation of `view`, substituting
+/// `fact_rows` for the fact table (callers pass the real fact table, a
+/// change table, or a delta). Dimension tables come from the catalog.
+/// Dimension key columns are dropped from the output (they duplicate the
+/// fact FK columns).
+rel::Table JoinedRelation(const rel::Catalog& catalog, const ViewDef& view,
+                          const rel::Table& fact_rows);
+
+/// Schema of the joined relation (fact columns qualified by the fact
+/// table name, then each dimension's non-key columns qualified by the
+/// dimension name). Expressions in the view are resolved against this.
+rel::Schema JoinedSchema(const rel::Catalog& catalog, const ViewDef& view);
+
+/// Output schema of the view: group-by columns (bare names) followed by
+/// aggregate outputs.
+rel::Schema ViewOutputSchema(const rel::Catalog& catalog, const ViewDef& view);
+
+/// Evaluates the view from scratch — the rematerialization primitive and
+/// the oracle against which incremental maintenance is tested.
+rel::Table EvaluateView(const rel::Catalog& catalog, const ViewDef& view);
+
+/// Validates the definition against the catalog (tables exist, joins are
+/// declared foreign keys, names resolve). Throws std::invalid_argument
+/// describing the first problem found.
+void ValidateView(const rel::Catalog& catalog, const ViewDef& view);
+
+}  // namespace sdelta::core
+
+#endif  // SDELTA_CORE_VIEW_DEF_H_

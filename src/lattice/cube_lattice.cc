@@ -1,0 +1,194 @@
+#include "lattice/cube_lattice.h"
+
+#include <algorithm>
+#include <set>
+
+namespace sdelta::lattice {
+
+namespace {
+
+std::set<std::string> AsSet(const std::vector<std::string>& attrs) {
+  return std::set<std::string>(attrs.begin(), attrs.end());
+}
+
+}  // namespace
+
+std::optional<size_t> AttributeLattice::Find(
+    const std::vector<std::string>& attrs) const {
+  const std::set<std::string> want = AsSet(attrs);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (AsSet(nodes[i]) == want) return i;
+  }
+  return std::nullopt;
+}
+
+bool AttributeLattice::HasEdge(size_t from, size_t to) const {
+  for (const auto& [f, t] : edges) {
+    if (f == from && t == to) return true;
+  }
+  return false;
+}
+
+std::string AttributeLattice::ToString() const {
+  auto node_name = [&](size_t i) {
+    std::string s = "(";
+    for (size_t k = 0; k < nodes[i].size(); ++k) {
+      if (k > 0) s += ", ";
+      s += nodes[i][k];
+    }
+    return s + ")";
+  };
+  std::string s;
+  for (const auto& [f, t] : edges) {
+    s += node_name(f) + " -> " + node_name(t) + "\n";
+  }
+  return s;
+}
+
+AttributeLattice BuildCubeLattice(
+    const std::vector<std::string>& dimensions) {
+  AttributeLattice lattice;
+  const size_t k = dimensions.size();
+  const size_t n = size_t{1} << k;
+  // Subset with bit i set contains dimensions[i]; order subsets by
+  // descending popcount so the top is node 0.
+  std::vector<size_t> masks(n);
+  for (size_t m = 0; m < n; ++m) masks[m] = m;
+  std::sort(masks.begin(), masks.end(), [](size_t a, size_t b) {
+    const int pa = __builtin_popcountll(a);
+    const int pb = __builtin_popcountll(b);
+    if (pa != pb) return pa > pb;
+    return a < b;
+  });
+  std::vector<size_t> index_of_mask(n);
+  for (size_t i = 0; i < n; ++i) {
+    index_of_mask[masks[i]] = i;
+    std::vector<std::string> attrs;
+    for (size_t b = 0; b < k; ++b) {
+      if (masks[i] & (size_t{1} << b)) attrs.push_back(dimensions[b]);
+    }
+    lattice.nodes.push_back(std::move(attrs));
+  }
+  // Edge: drop exactly one attribute.
+  for (size_t m = 0; m < n; ++m) {
+    for (size_t b = 0; b < k; ++b) {
+      if (m & (size_t{1} << b)) {
+        lattice.edges.emplace_back(index_of_mask[m],
+                                   index_of_mask[m & ~(size_t{1} << b)]);
+      }
+    }
+  }
+  return lattice;
+}
+
+AttributeLattice CombineHierarchies(
+    const std::vector<DimensionHierarchy>& dimensions) {
+  AttributeLattice lattice;
+  const size_t k = dimensions.size();
+  // Per-dimension level choice: 0..levels.size()-1 picks that level;
+  // levels.size() means the dimension is dropped.
+  std::vector<size_t> radix(k);
+  size_t total = 1;
+  for (size_t d = 0; d < k; ++d) {
+    radix[d] = dimensions[d].levels.size() + 1;
+    total *= radix[d];
+  }
+
+  std::vector<std::vector<size_t>> choices;  // mixed-radix digits
+  choices.reserve(total);
+  std::vector<size_t> cur(k, 0);
+  for (size_t i = 0; i < total; ++i) {
+    choices.push_back(cur);
+    for (size_t d = 0; d < k; ++d) {
+      if (++cur[d] < radix[d]) break;
+      cur[d] = 0;
+    }
+  }
+  // Order nodes by ascending total coarseness (sum of digits) so the
+  // finest node comes first.
+  std::sort(choices.begin(), choices.end(),
+            [](const std::vector<size_t>& a, const std::vector<size_t>& b) {
+              size_t sa = 0;
+              size_t sb = 0;
+              for (size_t x : a) sa += x;
+              for (size_t x : b) sb += x;
+              if (sa != sb) return sa < sb;
+              return a < b;
+            });
+
+  auto attrs_of = [&](const std::vector<size_t>& choice) {
+    std::vector<std::string> attrs;
+    for (size_t d = 0; d < k; ++d) {
+      if (choice[d] < dimensions[d].levels.size()) {
+        attrs.push_back(dimensions[d].levels[choice[d]]);
+      }
+    }
+    return attrs;
+  };
+
+  for (const std::vector<size_t>& c : choices) {
+    lattice.nodes.push_back(attrs_of(c));
+  }
+  // Edge: coarsen exactly one dimension by one step.
+  for (size_t i = 0; i < choices.size(); ++i) {
+    for (size_t d = 0; d < k; ++d) {
+      if (choices[i][d] + 1 >= radix[d]) continue;
+      std::vector<size_t> next = choices[i];
+      ++next[d];
+      for (size_t j = 0; j < choices.size(); ++j) {
+        if (choices[j] == next) {
+          lattice.edges.emplace_back(i, j);
+          break;
+        }
+      }
+    }
+  }
+  return lattice;
+}
+
+AttributeLattice RemoveNodes(const AttributeLattice& lattice,
+                             const std::vector<size_t>& removed) {
+  std::vector<bool> gone(lattice.nodes.size(), false);
+  for (size_t r : removed) gone[r] = true;
+
+  // Re-route edges through removed nodes transitively.
+  // adjacency on the original node ids:
+  std::vector<std::pair<size_t, size_t>> edges = lattice.edges;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<std::pair<size_t, size_t>> next;
+    for (const auto& [f, t] : edges) {
+      if (!gone[t]) {
+        next.emplace_back(f, t);
+        continue;
+      }
+      // splice f -> (t) -> t2 for every outgoing edge of t
+      for (const auto& [f2, t2] : edges) {
+        if (f2 == t) {
+          next.emplace_back(f, t2);
+          changed = true;
+        }
+      }
+    }
+    edges = std::move(next);
+  }
+
+  AttributeLattice out;
+  std::vector<size_t> remap(lattice.nodes.size());
+  for (size_t i = 0; i < lattice.nodes.size(); ++i) {
+    if (!gone[i]) {
+      remap[i] = out.nodes.size();
+      out.nodes.push_back(lattice.nodes[i]);
+    }
+  }
+  std::set<std::pair<size_t, size_t>> dedup;
+  for (const auto& [f, t] : edges) {
+    if (gone[f] || gone[t]) continue;
+    dedup.emplace(remap[f], remap[t]);
+  }
+  out.edges.assign(dedup.begin(), dedup.end());
+  return out;
+}
+
+}  // namespace sdelta::lattice

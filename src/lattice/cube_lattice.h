@@ -1,0 +1,51 @@
+#ifndef SDELTA_LATTICE_CUBE_LATTICE_H_
+#define SDELTA_LATTICE_CUBE_LATTICE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sdelta::lattice {
+
+/// A lattice over sets of group-by attributes — the structural view of a
+/// data cube (paper §3.2/§3.3, Figures 4 and 5). Nodes are attribute
+/// lists; an edge runs from the finer node to the coarser node it
+/// immediately derives.
+struct AttributeLattice {
+  std::vector<std::vector<std::string>> nodes;
+  /// (from, to): node `to` is answerable from node `from`.
+  std::vector<std::pair<size_t, size_t>> edges;
+
+  /// Index of the node with exactly these attributes (order-insensitive).
+  std::optional<size_t> Find(const std::vector<std::string>& attrs) const;
+  bool HasEdge(size_t from, size_t to) const;
+  std::string ToString() const;
+};
+
+/// The 2^k cube lattice over `dimensions` (Figure 4): one node per
+/// subset, edges dropping exactly one attribute.
+AttributeLattice BuildCubeLattice(const std::vector<std::string>& dimensions);
+
+/// One dimension's attribute hierarchy, finest first
+/// (e.g. {storeID, city, region}); grouping on level i+1 is coarser than
+/// on level i, and dropping the dimension entirely is the coarsest.
+struct DimensionHierarchy {
+  std::string name;  ///< diagnostic label, e.g. "store"
+  std::vector<std::string> levels;
+};
+
+/// The direct product of the per-dimension hierarchy lattices
+/// (paper §3.3, [HRU96]), producing Figure 5 for the retail schema: each
+/// node picks one level (or none) per dimension; each edge coarsens
+/// exactly one dimension by one step (or drops its last level).
+AttributeLattice CombineHierarchies(
+    const std::vector<DimensionHierarchy>& dimensions);
+
+/// Removes the given nodes, reconnecting each removed node's parents to
+/// its children (paper §3.4: partially-materialized lattices).
+AttributeLattice RemoveNodes(const AttributeLattice& lattice,
+                             const std::vector<size_t>& removed);
+
+}  // namespace sdelta::lattice
+
+#endif  // SDELTA_LATTICE_CUBE_LATTICE_H_

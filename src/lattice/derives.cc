@@ -1,0 +1,217 @@
+#include "lattice/derives.h"
+
+#include <map>
+#include <stdexcept>
+
+#include "core/view_def.h"
+#include "relational/operators.h"
+
+namespace sdelta::lattice {
+
+using core::AugmentedView;
+using core::DerivationRecipe;
+using core::DimensionJoin;
+using core::ViewDef;
+using rel::Expression;
+
+namespace {
+
+/// Canonical provenance of a name in a view: the fully qualified column
+/// name in the view's joined schema ("pos.date", "stores.city").
+std::string Provenance(const rel::Schema& joined_schema,
+                       const std::string& name) {
+  return joined_schema.column(joined_schema.Resolve(name)).name;
+}
+
+/// One attribute obtainable over the parent's output (possibly after
+/// joining a dimension table back in).
+struct AvailableAttr {
+  std::string parent_ref;  ///< name resolvable over parent output (+joins)
+  std::optional<DimensionJoin> requires_join;
+};
+
+/// Maps provenance ("pos.date" / "stores.city") to how the attribute is
+/// obtained over the parent.
+using AvailabilityMap = std::map<std::string, AvailableAttr>;
+
+AvailabilityMap ComputeAvailability(const rel::Catalog& catalog,
+                                    const AugmentedView& parent) {
+  AvailabilityMap avail;
+  const ViewDef& pdef = parent.physical;
+  const rel::Schema parent_joined = JoinedSchema(catalog, pdef);
+  const std::string fact_prefix = pdef.fact_table + ".";
+
+  for (const std::string& g : pdef.group_by) {
+    const std::string prov = Provenance(parent_joined, g);
+    const std::string bare = rel::BareName(g);
+    avail.emplace(prov, AvailableAttr{bare, std::nullopt});
+
+    // A fact-table group-by that is a foreign key opens up the referenced
+    // dimension's attributes via a join on the parent's output column.
+    if (prov.rfind(fact_prefix, 0) == 0) {
+      const std::string fact_col = prov.substr(fact_prefix.size());
+      const rel::ForeignKey* fk =
+          catalog.FindForeignKey(pdef.fact_table, fact_col);
+      if (fk == nullptr) continue;
+      const rel::Schema& dim = catalog.GetTable(fk->dim_table).schema();
+      DimensionJoin join{fk->dim_table, bare, fk->dim_column};
+      for (const rel::Column& c : dim.columns()) {
+        if (c.name == fk->dim_column) continue;
+        avail.emplace(fk->dim_table + "." + c.name,
+                      AvailableAttr{fk->dim_table + "." + c.name, join});
+      }
+    }
+  }
+  return avail;
+}
+
+/// Looks up the provenance; adds the needed join to the recipe.
+std::optional<std::string> ResolveOverParent(const AvailabilityMap& avail,
+                                             const std::string& provenance,
+                                             DerivationRecipe* recipe) {
+  auto it = avail.find(provenance);
+  if (it == avail.end()) return std::nullopt;
+  if (it->second.requires_join.has_value()) {
+    bool present = false;
+    for (const DimensionJoin& j : recipe->joins) {
+      present |= (j == *it->second.requires_join);
+    }
+    if (!present) recipe->joins.push_back(*it->second.requires_join);
+  }
+  return it->second.parent_ref;
+}
+
+/// Re-targets a child expression at the parent's output columns; returns
+/// nullopt if some referenced attribute is unavailable.
+std::optional<Expression> RewriteOverParent(
+    const rel::Schema& child_joined, const AvailabilityMap& avail,
+    const Expression& expr, DerivationRecipe* recipe) {
+  bool ok = true;
+  Expression rewritten = expr.RenameColumns([&](const std::string& name) {
+    const std::string prov = Provenance(child_joined, name);
+    std::optional<std::string> ref = ResolveOverParent(avail, prov, recipe);
+    if (!ref.has_value()) {
+      ok = false;
+      return name;
+    }
+    return *ref;
+  });
+  if (!ok) return std::nullopt;
+  return rewritten;
+}
+
+bool SamePredicate(const ViewDef& a, const ViewDef& b) {
+  if (a.where.has_value() != b.where.has_value()) return false;
+  if (!a.where.has_value()) return true;
+  return *a.where == *b.where;
+}
+
+/// Rewrites every column reference to its fully qualified provenance so
+/// that arguments written as "qty" and "pos.qty" compare equal across
+/// views.
+Expression CanonicalArg(const rel::Schema& joined, const Expression& e) {
+  return e.RenameColumns(
+      [&](const std::string& name) { return Provenance(joined, name); });
+}
+
+/// Finds a parent physical aggregate with identical kind and
+/// provenance-equal argument.
+const rel::AggregateSpec* FindMatching(const rel::Schema& parent_joined,
+                                       const ViewDef& parent,
+                                       const rel::Schema& child_joined,
+                                       const rel::AggregateSpec& agg) {
+  for (const rel::AggregateSpec& p : parent.aggregates) {
+    if (p.kind != agg.kind) continue;
+    if (!p.argument.has_value() && !agg.argument.has_value()) return &p;
+    if (p.argument.has_value() && agg.argument.has_value() &&
+        CanonicalArg(parent_joined, *p.argument) ==
+            CanonicalArg(child_joined, *agg.argument)) {
+      return &p;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::optional<DerivationRecipe> ComputeDerivation(
+    const rel::Catalog& catalog, const AugmentedView& child,
+    const AugmentedView& parent) {
+  const ViewDef& cdef = child.physical;
+  const ViewDef& pdef = parent.physical;
+  if (&child == &parent || cdef.name == pdef.name) return std::nullopt;
+  if (cdef.fact_table != pdef.fact_table) return std::nullopt;
+  if (!SamePredicate(cdef, pdef)) return std::nullopt;
+
+  DerivationRecipe recipe;
+  recipe.child_name = cdef.name;
+  recipe.parent_name = pdef.name;
+
+  const AvailabilityMap avail = ComputeAvailability(catalog, parent);
+  const rel::Schema child_joined = JoinedSchema(catalog, cdef);
+  const rel::Schema parent_joined = JoinedSchema(catalog, pdef);
+
+  // Condition 1: child group-by attributes.
+  for (const std::string& g : cdef.group_by) {
+    const std::string prov = Provenance(child_joined, g);
+    std::optional<std::string> ref = ResolveOverParent(avail, prov, &recipe);
+    if (!ref.has_value()) return std::nullopt;
+    recipe.group_by.push_back(rel::GroupByColumn{*ref, rel::BareName(g)});
+  }
+
+  // Condition 2: child aggregates.
+  const std::string y = parent.count_star_column;  // parent COUNT(*)
+  for (const rel::AggregateSpec& a : cdef.aggregates) {
+    if (const rel::AggregateSpec* p =
+            FindMatching(parent_joined, pdef, child_joined, a)) {
+      Expression col = Expression::Column(p->output_name);
+      switch (a.kind) {
+        case rel::AggregateKind::kCountStar:
+        case rel::AggregateKind::kCount:
+        case rel::AggregateKind::kSum:
+          recipe.aggregates.push_back(rel::Sum(col, a.output_name));
+          break;
+        case rel::AggregateKind::kMin:
+          recipe.aggregates.push_back(rel::Min(col, a.output_name));
+          break;
+        case rel::AggregateKind::kMax:
+          recipe.aggregates.push_back(rel::Max(col, a.output_name));
+          break;
+        case rel::AggregateKind::kAvg:
+          return std::nullopt;  // physical views never carry AVG
+      }
+      continue;
+    }
+    // Not computed by the parent: E must be rewritable over the parent's
+    // group-by attributes (and reachable dimension attributes).
+    if (!a.argument.has_value()) return std::nullopt;  // COUNT(*) always
+                                                       // matches above
+    std::optional<Expression> e =
+        RewriteOverParent(child_joined, avail, *a.argument, &recipe);
+    if (!e.has_value()) return std::nullopt;
+    switch (a.kind) {
+      case rel::AggregateKind::kSum:
+        recipe.aggregates.push_back(rel::Sum(
+            Expression::Multiply(*e, Expression::Column(y)), a.output_name));
+        break;
+      case rel::AggregateKind::kCount:
+        recipe.aggregates.push_back(rel::Sum(
+            Expression::CaseIsNull(*e,
+                                   Expression::Literal(rel::Value::Int64(0)),
+                                   Expression::Column(y)),
+            a.output_name));
+        break;
+      case rel::AggregateKind::kMin:
+        recipe.aggregates.push_back(rel::Min(*e, a.output_name));
+        break;
+      case rel::AggregateKind::kMax:
+        recipe.aggregates.push_back(rel::Max(*e, a.output_name));
+        break;
+      default:
+        return std::nullopt;
+    }
+  }
+  return recipe;
+}
+
+}  // namespace sdelta::lattice

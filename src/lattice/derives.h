@@ -1,0 +1,44 @@
+#ifndef SDELTA_LATTICE_DERIVES_H_
+#define SDELTA_LATTICE_DERIVES_H_
+
+#include <optional>
+
+#include "core/propagate.h"
+#include "core/self_maintenance.h"
+
+namespace sdelta::lattice {
+
+/// Decides the *derives* relation child ≼ parent of paper §5.1 and, when
+/// it holds, constructs the edge query as a DerivationRecipe.
+///
+/// child ≼ parent holds iff child can be written as a single-block
+/// SELECT-FROM-GROUPBY over parent, possibly joined with dimension
+/// tables along foreign keys:
+///  1. both views range over the same fact table with syntactically
+///     equal predicates;
+///  2. every group-by attribute of child is a group-by attribute of
+///     parent, or an attribute of a dimension table whose foreign key is
+///     a group-by attribute of parent;
+///  3. every aggregate a(E) of child either appears in parent, or E is
+///     an expression over parent group-by attributes / attributes of
+///     dimension tables reachable as in (2).
+///
+/// Aggregate rewriting (§5.1): COUNT(*) -> SUM of parent's COUNT(*);
+/// matching aggregates a(E) -> SUM/MIN/MAX of parent's column; for E
+/// over parent group-bys, SUM(E) -> SUM(E' * Y), COUNT(E) ->
+/// SUM(CASE WHEN E' IS NULL THEN 0 ELSE Y END), MIN/MAX(E) ->
+/// MIN/MAX(E'), where Y is parent's COUNT(*) column and E' is E
+/// re-targeted at the parent's output columns.
+///
+/// By Theorem 5.1 the returned recipe computes both the child *view*
+/// from the parent view (V-lattice edge) and the child *summary-delta*
+/// from the parent summary-delta (D-lattice edge).
+///
+/// Returns nullopt when child does not derive from parent.
+std::optional<core::DerivationRecipe> ComputeDerivation(
+    const rel::Catalog& catalog, const core::AugmentedView& child,
+    const core::AugmentedView& parent);
+
+}  // namespace sdelta::lattice
+
+#endif  // SDELTA_LATTICE_DERIVES_H_

@@ -1,0 +1,43 @@
+#include "lattice/hierarchy.h"
+
+namespace sdelta::lattice {
+
+DimensionHierarchy HierarchyOf(const rel::Catalog& catalog,
+                               const rel::ForeignKey& fk) {
+  DimensionHierarchy h;
+  h.name = fk.dim_table;
+  // The fact-side attribute is the finest level; it is interchangeable
+  // with the dimension key (the join is 1:1), and the paper's lattices
+  // label the level with the fact column name (storeID, itemID).
+  h.levels.push_back(fk.fact_column);
+  std::string current = fk.dim_column;
+  while (true) {
+    const rel::FunctionalDependency* step = nullptr;
+    for (const rel::FunctionalDependency* fd :
+         catalog.DependenciesOf(fk.dim_table)) {
+      if (fd->determinant == current) {
+        step = fd;
+        break;
+      }
+    }
+    if (step == nullptr) break;
+    h.levels.push_back(step->dependent);
+    current = step->dependent;
+  }
+  return h;
+}
+
+std::vector<DimensionHierarchy> FactHierarchies(
+    const rel::Catalog& catalog, const std::string& fact_table,
+    const std::vector<std::string>& plain_attributes) {
+  std::vector<DimensionHierarchy> out;
+  for (const rel::ForeignKey* fk : catalog.ForeignKeysOf(fact_table)) {
+    out.push_back(HierarchyOf(catalog, *fk));
+  }
+  for (const std::string& a : plain_attributes) {
+    out.push_back(DimensionHierarchy{a, {a}});
+  }
+  return out;
+}
+
+}  // namespace sdelta::lattice

@@ -1,0 +1,31 @@
+#ifndef SDELTA_LATTICE_HIERARCHY_H_
+#define SDELTA_LATTICE_HIERARCHY_H_
+
+#include <string>
+#include <vector>
+
+#include "lattice/cube_lattice.h"
+#include "relational/catalog.h"
+
+namespace sdelta::lattice {
+
+/// Derives the attribute hierarchy of the dimension referenced by `fk`
+/// from the catalog's functional dependencies: the chain starts at the
+/// dimension key and follows FDs (storeID -> city -> region). Branching
+/// FDs (one determinant with several dependents) produce the chain in
+/// declaration order — true chains, as in the paper, are the intended
+/// use.
+DimensionHierarchy HierarchyOf(const rel::Catalog& catalog,
+                               const rel::ForeignKey& fk);
+
+/// All hierarchies of a fact table: one per declared foreign key, plus a
+/// single-level hierarchy for each listed plain fact attribute (e.g.
+/// "date"). Feed the result to CombineHierarchies to obtain the paper's
+/// Figure 5 lattice.
+std::vector<DimensionHierarchy> FactHierarchies(
+    const rel::Catalog& catalog, const std::string& fact_table,
+    const std::vector<std::string>& plain_attributes);
+
+}  // namespace sdelta::lattice
+
+#endif  // SDELTA_LATTICE_HIERARCHY_H_

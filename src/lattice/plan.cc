@@ -1,0 +1,201 @@
+#include "lattice/plan.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "core/view_def.h"
+#include "relational/group_key.h"
+#include "relational/operators.h"
+
+namespace sdelta::lattice {
+
+std::string MaintenancePlan::ToString(const VLattice& lattice) const {
+  std::string s;
+  for (const PlanStep& step : steps) {
+    s += lattice.views[step.view].name();
+    if (step.edge.has_value()) {
+      s += " <- sd_" + lattice.views[lattice.edges[*step.edge].parent].name();
+      const auto& joins = lattice.edges[*step.edge].recipe.joins;
+      if (!joins.empty()) {
+        s += " [join:";
+        for (const core::DimensionJoin& j : joins) s += " " + j.dim_table;
+        s += "]";
+      }
+    } else {
+      s += " <- base changes";
+    }
+    s += "\n";
+  }
+  return s;
+}
+
+namespace {
+
+/// Whether group-by attribute `target` (provenance "table.attr") is
+/// functionally determined by another group-by attribute, and therefore
+/// contributes no additional groups (e.g. region alongside city).
+bool DeterminedByOther(const rel::Catalog& catalog,
+                       const std::vector<std::string>& provenances,
+                       const std::string& target,
+                       const std::string& fact_table) {
+  const size_t dot = target.find('.');
+  const std::string target_table = target.substr(0, dot);
+  const std::string target_attr = target.substr(dot + 1);
+  const std::string fact_prefix = fact_table + ".";
+
+  for (const std::string& other : provenances) {
+    if (other == target) continue;
+    const size_t odot = other.find('.');
+    const std::string other_table = other.substr(0, odot);
+    const std::string other_attr = other.substr(odot + 1);
+    if (other_table == target_table) {
+      for (const std::string& dep :
+           catalog.FdClosure(other_table, other_attr)) {
+        if (dep == target_attr) return true;
+      }
+    }
+    // A fact FK column determines every attribute of its dimension.
+    if (other.rfind(fact_prefix, 0) == 0) {
+      const rel::ForeignKey* fk =
+          catalog.FindForeignKey(fact_table, other_attr);
+      if (fk != nullptr && fk->dim_table == target_table) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+double EstimateGroupCount(const rel::Catalog& catalog,
+                          const core::AugmentedView& view) {
+  const core::ViewDef& def = view.physical;
+  const rel::Schema joined = core::JoinedSchema(catalog, def);
+  std::vector<std::string> provenances;
+  for (const std::string& g : def.group_by) {
+    provenances.push_back(joined.column(joined.Resolve(g)).name);
+  }
+  double product = 1.0;
+  for (const std::string& qualified : provenances) {
+    if (DeterminedByOther(catalog, provenances, qualified, def.fact_table)) {
+      continue;
+    }
+    const size_t dot = qualified.find('.');
+    const std::string table = qualified.substr(0, dot);
+    const std::string column = qualified.substr(dot + 1);
+    const rel::Table& t = catalog.GetTable(table);
+    const size_t idx = t.schema().Resolve(column);
+    std::unordered_set<rel::GroupKey, rel::GroupKeyHash> distinct;
+    for (const rel::Row& r : t.rows()) {
+      distinct.insert(rel::GroupKey{r[idx]});
+    }
+    product *= static_cast<double>(std::max<size_t>(distinct.size(), 1));
+  }
+  return product;
+}
+
+MaintenancePlan ChoosePlan(const rel::Catalog& catalog,
+                           const VLattice& lattice,
+                           const PlanOptions& options) {
+  MaintenancePlan plan;
+  const size_t n = lattice.views.size();
+
+  if (!options.use_lattice) {
+    for (size_t i = 0; i < n; ++i) {
+      plan.steps.push_back(PlanStep{i, std::nullopt});
+    }
+    return plan;
+  }
+
+  // Rank views from finest (largest estimated group count) to coarsest;
+  // ties broken by name for determinism. A view may only derive from a
+  // strictly earlier-ranked view, which rules out cycles between
+  // mutually derivable views.
+  std::vector<double> estimate(n);
+  for (size_t i = 0; i < n; ++i) {
+    estimate[i] = EstimateGroupCount(catalog, lattice.views[i]);
+  }
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (estimate[a] != estimate[b]) return estimate[a] > estimate[b];
+    return lattice.views[a].name() < lattice.views[b].name();
+  });
+  std::vector<size_t> rank(n);
+  for (size_t r = 0; r < n; ++r) rank[order[r]] = r;
+
+  for (size_t r = 0; r < n; ++r) {
+    const size_t v = order[r];
+    // Cheapest admissible parent. The edge cost is the parent's
+    // estimated summary-delta cardinality scaled by the dimension joins
+    // the edge performs ([AAD+96]-style, extended with the join
+    // annotation as §5.5 prescribes).
+    auto edge_cost = [&](const VLatticeEdge& edge) {
+      return estimate[edge.parent] *
+             static_cast<double>(1 + edge.recipe.joins.size());
+    };
+    std::optional<size_t> best_edge;
+    for (size_t e = 0; e < lattice.edges.size(); ++e) {
+      const VLatticeEdge& edge = lattice.edges[e];
+      if (edge.child != v) continue;
+      if (rank[edge.parent] >= r) continue;  // admissibility
+      if (!best_edge.has_value() ||
+          edge_cost(edge) < edge_cost(lattice.edges[*best_edge])) {
+        best_edge = e;
+      }
+    }
+    plan.steps.push_back(PlanStep{v, best_edge});
+  }
+  return plan;
+}
+
+LatticePropagateResult PropagateAll(const rel::Catalog& catalog,
+                                    const VLattice& lattice,
+                                    const MaintenancePlan& plan,
+                                    const core::ChangeSet& changes,
+                                    const core::PropagateOptions& opts) {
+  LatticePropagateResult result;
+  result.deltas.resize(lattice.views.size());
+  std::vector<bool> computed(lattice.views.size(), false);
+
+  // A lattice edge is usable for this change set only if none of the
+  // dimension tables the edge re-joins have changed: the parent's
+  // summary-delta is computed against pre-change dimensions and would
+  // miss the moved rows. (Dimensions changed but fully *represented* by
+  // the parent — the parent view joins them — flow through correctly.)
+  auto edge_usable = [&](const VLatticeEdge& edge) {
+    for (const core::DimensionJoin& j : edge.recipe.joins) {
+      auto it = changes.dimensions.find(j.dim_table);
+      if (it != changes.dimensions.end() && !it->second.empty()) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  for (const PlanStep& step : plan.steps) {
+    core::PropagateStats stats;
+    if (step.edge.has_value() && edge_usable(lattice.edges[*step.edge])) {
+      const VLatticeEdge& edge = lattice.edges[*step.edge];
+      if (!computed[edge.parent]) {
+        throw std::logic_error("maintenance plan is not topologically "
+                               "ordered: parent of " +
+                               lattice.views[step.view].name() +
+                               " not yet computed");
+      }
+      result.deltas[step.view] = core::ApplyDerivation(
+          catalog, edge.recipe, result.deltas[edge.parent]);
+      stats.prepared_tuples = result.deltas[edge.parent].NumRows();
+      stats.delta_groups = result.deltas[step.view].NumRows();
+    } else {
+      result.deltas[step.view] = core::ComputeSummaryDelta(
+          catalog, lattice.views[step.view], changes, opts, &stats);
+    }
+    computed[step.view] = true;
+    result.totals.prepared_tuples += stats.prepared_tuples;
+    result.totals.delta_groups += stats.delta_groups;
+  }
+  return result;
+}
+
+}  // namespace sdelta::lattice

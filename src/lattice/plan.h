@@ -1,0 +1,67 @@
+#ifndef SDELTA_LATTICE_PLAN_H_
+#define SDELTA_LATTICE_PLAN_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/delta.h"
+#include "core/propagate.h"
+#include "lattice/vlattice.h"
+
+namespace sdelta::lattice {
+
+/// One step of a maintenance plan: compute view `view`'s summary-delta
+/// either from the base change set (no edge) or from the parent's
+/// summary-delta along `edge` (an index into VLattice::edges).
+struct PlanStep {
+  size_t view = 0;
+  std::optional<size_t> edge;
+};
+
+/// A topologically ordered propagation plan for every view in a lattice
+/// (paper §5.5 — the simplified [AAD+96]-style chooser: each view is
+/// derived from its cheapest admissible ancestor, where cost is the
+/// estimated summary-delta cardinality of the ancestor plus the edge's
+/// dimension-join cost).
+struct MaintenancePlan {
+  std::vector<PlanStep> steps;
+  std::string ToString(const VLattice& lattice) const;
+};
+
+struct PlanOptions {
+  /// false reproduces the paper's "Propagate (w/o lattice)" baseline:
+  /// every summary-delta is computed directly from the base changes.
+  bool use_lattice = true;
+};
+
+/// Estimated number of groups of a view: the product of per-attribute
+/// distinct counts (measured exactly from the catalog's current data).
+/// Used to rank candidate parents; summary-delta sizes are additionally
+/// capped by the change-set size at execution time.
+double EstimateGroupCount(const rel::Catalog& catalog,
+                          const core::AugmentedView& view);
+
+MaintenancePlan ChoosePlan(const rel::Catalog& catalog,
+                           const VLattice& lattice,
+                           const PlanOptions& options = {});
+
+/// The result of running the propagate phase for every view.
+struct LatticePropagateResult {
+  /// Summary-delta tables, parallel to lattice.views.
+  std::vector<rel::Table> deltas;
+  core::PropagateStats totals;
+};
+
+/// Executes the plan against a change set: tops (and all views, without
+/// a lattice) come from ComputeSummaryDelta; children from their
+/// parent's freshly computed summary-delta via the edge recipe.
+LatticePropagateResult PropagateAll(const rel::Catalog& catalog,
+                                    const VLattice& lattice,
+                                    const MaintenancePlan& plan,
+                                    const core::ChangeSet& changes,
+                                    const core::PropagateOptions& opts = {});
+
+}  // namespace sdelta::lattice
+
+#endif  // SDELTA_LATTICE_PLAN_H_

@@ -1,0 +1,97 @@
+#include "lattice/vlattice.h"
+
+#include <unordered_set>
+
+#include "lattice/derives.h"
+#include "relational/operators.h"
+
+namespace sdelta::lattice {
+
+using core::AugmentedView;
+using core::ViewDef;
+
+std::vector<size_t> VLattice::Tops() const {
+  std::vector<bool> has_parent(views.size(), false);
+  for (const VLatticeEdge& e : edges) has_parent[e.child] = true;
+  std::vector<size_t> tops;
+  for (size_t i = 0; i < views.size(); ++i) {
+    if (!has_parent[i]) tops.push_back(i);
+  }
+  return tops;
+}
+
+std::vector<const VLatticeEdge*> VLattice::ParentsOf(size_t child) const {
+  std::vector<const VLatticeEdge*> out;
+  for (const VLatticeEdge& e : edges) {
+    if (e.child == child) out.push_back(&e);
+  }
+  return out;
+}
+
+std::optional<size_t> VLattice::IndexOf(const std::string& view_name) const {
+  for (size_t i = 0; i < views.size(); ++i) {
+    if (views[i].name() == view_name) return i;
+  }
+  return std::nullopt;
+}
+
+std::string VLattice::ToString() const {
+  std::string s;
+  for (const VLatticeEdge& e : edges) {
+    s += e.recipe.ToString() + "\n";
+  }
+  return s;
+}
+
+std::vector<ViewDef> MakeLatticeFriendly(const rel::Catalog& catalog,
+                                         const std::vector<ViewDef>& views) {
+  // Bare names grouped on by any view — candidates worth propagating.
+  std::unordered_set<std::string> wanted;
+  for (const ViewDef& v : views) {
+    for (const std::string& g : v.group_by) wanted.insert(rel::BareName(g));
+  }
+
+  std::vector<ViewDef> out = views;
+  for (ViewDef& v : out) {
+    const rel::Schema joined = core::JoinedSchema(catalog, v);
+    std::unordered_set<std::string> present;
+    for (const std::string& g : v.group_by) present.insert(rel::BareName(g));
+
+    // For every group-by attribute living in an already-joined dimension,
+    // add the attributes it functionally determines, if another view
+    // wants them.
+    const std::vector<std::string> original = v.group_by;
+    for (const std::string& g : original) {
+      const std::string qualified = joined.column(joined.Resolve(g)).name;
+      const size_t dot = qualified.find('.');
+      const std::string table = qualified.substr(0, dot);
+      const std::string attr = qualified.substr(dot + 1);
+      if (table == v.fact_table) continue;  // fact attrs have no dim FDs
+      for (const std::string& dep : catalog.FdClosure(table, attr)) {
+        if (wanted.count(dep) == 0 || present.count(dep) > 0) continue;
+        v.group_by.push_back(table + "." + dep);
+        present.insert(dep);
+      }
+    }
+  }
+  return out;
+}
+
+VLattice BuildVLattice(const rel::Catalog& catalog,
+                       std::vector<AugmentedView> views) {
+  VLattice lattice;
+  lattice.views = std::move(views);
+  for (size_t p = 0; p < lattice.views.size(); ++p) {
+    for (size_t c = 0; c < lattice.views.size(); ++c) {
+      if (p == c) continue;
+      std::optional<core::DerivationRecipe> recipe =
+          ComputeDerivation(catalog, lattice.views[c], lattice.views[p]);
+      if (recipe.has_value()) {
+        lattice.edges.push_back(VLatticeEdge{p, c, std::move(*recipe)});
+      }
+    }
+  }
+  return lattice;
+}
+
+}  // namespace sdelta::lattice

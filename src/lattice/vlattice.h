@@ -1,0 +1,57 @@
+#ifndef SDELTA_LATTICE_VLATTICE_H_
+#define SDELTA_LATTICE_VLATTICE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/propagate.h"
+#include "core/self_maintenance.h"
+#include "core/view_def.h"
+
+namespace sdelta::lattice {
+
+/// One derives edge: views[child] ≼ views[parent], with the edge query.
+struct VLatticeEdge {
+  size_t parent = 0;
+  size_t child = 0;
+  core::DerivationRecipe recipe;
+};
+
+/// The partially-materialized lattice over a set of generalized cube
+/// views (paper §5.1/§5.4). By Theorem 5.1 the same structure serves as
+/// both the V-lattice (views) and the D-lattice (summary-deltas).
+struct VLattice {
+  std::vector<core::AugmentedView> views;
+  std::vector<VLatticeEdge> edges;  ///< every derives pair (parent, child)
+
+  /// Indices of views with no parent (must be computed from base data).
+  std::vector<size_t> Tops() const;
+  /// Edges arriving at `child`.
+  std::vector<const VLatticeEdge*> ParentsOf(size_t child) const;
+  std::optional<size_t> IndexOf(const std::string& view_name) const;
+  /// Multi-line rendering "child <= parent [join: dims]" for examples.
+  std::string ToString() const;
+};
+
+/// Extends view definitions so that the derives relation grows (paper
+/// §5.2/§5.3, producing Figure 8 for the retail example): every group-by
+/// attribute that is a dimension attribute drags in the attributes it
+/// functionally determines (FdClosure), provided some *other* view
+/// groups by them — e.g. sCD_sales(city, date) gains `region` so that
+/// sR_sales(region) derives from it without re-joining stores.
+///
+/// Only attributes of dimensions already joined by the view are added
+/// (joins are pushed *down* the lattice, never duplicated upward, per
+/// the §5.3 optimization).
+std::vector<core::ViewDef> MakeLatticeFriendly(
+    const rel::Catalog& catalog, const std::vector<core::ViewDef>& views);
+
+/// Builds the lattice: augments nothing (views are already augmented),
+/// computes every derives pair.
+VLattice BuildVLattice(const rel::Catalog& catalog,
+                       std::vector<core::AugmentedView> views);
+
+}  // namespace sdelta::lattice
+
+#endif  // SDELTA_LATTICE_VLATTICE_H_

@@ -1,0 +1,126 @@
+#include "relational/aggregate.h"
+
+#include <stdexcept>
+
+namespace sdelta::rel {
+
+const char* AggregateKindName(AggregateKind kind) {
+  switch (kind) {
+    case AggregateKind::kCountStar: return "COUNT(*)";
+    case AggregateKind::kCount: return "COUNT";
+    case AggregateKind::kSum: return "SUM";
+    case AggregateKind::kMin: return "MIN";
+    case AggregateKind::kMax: return "MAX";
+    case AggregateKind::kAvg: return "AVG";
+  }
+  return "?";
+}
+
+std::string AggregateSpec::ToString() const {
+  std::string s = AggregateKindName(kind);
+  if (kind != AggregateKind::kCountStar) {
+    s += "(" + (argument.has_value() ? argument->ToString() : "?") + ")";
+  }
+  s += " AS " + output_name;
+  return s;
+}
+
+AggregateSpec CountStar(std::string output_name) {
+  return AggregateSpec{AggregateKind::kCountStar, std::nullopt,
+                       std::move(output_name)};
+}
+AggregateSpec Count(Expression argument, std::string output_name) {
+  return AggregateSpec{AggregateKind::kCount, std::move(argument),
+                       std::move(output_name)};
+}
+AggregateSpec Sum(Expression argument, std::string output_name) {
+  return AggregateSpec{AggregateKind::kSum, std::move(argument),
+                       std::move(output_name)};
+}
+AggregateSpec Min(Expression argument, std::string output_name) {
+  return AggregateSpec{AggregateKind::kMin, std::move(argument),
+                       std::move(output_name)};
+}
+AggregateSpec Max(Expression argument, std::string output_name) {
+  return AggregateSpec{AggregateKind::kMax, std::move(argument),
+                       std::move(output_name)};
+}
+AggregateSpec Avg(Expression argument, std::string output_name) {
+  return AggregateSpec{AggregateKind::kAvg, std::move(argument),
+                       std::move(output_name)};
+}
+
+ValueType AggregateResultType(AggregateKind kind, ValueType argument_type) {
+  switch (kind) {
+    case AggregateKind::kCountStar:
+    case AggregateKind::kCount:
+      return ValueType::kInt64;
+    case AggregateKind::kSum:
+    case AggregateKind::kMin:
+    case AggregateKind::kMax:
+      return argument_type;
+    case AggregateKind::kAvg:
+      return ValueType::kDouble;
+  }
+  return ValueType::kNull;
+}
+
+void Accumulator::Add(const Value& v) {
+  switch (kind_) {
+    case AggregateKind::kCountStar:
+      ++count_;
+      return;
+    case AggregateKind::kCount:
+      if (!v.is_null()) ++count_;
+      return;
+    case AggregateKind::kSum:
+    case AggregateKind::kAvg:
+      if (v.is_null()) return;
+      has_value_ = true;
+      ++count_;
+      if (v.type() == ValueType::kDouble || sum_is_double_) {
+        if (!sum_is_double_) {
+          sum_d_ = static_cast<double>(sum_i_);
+          sum_is_double_ = true;
+        }
+        sum_d_ += v.ToDouble();
+      } else if (v.type() == ValueType::kInt64) {
+        sum_i_ += v.as_int64();
+      } else {
+        throw std::invalid_argument("SUM/AVG over non-numeric value");
+      }
+      return;
+    case AggregateKind::kMin:
+      if (v.is_null()) return;
+      if (!has_value_ || Value::Compare(v, extremum_) < 0) extremum_ = v;
+      has_value_ = true;
+      return;
+    case AggregateKind::kMax:
+      if (v.is_null()) return;
+      if (!has_value_ || Value::Compare(v, extremum_) > 0) extremum_ = v;
+      has_value_ = true;
+      return;
+  }
+}
+
+Value Accumulator::Result() const {
+  switch (kind_) {
+    case AggregateKind::kCountStar:
+    case AggregateKind::kCount:
+      return Value::Int64(count_);
+    case AggregateKind::kSum:
+      if (!has_value_) return Value::Null();
+      return sum_is_double_ ? Value::Double(sum_d_) : Value::Int64(sum_i_);
+    case AggregateKind::kAvg:
+      if (!has_value_ || count_ == 0) return Value::Null();
+      return Value::Double(
+          (sum_is_double_ ? sum_d_ : static_cast<double>(sum_i_)) /
+          static_cast<double>(count_));
+    case AggregateKind::kMin:
+    case AggregateKind::kMax:
+      return has_value_ ? extremum_ : Value::Null();
+  }
+  return Value::Null();
+}
+
+}  // namespace sdelta::rel

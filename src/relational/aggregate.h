@@ -1,0 +1,79 @@
+#ifndef SDELTA_RELATIONAL_AGGREGATE_H_
+#define SDELTA_RELATIONAL_AGGREGATE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "relational/expression.h"
+#include "relational/value.h"
+
+namespace sdelta::rel {
+
+/// The SQL aggregate functions the paper considers.
+///
+/// COUNT/SUM/MIN/MAX are distributive; AVG is algebraic (SUM/COUNT);
+/// holistic functions (e.g. MEDIAN) are out of scope, as in the paper.
+enum class AggregateKind {
+  kCountStar,  ///< COUNT(*)
+  kCount,      ///< COUNT(expr) — counts non-null values
+  kSum,        ///< SUM(expr)   — NULL if no non-null input
+  kMin,        ///< MIN(expr)
+  kMax,        ///< MAX(expr)
+  kAvg,        ///< AVG(expr)   — algebraic; maintained as SUM/COUNT
+};
+
+const char* AggregateKindName(AggregateKind kind);
+
+/// One aggregate column of a view: a function, its argument expression
+/// (absent for COUNT(*)), and the output column name.
+struct AggregateSpec {
+  AggregateKind kind = AggregateKind::kCountStar;
+  std::optional<Expression> argument;
+  std::string output_name;
+
+  std::string ToString() const;
+};
+
+/// Convenience constructors.
+AggregateSpec CountStar(std::string output_name);
+AggregateSpec Count(Expression argument, std::string output_name);
+AggregateSpec Sum(Expression argument, std::string output_name);
+AggregateSpec Min(Expression argument, std::string output_name);
+AggregateSpec Max(Expression argument, std::string output_name);
+AggregateSpec Avg(Expression argument, std::string output_name);
+
+/// Result column type of an aggregate given its argument type.
+ValueType AggregateResultType(AggregateKind kind, ValueType argument_type);
+
+/// Running state for one aggregate over one group, with SQL semantics:
+/// NULL inputs are skipped; SUM/MIN/MAX/AVG of zero non-null inputs is
+/// NULL; COUNT of zero inputs is 0.
+///
+/// The same accumulator set implements both regular view evaluation and
+/// summary-delta aggregation — the latter simply feeds signed aggregate
+/// sources (Table 1 of the paper) into SUM accumulators (COUNT is
+/// rewritten to SUM by the propagate logic).
+class Accumulator {
+ public:
+  explicit Accumulator(AggregateKind kind) : kind_(kind) {}
+
+  /// Folds one input value. For kCountStar the value is ignored.
+  void Add(const Value& v);
+
+  /// Final aggregate value for the group.
+  Value Result() const;
+
+ private:
+  AggregateKind kind_;
+  int64_t count_ = 0;       // non-null inputs (or all rows for COUNT(*))
+  bool has_value_ = false;  // any non-null input seen
+  bool sum_is_double_ = false;
+  int64_t sum_i_ = 0;
+  double sum_d_ = 0.0;
+  Value extremum_;  // running MIN/MAX
+};
+
+}  // namespace sdelta::rel
+
+#endif  // SDELTA_RELATIONAL_AGGREGATE_H_

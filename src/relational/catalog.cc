@@ -1,0 +1,126 @@
+#include "relational/catalog.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sdelta::rel {
+
+Table& Catalog::AddTable(Table table) {
+  const std::string name = table.name();
+  if (name.empty()) {
+    throw std::invalid_argument("catalog tables must be named");
+  }
+  auto [it, inserted] = tables_.emplace(name, std::move(table));
+  if (!inserted) {
+    throw std::invalid_argument("duplicate table name: " + name);
+  }
+  return it->second;
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return tables_.count(name) > 0;
+}
+
+Table& Catalog::GetTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    throw std::invalid_argument("unknown table: " + name);
+  }
+  return it->second;
+}
+
+const Table& Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    throw std::invalid_argument("unknown table: " + name);
+  }
+  return it->second;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+void Catalog::DeclareForeignKey(const std::string& fact_table,
+                                const std::string& fact_column,
+                                const std::string& dim_table,
+                                const std::string& dim_column) {
+  const Table& fact = GetTable(fact_table);
+  const Table& dim = GetTable(dim_table);
+  if (!fact.schema().IndexOf(fact_column).has_value()) {
+    throw std::invalid_argument("foreign key column " + fact_table + "." +
+                                fact_column + " does not exist");
+  }
+  if (!dim.schema().IndexOf(dim_column).has_value()) {
+    throw std::invalid_argument("referenced column " + dim_table + "." +
+                                dim_column + " does not exist");
+  }
+  fks_.push_back(ForeignKey{fact_table, fact_column, dim_table, dim_column});
+}
+
+void Catalog::DeclareFunctionalDependency(const std::string& table,
+                                          const std::string& determinant,
+                                          const std::string& dependent) {
+  const Table& t = GetTable(table);
+  if (!t.schema().IndexOf(determinant).has_value() ||
+      !t.schema().IndexOf(dependent).has_value()) {
+    throw std::invalid_argument("functional dependency references unknown "
+                                "column in table " +
+                                table);
+  }
+  fds_.push_back(FunctionalDependency{table, determinant, dependent});
+}
+
+const ForeignKey* Catalog::FindForeignKey(const std::string& fact_table,
+                                          const std::string& fact_column) const {
+  for (const ForeignKey& fk : fks_) {
+    if (fk.fact_table == fact_table && fk.fact_column == fact_column) {
+      return &fk;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<const ForeignKey*> Catalog::ForeignKeysOf(
+    const std::string& fact_table) const {
+  std::vector<const ForeignKey*> out;
+  for (const ForeignKey& fk : fks_) {
+    if (fk.fact_table == fact_table) out.push_back(&fk);
+  }
+  return out;
+}
+
+std::vector<const FunctionalDependency*> Catalog::DependenciesOf(
+    const std::string& table) const {
+  std::vector<const FunctionalDependency*> out;
+  for (const FunctionalDependency& fd : fds_) {
+    if (fd.table == table) out.push_back(&fd);
+  }
+  return out;
+}
+
+std::vector<std::string> Catalog::FdClosure(const std::string& table,
+                                            const std::string& attribute) const {
+  std::vector<std::string> closure;
+  std::vector<std::string> frontier = {attribute};
+  while (!frontier.empty()) {
+    std::string attr = std::move(frontier.back());
+    frontier.pop_back();
+    for (const FunctionalDependency& fd : fds_) {
+      if (fd.table != table || fd.determinant != attr) continue;
+      bool seen = fd.dependent == attribute;
+      for (const std::string& c : closure) seen |= (c == fd.dependent);
+      if (!seen) {
+        closure.push_back(fd.dependent);
+        frontier.push_back(fd.dependent);
+      }
+    }
+  }
+  return closure;
+}
+
+}  // namespace sdelta::rel

@@ -1,0 +1,97 @@
+#ifndef SDELTA_RELATIONAL_CATALOG_H_
+#define SDELTA_RELATIONAL_CATALOG_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "relational/table.h"
+
+namespace sdelta::rel {
+
+/// A foreign-key declaration: fact_table.fact_column references
+/// dim_table.dim_column, where dim_column is a key of dim_table. The
+/// paper's algorithms rely on dimension joins being along foreign keys
+/// (each fact tuple joins with exactly one dimension tuple).
+struct ForeignKey {
+  std::string fact_table;
+  std::string fact_column;
+  std::string dim_table;
+  std::string dim_column;
+};
+
+/// A functional dependency within one dimension table
+/// (e.g. stores: city -> region). Dimension hierarchies are sets of FDs.
+struct FunctionalDependency {
+  std::string table;
+  std::string determinant;
+  std::string dependent;
+};
+
+/// The warehouse metadata store: named tables plus the foreign keys and
+/// functional dependencies the lattice algorithms need.
+///
+/// Tables live in a node-based map, so Table references remain valid as
+/// other tables are added.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+  Catalog(Catalog&&) = default;
+  Catalog& operator=(Catalog&&) = default;
+
+  /// Registers a table under its name. Duplicate names throw.
+  Table& AddTable(Table table);
+
+  bool HasTable(const std::string& name) const;
+  Table& GetTable(const std::string& name);
+  const Table& GetTable(const std::string& name) const;
+
+  /// Names of all registered tables, sorted (stable for manifests).
+  std::vector<std::string> TableNames() const;
+
+  /// Declares fact_table.fact_column -> dim_table.dim_column. Both tables
+  /// and columns must exist.
+  void DeclareForeignKey(const std::string& fact_table,
+                         const std::string& fact_column,
+                         const std::string& dim_table,
+                         const std::string& dim_column);
+
+  /// Declares `determinant -> dependent` within `table`.
+  void DeclareFunctionalDependency(const std::string& table,
+                                   const std::string& determinant,
+                                   const std::string& dependent);
+
+  const std::vector<ForeignKey>& foreign_keys() const { return fks_; }
+  const std::vector<FunctionalDependency>& functional_dependencies() const {
+    return fds_;
+  }
+
+  /// The FK whose referencing side is fact_table.fact_column, or nullptr.
+  const ForeignKey* FindForeignKey(const std::string& fact_table,
+                                   const std::string& fact_column) const;
+
+  /// All FKs declared on `fact_table`.
+  std::vector<const ForeignKey*> ForeignKeysOf(
+      const std::string& fact_table) const;
+
+  /// FDs declared within `table`.
+  std::vector<const FunctionalDependency*> DependenciesOf(
+      const std::string& table) const;
+
+  /// Transitive closure: the attributes of `table` functionally determined
+  /// by `attribute` (excluding itself), e.g. FdClosure("stores","storeID")
+  /// = {city, region} when storeID->city and city->region are declared.
+  std::vector<std::string> FdClosure(const std::string& table,
+                                     const std::string& attribute) const;
+
+ private:
+  std::unordered_map<std::string, Table> tables_;
+  std::vector<ForeignKey> fks_;
+  std::vector<FunctionalDependency> fds_;
+};
+
+}  // namespace sdelta::rel
+
+#endif  // SDELTA_RELATIONAL_CATALOG_H_

@@ -1,0 +1,222 @@
+#include "relational/csv.h"
+
+#include <charconv>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sdelta::rel {
+
+namespace {
+
+bool NeedsQuoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos ||
+         field.empty();
+}
+
+void WriteField(const Value& v, std::ostream& out) {
+  if (v.is_null()) return;  // NULL -> empty unquoted field
+  std::string text;
+  switch (v.type()) {
+    case ValueType::kInt64:
+      out << v.as_int64();
+      return;
+    case ValueType::kDouble: {
+      std::ostringstream os;
+      os.precision(17);
+      os << v.as_double();
+      out << os.str();
+      return;
+    }
+    case ValueType::kString:
+      text = v.as_string();
+      break;
+    case ValueType::kNull:
+      return;
+  }
+  if (!NeedsQuoting(text)) {
+    out << text;
+    return;
+  }
+  out << '"';
+  for (char c : text) {
+    if (c == '"') out << '"';
+    out << c;
+  }
+  out << '"';
+}
+
+/// Splits one CSV record (which may span multiple physical lines when a
+/// quoted field contains newlines). Returns false at end of stream.
+/// Each field is returned with a flag saying whether it was quoted
+/// (distinguishing NULL from the empty string).
+struct RawField {
+  std::string text;
+  bool quoted = false;
+};
+
+bool ReadRecord(std::istream& in, std::vector<RawField>* fields,
+                size_t* line_number) {
+  fields->clear();
+  int c = in.get();
+  if (c == std::char_traits<char>::eof()) return false;
+  RawField field;
+  bool in_quotes = false;
+  bool any = false;
+  auto flush = [&]() {
+    fields->push_back(std::move(field));
+    field = RawField{};
+  };
+  while (true) {
+    if (c == std::char_traits<char>::eof()) {
+      flush();
+      return true;
+    }
+    const char ch = static_cast<char>(c);
+    if (in_quotes) {
+      if (ch == '"') {
+        if (in.peek() == '"') {
+          field.text += '"';
+          in.get();
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        if (ch == '\n') ++*line_number;
+        field.text += ch;
+      }
+    } else if (ch == '"' && field.text.empty() && !any) {
+      in_quotes = true;
+      field.quoted = true;
+      any = true;
+    } else if (ch == '"' && field.text.empty()) {
+      in_quotes = true;
+      field.quoted = true;
+    } else if (ch == ',') {
+      flush();
+      any = false;
+    } else if (ch == '\r') {
+      // swallow; \r\n handled at \n
+    } else if (ch == '\n') {
+      ++*line_number;
+      flush();
+      return true;
+    } else {
+      field.text += ch;
+      any = true;
+    }
+    c = in.get();
+  }
+}
+
+Value ParseField(const RawField& raw, ValueType type, size_t line) {
+  if (raw.text.empty() && !raw.quoted) return Value::Null();
+  switch (type) {
+    case ValueType::kInt64: {
+      int64_t v = 0;
+      const char* begin = raw.text.data();
+      const char* end = begin + raw.text.size();
+      auto [ptr, ec] = std::from_chars(begin, end, v);
+      if (ec != std::errc() || ptr != end) {
+        throw std::invalid_argument("CSV line " + std::to_string(line) +
+                                    ": '" + raw.text +
+                                    "' is not a valid int64");
+      }
+      return Value::Int64(v);
+    }
+    case ValueType::kDouble: {
+      try {
+        size_t consumed = 0;
+        const double v = std::stod(raw.text, &consumed);
+        if (consumed != raw.text.size()) throw std::invalid_argument("");
+        return Value::Double(v);
+      } catch (...) {
+        throw std::invalid_argument("CSV line " + std::to_string(line) +
+                                    ": '" + raw.text +
+                                    "' is not a valid double");
+      }
+    }
+    case ValueType::kString:
+      return Value::String(raw.text);
+    case ValueType::kNull:
+      break;
+  }
+  throw std::invalid_argument("CSV: cannot parse into a null-typed column");
+}
+
+}  // namespace
+
+void WriteCsv(const Table& table, std::ostream& out) {
+  const Schema& schema = table.schema();
+  for (size_t i = 0; i < schema.NumColumns(); ++i) {
+    if (i > 0) out << ',';
+    out << schema.column(i).name;
+  }
+  out << '\n';
+  for (const Row& row : table.rows()) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out << ',';
+      WriteField(row[i], out);
+    }
+    out << '\n';
+  }
+}
+
+std::string ToCsvString(const Table& table) {
+  std::ostringstream os;
+  WriteCsv(table, os);
+  return os.str();
+}
+
+Table ReadCsv(const Schema& schema, std::istream& in, std::string name) {
+  size_t line = 1;
+  std::vector<RawField> fields;
+  if (!ReadRecord(in, &fields, &line)) {
+    throw std::invalid_argument("CSV: missing header row");
+  }
+  if (fields.size() != schema.NumColumns()) {
+    throw std::invalid_argument(
+        "CSV header has " + std::to_string(fields.size()) +
+        " columns, schema has " + std::to_string(schema.NumColumns()));
+  }
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (fields[i].text != schema.column(i).name) {
+      throw std::invalid_argument("CSV header column " + std::to_string(i) +
+                                  " is '" + fields[i].text +
+                                  "', schema expects '" +
+                                  schema.column(i).name + "'");
+    }
+  }
+
+  Table table(schema, std::move(name));
+  size_t record_line = line;
+  while (ReadRecord(in, &fields, &line)) {
+    if (fields.size() == 1 && fields[0].text.empty() && !fields[0].quoted) {
+      record_line = line;
+      continue;  // blank line
+    }
+    if (fields.size() != schema.NumColumns()) {
+      throw std::invalid_argument(
+          "CSV line " + std::to_string(record_line) + ": expected " +
+          std::to_string(schema.NumColumns()) + " fields, got " +
+          std::to_string(fields.size()));
+    }
+    Row row;
+    row.reserve(fields.size());
+    for (size_t i = 0; i < fields.size(); ++i) {
+      row.push_back(
+          ParseField(fields[i], schema.column(i).type, record_line));
+    }
+    table.Insert(std::move(row));
+    record_line = line;
+  }
+  return table;
+}
+
+Table FromCsvString(const Schema& schema, const std::string& csv,
+                    std::string name) {
+  std::istringstream in(csv);
+  return ReadCsv(schema, in, std::move(name));
+}
+
+}  // namespace sdelta::rel

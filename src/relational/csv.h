@@ -1,0 +1,38 @@
+#ifndef SDELTA_RELATIONAL_CSV_H_
+#define SDELTA_RELATIONAL_CSV_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "relational/table.h"
+
+namespace sdelta::rel {
+
+/// CSV interchange for tables (RFC-4180 flavoured):
+///  * first row is the header (column names);
+///  * fields containing comma, quote or newline are double-quoted, with
+///    embedded quotes doubled;
+///  * NULL is written as an empty unquoted field; an empty *quoted*
+///    field is the empty string;
+///  * int64/double/string fields are parsed according to the target
+///    schema.
+
+/// Writes `table` (header + rows) to `out`.
+void WriteCsv(const Table& table, std::ostream& out);
+
+/// Renders the table as a CSV string (tests, small exports).
+std::string ToCsvString(const Table& table);
+
+/// Reads a CSV stream into a table with the given schema and name. The
+/// header must match the schema's column names exactly (order and
+/// spelling); data errors (arity, unparsable numbers) throw
+/// std::invalid_argument with a line number.
+Table ReadCsv(const Schema& schema, std::istream& in, std::string name);
+
+/// Parses a CSV string (tests, fixtures).
+Table FromCsvString(const Schema& schema, const std::string& csv,
+                    std::string name = "");
+
+}  // namespace sdelta::rel
+
+#endif  // SDELTA_RELATIONAL_CSV_H_

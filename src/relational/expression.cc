@@ -1,0 +1,376 @@
+#include "relational/expression.h"
+
+#include <stdexcept>
+
+namespace sdelta::rel {
+
+struct Expression::Node {
+  Kind kind;
+  // kColumn
+  std::string column_name;
+  // kLiteral
+  Value literal;
+  // children: unary ops use [0]; binary use [0],[1]; kCaseIsNull uses
+  // [0]=test, [1]=if_null, [2]=if_not_null.
+  std::vector<Expression> children;
+};
+
+Expression::Expression(std::shared_ptr<const Node> node)
+    : node_(std::move(node)) {}
+
+Expression Expression::MakeNode(Kind kind, std::vector<Expression> children) {
+  auto n = std::make_shared<Node>();
+  n->kind = kind;
+  n->children = std::move(children);
+  return Expression(std::move(n));
+}
+
+Expression Expression::Column(std::string name) {
+  auto n = std::make_shared<Node>();
+  n->kind = Kind::kColumn;
+  n->column_name = std::move(name);
+  return Expression(std::move(n));
+}
+
+Expression Expression::Literal(Value value) {
+  auto n = std::make_shared<Node>();
+  n->kind = Kind::kLiteral;
+  n->literal = std::move(value);
+  return Expression(std::move(n));
+}
+
+Expression Expression::Negate(Expression e) {
+  return MakeNode(Kind::kNegate, {std::move(e)});
+}
+Expression Expression::IsNull(Expression e) {
+  return MakeNode(Kind::kIsNull, {std::move(e)});
+}
+Expression Expression::Not(Expression e) {
+  return MakeNode(Kind::kNot, {std::move(e)});
+}
+Expression Expression::CaseIsNull(Expression test, Expression if_null,
+                                  Expression if_not_null) {
+  return MakeNode(Kind::kCaseIsNull, {std::move(test), std::move(if_null),
+                                      std::move(if_not_null)});
+}
+Expression Expression::Add(Expression a, Expression b) {
+  return MakeNode(Kind::kAdd, {std::move(a), std::move(b)});
+}
+Expression Expression::Subtract(Expression a, Expression b) {
+  return MakeNode(Kind::kSubtract, {std::move(a), std::move(b)});
+}
+Expression Expression::Multiply(Expression a, Expression b) {
+  return MakeNode(Kind::kMultiply, {std::move(a), std::move(b)});
+}
+Expression Expression::Divide(Expression a, Expression b) {
+  return MakeNode(Kind::kDivide, {std::move(a), std::move(b)});
+}
+Expression Expression::Eq(Expression a, Expression b) {
+  return MakeNode(Kind::kEq, {std::move(a), std::move(b)});
+}
+Expression Expression::Ne(Expression a, Expression b) {
+  return MakeNode(Kind::kNe, {std::move(a), std::move(b)});
+}
+Expression Expression::Lt(Expression a, Expression b) {
+  return MakeNode(Kind::kLt, {std::move(a), std::move(b)});
+}
+Expression Expression::Le(Expression a, Expression b) {
+  return MakeNode(Kind::kLe, {std::move(a), std::move(b)});
+}
+Expression Expression::Gt(Expression a, Expression b) {
+  return MakeNode(Kind::kGt, {std::move(a), std::move(b)});
+}
+Expression Expression::Ge(Expression a, Expression b) {
+  return MakeNode(Kind::kGe, {std::move(a), std::move(b)});
+}
+Expression Expression::And(Expression a, Expression b) {
+  return MakeNode(Kind::kAnd, {std::move(a), std::move(b)});
+}
+Expression Expression::Or(Expression a, Expression b) {
+  return MakeNode(Kind::kOr, {std::move(a), std::move(b)});
+}
+
+Expression::Kind Expression::kind() const { return node_->kind; }
+
+const std::string& Expression::column_name() const {
+  if (node_->kind != Kind::kColumn) {
+    throw std::logic_error("column_name() on non-column expression");
+  }
+  return node_->column_name;
+}
+
+void Expression::CollectColumns(std::vector<std::string>* out) const {
+  if (node_->kind == Kind::kColumn) {
+    for (const std::string& s : *out) {
+      if (s == node_->column_name) return;
+    }
+    out->push_back(node_->column_name);
+    return;
+  }
+  for (const Expression& c : node_->children) {
+    c.CollectColumns(out);
+  }
+}
+
+std::vector<std::string> Expression::ReferencedColumns() const {
+  std::vector<std::string> out;
+  CollectColumns(&out);
+  return out;
+}
+
+Expression Expression::RenameColumns(
+    const std::function<std::string(const std::string&)>& fn) const {
+  switch (node_->kind) {
+    case Kind::kColumn:
+      return Column(fn(node_->column_name));
+    case Kind::kLiteral:
+      return *this;
+    default: {
+      std::vector<Expression> children;
+      children.reserve(node_->children.size());
+      for (const Expression& c : node_->children) {
+        children.push_back(c.RenameColumns(fn));
+      }
+      return MakeNode(node_->kind, std::move(children));
+    }
+  }
+}
+
+ValueType Expression::ResultType(const Schema& schema) const {
+  switch (node_->kind) {
+    case Kind::kColumn:
+      return schema.column(schema.Resolve(node_->column_name)).type;
+    case Kind::kLiteral:
+      return node_->literal.type();
+    case Kind::kNegate:
+      return node_->children[0].ResultType(schema);
+    case Kind::kIsNull:
+    case Kind::kNot:
+    case Kind::kEq:
+    case Kind::kNe:
+    case Kind::kLt:
+    case Kind::kLe:
+    case Kind::kGt:
+    case Kind::kGe:
+    case Kind::kAnd:
+    case Kind::kOr:
+      return ValueType::kInt64;
+    case Kind::kDivide:
+      return ValueType::kDouble;
+    case Kind::kCaseIsNull: {
+      ValueType a = node_->children[1].ResultType(schema);
+      ValueType b = node_->children[2].ResultType(schema);
+      if (a == ValueType::kNull) return b;
+      if (b == ValueType::kNull) return a;
+      if (a == ValueType::kDouble || b == ValueType::kDouble) {
+        return ValueType::kDouble;
+      }
+      return a;
+    }
+    case Kind::kAdd:
+    case Kind::kSubtract:
+    case Kind::kMultiply: {
+      ValueType a = node_->children[0].ResultType(schema);
+      ValueType b = node_->children[1].ResultType(schema);
+      if (a == ValueType::kDouble || b == ValueType::kDouble) {
+        return ValueType::kDouble;
+      }
+      return ValueType::kInt64;
+    }
+  }
+  return ValueType::kNull;
+}
+
+namespace {
+
+const char* OpName(Expression::Kind k) {
+  using Kind = Expression::Kind;
+  switch (k) {
+    case Kind::kAdd: return "+";
+    case Kind::kSubtract: return "-";
+    case Kind::kMultiply: return "*";
+    case Kind::kDivide: return "/";
+    case Kind::kEq: return "=";
+    case Kind::kNe: return "<>";
+    case Kind::kLt: return "<";
+    case Kind::kLe: return "<=";
+    case Kind::kGt: return ">";
+    case Kind::kGe: return ">=";
+    case Kind::kAnd: return "AND";
+    case Kind::kOr: return "OR";
+    default: return "?";
+  }
+}
+
+}  // namespace
+
+std::string Expression::ToString() const {
+  switch (node_->kind) {
+    case Kind::kColumn:
+      return node_->column_name;
+    case Kind::kLiteral:
+      // String literals render SQL-quoted so that ToString output parses
+      // back through the SQL dialect.
+      if (node_->literal.type() == ValueType::kString) {
+        return "'" + node_->literal.as_string() + "'";
+      }
+      return node_->literal.ToString();
+    case Kind::kNegate:
+      return "(-" + node_->children[0].ToString() + ")";
+    case Kind::kIsNull:
+      return "(" + node_->children[0].ToString() + " IS NULL)";
+    case Kind::kNot:
+      return "(NOT " + node_->children[0].ToString() + ")";
+    case Kind::kCaseIsNull:
+      return "(CASE WHEN " + node_->children[0].ToString() +
+             " IS NULL THEN " + node_->children[1].ToString() + " ELSE " +
+             node_->children[2].ToString() + " END)";
+    default:
+      return "(" + node_->children[0].ToString() + " " + OpName(node_->kind) +
+             " " + node_->children[1].ToString() + ")";
+  }
+}
+
+bool operator==(const Expression& a, const Expression& b) {
+  if (a.node_ == b.node_) return true;
+  if (a.node_->kind != b.node_->kind) return false;
+  switch (a.node_->kind) {
+    case Expression::Kind::kColumn:
+      return a.node_->column_name == b.node_->column_name;
+    case Expression::Kind::kLiteral:
+      return a.node_->literal.type() == b.node_->literal.type() &&
+             a.node_->literal == b.node_->literal;
+    default: {
+      if (a.node_->children.size() != b.node_->children.size()) return false;
+      for (size_t i = 0; i < a.node_->children.size(); ++i) {
+        if (!(a.node_->children[i] == b.node_->children[i])) return false;
+      }
+      return true;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bound expressions
+// ---------------------------------------------------------------------------
+
+struct BoundExpression::BoundNode {
+  Expression::Kind kind;
+  size_t column_index = 0;
+  Value literal;
+  std::vector<BoundExpression> children;
+};
+
+BoundExpression::BoundExpression(std::shared_ptr<const BoundNode> node)
+    : node_(std::move(node)) {}
+
+BoundExpression Expression::Bind(const Schema& schema) const {
+  auto bn = std::make_shared<BoundExpression::BoundNode>();
+  bn->kind = node_->kind;
+  switch (node_->kind) {
+    case Kind::kColumn:
+      bn->column_index = schema.Resolve(node_->column_name);
+      break;
+    case Kind::kLiteral:
+      bn->literal = node_->literal;
+      break;
+    default:
+      bn->children.reserve(node_->children.size());
+      for (const Expression& c : node_->children) {
+        bn->children.push_back(c.Bind(schema));
+      }
+      break;
+  }
+  return BoundExpression(std::move(bn));
+}
+
+namespace {
+
+// Three-valued logic: -1 = NULL, 0 = false, 1 = true.
+int Truth(const Value& v) {
+  if (v.is_null()) return -1;
+  if (v.type() == ValueType::kInt64) return v.as_int64() != 0 ? 1 : 0;
+  if (v.type() == ValueType::kDouble) return v.as_double() != 0.0 ? 1 : 0;
+  return 1;  // non-null, non-numeric counts as true
+}
+
+Value FromTruth(int t) {
+  if (t < 0) return Value::Null();
+  return Value::Int64(t);
+}
+
+}  // namespace
+
+Value BoundExpression::Eval(const Row& row) const {
+  using Kind = Expression::Kind;
+  const BoundNode& n = *node_;
+  switch (n.kind) {
+    case Kind::kColumn:
+      return row[n.column_index];
+    case Kind::kLiteral:
+      return n.literal;
+    case Kind::kNegate:
+      return Value::Negate(n.children[0].Eval(row));
+    case Kind::kIsNull:
+      return Value::Int64(n.children[0].Eval(row).is_null() ? 1 : 0);
+    case Kind::kNot: {
+      int t = Truth(n.children[0].Eval(row));
+      return FromTruth(t < 0 ? -1 : 1 - t);
+    }
+    case Kind::kCaseIsNull:
+      return n.children[0].Eval(row).is_null() ? n.children[1].Eval(row)
+                                               : n.children[2].Eval(row);
+    case Kind::kAdd:
+      return Value::Add(n.children[0].Eval(row), n.children[1].Eval(row));
+    case Kind::kSubtract:
+      return Value::Subtract(n.children[0].Eval(row), n.children[1].Eval(row));
+    case Kind::kMultiply:
+      return Value::Multiply(n.children[0].Eval(row), n.children[1].Eval(row));
+    case Kind::kDivide:
+      return Value::Divide(n.children[0].Eval(row), n.children[1].Eval(row));
+    case Kind::kEq:
+    case Kind::kNe:
+    case Kind::kLt:
+    case Kind::kLe:
+    case Kind::kGt:
+    case Kind::kGe: {
+      Value a = n.children[0].Eval(row);
+      Value b = n.children[1].Eval(row);
+      if (a.is_null() || b.is_null()) return Value::Null();
+      int c = Value::Compare(a, b);
+      bool r = false;
+      switch (n.kind) {
+        case Kind::kEq: r = (c == 0); break;
+        case Kind::kNe: r = (c != 0); break;
+        case Kind::kLt: r = (c < 0); break;
+        case Kind::kLe: r = (c <= 0); break;
+        case Kind::kGt: r = (c > 0); break;
+        default: r = (c >= 0); break;
+      }
+      return Value::Int64(r ? 1 : 0);
+    }
+    case Kind::kAnd: {
+      int a = Truth(n.children[0].Eval(row));
+      if (a == 0) return Value::Int64(0);
+      int b = Truth(n.children[1].Eval(row));
+      if (b == 0) return Value::Int64(0);
+      if (a < 0 || b < 0) return Value::Null();
+      return Value::Int64(1);
+    }
+    case Kind::kOr: {
+      int a = Truth(n.children[0].Eval(row));
+      if (a == 1) return Value::Int64(1);
+      int b = Truth(n.children[1].Eval(row));
+      if (b == 1) return Value::Int64(1);
+      if (a < 0 || b < 0) return Value::Null();
+      return Value::Int64(0);
+    }
+  }
+  return Value::Null();
+}
+
+bool BoundExpression::EvalPredicate(const Row& row) const {
+  return Truth(Eval(row)) == 1;
+}
+
+}  // namespace sdelta::rel

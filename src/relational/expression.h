@@ -1,0 +1,141 @@
+#ifndef SDELTA_RELATIONAL_EXPRESSION_H_
+#define SDELTA_RELATIONAL_EXPRESSION_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relational/schema.h"
+#include "relational/value.h"
+
+namespace sdelta::rel {
+
+class BoundExpression;
+
+/// An immutable scalar-expression AST over named columns.
+///
+/// Expressions are built with the static factories below, then Bind()-ed
+/// against a concrete Schema (resolving column names to indices) to get a
+/// BoundExpression that can be evaluated per row. Binding is where all
+/// name errors surface; evaluation never throws for data reasons.
+///
+/// Semantics follow SQL where the paper depends on it:
+///  * arithmetic propagates NULL;
+///  * comparisons yield NULL if either operand is NULL, else int64 0/1;
+///  * AND/OR use three-valued logic (NULL AND FALSE = FALSE, ...);
+///  * IsNull yields int64 0/1 and never NULL;
+///  * CaseIsNull(e, a, b) is SQL's CASE WHEN e IS NULL THEN a ELSE b END,
+///    the exact construct Table 1 of the paper uses for COUNT(expr)
+///    aggregate sources.
+class Expression {
+ public:
+  enum class Kind {
+    kColumn,
+    kLiteral,
+    kNegate,
+    kIsNull,
+    kCaseIsNull,
+    kAdd,
+    kSubtract,
+    kMultiply,
+    kDivide,
+    kEq,
+    kNe,
+    kLt,
+    kLe,
+    kGt,
+    kGe,
+    kAnd,
+    kOr,
+    kNot,
+  };
+
+  /// References a column by (possibly qualified) name; resolved at Bind.
+  static Expression Column(std::string name);
+  static Expression Literal(Value value);
+
+  static Expression Negate(Expression e);
+  static Expression IsNull(Expression e);
+  static Expression Not(Expression e);
+  /// CASE WHEN test IS NULL THEN if_null ELSE if_not_null END
+  static Expression CaseIsNull(Expression test, Expression if_null,
+                               Expression if_not_null);
+
+  static Expression Add(Expression a, Expression b);
+  static Expression Subtract(Expression a, Expression b);
+  static Expression Multiply(Expression a, Expression b);
+  static Expression Divide(Expression a, Expression b);
+  static Expression Eq(Expression a, Expression b);
+  static Expression Ne(Expression a, Expression b);
+  static Expression Lt(Expression a, Expression b);
+  static Expression Le(Expression a, Expression b);
+  static Expression Gt(Expression a, Expression b);
+  static Expression Ge(Expression a, Expression b);
+  static Expression And(Expression a, Expression b);
+  static Expression Or(Expression a, Expression b);
+
+  Kind kind() const;
+
+  /// For kColumn nodes: the referenced name.
+  const std::string& column_name() const;
+
+  /// Resolves all column references against `schema`.
+  /// Throws std::invalid_argument on unknown or ambiguous names.
+  BoundExpression Bind(const Schema& schema) const;
+
+  /// Collects the distinct column names referenced by this expression, in
+  /// first-appearance order. Used by the derives-relation analysis.
+  std::vector<std::string> ReferencedColumns() const;
+
+  /// Returns a copy with every column-reference name mapped through `fn`.
+  /// Used by the lattice layer to re-target a child view's aggregate
+  /// argument at the parent's output columns.
+  Expression RenameColumns(
+      const std::function<std::string(const std::string&)>& fn) const;
+
+  /// Best-effort result type given a schema (used to type computed
+  /// columns in derived schemas): comparisons/logic/IsNull are kInt64;
+  /// Divide is kDouble; arithmetic takes the wider operand type; columns
+  /// take their schema type.
+  ValueType ResultType(const Schema& schema) const;
+
+  /// Renders e.g. "(qty * price)" for diagnostics.
+  std::string ToString() const;
+
+  /// Structural equality (same tree shape, names, literals). Used to
+  /// detect that an aggregate argument in one view matches another's.
+  friend bool operator==(const Expression& a, const Expression& b);
+
+ private:
+  struct Node;
+  explicit Expression(std::shared_ptr<const Node> node);
+  static Expression MakeNode(Kind kind, std::vector<Expression> children);
+  void CollectColumns(std::vector<std::string>* out) const;
+
+  std::shared_ptr<const Node> node_;
+  friend class BoundExpression;
+};
+
+/// An Expression with column references resolved to column indices of a
+/// specific schema. Cheap to copy; evaluation is allocation-free except
+/// for string temporaries.
+class BoundExpression {
+ public:
+  BoundExpression() = default;
+
+  Value Eval(const Row& row) const;
+
+  /// SQL WHERE-clause truthiness: non-null and non-zero.
+  bool EvalPredicate(const Row& row) const;
+
+ private:
+  struct BoundNode;
+  friend class Expression;
+  explicit BoundExpression(std::shared_ptr<const BoundNode> node);
+  std::shared_ptr<const BoundNode> node_;
+};
+
+}  // namespace sdelta::rel
+
+#endif  // SDELTA_RELATIONAL_EXPRESSION_H_

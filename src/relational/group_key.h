@@ -1,0 +1,48 @@
+#ifndef SDELTA_RELATIONAL_GROUP_KEY_H_
+#define SDELTA_RELATIONAL_GROUP_KEY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "relational/value.h"
+
+namespace sdelta::rel {
+
+/// A composite key: the values of a subset of a row's columns, in a fixed
+/// order. Used for grouping, for summary-table primary keys, and for bag
+/// deletion of full rows (the key is then the whole row).
+using GroupKey = std::vector<Value>;
+
+/// Combines hashes the boost::hash_combine way.
+inline size_t HashCombine(size_t seed, size_t h) {
+  return seed ^ (h + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+/// Hash functor for GroupKey, consistent with operator== on vectors of
+/// Value.
+struct GroupKeyHash {
+  size_t operator()(const GroupKey& key) const {
+    size_t seed = key.size();
+    for (const Value& v : key) seed = HashCombine(seed, v.Hash());
+    return seed;
+  }
+};
+
+/// Extracts the values at `indices` from `row` as a GroupKey.
+inline GroupKey ExtractKey(const Row& row, const std::vector<size_t>& indices) {
+  GroupKey key;
+  key.reserve(indices.size());
+  for (size_t i : indices) key.push_back(row[i]);
+  return key;
+}
+
+/// Hashes an entire row (used by Table's whole-row index).
+inline size_t HashRow(const Row& row) {
+  size_t seed = row.size();
+  for (const Value& v : row) seed = HashCombine(seed, v.Hash());
+  return seed;
+}
+
+}  // namespace sdelta::rel
+
+#endif  // SDELTA_RELATIONAL_GROUP_KEY_H_

@@ -1,0 +1,194 @@
+#include "relational/operators.h"
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "relational/group_key.h"
+
+namespace sdelta::rel {
+
+std::string BareName(const std::string& name) {
+  const size_t pos = name.rfind('.');
+  return pos == std::string::npos ? name : name.substr(pos + 1);
+}
+
+Table Select(const Table& input, const Expression& predicate) {
+  BoundExpression bound = predicate.Bind(input.schema());
+  Table out(input.schema(), input.name());
+  for (const Row& r : input.rows()) {
+    if (bound.EvalPredicate(r)) out.Insert(r);
+  }
+  return out;
+}
+
+Table Project(const Table& input, const std::vector<ProjectColumn>& columns) {
+  Schema out_schema;
+  std::vector<BoundExpression> bound;
+  bound.reserve(columns.size());
+  for (const ProjectColumn& c : columns) {
+    out_schema.AddColumn(c.name, c.expr.ResultType(input.schema()));
+    bound.push_back(c.expr.Bind(input.schema()));
+  }
+  Table out(std::move(out_schema));
+  out.Reserve(input.NumRows());
+  for (const Row& r : input.rows()) {
+    Row row;
+    row.reserve(bound.size());
+    for (const BoundExpression& b : bound) row.push_back(b.Eval(r));
+    out.Insert(std::move(row));
+  }
+  return out;
+}
+
+Table HashJoin(const Table& left, const Table& right,
+               const std::vector<std::pair<std::string, std::string>>& keys,
+               const std::string& right_qualifier, bool drop_right_keys) {
+  if (keys.empty()) {
+    throw std::invalid_argument("HashJoin requires at least one key pair");
+  }
+  std::vector<size_t> left_idx;
+  std::vector<size_t> right_idx;
+  for (const auto& [lk, rk] : keys) {
+    left_idx.push_back(left.schema().Resolve(lk));
+    right_idx.push_back(right.schema().Resolve(rk));
+  }
+
+  // Right columns carried into the output (all, or all minus key columns).
+  std::vector<size_t> right_out_idx;
+  for (size_t i = 0; i < right.schema().NumColumns(); ++i) {
+    bool is_key = false;
+    if (drop_right_keys) {
+      for (size_t k : right_idx) is_key |= (k == i);
+    }
+    if (!is_key) right_out_idx.push_back(i);
+  }
+
+  Schema out_schema;
+  for (const Column& c : left.schema().columns()) {
+    out_schema.AddColumn(c.name, c.type);
+  }
+  const Schema right_schema = right_qualifier.empty()
+                                  ? right.schema()
+                                  : right.schema().Qualified(right_qualifier);
+  for (size_t i : right_out_idx) {
+    out_schema.AddColumn(right_schema.column(i).name,
+                         right_schema.column(i).type);
+  }
+
+  // Build side: the right (dimension) input.
+  std::unordered_multimap<GroupKey, size_t, GroupKeyHash> build;
+  build.reserve(right.NumRows());
+  for (size_t i = 0; i < right.NumRows(); ++i) {
+    GroupKey key = ExtractKey(right.row(i), right_idx);
+    // SQL equi-join: NULL keys never match.
+    bool has_null = false;
+    for (const Value& v : key) has_null |= v.is_null();
+    if (!has_null) build.emplace(std::move(key), i);
+  }
+
+  Table out(std::move(out_schema));
+  for (const Row& lr : left.rows()) {
+    GroupKey key = ExtractKey(lr, left_idx);
+    bool has_null = false;
+    for (const Value& v : key) has_null |= v.is_null();
+    if (has_null) continue;
+    auto [begin, end] = build.equal_range(key);
+    for (auto it = begin; it != end; ++it) {
+      Row row = lr;
+      const Row& rr = right.row(it->second);
+      row.reserve(row.size() + right_out_idx.size());
+      for (size_t i : right_out_idx) row.push_back(rr[i]);
+      out.Insert(std::move(row));
+    }
+  }
+  return out;
+}
+
+Table UnionAll(const Table& a, const Table& b) {
+  if (a.schema().NumColumns() != b.schema().NumColumns()) {
+    throw std::invalid_argument("UnionAll arity mismatch: {" +
+                                a.schema().ToString() + "} vs {" +
+                                b.schema().ToString() + "}");
+  }
+  Table out(a.schema());
+  out.Reserve(a.NumRows() + b.NumRows());
+  for (const Row& r : a.rows()) out.Insert(r);
+  for (const Row& r : b.rows()) out.Insert(r);
+  return out;
+}
+
+std::vector<GroupByColumn> GroupCols(const std::vector<std::string>& names) {
+  std::vector<GroupByColumn> out;
+  out.reserve(names.size());
+  for (const std::string& n : names) out.push_back(GroupByColumn{n, ""});
+  return out;
+}
+
+Table GroupBy(const Table& input, const std::vector<GroupByColumn>& group_by,
+              const std::vector<AggregateSpec>& aggregates) {
+  std::vector<size_t> key_idx;
+  Schema out_schema;
+  for (const GroupByColumn& g : group_by) {
+    const size_t idx = input.schema().Resolve(g.input);
+    key_idx.push_back(idx);
+    const std::string out_name =
+        g.output.empty() ? BareName(g.input) : g.output;
+    out_schema.AddColumn(out_name, input.schema().column(idx).type);
+  }
+
+  std::vector<BoundExpression> args;  // parallel to aggregates; COUNT(*)
+                                      // entries hold a default (unused)
+  for (const AggregateSpec& a : aggregates) {
+    if (a.kind == AggregateKind::kCountStar) {
+      args.emplace_back();
+      out_schema.AddColumn(a.output_name, ValueType::kInt64);
+    } else {
+      if (!a.argument.has_value()) {
+        throw std::invalid_argument(AggregateKindName(a.kind) +
+                                    std::string(" requires an argument"));
+      }
+      args.push_back(a.argument->Bind(input.schema()));
+      out_schema.AddColumn(
+          a.output_name,
+          AggregateResultType(a.kind, a.argument->ResultType(input.schema())));
+    }
+  }
+
+  std::unordered_map<GroupKey, std::vector<Accumulator>, GroupKeyHash> groups;
+  groups.reserve(input.NumRows() / 4 + 8);
+  for (const Row& r : input.rows()) {
+    GroupKey key = ExtractKey(r, key_idx);
+    auto it = groups.find(key);
+    if (it == groups.end()) {
+      std::vector<Accumulator> accs;
+      accs.reserve(aggregates.size());
+      for (const AggregateSpec& a : aggregates) accs.emplace_back(a.kind);
+      it = groups.emplace(std::move(key), std::move(accs)).first;
+    }
+    for (size_t i = 0; i < aggregates.size(); ++i) {
+      if (aggregates[i].kind == AggregateKind::kCountStar) {
+        it->second[i].Add(Value::Null());
+      } else {
+        it->second[i].Add(args[i].Eval(r));
+      }
+    }
+  }
+
+  // Scalar aggregation (no group-by) over empty input yields one row.
+  if (group_by.empty() && groups.empty()) {
+    std::vector<Accumulator> accs;
+    for (const AggregateSpec& a : aggregates) accs.emplace_back(a.kind);
+    groups.emplace(GroupKey{}, std::move(accs));
+  }
+
+  Table out(std::move(out_schema));
+  out.Reserve(groups.size());
+  for (const auto& [key, accs] : groups) {
+    Row row = key;
+    for (const Accumulator& acc : accs) row.push_back(acc.Result());
+    out.Insert(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace sdelta::rel

@@ -1,0 +1,77 @@
+#ifndef SDELTA_RELATIONAL_OPERATORS_H_
+#define SDELTA_RELATIONAL_OPERATORS_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "relational/aggregate.h"
+#include "relational/expression.h"
+#include "relational/table.h"
+
+namespace sdelta::rel {
+
+/// Materializing relational operators.
+///
+/// Each operator validates its inputs at entry (throwing
+/// std::invalid_argument for schema errors) and produces a new Table.
+/// These are deliberately simple single-threaded implementations: the
+/// paper's experiments measure relative algorithmic costs (tuples touched
+/// per phase), which these operators expose faithfully.
+
+/// Rows of `input` satisfying `predicate` (SQL truthiness: non-null,
+/// non-zero).
+Table Select(const Table& input, const Expression& predicate);
+
+/// One output column per (name, expression) pair.
+struct ProjectColumn {
+  std::string name;
+  Expression expr;
+};
+Table Project(const Table& input, const std::vector<ProjectColumn>& columns);
+
+/// Equi-join of `left` and `right` on the given key column pairs
+/// (left_key resolved in left's schema, right_key in right's).
+///
+/// Output schema: left's columns unchanged, followed by right's columns
+/// qualified as "right_qualifier.column" (pass "" to keep right's names
+/// unchanged — valid only when there are no clashes). A hash table is
+/// built on the right input, so put the smaller relation (the dimension
+/// table) on the right.
+///
+/// With drop_right_keys = true the right key columns are omitted from the
+/// output — the idiom for foreign-key joins, where the dimension key
+/// duplicates the fact FK value and keeping it would only create
+/// ambiguous names.
+Table HashJoin(const Table& left, const Table& right,
+               const std::vector<std::pair<std::string, std::string>>& keys,
+               const std::string& right_qualifier,
+               bool drop_right_keys = false);
+
+/// Bag union. Schemas must have identical arity and column types; output
+/// takes `a`'s column names.
+Table UnionAll(const Table& a, const Table& b);
+
+/// Grouped aggregation.
+///
+/// Groups `input` by the `group_by` input columns (resolved by name;
+/// output columns are renamed to `output` — defaulting to the bare name
+/// after the last '.') and computes each aggregate. A grouping with an
+/// empty group_by list produces exactly one row even for empty input
+/// (SQL scalar-aggregate semantics).
+struct GroupByColumn {
+  std::string input;
+  std::string output;  // empty => bare name of `input`
+};
+Table GroupBy(const Table& input, const std::vector<GroupByColumn>& group_by,
+              const std::vector<AggregateSpec>& aggregates);
+
+/// Convenience: group-by columns keeping their bare names.
+std::vector<GroupByColumn> GroupCols(const std::vector<std::string>& names);
+
+/// The bare column name after the final '.' ("stores.city" -> "city").
+std::string BareName(const std::string& name);
+
+}  // namespace sdelta::rel
+
+#endif  // SDELTA_RELATIONAL_OPERATORS_H_

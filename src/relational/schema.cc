@@ -1,0 +1,83 @@
+#include "relational/schema.h"
+
+#include <stdexcept>
+
+namespace sdelta::rel {
+
+Schema::Schema(std::vector<Column> columns) {
+  for (auto& c : columns) AddColumn(std::move(c.name), c.type);
+}
+
+void Schema::AddColumn(std::string name, ValueType type) {
+  if (index_.count(name) > 0) {
+    throw std::invalid_argument("duplicate column name: " + name);
+  }
+  index_.emplace(name, columns_.size());
+  columns_.push_back(Column{std::move(name), type});
+}
+
+std::optional<size_t> Schema::IndexOf(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<size_t> Schema::TryResolve(const std::string& name) const {
+  if (auto exact = IndexOf(name)) return exact;
+  // Unique suffix match: "city" matches "stores.city".
+  const std::string suffix = "." + name;
+  std::optional<size_t> found;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    const std::string& cn = columns_[i].name;
+    if (cn.size() > suffix.size() &&
+        cn.compare(cn.size() - suffix.size(), suffix.size(), suffix) == 0) {
+      if (found.has_value()) {
+        throw std::invalid_argument("ambiguous column name '" + name +
+                                    "' in schema {" + ToString() + "}");
+      }
+      found = i;
+    }
+  }
+  return found;
+}
+
+size_t Schema::Resolve(const std::string& name) const {
+  auto idx = TryResolve(name);
+  if (!idx.has_value()) {
+    throw std::invalid_argument("unknown column '" + name + "' in schema {" +
+                                ToString() + "}");
+  }
+  return *idx;
+}
+
+Schema Schema::Qualified(const std::string& qualifier) const {
+  Schema out;
+  for (const Column& c : columns_) {
+    out.AddColumn(qualifier + "." + c.name, c.type);
+  }
+  return out;
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += ":";
+    out += ValueTypeName(columns_[i].type);
+  }
+  return out;
+}
+
+bool operator==(const Schema& a, const Schema& b) {
+  if (a.columns_.size() != b.columns_.size()) return false;
+  for (size_t i = 0; i < a.columns_.size(); ++i) {
+    if (a.columns_[i].name != b.columns_[i].name ||
+        a.columns_[i].type != b.columns_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace sdelta::rel

@@ -1,0 +1,66 @@
+#ifndef SDELTA_RELATIONAL_SCHEMA_H_
+#define SDELTA_RELATIONAL_SCHEMA_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "relational/value.h"
+
+namespace sdelta::rel {
+
+/// A named, typed column.
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kNull;
+};
+
+/// An ordered list of columns with name-based lookup.
+///
+/// Joined schemas qualify every column as "table.column"; Resolve() then
+/// accepts either the fully qualified name or a bare column name when the
+/// bare name is unambiguous. Base-table schemas typically use bare names.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns);
+
+  /// Appends a column. Duplicate exact names throw std::invalid_argument.
+  void AddColumn(std::string name, ValueType type);
+
+  size_t NumColumns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Exact-name lookup. Returns nullopt if absent.
+  std::optional<size_t> IndexOf(const std::string& name) const;
+
+  /// Name resolution used by expressions: exact match first; otherwise a
+  /// unique suffix match on ".name" (so "city" resolves to "stores.city"
+  /// in a joined schema). Ambiguity or absence throws
+  /// std::invalid_argument with a descriptive message.
+  size_t Resolve(const std::string& name) const;
+
+  /// Like Resolve but returns nullopt instead of throwing on absence
+  /// (ambiguity still throws).
+  std::optional<size_t> TryResolve(const std::string& name) const;
+
+  /// Returns a copy of this schema with every column renamed to
+  /// "qualifier.old_name". Used when building joined schemas.
+  Schema Qualified(const std::string& qualifier) const;
+
+  /// Renders "name:type, ..." for error messages and examples.
+  std::string ToString() const;
+
+  friend bool operator==(const Schema& a, const Schema& b);
+
+ private:
+  std::vector<Column> columns_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+}  // namespace sdelta::rel
+
+#endif  // SDELTA_RELATIONAL_SCHEMA_H_

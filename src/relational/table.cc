@@ -1,0 +1,128 @@
+#include "relational/table.h"
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace sdelta::rel {
+
+Table::Table(Schema schema, std::string name)
+    : name_(std::move(name)), schema_(std::move(schema)) {}
+
+void Table::Insert(Row row) {
+  if (row.size() != schema_.NumColumns()) {
+    throw std::invalid_argument(
+        "row arity " + std::to_string(row.size()) + " does not match schema " +
+        schema_.ToString() + " of table '" + name_ + "'");
+  }
+  rows_.push_back(std::move(row));
+  if (row_index_enabled_) IndexInsert(rows_.size() - 1);
+}
+
+bool Table::EraseOneEqual(const Row& target) {
+  if (row_index_enabled_) {
+    const size_t h = HashRow(target);
+    auto [begin, end] = row_index_.equal_range(h);
+    for (auto it = begin; it != end; ++it) {
+      if (rows_[it->second] == target) {
+        EraseAt(it->second);
+        return true;
+      }
+    }
+    return false;
+  }
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (rows_[i] == target) {
+      EraseAt(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+void Table::EraseAt(size_t i) {
+  if (i >= rows_.size()) {
+    throw std::invalid_argument("EraseAt out of range");
+  }
+  const size_t last = rows_.size() - 1;
+  if (row_index_enabled_) {
+    IndexErase(i);
+    if (i != last) {
+      IndexErase(last);
+    }
+  }
+  if (i != last) {
+    rows_[i] = std::move(rows_[last]);
+  }
+  rows_.pop_back();
+  if (row_index_enabled_ && i != last) {
+    IndexInsert(i);
+  }
+}
+
+void Table::Clear() {
+  rows_.clear();
+  row_index_.clear();
+}
+
+void Table::EnableRowIndex() {
+  if (row_index_enabled_) return;
+  row_index_enabled_ = true;
+  row_index_.clear();
+  row_index_.reserve(rows_.size());
+  for (size_t i = 0; i < rows_.size(); ++i) IndexInsert(i);
+}
+
+void Table::IndexInsert(size_t pos) {
+  row_index_.emplace(HashRow(rows_[pos]), pos);
+}
+
+void Table::IndexErase(size_t pos) {
+  const size_t h = HashRow(rows_[pos]);
+  auto [begin, end] = row_index_.equal_range(h);
+  for (auto it = begin; it != end; ++it) {
+    if (it->second == pos) {
+      row_index_.erase(it);
+      return;
+    }
+  }
+  throw std::logic_error("row index out of sync in table '" + name_ + "'");
+}
+
+bool Table::BagEquals(const Table& a, const Table& b) {
+  if (a.NumRows() != b.NumRows()) return false;
+  if (a.schema().NumColumns() != b.schema().NumColumns()) return false;
+  // Count multiplicities of a's rows, subtract b's.
+  std::unordered_multimap<size_t, const Row*> counts;
+  counts.reserve(a.NumRows());
+  for (const Row& r : a.rows()) counts.emplace(HashRow(r), &r);
+  for (const Row& r : b.rows()) {
+    const size_t h = HashRow(r);
+    auto [begin, end] = counts.equal_range(h);
+    bool found = false;
+    for (auto it = begin; it != end; ++it) {
+      if (*it->second == r) {
+        counts.erase(it);
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return counts.empty();
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  std::ostringstream os;
+  os << (name_.empty() ? "<anon>" : name_) << " [" << schema_.ToString()
+     << "] " << rows_.size() << " rows\n";
+  for (size_t i = 0; i < rows_.size() && i < max_rows; ++i) {
+    os << "  " << RowToString(rows_[i]) << "\n";
+  }
+  if (rows_.size() > max_rows) {
+    os << "  ... (" << rows_.size() - max_rows << " more)\n";
+  }
+  return os.str();
+}
+
+}  // namespace sdelta::rel

@@ -1,0 +1,78 @@
+#ifndef SDELTA_RELATIONAL_TABLE_H_
+#define SDELTA_RELATIONAL_TABLE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "relational/group_key.h"
+#include "relational/schema.h"
+#include "relational/value.h"
+
+namespace sdelta::rel {
+
+/// An in-memory relation with bag (multiset) semantics.
+///
+/// Rows are stored densely in a vector; deletion is O(1) swap-with-back.
+/// An optional whole-row hash index (EnableRowIndex) accelerates
+/// EraseOneEqual from O(n) to expected O(1); the warehouse enables it on
+/// fact tables so that applying a deferred deletion set of d rows against
+/// an n-row fact table costs O(d) instead of O(d*n).
+///
+/// Table deliberately has no notion of keys or constraints — duplicates
+/// are allowed, exactly as the paper's pos table allows duplicate sales.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema, std::string name = "");
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t NumRows() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+  const Row& row(size_t i) const { return rows_[i]; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  void Reserve(size_t n) { rows_.reserve(n); }
+
+  /// Appends a row. The row must have schema().NumColumns() values; this
+  /// is checked (cheaply) and violations throw std::invalid_argument.
+  void Insert(Row row);
+
+  /// Removes one row equal to `target` (bag semantics: if the row occurs
+  /// k times, one occurrence is removed). Returns true if a row was
+  /// removed. Expected O(1) with the row index enabled, O(n) otherwise.
+  bool EraseOneEqual(const Row& target);
+
+  /// Removes the row at position i (swap-with-back).
+  void EraseAt(size_t i);
+
+  /// Removes all rows (keeps schema and index mode).
+  void Clear();
+
+  /// Builds and maintains a whole-row hash index. Idempotent.
+  void EnableRowIndex();
+  bool row_index_enabled() const { return row_index_enabled_; }
+
+  /// Deep equality as bags: same schema and same multiset of rows.
+  /// O(n) with hashing. Used heavily by tests.
+  static bool BagEquals(const Table& a, const Table& b);
+
+  /// Renders up to `max_rows` rows for debugging/examples.
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  void IndexInsert(size_t pos);
+  void IndexErase(size_t pos);
+
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+  bool row_index_enabled_ = false;
+  // hash(row) -> positions with that hash (collisions resolved by compare).
+  std::unordered_multimap<size_t, size_t> row_index_;
+};
+
+}  // namespace sdelta::rel
+
+#endif  // SDELTA_RELATIONAL_TABLE_H_

@@ -1,0 +1,166 @@
+#include "relational/value.h"
+
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+
+namespace sdelta::rel {
+
+namespace {
+
+bool IsNumeric(const Value& v) {
+  return v.type() == ValueType::kInt64 || v.type() == ValueType::kDouble;
+}
+
+[[noreturn]] void ThrowNonNumeric(const char* op) {
+  throw std::invalid_argument(std::string("non-numeric operand to ") + op);
+}
+
+}  // namespace
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull: return "null";
+    case ValueType::kInt64: return "int64";
+    case ValueType::kDouble: return "double";
+    case ValueType::kString: return "string";
+  }
+  return "unknown";
+}
+
+double Value::ToDouble() const {
+  switch (type()) {
+    case ValueType::kInt64: return static_cast<double>(as_int64());
+    case ValueType::kDouble: return as_double();
+    default:
+      throw std::invalid_argument("Value::ToDouble on non-numeric value");
+  }
+}
+
+Value Value::Add(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return Null();
+  if (!IsNumeric(a) || !IsNumeric(b)) ThrowNonNumeric("Add");
+  if (a.type() == ValueType::kInt64 && b.type() == ValueType::kInt64) {
+    return Int64(a.as_int64() + b.as_int64());
+  }
+  return Double(a.ToDouble() + b.ToDouble());
+}
+
+Value Value::Subtract(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return Null();
+  if (!IsNumeric(a) || !IsNumeric(b)) ThrowNonNumeric("Subtract");
+  if (a.type() == ValueType::kInt64 && b.type() == ValueType::kInt64) {
+    return Int64(a.as_int64() - b.as_int64());
+  }
+  return Double(a.ToDouble() - b.ToDouble());
+}
+
+Value Value::Multiply(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return Null();
+  if (!IsNumeric(a) || !IsNumeric(b)) ThrowNonNumeric("Multiply");
+  if (a.type() == ValueType::kInt64 && b.type() == ValueType::kInt64) {
+    return Int64(a.as_int64() * b.as_int64());
+  }
+  return Double(a.ToDouble() * b.ToDouble());
+}
+
+Value Value::Divide(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return Null();
+  if (!IsNumeric(a) || !IsNumeric(b)) ThrowNonNumeric("Divide");
+  double denom = b.ToDouble();
+  if (denom == 0.0) return Null();
+  return Double(a.ToDouble() / denom);
+}
+
+Value Value::Negate(const Value& a) {
+  if (a.is_null()) return Null();
+  switch (a.type()) {
+    case ValueType::kInt64: return Int64(-a.as_int64());
+    case ValueType::kDouble: return Double(-a.as_double());
+    default: ThrowNonNumeric("Negate");
+  }
+}
+
+int Value::Compare(const Value& a, const Value& b) {
+  const bool an = a.is_null();
+  const bool bn = b.is_null();
+  if (an && bn) return 0;
+  if (an) return -1;
+  if (bn) return 1;
+  if (IsNumeric(a) && IsNumeric(b)) {
+    if (a.type() == ValueType::kInt64 && b.type() == ValueType::kInt64) {
+      const int64_t x = a.as_int64();
+      const int64_t y = b.as_int64();
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    const double x = a.ToDouble();
+    const double y = b.ToDouble();
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  if (a.type() == ValueType::kString && b.type() == ValueType::kString) {
+    return a.as_string().compare(b.as_string());
+  }
+  throw std::invalid_argument("Value::Compare across string and numeric");
+}
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.type() != b.type()) {
+    // Numeric cross-type equality (an int64 column is never mixed with
+    // doubles in practice, but expression results can widen).
+    if (IsNumeric(a) && IsNumeric(b)) return a.ToDouble() == b.ToDouble();
+    return false;
+  }
+  switch (a.type()) {
+    case ValueType::kNull: return true;
+    case ValueType::kInt64: return a.as_int64() == b.as_int64();
+    case ValueType::kDouble: return a.as_double() == b.as_double();
+    case ValueType::kString: return a.as_string() == b.as_string();
+  }
+  return false;
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9e3779b97f4a7c15ULL;
+    case ValueType::kInt64:
+      return std::hash<int64_t>{}(as_int64());
+    case ValueType::kDouble: {
+      // Hash integral doubles like the equal int64 so that operator== and
+      // Hash stay consistent across numeric widening.
+      const double d = as_double();
+      const int64_t i = static_cast<int64_t>(d);
+      if (static_cast<double>(i) == d) return std::hash<int64_t>{}(i);
+      return std::hash<double>{}(d);
+    }
+    case ValueType::kString:
+      return std::hash<std::string>{}(as_string());
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull: return "NULL";
+    case ValueType::kInt64: return std::to_string(as_int64());
+    case ValueType::kDouble: {
+      std::ostringstream os;
+      os << as_double();
+      return os.str();
+    }
+    case ValueType::kString: return as_string();
+  }
+  return "?";
+}
+
+std::string RowToString(const Row& row) {
+  std::string out = "(";
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += row[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace sdelta::rel

@@ -1,0 +1,119 @@
+#ifndef SDELTA_RELATIONAL_VALUE_H_
+#define SDELTA_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace sdelta::rel {
+
+/// The dynamic type of a Value / the declared type of a column.
+///
+/// Dates are represented as kInt64 (days since an arbitrary epoch); the
+/// MakeDate helper builds them from (year, month, day) so that ordering
+/// matches calendar ordering.
+enum class ValueType {
+  kNull,
+  kInt64,
+  kDouble,
+  kString,
+};
+
+/// Returns a human-readable name for a ValueType ("null", "int64", ...).
+const char* ValueTypeName(ValueType type);
+
+/// A dynamically typed SQL-style scalar.
+///
+/// Value is a small immutable variant over {null, int64, double, string}.
+/// All relational operators in this library (expressions, aggregation,
+/// joins) traffic in Values. SQL semantics are followed where it matters
+/// for the paper's algorithms: NULL propagates through arithmetic, NULLs
+/// are skipped by aggregate accumulators, and comparisons involving NULL
+/// yield NULL (three-valued logic lives in the expression layer).
+class Value {
+ public:
+  /// Constructs the NULL value.
+  Value() : data_(std::monostate{}) {}
+
+  /// Factory functions (preferred over implicit conversions, per style).
+  static Value Null() { return Value(); }
+  static Value Int64(int64_t v) { return Value(Data(v)); }
+  static Value Double(double v) { return Value(Data(v)); }
+  static Value String(std::string v) { return Value(Data(std::move(v))); }
+  /// Builds an int64-encoded date that orders like the calendar.
+  static Value Date(int year, int month, int day) {
+    return Int64(int64_t{year} * 10000 + month * 100 + day);
+  }
+
+  ValueType type() const {
+    switch (data_.index()) {
+      case 0: return ValueType::kNull;
+      case 1: return ValueType::kInt64;
+      case 2: return ValueType::kDouble;
+      default: return ValueType::kString;
+    }
+  }
+
+  bool is_null() const { return data_.index() == 0; }
+
+  /// Accessors. Calling the wrong accessor for the stored type is a
+  /// programmer error and throws std::bad_variant_access.
+  int64_t as_int64() const { return std::get<int64_t>(data_); }
+  double as_double() const { return std::get<double>(data_); }
+  const std::string& as_string() const { return std::get<std::string>(data_); }
+
+  /// Numeric value widened to double (int64 or double); throws for other
+  /// types. Used by arithmetic and SUM over mixed numeric columns.
+  double ToDouble() const;
+
+  /// SQL-style arithmetic with NULL propagation. Integer op integer stays
+  /// integer; any double operand widens the result to double. Throws
+  /// std::invalid_argument if an operand is a string.
+  static Value Add(const Value& a, const Value& b);
+  static Value Subtract(const Value& a, const Value& b);
+  static Value Multiply(const Value& a, const Value& b);
+  /// Division always produces double (or NULL on NULL input or zero
+  /// divisor, mirroring SQL's error-free warehouse-friendly behaviour).
+  static Value Divide(const Value& a, const Value& b);
+  static Value Negate(const Value& a);
+
+  /// Three-way comparison for ordering within a column.
+  /// NULL sorts before every non-null value; cross-numeric comparisons
+  /// (int64 vs double) compare numerically; comparing a string with a
+  /// number throws std::invalid_argument.
+  /// Returns <0, 0, >0.
+  static int Compare(const Value& a, const Value& b);
+
+  /// Structural equality: same type (modulo numeric widening) and same
+  /// contents. NULL == NULL is true here — this is *storage* equality used
+  /// by group keys and bag deletion, not SQL expression equality.
+  friend bool operator==(const Value& a, const Value& b);
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+
+  /// Hash consistent with operator== (numerically equal int64/double that
+  /// compare equal hash alike by hashing the double representation of
+  /// integral doubles is NOT attempted; columns are single-typed, so the
+  /// hash is over the stored representation).
+  size_t Hash() const;
+
+  /// Renders the value for debugging and example output ("NULL", "42",
+  /// "3.5", "abc").
+  std::string ToString() const;
+
+ private:
+  using Data = std::variant<std::monostate, int64_t, double, std::string>;
+  explicit Value(Data data) : data_(std::move(data)) {}
+
+  Data data_;
+};
+
+/// A tuple of values. Rows are positional; names live in the Schema.
+using Row = std::vector<Value>;
+
+/// Renders a row as "(v1, v2, ...)" for debugging and examples.
+std::string RowToString(const Row& row);
+
+}  // namespace sdelta::rel
+
+#endif  // SDELTA_RELATIONAL_VALUE_H_

@@ -1,0 +1,180 @@
+#include "warehouse/persistence.h"
+
+#include <array>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "relational/csv.h"
+
+namespace sdelta::warehouse {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+const char* TypeName(rel::ValueType t) {
+  switch (t) {
+    case rel::ValueType::kInt64: return "int64";
+    case rel::ValueType::kDouble: return "double";
+    case rel::ValueType::kString: return "string";
+    case rel::ValueType::kNull: return "null";
+  }
+  return "?";
+}
+
+rel::ValueType ParseType(const std::string& name) {
+  if (name == "int64") return rel::ValueType::kInt64;
+  if (name == "double") return rel::ValueType::kDouble;
+  if (name == "string") return rel::ValueType::kString;
+  throw std::runtime_error("manifest: unknown column type '" + name + "'");
+}
+
+/// manifest schema syntax: name:type,name:type,...
+std::string SerializeSchema(const rel::Schema& schema) {
+  std::string out;
+  for (size_t i = 0; i < schema.NumColumns(); ++i) {
+    if (i > 0) out += ",";
+    out += schema.column(i).name;
+    out += ":";
+    out += TypeName(schema.column(i).type);
+  }
+  return out;
+}
+
+rel::Schema DeserializeSchema(const std::string& text) {
+  rel::Schema schema;
+  std::istringstream in(text);
+  std::string part;
+  while (std::getline(in, part, ',')) {
+    const size_t colon = part.rfind(':');
+    if (colon == std::string::npos) {
+      throw std::runtime_error("manifest: bad schema entry '" + part + "'");
+    }
+    schema.AddColumn(part.substr(0, colon),
+                     ParseType(part.substr(colon + 1)));
+  }
+  return schema;
+}
+
+void WriteTableCsv(const rel::Table& table, const fs::path& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot write " + path.string());
+  }
+  rel::WriteCsv(table, out);
+}
+
+rel::Table ReadTableCsv(const rel::Schema& schema, const fs::path& path,
+                        const std::string& name) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot read " + path.string());
+  }
+  return rel::ReadCsv(schema, in, name);
+}
+
+}  // namespace
+
+void SaveCatalog(const rel::Catalog& catalog, const std::string& dir) {
+  fs::create_directories(fs::path(dir) / "tables");
+  std::ofstream manifest(fs::path(dir) / "manifest.txt");
+  if (!manifest) {
+    throw std::runtime_error("cannot write manifest under " + dir);
+  }
+  for (const std::string& name : catalog.TableNames()) {
+    const rel::Table& table = catalog.GetTable(name);
+    manifest << "table " << name << " "
+             << SerializeSchema(table.schema())
+             << (table.row_index_enabled() ? " indexed" : "") << "\n";
+    WriteTableCsv(table, fs::path(dir) / "tables" / (name + ".csv"));
+  }
+  for (const rel::ForeignKey& fk : catalog.foreign_keys()) {
+    manifest << "fk " << fk.fact_table << " " << fk.fact_column << " "
+             << fk.dim_table << " " << fk.dim_column << "\n";
+  }
+  for (const rel::FunctionalDependency& fd :
+       catalog.functional_dependencies()) {
+    manifest << "fd " << fd.table << " " << fd.determinant << " "
+             << fd.dependent << "\n";
+  }
+}
+
+rel::Catalog LoadCatalog(const std::string& dir) {
+  std::ifstream manifest(fs::path(dir) / "manifest.txt");
+  if (!manifest) {
+    throw std::runtime_error("missing manifest under " + dir);
+  }
+  rel::Catalog catalog;
+  std::string line;
+  // Foreign keys / FDs may reference tables declared later; collect and
+  // apply after all tables load.
+  std::vector<std::array<std::string, 4>> fks;
+  std::vector<std::array<std::string, 3>> fds;
+  while (std::getline(manifest, line)) {
+    if (line.empty()) continue;
+    std::istringstream in(line);
+    std::string kind;
+    in >> kind;
+    if (kind == "table") {
+      std::string name;
+      std::string schema_text;
+      std::string flag;
+      in >> name >> schema_text >> flag;
+      rel::Schema schema = DeserializeSchema(schema_text);
+      rel::Table table = ReadTableCsv(
+          schema, fs::path(dir) / "tables" / (name + ".csv"), name);
+      if (flag == "indexed") table.EnableRowIndex();
+      catalog.AddTable(std::move(table));
+    } else if (kind == "fk") {
+      std::array<std::string, 4> fk;
+      in >> fk[0] >> fk[1] >> fk[2] >> fk[3];
+      fks.push_back(std::move(fk));
+    } else if (kind == "fd") {
+      std::array<std::string, 3> fd;
+      in >> fd[0] >> fd[1] >> fd[2];
+      fds.push_back(std::move(fd));
+    } else if (kind == "summary") {
+      // consumed by LoadWarehouse; ignore here
+    } else {
+      throw std::runtime_error("manifest: unknown entry '" + kind + "'");
+    }
+  }
+  for (const auto& fk : fks) {
+    catalog.DeclareForeignKey(fk[0], fk[1], fk[2], fk[3]);
+  }
+  for (const auto& fd : fds) {
+    catalog.DeclareFunctionalDependency(fd[0], fd[1], fd[2]);
+  }
+  return catalog;
+}
+
+void SaveWarehouse(const Warehouse& warehouse, const std::string& dir) {
+  SaveCatalog(warehouse.catalog(), dir);
+  fs::create_directories(fs::path(dir) / "summaries");
+  std::ofstream manifest(fs::path(dir) / "manifest.txt", std::ios::app);
+  for (const core::AugmentedView& av : warehouse.vlattice().views) {
+    const core::SummaryTable& summary = warehouse.summary(av.name());
+    manifest << "summary " << av.name() << "\n";
+    WriteTableCsv(summary.ToTable(),
+                  fs::path(dir) / "summaries" / (av.name() + ".csv"));
+  }
+}
+
+Warehouse LoadWarehouse(const std::string& dir,
+                        const std::vector<core::ViewDef>& views,
+                        Warehouse::Options options) {
+  Warehouse warehouse(LoadCatalog(dir), options);
+  warehouse.DefineSummaryTables(views, /*materialize=*/false);
+  for (size_t i = 0; i < warehouse.NumSummaryTables(); ++i) {
+    const core::AugmentedView& av = warehouse.vlattice().views[i];
+    core::SummaryTable& summary = warehouse.summary_mutable(av.name());
+    const fs::path path = fs::path(dir) / "summaries" / (av.name() + ".csv");
+    rel::Table rows = ReadTableCsv(summary.schema(), path, av.name());
+    summary.LoadFrom(rows);
+  }
+  return warehouse;
+}
+
+}  // namespace sdelta::warehouse

@@ -1,0 +1,45 @@
+#ifndef SDELTA_WAREHOUSE_PERSISTENCE_H_
+#define SDELTA_WAREHOUSE_PERSISTENCE_H_
+
+#include <string>
+#include <vector>
+
+#include "warehouse/warehouse.h"
+
+namespace sdelta::warehouse {
+
+/// Directory-based snapshots.
+///
+/// Layout:
+///   <dir>/manifest.txt        — table schemas, foreign keys, FDs,
+///                                summary-table names
+///   <dir>/tables/<name>.csv   — base tables
+///   <dir>/summaries/<name>.csv — materialized summary rows (physical)
+///
+/// View *definitions* are code, not data: LoadWarehouse takes the same
+/// ViewDef list the warehouse was created with and verifies the saved
+/// summary schemas still match (a changed definition fails loudly
+/// rather than serving stale rows).
+
+/// Saves the catalog's base tables and metadata under `dir` (created if
+/// needed; existing files are overwritten).
+void SaveCatalog(const rel::Catalog& catalog, const std::string& dir);
+
+/// Restores a catalog saved by SaveCatalog. Throws std::runtime_error
+/// on missing/corrupt files.
+rel::Catalog LoadCatalog(const std::string& dir);
+
+/// Saves the full warehouse: catalog plus every summary table's rows.
+void SaveWarehouse(const Warehouse& warehouse, const std::string& dir);
+
+/// Restores a warehouse snapshot: loads the catalog, defines the given
+/// summary tables WITHOUT rematerializing, and loads their saved rows.
+/// The definitions must produce the same summary schemas as at save
+/// time (checked).
+Warehouse LoadWarehouse(const std::string& dir,
+                        const std::vector<core::ViewDef>& views,
+                        Warehouse::Options options = {});
+
+}  // namespace sdelta::warehouse
+
+#endif  // SDELTA_WAREHOUSE_PERSISTENCE_H_

@@ -1,0 +1,123 @@
+#include "warehouse/retail_schema.h"
+
+#include <random>
+
+namespace sdelta::warehouse {
+
+using rel::Schema;
+using rel::Table;
+using rel::Value;
+using rel::ValueType;
+
+rel::Catalog MakeRetailCatalog(const RetailConfig& config) {
+  rel::Catalog catalog;
+  std::mt19937_64 rng(config.seed);
+
+  Schema stores_schema;
+  stores_schema.AddColumn("storeID", ValueType::kInt64);
+  stores_schema.AddColumn("city", ValueType::kString);
+  stores_schema.AddColumn("region", ValueType::kString);
+  Table stores(stores_schema, "stores");
+  for (size_t s = 0; s < config.num_stores; ++s) {
+    // Stores map onto cities round-robin; cities map onto regions
+    // round-robin, keeping city -> region functional.
+    const size_t city = s % config.num_cities;
+    const size_t region = city % config.num_regions;
+    stores.Insert({Value::Int64(static_cast<int64_t>(s + 1)),
+                   Value::String("city" + std::to_string(city)),
+                   Value::String("region" + std::to_string(region))});
+  }
+  catalog.AddTable(std::move(stores));
+
+  Schema items_schema;
+  items_schema.AddColumn("itemID", ValueType::kInt64);
+  items_schema.AddColumn("name", ValueType::kString);
+  items_schema.AddColumn("category", ValueType::kString);
+  items_schema.AddColumn("cost", ValueType::kDouble);
+  Table items(items_schema, "items");
+  std::uniform_real_distribution<double> cost_dist(0.5, 100.0);
+  for (size_t i = 0; i < config.num_items; ++i) {
+    const size_t category = i % config.num_categories;
+    items.Insert({Value::Int64(static_cast<int64_t>(i + 1)),
+                  Value::String("item" + std::to_string(i + 1)),
+                  Value::String("cat" + std::to_string(category)),
+                  Value::Double(cost_dist(rng))});
+  }
+  catalog.AddTable(std::move(items));
+
+  Schema pos_schema;
+  pos_schema.AddColumn("storeID", ValueType::kInt64);
+  pos_schema.AddColumn("itemID", ValueType::kInt64);
+  pos_schema.AddColumn("date", ValueType::kInt64);
+  pos_schema.AddColumn("qty", ValueType::kInt64);
+  pos_schema.AddColumn("price", ValueType::kDouble);
+  Table pos(pos_schema, "pos");
+  pos.Reserve(config.num_pos_rows);
+  std::uniform_int_distribution<int64_t> store_dist(
+      1, static_cast<int64_t>(config.num_stores));
+  std::uniform_int_distribution<int64_t> item_dist(
+      1, static_cast<int64_t>(config.num_items));
+  std::uniform_int_distribution<int64_t> date_dist(
+      1, static_cast<int64_t>(config.num_dates));
+  std::uniform_int_distribution<int64_t> qty_dist(1, 10);
+  std::uniform_real_distribution<double> price_dist(1.0, 500.0);
+  for (size_t r = 0; r < config.num_pos_rows; ++r) {
+    pos.Insert({Value::Int64(store_dist(rng)), Value::Int64(item_dist(rng)),
+                Value::Int64(date_dist(rng)), Value::Int64(qty_dist(rng)),
+                Value::Double(price_dist(rng))});
+  }
+  pos.EnableRowIndex();
+  catalog.AddTable(std::move(pos));
+
+  catalog.DeclareForeignKey("pos", "storeID", "stores", "storeID");
+  catalog.DeclareForeignKey("pos", "itemID", "items", "itemID");
+  catalog.DeclareFunctionalDependency("stores", "storeID", "city");
+  catalog.DeclareFunctionalDependency("stores", "city", "region");
+  catalog.DeclareFunctionalDependency("items", "itemID", "category");
+  return catalog;
+}
+
+std::vector<core::ViewDef> RetailSummaryTables() {
+  using rel::Expression;
+  std::vector<core::ViewDef> views;
+
+  core::ViewDef sid;
+  sid.name = "SID_sales";
+  sid.fact_table = "pos";
+  sid.group_by = {"storeID", "itemID", "date"};
+  sid.aggregates = {rel::CountStar("TotalCount"),
+                    rel::Sum(Expression::Column("qty"), "TotalQuantity")};
+  views.push_back(sid);
+
+  core::ViewDef scd;
+  scd.name = "sCD_sales";
+  scd.fact_table = "pos";
+  scd.joins = {core::DimensionJoin{"stores", "storeID", "storeID"}};
+  scd.group_by = {"city", "date"};
+  scd.aggregates = {rel::CountStar("TotalCount"),
+                    rel::Sum(Expression::Column("qty"), "TotalQuantity")};
+  views.push_back(scd);
+
+  core::ViewDef sic;
+  sic.name = "SiC_sales";
+  sic.fact_table = "pos";
+  sic.joins = {core::DimensionJoin{"items", "itemID", "itemID"}};
+  sic.group_by = {"storeID", "category"};
+  sic.aggregates = {rel::CountStar("TotalCount"),
+                    rel::Min(Expression::Column("date"), "EarliestSale"),
+                    rel::Sum(Expression::Column("qty"), "TotalQuantity")};
+  views.push_back(sic);
+
+  core::ViewDef sr;
+  sr.name = "sR_sales";
+  sr.fact_table = "pos";
+  sr.joins = {core::DimensionJoin{"stores", "storeID", "storeID"}};
+  sr.group_by = {"region"};
+  sr.aggregates = {rel::CountStar("TotalCount"),
+                   rel::Sum(Expression::Column("qty"), "TotalQuantity")};
+  views.push_back(sr);
+
+  return views;
+}
+
+}  // namespace sdelta::warehouse

@@ -1,0 +1,46 @@
+#ifndef SDELTA_WAREHOUSE_RETAIL_SCHEMA_H_
+#define SDELTA_WAREHOUSE_RETAIL_SCHEMA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/view_def.h"
+#include "relational/catalog.h"
+
+namespace sdelta::warehouse {
+
+/// Sizing knobs for the synthetic retail warehouse of paper §2/§6.
+struct RetailConfig {
+  size_t num_stores = 100;
+  size_t num_cities = 30;
+  size_t num_regions = 5;
+  size_t num_items = 1000;
+  size_t num_categories = 20;
+  /// Distinct sale dates in the initial load; encoded as int64 day
+  /// numbers 1..num_dates. Insertion-generating change sets use day
+  /// numbers above this.
+  size_t num_dates = 365;
+  size_t num_pos_rows = 100000;
+  uint64_t seed = 42;
+};
+
+/// Builds the paper's retail star schema with synthetic data:
+///   pos(storeID, itemID, date, qty, price)     — fact, duplicates legal
+///   stores(storeID, city, region)              — storeID -> city -> region
+///   items(itemID, name, category, cost)        — itemID -> category
+/// Foreign keys and the dimension-hierarchy functional dependencies are
+/// declared on the catalog; the pos table has its row index enabled so
+/// deferred deletions apply in O(1).
+rel::Catalog MakeRetailCatalog(const RetailConfig& config = {});
+
+/// The four summary tables of Figure 1:
+///   SID_sales(storeID, itemID, date,  COUNT(*), SUM(qty))
+///   sCD_sales(city, date,             COUNT(*), SUM(qty))    [joins stores]
+///   SiC_sales(storeID, category,      COUNT(*), MIN(date), SUM(qty))
+///                                                            [joins items]
+///   sR_sales(region,                  COUNT(*), SUM(qty))    [joins stores]
+std::vector<core::ViewDef> RetailSummaryTables();
+
+}  // namespace sdelta::warehouse
+
+#endif  // SDELTA_WAREHOUSE_RETAIL_SCHEMA_H_

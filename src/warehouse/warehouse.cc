@@ -1,0 +1,189 @@
+#include "warehouse/warehouse.h"
+
+#include <stdexcept>
+
+#include "core/rematerialize.h"
+#include "core/sql_parser.h"
+
+namespace sdelta::warehouse {
+
+core::RefreshStats BatchReport::TotalRefresh() const {
+  core::RefreshStats total;
+  for (const ViewBatchReport& v : views) total += v.refresh;
+  return total;
+}
+
+Warehouse::Warehouse(rel::Catalog catalog, Options options)
+    : catalog_(std::move(catalog)), options_(options) {}
+
+void Warehouse::DefineSummaryTables(const std::vector<core::ViewDef>& views,
+                                    bool materialize) {
+  if (!summaries_.empty()) {
+    throw std::logic_error("summary tables already defined");
+  }
+  defined_views_ = views;
+  Rebuild(materialize);
+}
+
+void Warehouse::AddSummaryTable(const core::ViewDef& view) {
+  core::ValidateView(catalog_, view);
+  for (const core::ViewDef& existing : defined_views_) {
+    if (existing.name == view.name) {
+      throw std::invalid_argument("summary table " + view.name +
+                                  " already defined");
+    }
+  }
+  defined_views_.push_back(view);
+  Rebuild(/*materialize=*/true);
+}
+
+void Warehouse::AddSummaryTable(const std::string& sql) {
+  AddSummaryTable(core::ParseViewDef(catalog_, sql));
+}
+
+void Warehouse::DropSummaryTable(const std::string& name) {
+  for (size_t i = 0; i < defined_views_.size(); ++i) {
+    if (defined_views_[i].name == name) {
+      defined_views_.erase(defined_views_.begin() + i);
+      Rebuild(/*materialize=*/true);
+      return;
+    }
+  }
+  throw std::invalid_argument("unknown summary table: " + name);
+}
+
+void Warehouse::Rebuild(bool materialize) {
+  std::vector<core::ViewDef> defs =
+      options_.lattice_friendly
+          ? lattice::MakeLatticeFriendly(catalog_, defined_views_)
+          : defined_views_;
+  std::vector<core::AugmentedView> augmented;
+  augmented.reserve(defs.size());
+  for (const core::ViewDef& d : defs) {
+    augmented.push_back(core::AugmentForSelfMaintenance(catalog_, d));
+  }
+
+  // Stash the previous tables so unchanged views keep their rows.
+  std::vector<core::SummaryTable> old = std::move(summaries_);
+  summaries_.clear();
+
+  lattice_ = lattice::BuildVLattice(catalog_, std::move(augmented));
+  plan_ = lattice::ChoosePlan(catalog_, lattice_,
+                              lattice::PlanOptions{options_.use_lattice});
+  summaries_.reserve(lattice_.views.size());
+  for (const core::AugmentedView& v : lattice_.views) {
+    summaries_.emplace_back(v, catalog_);
+  }
+  if (!materialize) return;
+
+  // Plan order guarantees parents are filled before children, so a new
+  // view can be built from a parent's (preserved or fresh) rows.
+  for (const lattice::PlanStep& step : plan_.steps) {
+    core::SummaryTable& table = summaries_[step.view];
+    const core::SummaryTable* previous = nullptr;
+    for (const core::SummaryTable& o : old) {
+      if (o.name() == table.name() && o.schema() == table.schema()) {
+        previous = &o;
+      }
+    }
+    if (previous != nullptr) {
+      table.LoadFrom(previous->ToTable());
+      continue;
+    }
+    if (step.edge.has_value()) {
+      const lattice::VLatticeEdge& edge = lattice_.edges[*step.edge];
+      core::RematerializeFromParent(catalog_, edge.recipe,
+                                    summaries_[edge.parent].ToTable(),
+                                    table);
+    } else {
+      table.MaterializeFrom(catalog_);
+    }
+  }
+}
+
+const core::SummaryTable& Warehouse::summary(const std::string& name) const {
+  for (const core::SummaryTable& s : summaries_) {
+    if (s.name() == name) return s;
+  }
+  throw std::invalid_argument("unknown summary table: " + name);
+}
+
+core::SummaryTable& Warehouse::summary_mutable(const std::string& name) {
+  for (core::SummaryTable& s : summaries_) {
+    if (s.name() == name) return s;
+  }
+  throw std::invalid_argument("unknown summary table: " + name);
+}
+
+BatchReport Warehouse::RunBatch(const core::ChangeSet& changes) {
+  BatchReport report;
+
+  core::Stopwatch sw;
+  lattice::LatticePropagateResult deltas = lattice::PropagateAll(
+      catalog_, lattice_, plan_, changes, options_.propagate);
+  report.propagate_seconds = sw.ElapsedSeconds();
+  report.propagate = deltas.totals;
+
+  sw.Reset();
+  core::ApplyChangeSet(catalog_, changes);
+  report.apply_base_seconds = sw.ElapsedSeconds();
+
+  sw.Reset();
+  for (size_t i = 0; i < summaries_.size(); ++i) {
+    ViewBatchReport vr;
+    vr.view = summaries_[i].name();
+    vr.delta_rows = deltas.deltas[i].NumRows();
+    vr.refresh = core::Refresh(catalog_, summaries_[i], deltas.deltas[i],
+                               options_.refresh);
+    report.views.push_back(std::move(vr));
+  }
+  report.refresh_seconds = sw.ElapsedSeconds();
+  return report;
+}
+
+double Warehouse::PropagateOnly(const core::ChangeSet& changes,
+                                core::PropagateStats* stats) const {
+  core::Stopwatch sw;
+  lattice::LatticePropagateResult deltas = lattice::PropagateAll(
+      catalog_, lattice_, plan_, changes, options_.propagate);
+  const double elapsed = sw.ElapsedSeconds();
+  if (stats != nullptr) *stats = deltas.totals;
+  return elapsed;
+}
+
+double Warehouse::RematerializeAll(const core::ChangeSet& changes) {
+  core::ApplyChangeSet(catalog_, changes);
+  core::Stopwatch sw;
+  if (!options_.use_lattice) {
+    for (core::SummaryTable& s : summaries_) {
+      core::Rematerialize(catalog_, s);
+    }
+    return sw.ElapsedSeconds();
+  }
+  // Recompute along the plan: tops from base, children from their
+  // parent's fresh rows via the V-lattice edge query (Theorem 5.1).
+  for (const lattice::PlanStep& step : plan_.steps) {
+    if (step.edge.has_value()) {
+      const lattice::VLatticeEdge& edge = lattice_.edges[*step.edge];
+      core::RematerializeFromParent(catalog_, edge.recipe,
+                                    summaries_[edge.parent].ToTable(),
+                                    summaries_[step.view]);
+    } else {
+      core::Rematerialize(catalog_, summaries_[step.view]);
+    }
+  }
+  return sw.ElapsedSeconds();
+}
+
+lattice::AnswerResult Warehouse::Query(const core::ViewDef& query) const {
+  std::vector<const core::SummaryTable*> summaries;
+  summaries.reserve(summaries_.size());
+  for (const core::SummaryTable& s : summaries_) summaries.push_back(&s);
+  return lattice::AnswerQuery(catalog_, lattice_, summaries, query);
+}
+
+lattice::AnswerResult Warehouse::Query(const std::string& sql) const {
+  return Query(core::ParseQuery(catalog_, sql));
+}
+
+}  // namespace sdelta::warehouse

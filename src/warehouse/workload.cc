@@ -1,0 +1,167 @@
+#include "warehouse/workload.h"
+
+#include <random>
+#include <unordered_set>
+
+namespace sdelta::warehouse {
+
+using rel::Row;
+using rel::Table;
+using rel::Value;
+
+namespace {
+
+/// Distinct values of an int64 column, for sampling "existing" values.
+std::vector<int64_t> DistinctInt64(const Table& t, const std::string& col) {
+  const size_t idx = t.schema().Resolve(col);
+  std::unordered_set<int64_t> seen;
+  for (const Row& r : t.rows()) {
+    if (!r[idx].is_null()) seen.insert(r[idx].as_int64());
+  }
+  return std::vector<int64_t>(seen.begin(), seen.end());
+}
+
+int64_t MaxInt64(const Table& t, const std::string& col) {
+  const size_t idx = t.schema().Resolve(col);
+  int64_t max = 0;
+  for (const Row& r : t.rows()) {
+    if (!r[idx].is_null() && r[idx].as_int64() > max) {
+      max = r[idx].as_int64();
+    }
+  }
+  return max;
+}
+
+}  // namespace
+
+core::ChangeSet MakeUpdateGeneratingChanges(const rel::Catalog& catalog,
+                                            size_t change_size,
+                                            uint64_t seed) {
+  const Table& pos = catalog.GetTable("pos");
+  std::mt19937_64 rng(seed);
+
+  core::ChangeSet changes;
+  changes.fact_table = "pos";
+  changes.fact = core::DeltaSet(pos.schema());
+
+  const size_t num_deletions = std::min(change_size / 2, pos.NumRows());
+  const size_t num_insertions = change_size - num_deletions;
+
+  // Deletions: sample distinct existing row positions.
+  std::unordered_set<size_t> picked;
+  std::uniform_int_distribution<size_t> pos_dist(0, pos.NumRows() - 1);
+  while (picked.size() < num_deletions) {
+    picked.insert(pos_dist(rng));
+  }
+  for (size_t p : picked) {
+    changes.fact.deletions.Insert(pos.row(p));
+  }
+
+  // Insertions: existing store/item/date values, fresh qty/price.
+  const std::vector<int64_t> stores = DistinctInt64(pos, "storeID");
+  const std::vector<int64_t> items = DistinctInt64(pos, "itemID");
+  const std::vector<int64_t> dates = DistinctInt64(pos, "date");
+  std::uniform_int_distribution<size_t> s_dist(0, stores.size() - 1);
+  std::uniform_int_distribution<size_t> i_dist(0, items.size() - 1);
+  std::uniform_int_distribution<size_t> d_dist(0, dates.size() - 1);
+  std::uniform_int_distribution<int64_t> qty_dist(1, 10);
+  std::uniform_real_distribution<double> price_dist(1.0, 500.0);
+  for (size_t k = 0; k < num_insertions; ++k) {
+    changes.fact.insertions.Insert(
+        {Value::Int64(stores[s_dist(rng)]), Value::Int64(items[i_dist(rng)]),
+         Value::Int64(dates[d_dist(rng)]), Value::Int64(qty_dist(rng)),
+         Value::Double(price_dist(rng))});
+  }
+  return changes;
+}
+
+core::ChangeSet MakeInsertionGeneratingChanges(const rel::Catalog& catalog,
+                                               size_t change_size,
+                                               uint64_t seed) {
+  const Table& pos = catalog.GetTable("pos");
+  std::mt19937_64 rng(seed);
+
+  core::ChangeSet changes;
+  changes.fact_table = "pos";
+  changes.fact = core::DeltaSet(pos.schema());
+
+  const std::vector<int64_t> stores = DistinctInt64(pos, "storeID");
+  const std::vector<int64_t> items = DistinctInt64(pos, "itemID");
+  const int64_t first_new_date = MaxInt64(pos, "date") + 1;
+  // New data lands on a handful of fresh dates (a nightly batch covers
+  // one day, occasionally a few).
+  const int64_t num_new_dates = 3;
+
+  std::uniform_int_distribution<size_t> s_dist(0, stores.size() - 1);
+  std::uniform_int_distribution<size_t> i_dist(0, items.size() - 1);
+  std::uniform_int_distribution<int64_t> d_dist(first_new_date,
+                                                first_new_date +
+                                                    num_new_dates - 1);
+  std::uniform_int_distribution<int64_t> qty_dist(1, 10);
+  std::uniform_real_distribution<double> price_dist(1.0, 500.0);
+  for (size_t k = 0; k < change_size; ++k) {
+    changes.fact.insertions.Insert(
+        {Value::Int64(stores[s_dist(rng)]), Value::Int64(items[i_dist(rng)]),
+         Value::Int64(d_dist(rng)), Value::Int64(qty_dist(rng)),
+         Value::Double(price_dist(rng))});
+  }
+  return changes;
+}
+
+core::ChangeSet MakeBackfillChanges(const rel::Catalog& catalog,
+                                    size_t change_size, uint64_t seed) {
+  const Table& pos = catalog.GetTable("pos");
+  std::mt19937_64 rng(seed);
+
+  core::ChangeSet changes;
+  changes.fact_table = "pos";
+  changes.fact = core::DeltaSet(pos.schema());
+
+  const std::vector<int64_t> stores = DistinctInt64(pos, "storeID");
+  const std::vector<int64_t> items = DistinctInt64(pos, "itemID");
+  // All backfilled dates sort strictly before every existing date (day
+  // numbers are >= 1; backfill uses 0 and below).
+  std::uniform_int_distribution<size_t> s_dist(0, stores.size() - 1);
+  std::uniform_int_distribution<size_t> i_dist(0, items.size() - 1);
+  std::uniform_int_distribution<int64_t> d_dist(-30, 0);
+  std::uniform_int_distribution<int64_t> qty_dist(1, 10);
+  std::uniform_real_distribution<double> price_dist(1.0, 500.0);
+  for (size_t k = 0; k < change_size; ++k) {
+    changes.fact.insertions.Insert(
+        {Value::Int64(stores[s_dist(rng)]), Value::Int64(items[i_dist(rng)]),
+         Value::Int64(d_dist(rng)), Value::Int64(qty_dist(rng)),
+         Value::Double(price_dist(rng))});
+  }
+  return changes;
+}
+
+core::ChangeSet MakeItemRecategorization(const rel::Catalog& catalog,
+                                         size_t count, uint64_t seed) {
+  const Table& items = catalog.GetTable("items");
+  std::mt19937_64 rng(seed);
+
+  core::ChangeSet changes;
+  changes.fact_table = "pos";
+  changes.fact = core::DeltaSet(catalog.GetTable("pos").schema());
+  core::DeltaSet items_delta(items.schema());
+
+  const size_t category_idx = items.schema().Resolve("category");
+  std::unordered_set<size_t> picked;
+  std::uniform_int_distribution<size_t> row_dist(0, items.NumRows() - 1);
+  count = std::min(count, items.NumRows());
+  while (picked.size() < count) {
+    picked.insert(row_dist(rng));
+  }
+  for (size_t p : picked) {
+    Row old_row = items.row(p);
+    Row new_row = old_row;
+    new_row[category_idx] = Value::String(
+        old_row[category_idx].as_string() + "_moved");
+    items_delta.deletions.Insert(std::move(old_row));
+    items_delta.insertions.Insert(std::move(new_row));
+  }
+  changes.dimensions.emplace("items", std::move(items_delta));
+  return changes;
+}
+
+}  // namespace sdelta::warehouse

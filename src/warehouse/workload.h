@@ -1,0 +1,45 @@
+#ifndef SDELTA_WAREHOUSE_WORKLOAD_H_
+#define SDELTA_WAREHOUSE_WORKLOAD_H_
+
+#include <cstdint>
+
+#include "core/delta.h"
+#include "relational/catalog.h"
+
+namespace sdelta::warehouse {
+
+/// The paper's two change classes for the pos fact table (§6):
+///
+/// *Update-generating changes*: an equal number of insertions and
+/// deletions over existing date/store/item values — they mostly cause
+/// in-place updates of existing summary-table tuples. `change_size`
+/// rows total (half deletions of existing pos rows, half fresh
+/// insertions over existing value combinations).
+core::ChangeSet MakeUpdateGeneratingChanges(const rel::Catalog& catalog,
+                                            size_t change_size,
+                                            uint64_t seed);
+
+/// *Insertion-generating changes*: insertions over NEW dates (beyond any
+/// date currently in pos) with existing store/item values — they cause
+/// pure inserts into the summary tables that group by date and updates
+/// into the others.
+core::ChangeSet MakeInsertionGeneratingChanges(const rel::Catalog& catalog,
+                                               size_t change_size,
+                                               uint64_t seed);
+
+/// Dimension-table changes (paper §4.1.4): reassigns `count` random items
+/// to different categories, expressed as an items delta (delete old row,
+/// insert updated row).
+core::ChangeSet MakeItemRecategorization(const rel::Catalog& catalog,
+                                         size_t count, uint64_t seed);
+
+/// *Backfill changes*: insertions of late-arriving historical rows with
+/// dates EARLIER than anything in pos — every touched group's MIN(date)
+/// is beaten, the worst case for Figure 7's conservative recompute rule
+/// and the best case for the untainted-delta optimization.
+core::ChangeSet MakeBackfillChanges(const rel::Catalog& catalog,
+                                    size_t change_size, uint64_t seed);
+
+}  // namespace sdelta::warehouse
+
+#endif  // SDELTA_WAREHOUSE_WORKLOAD_H_

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "core/maintenance.h"
+#include "core/propagate.h"
+#include "core/refresh.h"
+#include "oracle.h"
+#include "tiny_catalog.h"
+#include "warehouse/retail_schema.h"
+#include "warehouse/workload.h"
+
+namespace sdelta::core {
+namespace {
+
+using rel::Expression;
+using rel::Value;
+using sdelta::testing::ExpectMaintainedEqualsRecomputed;
+using sdelta::testing::PosRow;
+using sdelta::testing::TinyCatalog;
+
+ViewDef SicView() {
+  ViewDef v;
+  v.name = "SiC_sales";
+  v.fact_table = "pos";
+  v.joins = {DimensionJoin{"items", "itemID", "itemID"}};
+  v.group_by = {"storeID", "category"};
+  v.aggregates = {rel::CountStar("TotalCount"),
+                  rel::Sum(Expression::Column("qty"), "TotalQuantity")};
+  return v;
+}
+
+ChangeSet RecategorizeItem10(const rel::Catalog& c) {
+  ChangeSet changes;
+  changes.fact_table = "pos";
+  changes.fact = DeltaSet(c.GetTable("pos").schema());
+  DeltaSet items_delta(c.GetTable("items").schema());
+  items_delta.deletions.Insert({Value::Int64(10), Value::String("food")});
+  items_delta.insertions.Insert({Value::Int64(10), Value::String("fresh")});
+  changes.dimensions.emplace("items", std::move(items_delta));
+  return changes;
+}
+
+TEST(DimensionChangesTest, PureDimensionUpdateMatchesOracle) {
+  ExpectMaintainedEqualsRecomputed(&TinyCatalog, {SicView()},
+                                   &RecategorizeItem10);
+}
+
+TEST(DimensionChangesTest, MixedFactAndDimensionChangesMatchOracle) {
+  ExpectMaintainedEqualsRecomputed(
+      &TinyCatalog, {SicView()}, [](const rel::Catalog& c) {
+        ChangeSet changes = RecategorizeItem10(c);
+        changes.fact.insertions.Insert(PosRow(1, 10, 9, 2));
+        changes.fact.insertions.Insert(PosRow(2, 10, 9, 1));
+        changes.fact.deletions.Insert(PosRow(2, 10, 1, 7));
+        return changes;
+      });
+}
+
+TEST(DimensionChangesTest, DimensionInsertOnlyNewItemNoFactRows) {
+  // Inserting a dimension row that joins with nothing must be a no-op.
+  rel::Catalog c = TinyCatalog();
+  AugmentedView av = AugmentForSelfMaintenance(c, SicView());
+  SummaryTable st(av, c);
+  st.MaterializeFrom(c);
+
+  ChangeSet changes;
+  changes.fact_table = "pos";
+  changes.fact = DeltaSet(c.GetTable("pos").schema());
+  DeltaSet items_delta(c.GetTable("items").schema());
+  items_delta.insertions.Insert({Value::Int64(30), Value::String("new")});
+  changes.dimensions.emplace("items", std::move(items_delta));
+
+  rel::Table sd = ComputeSummaryDelta(c, av, changes);
+  EXPECT_EQ(sd.NumRows(), 0u);
+}
+
+TEST(DimensionChangesTest, ViewNotJoiningChangedDimensionUnaffected) {
+  // SID_sales does not join items; an items change yields no delta.
+  rel::Catalog c = TinyCatalog();
+  ViewDef v;
+  v.name = "SID_sales";
+  v.fact_table = "pos";
+  v.group_by = {"storeID", "itemID", "date"};
+  v.aggregates = {rel::CountStar("n")};
+  AugmentedView av = AugmentForSelfMaintenance(c, v);
+
+  rel::Table sd = ComputeSummaryDelta(c, av, RecategorizeItem10(c));
+  EXPECT_EQ(sd.NumRows(), 0u);
+}
+
+TEST(DimensionChangesTest, MinAggregateThroughDimensionMove) {
+  // MIN(date) must be carried correctly when rows move between groups.
+  ViewDef v = SicView();
+  v.aggregates.push_back(rel::Min(Expression::Column("date"),
+                                  "EarliestSale"));
+  ExpectMaintainedEqualsRecomputed(&TinyCatalog, {v}, [](const rel::Catalog&
+                                                             c) {
+    ChangeSet changes = RecategorizeItem10(c);
+    return changes;
+  });
+}
+
+TEST(DimensionChangesTest, RetailRecategorizationMatchesOracle) {
+  auto make_catalog = [] {
+    warehouse::RetailConfig config;
+    config.num_stores = 10;
+    config.num_items = 50;
+    config.num_categories = 5;
+    config.num_pos_rows = 1500;
+    config.seed = 3;
+    return warehouse::MakeRetailCatalog(config);
+  };
+  ExpectMaintainedEqualsRecomputed(
+      make_catalog, warehouse::RetailSummaryTables(),
+      [](const rel::Catalog& cat) {
+        return warehouse::MakeItemRecategorization(cat, 10, 99);
+      });
+}
+
+}  // namespace
+}  // namespace sdelta::core

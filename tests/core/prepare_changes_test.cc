@@ -1,0 +1,232 @@
+#include "core/prepare_changes.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "tiny_catalog.h"
+
+namespace sdelta::core {
+namespace {
+
+using rel::Expression;
+using rel::Table;
+using rel::Value;
+using sdelta::testing::PosRow;
+using sdelta::testing::TinyCatalog;
+
+/// The SiC_sales view of the paper over the tiny catalog: group by
+/// (storeID, category), COUNT(*), MIN(date), SUM(qty).
+AugmentedView SiC(const rel::Catalog& c) {
+  ViewDef v;
+  v.name = "SiC_sales";
+  v.fact_table = "pos";
+  v.joins = {DimensionJoin{"items", "itemID", "itemID"}};
+  v.group_by = {"storeID", "category"};
+  v.aggregates = {rel::CountStar("TotalCount"),
+                  rel::Min(Expression::Column("date"), "EarliestSale"),
+                  rel::Sum(Expression::Column("qty"), "TotalQuantity")};
+  return AugmentForSelfMaintenance(c, v);
+}
+
+size_t Col(const Table& t, const std::string& name) {
+  return t.schema().Resolve(name);
+}
+
+TEST(PrepareChangesTest, Table1InsertionSources) {
+  rel::Catalog c = TinyCatalog();
+  AugmentedView v = SiC(c);
+  Table ins(c.GetTable("pos").schema());
+  ins.Insert(PosRow(1, 10, 7, 9));
+
+  // Figure 6's pi_SiC_sales: +1 count, date passthrough, +qty.
+  Table pi = PrepareFactChanges(c, v, ins, +1);
+  ASSERT_EQ(pi.NumRows(), 1u);
+  const rel::Row& r = pi.row(0);
+  EXPECT_EQ(r[Col(pi, "storeID")].as_int64(), 1);
+  EXPECT_EQ(r[Col(pi, "category")].as_string(), "food");
+  EXPECT_EQ(r[Col(pi, "TotalCount")].as_int64(), 1);
+  EXPECT_EQ(r[Col(pi, "EarliestSale")].as_int64(), 7);
+  EXPECT_EQ(r[Col(pi, "TotalQuantity")].as_int64(), 9);
+}
+
+TEST(PrepareChangesTest, Table1DeletionSources) {
+  rel::Catalog c = TinyCatalog();
+  AugmentedView v = SiC(c);
+  Table del(c.GetTable("pos").schema());
+  del.Insert(PosRow(2, 20, 3, 4));
+
+  // Figure 6's pd_SiC_sales: -1 count, date passthrough (NOT negated),
+  // -qty.
+  Table pd = PrepareFactChanges(c, v, del, -1);
+  ASSERT_EQ(pd.NumRows(), 1u);
+  const rel::Row& r = pd.row(0);
+  EXPECT_EQ(r[Col(pd, "TotalCount")].as_int64(), -1);
+  EXPECT_EQ(r[Col(pd, "EarliestSale")].as_int64(), 3);
+  EXPECT_EQ(r[Col(pd, "TotalQuantity")].as_int64(), -4);
+}
+
+TEST(PrepareChangesTest, Table1CountExprWithNulls) {
+  // COUNT(expr): CASE WHEN expr IS NULL THEN 0 ELSE ±1 END.
+  rel::Catalog c;
+  rel::Schema s;
+  s.AddColumn("g", rel::ValueType::kInt64);
+  s.AddColumn("x", rel::ValueType::kInt64);
+  c.AddTable(rel::Table(s, "f"));
+
+  ViewDef v;
+  v.name = "v";
+  v.fact_table = "f";
+  v.group_by = {"g"};
+  v.aggregates = {rel::Count(Expression::Column("x"), "nx")};
+  AugmentedView av = AugmentForSelfMaintenance(c, v);
+
+  Table rows(s);
+  rows.Insert({Value::Int64(1), Value::Int64(5)});
+  rows.Insert({Value::Int64(1), Value::Null()});
+
+  Table pi = PrepareFactChanges(c, av, rows, +1);
+  Table pd = PrepareFactChanges(c, av, rows, -1);
+  const size_t nx_i = Col(pi, "nx");
+  EXPECT_EQ(pi.row(0)[nx_i].as_int64(), 1);
+  EXPECT_EQ(pi.row(1)[nx_i].as_int64(), 0);  // null -> 0
+  EXPECT_EQ(pd.row(0)[nx_i].as_int64(), -1);
+  EXPECT_EQ(pd.row(1)[nx_i].as_int64(), 0);  // null -> 0, not -0 trouble
+}
+
+TEST(PrepareChangesTest, SumOfExpressionNegatedOnDeletion) {
+  rel::Catalog c = TinyCatalog();
+  ViewDef v;
+  v.name = "revenue";
+  v.fact_table = "pos";
+  v.group_by = {"storeID"};
+  v.aggregates = {rel::Sum(
+      Expression::Multiply(Expression::Column("qty"),
+                           Expression::Column("qty")),
+      "qty_sq")};
+  AugmentedView av = AugmentForSelfMaintenance(c, v);
+
+  Table del(c.GetTable("pos").schema());
+  del.Insert(PosRow(1, 10, 1, 3));
+  Table pd = PrepareFactChanges(c, av, del, -1);
+  EXPECT_EQ(pd.row(0)[Col(pd, "qty_sq")].as_int64(), -9);
+}
+
+TEST(PrepareChangesTest, UnionsInsertionsAndDeletions) {
+  rel::Catalog c = TinyCatalog();
+  AugmentedView v = SiC(c);
+  ChangeSet changes;
+  changes.fact_table = "pos";
+  changes.fact = DeltaSet(c.GetTable("pos").schema());
+  changes.fact.insertions.Insert(PosRow(1, 10, 7, 9));
+  changes.fact.insertions.Insert(PosRow(2, 20, 8, 2));
+  changes.fact.deletions.Insert(PosRow(2, 20, 3, 4));
+
+  Table pc = PrepareChanges(c, v, changes);
+  EXPECT_EQ(pc.NumRows(), 3u);
+  // Net count by sign.
+  int64_t net = 0;
+  for (const rel::Row& r : pc.rows()) {
+    net += r[Col(pc, "TotalCount")].as_int64();
+  }
+  EXPECT_EQ(net, 1);
+}
+
+TEST(PrepareChangesTest, PredicateAppliedToChanges) {
+  rel::Catalog c = TinyCatalog();
+  ViewDef v;
+  v.name = "big_sales";
+  v.fact_table = "pos";
+  v.group_by = {"storeID"};
+  v.where = Expression::Ge(Expression::Column("qty"),
+                           Expression::Literal(Value::Int64(5)));
+  v.aggregates = {rel::CountStar("n")};
+  AugmentedView av = AugmentForSelfMaintenance(c, v);
+
+  ChangeSet changes;
+  changes.fact_table = "pos";
+  changes.fact = DeltaSet(c.GetTable("pos").schema());
+  changes.fact.insertions.Insert(PosRow(1, 10, 7, 9));  // passes
+  changes.fact.insertions.Insert(PosRow(1, 10, 7, 1));  // filtered out
+
+  Table pc = PrepareChanges(c, av, changes);
+  EXPECT_EQ(pc.NumRows(), 1u);
+}
+
+TEST(PrepareChangesTest, WrongFactTableThrows) {
+  rel::Catalog c = TinyCatalog();
+  AugmentedView v = SiC(c);
+  ChangeSet changes;
+  changes.fact_table = "stores";
+  EXPECT_THROW(PrepareChanges(c, v, changes), std::invalid_argument);
+}
+
+TEST(PrepareChangesTest, DimensionInsertionsJoinOldFact) {
+  // §4.1.4: pi_items_SiC_sales = pos ⋈ items_ins. Re-categorize item 10
+  // by deleting its row and inserting a new category; the pc relation
+  // must move 3 pos rows (store 1 x2, store 2 x1) out of "food" and into
+  // "fresh".
+  rel::Catalog c = TinyCatalog();
+  AugmentedView v = SiC(c);
+
+  ChangeSet changes;
+  changes.fact_table = "pos";
+  changes.fact = DeltaSet(c.GetTable("pos").schema());
+  DeltaSet items_delta(c.GetTable("items").schema());
+  items_delta.deletions.Insert({Value::Int64(10), Value::String("food")});
+  items_delta.insertions.Insert({Value::Int64(10), Value::String("fresh")});
+  changes.dimensions.emplace("items", std::move(items_delta));
+
+  Table pc = PrepareChanges(c, v, changes);
+  int64_t food_net = 0;
+  int64_t fresh_net = 0;
+  for (const rel::Row& r : pc.rows()) {
+    const std::string& cat = r[Col(pc, "category")].as_string();
+    const int64_t n = r[Col(pc, "TotalCount")].as_int64();
+    if (cat == "food") food_net += n;
+    if (cat == "fresh") fresh_net += n;
+  }
+  EXPECT_EQ(food_net, -3);
+  EXPECT_EQ(fresh_net, 3);
+}
+
+TEST(PrepareChangesTest, SimultaneousFactAndDimensionChanges) {
+  // The cross term ΔF ⋈ ΔD must fire: a new pos row for item 10 while
+  // item 10 moves category. The inserted row must land in the NEW
+  // category with net +1 and not double-count.
+  rel::Catalog c = TinyCatalog();
+  AugmentedView v = SiC(c);
+
+  ChangeSet changes;
+  changes.fact_table = "pos";
+  changes.fact = DeltaSet(c.GetTable("pos").schema());
+  changes.fact.insertions.Insert(PosRow(1, 10, 9, 2));
+  DeltaSet items_delta(c.GetTable("items").schema());
+  items_delta.deletions.Insert({Value::Int64(10), Value::String("food")});
+  items_delta.insertions.Insert({Value::Int64(10), Value::String("fresh")});
+  changes.dimensions.emplace("items", std::move(items_delta));
+
+  Table pc = PrepareChanges(c, v, changes);
+  // Aggregate net counts per (storeID, category).
+  int64_t store1_fresh = 0;
+  int64_t store1_food = 0;
+  for (const rel::Row& r : pc.rows()) {
+    if (r[Col(pc, "storeID")].as_int64() != 1) continue;
+    const std::string& cat = r[Col(pc, "category")].as_string();
+    const int64_t n = r[Col(pc, "TotalCount")].as_int64();
+    if (cat == "fresh") store1_fresh += n;
+    if (cat == "food") store1_food += n;
+  }
+  // Store 1 had 2 food rows; both move to fresh, plus the new row: +3.
+  EXPECT_EQ(store1_fresh, 3);
+  EXPECT_EQ(store1_food, -2);
+}
+
+TEST(PrepareChangesTest, SchemaMatchesSummarySchema) {
+  rel::Catalog c = TinyCatalog();
+  AugmentedView v = SiC(c);
+  EXPECT_TRUE(PrepareChangesSchema(c, v) ==
+              ViewOutputSchema(c, v.physical));
+}
+
+}  // namespace
+}  // namespace sdelta::core

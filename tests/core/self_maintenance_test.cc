@@ -1,0 +1,184 @@
+#include "core/self_maintenance.h"
+
+#include <gtest/gtest.h>
+
+#include "core/view_def.h"
+#include "tiny_catalog.h"
+
+namespace sdelta::core {
+namespace {
+
+using rel::AggregateKind;
+using rel::Expression;
+using sdelta::testing::TinyCatalog;
+
+ViewDef BaseView() {
+  ViewDef v;
+  v.name = "v";
+  v.fact_table = "pos";
+  v.group_by = {"storeID"};
+  return v;
+}
+
+const rel::AggregateSpec* FindByName(const ViewDef& v, const std::string& n) {
+  for (const rel::AggregateSpec& a : v.aggregates) {
+    if (a.output_name == n) return &a;
+  }
+  return nullptr;
+}
+
+TEST(ClassifyTest, Classification) {
+  EXPECT_EQ(ClassifyAggregate(AggregateKind::kCountStar),
+            AggregateClass::kDistributive);
+  EXPECT_EQ(ClassifyAggregate(AggregateKind::kSum),
+            AggregateClass::kDistributive);
+  EXPECT_EQ(ClassifyAggregate(AggregateKind::kMin),
+            AggregateClass::kDistributive);
+  EXPECT_EQ(ClassifyAggregate(AggregateKind::kAvg),
+            AggregateClass::kAlgebraic);
+}
+
+TEST(ClassifyTest, SelfMaintainability) {
+  // §3.1: all distributive functions self-maintain on insertions.
+  EXPECT_TRUE(SelfMaintainableOnInsertions(AggregateKind::kSum));
+  EXPECT_TRUE(SelfMaintainableOnInsertions(AggregateKind::kMin));
+  // Only COUNT variants self-maintain on deletions unaided.
+  EXPECT_TRUE(SelfMaintainableOnDeletions(AggregateKind::kCountStar));
+  EXPECT_TRUE(SelfMaintainableOnDeletions(AggregateKind::kCount));
+  EXPECT_FALSE(SelfMaintainableOnDeletions(AggregateKind::kSum));
+  EXPECT_FALSE(SelfMaintainableOnDeletions(AggregateKind::kMin));
+  EXPECT_FALSE(SelfMaintainableOnDeletions(AggregateKind::kMax));
+}
+
+TEST(AugmentTest, AddsCountStarWhenMissing) {
+  rel::Catalog c = TinyCatalog();
+  ViewDef v = BaseView();
+  v.aggregates = {rel::Sum(Expression::Column("qty"), "total")};
+  AugmentedView av = AugmentForSelfMaintenance(c, v);
+  EXPECT_FALSE(av.count_star_column.empty());
+  ASSERT_NE(FindByName(av.physical, av.count_star_column), nullptr);
+  EXPECT_EQ(FindByName(av.physical, av.count_star_column)->kind,
+            AggregateKind::kCountStar);
+}
+
+TEST(AugmentTest, ReusesDeclaredCountStar) {
+  rel::Catalog c = TinyCatalog();
+  ViewDef v = BaseView();
+  v.aggregates = {rel::CountStar("TotalCount"),
+                  rel::Sum(Expression::Column("qty"), "total")};
+  AugmentedView av = AugmentForSelfMaintenance(c, v);
+  EXPECT_EQ(av.count_star_column, "TotalCount");
+  // No second COUNT(*) added.
+  size_t count_stars = 0;
+  for (const rel::AggregateSpec& a : av.physical.aggregates) {
+    count_stars += (a.kind == AggregateKind::kCountStar) ? 1 : 0;
+  }
+  EXPECT_EQ(count_stars, 1u);
+}
+
+TEST(AugmentTest, AddsCompanionCountForSumMinMax) {
+  rel::Catalog c = TinyCatalog();
+  ViewDef v = BaseView();
+  v.aggregates = {rel::Sum(Expression::Column("qty"), "total"),
+                  rel::Min(Expression::Column("date"), "first")};
+  AugmentedView av = AugmentForSelfMaintenance(c, v);
+  const std::string& total_cnt = av.companion_count.at("total");
+  const std::string& first_cnt = av.companion_count.at("first");
+  ASSERT_NE(FindByName(av.physical, total_cnt), nullptr);
+  EXPECT_EQ(FindByName(av.physical, total_cnt)->kind, AggregateKind::kCount);
+  ASSERT_NE(FindByName(av.physical, first_cnt), nullptr);
+  // COUNT(qty) and COUNT(date) are distinct companions.
+  EXPECT_NE(total_cnt, first_cnt);
+}
+
+TEST(AugmentTest, SharedArgumentSharesCompanion) {
+  rel::Catalog c = TinyCatalog();
+  ViewDef v = BaseView();
+  v.aggregates = {rel::Sum(Expression::Column("qty"), "total"),
+                  rel::Max(Expression::Column("qty"), "biggest")};
+  AugmentedView av = AugmentForSelfMaintenance(c, v);
+  EXPECT_EQ(av.companion_count.at("total"),
+            av.companion_count.at("biggest"));
+}
+
+TEST(AugmentTest, CountIsItsOwnCompanion) {
+  rel::Catalog c = TinyCatalog();
+  ViewDef v = BaseView();
+  v.aggregates = {rel::Count(Expression::Column("qty"), "nq")};
+  AugmentedView av = AugmentForSelfMaintenance(c, v);
+  EXPECT_EQ(av.companion_count.at("nq"), "nq");
+  EXPECT_EQ(av.companion_count.at(av.count_star_column),
+            av.count_star_column);
+}
+
+TEST(AugmentTest, AvgSplitsIntoSumAndCount) {
+  rel::Catalog c = TinyCatalog();
+  ViewDef v = BaseView();
+  v.aggregates = {rel::Avg(Expression::Column("qty"), "avg_qty")};
+  AugmentedView av = AugmentForSelfMaintenance(c, v);
+  // Physical view has no AVG.
+  for (const rel::AggregateSpec& a : av.physical.aggregates) {
+    EXPECT_NE(a.kind, AggregateKind::kAvg);
+  }
+  ASSERT_EQ(av.logical_columns.size(), 1u);
+  const LogicalColumn& lc = av.logical_columns[0];
+  EXPECT_EQ(lc.source, LogicalColumn::Source::kSumOverCount);
+  ASSERT_NE(FindByName(av.physical, lc.column), nullptr);
+  EXPECT_EQ(FindByName(av.physical, lc.column)->kind, AggregateKind::kSum);
+  ASSERT_NE(FindByName(av.physical, lc.count_column), nullptr);
+  EXPECT_EQ(FindByName(av.physical, lc.count_column)->kind,
+            AggregateKind::kCount);
+}
+
+TEST(AugmentTest, AvgReusesDeclaredSum) {
+  rel::Catalog c = TinyCatalog();
+  ViewDef v = BaseView();
+  v.aggregates = {rel::Sum(Expression::Column("qty"), "total"),
+                  rel::Avg(Expression::Column("qty"), "avg_qty")};
+  AugmentedView av = AugmentForSelfMaintenance(c, v);
+  EXPECT_EQ(av.logical_columns[1].column, "total");  // shared SUM
+}
+
+TEST(AugmentTest, DuplicateAggregatesComputedOnce) {
+  rel::Catalog c = TinyCatalog();
+  ViewDef v = BaseView();
+  v.aggregates = {rel::Sum(Expression::Column("qty"), "a"),
+                  rel::Sum(Expression::Column("qty"), "b")};
+  AugmentedView av = AugmentForSelfMaintenance(c, v);
+  size_t sums = 0;
+  for (const rel::AggregateSpec& a : av.physical.aggregates) {
+    sums += (a.kind == AggregateKind::kSum) ? 1 : 0;
+  }
+  EXPECT_EQ(sums, 1u);
+  EXPECT_EQ(av.logical_columns[0].column, av.logical_columns[1].column);
+}
+
+TEST(AugmentTest, FreshNamesAvoidCollisions) {
+  rel::Catalog c = TinyCatalog();
+  ViewDef v = BaseView();
+  // A user column already named "count_star" forces a fresh name.
+  v.aggregates = {rel::Sum(Expression::Column("qty"), "count_star")};
+  AugmentedView av = AugmentForSelfMaintenance(c, v);
+  EXPECT_NE(av.count_star_column, "count_star");
+}
+
+TEST(LogicalRowsTest, ReconstructsAvg) {
+  rel::Catalog c = TinyCatalog();
+  ViewDef v = BaseView();
+  v.aggregates = {rel::Avg(Expression::Column("qty"), "avg_qty")};
+  AugmentedView av = AugmentForSelfMaintenance(c, v);
+  rel::Table physical = EvaluateView(c, av.physical);
+  rel::Table logical = LogicalRows(av, physical);
+  ASSERT_EQ(logical.NumRows(), 2u);
+  EXPECT_EQ(logical.schema().column(1).name, "avg_qty");
+  for (const rel::Row& r : logical.rows()) {
+    if (r[0].as_int64() == 1) {
+      EXPECT_DOUBLE_EQ(r[1].as_double(), 10.0 / 3.0);  // qty 5,3,2
+    } else {
+      EXPECT_DOUBLE_EQ(r[1].as_double(), 4.0);  // qty 7,1,4
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sdelta::core

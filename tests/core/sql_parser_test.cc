@@ -1,0 +1,297 @@
+#include "core/sql_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "tiny_catalog.h"
+#include "warehouse/retail_schema.h"
+
+namespace sdelta::core {
+namespace {
+
+using rel::Expression;
+using rel::Value;
+using sdelta::testing::ExpectBagEq;
+using sdelta::testing::TinyCatalog;
+
+TEST(ExpressionParserTest, Literals) {
+  EXPECT_EQ(ParseExpression("42").ToString(), "42");
+  EXPECT_EQ(ParseExpression("3.5").ToString(), "3.5");
+  EXPECT_EQ(ParseExpression("'abc'").ToString(), "'abc'");
+  EXPECT_EQ(ParseExpression("NULL").ToString(), "NULL");
+}
+
+TEST(ExpressionParserTest, ArithmeticPrecedence) {
+  EXPECT_EQ(ParseExpression("a + b * c").ToString(), "(a + (b * c))");
+  EXPECT_EQ(ParseExpression("(a + b) * c").ToString(), "((a + b) * c)");
+  EXPECT_EQ(ParseExpression("-a * b").ToString(), "((-a) * b)");
+  EXPECT_EQ(ParseExpression("a - b - c").ToString(), "((a - b) - c)");
+  EXPECT_EQ(ParseExpression("a / b").ToString(), "(a / b)");
+}
+
+TEST(ExpressionParserTest, ComparisonsAndLogic) {
+  EXPECT_EQ(ParseExpression("a = b").ToString(), "(a = b)");
+  EXPECT_EQ(ParseExpression("a <> b").ToString(), "(a <> b)");
+  EXPECT_EQ(ParseExpression("a <= b AND c > 1").ToString(),
+            "((a <= b) AND (c > 1))");
+  EXPECT_EQ(ParseExpression("a = 1 OR b = 2").ToString(),
+            "((a = 1) OR (b = 2))");
+  // AND binds tighter than OR.
+  EXPECT_EQ(ParseExpression("a = 1 OR b = 2 AND c = 3").ToString(),
+            "((a = 1) OR ((b = 2) AND (c = 3)))");
+  EXPECT_EQ(ParseExpression("NOT a = b").ToString(), "(NOT (a = b))");
+}
+
+TEST(ExpressionParserTest, IsNullAndCase) {
+  EXPECT_EQ(ParseExpression("x IS NULL").ToString(), "(x IS NULL)");
+  EXPECT_EQ(ParseExpression("x IS NOT NULL").ToString(),
+            "(NOT (x IS NULL))");
+  EXPECT_EQ(
+      ParseExpression("CASE WHEN x IS NULL THEN 0 ELSE 1 END").ToString(),
+      "(CASE WHEN x IS NULL THEN 0 ELSE 1 END)");
+}
+
+TEST(ExpressionParserTest, DottedIdentifiers) {
+  EXPECT_EQ(ParseExpression("pos.qty * items.cost").ToString(),
+            "(pos.qty * items.cost)");
+}
+
+TEST(ExpressionParserTest, Errors) {
+  EXPECT_THROW(ParseExpression(""), std::invalid_argument);
+  EXPECT_THROW(ParseExpression("a +"), std::invalid_argument);
+  EXPECT_THROW(ParseExpression("(a"), std::invalid_argument);
+  EXPECT_THROW(ParseExpression("'unterminated"), std::invalid_argument);
+  EXPECT_THROW(ParseExpression("a b"), std::invalid_argument);
+  EXPECT_THROW(ParseExpression("a ! b"), std::invalid_argument);
+}
+
+TEST(ViewParserTest, Figure1SidSales) {
+  rel::Catalog c = TinyCatalog();
+  ViewDef v = ParseViewDef(c,
+      "CREATE VIEW SID_sales(storeID, itemID, date, TotalCount, "
+      "TotalQuantity) AS "
+      "SELECT storeID, itemID, date, COUNT(*) AS TotalCount, "
+      "SUM(qty) AS TotalQuantity "
+      "FROM pos "
+      "GROUP BY storeID, itemID, date");
+  EXPECT_EQ(v.name, "SID_sales");
+  EXPECT_EQ(v.fact_table, "pos");
+  EXPECT_TRUE(v.joins.empty());
+  EXPECT_EQ(v.group_by,
+            (std::vector<std::string>{"storeID", "itemID", "date"}));
+  ASSERT_EQ(v.aggregates.size(), 2u);
+  EXPECT_EQ(v.aggregates[0].kind, rel::AggregateKind::kCountStar);
+  EXPECT_EQ(v.aggregates[0].output_name, "TotalCount");
+  EXPECT_EQ(v.aggregates[1].kind, rel::AggregateKind::kSum);
+}
+
+TEST(ViewParserTest, Figure1SicSalesWithJoin) {
+  rel::Catalog c = TinyCatalog();
+  ViewDef v = ParseViewDef(c,
+      "CREATE VIEW SiC_sales(storeID, category, TotalCount, EarliestSale, "
+      "TotalQuantity) AS "
+      "SELECT storeID, category, COUNT(*) AS TotalCount, "
+      "MIN(date) AS EarliestSale, SUM(qty) AS TotalQuantity "
+      "FROM pos, items "
+      "WHERE pos.itemID = items.itemID "
+      "GROUP BY storeID, category");
+  ASSERT_EQ(v.joins.size(), 1u);
+  EXPECT_EQ(v.joins[0].dim_table, "items");
+  EXPECT_EQ(v.joins[0].fact_column, "itemID");
+  EXPECT_FALSE(v.where.has_value());  // the join condition is consumed
+  EXPECT_EQ(v.aggregates[1].kind, rel::AggregateKind::kMin);
+}
+
+TEST(ViewParserTest, ParsedViewEvaluatesLikeHandBuilt) {
+  rel::Catalog c = TinyCatalog();
+  ViewDef parsed = ParseViewDef(c,
+      "CREATE VIEW city_sales(city, n, total) AS "
+      "SELECT city, COUNT(*) AS n, SUM(qty) AS total "
+      "FROM pos, stores "
+      "WHERE pos.storeID = stores.storeID "
+      "GROUP BY city");
+
+  ViewDef manual;
+  manual.name = "city_sales";
+  manual.fact_table = "pos";
+  manual.joins = {DimensionJoin{"stores", "storeID", "storeID"}};
+  manual.group_by = {"city"};
+  manual.aggregates = {rel::CountStar("n"),
+                       rel::Sum(Expression::Column("qty"), "total")};
+
+  ExpectBagEq(EvaluateView(c, manual), EvaluateView(c, parsed));
+}
+
+TEST(ViewParserTest, ExtraPredicateBecomesWhere) {
+  rel::Catalog c = TinyCatalog();
+  ViewDef v = ParseViewDef(c,
+      "CREATE VIEW big(storeID, n) AS "
+      "SELECT storeID, COUNT(*) AS n "
+      "FROM pos, items "
+      "WHERE pos.itemID = items.itemID AND qty >= 3 AND category <> 'toys' "
+      "GROUP BY storeID");
+  ASSERT_EQ(v.joins.size(), 1u);
+  ASSERT_TRUE(v.where.has_value());
+  EXPECT_EQ(v.where->ToString(), "((qty >= 3) AND (category <> 'toys'))");
+}
+
+TEST(ViewParserTest, ReversedJoinConditionRecognized) {
+  rel::Catalog c = TinyCatalog();
+  ViewDef v = ParseViewDef(c,
+      "CREATE VIEW x(category, n) AS "
+      "SELECT category, COUNT(*) AS n "
+      "FROM pos, items "
+      "WHERE items.itemID = pos.itemID "
+      "GROUP BY category");
+  ASSERT_EQ(v.joins.size(), 1u);
+  EXPECT_EQ(v.joins[0].dim_table, "items");
+}
+
+TEST(ViewParserTest, AggregateOverExpression) {
+  rel::Catalog c = TinyCatalog();
+  ViewDef v = ParseViewDef(c,
+      "CREATE VIEW rev(storeID, qty_sq) AS "
+      "SELECT storeID, SUM(qty * qty) AS qty_sq "
+      "FROM pos GROUP BY storeID");
+  ASSERT_EQ(v.aggregates.size(), 1u);
+  EXPECT_EQ(v.aggregates[0].argument->ToString(), "(qty * qty)");
+}
+
+TEST(ViewParserTest, AvgAccepted) {
+  rel::Catalog c = TinyCatalog();
+  ViewDef v = ParseViewDef(c,
+      "CREATE VIEW a(storeID, avg_qty) AS "
+      "SELECT storeID, AVG(qty) AS avg_qty FROM pos GROUP BY storeID");
+  EXPECT_EQ(v.aggregates[0].kind, rel::AggregateKind::kAvg);
+}
+
+TEST(ViewParserTest, KeywordsCaseInsensitive) {
+  rel::Catalog c = TinyCatalog();
+  EXPECT_NO_THROW(ParseViewDef(c,
+      "create view V(storeID, n) as select storeID, count(*) as n "
+      "from pos group by storeID"));
+}
+
+TEST(ViewParserTest, AliasWithoutListAndListWithoutAlias) {
+  rel::Catalog c = TinyCatalog();
+  // AS aliases, no view column list.
+  EXPECT_NO_THROW(ParseViewDef(c,
+      "CREATE VIEW v1 AS SELECT storeID, COUNT(*) AS n FROM pos "
+      "GROUP BY storeID"));
+  // View column list names the aggregate positionally.
+  ViewDef v2 = ParseViewDef(c,
+      "CREATE VIEW v2(storeID, total) AS SELECT storeID, SUM(qty) "
+      "FROM pos GROUP BY storeID");
+  EXPECT_EQ(v2.aggregates[0].output_name, "total");
+}
+
+TEST(ViewParserTest, Errors) {
+  rel::Catalog c = TinyCatalog();
+  // Missing GROUP BY.
+  EXPECT_THROW(ParseViewDef(c,
+      "CREATE VIEW v AS SELECT storeID, COUNT(*) AS n FROM pos"),
+      std::invalid_argument);
+  // Aggregate without a name.
+  EXPECT_THROW(ParseViewDef(c,
+      "CREATE VIEW v AS SELECT storeID, COUNT(*) FROM pos "
+      "GROUP BY storeID"),
+      std::invalid_argument);
+  // FROM table without a join condition.
+  EXPECT_THROW(ParseViewDef(c,
+      "CREATE VIEW v(storeID, n) AS SELECT storeID, COUNT(*) AS n "
+      "FROM pos, items GROUP BY storeID"),
+      std::invalid_argument);
+  // Selected column not in GROUP BY.
+  EXPECT_THROW(ParseViewDef(c,
+      "CREATE VIEW v(itemID, n) AS SELECT itemID, COUNT(*) AS n "
+      "FROM pos GROUP BY storeID"),
+      std::invalid_argument);
+  // Column-list arity mismatch.
+  EXPECT_THROW(ParseViewDef(c,
+      "CREATE VIEW v(a, b, c) AS SELECT storeID, COUNT(*) AS n "
+      "FROM pos GROUP BY storeID"),
+      std::invalid_argument);
+  // Unknown table (caught by ValidateView).
+  EXPECT_THROW(ParseViewDef(c,
+      "CREATE VIEW v(x, n) AS SELECT x, COUNT(*) AS n FROM nope "
+      "GROUP BY x"),
+      std::invalid_argument);
+}
+
+TEST(QueryParserTest, BareSelectWrappedAsAnonymousView) {
+  rel::Catalog c = TinyCatalog();
+  ViewDef q = ParseQuery(c,
+      "  SELECT storeID, SUM(qty) AS total FROM pos GROUP BY storeID");
+  EXPECT_EQ(q.name, "query");
+  EXPECT_EQ(q.group_by, std::vector<std::string>{"storeID"});
+  ASSERT_EQ(q.aggregates.size(), 1u);
+}
+
+TEST(QueryParserTest, FullCreateViewAlsoAccepted) {
+  rel::Catalog c = TinyCatalog();
+  ViewDef q = ParseQuery(c,
+      "CREATE VIEW named(storeID, n) AS SELECT storeID, COUNT(*) AS n "
+      "FROM pos GROUP BY storeID");
+  EXPECT_EQ(q.name, "named");
+}
+
+TEST(QueryParserTest, CaseInsensitiveSelectPrefix) {
+  rel::Catalog c = TinyCatalog();
+  EXPECT_NO_THROW(ParseQuery(c,
+      "select storeID, count(*) as n from pos group by storeID"));
+}
+
+TEST(ViewParserTest, ToStringRoundTripsThroughParser) {
+  // ViewDef::ToString emits the same SQL dialect the parser reads, so a
+  // definition (including string-literal predicates) survives a
+  // serialize/parse cycle.
+  rel::Catalog c = TinyCatalog();
+  ViewDef original = ParseViewDef(c,
+      "CREATE VIEW rt(storeID, n, total) AS "
+      "SELECT storeID, COUNT(*) AS n, SUM(qty) AS total "
+      "FROM pos, items "
+      "WHERE pos.itemID = items.itemID AND category <> 'toys' AND "
+      "qty >= 2 GROUP BY storeID");
+  ViewDef reparsed = ParseViewDef(c, original.ToString());
+  EXPECT_EQ(reparsed.name, original.name);
+  EXPECT_EQ(reparsed.group_by, original.group_by);
+  ASSERT_EQ(reparsed.joins.size(), original.joins.size());
+  ASSERT_TRUE(reparsed.where.has_value());
+  ExpectBagEq(EvaluateView(c, original), EvaluateView(c, reparsed));
+}
+
+TEST(ViewParserTest, AllFourPaperViewsParseAndMatch) {
+  // Parse the paper's Figure 1 definitions verbatim (modulo layout) and
+  // check they evaluate identically to the hand-built RetailSummaryTables.
+  warehouse::RetailConfig config;
+  config.num_pos_rows = 500;
+  rel::Catalog c = warehouse::MakeRetailCatalog(config);
+
+  const char* kSql[] = {
+      "CREATE VIEW SID_sales(storeID, itemID, date, TotalCount, "
+      "TotalQuantity) AS SELECT storeID, itemID, date, COUNT(*) AS "
+      "TotalCount, SUM(qty) AS TotalQuantity FROM pos GROUP BY storeID, "
+      "itemID, date",
+      "CREATE VIEW sCD_sales(city, date, TotalCount, TotalQuantity) AS "
+      "SELECT city, date, COUNT(*) AS TotalCount, SUM(qty) AS "
+      "TotalQuantity FROM pos, stores WHERE pos.storeID = stores.storeID "
+      "GROUP BY city, date",
+      "CREATE VIEW SiC_sales(storeID, category, TotalCount, EarliestSale, "
+      "TotalQuantity) AS SELECT storeID, category, COUNT(*) AS TotalCount, "
+      "MIN(date) AS EarliestSale, SUM(qty) AS TotalQuantity FROM pos, "
+      "items WHERE pos.itemID = items.itemID GROUP BY storeID, category",
+      "CREATE VIEW sR_sales(region, TotalCount, TotalQuantity) AS SELECT "
+      "region, COUNT(*) AS TotalCount, SUM(qty) AS TotalQuantity FROM "
+      "pos, stores WHERE pos.storeID = stores.storeID GROUP BY region",
+  };
+  const std::vector<ViewDef> manual = warehouse::RetailSummaryTables();
+  for (size_t i = 0; i < 4; ++i) {
+    SCOPED_TRACE(manual[i].name);
+    ViewDef parsed = ParseViewDef(c, kSql[i]);
+    EXPECT_EQ(parsed.name, manual[i].name);
+    ExpectBagEq(EvaluateView(c, manual[i]), EvaluateView(c, parsed));
+  }
+}
+
+}  // namespace
+}  // namespace sdelta::core

@@ -1,0 +1,123 @@
+#include "core/summary_table.h"
+
+#include <gtest/gtest.h>
+
+#include "tiny_catalog.h"
+
+namespace sdelta::core {
+namespace {
+
+using rel::Expression;
+using rel::GroupKey;
+using rel::Value;
+using sdelta::testing::TinyCatalog;
+
+AugmentedView SidView(const rel::Catalog& c) {
+  ViewDef v;
+  v.name = "SID_sales";
+  v.fact_table = "pos";
+  v.group_by = {"storeID", "itemID", "date"};
+  v.aggregates = {rel::CountStar("TotalCount"),
+                  rel::Sum(Expression::Column("qty"), "TotalQuantity")};
+  return AugmentForSelfMaintenance(c, v);
+}
+
+TEST(SummaryTableTest, MaterializeFromCatalog) {
+  rel::Catalog c = TinyCatalog();
+  SummaryTable st(SidView(c), c);
+  EXPECT_EQ(st.NumRows(), 0u);
+  st.MaterializeFrom(c);
+  EXPECT_EQ(st.NumRows(), 5u);  // 6 pos rows, one duplicate group
+  EXPECT_EQ(st.num_group_columns(), 3u);
+}
+
+TEST(SummaryTableTest, FindByKey) {
+  rel::Catalog c = TinyCatalog();
+  SummaryTable st(SidView(c), c);
+  st.MaterializeFrom(c);
+  GroupKey key = {Value::Int64(1), Value::Int64(10), Value::Int64(1)};
+  const rel::Row* row = st.Find(key);
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ((*row)[3].as_int64(), 2);  // TotalCount of the duplicate group
+  EXPECT_EQ((*row)[4].as_int64(), 8);  // 5 + 3
+  GroupKey missing = {Value::Int64(9), Value::Int64(9), Value::Int64(9)};
+  EXPECT_EQ(st.Find(missing), nullptr);
+}
+
+TEST(SummaryTableTest, InsertEraseRoundTrip) {
+  rel::Catalog c = TinyCatalog();
+  SummaryTable st(SidView(c), c);
+  st.MaterializeFrom(c);
+  const size_t before = st.NumRows();
+
+  // Schema: group-bys + TotalCount + TotalQuantity + COUNT(qty) companion.
+  ASSERT_EQ(st.schema().NumColumns(), 6u);
+  rel::Row fresh = {Value::Int64(7), Value::Int64(10), Value::Int64(9),
+                    Value::Int64(1), Value::Int64(4), Value::Int64(1)};
+  st.Insert(fresh);
+  EXPECT_EQ(st.NumRows(), before + 1);
+  GroupKey key = {Value::Int64(7), Value::Int64(10), Value::Int64(9)};
+  ASSERT_NE(st.Find(key), nullptr);
+  EXPECT_TRUE(st.Erase(key));
+  EXPECT_FALSE(st.Erase(key));
+  EXPECT_EQ(st.NumRows(), before);
+}
+
+TEST(SummaryTableTest, DuplicateInsertThrows) {
+  rel::Catalog c = TinyCatalog();
+  SummaryTable st(SidView(c), c);
+  st.MaterializeFrom(c);
+  rel::Row dup = st.rows()[0];
+  EXPECT_THROW(st.Insert(dup), std::logic_error);
+}
+
+TEST(SummaryTableTest, ArityMismatchThrows) {
+  rel::Catalog c = TinyCatalog();
+  SummaryTable st(SidView(c), c);
+  EXPECT_THROW(st.Insert({Value::Int64(1)}), std::invalid_argument);
+}
+
+TEST(SummaryTableTest, EraseKeepsIndexConsistent) {
+  rel::Catalog c = TinyCatalog();
+  SummaryTable st(SidView(c), c);
+  st.MaterializeFrom(c);
+  // Erase every group one by one, always via a fresh key of row 0.
+  while (st.NumRows() > 0) {
+    GroupKey key = st.KeyOf(st.rows()[0]);
+    EXPECT_TRUE(st.Erase(key));
+    EXPECT_EQ(st.Find(key), nullptr);
+  }
+}
+
+TEST(SummaryTableTest, FindMutableAllowsUpdate) {
+  rel::Catalog c = TinyCatalog();
+  SummaryTable st(SidView(c), c);
+  st.MaterializeFrom(c);
+  GroupKey key = {Value::Int64(1), Value::Int64(10), Value::Int64(1)};
+  rel::Row* row = st.FindMutable(key);
+  ASSERT_NE(row, nullptr);
+  (*row)[4] = Value::Int64(99);
+  EXPECT_EQ((*st.Find(key))[4].as_int64(), 99);
+}
+
+TEST(SummaryTableTest, ToTableMatchesEvaluate) {
+  rel::Catalog c = TinyCatalog();
+  AugmentedView av = SidView(c);
+  SummaryTable st(av, c);
+  st.MaterializeFrom(c);
+  EXPECT_TRUE(rel::Table::BagEquals(EvaluateView(c, av.physical),
+                                    st.ToTable()));
+}
+
+TEST(SummaryTableTest, LoadFromReplaces) {
+  rel::Catalog c = TinyCatalog();
+  AugmentedView av = SidView(c);
+  SummaryTable st(av, c);
+  st.MaterializeFrom(c);
+  rel::Table empty(st.schema());
+  st.LoadFrom(empty);
+  EXPECT_EQ(st.NumRows(), 0u);
+}
+
+}  // namespace
+}  // namespace sdelta::core

@@ -1,0 +1,152 @@
+#include "core/view_def.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "tiny_catalog.h"
+
+namespace sdelta::core {
+namespace {
+
+using rel::Expression;
+using rel::Value;
+using sdelta::testing::ExpectBagEq;
+using sdelta::testing::TinyCatalog;
+
+ViewDef CityView() {
+  ViewDef v;
+  v.name = "city_sales";
+  v.fact_table = "pos";
+  v.joins = {DimensionJoin{"stores", "storeID", "storeID"}};
+  v.group_by = {"city"};
+  v.aggregates = {rel::CountStar("n"),
+                  rel::Sum(Expression::Column("qty"), "total")};
+  return v;
+}
+
+TEST(ViewDefTest, JoinedSchemaQualifiesAndDropsKeys) {
+  rel::Catalog c = TinyCatalog();
+  const rel::Schema joined = JoinedSchema(c, CityView());
+  EXPECT_TRUE(joined.IndexOf("pos.storeID").has_value());
+  EXPECT_TRUE(joined.IndexOf("stores.city").has_value());
+  EXPECT_FALSE(joined.IndexOf("stores.storeID").has_value());  // dropped
+}
+
+TEST(ViewDefTest, EvaluateNoJoinView) {
+  rel::Catalog c = TinyCatalog();
+  ViewDef v;
+  v.name = "sid";
+  v.fact_table = "pos";
+  v.group_by = {"storeID", "itemID"};
+  v.aggregates = {rel::CountStar("n"),
+                  rel::Sum(Expression::Column("qty"), "total")};
+  rel::Table out = EvaluateView(c, v);
+
+  rel::Schema es;
+  es.AddColumn("storeID", rel::ValueType::kInt64);
+  es.AddColumn("itemID", rel::ValueType::kInt64);
+  es.AddColumn("n", rel::ValueType::kInt64);
+  es.AddColumn("total", rel::ValueType::kInt64);
+  rel::Table expected(es);
+  expected.Insert({Value::Int64(1), Value::Int64(10), Value::Int64(2), Value::Int64(8)});
+  expected.Insert({Value::Int64(1), Value::Int64(20), Value::Int64(1), Value::Int64(2)});
+  expected.Insert({Value::Int64(2), Value::Int64(10), Value::Int64(1), Value::Int64(7)});
+  expected.Insert({Value::Int64(2), Value::Int64(20), Value::Int64(2), Value::Int64(5)});
+  ExpectBagEq(expected, out);
+}
+
+TEST(ViewDefTest, EvaluateJoinView) {
+  rel::Catalog c = TinyCatalog();
+  rel::Table out = EvaluateView(c, CityView());
+
+  rel::Schema es;
+  es.AddColumn("city", rel::ValueType::kString);
+  es.AddColumn("n", rel::ValueType::kInt64);
+  es.AddColumn("total", rel::ValueType::kInt64);
+  rel::Table expected(es);
+  expected.Insert({Value::String("sf"), Value::Int64(3), Value::Int64(10)});
+  expected.Insert({Value::String("ny"), Value::Int64(3), Value::Int64(12)});
+  ExpectBagEq(expected, out);
+}
+
+TEST(ViewDefTest, EvaluateWithPredicate) {
+  rel::Catalog c = TinyCatalog();
+  ViewDef v = CityView();
+  v.where = Expression::Ge(Expression::Column("qty"),
+                           Expression::Literal(Value::Int64(3)));
+  rel::Table out = EvaluateView(c, v);
+  rel::Schema es;
+  es.AddColumn("city", rel::ValueType::kString);
+  es.AddColumn("n", rel::ValueType::kInt64);
+  es.AddColumn("total", rel::ValueType::kInt64);
+  rel::Table expected(es);
+  expected.Insert({Value::String("sf"), Value::Int64(2), Value::Int64(8)});
+  expected.Insert({Value::String("ny"), Value::Int64(2), Value::Int64(11)});
+  ExpectBagEq(expected, out);
+}
+
+TEST(ViewDefTest, MultiJoinMinAggregate) {
+  rel::Catalog c = TinyCatalog();
+  ViewDef v;
+  v.name = "sic";
+  v.fact_table = "pos";
+  v.joins = {DimensionJoin{"items", "itemID", "itemID"}};
+  v.group_by = {"storeID", "category"};
+  v.aggregates = {rel::Min(Expression::Column("date"), "first")};
+  rel::Table out = EvaluateView(c, v);
+  ASSERT_EQ(out.NumRows(), 4u);
+  for (const rel::Row& r : out.rows()) {
+    if (r[0].as_int64() == 2 && r[1].as_string() == "toys") {
+      EXPECT_EQ(r[2].as_int64(), 2);
+    }
+  }
+}
+
+TEST(ViewDefTest, OutputSchemaTypes) {
+  rel::Catalog c = TinyCatalog();
+  const rel::Schema out = ViewOutputSchema(c, CityView());
+  ASSERT_EQ(out.NumColumns(), 3u);
+  EXPECT_EQ(out.column(0).name, "city");
+  EXPECT_EQ(out.column(0).type, rel::ValueType::kString);
+  EXPECT_EQ(out.column(1).type, rel::ValueType::kInt64);
+}
+
+TEST(ViewDefTest, ValidateRejectsBadViews) {
+  rel::Catalog c = TinyCatalog();
+  ViewDef v = CityView();
+  v.name = "";
+  EXPECT_THROW(ValidateView(c, v), std::invalid_argument);
+
+  v = CityView();
+  v.fact_table = "nope";
+  EXPECT_THROW(ValidateView(c, v), std::invalid_argument);
+
+  v = CityView();
+  v.joins[0].dim_table = "nope";
+  EXPECT_THROW(ValidateView(c, v), std::invalid_argument);
+
+  v = CityView();
+  v.joins[0].fact_column = "qty";  // not a declared FK
+  EXPECT_THROW(ValidateView(c, v), std::invalid_argument);
+
+  v = CityView();
+  v.group_by = {"missing_col"};
+  EXPECT_THROW(ValidateView(c, v), std::invalid_argument);
+
+  v = CityView();
+  v.where = Expression::Column("missing_col");
+  EXPECT_THROW(ValidateView(c, v), std::invalid_argument);
+
+  EXPECT_NO_THROW(ValidateView(c, CityView()));
+}
+
+TEST(ViewDefTest, ToStringMentionsEverything) {
+  const std::string s = CityView().ToString();
+  EXPECT_NE(s.find("city_sales"), std::string::npos);
+  EXPECT_NE(s.find("pos"), std::string::npos);
+  EXPECT_NE(s.find("stores"), std::string::npos);
+  EXPECT_NE(s.find("GROUP BY"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sdelta::core

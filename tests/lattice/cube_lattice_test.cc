@@ -1,0 +1,85 @@
+#include "lattice/cube_lattice.h"
+
+#include <gtest/gtest.h>
+
+namespace sdelta::lattice {
+namespace {
+
+TEST(CubeLatticeTest, Figure4Structure) {
+  // The paper's Figure 4: the 2^3 cube lattice over
+  // (storeID, itemID, date).
+  AttributeLattice l = BuildCubeLattice({"storeID", "itemID", "date"});
+  EXPECT_EQ(l.nodes.size(), 8u);
+  // One edge per (node, dropped attribute): 3*4 + ... = sum over subsets
+  // of |subset| = 3 * 2^(3-1) = 12.
+  EXPECT_EQ(l.edges.size(), 12u);
+
+  const auto top = l.Find({"storeID", "itemID", "date"});
+  const auto si = l.Find({"storeID", "itemID"});
+  const auto sd = l.Find({"storeID", "date"});
+  const auto id = l.Find({"itemID", "date"});
+  const auto s = l.Find({"storeID"});
+  const auto empty = l.Find({});
+  ASSERT_TRUE(top && si && sd && id && s && empty);
+
+  // Figure 4's edges.
+  EXPECT_TRUE(l.HasEdge(*top, *si));
+  EXPECT_TRUE(l.HasEdge(*top, *sd));
+  EXPECT_TRUE(l.HasEdge(*top, *id));
+  EXPECT_TRUE(l.HasEdge(*si, *s));
+  EXPECT_TRUE(l.HasEdge(*s, *empty));
+  // Non-edges: can't skip levels or go sideways.
+  EXPECT_FALSE(l.HasEdge(*top, *s));
+  EXPECT_FALSE(l.HasEdge(*si, *id));
+  EXPECT_FALSE(l.HasEdge(*s, *si));
+}
+
+TEST(CubeLatticeTest, TopIsFirstNode) {
+  AttributeLattice l = BuildCubeLattice({"a", "b"});
+  EXPECT_EQ(l.nodes[0].size(), 2u);  // finest subset first
+  EXPECT_EQ(l.nodes.back().size(), 0u);
+}
+
+TEST(CubeLatticeTest, SingleDimension) {
+  AttributeLattice l = BuildCubeLattice({"x"});
+  EXPECT_EQ(l.nodes.size(), 2u);
+  EXPECT_EQ(l.edges.size(), 1u);
+}
+
+TEST(CubeLatticeTest, FindIsOrderInsensitive) {
+  AttributeLattice l = BuildCubeLattice({"a", "b", "c"});
+  EXPECT_EQ(l.Find({"c", "a"}), l.Find({"a", "c"}));
+  EXPECT_FALSE(l.Find({"a", "z"}).has_value());
+}
+
+TEST(CubeLatticeTest, RemoveNodesReroutesEdges) {
+  // Removing (storeID) must connect (storeID, itemID) -> () via the
+  // spliced edge (paper §3.4).
+  AttributeLattice l = BuildCubeLattice({"storeID", "itemID"});
+  const auto removed = l.Find({"storeID"});
+  ASSERT_TRUE(removed.has_value());
+  AttributeLattice pruned = RemoveNodes(l, {*removed});
+  EXPECT_EQ(pruned.nodes.size(), 3u);
+  const auto si = pruned.Find({"storeID", "itemID"});
+  const auto i = pruned.Find({"itemID"});
+  const auto empty = pruned.Find({});
+  ASSERT_TRUE(si && i && empty);
+  EXPECT_TRUE(pruned.HasEdge(*si, *empty));  // spliced through (storeID)
+  EXPECT_TRUE(pruned.HasEdge(*si, *i));
+  EXPECT_TRUE(pruned.HasEdge(*i, *empty));
+}
+
+TEST(CubeLatticeTest, RemoveTopLeavesPartialOrder) {
+  AttributeLattice l = BuildCubeLattice({"a", "b"});
+  AttributeLattice pruned = RemoveNodes(l, {0});
+  EXPECT_EQ(pruned.nodes.size(), 3u);
+  EXPECT_FALSE(pruned.Find({"a", "b"}).has_value());
+}
+
+TEST(CubeLatticeTest, ToStringListsEdges) {
+  AttributeLattice l = BuildCubeLattice({"a"});
+  EXPECT_NE(l.ToString().find("(a) -> ()"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sdelta::lattice

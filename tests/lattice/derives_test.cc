@@ -1,0 +1,249 @@
+#include "lattice/derives.h"
+
+#include <gtest/gtest.h>
+
+#include "core/view_def.h"
+#include "test_util.h"
+#include "tiny_catalog.h"
+#include "warehouse/retail_schema.h"
+
+namespace sdelta::lattice {
+namespace {
+
+using core::AugmentedView;
+using core::DerivationRecipe;
+using core::ViewDef;
+using rel::Expression;
+using sdelta::testing::TinyCatalog;
+
+AugmentedView Aug(const rel::Catalog& c, const ViewDef& v) {
+  return core::AugmentForSelfMaintenance(c, v);
+}
+
+std::vector<ViewDef> Retail() { return warehouse::RetailSummaryTables(); }
+
+ViewDef Find(const std::vector<ViewDef>& views, const std::string& name) {
+  for (const ViewDef& v : views) {
+    if (v.name == name) return v;
+  }
+  throw std::logic_error("no view " + name);
+}
+
+TEST(DerivesTest, Example51Relationships) {
+  // Paper Example 5.1: sCD ≼ SID via stores, SiC ≼ SID via items,
+  // sR ≼ SID via stores, sR ≼ sCD via stores, sR ≼ SiC via stores.
+  rel::Catalog c = TinyCatalog();
+  const std::vector<ViewDef> views = Retail();
+  AugmentedView sid = Aug(c, Find(views, "SID_sales"));
+  AugmentedView scd = Aug(c, Find(views, "sCD_sales"));
+  AugmentedView sic = Aug(c, Find(views, "SiC_sales"));
+  AugmentedView sr = Aug(c, Find(views, "sR_sales"));
+
+  auto scd_from_sid = ComputeDerivation(c, scd, sid);
+  ASSERT_TRUE(scd_from_sid.has_value());
+  ASSERT_EQ(scd_from_sid->joins.size(), 1u);
+  EXPECT_EQ(scd_from_sid->joins[0].dim_table, "stores");
+
+  auto sic_from_sid = ComputeDerivation(c, sic, sid);
+  ASSERT_TRUE(sic_from_sid.has_value());
+  ASSERT_EQ(sic_from_sid->joins.size(), 1u);
+  EXPECT_EQ(sic_from_sid->joins[0].dim_table, "items");
+
+  auto sr_from_sid = ComputeDerivation(c, sr, sid);
+  ASSERT_TRUE(sr_from_sid.has_value());
+  EXPECT_EQ(sr_from_sid->joins[0].dim_table, "stores");
+
+  auto sr_from_sic = ComputeDerivation(c, sr, sic);
+  ASSERT_TRUE(sr_from_sic.has_value());
+  EXPECT_EQ(sr_from_sic->joins[0].dim_table, "stores");
+
+  // SID is the top: nothing derives it.
+  EXPECT_FALSE(ComputeDerivation(c, sid, scd).has_value());
+  EXPECT_FALSE(ComputeDerivation(c, sid, sic).has_value());
+  EXPECT_FALSE(ComputeDerivation(c, sid, sr).has_value());
+}
+
+TEST(DerivesTest, SrFromScdNeedsRegionExtension) {
+  // Without the §5.2 extension, sCD groups by (city, date) only, and
+  // region is NOT reachable from city (no FK on city), so sR !≼ sCD.
+  rel::Catalog c = TinyCatalog();
+  const std::vector<ViewDef> views = Retail();
+  AugmentedView scd = Aug(c, Find(views, "sCD_sales"));
+  AugmentedView sr = Aug(c, Find(views, "sR_sales"));
+  EXPECT_FALSE(ComputeDerivation(c, sr, scd).has_value());
+
+  // With region added to sCD (as the paper's Figure 8 does), it derives
+  // with no join at all.
+  ViewDef scd_ext = Find(views, "sCD_sales");
+  scd_ext.group_by.push_back("region");
+  AugmentedView scd_ext_aug = Aug(c, scd_ext);
+  auto recipe = ComputeDerivation(c, sr, scd_ext_aug);
+  ASSERT_TRUE(recipe.has_value());
+  EXPECT_TRUE(recipe->joins.empty());
+}
+
+TEST(DerivesTest, RecipeRewritesAggregates) {
+  rel::Catalog c = TinyCatalog();
+  const std::vector<ViewDef> views = Retail();
+  AugmentedView sid = Aug(c, Find(views, "SID_sales"));
+  AugmentedView sic = Aug(c, Find(views, "SiC_sales"));
+  auto recipe = ComputeDerivation(c, sic, sid);
+  ASSERT_TRUE(recipe.has_value());
+
+  // SiC: COUNT(*), MIN(date), SUM(qty) + companions. COUNT/SUM rewrite
+  // to SUM over parent columns; MIN(date) rewrites to MIN over the
+  // parent's *group-by* attribute date (date is not aggregated in SID).
+  bool saw_min_over_date = false;
+  for (const rel::AggregateSpec& a : recipe->aggregates) {
+    EXPECT_NE(a.kind, rel::AggregateKind::kCount);
+    EXPECT_NE(a.kind, rel::AggregateKind::kCountStar);
+    if (a.kind == rel::AggregateKind::kMin) {
+      saw_min_over_date = true;
+      ASSERT_TRUE(a.argument.has_value());
+      EXPECT_EQ(a.argument->ToString(), "date");
+    }
+  }
+  EXPECT_TRUE(saw_min_over_date);
+}
+
+TEST(DerivesTest, CountOverGroupByAttributeUsesCountStar) {
+  // COUNT(date) in a child where date is a parent group-by: rewrite is
+  // SUM(CASE WHEN date IS NULL THEN 0 ELSE count_star END).
+  rel::Catalog c = TinyCatalog();
+  ViewDef parent;
+  parent.name = "p";
+  parent.fact_table = "pos";
+  parent.group_by = {"storeID", "date"};
+  parent.aggregates = {rel::CountStar("n")};
+
+  ViewDef child;
+  child.name = "ch";
+  child.fact_table = "pos";
+  child.group_by = {"storeID"};
+  child.aggregates = {rel::Count(Expression::Column("date"), "ndate")};
+
+  auto recipe = ComputeDerivation(c, Aug(c, child), Aug(c, parent));
+  ASSERT_TRUE(recipe.has_value());
+  bool found = false;
+  for (const rel::AggregateSpec& a : recipe->aggregates) {
+    if (a.output_name == "ndate") {
+      found = true;
+      EXPECT_EQ(a.kind, rel::AggregateKind::kSum);
+      EXPECT_NE(a.argument->ToString().find("CASE WHEN date IS NULL"),
+                std::string::npos);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(DerivesTest, SumOverGroupByAttributeMultipliesByCount) {
+  // §5.1: if parent groups by qty and child computes SUM(qty), the edge
+  // query computes SUM(qty * Y) with Y the parent's COUNT(*).
+  rel::Catalog c = TinyCatalog();
+  ViewDef parent;
+  parent.name = "p";
+  parent.fact_table = "pos";
+  parent.group_by = {"storeID", "qty"};
+  parent.aggregates = {rel::CountStar("n")};
+
+  ViewDef child;
+  child.name = "ch";
+  child.fact_table = "pos";
+  child.group_by = {"storeID"};
+  child.aggregates = {rel::Sum(Expression::Column("qty"), "total")};
+
+  auto recipe = ComputeDerivation(c, Aug(c, child), Aug(c, parent));
+  ASSERT_TRUE(recipe.has_value());
+  bool found = false;
+  for (const rel::AggregateSpec& a : recipe->aggregates) {
+    if (a.output_name == "total") {
+      found = true;
+      EXPECT_EQ(a.kind, rel::AggregateKind::kSum);
+      EXPECT_EQ(a.argument->ToString(), "(qty * n)");
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(DerivesTest, RejectsDifferentFactTables) {
+  rel::Catalog c = TinyCatalog();
+  ViewDef a;
+  a.name = "a";
+  a.fact_table = "pos";
+  a.group_by = {"storeID"};
+  a.aggregates = {rel::CountStar("n")};
+  ViewDef b = a;
+  b.name = "b";
+  b.fact_table = "items";
+  b.group_by = {"itemID"};
+  EXPECT_FALSE(ComputeDerivation(c, Aug(c, b), Aug(c, a)).has_value());
+}
+
+TEST(DerivesTest, RejectsDifferentPredicates) {
+  rel::Catalog c = TinyCatalog();
+  ViewDef a;
+  a.name = "a";
+  a.fact_table = "pos";
+  a.group_by = {"storeID", "itemID"};
+  a.aggregates = {rel::CountStar("n")};
+  ViewDef b;
+  b.name = "b";
+  b.fact_table = "pos";
+  b.group_by = {"storeID"};
+  b.aggregates = {rel::CountStar("n")};
+  b.where = Expression::Gt(Expression::Column("qty"),
+                           Expression::Literal(rel::Value::Int64(1)));
+  EXPECT_FALSE(ComputeDerivation(c, Aug(c, b), Aug(c, a)).has_value());
+
+  // Equal predicates are fine.
+  ViewDef a2 = a;
+  a2.where = b.where;
+  EXPECT_TRUE(ComputeDerivation(c, Aug(c, b), Aug(c, a2)).has_value());
+}
+
+TEST(DerivesTest, RejectsUnavailableAggregateArgument) {
+  // Child aggregates qty but the parent neither computes SUM(qty) nor
+  // groups by qty.
+  rel::Catalog c = TinyCatalog();
+  ViewDef parent;
+  parent.name = "p";
+  parent.fact_table = "pos";
+  parent.group_by = {"storeID", "itemID", "date"};
+  parent.aggregates = {rel::CountStar("n")};
+
+  ViewDef child;
+  child.name = "ch";
+  child.fact_table = "pos";
+  child.group_by = {"storeID"};
+  child.aggregates = {rel::Sum(Expression::Column("qty"), "total")};
+  EXPECT_FALSE(ComputeDerivation(c, Aug(c, child), Aug(c, parent))
+                   .has_value());
+}
+
+TEST(DerivesTest, SelfDerivationRejected) {
+  rel::Catalog c = TinyCatalog();
+  AugmentedView sid = Aug(c, Find(Retail(), "SID_sales"));
+  EXPECT_FALSE(ComputeDerivation(c, sid, sid).has_value());
+}
+
+TEST(DerivesTest, QualifiedAndBareArgumentsMatch) {
+  // One view writes SUM(qty), another SUM(pos.qty): they must unify.
+  rel::Catalog c = TinyCatalog();
+  ViewDef parent;
+  parent.name = "p";
+  parent.fact_table = "pos";
+  parent.group_by = {"storeID", "itemID"};
+  parent.aggregates = {rel::Sum(Expression::Column("pos.qty"), "total")};
+
+  ViewDef child;
+  child.name = "ch";
+  child.fact_table = "pos";
+  child.group_by = {"storeID"};
+  child.aggregates = {rel::Sum(Expression::Column("qty"), "total")};
+
+  auto recipe = ComputeDerivation(c, Aug(c, child), Aug(c, parent));
+  ASSERT_TRUE(recipe.has_value());
+}
+
+}  // namespace
+}  // namespace sdelta::lattice

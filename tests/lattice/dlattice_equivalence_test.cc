@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "core/maintenance.h"
+#include "core/rematerialize.h"
+#include "lattice/plan.h"
+#include "lattice/vlattice.h"
+#include "test_util.h"
+#include "warehouse/retail_schema.h"
+#include "warehouse/workload.h"
+
+namespace sdelta::lattice {
+namespace {
+
+using core::ViewDef;
+using sdelta::testing::ExpectBagEq;
+
+rel::Catalog SmallRetail(uint64_t seed = 17) {
+  warehouse::RetailConfig config;
+  config.num_stores = 12;
+  config.num_cities = 5;
+  config.num_regions = 2;
+  config.num_items = 60;
+  config.num_categories = 6;
+  config.num_dates = 25;
+  config.num_pos_rows = 1500;
+  config.seed = seed;
+  return warehouse::MakeRetailCatalog(config);
+}
+
+VLattice RetailLattice(const rel::Catalog& c) {
+  std::vector<ViewDef> friendly =
+      MakeLatticeFriendly(c, warehouse::RetailSummaryTables());
+  std::vector<core::AugmentedView> augmented;
+  for (const ViewDef& v : friendly) {
+    augmented.push_back(core::AugmentForSelfMaintenance(c, v));
+  }
+  return BuildVLattice(c, std::move(augmented));
+}
+
+/// Theorem 5.1, V-side: applying an edge recipe to the parent's
+/// *materialized rows* must reproduce the child view exactly.
+TEST(Theorem51Test, EdgeQueriesComputeChildViewsFromParentViews) {
+  rel::Catalog c = SmallRetail();
+  VLattice l = RetailLattice(c);
+  std::vector<rel::Table> views;
+  for (const core::AugmentedView& av : l.views) {
+    views.push_back(core::EvaluateView(c, av.physical));
+  }
+  ASSERT_FALSE(l.edges.empty());
+  for (const VLatticeEdge& e : l.edges) {
+    SCOPED_TRACE(e.recipe.ToString());
+    rel::Table derived = core::ApplyDerivation(c, e.recipe, views[e.parent]);
+    ExpectBagEq(views[e.child], derived);
+  }
+}
+
+/// Theorem 5.1, D-side: applying the SAME recipe to the parent's
+/// summary-delta must reproduce the child's summary-delta. (The paper's
+/// central theorem: the D-lattice is the V-lattice modulo renaming.)
+TEST(Theorem51Test, EdgeQueriesComputeChildDeltasFromParentDeltas) {
+  rel::Catalog c = SmallRetail();
+  VLattice l = RetailLattice(c);
+  const core::ChangeSet changes =
+      warehouse::MakeUpdateGeneratingChanges(c, 300, 41);
+
+  std::vector<rel::Table> direct_deltas;
+  for (const core::AugmentedView& av : l.views) {
+    direct_deltas.push_back(core::ComputeSummaryDelta(c, av, changes));
+  }
+  for (const VLatticeEdge& e : l.edges) {
+    SCOPED_TRACE(e.recipe.ToString());
+    rel::Table derived =
+        core::ApplyDerivation(c, e.recipe, direct_deltas[e.parent]);
+    ExpectBagEq(direct_deltas[e.child], derived);
+  }
+}
+
+TEST(Theorem51Test, HoldsForInsertionGeneratingChanges) {
+  rel::Catalog c = SmallRetail(23);
+  VLattice l = RetailLattice(c);
+  const core::ChangeSet changes =
+      warehouse::MakeInsertionGeneratingChanges(c, 300, 42);
+  std::vector<rel::Table> direct_deltas;
+  for (const core::AugmentedView& av : l.views) {
+    direct_deltas.push_back(core::ComputeSummaryDelta(c, av, changes));
+  }
+  for (const VLatticeEdge& e : l.edges) {
+    SCOPED_TRACE(e.recipe.ToString());
+    ExpectBagEq(direct_deltas[e.child],
+                core::ApplyDerivation(c, e.recipe, direct_deltas[e.parent]));
+  }
+}
+
+/// Full pipeline through the lattice: propagate via the plan, refresh,
+/// and compare against recomputation.
+TEST(LatticeMaintenanceTest, LatticeRefreshMatchesOracle) {
+  rel::Catalog c = SmallRetail(29);
+  VLattice l = RetailLattice(c);
+  MaintenancePlan plan = ChoosePlan(c, l);
+
+  std::vector<core::SummaryTable> summaries;
+  for (const core::AugmentedView& av : l.views) {
+    summaries.emplace_back(av, c);
+    summaries.back().MaterializeFrom(c);
+  }
+  const core::ChangeSet changes =
+      warehouse::MakeUpdateGeneratingChanges(c, 250, 43);
+  LatticePropagateResult deltas = PropagateAll(c, l, plan, changes);
+  core::ApplyChangeSet(c, changes);
+  for (size_t i = 0; i < summaries.size(); ++i) {
+    core::Refresh(c, summaries[i], deltas.deltas[i]);
+  }
+  for (size_t i = 0; i < summaries.size(); ++i) {
+    SCOPED_TRACE(l.views[i].name());
+    ExpectBagEq(core::EvaluateView(c, l.views[i].physical),
+                summaries[i].ToTable());
+  }
+}
+
+/// Rematerializing children from parents (the lattice-exploiting
+/// rematerialization baseline of §6) matches evaluating from base data.
+TEST(LatticeMaintenanceTest, RematerializeViaLatticeMatchesDirect) {
+  rel::Catalog c = SmallRetail(31);
+  VLattice l = RetailLattice(c);
+  MaintenancePlan plan = ChoosePlan(c, l);
+
+  std::vector<core::SummaryTable> summaries;
+  for (const core::AugmentedView& av : l.views) {
+    summaries.emplace_back(av, c);
+  }
+  for (const PlanStep& step : plan.steps) {
+    if (step.edge.has_value()) {
+      const VLatticeEdge& e = l.edges[*step.edge];
+      core::RematerializeFromParent(c, e.recipe,
+                                    summaries[e.parent].ToTable(),
+                                    summaries[step.view]);
+    } else {
+      core::Rematerialize(c, summaries[step.view]);
+    }
+  }
+  for (size_t i = 0; i < summaries.size(); ++i) {
+    SCOPED_TRACE(l.views[i].name());
+    ExpectBagEq(core::EvaluateView(c, l.views[i].physical),
+                summaries[i].ToTable());
+  }
+}
+
+}  // namespace
+}  // namespace sdelta::lattice

@@ -1,0 +1,95 @@
+#include "lattice/hierarchy.h"
+
+#include <gtest/gtest.h>
+
+#include "tiny_catalog.h"
+
+namespace sdelta::lattice {
+namespace {
+
+using sdelta::testing::TinyCatalog;
+
+TEST(HierarchyTest, StoreChainFromFunctionalDependencies) {
+  rel::Catalog c = TinyCatalog();
+  const rel::ForeignKey* fk = c.FindForeignKey("pos", "storeID");
+  ASSERT_NE(fk, nullptr);
+  DimensionHierarchy h = HierarchyOf(c, *fk);
+  ASSERT_EQ(h.levels.size(), 3u);
+  EXPECT_EQ(h.levels[0], "storeID");
+  EXPECT_EQ(h.levels[1], "city");
+  EXPECT_EQ(h.levels[2], "region");
+}
+
+TEST(HierarchyTest, ItemChain) {
+  rel::Catalog c = TinyCatalog();
+  DimensionHierarchy h = HierarchyOf(c, *c.FindForeignKey("pos", "itemID"));
+  ASSERT_EQ(h.levels.size(), 2u);
+  EXPECT_EQ(h.levels[0], "itemID");
+  EXPECT_EQ(h.levels[1], "category");
+}
+
+TEST(HierarchyTest, FactHierarchiesIncludePlainAttributes) {
+  rel::Catalog c = TinyCatalog();
+  std::vector<DimensionHierarchy> hs = FactHierarchies(c, "pos", {"date"});
+  ASSERT_EQ(hs.size(), 3u);  // stores, items, date
+  EXPECT_EQ(hs[2].levels, std::vector<std::string>{"date"});
+}
+
+TEST(HierarchyTest, Figure5CombinedLattice) {
+  // The paper's Figure 5: the direct product of
+  // store {storeID, city, region, -} x item {itemID, category, -} x
+  // date {date, -} = 4 * 3 * 2 = 24 nodes.
+  rel::Catalog c = TinyCatalog();
+  AttributeLattice l =
+      CombineHierarchies(FactHierarchies(c, "pos", {"date"}));
+  EXPECT_EQ(l.nodes.size(), 24u);
+
+  // Spot-check nodes named in the figure.
+  ASSERT_TRUE(l.Find({"storeID", "itemID", "date"}).has_value());
+  ASSERT_TRUE(l.Find({"city", "itemID", "date"}).has_value());
+  ASSERT_TRUE(l.Find({"region", "category", "date"}).has_value());
+  ASSERT_TRUE(l.Find({"city", "category"}).has_value());
+  ASSERT_TRUE(l.Find({"region"}).has_value());
+  ASSERT_TRUE(l.Find({}).has_value());
+  // Nonsensical combos (two levels of one dimension) do not exist.
+  EXPECT_FALSE(l.Find({"storeID", "city"}).has_value());
+  EXPECT_FALSE(l.Find({"city", "region", "date"}).has_value());
+
+  // Edges coarsen one dimension one step.
+  const auto top = l.Find({"storeID", "itemID", "date"});
+  EXPECT_TRUE(l.HasEdge(*top, *l.Find({"city", "itemID", "date"})));
+  EXPECT_TRUE(l.HasEdge(*top, *l.Find({"storeID", "category", "date"})));
+  EXPECT_TRUE(l.HasEdge(*top, *l.Find({"storeID", "itemID"})));
+  // Not two steps at once.
+  EXPECT_FALSE(l.HasEdge(*top, *l.Find({"region", "itemID", "date"})));
+  EXPECT_FALSE(l.HasEdge(*top, *l.Find({"city", "category", "date"})));
+  // Chain down to the bottom.
+  EXPECT_TRUE(l.HasEdge(*l.Find({"region"}), *l.Find({})));
+  EXPECT_TRUE(l.HasEdge(*l.Find({"city"}), *l.Find({"region"})));
+}
+
+TEST(HierarchyTest, Figure5EdgeCount) {
+  rel::Catalog c = TinyCatalog();
+  AttributeLattice l =
+      CombineHierarchies(FactHierarchies(c, "pos", {"date"}));
+  // Each node has one outgoing edge per dimension not yet exhausted:
+  // sum over nodes of coarsenable dimensions. For chains of lengths
+  // (3,2,1) with the "none" level: digits (0..3)x(0..2)x(0..1); an edge
+  // exists per digit below its max: total = sum over nodes of
+  // #dims with digit < max = 3*(3*2) + 2*(4*2)... compute directly: for
+  // store: digit<3 in 3 of 4 choices -> 3*3*2=18; item: digit<2 in 2 of
+  // 3 -> 4*2*2=16; date: digit<1 in 1 of 2 -> 4*3*1=12; total 46.
+  EXPECT_EQ(l.edges.size(), 46u);
+}
+
+TEST(HierarchyTest, CombineSingleDimensionIsChain) {
+  DimensionHierarchy h{"store", {"storeID", "city", "region"}};
+  AttributeLattice l = CombineHierarchies({h});
+  EXPECT_EQ(l.nodes.size(), 4u);
+  EXPECT_EQ(l.edges.size(), 3u);
+  EXPECT_TRUE(l.HasEdge(*l.Find({"storeID"}), *l.Find({"city"})));
+  EXPECT_TRUE(l.HasEdge(*l.Find({"region"}), *l.Find({})));
+}
+
+}  // namespace
+}  // namespace sdelta::lattice

@@ -1,0 +1,150 @@
+#include "lattice/plan.h"
+
+#include <gtest/gtest.h>
+
+#include "core/maintenance.h"
+#include "tiny_catalog.h"
+#include "warehouse/retail_schema.h"
+#include "warehouse/workload.h"
+
+namespace sdelta::lattice {
+namespace {
+
+using core::ViewDef;
+using sdelta::testing::TinyCatalog;
+
+VLattice RetailLattice(const rel::Catalog& c) {
+  std::vector<ViewDef> friendly =
+      MakeLatticeFriendly(c, warehouse::RetailSummaryTables());
+  std::vector<core::AugmentedView> augmented;
+  for (const ViewDef& v : friendly) {
+    augmented.push_back(core::AugmentForSelfMaintenance(c, v));
+  }
+  return BuildVLattice(c, std::move(augmented));
+}
+
+rel::Catalog SmallRetail() {
+  warehouse::RetailConfig config;
+  config.num_stores = 10;
+  config.num_cities = 4;
+  config.num_regions = 2;
+  config.num_items = 40;
+  config.num_categories = 5;
+  config.num_dates = 20;
+  config.num_pos_rows = 1000;
+  config.seed = 5;
+  return warehouse::MakeRetailCatalog(config);
+}
+
+TEST(PlanTest, EstimateGroupCountUsesDistinctValues) {
+  rel::Catalog c = SmallRetail();
+  VLattice l = RetailLattice(c);
+  const double sid =
+      EstimateGroupCount(c, l.views[*l.IndexOf("SID_sales")]);
+  const double sr = EstimateGroupCount(c, l.views[*l.IndexOf("sR_sales")]);
+  EXPECT_GT(sid, sr);
+  EXPECT_DOUBLE_EQ(sr, 2.0);  // two regions
+}
+
+TEST(PlanTest, EstimateSkipsFunctionallyDeterminedAttributes) {
+  rel::Catalog c = SmallRetail();
+  // (city, region): region is determined by city, so the estimate must
+  // equal the city count alone (4), not 4 * 2.
+  core::ViewDef v;
+  v.name = "cr";
+  v.fact_table = "pos";
+  v.joins = {core::DimensionJoin{"stores", "storeID", "storeID"}};
+  v.group_by = {"city", "stores.region"};
+  v.aggregates = {rel::CountStar("n")};
+  core::AugmentedView av = core::AugmentForSelfMaintenance(c, v);
+  EXPECT_DOUBLE_EQ(EstimateGroupCount(c, av), 4.0);
+
+  // (storeID, city): storeID's FK determines every stores attribute.
+  core::ViewDef v2;
+  v2.name = "sc";
+  v2.fact_table = "pos";
+  v2.joins = {core::DimensionJoin{"stores", "storeID", "storeID"}};
+  v2.group_by = {"storeID", "city"};
+  v2.aggregates = {rel::CountStar("n")};
+  core::AugmentedView av2 = core::AugmentForSelfMaintenance(c, v2);
+  EXPECT_DOUBLE_EQ(EstimateGroupCount(c, av2), 10.0);  // stores only
+}
+
+TEST(PlanTest, LatticePlanDerivesChildrenFromParents) {
+  rel::Catalog c = SmallRetail();
+  VLattice l = RetailLattice(c);
+  MaintenancePlan plan = ChoosePlan(c, l);
+  ASSERT_EQ(plan.steps.size(), 4u);
+
+  // First step: the top view, from base changes.
+  EXPECT_EQ(l.views[plan.steps[0].view].name(), "SID_sales");
+  EXPECT_FALSE(plan.steps[0].edge.has_value());
+
+  // Every other view derives from a parent, and sR derives from sCD (the
+  // smallest parent, with no join needed).
+  for (size_t i = 1; i < plan.steps.size(); ++i) {
+    const PlanStep& step = plan.steps[i];
+    ASSERT_TRUE(step.edge.has_value())
+        << l.views[step.view].name() << " should use the lattice";
+    const VLatticeEdge& e = l.edges[*step.edge];
+    EXPECT_EQ(e.child, step.view);
+    if (l.views[step.view].name() == "sR_sales") {
+      EXPECT_EQ(l.views[e.parent].name(), "sCD_sales");
+      EXPECT_TRUE(e.recipe.joins.empty());
+    }
+  }
+}
+
+TEST(PlanTest, NoLatticePlanComputesEverythingFromBase) {
+  rel::Catalog c = SmallRetail();
+  VLattice l = RetailLattice(c);
+  MaintenancePlan plan = ChoosePlan(c, l, PlanOptions{false});
+  ASSERT_EQ(plan.steps.size(), 4u);
+  for (const PlanStep& step : plan.steps) {
+    EXPECT_FALSE(step.edge.has_value());
+  }
+}
+
+TEST(PlanTest, PlanToStringMentionsParents) {
+  rel::Catalog c = SmallRetail();
+  VLattice l = RetailLattice(c);
+  MaintenancePlan plan = ChoosePlan(c, l);
+  const std::string s = plan.ToString(l);
+  EXPECT_NE(s.find("SID_sales <- base changes"), std::string::npos);
+  EXPECT_NE(s.find("sR_sales <- sd_sCD_sales"), std::string::npos);
+}
+
+TEST(PlanTest, PropagateAllLatticeMatchesDirect) {
+  rel::Catalog c = SmallRetail();
+  VLattice l = RetailLattice(c);
+  const core::ChangeSet changes =
+      warehouse::MakeUpdateGeneratingChanges(c, 200, 31);
+
+  LatticePropagateResult with_lattice =
+      PropagateAll(c, l, ChoosePlan(c, l), changes);
+  LatticePropagateResult without =
+      PropagateAll(c, l, ChoosePlan(c, l, PlanOptions{false}), changes);
+
+  ASSERT_EQ(with_lattice.deltas.size(), without.deltas.size());
+  for (size_t i = 0; i < l.views.size(); ++i) {
+    SCOPED_TRACE(l.views[i].name());
+    EXPECT_TRUE(rel::Table::BagEquals(without.deltas[i],
+                                      with_lattice.deltas[i]))
+        << "direct:\n" << without.deltas[i].ToString(20)
+        << "lattice:\n" << with_lattice.deltas[i].ToString(20);
+  }
+}
+
+TEST(PlanTest, OutOfOrderPlanRejected) {
+  rel::Catalog c = SmallRetail();
+  VLattice l = RetailLattice(c);
+  MaintenancePlan plan = ChoosePlan(c, l);
+  // Reverse the steps: children before parents must throw.
+  std::reverse(plan.steps.begin(), plan.steps.end());
+  core::ChangeSet changes =
+      warehouse::MakeUpdateGeneratingChanges(c, 10, 32);
+  EXPECT_THROW(PropagateAll(c, l, plan, changes), std::logic_error);
+}
+
+}  // namespace
+}  // namespace sdelta::lattice

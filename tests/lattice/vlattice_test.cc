@@ -1,0 +1,135 @@
+#include "lattice/vlattice.h"
+
+#include <gtest/gtest.h>
+
+#include "tiny_catalog.h"
+#include "warehouse/retail_schema.h"
+
+namespace sdelta::lattice {
+namespace {
+
+using core::ViewDef;
+using sdelta::testing::TinyCatalog;
+
+std::vector<core::AugmentedView> AugmentAll(const rel::Catalog& c,
+                                            const std::vector<ViewDef>& vs) {
+  std::vector<core::AugmentedView> out;
+  for (const ViewDef& v : vs) {
+    out.push_back(core::AugmentForSelfMaintenance(c, v));
+  }
+  return out;
+}
+
+TEST(MakeLatticeFriendlyTest, ExtendsScdWithRegion) {
+  // §5.2/§5.3: sCD_sales(city, date) gains region because sR_sales wants
+  // it and city -> region holds in the already-joined stores dimension.
+  rel::Catalog c = TinyCatalog();
+  std::vector<ViewDef> views =
+      MakeLatticeFriendly(c, warehouse::RetailSummaryTables());
+  for (const ViewDef& v : views) {
+    if (v.name == "sCD_sales") {
+      ASSERT_EQ(v.group_by.size(), 3u);
+      EXPECT_EQ(v.group_by[2], "stores.region");
+    } else if (v.name == "SID_sales") {
+      // Joins are pushed down: the top view is NOT extended (it joins no
+      // dimensions).
+      EXPECT_EQ(v.group_by.size(), 3u);
+    } else if (v.name == "SiC_sales") {
+      // category determines nothing.
+      EXPECT_EQ(v.group_by.size(), 2u);
+    }
+  }
+}
+
+TEST(MakeLatticeFriendlyTest, NoExtensionWhenNobodyWantsIt) {
+  rel::Catalog c = TinyCatalog();
+  // Without sR_sales, nobody groups by region, so sCD is untouched.
+  std::vector<ViewDef> views = warehouse::RetailSummaryTables();
+  views.erase(views.begin() + 3);  // drop sR_sales
+  std::vector<ViewDef> out = MakeLatticeFriendly(c, views);
+  for (const ViewDef& v : out) {
+    if (v.name == "sCD_sales") EXPECT_EQ(v.group_by.size(), 2u);
+  }
+}
+
+TEST(VLatticeTest, Figure8Structure) {
+  // After the friendly extension, the retail V-lattice is Figure 8:
+  //   SID -> SiC [items],  SID -> sCD [stores],  sCD -> sR [no join],
+  // plus the transitive derives pairs SID -> sR and SiC -> sR.
+  rel::Catalog c = TinyCatalog();
+  std::vector<ViewDef> friendly =
+      MakeLatticeFriendly(c, warehouse::RetailSummaryTables());
+  VLattice l = BuildVLattice(c, AugmentAll(c, friendly));
+
+  const size_t sid = *l.IndexOf("SID_sales");
+  const size_t scd = *l.IndexOf("sCD_sales");
+  const size_t sic = *l.IndexOf("SiC_sales");
+  const size_t sr = *l.IndexOf("sR_sales");
+
+  auto has_edge = [&](size_t p, size_t ch) {
+    for (const VLatticeEdge& e : l.edges) {
+      if (e.parent == p && e.child == ch) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has_edge(sid, scd));
+  EXPECT_TRUE(has_edge(sid, sic));
+  EXPECT_TRUE(has_edge(sid, sr));
+  EXPECT_TRUE(has_edge(scd, sr));
+  EXPECT_TRUE(has_edge(sic, sr));
+  EXPECT_FALSE(has_edge(scd, sic));
+  EXPECT_FALSE(has_edge(sic, scd));
+  EXPECT_FALSE(has_edge(sr, scd));
+  EXPECT_EQ(l.edges.size(), 5u);
+
+  // SID is the unique top.
+  const std::vector<size_t> tops = l.Tops();
+  ASSERT_EQ(tops.size(), 1u);
+  EXPECT_EQ(tops[0], sid);
+
+  // Edge annotations match Figure 8.
+  for (const VLatticeEdge& e : l.edges) {
+    if (e.parent == sid && e.child == sic) {
+      ASSERT_EQ(e.recipe.joins.size(), 1u);
+      EXPECT_EQ(e.recipe.joins[0].dim_table, "items");
+    }
+    if (e.parent == sid && e.child == scd) {
+      ASSERT_EQ(e.recipe.joins.size(), 1u);
+      EXPECT_EQ(e.recipe.joins[0].dim_table, "stores");
+    }
+    if (e.parent == scd && e.child == sr) {
+      EXPECT_TRUE(e.recipe.joins.empty());  // region carried in sCD
+    }
+  }
+}
+
+TEST(VLatticeTest, ParentsOfAndToString) {
+  rel::Catalog c = TinyCatalog();
+  std::vector<ViewDef> friendly =
+      MakeLatticeFriendly(c, warehouse::RetailSummaryTables());
+  VLattice l = BuildVLattice(c, AugmentAll(c, friendly));
+  const size_t sr = *l.IndexOf("sR_sales");
+  EXPECT_EQ(l.ParentsOf(sr).size(), 3u);
+  EXPECT_FALSE(l.IndexOf("nope").has_value());
+  EXPECT_NE(l.ToString().find("sR_sales <= sCD_sales"), std::string::npos);
+}
+
+TEST(VLatticeTest, UnrelatedViewsProduceNoEdges) {
+  rel::Catalog c = TinyCatalog();
+  ViewDef a;
+  a.name = "by_store";
+  a.fact_table = "pos";
+  a.group_by = {"storeID"};
+  a.aggregates = {rel::CountStar("n")};
+  ViewDef b;
+  b.name = "by_date";
+  b.fact_table = "pos";
+  b.group_by = {"date"};
+  b.aggregates = {rel::CountStar("n")};
+  VLattice l = BuildVLattice(c, AugmentAll(c, {a, b}));
+  EXPECT_TRUE(l.edges.empty());
+  EXPECT_EQ(l.Tops().size(), 2u);
+}
+
+}  // namespace
+}  // namespace sdelta::lattice

@@ -1,0 +1,115 @@
+#include "relational/aggregate.h"
+
+#include <gtest/gtest.h>
+
+namespace sdelta::rel {
+namespace {
+
+TEST(AccumulatorTest, CountStarCountsEverything) {
+  Accumulator acc(AggregateKind::kCountStar);
+  acc.Add(Value::Int64(1));
+  acc.Add(Value::Null());
+  acc.Add(Value::String("x"));
+  EXPECT_EQ(acc.Result().as_int64(), 3);
+}
+
+TEST(AccumulatorTest, CountSkipsNulls) {
+  Accumulator acc(AggregateKind::kCount);
+  acc.Add(Value::Int64(1));
+  acc.Add(Value::Null());
+  acc.Add(Value::Int64(2));
+  EXPECT_EQ(acc.Result().as_int64(), 2);
+}
+
+TEST(AccumulatorTest, CountOfNothingIsZero) {
+  EXPECT_EQ(Accumulator(AggregateKind::kCount).Result().as_int64(), 0);
+  EXPECT_EQ(Accumulator(AggregateKind::kCountStar).Result().as_int64(), 0);
+}
+
+TEST(AccumulatorTest, SumIntStaysInt) {
+  Accumulator acc(AggregateKind::kSum);
+  acc.Add(Value::Int64(3));
+  acc.Add(Value::Int64(-5));
+  Value r = acc.Result();
+  EXPECT_EQ(r.type(), ValueType::kInt64);
+  EXPECT_EQ(r.as_int64(), -2);
+}
+
+TEST(AccumulatorTest, SumWidensOnDouble) {
+  Accumulator acc(AggregateKind::kSum);
+  acc.Add(Value::Int64(3));
+  acc.Add(Value::Double(0.5));
+  Value r = acc.Result();
+  EXPECT_EQ(r.type(), ValueType::kDouble);
+  EXPECT_DOUBLE_EQ(r.as_double(), 3.5);
+}
+
+TEST(AccumulatorTest, SumOfEmptyOrAllNullIsNull) {
+  Accumulator acc(AggregateKind::kSum);
+  EXPECT_TRUE(acc.Result().is_null());
+  acc.Add(Value::Null());
+  EXPECT_TRUE(acc.Result().is_null());
+}
+
+TEST(AccumulatorTest, MinMaxSkipNulls) {
+  Accumulator mn(AggregateKind::kMin);
+  Accumulator mx(AggregateKind::kMax);
+  for (int v : {5, 2, 9}) {
+    mn.Add(Value::Int64(v));
+    mx.Add(Value::Int64(v));
+  }
+  mn.Add(Value::Null());
+  mx.Add(Value::Null());
+  EXPECT_EQ(mn.Result().as_int64(), 2);
+  EXPECT_EQ(mx.Result().as_int64(), 9);
+}
+
+TEST(AccumulatorTest, MinMaxOfNothingIsNull) {
+  EXPECT_TRUE(Accumulator(AggregateKind::kMin).Result().is_null());
+  EXPECT_TRUE(Accumulator(AggregateKind::kMax).Result().is_null());
+}
+
+TEST(AccumulatorTest, MinMaxOnStrings) {
+  Accumulator mn(AggregateKind::kMin);
+  mn.Add(Value::String("pear"));
+  mn.Add(Value::String("apple"));
+  EXPECT_EQ(mn.Result().as_string(), "apple");
+}
+
+TEST(AccumulatorTest, AvgIsSumOverCount) {
+  Accumulator acc(AggregateKind::kAvg);
+  acc.Add(Value::Int64(1));
+  acc.Add(Value::Int64(2));
+  acc.Add(Value::Null());  // skipped
+  acc.Add(Value::Int64(6));
+  EXPECT_DOUBLE_EQ(acc.Result().as_double(), 3.0);
+}
+
+TEST(AccumulatorTest, AvgOfNothingIsNull) {
+  EXPECT_TRUE(Accumulator(AggregateKind::kAvg).Result().is_null());
+}
+
+TEST(AggregateSpecTest, Constructors) {
+  AggregateSpec s = Sum(Expression::Column("qty"), "total");
+  EXPECT_EQ(s.kind, AggregateKind::kSum);
+  EXPECT_EQ(s.output_name, "total");
+  EXPECT_TRUE(s.argument.has_value());
+  EXPECT_EQ(CountStar("n").kind, AggregateKind::kCountStar);
+  EXPECT_FALSE(CountStar("n").argument.has_value());
+  EXPECT_EQ(Min(Expression::Column("d"), "m").ToString(), "MIN(d) AS m");
+  EXPECT_EQ(CountStar("n").ToString(), "COUNT(*) AS n");
+}
+
+TEST(AggregateSpecTest, ResultTypes) {
+  EXPECT_EQ(AggregateResultType(AggregateKind::kCountStar, ValueType::kNull),
+            ValueType::kInt64);
+  EXPECT_EQ(AggregateResultType(AggregateKind::kSum, ValueType::kDouble),
+            ValueType::kDouble);
+  EXPECT_EQ(AggregateResultType(AggregateKind::kMin, ValueType::kString),
+            ValueType::kString);
+  EXPECT_EQ(AggregateResultType(AggregateKind::kAvg, ValueType::kInt64),
+            ValueType::kDouble);
+}
+
+}  // namespace
+}  // namespace sdelta::rel

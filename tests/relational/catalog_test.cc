@@ -1,0 +1,73 @@
+#include "relational/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "warehouse/retail_schema.h"
+
+namespace sdelta::rel {
+namespace {
+
+Catalog Retail() {
+  warehouse::RetailConfig config;
+  config.num_pos_rows = 100;
+  return warehouse::MakeRetailCatalog(config);
+}
+
+TEST(CatalogTest, TablesPresent) {
+  Catalog c = Retail();
+  EXPECT_TRUE(c.HasTable("pos"));
+  EXPECT_TRUE(c.HasTable("stores"));
+  EXPECT_TRUE(c.HasTable("items"));
+  EXPECT_FALSE(c.HasTable("nope"));
+  EXPECT_THROW(c.GetTable("nope"), std::invalid_argument);
+}
+
+TEST(CatalogTest, DuplicateTableThrows) {
+  Catalog c = Retail();
+  Schema s;
+  s.AddColumn("x", ValueType::kInt64);
+  EXPECT_THROW(c.AddTable(Table(s, "pos")), std::invalid_argument);
+  EXPECT_THROW(c.AddTable(Table(s, "")), std::invalid_argument);
+}
+
+TEST(CatalogTest, ForeignKeyLookup) {
+  Catalog c = Retail();
+  const ForeignKey* fk = c.FindForeignKey("pos", "storeID");
+  ASSERT_NE(fk, nullptr);
+  EXPECT_EQ(fk->dim_table, "stores");
+  EXPECT_EQ(fk->dim_column, "storeID");
+  EXPECT_EQ(c.FindForeignKey("pos", "qty"), nullptr);
+  EXPECT_EQ(c.ForeignKeysOf("pos").size(), 2u);
+}
+
+TEST(CatalogTest, DeclareForeignKeyValidatesColumns) {
+  Catalog c = Retail();
+  EXPECT_THROW(c.DeclareForeignKey("pos", "missing", "stores", "storeID"),
+               std::invalid_argument);
+  EXPECT_THROW(c.DeclareForeignKey("pos", "storeID", "stores", "missing"),
+               std::invalid_argument);
+}
+
+TEST(CatalogTest, FunctionalDependencies) {
+  Catalog c = Retail();
+  EXPECT_EQ(c.DependenciesOf("stores").size(), 2u);
+  EXPECT_EQ(c.DependenciesOf("items").size(), 1u);
+  EXPECT_THROW(c.DeclareFunctionalDependency("stores", "city", "missing"),
+               std::invalid_argument);
+}
+
+TEST(CatalogTest, FdClosureTransitive) {
+  Catalog c = Retail();
+  const std::vector<std::string> from_store = c.FdClosure("stores", "storeID");
+  ASSERT_EQ(from_store.size(), 2u);
+  EXPECT_EQ(from_store[0], "city");
+  EXPECT_EQ(from_store[1], "region");
+  const std::vector<std::string> from_city = c.FdClosure("stores", "city");
+  ASSERT_EQ(from_city.size(), 1u);
+  EXPECT_EQ(from_city[0], "region");
+  EXPECT_TRUE(c.FdClosure("stores", "region").empty());
+  EXPECT_TRUE(c.FdClosure("items", "category").empty());
+}
+
+}  // namespace
+}  // namespace sdelta::rel

@@ -1,0 +1,107 @@
+#include "relational/csv.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace sdelta::rel {
+namespace {
+
+using sdelta::testing::ExpectBagEq;
+
+Schema MixedSchema() {
+  Schema s;
+  s.AddColumn("id", ValueType::kInt64);
+  s.AddColumn("name", ValueType::kString);
+  s.AddColumn("price", ValueType::kDouble);
+  return s;
+}
+
+TEST(CsvTest, WriteBasic) {
+  Table t(MixedSchema(), "t");
+  t.Insert({Value::Int64(1), Value::String("apple"), Value::Double(1.5)});
+  t.Insert({Value::Int64(2), Value::String("pear"), Value::Double(2.0)});
+  EXPECT_EQ(ToCsvString(t),
+            "id,name,price\n1,apple,1.5\n2,pear,2\n");
+}
+
+TEST(CsvTest, NullIsEmptyUnquotedEmptyStringIsQuoted) {
+  Table t(MixedSchema());
+  t.Insert({Value::Null(), Value::String(""), Value::Null()});
+  EXPECT_EQ(ToCsvString(t), "id,name,price\n,\"\",\n");
+}
+
+TEST(CsvTest, QuotingSpecialCharacters) {
+  Table t(MixedSchema());
+  t.Insert({Value::Int64(1), Value::String("a,b"), Value::Double(1)});
+  t.Insert({Value::Int64(2), Value::String("say \"hi\""), Value::Double(2)});
+  t.Insert({Value::Int64(3), Value::String("line1\nline2"), Value::Double(3)});
+  const std::string csv = ToCsvString(t);
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+  EXPECT_NE(csv.find("\"line1\nline2\""), std::string::npos);
+}
+
+TEST(CsvTest, RoundTripPreservesBag) {
+  Table t(MixedSchema(), "orig");
+  t.Insert({Value::Int64(1), Value::String("plain"), Value::Double(0.25)});
+  t.Insert({Value::Int64(-7), Value::String("a,b\"c\nd"), Value::Null()});
+  t.Insert({Value::Null(), Value::String(""), Value::Double(-1e10)});
+  Table back = FromCsvString(MixedSchema(), ToCsvString(t), "back");
+  ExpectBagEq(t, back);
+}
+
+TEST(CsvTest, ReadBasic) {
+  Table t = FromCsvString(MixedSchema(),
+                          "id,name,price\n10,widget,9.99\n11,gadget,\n");
+  ASSERT_EQ(t.NumRows(), 2u);
+  EXPECT_EQ(t.row(0)[0].as_int64(), 10);
+  EXPECT_EQ(t.row(0)[1].as_string(), "widget");
+  EXPECT_DOUBLE_EQ(t.row(0)[2].as_double(), 9.99);
+  EXPECT_TRUE(t.row(1)[2].is_null());
+}
+
+TEST(CsvTest, ReadCrLfAndTrailingBlankLines) {
+  Table t = FromCsvString(MixedSchema(),
+                          "id,name,price\r\n1,x,2.5\r\n\r\n");
+  ASSERT_EQ(t.NumRows(), 1u);
+  EXPECT_EQ(t.row(0)[1].as_string(), "x");
+}
+
+TEST(CsvTest, HeaderMismatchThrows) {
+  EXPECT_THROW(FromCsvString(MixedSchema(), "id,nom,price\n1,x,2\n"),
+               std::invalid_argument);
+  EXPECT_THROW(FromCsvString(MixedSchema(), "id,name\n"),
+               std::invalid_argument);
+  EXPECT_THROW(FromCsvString(MixedSchema(), ""), std::invalid_argument);
+}
+
+TEST(CsvTest, BadDataThrowsWithLineNumber) {
+  try {
+    FromCsvString(MixedSchema(), "id,name,price\n1,x,2.5\nnope,y,1\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("int64"), std::string::npos);
+  }
+  EXPECT_THROW(FromCsvString(MixedSchema(), "id,name,price\n1,x\n"),
+               std::invalid_argument);
+  EXPECT_THROW(FromCsvString(MixedSchema(), "id,name,price\n1,x,abc\n"),
+               std::invalid_argument);
+}
+
+TEST(CsvTest, QuotedFieldWithEmbeddedNewlineReads) {
+  Table t = FromCsvString(MixedSchema(),
+                          "id,name,price\n1,\"two\nlines\",3.5\n");
+  ASSERT_EQ(t.NumRows(), 1u);
+  EXPECT_EQ(t.row(0)[1].as_string(), "two\nlines");
+}
+
+TEST(CsvTest, LastLineWithoutNewline) {
+  Table t = FromCsvString(MixedSchema(), "id,name,price\n5,last,1.25");
+  ASSERT_EQ(t.NumRows(), 1u);
+  EXPECT_EQ(t.row(0)[0].as_int64(), 5);
+}
+
+}  // namespace
+}  // namespace sdelta::rel

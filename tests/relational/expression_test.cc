@@ -1,0 +1,160 @@
+#include "relational/expression.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace sdelta::rel {
+namespace {
+
+using E = Expression;
+
+Schema PosSchema() {
+  Schema s;
+  s.AddColumn("qty", ValueType::kInt64);
+  s.AddColumn("price", ValueType::kDouble);
+  s.AddColumn("note", ValueType::kString);
+  return s;
+}
+
+Row SampleRow() {
+  return {Value::Int64(4), Value::Double(2.5), Value::String("hi")};
+}
+
+TEST(ExpressionTest, ColumnAndLiteral) {
+  const Schema s = PosSchema();
+  EXPECT_EQ(E::Column("qty").Bind(s).Eval(SampleRow()).as_int64(), 4);
+  EXPECT_EQ(E::Literal(Value::Int64(7)).Bind(s).Eval(SampleRow()).as_int64(),
+            7);
+}
+
+TEST(ExpressionTest, Arithmetic) {
+  const Schema s = PosSchema();
+  Row r = SampleRow();
+  EXPECT_EQ(E::Add(E::Column("qty"), E::Literal(Value::Int64(1)))
+                .Bind(s).Eval(r).as_int64(),
+            5);
+  EXPECT_DOUBLE_EQ(E::Multiply(E::Column("qty"), E::Column("price"))
+                       .Bind(s).Eval(r).as_double(),
+                   10.0);
+  EXPECT_EQ(E::Negate(E::Column("qty")).Bind(s).Eval(r).as_int64(), -4);
+  EXPECT_DOUBLE_EQ(E::Divide(E::Column("qty"), E::Literal(Value::Int64(2)))
+                       .Bind(s).Eval(r).as_double(),
+                   2.0);
+  EXPECT_EQ(E::Subtract(E::Column("qty"), E::Literal(Value::Int64(6)))
+                .Bind(s).Eval(r).as_int64(),
+            -2);
+}
+
+TEST(ExpressionTest, ComparisonsYieldIntOrNull) {
+  const Schema s = PosSchema();
+  Row r = SampleRow();
+  EXPECT_EQ(E::Lt(E::Column("qty"), E::Literal(Value::Int64(5)))
+                .Bind(s).Eval(r).as_int64(),
+            1);
+  EXPECT_EQ(E::Ge(E::Column("qty"), E::Literal(Value::Int64(5)))
+                .Bind(s).Eval(r).as_int64(),
+            0);
+  EXPECT_EQ(E::Eq(E::Column("note"), E::Literal(Value::String("hi")))
+                .Bind(s).Eval(r).as_int64(),
+            1);
+  EXPECT_EQ(E::Ne(E::Column("qty"), E::Literal(Value::Int64(4)))
+                .Bind(s).Eval(r).as_int64(),
+            0);
+  EXPECT_TRUE(E::Eq(E::Column("qty"), E::Literal(Value::Null()))
+                  .Bind(s).Eval(r).is_null());
+}
+
+TEST(ExpressionTest, ThreeValuedLogic) {
+  const Schema s = PosSchema();
+  Row r = SampleRow();
+  auto T = E::Literal(Value::Int64(1));
+  auto F = E::Literal(Value::Int64(0));
+  auto N = E::Literal(Value::Null());
+  EXPECT_EQ(E::And(T, F).Bind(s).Eval(r).as_int64(), 0);
+  EXPECT_EQ(E::And(N, F).Bind(s).Eval(r).as_int64(), 0);  // NULL AND FALSE
+  EXPECT_TRUE(E::And(N, T).Bind(s).Eval(r).is_null());
+  EXPECT_EQ(E::Or(N, T).Bind(s).Eval(r).as_int64(), 1);  // NULL OR TRUE
+  EXPECT_TRUE(E::Or(N, F).Bind(s).Eval(r).is_null());
+  EXPECT_EQ(E::Not(F).Bind(s).Eval(r).as_int64(), 1);
+  EXPECT_TRUE(E::Not(N).Bind(s).Eval(r).is_null());
+}
+
+TEST(ExpressionTest, IsNullNeverNull) {
+  const Schema s = PosSchema();
+  Row r = SampleRow();
+  EXPECT_EQ(E::IsNull(E::Literal(Value::Null())).Bind(s).Eval(r).as_int64(),
+            1);
+  EXPECT_EQ(E::IsNull(E::Column("qty")).Bind(s).Eval(r).as_int64(), 0);
+}
+
+TEST(ExpressionTest, CaseIsNullMatchesTable1Semantics) {
+  const Schema s = PosSchema();
+  Row r = SampleRow();
+  // CASE WHEN expr IS NULL THEN 0 ELSE -1 END (prepare-deletions COUNT(e))
+  auto src = E::CaseIsNull(E::Column("qty"), E::Literal(Value::Int64(0)),
+                           E::Literal(Value::Int64(-1)));
+  EXPECT_EQ(src.Bind(s).Eval(r).as_int64(), -1);
+  Row null_qty = {Value::Null(), Value::Double(1.0), Value::String("")};
+  EXPECT_EQ(src.Bind(s).Eval(null_qty).as_int64(), 0);
+}
+
+TEST(ExpressionTest, EvalPredicateTruthiness) {
+  const Schema s = PosSchema();
+  Row r = SampleRow();
+  EXPECT_TRUE(E::Gt(E::Column("qty"), E::Literal(Value::Int64(0)))
+                  .Bind(s).EvalPredicate(r));
+  EXPECT_FALSE(E::Literal(Value::Null()).Bind(s).EvalPredicate(r));
+  EXPECT_FALSE(E::Literal(Value::Int64(0)).Bind(s).EvalPredicate(r));
+}
+
+TEST(ExpressionTest, BindUnknownColumnThrows) {
+  EXPECT_THROW(E::Column("missing").Bind(PosSchema()),
+               std::invalid_argument);
+}
+
+TEST(ExpressionTest, ReferencedColumnsDistinctInOrder) {
+  auto e = E::Add(E::Multiply(E::Column("qty"), E::Column("price")),
+                  E::Column("qty"));
+  const std::vector<std::string> cols = e.ReferencedColumns();
+  ASSERT_EQ(cols.size(), 2u);
+  EXPECT_EQ(cols[0], "qty");
+  EXPECT_EQ(cols[1], "price");
+}
+
+TEST(ExpressionTest, RenameColumns) {
+  auto e = E::Multiply(E::Column("qty"), E::Column("price"));
+  auto renamed = e.RenameColumns(
+      [](const std::string& n) { return "pos." + n; });
+  const std::vector<std::string> cols = renamed.ReferencedColumns();
+  EXPECT_EQ(cols[0], "pos.qty");
+  EXPECT_EQ(cols[1], "pos.price");
+}
+
+TEST(ExpressionTest, StructuralEquality) {
+  auto a = E::Multiply(E::Column("qty"), E::Literal(Value::Int64(2)));
+  auto b = E::Multiply(E::Column("qty"), E::Literal(Value::Int64(2)));
+  auto c = E::Multiply(E::Column("qty"), E::Literal(Value::Int64(3)));
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+  EXPECT_FALSE(E::Column("qty") == E::Column("price"));
+}
+
+TEST(ExpressionTest, ResultTypes) {
+  const Schema s = PosSchema();
+  EXPECT_EQ(E::Column("qty").ResultType(s), ValueType::kInt64);
+  EXPECT_EQ(E::Multiply(E::Column("qty"), E::Column("price")).ResultType(s),
+            ValueType::kDouble);
+  EXPECT_EQ(E::Divide(E::Column("qty"), E::Column("qty")).ResultType(s),
+            ValueType::kDouble);
+  EXPECT_EQ(E::Lt(E::Column("qty"), E::Column("qty")).ResultType(s),
+            ValueType::kInt64);
+}
+
+TEST(ExpressionTest, ToStringReadable) {
+  auto e = E::Multiply(E::Column("qty"), E::Column("price"));
+  EXPECT_EQ(e.ToString(), "(qty * price)");
+}
+
+}  // namespace
+}  // namespace sdelta::rel

@@ -1,0 +1,173 @@
+#include "relational/operators.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace sdelta::rel {
+namespace {
+
+using E = Expression;
+using sdelta::testing::ExpectBagEq;
+
+Table MakeSales() {
+  Schema s;
+  s.AddColumn("store", ValueType::kInt64);
+  s.AddColumn("item", ValueType::kInt64);
+  s.AddColumn("qty", ValueType::kInt64);
+  Table t(s, "sales");
+  t.Insert({Value::Int64(1), Value::Int64(10), Value::Int64(3)});
+  t.Insert({Value::Int64(1), Value::Int64(11), Value::Int64(2)});
+  t.Insert({Value::Int64(2), Value::Int64(10), Value::Int64(7)});
+  t.Insert({Value::Int64(2), Value::Int64(10), Value::Int64(1)});
+  return t;
+}
+
+Table MakeItems() {
+  Schema s;
+  s.AddColumn("item", ValueType::kInt64);
+  s.AddColumn("cat", ValueType::kString);
+  Table t(s, "items");
+  t.Insert({Value::Int64(10), Value::String("food")});
+  t.Insert({Value::Int64(11), Value::String("toys")});
+  return t;
+}
+
+TEST(OperatorsTest, SelectFiltersByPredicate) {
+  Table out = Select(MakeSales(),
+                     E::Ge(E::Column("qty"), E::Literal(Value::Int64(3))));
+  EXPECT_EQ(out.NumRows(), 2u);
+}
+
+TEST(OperatorsTest, SelectNullPredicateExcludes) {
+  Table t = MakeSales();
+  Table out = Select(t, E::Eq(E::Column("qty"), E::Literal(Value::Null())));
+  EXPECT_EQ(out.NumRows(), 0u);
+}
+
+TEST(OperatorsTest, ProjectComputesExpressions) {
+  Table out = Project(MakeSales(),
+                      {{"store", E::Column("store")},
+                       {"double_qty", E::Multiply(E::Column("qty"),
+                                                  E::Literal(Value::Int64(2)))}});
+  EXPECT_EQ(out.schema().column(1).name, "double_qty");
+  EXPECT_EQ(out.row(0)[1].as_int64(), 6);
+  EXPECT_EQ(out.NumRows(), 4u);
+}
+
+TEST(OperatorsTest, HashJoinBasic) {
+  Table out = HashJoin(MakeSales(), MakeItems(), {{"item", "item"}}, "items");
+  EXPECT_EQ(out.NumRows(), 4u);
+  // Output: sales columns + qualified items columns.
+  EXPECT_TRUE(out.schema().IndexOf("items.cat").has_value());
+  EXPECT_TRUE(out.schema().IndexOf("items.item").has_value());
+}
+
+TEST(OperatorsTest, HashJoinDropRightKeys) {
+  Table out = HashJoin(MakeSales(), MakeItems(), {{"item", "item"}}, "items",
+                       /*drop_right_keys=*/true);
+  EXPECT_FALSE(out.schema().IndexOf("items.item").has_value());
+  EXPECT_TRUE(out.schema().IndexOf("items.cat").has_value());
+  EXPECT_EQ(out.NumRows(), 4u);
+}
+
+TEST(OperatorsTest, HashJoinNullKeysNeverMatch) {
+  Table sales = MakeSales();
+  sales.Insert({Value::Int64(3), Value::Null(), Value::Int64(5)});
+  Table out = HashJoin(sales, MakeItems(), {{"item", "item"}}, "items");
+  EXPECT_EQ(out.NumRows(), 4u);  // the null-item row drops out
+}
+
+TEST(OperatorsTest, HashJoinUnmatchedLeftDropped) {
+  Table sales = MakeSales();
+  sales.Insert({Value::Int64(3), Value::Int64(99), Value::Int64(5)});
+  Table out = HashJoin(sales, MakeItems(), {{"item", "item"}}, "items");
+  EXPECT_EQ(out.NumRows(), 4u);
+}
+
+TEST(OperatorsTest, HashJoinEmptyKeysThrows) {
+  EXPECT_THROW(HashJoin(MakeSales(), MakeItems(), {}, "items"),
+               std::invalid_argument);
+}
+
+TEST(OperatorsTest, UnionAll) {
+  Table a = MakeSales();
+  Table b = MakeSales();
+  Table u = UnionAll(a, b);
+  EXPECT_EQ(u.NumRows(), 8u);
+}
+
+TEST(OperatorsTest, UnionAllArityMismatchThrows) {
+  EXPECT_THROW(UnionAll(MakeSales(), MakeItems()), std::invalid_argument);
+}
+
+TEST(OperatorsTest, GroupByCountsAndSums) {
+  Table out = GroupBy(MakeSales(), GroupCols({"store"}),
+                      {CountStar("n"), Sum(E::Column("qty"), "total")});
+  ASSERT_EQ(out.NumRows(), 2u);
+
+  Schema expect_schema;
+  expect_schema.AddColumn("store", ValueType::kInt64);
+  expect_schema.AddColumn("n", ValueType::kInt64);
+  expect_schema.AddColumn("total", ValueType::kInt64);
+  Table expected(expect_schema);
+  expected.Insert({Value::Int64(1), Value::Int64(2), Value::Int64(5)});
+  expected.Insert({Value::Int64(2), Value::Int64(2), Value::Int64(8)});
+  ExpectBagEq(expected, out);
+}
+
+TEST(OperatorsTest, GroupByMinMax) {
+  Table out = GroupBy(MakeSales(), GroupCols({"item"}),
+                      {Min(E::Column("qty"), "lo"),
+                       Max(E::Column("qty"), "hi")});
+  ASSERT_EQ(out.NumRows(), 2u);
+  for (const Row& r : out.rows()) {
+    if (r[0].as_int64() == 10) {
+      EXPECT_EQ(r[1].as_int64(), 1);
+      EXPECT_EQ(r[2].as_int64(), 7);
+    } else {
+      EXPECT_EQ(r[1].as_int64(), 2);
+      EXPECT_EQ(r[2].as_int64(), 2);
+    }
+  }
+}
+
+TEST(OperatorsTest, GroupByRenamesOutputColumns) {
+  Table joined = HashJoin(MakeSales(), MakeItems(), {{"item", "item"}},
+                          "items", true);
+  Table out = GroupBy(joined, {{"items.cat", ""}}, {CountStar("n")});
+  EXPECT_EQ(out.schema().column(0).name, "cat");  // bare name default
+  Table renamed = GroupBy(joined, {{"items.cat", "category"}},
+                          {CountStar("n")});
+  EXPECT_EQ(renamed.schema().column(0).name, "category");
+}
+
+TEST(OperatorsTest, ScalarAggregateOverEmptyInputYieldsOneRow) {
+  Table empty(MakeSales().schema());
+  Table out = GroupBy(empty, {}, {CountStar("n"), Sum(E::Column("qty"),
+                                                      "total")});
+  ASSERT_EQ(out.NumRows(), 1u);
+  EXPECT_EQ(out.row(0)[0].as_int64(), 0);
+  EXPECT_TRUE(out.row(0)[1].is_null());
+}
+
+TEST(OperatorsTest, GroupByEmptyInputWithKeysYieldsNothing) {
+  Table empty(MakeSales().schema());
+  Table out = GroupBy(empty, GroupCols({"store"}), {CountStar("n")});
+  EXPECT_EQ(out.NumRows(), 0u);
+}
+
+TEST(OperatorsTest, CountExprRequiresArgument) {
+  AggregateSpec bad{AggregateKind::kSum, std::nullopt, "x"};
+  EXPECT_THROW(GroupBy(MakeSales(), GroupCols({"store"}), {bad}),
+               std::invalid_argument);
+}
+
+TEST(OperatorsTest, BareName) {
+  EXPECT_EQ(BareName("stores.city"), "city");
+  EXPECT_EQ(BareName("city"), "city");
+  EXPECT_EQ(BareName("a.b.c"), "c");
+}
+
+}  // namespace
+}  // namespace sdelta::rel

@@ -1,0 +1,85 @@
+#include "relational/schema.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace sdelta::rel {
+namespace {
+
+Schema MakeSchema() {
+  Schema s;
+  s.AddColumn("storeID", ValueType::kInt64);
+  s.AddColumn("qty", ValueType::kInt64);
+  s.AddColumn("price", ValueType::kDouble);
+  return s;
+}
+
+TEST(SchemaTest, AddAndLookup) {
+  Schema s = MakeSchema();
+  EXPECT_EQ(s.NumColumns(), 3u);
+  EXPECT_EQ(s.column(0).name, "storeID");
+  EXPECT_EQ(s.column(2).type, ValueType::kDouble);
+  EXPECT_EQ(s.IndexOf("qty"), std::optional<size_t>(1));
+  EXPECT_FALSE(s.IndexOf("missing").has_value());
+}
+
+TEST(SchemaTest, DuplicateColumnThrows) {
+  Schema s = MakeSchema();
+  EXPECT_THROW(s.AddColumn("qty", ValueType::kInt64), std::invalid_argument);
+}
+
+TEST(SchemaTest, QualifiedRenamesAll) {
+  Schema q = MakeSchema().Qualified("pos");
+  EXPECT_EQ(q.column(0).name, "pos.storeID");
+  EXPECT_EQ(q.column(1).name, "pos.qty");
+  EXPECT_TRUE(q.IndexOf("pos.price").has_value());
+}
+
+TEST(SchemaTest, ResolveExactAndSuffix) {
+  Schema q = MakeSchema().Qualified("pos");
+  EXPECT_EQ(q.Resolve("pos.qty"), 1u);
+  EXPECT_EQ(q.Resolve("qty"), 1u);  // unique suffix
+}
+
+TEST(SchemaTest, ResolveUnknownThrows) {
+  Schema q = MakeSchema().Qualified("pos");
+  EXPECT_THROW(q.Resolve("nothere"), std::invalid_argument);
+  EXPECT_FALSE(q.TryResolve("nothere").has_value());
+}
+
+TEST(SchemaTest, ResolveAmbiguousThrows) {
+  Schema s;
+  s.AddColumn("pos.storeID", ValueType::kInt64);
+  s.AddColumn("stores.storeID", ValueType::kInt64);
+  EXPECT_THROW(s.Resolve("storeID"), std::invalid_argument);
+  EXPECT_THROW(s.TryResolve("storeID"), std::invalid_argument);
+  // Fully qualified still works.
+  EXPECT_EQ(s.Resolve("stores.storeID"), 1u);
+}
+
+TEST(SchemaTest, SuffixMatchRequiresDotBoundary) {
+  Schema s;
+  s.AddColumn("pos.mydate", ValueType::kInt64);
+  // "date" is not a suffix component of "pos.mydate".
+  EXPECT_FALSE(s.TryResolve("date").has_value());
+}
+
+TEST(SchemaTest, EqualityAndToString) {
+  EXPECT_TRUE(MakeSchema() == MakeSchema());
+  Schema other = MakeSchema();
+  other.AddColumn("extra", ValueType::kString);
+  EXPECT_FALSE(MakeSchema() == other);
+  EXPECT_EQ(MakeSchema().ToString(),
+            "storeID:int64, qty:int64, price:double");
+}
+
+TEST(SchemaTest, ConstructFromVector) {
+  Schema s(std::vector<Column>{{"a", ValueType::kInt64},
+                               {"b", ValueType::kString}});
+  EXPECT_EQ(s.NumColumns(), 2u);
+  EXPECT_EQ(s.Resolve("b"), 1u);
+}
+
+}  // namespace
+}  // namespace sdelta::rel

@@ -1,0 +1,145 @@
+#include "relational/table.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace sdelta::rel {
+namespace {
+
+Schema TwoCol() {
+  Schema s;
+  s.AddColumn("a", ValueType::kInt64);
+  s.AddColumn("b", ValueType::kString);
+  return s;
+}
+
+Row R(int64_t a, const std::string& b) {
+  return {Value::Int64(a), Value::String(b)};
+}
+
+TEST(TableTest, InsertAndRead) {
+  Table t(TwoCol(), "t");
+  t.Insert(R(1, "x"));
+  t.Insert(R(2, "y"));
+  EXPECT_EQ(t.NumRows(), 2u);
+  EXPECT_EQ(t.row(0)[0].as_int64(), 1);
+  EXPECT_EQ(t.name(), "t");
+  EXPECT_FALSE(t.empty());
+}
+
+TEST(TableTest, InsertArityMismatchThrows) {
+  Table t(TwoCol());
+  EXPECT_THROW(t.Insert({Value::Int64(1)}), std::invalid_argument);
+}
+
+TEST(TableTest, DuplicatesAllowed) {
+  Table t(TwoCol());
+  t.Insert(R(1, "x"));
+  t.Insert(R(1, "x"));
+  EXPECT_EQ(t.NumRows(), 2u);
+}
+
+TEST(TableTest, EraseOneEqualRemovesSingleOccurrence) {
+  Table t(TwoCol());
+  t.Insert(R(1, "x"));
+  t.Insert(R(1, "x"));
+  t.Insert(R(2, "y"));
+  EXPECT_TRUE(t.EraseOneEqual(R(1, "x")));
+  EXPECT_EQ(t.NumRows(), 2u);
+  EXPECT_TRUE(t.EraseOneEqual(R(1, "x")));
+  EXPECT_FALSE(t.EraseOneEqual(R(1, "x")));
+  EXPECT_EQ(t.NumRows(), 1u);
+}
+
+TEST(TableTest, EraseWithRowIndex) {
+  Table t(TwoCol());
+  t.EnableRowIndex();
+  for (int i = 0; i < 100; ++i) t.Insert(R(i, "v" + std::to_string(i)));
+  EXPECT_TRUE(t.row_index_enabled());
+  for (int i = 0; i < 100; i += 2) {
+    EXPECT_TRUE(t.EraseOneEqual(R(i, "v" + std::to_string(i)))) << i;
+  }
+  EXPECT_EQ(t.NumRows(), 50u);
+  EXPECT_FALSE(t.EraseOneEqual(R(0, "v0")));
+  EXPECT_TRUE(t.EraseOneEqual(R(1, "v1")));
+}
+
+TEST(TableTest, EnableRowIndexAfterInserts) {
+  Table t(TwoCol());
+  t.Insert(R(1, "x"));
+  t.Insert(R(2, "y"));
+  t.EnableRowIndex();
+  EXPECT_TRUE(t.EraseOneEqual(R(1, "x")));
+  EXPECT_EQ(t.NumRows(), 1u);
+}
+
+TEST(TableTest, EraseAtSwapsWithBack) {
+  Table t(TwoCol());
+  t.Insert(R(1, "x"));
+  t.Insert(R(2, "y"));
+  t.Insert(R(3, "z"));
+  t.EraseAt(0);
+  EXPECT_EQ(t.NumRows(), 2u);
+  EXPECT_EQ(t.row(0)[0].as_int64(), 3);  // back swapped in
+  EXPECT_THROW(t.EraseAt(5), std::invalid_argument);
+}
+
+TEST(TableTest, IndexStaysConsistentAcrossSwaps) {
+  Table t(TwoCol());
+  t.EnableRowIndex();
+  t.Insert(R(1, "a"));
+  t.Insert(R(2, "b"));
+  t.Insert(R(3, "c"));
+  // Erase the first; row 3 moves into slot 0; the index must follow.
+  EXPECT_TRUE(t.EraseOneEqual(R(1, "a")));
+  EXPECT_TRUE(t.EraseOneEqual(R(3, "c")));
+  EXPECT_TRUE(t.EraseOneEqual(R(2, "b")));
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(TableTest, ClearKeepsSchema) {
+  Table t(TwoCol(), "t");
+  t.Insert(R(1, "x"));
+  t.Clear();
+  EXPECT_TRUE(t.empty());
+  t.Insert(R(2, "y"));
+  EXPECT_EQ(t.NumRows(), 1u);
+}
+
+TEST(TableTest, BagEquals) {
+  Table a(TwoCol());
+  Table b(TwoCol());
+  a.Insert(R(1, "x"));
+  a.Insert(R(2, "y"));
+  b.Insert(R(2, "y"));
+  b.Insert(R(1, "x"));
+  EXPECT_TRUE(Table::BagEquals(a, b));  // order-insensitive
+  b.Insert(R(1, "x"));
+  EXPECT_FALSE(Table::BagEquals(a, b));  // multiplicity matters
+  a.Insert(R(3, "z"));
+  EXPECT_FALSE(Table::BagEquals(a, b));
+}
+
+TEST(TableTest, BagEqualsRespectsMultiplicity) {
+  Table a(TwoCol());
+  Table b(TwoCol());
+  a.Insert(R(1, "x"));
+  a.Insert(R(1, "x"));
+  a.Insert(R(2, "y"));
+  b.Insert(R(1, "x"));
+  b.Insert(R(2, "y"));
+  b.Insert(R(2, "y"));
+  EXPECT_FALSE(Table::BagEquals(a, b));
+}
+
+TEST(TableTest, ToStringTruncates) {
+  Table t(TwoCol(), "big");
+  for (int i = 0; i < 30; ++i) t.Insert(R(i, "v"));
+  const std::string s = t.ToString(5);
+  EXPECT_NE(s.find("30 rows"), std::string::npos);
+  EXPECT_NE(s.find("more"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sdelta::rel

@@ -1,0 +1,133 @@
+#include "relational/value.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace sdelta::rel {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), ValueType::kNull);
+  EXPECT_EQ(v.ToString(), "NULL");
+}
+
+TEST(ValueTest, FactoriesAndAccessors) {
+  EXPECT_EQ(Value::Int64(42).as_int64(), 42);
+  EXPECT_DOUBLE_EQ(Value::Double(3.5).as_double(), 3.5);
+  EXPECT_EQ(Value::String("abc").as_string(), "abc");
+  EXPECT_FALSE(Value::Int64(0).is_null());
+}
+
+TEST(ValueTest, DateOrdersLikeCalendar) {
+  EXPECT_LT(Value::Compare(Value::Date(1996, 12, 31), Value::Date(1997, 1, 1)),
+            0);
+  EXPECT_LT(Value::Compare(Value::Date(1997, 1, 31), Value::Date(1997, 2, 1)),
+            0);
+  EXPECT_EQ(Value::Compare(Value::Date(1997, 5, 5), Value::Date(1997, 5, 5)),
+            0);
+}
+
+TEST(ValueTest, AddIntInt) {
+  Value r = Value::Add(Value::Int64(2), Value::Int64(3));
+  EXPECT_EQ(r.type(), ValueType::kInt64);
+  EXPECT_EQ(r.as_int64(), 5);
+}
+
+TEST(ValueTest, AddWidensToDouble) {
+  Value r = Value::Add(Value::Int64(2), Value::Double(0.5));
+  EXPECT_EQ(r.type(), ValueType::kDouble);
+  EXPECT_DOUBLE_EQ(r.as_double(), 2.5);
+}
+
+TEST(ValueTest, ArithmeticPropagatesNull) {
+  EXPECT_TRUE(Value::Add(Value::Null(), Value::Int64(1)).is_null());
+  EXPECT_TRUE(Value::Subtract(Value::Int64(1), Value::Null()).is_null());
+  EXPECT_TRUE(Value::Multiply(Value::Null(), Value::Null()).is_null());
+  EXPECT_TRUE(Value::Negate(Value::Null()).is_null());
+  EXPECT_TRUE(Value::Divide(Value::Null(), Value::Int64(2)).is_null());
+}
+
+TEST(ValueTest, ArithmeticOnStringsThrows) {
+  EXPECT_THROW(Value::Add(Value::String("a"), Value::Int64(1)),
+               std::invalid_argument);
+  EXPECT_THROW(Value::Negate(Value::String("a")), std::invalid_argument);
+}
+
+TEST(ValueTest, SubtractMultiply) {
+  EXPECT_EQ(Value::Subtract(Value::Int64(5), Value::Int64(7)).as_int64(), -2);
+  EXPECT_EQ(Value::Multiply(Value::Int64(4), Value::Int64(6)).as_int64(), 24);
+  EXPECT_DOUBLE_EQ(
+      Value::Multiply(Value::Double(1.5), Value::Int64(4)).as_double(), 6.0);
+}
+
+TEST(ValueTest, DivideAlwaysDouble) {
+  Value r = Value::Divide(Value::Int64(7), Value::Int64(2));
+  EXPECT_EQ(r.type(), ValueType::kDouble);
+  EXPECT_DOUBLE_EQ(r.as_double(), 3.5);
+}
+
+TEST(ValueTest, DivideByZeroIsNull) {
+  EXPECT_TRUE(Value::Divide(Value::Int64(1), Value::Int64(0)).is_null());
+  EXPECT_TRUE(Value::Divide(Value::Double(1.0), Value::Double(0.0)).is_null());
+}
+
+TEST(ValueTest, NegateKeepsType) {
+  EXPECT_EQ(Value::Negate(Value::Int64(3)).as_int64(), -3);
+  EXPECT_DOUBLE_EQ(Value::Negate(Value::Double(2.5)).as_double(), -2.5);
+}
+
+TEST(ValueTest, CompareNumeric) {
+  EXPECT_LT(Value::Compare(Value::Int64(1), Value::Int64(2)), 0);
+  EXPECT_GT(Value::Compare(Value::Int64(2), Value::Int64(1)), 0);
+  EXPECT_EQ(Value::Compare(Value::Int64(2), Value::Int64(2)), 0);
+  EXPECT_LT(Value::Compare(Value::Int64(1), Value::Double(1.5)), 0);
+  EXPECT_EQ(Value::Compare(Value::Int64(2), Value::Double(2.0)), 0);
+}
+
+TEST(ValueTest, CompareStrings) {
+  EXPECT_LT(Value::Compare(Value::String("abc"), Value::String("abd")), 0);
+  EXPECT_EQ(Value::Compare(Value::String("x"), Value::String("x")), 0);
+}
+
+TEST(ValueTest, NullSortsFirst) {
+  EXPECT_LT(Value::Compare(Value::Null(), Value::Int64(-100)), 0);
+  EXPECT_GT(Value::Compare(Value::String(""), Value::Null()), 0);
+  EXPECT_EQ(Value::Compare(Value::Null(), Value::Null()), 0);
+}
+
+TEST(ValueTest, CompareStringNumericThrows) {
+  EXPECT_THROW(Value::Compare(Value::String("1"), Value::Int64(1)),
+               std::invalid_argument);
+}
+
+TEST(ValueTest, EqualityStructural) {
+  EXPECT_TRUE(Value::Int64(5) == Value::Int64(5));
+  EXPECT_FALSE(Value::Int64(5) == Value::Int64(6));
+  EXPECT_TRUE(Value::Null() == Value::Null());
+  EXPECT_FALSE(Value::Null() == Value::Int64(0));
+  EXPECT_TRUE(Value::String("a") == Value::String("a"));
+  EXPECT_FALSE(Value::String("a") == Value::Int64(1));
+}
+
+TEST(ValueTest, NumericCrossTypeEquality) {
+  EXPECT_TRUE(Value::Int64(2) == Value::Double(2.0));
+  EXPECT_FALSE(Value::Int64(2) == Value::Double(2.5));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int64(7).Hash(), Value::Int64(7).Hash());
+  EXPECT_EQ(Value::String("xyz").Hash(), Value::String("xyz").Hash());
+  // Cross-type numeric equality implies equal hashes.
+  EXPECT_EQ(Value::Int64(7).Hash(), Value::Double(7.0).Hash());
+}
+
+TEST(ValueTest, RowToString) {
+  Row r = {Value::Int64(1), Value::Null(), Value::String("a")};
+  EXPECT_EQ(RowToString(r), "(1, NULL, a)");
+}
+
+}  // namespace
+}  // namespace sdelta::rel

@@ -1,0 +1,76 @@
+#ifndef SDELTA_TESTS_TEST_UTIL_H_
+#define SDELTA_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "relational/table.h"
+#include "relational/value.h"
+
+namespace sdelta::testing {
+
+/// Asserts two relations are equal as bags (schema arity + multiset of
+/// rows), with a readable dump on failure.
+inline void ExpectBagEq(const rel::Table& expected, const rel::Table& actual) {
+  EXPECT_TRUE(rel::Table::BagEquals(expected, actual))
+      << "expected:\n"
+      << expected.ToString(50) << "actual:\n"
+      << actual.ToString(50);
+}
+
+/// Sorts rows lexicographically (nulls first) — canonical order for
+/// row-by-row comparison.
+inline std::vector<rel::Row> SortedRows(const rel::Table& t) {
+  std::vector<rel::Row> rows(t.rows().begin(), t.rows().end());
+  std::sort(rows.begin(), rows.end(), [](const rel::Row& a,
+                                         const rel::Row& b) {
+    for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+      const int c = rel::Value::Compare(a[i], b[i]);
+      if (c != 0) return c < 0;
+    }
+    return a.size() < b.size();
+  });
+  return rows;
+}
+
+/// Bag comparison tolerant of floating-point drift: rows are sorted,
+/// then numeric values compared with relative tolerance.
+inline void ExpectBagApproxEq(const rel::Table& expected,
+                              const rel::Table& actual, double tol = 1e-9) {
+  ASSERT_EQ(expected.NumRows(), actual.NumRows())
+      << "expected:\n" << expected.ToString(50)
+      << "actual:\n" << actual.ToString(50);
+  const std::vector<rel::Row> e = SortedRows(expected);
+  const std::vector<rel::Row> a = SortedRows(actual);
+  for (size_t i = 0; i < e.size(); ++i) {
+    ASSERT_EQ(e[i].size(), a[i].size());
+    for (size_t j = 0; j < e[i].size(); ++j) {
+      const rel::Value& ev = e[i][j];
+      const rel::Value& av = a[i][j];
+      if (ev.is_null() || av.is_null()) {
+        EXPECT_EQ(ev.is_null(), av.is_null())
+            << "row " << i << " col " << j << ": " << ev.ToString() << " vs "
+            << av.ToString();
+        continue;
+      }
+      if (ev.type() == rel::ValueType::kDouble ||
+          av.type() == rel::ValueType::kDouble) {
+        const double x = ev.ToDouble();
+        const double y = av.ToDouble();
+        EXPECT_LE(std::abs(x - y), tol * std::max({1.0, std::abs(x),
+                                                   std::abs(y)}))
+            << "row " << i << " col " << j;
+      } else {
+        EXPECT_TRUE(ev == av) << "row " << i << " col " << j << ": "
+                              << ev.ToString() << " vs " << av.ToString();
+      }
+    }
+  }
+}
+
+}  // namespace sdelta::testing
+
+#endif  // SDELTA_TESTS_TEST_UTIL_H_

@@ -1,0 +1,76 @@
+#ifndef SDELTA_TESTS_TINY_CATALOG_H_
+#define SDELTA_TESTS_TINY_CATALOG_H_
+
+#include "core/view_def.h"
+#include "relational/catalog.h"
+
+namespace sdelta::testing {
+
+/// A tiny hand-checked star schema mirroring the paper's running example:
+///   pos(storeID, itemID, date, qty)    — 6 rows
+///   stores(storeID, city, region)      — 2 rows (sf/west, ny/east)
+///   items(itemID, category)            — 2 rows (food, toys)
+/// with FKs and the dimension-hierarchy FDs declared.
+///
+/// pos contents:
+///   (1,10,1,5) (1,10,1,3) (1,20,2,2) (2,10,1,7) (2,20,2,1) (2,20,3,4)
+inline rel::Catalog TinyCatalog() {
+  using rel::Value;
+  rel::Catalog c;
+
+  rel::Schema stores_s;
+  stores_s.AddColumn("storeID", rel::ValueType::kInt64);
+  stores_s.AddColumn("city", rel::ValueType::kString);
+  stores_s.AddColumn("region", rel::ValueType::kString);
+  rel::Table stores(stores_s, "stores");
+  stores.Insert({Value::Int64(1), Value::String("sf"), Value::String("west")});
+  stores.Insert({Value::Int64(2), Value::String("ny"), Value::String("east")});
+  c.AddTable(std::move(stores));
+
+  rel::Schema items_s;
+  items_s.AddColumn("itemID", rel::ValueType::kInt64);
+  items_s.AddColumn("category", rel::ValueType::kString);
+  rel::Table items(items_s, "items");
+  items.Insert({Value::Int64(10), Value::String("food")});
+  items.Insert({Value::Int64(20), Value::String("toys")});
+  c.AddTable(std::move(items));
+
+  rel::Schema pos_s;
+  pos_s.AddColumn("storeID", rel::ValueType::kInt64);
+  pos_s.AddColumn("itemID", rel::ValueType::kInt64);
+  pos_s.AddColumn("date", rel::ValueType::kInt64);
+  pos_s.AddColumn("qty", rel::ValueType::kInt64);
+  rel::Table pos(pos_s, "pos");
+  pos.Insert({Value::Int64(1), Value::Int64(10), Value::Int64(1),
+              Value::Int64(5)});
+  pos.Insert({Value::Int64(1), Value::Int64(10), Value::Int64(1),
+              Value::Int64(3)});
+  pos.Insert({Value::Int64(1), Value::Int64(20), Value::Int64(2),
+              Value::Int64(2)});
+  pos.Insert({Value::Int64(2), Value::Int64(10), Value::Int64(1),
+              Value::Int64(7)});
+  pos.Insert({Value::Int64(2), Value::Int64(20), Value::Int64(2),
+              Value::Int64(1)});
+  pos.Insert({Value::Int64(2), Value::Int64(20), Value::Int64(3),
+              Value::Int64(4)});
+  c.AddTable(std::move(pos));
+
+  c.DeclareForeignKey("pos", "storeID", "stores", "storeID");
+  c.DeclareForeignKey("pos", "itemID", "items", "itemID");
+  c.DeclareFunctionalDependency("stores", "storeID", "city");
+  c.DeclareFunctionalDependency("stores", "city", "region");
+  c.DeclareFunctionalDependency("items", "itemID", "category");
+  return c;
+}
+
+/// pos row helper for the tiny catalog.
+inline rel::Row PosRow(int64_t store, int64_t item, int64_t date,
+                       int64_t qty) {
+  using rel::Value;
+  return {Value::Int64(store), Value::Int64(item), Value::Int64(date),
+          Value::Int64(qty)};
+}
+
+}  // namespace sdelta::testing
+
+#endif  // SDELTA_TESTS_TINY_CATALOG_H_

@@ -1,0 +1,137 @@
+// Online evolution of the materialized set (§3.4's partially-
+// materialized lattice in operation): summary tables can be added and
+// dropped between batch windows without recomputing the untouched ones.
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "warehouse/retail_schema.h"
+#include "warehouse/warehouse.h"
+#include "warehouse/workload.h"
+
+namespace sdelta::warehouse {
+namespace {
+
+using core::ViewDef;
+using rel::Expression;
+using sdelta::testing::ExpectBagEq;
+
+Warehouse MakeWarehouse() {
+  RetailConfig config;
+  config.num_stores = 12;
+  config.num_items = 60;
+  config.num_pos_rows = 2000;
+  config.seed = 71;
+  Warehouse wh(MakeRetailCatalog(config));
+  // Start with only the top view.
+  std::vector<ViewDef> views = {RetailSummaryTables()[0]};  // SID_sales
+  wh.DefineSummaryTables(views);
+  return wh;
+}
+
+void ExpectAllConsistent(const Warehouse& wh) {
+  for (const core::AugmentedView& av : wh.vlattice().views) {
+    SCOPED_TRACE(av.name());
+    ExpectBagEq(core::EvaluateView(wh.catalog(), av.physical),
+                wh.summary(av.name()).ToTable());
+  }
+}
+
+TEST(EvolveTest, AddSummaryTableMaterializesFromParent) {
+  Warehouse wh = MakeWarehouse();
+  EXPECT_EQ(wh.NumSummaryTables(), 1u);
+
+  wh.AddSummaryTable(RetailSummaryTables()[2]);  // SiC_sales
+  EXPECT_EQ(wh.NumSummaryTables(), 2u);
+  // It must have been derivable from SID_sales through the lattice.
+  EXPECT_EQ(wh.vlattice().edges.size(), 1u);
+  ExpectAllConsistent(wh);
+}
+
+TEST(EvolveTest, AddViaSqlText) {
+  Warehouse wh = MakeWarehouse();
+  wh.AddSummaryTable(
+      "CREATE VIEW sR_sales(region, TotalCount, TotalQuantity) AS "
+      "SELECT region, COUNT(*) AS TotalCount, SUM(qty) AS TotalQuantity "
+      "FROM pos, stores WHERE pos.storeID = stores.storeID "
+      "GROUP BY region");
+  EXPECT_EQ(wh.NumSummaryTables(), 2u);
+  ExpectAllConsistent(wh);
+}
+
+TEST(EvolveTest, DuplicateNameRejected) {
+  Warehouse wh = MakeWarehouse();
+  EXPECT_THROW(wh.AddSummaryTable(RetailSummaryTables()[0]),
+               std::invalid_argument);
+}
+
+TEST(EvolveTest, MaintenanceContinuesAfterAdd) {
+  Warehouse wh = MakeWarehouse();
+  wh.RunBatch(MakeUpdateGeneratingChanges(wh.catalog(), 150, 1));
+  wh.AddSummaryTable(RetailSummaryTables()[1]);  // sCD_sales
+  wh.AddSummaryTable(RetailSummaryTables()[3]);  // sR_sales
+  wh.RunBatch(MakeUpdateGeneratingChanges(wh.catalog(), 150, 2));
+  wh.RunBatch(MakeInsertionGeneratingChanges(wh.catalog(), 100, 3));
+  ExpectAllConsistent(wh);
+}
+
+TEST(EvolveTest, AddingSrReExtendsScd) {
+  // Adding sR_sales after sCD_sales re-runs the §5.2 extension: sCD now
+  // carries region and sR derives from it without a join.
+  Warehouse wh = MakeWarehouse();
+  wh.AddSummaryTable(RetailSummaryTables()[1]);  // sCD_sales (city,date)
+  {
+    const core::AugmentedView& scd = *[&] {
+      for (const core::AugmentedView& av : wh.vlattice().views) {
+        if (av.name() == "sCD_sales") return &av;
+      }
+      return static_cast<const core::AugmentedView*>(nullptr);
+    }();
+    EXPECT_EQ(scd.physical.group_by.size(), 2u);  // not yet extended
+  }
+  wh.AddSummaryTable(RetailSummaryTables()[3]);  // sR_sales
+  for (const core::AugmentedView& av : wh.vlattice().views) {
+    if (av.name() == "sCD_sales") {
+      EXPECT_EQ(av.physical.group_by.size(), 3u);  // region added
+    }
+  }
+  ExpectAllConsistent(wh);
+  // And the refreshed schema keeps maintaining correctly.
+  wh.RunBatch(MakeUpdateGeneratingChanges(wh.catalog(), 120, 4));
+  ExpectAllConsistent(wh);
+}
+
+TEST(EvolveTest, DropRelinksLattice) {
+  Warehouse wh = MakeWarehouse();
+  for (size_t i = 1; i < 4; ++i) {
+    wh.AddSummaryTable(RetailSummaryTables()[i]);
+  }
+  EXPECT_EQ(wh.NumSummaryTables(), 4u);
+  // Drop the middle view sR derives from; sR must re-link to another
+  // parent (SID or SiC) and stay maintainable.
+  wh.DropSummaryTable("sCD_sales");
+  EXPECT_EQ(wh.NumSummaryTables(), 3u);
+  EXPECT_THROW(wh.summary("sCD_sales"), std::invalid_argument);
+  wh.RunBatch(MakeUpdateGeneratingChanges(wh.catalog(), 120, 5));
+  ExpectAllConsistent(wh);
+}
+
+TEST(EvolveTest, DropUnknownThrows) {
+  Warehouse wh = MakeWarehouse();
+  EXPECT_THROW(wh.DropSummaryTable("nope"), std::invalid_argument);
+}
+
+TEST(EvolveTest, UntouchedTablesKeepRowsOnAdd) {
+  Warehouse wh = MakeWarehouse();
+  // Mutate SID through a batch, then add an unrelated view; SID's rows
+  // must be preserved (not rematerialized) — observable because the
+  // preserved and rematerialized tables agree with the oracle either
+  // way, so check object stability via row count equality pre/post.
+  wh.RunBatch(MakeUpdateGeneratingChanges(wh.catalog(), 100, 6));
+  const size_t before = wh.summary("SID_sales").NumRows();
+  wh.AddSummaryTable(RetailSummaryTables()[2]);
+  EXPECT_EQ(wh.summary("SID_sales").NumRows(), before);
+  ExpectAllConsistent(wh);
+}
+
+}  // namespace
+}  // namespace sdelta::warehouse

@@ -1,0 +1,106 @@
+#include "warehouse/persistence.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "test_util.h"
+#include "warehouse/retail_schema.h"
+#include "warehouse/workload.h"
+
+namespace sdelta::warehouse {
+namespace {
+
+namespace fs = std::filesystem;
+using sdelta::testing::ExpectBagEq;
+
+class PersistenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("sdelta_persist_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string dir() const { return dir_.string(); }
+
+  static RetailConfig SmallConfig() {
+    RetailConfig config;
+    config.num_stores = 8;
+    config.num_items = 40;
+    config.num_pos_rows = 600;
+    config.seed = 21;
+    return config;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(PersistenceTest, CatalogRoundTrip) {
+  rel::Catalog original = MakeRetailCatalog(SmallConfig());
+  SaveCatalog(original, dir());
+  rel::Catalog loaded = LoadCatalog(dir());
+
+  for (const std::string& name : original.TableNames()) {
+    SCOPED_TRACE(name);
+    ASSERT_TRUE(loaded.HasTable(name));
+    ExpectBagEq(original.GetTable(name), loaded.GetTable(name));
+    EXPECT_TRUE(loaded.GetTable(name).schema() ==
+                original.GetTable(name).schema());
+  }
+  EXPECT_EQ(loaded.foreign_keys().size(), original.foreign_keys().size());
+  EXPECT_EQ(loaded.functional_dependencies().size(),
+            original.functional_dependencies().size());
+  EXPECT_TRUE(loaded.GetTable("pos").row_index_enabled());
+  EXPECT_FALSE(loaded.GetTable("stores").row_index_enabled());
+}
+
+TEST_F(PersistenceTest, WarehouseRoundTrip) {
+  Warehouse original(MakeRetailCatalog(SmallConfig()));
+  original.DefineSummaryTables(RetailSummaryTables());
+  original.RunBatch(MakeUpdateGeneratingChanges(original.catalog(), 50, 3));
+  SaveWarehouse(original, dir());
+
+  Warehouse loaded = LoadWarehouse(dir(), RetailSummaryTables());
+  ASSERT_EQ(loaded.NumSummaryTables(), 4u);
+  for (const core::AugmentedView& av : original.vlattice().views) {
+    SCOPED_TRACE(av.name());
+    ExpectBagEq(original.summary(av.name()).ToTable(),
+                loaded.summary(av.name()).ToTable());
+  }
+}
+
+TEST_F(PersistenceTest, LoadedWarehouseKeepsMaintaining) {
+  Warehouse original(MakeRetailCatalog(SmallConfig()));
+  original.DefineSummaryTables(RetailSummaryTables());
+  SaveWarehouse(original, dir());
+
+  Warehouse loaded = LoadWarehouse(dir(), RetailSummaryTables());
+  loaded.RunBatch(MakeUpdateGeneratingChanges(loaded.catalog(), 60, 5));
+  loaded.RunBatch(MakeInsertionGeneratingChanges(loaded.catalog(), 40, 6));
+  for (const core::AugmentedView& av : loaded.vlattice().views) {
+    SCOPED_TRACE(av.name());
+    ExpectBagEq(core::EvaluateView(loaded.catalog(), av.physical),
+                loaded.summary(av.name()).ToTable());
+  }
+}
+
+TEST_F(PersistenceTest, ChangedDefinitionFailsLoudly) {
+  Warehouse original(MakeRetailCatalog(SmallConfig()));
+  original.DefineSummaryTables(RetailSummaryTables());
+  SaveWarehouse(original, dir());
+
+  // Drop an aggregate: the saved summary CSV no longer matches.
+  std::vector<core::ViewDef> changed = RetailSummaryTables();
+  changed[0].aggregates.pop_back();
+  EXPECT_THROW(LoadWarehouse(dir(), changed), std::exception);
+}
+
+TEST_F(PersistenceTest, MissingDirectoryThrows) {
+  EXPECT_THROW(LoadCatalog(dir() + "_nope"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sdelta::warehouse

@@ -1,0 +1,72 @@
+#include "warehouse/retail_schema.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace sdelta::warehouse {
+namespace {
+
+TEST(RetailSchemaTest, SizesMatchConfig) {
+  RetailConfig config;
+  config.num_stores = 20;
+  config.num_items = 100;
+  config.num_pos_rows = 500;
+  rel::Catalog c = MakeRetailCatalog(config);
+  EXPECT_EQ(c.GetTable("stores").NumRows(), 20u);
+  EXPECT_EQ(c.GetTable("items").NumRows(), 100u);
+  EXPECT_EQ(c.GetTable("pos").NumRows(), 500u);
+  EXPECT_TRUE(c.GetTable("pos").row_index_enabled());
+}
+
+TEST(RetailSchemaTest, DimensionHierarchyFdsHoldInData) {
+  rel::Catalog c = MakeRetailCatalog(RetailConfig{});
+  const rel::Table& stores = c.GetTable("stores");
+  std::map<std::string, std::string> city_region;
+  for (const rel::Row& r : stores.rows()) {
+    const std::string& city = r[1].as_string();
+    const std::string& region = r[2].as_string();
+    auto [it, inserted] = city_region.emplace(city, region);
+    EXPECT_EQ(it->second, region) << "city -> region violated for " << city;
+  }
+  EXPECT_GT(city_region.size(), 1u);
+}
+
+TEST(RetailSchemaTest, PosReferentialIntegrity) {
+  RetailConfig config;
+  config.num_pos_rows = 300;
+  rel::Catalog c = MakeRetailCatalog(config);
+  const rel::Table& pos = c.GetTable("pos");
+  for (const rel::Row& r : pos.rows()) {
+    const int64_t store = r[0].as_int64();
+    const int64_t item = r[1].as_int64();
+    EXPECT_GE(store, 1);
+    EXPECT_LE(store, static_cast<int64_t>(config.num_stores));
+    EXPECT_GE(item, 1);
+    EXPECT_LE(item, static_cast<int64_t>(config.num_items));
+  }
+}
+
+TEST(RetailSchemaTest, Deterministic) {
+  RetailConfig config;
+  config.num_pos_rows = 200;
+  config.seed = 99;
+  rel::Catalog a = MakeRetailCatalog(config);
+  rel::Catalog b = MakeRetailCatalog(config);
+  EXPECT_TRUE(rel::Table::BagEquals(a.GetTable("pos"), b.GetTable("pos")));
+}
+
+TEST(RetailSchemaTest, SummaryTableDefinitionsValidate) {
+  rel::Catalog c = MakeRetailCatalog(RetailConfig{});
+  const std::vector<core::ViewDef> views = RetailSummaryTables();
+  ASSERT_EQ(views.size(), 4u);
+  for (const core::ViewDef& v : views) {
+    SCOPED_TRACE(v.name);
+    EXPECT_NO_THROW(core::ValidateView(c, v));
+  }
+  EXPECT_EQ(views[0].name, "SID_sales");
+  EXPECT_EQ(views[2].aggregates[1].kind, rel::AggregateKind::kMin);
+}
+
+}  // namespace
+}  // namespace sdelta::warehouse

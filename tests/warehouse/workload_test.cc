@@ -1,0 +1,131 @@
+#include "warehouse/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "core/maintenance.h"
+#include "core/propagate.h"
+#include "core/refresh.h"
+#include "test_util.h"
+#include "warehouse/retail_schema.h"
+
+namespace sdelta::warehouse {
+namespace {
+
+rel::Catalog Small() {
+  RetailConfig config;
+  config.num_pos_rows = 1000;
+  config.num_dates = 20;
+  config.seed = 1;
+  return MakeRetailCatalog(config);
+}
+
+TEST(WorkloadTest, UpdateGeneratingHalfAndHalf) {
+  rel::Catalog c = Small();
+  core::ChangeSet changes = MakeUpdateGeneratingChanges(c, 200, 5);
+  EXPECT_EQ(changes.fact.deletions.NumRows(), 100u);
+  EXPECT_EQ(changes.fact.insertions.NumRows(), 100u);
+  EXPECT_TRUE(changes.dimensions.empty());
+}
+
+TEST(WorkloadTest, UpdateGeneratingDeletionsExistInPos) {
+  rel::Catalog c = Small();
+  core::ChangeSet changes = MakeUpdateGeneratingChanges(c, 100, 6);
+  rel::Table& pos = c.GetTable("pos");
+  for (const rel::Row& r : changes.fact.deletions.rows()) {
+    EXPECT_TRUE(pos.EraseOneEqual(r)) << rel::RowToString(r);
+  }
+}
+
+TEST(WorkloadTest, UpdateGeneratingInsertionsUseExistingValues) {
+  rel::Catalog c = Small();
+  core::ChangeSet changes = MakeUpdateGeneratingChanges(c, 100, 7);
+  const rel::Table& pos = c.GetTable("pos");
+  std::unordered_set<int64_t> dates;
+  const size_t date_idx = pos.schema().Resolve("date");
+  for (const rel::Row& r : pos.rows()) dates.insert(r[date_idx].as_int64());
+  for (const rel::Row& r : changes.fact.insertions.rows()) {
+    EXPECT_TRUE(dates.count(r[date_idx].as_int64()) > 0);
+  }
+}
+
+TEST(WorkloadTest, InsertionGeneratingUsesOnlyNewDates) {
+  rel::Catalog c = Small();
+  core::ChangeSet changes = MakeInsertionGeneratingChanges(c, 150, 8);
+  EXPECT_EQ(changes.fact.insertions.NumRows(), 150u);
+  EXPECT_EQ(changes.fact.deletions.NumRows(), 0u);
+  const size_t date_idx =
+      changes.fact.insertions.schema().Resolve("date");
+  for (const rel::Row& r : changes.fact.insertions.rows()) {
+    EXPECT_GT(r[date_idx].as_int64(), 20);  // beyond num_dates
+  }
+}
+
+TEST(WorkloadTest, Deterministic) {
+  rel::Catalog c = Small();
+  core::ChangeSet a = MakeUpdateGeneratingChanges(c, 100, 9);
+  core::ChangeSet b = MakeUpdateGeneratingChanges(c, 100, 9);
+  EXPECT_TRUE(rel::Table::BagEquals(a.fact.insertions, b.fact.insertions));
+  EXPECT_TRUE(rel::Table::BagEquals(a.fact.deletions, b.fact.deletions));
+  core::ChangeSet d = MakeUpdateGeneratingChanges(c, 100, 10);
+  EXPECT_FALSE(rel::Table::BagEquals(a.fact.insertions, d.fact.insertions));
+}
+
+TEST(WorkloadTest, RecategorizationIsBalancedDelta) {
+  rel::Catalog c = Small();
+  core::ChangeSet changes = MakeItemRecategorization(c, 15, 11);
+  ASSERT_EQ(changes.dimensions.count("items"), 1u);
+  const core::DeltaSet& d = changes.dimensions.at("items");
+  EXPECT_EQ(d.insertions.NumRows(), 15u);
+  EXPECT_EQ(d.deletions.NumRows(), 15u);
+  EXPECT_TRUE(changes.fact.empty());
+  // Every deleted row exists in items; every inserted row has a changed
+  // category.
+  rel::Table& items = c.GetTable("items");
+  const size_t cat_idx = items.schema().Resolve("category");
+  for (size_t i = 0; i < d.deletions.NumRows(); ++i) {
+    EXPECT_TRUE(items.EraseOneEqual(d.deletions.row(i)));
+  }
+  for (const rel::Row& r : d.insertions.rows()) {
+    EXPECT_NE(r[cat_idx].as_string().find("_moved"), std::string::npos);
+  }
+}
+
+TEST(WorkloadTest, BackfillDatesPrecedeAllExistingDates) {
+  rel::Catalog c = Small();
+  core::ChangeSet changes = MakeBackfillChanges(c, 120, 13);
+  EXPECT_EQ(changes.fact.insertions.NumRows(), 120u);
+  EXPECT_TRUE(changes.fact.deletions.empty());
+  const size_t date_idx = changes.fact.insertions.schema().Resolve("date");
+  for (const rel::Row& r : changes.fact.insertions.rows()) {
+    EXPECT_LE(r[date_idx].as_int64(), 0);  // existing dates are >= 1
+  }
+}
+
+TEST(WorkloadTest, BackfillMaintainsCorrectly) {
+  rel::Catalog c = Small();
+  core::ViewDef v = RetailSummaryTables()[2];  // SiC_sales with MIN(date)
+  core::AugmentedView av = core::AugmentForSelfMaintenance(c, v);
+  core::SummaryTable st(av, c);
+  st.MaterializeFrom(c);
+  core::ChangeSet changes = MakeBackfillChanges(c, 100, 14);
+  rel::Table sd = core::ComputeSummaryDelta(c, av, changes);
+  core::ApplyChangeSet(c, changes);
+  core::RefreshStats stats = core::Refresh(c, st, sd);
+  // Insert-only deltas are untainted: no recompute scans by default.
+  EXPECT_EQ(stats.recompute_scan_rows, 0u);
+  sdelta::testing::ExpectBagEq(core::EvaluateView(c, av.physical),
+                               st.ToTable());
+}
+
+TEST(WorkloadTest, DeletionCapAtPosSize) {
+  RetailConfig config;
+  config.num_pos_rows = 10;
+  rel::Catalog c = MakeRetailCatalog(config);
+  core::ChangeSet changes = MakeUpdateGeneratingChanges(c, 100, 12);
+  EXPECT_LE(changes.fact.deletions.NumRows(), 10u);
+}
+
+}  // namespace
+}  // namespace sdelta::warehouse
