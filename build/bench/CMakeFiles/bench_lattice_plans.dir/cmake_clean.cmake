@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lattice_plans.dir/bench_lattice_plans.cc.o"
+  "CMakeFiles/bench_lattice_plans.dir/bench_lattice_plans.cc.o.d"
+  "bench_lattice_plans"
+  "bench_lattice_plans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lattice_plans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

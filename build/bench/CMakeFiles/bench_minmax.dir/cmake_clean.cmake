@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_minmax.dir/bench_minmax.cc.o"
+  "CMakeFiles/bench_minmax.dir/bench_minmax.cc.o.d"
+  "bench_minmax"
+  "bench_minmax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_minmax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

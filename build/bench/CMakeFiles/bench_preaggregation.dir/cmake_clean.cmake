@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_preaggregation.dir/bench_preaggregation.cc.o"
+  "CMakeFiles/bench_preaggregation.dir/bench_preaggregation.cc.o.d"
+  "bench_preaggregation"
+  "bench_preaggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_preaggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

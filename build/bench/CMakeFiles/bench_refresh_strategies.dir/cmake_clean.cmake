@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_refresh_strategies.dir/bench_refresh_strategies.cc.o"
+  "CMakeFiles/bench_refresh_strategies.dir/bench_refresh_strategies.cc.o.d"
+  "bench_refresh_strategies"
+  "bench_refresh_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_refresh_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/cube_explorer.cpp" "examples/CMakeFiles/cube_explorer.dir/cube_explorer.cpp.o" "gcc" "examples/CMakeFiles/cube_explorer.dir/cube_explorer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/warehouse/CMakeFiles/sdelta_warehouse.dir/DependInfo.cmake"
+  "/root/repo/build/src/lattice/CMakeFiles/sdelta_lattice.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sdelta_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/sdelta_relational.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

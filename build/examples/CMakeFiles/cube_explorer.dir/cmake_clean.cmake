@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cube_explorer.dir/cube_explorer.cpp.o"
+  "CMakeFiles/cube_explorer.dir/cube_explorer.cpp.o.d"
+  "cube_explorer"
+  "cube_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cube_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

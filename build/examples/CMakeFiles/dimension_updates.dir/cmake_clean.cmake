@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dimension_updates.dir/dimension_updates.cpp.o"
+  "CMakeFiles/dimension_updates.dir/dimension_updates.cpp.o.d"
+  "dimension_updates"
+  "dimension_updates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dimension_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_workbench.dir/sql_workbench.cpp.o"
+  "CMakeFiles/sql_workbench.dir/sql_workbench.cpp.o.d"
+  "sql_workbench"
+  "sql_workbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_workbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

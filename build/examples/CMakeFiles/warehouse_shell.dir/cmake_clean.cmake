@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warehouse_shell.dir/warehouse_shell.cpp.o"
+  "CMakeFiles/warehouse_shell.dir/warehouse_shell.cpp.o.d"
+  "warehouse_shell"
+  "warehouse_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warehouse_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/maintenance.cc" "src/core/CMakeFiles/sdelta_core.dir/maintenance.cc.o" "gcc" "src/core/CMakeFiles/sdelta_core.dir/maintenance.cc.o.d"
+  "/root/repo/src/core/prepare_changes.cc" "src/core/CMakeFiles/sdelta_core.dir/prepare_changes.cc.o" "gcc" "src/core/CMakeFiles/sdelta_core.dir/prepare_changes.cc.o.d"
+  "/root/repo/src/core/propagate.cc" "src/core/CMakeFiles/sdelta_core.dir/propagate.cc.o" "gcc" "src/core/CMakeFiles/sdelta_core.dir/propagate.cc.o.d"
+  "/root/repo/src/core/refresh.cc" "src/core/CMakeFiles/sdelta_core.dir/refresh.cc.o" "gcc" "src/core/CMakeFiles/sdelta_core.dir/refresh.cc.o.d"
+  "/root/repo/src/core/rematerialize.cc" "src/core/CMakeFiles/sdelta_core.dir/rematerialize.cc.o" "gcc" "src/core/CMakeFiles/sdelta_core.dir/rematerialize.cc.o.d"
+  "/root/repo/src/core/self_maintenance.cc" "src/core/CMakeFiles/sdelta_core.dir/self_maintenance.cc.o" "gcc" "src/core/CMakeFiles/sdelta_core.dir/self_maintenance.cc.o.d"
+  "/root/repo/src/core/sql_parser.cc" "src/core/CMakeFiles/sdelta_core.dir/sql_parser.cc.o" "gcc" "src/core/CMakeFiles/sdelta_core.dir/sql_parser.cc.o.d"
+  "/root/repo/src/core/summary_table.cc" "src/core/CMakeFiles/sdelta_core.dir/summary_table.cc.o" "gcc" "src/core/CMakeFiles/sdelta_core.dir/summary_table.cc.o.d"
+  "/root/repo/src/core/view_def.cc" "src/core/CMakeFiles/sdelta_core.dir/view_def.cc.o" "gcc" "src/core/CMakeFiles/sdelta_core.dir/view_def.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/relational/CMakeFiles/sdelta_relational.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdelta_core.dir/maintenance.cc.o"
+  "CMakeFiles/sdelta_core.dir/maintenance.cc.o.d"
+  "CMakeFiles/sdelta_core.dir/prepare_changes.cc.o"
+  "CMakeFiles/sdelta_core.dir/prepare_changes.cc.o.d"
+  "CMakeFiles/sdelta_core.dir/propagate.cc.o"
+  "CMakeFiles/sdelta_core.dir/propagate.cc.o.d"
+  "CMakeFiles/sdelta_core.dir/refresh.cc.o"
+  "CMakeFiles/sdelta_core.dir/refresh.cc.o.d"
+  "CMakeFiles/sdelta_core.dir/rematerialize.cc.o"
+  "CMakeFiles/sdelta_core.dir/rematerialize.cc.o.d"
+  "CMakeFiles/sdelta_core.dir/self_maintenance.cc.o"
+  "CMakeFiles/sdelta_core.dir/self_maintenance.cc.o.d"
+  "CMakeFiles/sdelta_core.dir/sql_parser.cc.o"
+  "CMakeFiles/sdelta_core.dir/sql_parser.cc.o.d"
+  "CMakeFiles/sdelta_core.dir/summary_table.cc.o"
+  "CMakeFiles/sdelta_core.dir/summary_table.cc.o.d"
+  "CMakeFiles/sdelta_core.dir/view_def.cc.o"
+  "CMakeFiles/sdelta_core.dir/view_def.cc.o.d"
+  "libsdelta_core.a"
+  "libsdelta_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdelta_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

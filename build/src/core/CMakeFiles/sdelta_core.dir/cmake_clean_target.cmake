@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsdelta_core.a"
+)

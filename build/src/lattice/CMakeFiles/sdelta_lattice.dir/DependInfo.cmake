@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lattice/answer.cc" "src/lattice/CMakeFiles/sdelta_lattice.dir/answer.cc.o" "gcc" "src/lattice/CMakeFiles/sdelta_lattice.dir/answer.cc.o.d"
+  "/root/repo/src/lattice/cube_lattice.cc" "src/lattice/CMakeFiles/sdelta_lattice.dir/cube_lattice.cc.o" "gcc" "src/lattice/CMakeFiles/sdelta_lattice.dir/cube_lattice.cc.o.d"
+  "/root/repo/src/lattice/derives.cc" "src/lattice/CMakeFiles/sdelta_lattice.dir/derives.cc.o" "gcc" "src/lattice/CMakeFiles/sdelta_lattice.dir/derives.cc.o.d"
+  "/root/repo/src/lattice/hierarchy.cc" "src/lattice/CMakeFiles/sdelta_lattice.dir/hierarchy.cc.o" "gcc" "src/lattice/CMakeFiles/sdelta_lattice.dir/hierarchy.cc.o.d"
+  "/root/repo/src/lattice/plan.cc" "src/lattice/CMakeFiles/sdelta_lattice.dir/plan.cc.o" "gcc" "src/lattice/CMakeFiles/sdelta_lattice.dir/plan.cc.o.d"
+  "/root/repo/src/lattice/vlattice.cc" "src/lattice/CMakeFiles/sdelta_lattice.dir/vlattice.cc.o" "gcc" "src/lattice/CMakeFiles/sdelta_lattice.dir/vlattice.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sdelta_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/sdelta_relational.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdelta_lattice.dir/answer.cc.o"
+  "CMakeFiles/sdelta_lattice.dir/answer.cc.o.d"
+  "CMakeFiles/sdelta_lattice.dir/cube_lattice.cc.o"
+  "CMakeFiles/sdelta_lattice.dir/cube_lattice.cc.o.d"
+  "CMakeFiles/sdelta_lattice.dir/derives.cc.o"
+  "CMakeFiles/sdelta_lattice.dir/derives.cc.o.d"
+  "CMakeFiles/sdelta_lattice.dir/hierarchy.cc.o"
+  "CMakeFiles/sdelta_lattice.dir/hierarchy.cc.o.d"
+  "CMakeFiles/sdelta_lattice.dir/plan.cc.o"
+  "CMakeFiles/sdelta_lattice.dir/plan.cc.o.d"
+  "CMakeFiles/sdelta_lattice.dir/vlattice.cc.o"
+  "CMakeFiles/sdelta_lattice.dir/vlattice.cc.o.d"
+  "libsdelta_lattice.a"
+  "libsdelta_lattice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdelta_lattice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

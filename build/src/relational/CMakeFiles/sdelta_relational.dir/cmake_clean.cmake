@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdelta_relational.dir/aggregate.cc.o"
+  "CMakeFiles/sdelta_relational.dir/aggregate.cc.o.d"
+  "CMakeFiles/sdelta_relational.dir/catalog.cc.o"
+  "CMakeFiles/sdelta_relational.dir/catalog.cc.o.d"
+  "CMakeFiles/sdelta_relational.dir/csv.cc.o"
+  "CMakeFiles/sdelta_relational.dir/csv.cc.o.d"
+  "CMakeFiles/sdelta_relational.dir/expression.cc.o"
+  "CMakeFiles/sdelta_relational.dir/expression.cc.o.d"
+  "CMakeFiles/sdelta_relational.dir/operators.cc.o"
+  "CMakeFiles/sdelta_relational.dir/operators.cc.o.d"
+  "CMakeFiles/sdelta_relational.dir/schema.cc.o"
+  "CMakeFiles/sdelta_relational.dir/schema.cc.o.d"
+  "CMakeFiles/sdelta_relational.dir/table.cc.o"
+  "CMakeFiles/sdelta_relational.dir/table.cc.o.d"
+  "CMakeFiles/sdelta_relational.dir/value.cc.o"
+  "CMakeFiles/sdelta_relational.dir/value.cc.o.d"
+  "libsdelta_relational.a"
+  "libsdelta_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdelta_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

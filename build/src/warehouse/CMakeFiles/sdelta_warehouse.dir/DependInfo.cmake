@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/warehouse/persistence.cc" "src/warehouse/CMakeFiles/sdelta_warehouse.dir/persistence.cc.o" "gcc" "src/warehouse/CMakeFiles/sdelta_warehouse.dir/persistence.cc.o.d"
+  "/root/repo/src/warehouse/retail_schema.cc" "src/warehouse/CMakeFiles/sdelta_warehouse.dir/retail_schema.cc.o" "gcc" "src/warehouse/CMakeFiles/sdelta_warehouse.dir/retail_schema.cc.o.d"
+  "/root/repo/src/warehouse/warehouse.cc" "src/warehouse/CMakeFiles/sdelta_warehouse.dir/warehouse.cc.o" "gcc" "src/warehouse/CMakeFiles/sdelta_warehouse.dir/warehouse.cc.o.d"
+  "/root/repo/src/warehouse/workload.cc" "src/warehouse/CMakeFiles/sdelta_warehouse.dir/workload.cc.o" "gcc" "src/warehouse/CMakeFiles/sdelta_warehouse.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lattice/CMakeFiles/sdelta_lattice.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sdelta_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/sdelta_relational.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

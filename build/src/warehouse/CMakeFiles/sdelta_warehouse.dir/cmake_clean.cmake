@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdelta_warehouse.dir/persistence.cc.o"
+  "CMakeFiles/sdelta_warehouse.dir/persistence.cc.o.d"
+  "CMakeFiles/sdelta_warehouse.dir/retail_schema.cc.o"
+  "CMakeFiles/sdelta_warehouse.dir/retail_schema.cc.o.d"
+  "CMakeFiles/sdelta_warehouse.dir/warehouse.cc.o"
+  "CMakeFiles/sdelta_warehouse.dir/warehouse.cc.o.d"
+  "CMakeFiles/sdelta_warehouse.dir/workload.cc.o"
+  "CMakeFiles/sdelta_warehouse.dir/workload.cc.o.d"
+  "libsdelta_warehouse.a"
+  "libsdelta_warehouse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdelta_warehouse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

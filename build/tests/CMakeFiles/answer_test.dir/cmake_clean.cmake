@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/answer_test.dir/lattice/answer_test.cc.o"
+  "CMakeFiles/answer_test.dir/lattice/answer_test.cc.o.d"
+  "answer_test"
+  "answer_test.pdb"
+  "answer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/answer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

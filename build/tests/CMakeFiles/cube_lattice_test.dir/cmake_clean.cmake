@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cube_lattice_test.dir/lattice/cube_lattice_test.cc.o"
+  "CMakeFiles/cube_lattice_test.dir/lattice/cube_lattice_test.cc.o.d"
+  "cube_lattice_test"
+  "cube_lattice_test.pdb"
+  "cube_lattice_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cube_lattice_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

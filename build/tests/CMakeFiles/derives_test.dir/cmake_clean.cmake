@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/derives_test.dir/lattice/derives_test.cc.o"
+  "CMakeFiles/derives_test.dir/lattice/derives_test.cc.o.d"
+  "derives_test"
+  "derives_test.pdb"
+  "derives_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/derives_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

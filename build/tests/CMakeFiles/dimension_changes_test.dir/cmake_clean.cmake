@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dimension_changes_test.dir/core/dimension_changes_test.cc.o"
+  "CMakeFiles/dimension_changes_test.dir/core/dimension_changes_test.cc.o.d"
+  "dimension_changes_test"
+  "dimension_changes_test.pdb"
+  "dimension_changes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dimension_changes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

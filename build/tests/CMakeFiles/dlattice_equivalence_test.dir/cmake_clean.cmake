@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlattice_equivalence_test.dir/lattice/dlattice_equivalence_test.cc.o"
+  "CMakeFiles/dlattice_equivalence_test.dir/lattice/dlattice_equivalence_test.cc.o.d"
+  "dlattice_equivalence_test"
+  "dlattice_equivalence_test.pdb"
+  "dlattice_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlattice_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evolve_test.dir/warehouse/evolve_test.cc.o"
+  "CMakeFiles/evolve_test.dir/warehouse/evolve_test.cc.o.d"
+  "evolve_test"
+  "evolve_test.pdb"
+  "evolve_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evolve_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extended_views_test.dir/warehouse/extended_views_test.cc.o"
+  "CMakeFiles/extended_views_test.dir/warehouse/extended_views_test.cc.o.d"
+  "extended_views_test"
+  "extended_views_test.pdb"
+  "extended_views_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extended_views_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prepare_changes_test.dir/core/prepare_changes_test.cc.o"
+  "CMakeFiles/prepare_changes_test.dir/core/prepare_changes_test.cc.o.d"
+  "prepare_changes_test"
+  "prepare_changes_test.pdb"
+  "prepare_changes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prepare_changes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

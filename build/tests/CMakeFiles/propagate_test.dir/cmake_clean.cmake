@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/propagate_test.dir/core/propagate_test.cc.o"
+  "CMakeFiles/propagate_test.dir/core/propagate_test.cc.o.d"
+  "propagate_test"
+  "propagate_test.pdb"
+  "propagate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/propagate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

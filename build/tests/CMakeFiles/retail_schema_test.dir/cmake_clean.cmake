@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retail_schema_test.dir/warehouse/retail_schema_test.cc.o"
+  "CMakeFiles/retail_schema_test.dir/warehouse/retail_schema_test.cc.o.d"
+  "retail_schema_test"
+  "retail_schema_test.pdb"
+  "retail_schema_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retail_schema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

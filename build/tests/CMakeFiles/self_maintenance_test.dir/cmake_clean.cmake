@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/self_maintenance_test.dir/core/self_maintenance_test.cc.o"
+  "CMakeFiles/self_maintenance_test.dir/core/self_maintenance_test.cc.o.d"
+  "self_maintenance_test"
+  "self_maintenance_test.pdb"
+  "self_maintenance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/self_maintenance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

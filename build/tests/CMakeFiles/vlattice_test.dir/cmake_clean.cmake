@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlattice_test.dir/lattice/vlattice_test.cc.o"
+  "CMakeFiles/vlattice_test.dir/lattice/vlattice_test.cc.o.d"
+  "vlattice_test"
+  "vlattice_test.pdb"
+  "vlattice_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlattice_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
