@@ -3,11 +3,43 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "bench_common.h"
 #include "core/maintenance.h"
 #include "lattice/plan.h"
+#include "obs/export_json.h"
 
 namespace sdelta::bench {
+
+/// Accumulates one BENCH_fig9.json entry per (panel, series, pos-size,
+/// change-size) cell as the benchmarks run; WriteFig9Json merges them
+/// into the perf-trajectory file (entries from other panels/binaries are
+/// preserved, same-cell entries are replaced).
+inline std::vector<obs::Json>& Fig9Entries() {
+  static auto* entries = new std::vector<obs::Json>();
+  return *entries;
+}
+
+inline void AddFig9Entry(const std::string& panel, const std::string& series,
+                         size_t pos_rows, size_t change_rows,
+                         double mean_seconds, size_t delta_rows) {
+  obs::Json e = obs::Json::Object();
+  e.Set("panel", obs::Json::Str(panel));
+  e.Set("series", obs::Json::Str(series));
+  e.Set("pos_rows", obs::Json::Int(static_cast<int64_t>(pos_rows)));
+  e.Set("change_rows", obs::Json::Int(static_cast<int64_t>(change_rows)));
+  e.Set("ms", obs::Json::Double(mean_seconds * 1e3));
+  e.Set("delta_rows", obs::Json::Int(static_cast<int64_t>(delta_rows)));
+  Fig9Entries().push_back(std::move(e));
+}
+
+inline void WriteFig9Json(const std::string& path = "BENCH_fig9.json") {
+  obs::MergeBenchJson(path, "fig9",
+                      {"panel", "series", "pos_rows", "change_rows"},
+                      Fig9Entries());
+}
 
 /// Registers the four series of one panel of the paper's Figure 9:
 ///   * Propagate            — summary-delta computation using the
@@ -22,8 +54,9 @@ namespace sdelta::bench {
 /// `sweep_changes` selects the x-axis: change-set size 1k..10k at fixed
 /// |pos| (panels a/c) or |pos| 100k..500k at fixed 10k changes (panels
 /// b/d). `cls` selects update-generating (a/b) vs insertion-generating
-/// (c/d) changes.
-inline void RegisterFig9(bool sweep_changes, ChangeClass cls) {
+/// (c/d) changes. `panel` tags this binary's rows in BENCH_fig9.json.
+inline void RegisterFig9(const std::string& panel, bool sweep_changes,
+                         ChangeClass cls) {
   constexpr size_t kFixedPos = 500000;
   constexpr size_t kFixedChanges = 10000;
 
@@ -49,11 +82,19 @@ inline void RegisterFig9(bool sweep_changes, ChangeClass cls) {
         const core::ChangeSet changes = MakeChanges(
             wh.catalog(), cls, changes_of(state.range(0)), 1);
         core::PropagateStats stats;
+        double total = 0;
+        size_t runs = 0;
         for (auto _ : state) {
-          state.SetIterationTime(wh.PropagateOnly(changes, &stats));
+          const double s = wh.PropagateOnly(changes, &stats);
+          state.SetIterationTime(s);
+          total += s;
+          ++runs;
         }
         state.counters["delta_rows"] =
             static_cast<double>(stats.delta_groups);
+        AddFig9Entry(panel, "Propagate", pos_of(state.range(0)),
+                     changes_of(state.range(0)), total / runs,
+                     stats.delta_groups);
       }));
 
   configure(benchmark::RegisterBenchmark(
@@ -64,13 +105,22 @@ inline void RegisterFig9(bool sweep_changes, ChangeClass cls) {
             wh.catalog(), wh.vlattice(), lattice::PlanOptions{false});
         const core::ChangeSet changes = MakeChanges(
             wh.catalog(), cls, changes_of(state.range(0)), 1);
+        double total = 0;
+        size_t runs = 0;
+        size_t delta_rows = 0;
         for (auto _ : state) {
           core::Stopwatch sw;
           lattice::LatticePropagateResult result = lattice::PropagateAll(
               wh.catalog(), wh.vlattice(), no_lattice, changes);
-          state.SetIterationTime(sw.ElapsedSeconds());
+          const double s = sw.ElapsedSeconds();
+          state.SetIterationTime(s);
+          total += s;
+          ++runs;
+          delta_rows = result.totals.delta_groups;
           benchmark::DoNotOptimize(result.deltas.data());
         }
+        AddFig9Entry(panel, "PropagateNoLattice", pos_of(state.range(0)),
+                     changes_of(state.range(0)), total / runs, delta_rows);
       }));
 
   configure(benchmark::RegisterBenchmark(
@@ -78,18 +128,24 @@ inline void RegisterFig9(bool sweep_changes, ChangeClass cls) {
         warehouse::Warehouse& wh = WarehouseCache::Instance().Get(
             pos_of(state.range(0)), {}, "mut");
         uint64_t seed = 1000;
+        double total = 0;
         double refresh_total = 0;
         size_t runs = 0;
+        size_t delta_rows = 0;
         for (auto _ : state) {
           const core::ChangeSet changes = MakeChanges(
               wh.catalog(), cls, changes_of(state.range(0)), ++seed);
           warehouse::BatchReport report = wh.RunBatch(changes);
           state.SetIterationTime(report.maintenance_seconds());
+          total += report.maintenance_seconds();
           refresh_total += report.refresh_seconds;
+          delta_rows = report.propagate.delta_groups;
           ++runs;
         }
         state.counters["refresh_ms"] = 1e3 * refresh_total /
                                        static_cast<double>(runs);
+        AddFig9Entry(panel, "SummaryDeltaMaint", pos_of(state.range(0)),
+                     changes_of(state.range(0)), total / runs, delta_rows);
       }));
 
   configure(benchmark::RegisterBenchmark(
@@ -97,11 +153,18 @@ inline void RegisterFig9(bool sweep_changes, ChangeClass cls) {
         warehouse::Warehouse& wh = WarehouseCache::Instance().Get(
             pos_of(state.range(0)), {}, "mut");
         uint64_t seed = 5000;
+        double total = 0;
+        size_t runs = 0;
         for (auto _ : state) {
           const core::ChangeSet changes = MakeChanges(
               wh.catalog(), cls, changes_of(state.range(0)), ++seed);
-          state.SetIterationTime(wh.RematerializeAll(changes));
+          const double s = wh.RematerializeAll(changes);
+          state.SetIterationTime(s);
+          total += s;
+          ++runs;
         }
+        AddFig9Entry(panel, "Rematerialize", pos_of(state.range(0)),
+                     changes_of(state.range(0)), total / runs, 0);
       }));
 }
 

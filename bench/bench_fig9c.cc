@@ -10,10 +10,11 @@
 #include "bench_fig9.h"
 
 int main(int argc, char** argv) {
-  sdelta::bench::RegisterFig9(/*sweep_changes=*/true,
+  sdelta::bench::RegisterFig9("c", /*sweep_changes=*/true,
                               sdelta::bench::ChangeClass::kInsertion);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  sdelta::bench::WriteFig9Json();
   benchmark::Shutdown();
   return 0;
 }

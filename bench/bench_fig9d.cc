@@ -9,10 +9,11 @@
 #include "bench_fig9.h"
 
 int main(int argc, char** argv) {
-  sdelta::bench::RegisterFig9(/*sweep_changes=*/false,
+  sdelta::bench::RegisterFig9("d", /*sweep_changes=*/false,
                               sdelta::bench::ChangeClass::kInsertion);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  sdelta::bench::WriteFig9Json();
   benchmark::Shutdown();
   return 0;
 }

@@ -8,13 +8,33 @@
 // of views (and with change-set size).
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "bench_common.h"
 #include "core/maintenance.h"
 #include "lattice/plan.h"
 #include "lattice/vlattice.h"
+#include "obs/export_json.h"
 
 namespace sdelta::bench {
 namespace {
+
+/// One BENCH_lattice.json entry per (series, family size) cell.
+std::vector<obs::Json>& LatticeEntries() {
+  static auto* entries = new std::vector<obs::Json>();
+  return *entries;
+}
+
+void AddLatticeEntry(const std::string& series, size_t num_views,
+                     double mean_seconds, size_t from_base) {
+  obs::Json e = obs::Json::Object();
+  e.Set("series", obs::Json::Str(series));
+  e.Set("num_views", obs::Json::Int(static_cast<int64_t>(num_views)));
+  e.Set("ms", obs::Json::Double(mean_seconds * 1e3));
+  e.Set("views_from_base", obs::Json::Int(static_cast<int64_t>(from_base)));
+  LatticeEntries().push_back(std::move(e));
+}
 
 constexpr size_t kPosRows = 200000;
 constexpr size_t kChangeSize = 10000;
@@ -72,14 +92,21 @@ void RunFamily(benchmark::State& state, bool use_lattice) {
   for (const lattice::PlanStep& s : plan.steps) {
     from_base += s.edge.has_value() ? 0 : 1;
   }
+  double total = 0;
+  size_t runs = 0;
   for (auto _ : state) {
     core::Stopwatch sw;
     lattice::LatticePropagateResult result =
         lattice::PropagateAll(*catalog, vlattice, plan, changes);
-    state.SetIterationTime(sw.ElapsedSeconds());
+    const double s = sw.ElapsedSeconds();
+    state.SetIterationTime(s);
+    total += s;
+    ++runs;
     benchmark::DoNotOptimize(result.deltas.data());
   }
   state.counters["views_from_base"] = static_cast<double>(from_base);
+  AddLatticeEntry(use_lattice ? "lattice" : "direct", num_views,
+                  total / static_cast<double>(runs), from_base);
 }
 
 void BM_PropagateLattice(benchmark::State& state) {
@@ -103,4 +130,12 @@ BENCHMARK(BM_PropagateDirect)
 }  // namespace
 }  // namespace sdelta::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  sdelta::obs::MergeBenchJson("BENCH_lattice.json", "lattice_plans",
+                              {"series", "num_views"},
+                              sdelta::bench::LatticeEntries());
+  benchmark::Shutdown();
+  return 0;
+}

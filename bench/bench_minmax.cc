@@ -12,17 +12,27 @@
 
 #include "bench_common.h"
 #include "core/maintenance.h"
+#include "obs/metrics.h"
 
 namespace sdelta::bench {
 namespace {
 
 constexpr size_t kPosRows = 100000;
 
+/// Shared metrics sink for every cached warehouse in this binary; the
+/// bench reads per-iteration counter deltas off it. Leaked so it
+/// outlives the cache.
+obs::MetricsRegistry& Registry() {
+  static auto* registry = new obs::MetricsRegistry();
+  return *registry;
+}
+
 void RunMinMaxBench(benchmark::State& state, bool batched,
                     bool trust_untainted = true) {
   warehouse::Warehouse::Options options;
   options.refresh.batch_minmax_recompute = batched;
   options.refresh.trust_untainted_minmax = trust_untainted;
+  options.metrics = &Registry();
   warehouse::Warehouse& wh = WarehouseCache::Instance().Get(
       kPosRows, options,
       std::string(batched ? "batched" : "pergroup") +
@@ -31,6 +41,7 @@ void RunMinMaxBench(benchmark::State& state, bool batched,
   double scan_rows = 0;
   double recomputed = 0;
   size_t runs = 0;
+  const uint64_t minmax0 = Registry().counter("refresh.minmax_recomputes");
   for (auto _ : state) {
     // Update-generating changes: deletions regularly hit group minima of
     // SiC_sales(MIN(date)).
@@ -46,6 +57,10 @@ void RunMinMaxBench(benchmark::State& state, bool batched,
   }
   state.counters["recomputed_groups"] = recomputed / runs;
   state.counters["base_rows_scanned"] = scan_rows / runs;
+  state.counters["minmax_recomputes"] =
+      static_cast<double>(Registry().counter("refresh.minmax_recomputes") -
+                          minmax0) /
+      static_cast<double>(runs);
 }
 
 void BM_MinMaxBatchedRecompute(benchmark::State& state) {
@@ -66,6 +81,7 @@ void BM_MinMaxPaperConservative(benchmark::State& state) {
 void RunBackfill(benchmark::State& state, bool trust_untainted) {
   warehouse::Warehouse::Options options;
   options.refresh.trust_untainted_minmax = trust_untainted;
+  options.metrics = &Registry();
   warehouse::Warehouse& wh = WarehouseCache::Instance().Get(
       kPosRows, options,
       trust_untainted ? "backfill-trust" : "backfill-paper");

@@ -11,6 +11,7 @@
 #include "core/maintenance.h"
 #include "core/propagate.h"
 #include "core/self_maintenance.h"
+#include "obs/metrics.h"
 
 namespace sdelta::bench {
 namespace {
@@ -34,9 +35,13 @@ void RunPropagate(benchmark::State& state, bool preaggregate) {
   const core::ChangeSet changes =
       MakeChanges(*catalog, ChangeClass::kUpdate,
                   static_cast<size_t>(state.range(0)), 7);
+  static auto* registry = new obs::MetricsRegistry();
   core::PropagateOptions popts;
   popts.preaggregate = preaggregate;
+  popts.metrics = registry;
   size_t prepared = 0;
+  size_t runs = 0;
+  const uint64_t scanned0 = registry->counter("propagate.rows_scanned");
   for (auto _ : state) {
     core::Stopwatch sw;
     for (const core::AugmentedView& av : *views) {
@@ -47,8 +52,12 @@ void RunPropagate(benchmark::State& state, bool preaggregate) {
       prepared = stats.prepared_tuples;
     }
     state.SetIterationTime(sw.ElapsedSeconds());
+    ++runs;
   }
   state.counters["prepared_rows"] = static_cast<double>(prepared);
+  state.counters["rows_scanned"] = static_cast<double>(
+      registry->counter("propagate.rows_scanned") - scanned0) /
+      static_cast<double>(runs);
 }
 
 void BM_PropagateDirect(benchmark::State& state) {

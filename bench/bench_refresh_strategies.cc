@@ -12,26 +12,47 @@
 #include "bench_common.h"
 #include "core/maintenance.h"
 #include "lattice/plan.h"
+#include "obs/metrics.h"
 
 namespace sdelta::bench {
 namespace {
 
 constexpr size_t kPosRows = 200000;
 
+/// Shared metrics sink (leaked so it outlives the warehouse cache);
+/// refresh.* counter deltas become bench counters.
+obs::MetricsRegistry& Registry() {
+  static auto* registry = new obs::MetricsRegistry();
+  return *registry;
+}
+
 void RunRefreshBench(benchmark::State& state, core::RefreshStrategy strategy) {
   warehouse::Warehouse::Options options;
   options.refresh.strategy = strategy;
+  options.metrics = &Registry();
   warehouse::Warehouse& wh = WarehouseCache::Instance().Get(
       kPosRows, options,
       strategy == core::RefreshStrategy::kCursor ? "cursor" : "merge");
   uint64_t seed = 100;
+  size_t runs = 0;
+  const uint64_t updates0 = Registry().counter("refresh.updates");
+  const uint64_t inserts0 = Registry().counter("refresh.inserts");
+  const uint64_t deletes0 = Registry().counter("refresh.deletes");
   for (auto _ : state) {
     const core::ChangeSet changes = MakeChanges(
         wh.catalog(), ChangeClass::kUpdate,
         static_cast<size_t>(state.range(0)), ++seed);
     warehouse::BatchReport report = wh.RunBatch(changes);
     state.SetIterationTime(report.refresh_seconds);
+    ++runs;
   }
+  const double n = static_cast<double>(runs);
+  state.counters["updates"] = static_cast<double>(
+      Registry().counter("refresh.updates") - updates0) / n;
+  state.counters["inserts"] = static_cast<double>(
+      Registry().counter("refresh.inserts") - inserts0) / n;
+  state.counters["deletes"] = static_cast<double>(
+      Registry().counter("refresh.deletes") - deletes0) / n;
 }
 
 void BM_RefreshCursor(benchmark::State& state) {

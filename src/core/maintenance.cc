@@ -33,6 +33,8 @@ MaintenanceReport MaintainView(rel::Catalog& catalog, SummaryTable& view,
                                const RefreshOptions& ropts) {
   MaintenanceReport report;
   report.view = view.name();
+  obs::TraceSpan span(popts.tracer, "maintain.view");
+  span.Attr("view", view.name());
 
   // Propagate runs against the pre-change base state, outside the batch
   // window (summary tables stay readable).
@@ -43,11 +45,20 @@ MaintenanceReport MaintainView(rel::Catalog& catalog, SummaryTable& view,
 
   // The batch window: apply the changes to the base tables, then refresh
   // the summary table from the summary-delta.
-  ApplyChangeSet(catalog, changes);
+  {
+    obs::TraceSpan apply(popts.tracer, "maintain.apply_base");
+    ApplyChangeSet(catalog, changes);
+  }
 
   sw.Reset();
   report.refresh = Refresh(catalog, view, sd, ropts);
   report.refresh_seconds = sw.ElapsedSeconds();
+  if (popts.metrics != nullptr) {
+    popts.metrics->Observe("maintain.propagate_seconds",
+                           report.propagate_seconds);
+    popts.metrics->Observe("maintain.refresh_seconds",
+                           report.refresh_seconds);
+  }
   return report;
 }
 

@@ -10,6 +10,12 @@ namespace sdelta::core {
 using rel::Expression;
 using rel::Table;
 
+void PropagateStats::EmitTo(obs::MetricsRegistry& metrics) const {
+  metrics.Add("propagate.rows_scanned", prepared_tuples);
+  metrics.Add("propagate.delta_rows", delta_groups);
+  if (preaggregated) metrics.Add("propagate.preaggregated");
+}
+
 std::vector<rel::AggregateSpec> DeltaAggregates(const AugmentedView& view) {
   std::vector<rel::AggregateSpec> specs;
   specs.reserve(view.physical.aggregates.size());
@@ -185,26 +191,34 @@ rel::Table ComputeSummaryDelta(const rel::Catalog& catalog,
                                const ChangeSet& changes,
                                const PropagateOptions& options,
                                PropagateStats* stats) {
-  if (options.preaggregate && PreaggregationLegal(catalog, view, changes)) {
-    if (stats != nullptr) stats->preaggregated = true;
-    Table out = PreaggregatedDelta(catalog, view, changes, stats);
-    if (stats != nullptr) stats->delta_groups = out.NumRows();
-    return out;
-  }
-
-  Table pc = PrepareChanges(catalog, view, changes);
-  if (stats != nullptr) stats->prepared_tuples = pc.NumRows();
-  std::vector<rel::GroupByColumn> groups;
-  for (const std::string& g : view.physical.group_by) {
-    groups.push_back(rel::GroupByColumn{rel::BareName(g), ""});
-  }
-  std::vector<rel::AggregateSpec> specs = DeltaAggregates(view);
-  specs.push_back(TaintFromSources(view));
-  Table grouped = rel::GroupBy(pc, groups, specs);
-  Table out(grouped.schema(), "sd_" + view.name());
-  out.Reserve(grouped.NumRows());
-  for (const rel::Row& r : grouped.rows()) out.Insert(r);
-  if (stats != nullptr) stats->delta_groups = out.NumRows();
+  obs::TraceSpan span(options.tracer, "sd.compute");
+  span.Attr("view", view.name());
+  PropagateStats local;
+  Table out = [&] {
+    if (options.preaggregate && PreaggregationLegal(catalog, view, changes)) {
+      local.preaggregated = true;
+      return PreaggregatedDelta(catalog, view, changes, &local);
+    }
+    Table pc = PrepareChanges(catalog, view, changes);
+    local.prepared_tuples = pc.NumRows();
+    std::vector<rel::GroupByColumn> groups;
+    for (const std::string& g : view.physical.group_by) {
+      groups.push_back(rel::GroupByColumn{rel::BareName(g), ""});
+    }
+    std::vector<rel::AggregateSpec> specs = DeltaAggregates(view);
+    specs.push_back(TaintFromSources(view));
+    Table grouped = rel::GroupBy(pc, groups, specs);
+    Table named(grouped.schema(), "sd_" + view.name());
+    named.Reserve(grouped.NumRows());
+    for (const rel::Row& r : grouped.rows()) named.Insert(r);
+    return named;
+  }();
+  local.delta_groups = out.NumRows();
+  span.Attr("prepared_tuples", static_cast<uint64_t>(local.prepared_tuples));
+  span.Attr("delta_rows", static_cast<uint64_t>(local.delta_groups));
+  span.Attr("preaggregated", local.preaggregated);
+  if (options.metrics != nullptr) local.EmitTo(*options.metrics);
+  if (stats != nullptr) *stats = local;
   return out;
 }
 

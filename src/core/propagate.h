@@ -7,6 +7,8 @@
 #include "core/delta.h"
 #include "core/self_maintenance.h"
 #include "core/view_def.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "relational/operators.h"
 
 namespace sdelta::core {
@@ -16,12 +18,20 @@ struct PropagateOptions {
   /// Applied only when legal: no dimension deltas, and the predicate and
   /// every aggregate argument reference fact columns only.
   bool preaggregate = false;
+  /// Observability sinks (see src/obs/). Null = disabled; every
+  /// instrumentation site is behind a single null check.
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct PropagateStats {
   size_t prepared_tuples = 0;  ///< rows in the prepare-changes relation
   size_t delta_groups = 0;     ///< rows in the summary-delta table
   bool preaggregated = false;  ///< whether the §4.1.3 path was taken
+
+  /// Folds this run's counters into a registry (propagate.rows_scanned,
+  /// propagate.delta_rows, propagate.preaggregated).
+  void EmitTo(obs::MetricsRegistry& metrics) const;
 };
 
 /// Name of the hidden trailing summary-delta column: 1 when any

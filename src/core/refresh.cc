@@ -328,6 +328,7 @@ RefreshStats RefreshCursor(const rel::Catalog& catalog, SummaryTable& view,
     const bool may_have_deletions =
         !options.trust_untainted_minmax || layout.Tainted(t);
     if (may_have_deletions && NeedsRecompute(layout, *old_row, t)) {
+      ++stats.minmax_recomputes;
       if (options.batch_minmax_recompute) {
         recompute.insert(std::move(key));
       } else {
@@ -419,6 +420,7 @@ RefreshStats RefreshMerge(const rel::Catalog& catalog, SummaryTable& view,
       const bool may_have_deletions =
           !options.trust_untainted_minmax || layout.Tainted(t);
       if (may_have_deletions && NeedsRecompute(layout, old_row, t)) {
+        ++stats.minmax_recomputes;
         recompute_keys.emplace_back(old_row.begin(),
                                     old_row.begin() + layout.num_groups);
         merged.push_back(std::move(old_row));  // placeholder; fixed below
@@ -446,6 +448,15 @@ RefreshStats RefreshMerge(const rel::Catalog& catalog, SummaryTable& view,
 
 }  // namespace
 
+void RefreshStats::EmitTo(obs::MetricsRegistry& metrics) const {
+  metrics.Add("refresh.inserts", inserted);
+  metrics.Add("refresh.deletes", deleted);
+  metrics.Add("refresh.updates", updated);
+  metrics.Add("refresh.recomputed_groups", recomputed_groups);
+  metrics.Add("refresh.recompute_scan_rows", recompute_scan_rows);
+  metrics.Add("refresh.minmax_recomputes", minmax_recomputes);
+}
+
 RefreshStats Refresh(const rel::Catalog& catalog, SummaryTable& view,
                      const rel::Table& summary_delta,
                      const RefreshOptions& options) {
@@ -457,13 +468,27 @@ RefreshStats Refresh(const rel::Catalog& catalog, SummaryTable& view,
     throw std::invalid_argument(
         "summary-delta arity does not match summary table " + view.name());
   }
+  obs::TraceSpan span(options.tracer, "refresh.view");
+  span.Attr("view", view.name());
+  span.Attr("strategy",
+            options.strategy == RefreshStrategy::kCursor ? "cursor" : "merge");
+  span.Attr("delta_rows", static_cast<uint64_t>(summary_delta.NumRows()));
+  RefreshStats stats;
   switch (options.strategy) {
     case RefreshStrategy::kCursor:
-      return RefreshCursor(catalog, view, summary_delta, options);
+      stats = RefreshCursor(catalog, view, summary_delta, options);
+      break;
     case RefreshStrategy::kMerge:
-      return RefreshMerge(catalog, view, summary_delta, options);
+      stats = RefreshMerge(catalog, view, summary_delta, options);
+      break;
   }
-  throw std::logic_error("unknown refresh strategy");
+  span.Attr("updated", static_cast<uint64_t>(stats.updated));
+  span.Attr("inserted", static_cast<uint64_t>(stats.inserted));
+  span.Attr("deleted", static_cast<uint64_t>(stats.deleted));
+  span.Attr("minmax_recomputes",
+            static_cast<uint64_t>(stats.minmax_recomputes));
+  if (options.metrics != nullptr) stats.EmitTo(*options.metrics);
+  return stats;
 }
 
 }  // namespace sdelta::core

@@ -2,6 +2,8 @@
 #define SDELTA_CORE_REFRESH_H_
 
 #include "core/summary_table.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "relational/catalog.h"
 #include "relational/table.h"
 
@@ -33,6 +35,9 @@ struct RefreshOptions {
   /// behaviour (deltas without the marker are always treated as
   /// potentially containing deletions).
   bool trust_untainted_minmax = true;
+  /// Observability sinks (see src/obs/). Null = disabled.
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct RefreshStats {
@@ -41,6 +46,12 @@ struct RefreshStats {
   size_t updated = 0;            ///< groups updated in place
   size_t recomputed_groups = 0;  ///< groups recomputed from base data
   size_t recompute_scan_rows = 0;  ///< base rows scanned for recomputes
+  /// Groups whose recompute was forced by the §3.1 MIN/MAX
+  /// non-self-maintainability path — a deletion tied or beat a stored
+  /// extremum (Figure 7's recompute test). A strict subset of
+  /// recomputed_groups: recomputes of freshly appearing tainted groups
+  /// (dimension moves) are excluded.
+  size_t minmax_recomputes = 0;
 
   RefreshStats& operator+=(const RefreshStats& o) {
     inserted += o.inserted;
@@ -48,8 +59,14 @@ struct RefreshStats {
     updated += o.updated;
     recomputed_groups += o.recomputed_groups;
     recompute_scan_rows += o.recompute_scan_rows;
+    minmax_recomputes += o.minmax_recomputes;
     return *this;
   }
+
+  /// Folds this run's counters into a registry (refresh.inserts,
+  /// refresh.deletes, refresh.updates, refresh.recomputed_groups,
+  /// refresh.recompute_scan_rows, refresh.minmax_recomputes).
+  void EmitTo(obs::MetricsRegistry& metrics) const;
 };
 
 /// Applies the summary-delta to the summary table (paper Figure 7).

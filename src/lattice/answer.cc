@@ -10,11 +10,14 @@ namespace sdelta::lattice {
 AnswerResult AnswerQuery(const rel::Catalog& catalog, const VLattice& lattice,
                          const std::vector<const core::SummaryTable*>&
                              summaries,
-                         const core::ViewDef& query) {
+                         const core::ViewDef& query, obs::Tracer* tracer,
+                         obs::MetricsRegistry* metrics) {
   if (summaries.size() != lattice.views.size()) {
     throw std::invalid_argument(
         "AnswerQuery: summaries must parallel lattice views");
   }
+  obs::TraceSpan span(tracer, "answer.query");
+  span.Attr("query", query.name);
   const core::AugmentedView augmented =
       core::AugmentForSelfMaintenance(catalog, query);
 
@@ -42,10 +45,22 @@ AnswerResult AnswerQuery(const rel::Catalog& catalog, const VLattice& lattice,
     result.rows_read = catalog.GetTable(query.fact_table).NumRows();
     rel::Table physical = core::EvaluateView(catalog, augmented.physical);
     result.rows = core::LogicalRows(augmented, physical);
+    span.Attr("source", "base");
+    span.Attr("rows_read", static_cast<uint64_t>(result.rows_read));
+    if (metrics != nullptr) {
+      metrics->Add("answer.base_fallbacks");
+      metrics->Add("answer.rows_read", result.rows_read);
+    }
     return result;
   }
   result.source_view = best->name();
   result.rows_read = best->NumRows();
+  span.Attr("source", result.source_view);
+  span.Attr("rows_read", static_cast<uint64_t>(result.rows_read));
+  if (metrics != nullptr) {
+    metrics->Add("answer.view_hits");
+    metrics->Add("answer.rows_read", result.rows_read);
+  }
   rel::Table physical =
       core::ApplyDerivation(catalog, best_recipe, best->ToTable());
   rel::Table logical = core::LogicalRows(augmented, physical);

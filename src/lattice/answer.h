@@ -6,6 +6,8 @@
 
 #include "core/summary_table.h"
 #include "lattice/vlattice.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sdelta::lattice {
 
@@ -29,10 +31,16 @@ struct AnswerResult {
 ///
 /// `summaries` must be parallel to `lattice.views` (the Warehouse facade
 /// guarantees this layout).
+///
+/// With sinks attached the query is traced (span answer.query) and
+/// counted: answer.view_hits / answer.base_fallbacks, plus
+/// answer.rows_read.
 AnswerResult AnswerQuery(const rel::Catalog& catalog, const VLattice& lattice,
                          const std::vector<const core::SummaryTable*>&
                              summaries,
-                         const core::ViewDef& query);
+                         const core::ViewDef& query,
+                         obs::Tracer* tracer = nullptr,
+                         obs::MetricsRegistry* metrics = nullptr);
 
 }  // namespace sdelta::lattice
 

@@ -99,10 +99,16 @@ MaintenancePlan ChoosePlan(const rel::Catalog& catalog,
                            const PlanOptions& options) {
   MaintenancePlan plan;
   const size_t n = lattice.views.size();
+  obs::TraceSpan span(options.tracer, "plan.choose");
+  span.Attr("views", static_cast<uint64_t>(n));
+  span.Attr("use_lattice", options.use_lattice);
 
   if (!options.use_lattice) {
     for (size_t i = 0; i < n; ++i) {
       plan.steps.push_back(PlanStep{i, std::nullopt});
+    }
+    if (options.metrics != nullptr) {
+      options.metrics->Add("plan.steps_from_base", n);
     }
     return plan;
   }
@@ -144,6 +150,14 @@ MaintenancePlan ChoosePlan(const rel::Catalog& catalog,
         best_edge = e;
       }
     }
+    if (options.metrics != nullptr) {
+      if (best_edge.has_value()) {
+        options.metrics->Observe("plan.edge_cost",
+                                 edge_cost(lattice.edges[*best_edge]));
+      } else {
+        options.metrics->Add("plan.steps_from_base");
+      }
+    }
     plan.steps.push_back(PlanStep{v, best_edge});
   }
   return plan;
@@ -157,6 +171,13 @@ LatticePropagateResult PropagateAll(const rel::Catalog& catalog,
   LatticePropagateResult result;
   result.deltas.resize(lattice.views.size());
   std::vector<bool> computed(lattice.views.size(), false);
+
+  // Root span for the phase; plan-step spans that compute from base
+  // changes attach here, while D-lattice-derived steps parent on their
+  // *source view's* span so the trace tree mirrors the plan (one span
+  // per PlanStep, named after the view it computes).
+  obs::TraceSpan phase(opts.tracer, "propagate");
+  std::vector<uint64_t> view_span(lattice.views.size(), 0);
 
   // A lattice edge is usable for this change set only if none of the
   // dimension tables the edge re-joins have changed: the parent's
@@ -175,7 +196,13 @@ LatticePropagateResult PropagateAll(const rel::Catalog& catalog,
 
   for (const PlanStep& step : plan.steps) {
     core::PropagateStats stats;
-    if (step.edge.has_value() && edge_usable(lattice.edges[*step.edge])) {
+    const bool via_edge =
+        step.edge.has_value() && edge_usable(lattice.edges[*step.edge]);
+    const uint64_t parent_span =
+        via_edge ? view_span[lattice.edges[*step.edge].parent] : phase.id();
+    obs::TraceSpan span(opts.tracer, lattice.views[step.view].name(),
+                        parent_span);
+    if (via_edge) {
       const VLatticeEdge& edge = lattice.edges[*step.edge];
       if (!computed[edge.parent]) {
         throw std::logic_error("maintenance plan is not topologically "
@@ -187,10 +214,15 @@ LatticePropagateResult PropagateAll(const rel::Catalog& catalog,
           catalog, edge.recipe, result.deltas[edge.parent]);
       stats.prepared_tuples = result.deltas[edge.parent].NumRows();
       stats.delta_groups = result.deltas[step.view].NumRows();
+      if (opts.metrics != nullptr) stats.EmitTo(*opts.metrics);
+      span.Attr("source", lattice.views[edge.parent].name());
     } else {
       result.deltas[step.view] = core::ComputeSummaryDelta(
           catalog, lattice.views[step.view], changes, opts, &stats);
+      span.Attr("source", "base");
     }
+    span.Attr("delta_rows", static_cast<uint64_t>(stats.delta_groups));
+    view_span[step.view] = span.id();
     computed[step.view] = true;
     result.totals.prepared_tuples += stats.prepared_tuples;
     result.totals.delta_groups += stats.delta_groups;

@@ -33,6 +33,11 @@ struct PlanOptions {
   /// false reproduces the paper's "Propagate (w/o lattice)" baseline:
   /// every summary-delta is computed directly from the base changes.
   bool use_lattice = true;
+  /// Observability sinks (see src/obs/). Null = disabled. The chooser
+  /// records one plan.edge_cost observation per chosen edge and a
+  /// plan.steps_from_base counter.
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Estimated number of groups of a view: the product of per-attribute

@@ -1,0 +1,51 @@
+#include "obs/export_chrome.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "obs/export_json.h"
+
+namespace sdelta::obs {
+
+Json ChromeTraceJson(const Tracer& tracer) {
+  uint64_t base = std::numeric_limits<uint64_t>::max();
+  for (const SpanRecord& s : tracer.spans()) base = std::min(base, s.start_ns);
+  if (tracer.spans().empty()) base = 0;
+
+  Json events = Json::Array();
+  for (const SpanRecord& s : tracer.spans()) {
+    Json e = Json::Object();
+    e.Set("name", Json::Str(s.name));
+    e.Set("cat", Json::Str("sdelta"));
+    e.Set("ph", Json::Str("X"));
+    e.Set("pid", Json::Int(1));
+    e.Set("tid", Json::Int(1));
+    e.Set("ts", Json::Int(static_cast<int64_t>((s.start_ns - base) / 1000)));
+    const uint64_t end = s.end_ns == 0 ? s.start_ns : s.end_ns;
+    e.Set("dur", Json::Int(static_cast<int64_t>((end - s.start_ns) / 1000)));
+    Json args = Json::Object();
+    args.Set("span_id", Json::Int(static_cast<int64_t>(s.id)));
+    args.Set("parent_id", Json::Int(static_cast<int64_t>(s.parent_id)));
+    if (s.parent_id != 0) {
+      args.Set("parent", Json::Str(tracer.spans()[s.parent_id - 1].name));
+    }
+    for (const auto& [k, v] : s.attributes) args.Set(k, Json::Str(v));
+    e.Set("args", std::move(args));
+    events.Append(std::move(e));
+  }
+
+  Json doc = Json::Object();
+  doc.Set("displayTimeUnit", Json::Str("ms"));
+  doc.Set("traceEvents", std::move(events));
+  return doc;
+}
+
+std::string ExportChromeTrace(const Tracer& tracer) {
+  return ChromeTraceJson(tracer).Dump(1) + "\n";
+}
+
+void WriteChromeTrace(const std::string& path, const Tracer& tracer) {
+  WriteFile(path, ExportChromeTrace(tracer));
+}
+
+}  // namespace sdelta::obs

@@ -1,0 +1,31 @@
+#ifndef SDELTA_OBS_EXPORT_CHROME_H_
+#define SDELTA_OBS_EXPORT_CHROME_H_
+
+#include <string>
+
+#include "obs/json.h"
+#include "obs/trace.h"
+
+namespace sdelta::obs {
+
+/// Renders a trace as a Chrome trace-event document, loadable in
+/// Perfetto / chrome://tracing:
+///   {"displayTimeUnit":"ms","traceEvents":[
+///     {"name":..., "cat":"sdelta", "ph":"X", "pid":1, "tid":1,
+///      "ts": <start µs>, "dur": <µs>,
+///      "args":{"span_id":.., "parent_id":.., "parent":"<name>", ...attrs}}]}
+///
+/// Every span becomes one complete ("X") event. Call-stack nesting shows
+/// up natively via time containment; the *logical* parent (which for
+/// propagate plan steps is the D-lattice source view, not the caller) is
+/// carried in args.parent / args.parent_id so the plan tree is
+/// recoverable in the UI.
+Json ChromeTraceJson(const Tracer& tracer);
+std::string ExportChromeTrace(const Tracer& tracer);
+
+/// Convenience: ExportChromeTrace to a file (see ExportJson's WriteFile).
+void WriteChromeTrace(const std::string& path, const Tracer& tracer);
+
+}  // namespace sdelta::obs
+
+#endif  // SDELTA_OBS_EXPORT_CHROME_H_

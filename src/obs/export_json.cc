@@ -1,0 +1,163 @@
+#include "obs/export_json.h"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace sdelta::obs {
+
+Json MetricsToJson(const MetricsRegistry& metrics) {
+  Json doc = Json::Object();
+  Json counters = Json::Object();
+  for (const auto& [name, v] : metrics.counters()) {
+    counters.Set(name, Json::Int(static_cast<int64_t>(v)));
+  }
+  Json gauges = Json::Object();
+  for (const auto& [name, v] : metrics.gauges()) {
+    gauges.Set(name, Json::Double(v));
+  }
+  Json histograms = Json::Object();
+  for (const auto& [name, h] : metrics.histograms()) {
+    Json entry = Json::Object();
+    entry.Set("count", Json::Int(static_cast<int64_t>(h.count)));
+    entry.Set("sum", Json::Double(h.sum));
+    entry.Set("min", Json::Double(h.count == 0 ? 0 : h.min));
+    entry.Set("max", Json::Double(h.count == 0 ? 0 : h.max));
+    entry.Set("mean", Json::Double(h.Mean()));
+    histograms.Set(name, std::move(entry));
+  }
+  doc.Set("counters", std::move(counters));
+  doc.Set("gauges", std::move(gauges));
+  doc.Set("histograms", std::move(histograms));
+  return doc;
+}
+
+Json SpansToJson(const Tracer& tracer, bool rebase_timestamps) {
+  uint64_t base = 0;
+  if (rebase_timestamps) {
+    base = std::numeric_limits<uint64_t>::max();
+    for (const SpanRecord& s : tracer.spans()) base = std::min(base, s.start_ns);
+    if (tracer.spans().empty()) base = 0;
+  }
+  Json arr = Json::Array();
+  for (const SpanRecord& s : tracer.spans()) {
+    Json span = Json::Object();
+    span.Set("id", Json::Int(static_cast<int64_t>(s.id)));
+    span.Set("parent", Json::Int(static_cast<int64_t>(s.parent_id)));
+    span.Set("name", Json::Str(s.name));
+    span.Set("start_us",
+             Json::Int(static_cast<int64_t>((s.start_ns - base) / 1000)));
+    const uint64_t end = s.end_ns == 0 ? s.start_ns : s.end_ns;
+    span.Set("dur_us", Json::Int(static_cast<int64_t>(
+                           (end - s.start_ns) / 1000)));
+    Json attrs = Json::Object();
+    for (const auto& [k, v] : s.attributes) attrs.Set(k, Json::Str(v));
+    span.Set("attrs", std::move(attrs));
+    arr.Append(std::move(span));
+  }
+  return arr;
+}
+
+std::string ExportJson(const MetricsRegistry* metrics, const Tracer* tracer,
+                       const JsonExportOptions& options) {
+  Json doc = Json::Object();
+  doc.Set("schema", Json::Str("sdelta.obs.v1"));
+  if (metrics != nullptr) doc.Set("metrics", MetricsToJson(*metrics));
+  if (tracer != nullptr) {
+    doc.Set("spans", SpansToJson(*tracer, options.rebase_timestamps));
+  }
+  return doc.Dump(options.indent);
+}
+
+void NormalizeSpanTimes(Json& doc) {
+  if (doc.is_array()) {
+    // A bare SpansToJson array.
+    for (Json& span : doc.items_mutable()) {
+      if (span.FindMutable("start_us") != nullptr) {
+        span.Set("start_us", Json::Int(0));
+        span.Set("dur_us", Json::Int(0));
+      }
+    }
+    return;
+  }
+  Json* spans = doc.FindMutable("spans");
+  if (spans != nullptr) NormalizeSpanTimes(*spans);
+}
+
+void WriteFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  out << contents;
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+bool ReadFile(const std::string& path, std::string& contents) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  contents = ss.str();
+  return true;
+}
+
+namespace {
+
+/// The dedup/sort key of a bench entry: its key fields' compact dumps,
+/// unit-separated (deterministic, collision-free for sane field values).
+std::string EntryKey(const Json& entry,
+                     const std::vector<std::string>& key_fields) {
+  std::string key;
+  for (const std::string& f : key_fields) {
+    const Json* v = entry.Find(f);
+    key += (v == nullptr ? std::string("null") : v->Dump());
+    key.push_back('\x1f');
+  }
+  return key;
+}
+
+}  // namespace
+
+void MergeBenchJson(const std::string& path, const std::string& bench_name,
+                    const std::vector<std::string>& key_fields,
+                    const std::vector<Json>& fresh) {
+  std::vector<std::pair<std::string, Json>> merged;  // key -> entry
+  auto upsert = [&](const Json& entry) {
+    std::string key = EntryKey(entry, key_fields);
+    for (auto& [k, e] : merged) {
+      if (k == key) {
+        e = entry;
+        return;
+      }
+    }
+    merged.emplace_back(std::move(key), entry);
+  };
+
+  std::string previous;
+  if (ReadFile(path, previous)) {
+    try {
+      Json old = Json::Parse(previous);
+      const Json* entries = old.Find("entries");
+      if (entries != nullptr && entries->is_array()) {
+        for (const Json& e : entries->items()) upsert(e);
+      }
+    } catch (const std::runtime_error&) {
+      // Malformed previous file: start fresh rather than fail the bench.
+    }
+  }
+  for (const Json& e : fresh) upsert(e);
+
+  std::sort(merged.begin(), merged.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  Json doc = Json::Object();
+  doc.Set("schema", Json::Str("sdelta.bench.v1"));
+  doc.Set("bench", Json::Str(bench_name));
+  Json arr = Json::Array();
+  for (auto& [k, e] : merged) arr.Append(std::move(e));
+  doc.Set("entries", std::move(arr));
+  WriteFile(path, doc.Dump(1) + "\n");
+}
+
+}  // namespace sdelta::obs

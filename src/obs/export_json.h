@@ -1,0 +1,60 @@
+#ifndef SDELTA_OBS_EXPORT_JSON_H_
+#define SDELTA_OBS_EXPORT_JSON_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace sdelta::obs {
+
+struct JsonExportOptions {
+  /// Rebase span timestamps so the earliest start is 0. Durations are
+  /// still wall-clock; golden tests additionally zero them (see
+  /// NormalizeSpanTimes) to compare structure only.
+  bool rebase_timestamps = true;
+  /// Pretty-print indent for Dump(); -1 = compact.
+  int indent = 2;
+};
+
+/// Deterministic-schema export of a registry:
+///   {"counters": {...sorted...}, "gauges": {...}, "histograms":
+///    {"name": {"count":n,"sum":s,"min":m,"max":M,"mean":u}}}
+Json MetricsToJson(const MetricsRegistry& metrics);
+
+/// Deterministic-schema export of a span tree (start order):
+///   [{"id":1,"parent":0,"name":"...","start_us":t,"dur_us":d,
+///     "attrs":{"k":"v"}}, ...]
+Json SpansToJson(const Tracer& tracer, bool rebase_timestamps = true);
+
+/// Combined document: {"schema":"sdelta.obs.v1","metrics":...,"spans":...}.
+/// Either source may be null; absent sections are omitted.
+std::string ExportJson(const MetricsRegistry* metrics, const Tracer* tracer,
+                       const JsonExportOptions& options = {});
+
+/// Zeroes "start_us"/"dur_us" in a SpansToJson document (in place) so
+/// two runs of the same workload compare byte-identical.
+void NormalizeSpanTimes(Json& doc);
+
+/// Reads/writes a whole file; Write throws std::runtime_error on IO
+/// failure, Read returns false when the file does not exist.
+void WriteFile(const std::string& path, const std::string& contents);
+bool ReadFile(const std::string& path, std::string& contents);
+
+/// Merge-writer for the BENCH_*.json perf-trajectory files. The file is
+///   {"schema":"sdelta.bench.v1","bench":"<name>","entries":[{...},...]}
+/// Each entry is one measurement cell; `key_fields` identify a cell
+/// (e.g. {"panel","series","pos_rows","change_rows"}). Entries from
+/// `fresh` replace same-key entries already in the file, other existing
+/// entries are preserved (so fig9a..d accumulate into one file), and
+/// the result is sorted by key for deterministic diffs. A malformed or
+/// missing file is treated as empty.
+void MergeBenchJson(const std::string& path, const std::string& bench_name,
+                    const std::vector<std::string>& key_fields,
+                    const std::vector<Json>& fresh);
+
+}  // namespace sdelta::obs
+
+#endif  // SDELTA_OBS_EXPORT_JSON_H_

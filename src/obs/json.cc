@@ -1,0 +1,409 @@
+#include "obs/json.h"
+
+#include <array>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace sdelta::obs {
+
+Json Json::Bool(bool b) {
+  Json j;
+  j.kind_ = Kind::kBool;
+  j.bool_ = b;
+  return j;
+}
+Json Json::Int(int64_t i) {
+  Json j;
+  j.kind_ = Kind::kInt;
+  j.int_ = i;
+  return j;
+}
+Json Json::Double(double d) {
+  Json j;
+  j.kind_ = Kind::kDouble;
+  j.double_ = d;
+  return j;
+}
+Json Json::Str(std::string s) {
+  Json j;
+  j.kind_ = Kind::kString;
+  j.string_ = std::move(s);
+  return j;
+}
+Json Json::Array() {
+  Json j;
+  j.kind_ = Kind::kArray;
+  return j;
+}
+Json Json::Object() {
+  Json j;
+  j.kind_ = Kind::kObject;
+  return j;
+}
+
+namespace {
+[[noreturn]] void KindError(const char* want) {
+  throw std::runtime_error(std::string("json: value is not ") + want);
+}
+}  // namespace
+
+bool Json::as_bool() const {
+  if (kind_ != Kind::kBool) KindError("a bool");
+  return bool_;
+}
+int64_t Json::as_int() const {
+  if (kind_ == Kind::kInt) return int_;
+  if (kind_ == Kind::kDouble && double_ == std::floor(double_)) {
+    return static_cast<int64_t>(double_);
+  }
+  KindError("an integer");
+}
+double Json::as_double() const {
+  if (kind_ == Kind::kInt) return static_cast<double>(int_);
+  if (kind_ == Kind::kDouble) return double_;
+  KindError("a number");
+}
+const std::string& Json::as_string() const {
+  if (kind_ != Kind::kString) KindError("a string");
+  return string_;
+}
+const std::vector<Json>& Json::items() const {
+  if (kind_ != Kind::kArray) KindError("an array");
+  return items_;
+}
+std::vector<Json>& Json::items_mutable() {
+  if (kind_ != Kind::kArray) KindError("an array");
+  return items_;
+}
+const std::vector<Json::Member>& Json::members() const {
+  if (kind_ != Kind::kObject) KindError("an object");
+  return members_;
+}
+
+void Json::Append(Json value) {
+  if (kind_ != Kind::kArray) KindError("an array");
+  items_.push_back(std::move(value));
+}
+
+void Json::Set(std::string_view key, Json value) {
+  if (kind_ != Kind::kObject) KindError("an object");
+  for (Member& m : members_) {
+    if (m.first == key) {
+      m.second = std::move(value);
+      return;
+    }
+  }
+  members_.emplace_back(std::string(key), std::move(value));
+}
+
+const Json* Json::Find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const Member& m : members_) {
+    if (m.first == key) return &m.second;
+  }
+  return nullptr;
+}
+
+Json* Json::FindMutable(std::string_view key) {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (Member& m : members_) {
+    if (m.first == key) return &m.second;
+  }
+  return nullptr;
+}
+
+namespace {
+
+void EscapeTo(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void NumberTo(std::string& out, double d) {
+  if (!std::isfinite(d)) {
+    // JSON has no inf/nan; null is the conventional stand-in.
+    out += "null";
+    return;
+  }
+  std::array<char, 32> buf;
+  auto [end, ec] = std::to_chars(buf.data(), buf.data() + buf.size(), d);
+  out.append(buf.data(), end);
+}
+
+void Indent(std::string& out, int indent, int depth) {
+  out.push_back('\n');
+  out.append(static_cast<size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void Json::DumpTo(std::string& out, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      return;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      return;
+    case Kind::kInt:
+      out += std::to_string(int_);
+      return;
+    case Kind::kDouble:
+      NumberTo(out, double_);
+      return;
+    case Kind::kString:
+      EscapeTo(out, string_);
+      return;
+    case Kind::kArray: {
+      if (items_.empty()) {
+        out += "[]";
+        return;
+      }
+      out.push_back('[');
+      for (size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        if (indent >= 0) Indent(out, indent, depth + 1);
+        items_[i].DumpTo(out, indent, depth + 1);
+      }
+      if (indent >= 0) Indent(out, indent, depth);
+      out.push_back(']');
+      return;
+    }
+    case Kind::kObject: {
+      if (members_.empty()) {
+        out += "{}";
+        return;
+      }
+      out.push_back('{');
+      for (size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        if (indent >= 0) Indent(out, indent, depth + 1);
+        EscapeTo(out, members_[i].first);
+        out.push_back(':');
+        if (indent >= 0) out.push_back(' ');
+        members_[i].second.DumpTo(out, indent, depth + 1);
+      }
+      if (indent >= 0) Indent(out, indent, depth);
+      out.push_back('}');
+      return;
+    }
+  }
+}
+
+std::string Json::Dump(int indent) const {
+  std::string out;
+  DumpTo(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json ParseDocument() {
+    Json value = ParseValue();
+    SkipWhitespace();
+    if (pos_ != text_.size()) Fail("trailing characters");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void Fail(const std::string& what) {
+    throw std::runtime_error("json parse error at byte " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char Peek() {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) Fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void Expect(char c) {
+    if (Peek() != c) Fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Json ParseValue() {
+    switch (Peek()) {
+      case '{': return ParseObject();
+      case '[': return ParseArray();
+      case '"': return Json::Str(ParseString());
+      case 't':
+        if (Literal("true")) return Json::Bool(true);
+        Fail("bad literal");
+      case 'f':
+        if (Literal("false")) return Json::Bool(false);
+        Fail("bad literal");
+      case 'n':
+        if (Literal("null")) return Json();
+        Fail("bad literal");
+      default: return ParseNumber();
+    }
+  }
+
+  Json ParseObject() {
+    Expect('{');
+    Json obj = Json::Object();
+    if (Peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      if (Peek() != '"') Fail("expected object key");
+      std::string key = ParseString();
+      Expect(':');
+      obj.Set(key, ParseValue());
+      const char c = Peek();
+      ++pos_;
+      if (c == '}') return obj;
+      if (c != ',') Fail("expected ',' or '}'");
+    }
+  }
+
+  Json ParseArray() {
+    Expect('[');
+    Json arr = Json::Array();
+    if (Peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      arr.Append(ParseValue());
+      const char c = Peek();
+      ++pos_;
+      if (c == ']') return arr;
+      if (c != ',') Fail("expected ',' or ']'");
+    }
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) Fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) Fail("unterminated escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) Fail("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else Fail("bad \\u escape");
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs unsupported
+          // — our exporters never emit them).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: Fail("bad escape");
+      }
+    }
+  }
+
+  Json ParseNumber() {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool is_double = false;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string_view tok = text_.substr(start, pos_ - start);
+    if (tok.empty() || tok == "-") Fail("bad number");
+    if (!is_double) {
+      int64_t v = 0;
+      auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+      if (ec == std::errc() && p == tok.data() + tok.size()) {
+        return Json::Int(v);
+      }
+    }
+    double d = 0;
+    auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), d);
+    if (ec != std::errc() || p != tok.data() + tok.size()) Fail("bad number");
+    return Json::Double(d);
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::Parse(std::string_view text) {
+  return Parser(text).ParseDocument();
+}
+
+}  // namespace sdelta::obs

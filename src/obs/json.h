@@ -1,0 +1,73 @@
+#ifndef SDELTA_OBS_JSON_H_
+#define SDELTA_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sdelta::obs {
+
+/// A minimal JSON document: build, serialize, parse. Exists so the
+/// exporters and the BENCH_*.json merge-writer need no third-party
+/// dependency. Objects preserve insertion order (the exporters insert
+/// keys in sorted/deterministic order themselves), and serialization is
+/// byte-deterministic for identical documents, which the golden-file
+/// tests rely on.
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+  using Member = std::pair<std::string, Json>;
+
+  Json() : kind_(Kind::kNull) {}
+  static Json Bool(bool b);
+  static Json Int(int64_t i);
+  static Json Double(double d);
+  static Json Str(std::string s);
+  static Json Array();
+  static Json Object();
+
+  Kind kind() const { return kind_; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+
+  bool as_bool() const;
+  int64_t as_int() const;     ///< kInt, or kDouble with integral value
+  double as_double() const;   ///< kInt or kDouble
+  const std::string& as_string() const;
+  const std::vector<Json>& items() const;        ///< array elements
+  std::vector<Json>& items_mutable();
+  const std::vector<Member>& members() const;    ///< object members
+
+  /// Array append / object set (replaces an existing key).
+  void Append(Json value);
+  void Set(std::string_view key, Json value);
+  /// Object lookup; nullptr when absent or not an object.
+  const Json* Find(std::string_view key) const;
+  Json* FindMutable(std::string_view key);
+
+  /// Serializes. indent < 0: compact one-line form; indent >= 0: pretty
+  /// with that many spaces per level. Doubles print via shortest
+  /// round-trip (std::to_chars), so dumps are stable across runs.
+  std::string Dump(int indent = -1) const;
+
+  /// Parses a complete JSON document; throws std::runtime_error with a
+  /// byte offset on malformed input.
+  static Json Parse(std::string_view text);
+
+ private:
+  void DumpTo(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0;
+  std::string string_;
+  std::vector<Json> items_;
+  std::vector<Member> members_;
+};
+
+}  // namespace sdelta::obs
+
+#endif  // SDELTA_OBS_JSON_H_

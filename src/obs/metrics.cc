@@ -1,0 +1,17 @@
+#include "obs/metrics.h"
+
+namespace sdelta::obs {
+
+void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
+  for (const auto& [name, v] : other.counters_) Find(counters_, name) += v;
+  for (const auto& [name, v] : other.gauges_) Find(gauges_, name) = v;
+  for (const auto& [name, h] : other.histograms_) {
+    Histogram& mine = Find(histograms_, name);
+    mine.count += h.count;
+    mine.sum += h.sum;
+    if (h.min < mine.min) mine.min = h.min;
+    if (h.max > mine.max) mine.max = h.max;
+  }
+}
+
+}  // namespace sdelta::obs

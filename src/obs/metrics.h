@@ -1,0 +1,110 @@
+#ifndef SDELTA_OBS_METRICS_H_
+#define SDELTA_OBS_METRICS_H_
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace sdelta::obs {
+
+/// Accumulated distribution of observed values (timings, cardinalities).
+/// Summary statistics only — enough for the JSON export and for benches
+/// to report means; full bucketing would buy little at our scales.
+struct Histogram {
+  uint64_t count = 0;
+  double sum = 0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+
+  void Observe(double v) {
+    ++count;
+    sum += v;
+    if (v < min) min = v;
+    if (v > max) max = v;
+  }
+  double Mean() const { return count == 0 ? 0 : sum / static_cast<double>(count); }
+};
+
+/// A registry of named counters, gauges, and histograms.
+///
+/// Naming convention: dotted lower-case paths, subsystem first —
+///   propagate.rows_scanned, propagate.delta_rows, refresh.updates,
+///   refresh.minmax_recomputes, plan.edge_cost, answer.view_hits, ...
+/// The same name must always be used with the same instrument kind.
+///
+/// The registry is passed around as a nullable pointer; every
+/// instrumentation site guards with a single null check, so the
+/// disabled path costs one branch. Maps are ordered so exports are
+/// deterministic.
+class MetricsRegistry {
+ public:
+  /// Counter: monotonically increasing event count.
+  void Add(std::string_view name, uint64_t delta = 1) {
+    Find(counters_, name) += delta;
+  }
+
+  /// Gauge: last-written value (e.g. the most recent batch's seconds).
+  void Set(std::string_view name, double value) {
+    Find(gauges_, name) = value;
+  }
+
+  /// Histogram: accumulate a value distribution.
+  void Observe(std::string_view name, double value) {
+    Find(histograms_, name).Observe(value);
+  }
+
+  /// Reads return the zero value for names never written.
+  uint64_t counter(std::string_view name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+  double gauge(std::string_view name) const {
+    auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0 : it->second;
+  }
+  Histogram histogram(std::string_view name) const {
+    auto it = histograms_.find(name);
+    return it == histograms_.end() ? Histogram{} : it->second;
+  }
+
+  template <typename V>
+  using Series = std::map<std::string, V, std::less<>>;
+
+  const Series<uint64_t>& counters() const { return counters_; }
+  const Series<double>& gauges() const { return gauges_; }
+  const Series<Histogram>& histograms() const { return histograms_; }
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+  void Clear() {
+    counters_.clear();
+    gauges_.clear();
+    histograms_.clear();
+  }
+
+  /// Folds another registry's series into this one (counters add,
+  /// gauges overwrite, histograms merge) — used to aggregate per-worker
+  /// registries once parallel maintenance lands.
+  void MergeFrom(const MetricsRegistry& other);
+
+ private:
+  template <typename V>
+  static V& Find(Series<V>& series, std::string_view name) {
+    auto it = series.find(name);
+    if (it == series.end()) {
+      it = series.emplace(std::string(name), V{}).first;
+    }
+    return it->second;
+  }
+
+  Series<uint64_t> counters_;
+  Series<double> gauges_;
+  Series<Histogram> histograms_;
+};
+
+}  // namespace sdelta::obs
+
+#endif  // SDELTA_OBS_METRICS_H_

@@ -1,0 +1,48 @@
+#include "obs/trace.h"
+
+#include <stdexcept>
+
+namespace sdelta::obs {
+
+uint64_t Tracer::BeginSpan(std::string_view name) {
+  return BeginSpan(name, CurrentSpan());
+}
+
+uint64_t Tracer::BeginSpan(std::string_view name, uint64_t parent_id) {
+  SpanRecord span;
+  span.id = spans_.size() + 1;
+  span.parent_id = parent_id;
+  span.name = std::string(name);
+  span.start_ns = NowNs();
+  spans_.push_back(std::move(span));
+  stack_.push_back(spans_.back().id);
+  return spans_.back().id;
+}
+
+void Tracer::EndSpan(uint64_t id) {
+  if (id == 0 || id > spans_.size()) {
+    throw std::logic_error("Tracer::EndSpan: unknown span id");
+  }
+  if (stack_.empty() || stack_.back() != id) {
+    throw std::logic_error("Tracer::EndSpan: spans must close in LIFO order (" +
+                           spans_[id - 1].name + ")");
+  }
+  stack_.pop_back();
+  spans_[id - 1].end_ns = NowNs();
+}
+
+void Tracer::AddAttribute(uint64_t id, std::string_view key,
+                          std::string_view value) {
+  if (id == 0 || id > spans_.size()) {
+    throw std::logic_error("Tracer::AddAttribute: unknown span id");
+  }
+  spans_[id - 1].attributes.emplace_back(std::string(key), std::string(value));
+}
+
+void Tracer::Clear() {
+  spans_.clear();
+  stack_.clear();
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+}  // namespace sdelta::obs

@@ -1,0 +1,117 @@
+#ifndef SDELTA_OBS_TRACE_H_
+#define SDELTA_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sdelta::obs {
+
+/// One completed (or still-open) span. Times are nanoseconds relative to
+/// the tracer's epoch (steady clock), so traces are monotonic and
+/// trivially rebased to zero for deterministic export.
+struct SpanRecord {
+  uint64_t id = 0;         ///< 1-based; 0 means "no span"
+  uint64_t parent_id = 0;  ///< 0 for roots
+  std::string name;
+  uint64_t start_ns = 0;
+  uint64_t end_ns = 0;  ///< 0 while the span is still open
+  std::vector<std::pair<std::string, std::string>> attributes;
+
+  double duration_seconds() const {
+    return end_ns < start_ns ? 0 : static_cast<double>(end_ns - start_ns) * 1e-9;
+  }
+};
+
+/// Collects a tree of timed spans. Parentage defaults to the innermost
+/// open span (a stack, matching RAII nesting) but can be overridden per
+/// span — the propagate plan parents each step on its *source view's*
+/// span, which may have closed already, mirroring the D-lattice rather
+/// than the call stack.
+///
+/// Like MetricsRegistry, a Tracer is passed as a nullable pointer; use
+/// TraceSpan for null-safe RAII scoping.
+class Tracer {
+ public:
+  Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+  /// Opens a span; parent = innermost open span (0 if none).
+  uint64_t BeginSpan(std::string_view name);
+  /// Opens a span with an explicit parent id (0 = root). The span still
+  /// joins the open-span stack so nested RAII spans attach beneath it.
+  uint64_t BeginSpan(std::string_view name, uint64_t parent_id);
+  /// Closes the span. Spans must close innermost-first (RAII order).
+  void EndSpan(uint64_t id);
+  void AddAttribute(uint64_t id, std::string_view key, std::string_view value);
+
+  /// All spans, in start order. Open spans have end_ns == 0.
+  const std::vector<SpanRecord>& spans() const { return spans_; }
+  /// Innermost open span id, 0 if none.
+  uint64_t CurrentSpan() const { return stack_.empty() ? 0 : stack_.back(); }
+  void Clear();
+
+ private:
+  uint64_t NowNs() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<SpanRecord> spans_;
+  std::vector<uint64_t> stack_;  ///< open span ids, outermost first
+};
+
+/// RAII span scope that tolerates a null tracer: every member is a
+/// single null check when tracing is disabled.
+class TraceSpan {
+ public:
+  TraceSpan(Tracer* tracer, std::string_view name) : tracer_(tracer) {
+    if (tracer_ != nullptr) id_ = tracer_->BeginSpan(name);
+  }
+  TraceSpan(Tracer* tracer, std::string_view name, uint64_t parent_id)
+      : tracer_(tracer) {
+    if (tracer_ != nullptr) id_ = tracer_->BeginSpan(name, parent_id);
+  }
+  ~TraceSpan() {
+    if (tracer_ != nullptr) tracer_->EndSpan(id_);
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  void Attr(std::string_view key, std::string_view value) {
+    if (tracer_ != nullptr) tracer_->AddAttribute(id_, key, value);
+  }
+  // Without this overload a string-literal value would pick the bool
+  // overload (pointer->bool is a standard conversion; ->string_view is
+  // user-defined).
+  void Attr(std::string_view key, const char* value) {
+    if (tracer_ != nullptr) tracer_->AddAttribute(id_, key, value);
+  }
+  void Attr(std::string_view key, uint64_t value) {
+    if (tracer_ != nullptr) {
+      tracer_->AddAttribute(id_, key, std::to_string(value));
+    }
+  }
+  void Attr(std::string_view key, bool value) {
+    if (tracer_ != nullptr) {
+      tracer_->AddAttribute(id_, key, value ? "true" : "false");
+    }
+  }
+
+  /// This span's id (0 when tracing is disabled) — pass as an explicit
+  /// parent to spans opened after this one closes.
+  uint64_t id() const { return id_; }
+
+ private:
+  Tracer* tracer_;
+  uint64_t id_ = 0;
+};
+
+}  // namespace sdelta::obs
+
+#endif  // SDELTA_OBS_TRACE_H_

@@ -53,6 +53,7 @@ void Warehouse::DropSummaryTable(const std::string& name) {
 }
 
 void Warehouse::Rebuild(bool materialize) {
+  obs::TraceSpan span(options_.tracer, "warehouse.Rebuild");
   std::vector<core::ViewDef> defs =
       options_.lattice_friendly
           ? lattice::MakeLatticeFriendly(catalog_, defined_views_)
@@ -68,8 +69,11 @@ void Warehouse::Rebuild(bool materialize) {
   summaries_.clear();
 
   lattice_ = lattice::BuildVLattice(catalog_, std::move(augmented));
-  plan_ = lattice::ChoosePlan(catalog_, lattice_,
-                              lattice::PlanOptions{options_.use_lattice});
+  lattice::PlanOptions plan_options;
+  plan_options.use_lattice = options_.use_lattice;
+  plan_options.tracer = options_.tracer;
+  plan_options.metrics = options_.metrics;
+  plan_ = lattice::ChoosePlan(catalog_, lattice_, plan_options);
   summaries_.reserve(lattice_.views.size());
   for (const core::AugmentedView& v : lattice_.views) {
     summaries_.emplace_back(v, catalog_);
@@ -116,70 +120,132 @@ core::SummaryTable& Warehouse::summary_mutable(const std::string& name) {
 }
 
 BatchReport Warehouse::RunBatch(const core::ChangeSet& changes) {
+  // The pipeline always writes into a registry — the caller's when one
+  // is attached, else a batch-local scratch — and the report is read
+  // back out of it, so there is exactly one set of counters.
+  obs::MetricsRegistry scratch;
+  obs::MetricsRegistry& m =
+      options_.metrics != nullptr ? *options_.metrics : scratch;
+  obs::Tracer* tracer = options_.tracer;
+
+  core::PropagateOptions popts = options_.propagate;
+  popts.tracer = tracer;
+  popts.metrics = &m;
+  core::RefreshOptions ropts = options_.refresh;
+  ropts.tracer = tracer;
+  ropts.metrics = &m;
+
+  // A shared registry accumulates across batches; the report is the
+  // delta over this batch.
+  const uint64_t scanned0 = m.counter("propagate.rows_scanned");
+  const uint64_t delta0 = m.counter("propagate.delta_rows");
+  const uint64_t preagg0 = m.counter("propagate.preaggregated");
+
+  obs::TraceSpan batch(tracer, "warehouse.RunBatch");
   BatchReport report;
 
   core::Stopwatch sw;
-  lattice::LatticePropagateResult deltas = lattice::PropagateAll(
-      catalog_, lattice_, plan_, changes, options_.propagate);
-  report.propagate_seconds = sw.ElapsedSeconds();
-  report.propagate = deltas.totals;
+  lattice::LatticePropagateResult deltas =
+      lattice::PropagateAll(catalog_, lattice_, plan_, changes, popts);
+  m.Set("batch.propagate_seconds", sw.ElapsedSeconds());
 
   sw.Reset();
-  core::ApplyChangeSet(catalog_, changes);
-  report.apply_base_seconds = sw.ElapsedSeconds();
-
-  sw.Reset();
-  for (size_t i = 0; i < summaries_.size(); ++i) {
-    ViewBatchReport vr;
-    vr.view = summaries_[i].name();
-    vr.delta_rows = deltas.deltas[i].NumRows();
-    vr.refresh = core::Refresh(catalog_, summaries_[i], deltas.deltas[i],
-                               options_.refresh);
-    report.views.push_back(std::move(vr));
+  {
+    obs::TraceSpan apply(tracer, "batch.apply_base");
+    core::ApplyChangeSet(catalog_, changes);
   }
-  report.refresh_seconds = sw.ElapsedSeconds();
+  m.Set("batch.apply_base_seconds", sw.ElapsedSeconds());
+
+  sw.Reset();
+  {
+    obs::TraceSpan refresh_phase(tracer, "refresh");
+    for (size_t i = 0; i < summaries_.size(); ++i) {
+      ViewBatchReport vr;
+      vr.view = summaries_[i].name();
+      vr.delta_rows = deltas.deltas[i].NumRows();
+      vr.refresh =
+          core::Refresh(catalog_, summaries_[i], deltas.deltas[i], ropts);
+      report.views.push_back(std::move(vr));
+    }
+  }
+  m.Set("batch.refresh_seconds", sw.ElapsedSeconds());
+
+  report.propagate_seconds = m.gauge("batch.propagate_seconds");
+  report.apply_base_seconds = m.gauge("batch.apply_base_seconds");
+  report.refresh_seconds = m.gauge("batch.refresh_seconds");
+  report.propagate.prepared_tuples =
+      m.counter("propagate.rows_scanned") - scanned0;
+  report.propagate.delta_groups = m.counter("propagate.delta_rows") - delta0;
+  report.propagate.preaggregated =
+      m.counter("propagate.preaggregated") > preagg0;
+  m.Observe("batch.maintenance_seconds", report.maintenance_seconds());
   return report;
 }
 
 double Warehouse::PropagateOnly(const core::ChangeSet& changes,
                                 core::PropagateStats* stats) const {
+  core::PropagateOptions popts = options_.propagate;
+  popts.tracer = options_.tracer;
+  popts.metrics = options_.metrics;
+  obs::TraceSpan span(options_.tracer, "warehouse.PropagateOnly");
   core::Stopwatch sw;
-  lattice::LatticePropagateResult deltas = lattice::PropagateAll(
-      catalog_, lattice_, plan_, changes, options_.propagate);
+  lattice::LatticePropagateResult deltas =
+      lattice::PropagateAll(catalog_, lattice_, plan_, changes, popts);
   const double elapsed = sw.ElapsedSeconds();
+  if (options_.metrics != nullptr) {
+    options_.metrics->Observe("propagate.seconds", elapsed);
+  }
   if (stats != nullptr) *stats = deltas.totals;
   return elapsed;
 }
 
 double Warehouse::RematerializeAll(const core::ChangeSet& changes) {
-  core::ApplyChangeSet(catalog_, changes);
+  obs::TraceSpan span(options_.tracer, "warehouse.RematerializeAll");
+  {
+    obs::TraceSpan apply(options_.tracer, "batch.apply_base");
+    core::ApplyChangeSet(catalog_, changes);
+  }
   core::Stopwatch sw;
-  if (!options_.use_lattice) {
-    for (core::SummaryTable& s : summaries_) {
-      core::Rematerialize(catalog_, s);
+  const double elapsed = [&] {
+    if (!options_.use_lattice) {
+      for (core::SummaryTable& s : summaries_) {
+        obs::TraceSpan step(options_.tracer, s.name());
+        step.Attr("source", "base");
+        core::Rematerialize(catalog_, s);
+      }
+      return sw.ElapsedSeconds();
+    }
+    // Recompute along the plan: tops from base, children from their
+    // parent's fresh rows via the V-lattice edge query (Theorem 5.1).
+    for (const lattice::PlanStep& step : plan_.steps) {
+      obs::TraceSpan step_span(options_.tracer,
+                               summaries_[step.view].name());
+      if (step.edge.has_value()) {
+        const lattice::VLatticeEdge& edge = lattice_.edges[*step.edge];
+        step_span.Attr("source", summaries_[edge.parent].name());
+        core::RematerializeFromParent(catalog_, edge.recipe,
+                                      summaries_[edge.parent].ToTable(),
+                                      summaries_[step.view]);
+      } else {
+        step_span.Attr("source", "base");
+        core::Rematerialize(catalog_, summaries_[step.view]);
+      }
     }
     return sw.ElapsedSeconds();
+  }();
+  if (options_.metrics != nullptr) {
+    options_.metrics->Add("rematerialize.runs");
+    options_.metrics->Observe("rematerialize.seconds", elapsed);
   }
-  // Recompute along the plan: tops from base, children from their
-  // parent's fresh rows via the V-lattice edge query (Theorem 5.1).
-  for (const lattice::PlanStep& step : plan_.steps) {
-    if (step.edge.has_value()) {
-      const lattice::VLatticeEdge& edge = lattice_.edges[*step.edge];
-      core::RematerializeFromParent(catalog_, edge.recipe,
-                                    summaries_[edge.parent].ToTable(),
-                                    summaries_[step.view]);
-    } else {
-      core::Rematerialize(catalog_, summaries_[step.view]);
-    }
-  }
-  return sw.ElapsedSeconds();
+  return elapsed;
 }
 
 lattice::AnswerResult Warehouse::Query(const core::ViewDef& query) const {
   std::vector<const core::SummaryTable*> summaries;
   summaries.reserve(summaries_.size());
   for (const core::SummaryTable& s : summaries_) summaries.push_back(&s);
-  return lattice::AnswerQuery(catalog_, lattice_, summaries, query);
+  return lattice::AnswerQuery(catalog_, lattice_, summaries, query,
+                              options_.tracer, options_.metrics);
 }
 
 lattice::AnswerResult Warehouse::Query(const std::string& sql) const {

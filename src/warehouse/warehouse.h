@@ -10,6 +10,8 @@
 #include "lattice/answer.h"
 #include "lattice/plan.h"
 #include "lattice/vlattice.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "relational/catalog.h"
 
 namespace sdelta::warehouse {
@@ -24,6 +26,10 @@ struct ViewBatchReport {
 /// Timing split for one nightly batch (paper §6): propagate runs while
 /// the warehouse is still answering queries; apply-base + refresh are
 /// the batch window during which readers are locked out.
+///
+/// The batch-level numbers are *derived from* the obs::MetricsRegistry
+/// the pipeline writes to (the caller's via Options::metrics, or a
+/// batch-local scratch registry) — RunBatch keeps no parallel counters.
 struct BatchReport {
   double propagate_seconds = 0;
   double apply_base_seconds = 0;
@@ -57,6 +63,12 @@ class Warehouse {
     bool use_lattice = true;
     core::PropagateOptions propagate;
     core::RefreshOptions refresh;
+    /// Observability sinks (src/obs/), threaded through every pipeline
+    /// stage (plan choice, propagate, refresh, answer). Null = disabled;
+    /// the off path costs one branch per instrumentation site. Dump a
+    /// captured trace with obs::WriteChromeTrace / obs::ExportJson.
+    obs::Tracer* tracer = nullptr;
+    obs::MetricsRegistry* metrics = nullptr;
   };
 
   explicit Warehouse(rel::Catalog catalog) : Warehouse(std::move(catalog), Options()) {}

@@ -55,6 +55,7 @@ TEST(MinMaxTest, DeletingTheMinimumForcesRecompute) {
   changes.fact.deletions.Insert(PosRow(2, 20, 2, 1));
   RefreshStats stats = Cycle(c, st, changes);
   EXPECT_EQ(stats.recomputed_groups, 1u);
+  EXPECT_EQ(stats.minmax_recomputes, 1u);
   EXPECT_GT(stats.recompute_scan_rows, 0u);
 
   const rel::Row* row = st.Find({Value::Int64(2), Value::String("toys")});
@@ -98,6 +99,7 @@ TEST(MinMaxTest, DeletingNonExtremeValueUpdatesInPlace) {
   del.fact.deletions.Insert(PosRow(2, 20, 3, 4));  // middle value 3
   RefreshStats stats = Cycle(c, st, del);
   EXPECT_EQ(stats.recomputed_groups, 0u);
+  EXPECT_EQ(stats.minmax_recomputes, 0u);
   EXPECT_EQ(stats.updated, 1u);
   const rel::Row* row = st.Find({Value::Int64(2), Value::String("toys")});
   ASSERT_NE(row, nullptr);
@@ -120,6 +122,7 @@ TEST(MinMaxTest, InsertionBelowMinCombinesByDefaultRecomputesInPaperMode) {
     ropts.trust_untainted_minmax = trust;
     RefreshStats stats = Cycle(c, st, changes, ropts);
     EXPECT_EQ(stats.recomputed_groups, trust ? 0u : 1u);
+    EXPECT_EQ(stats.minmax_recomputes, trust ? 0u : 1u);
     const rel::Row* row = st.Find({Value::Int64(2), Value::String("toys")});
     ASSERT_NE(row, nullptr);
     EXPECT_EQ((*row)[st.schema().Resolve("EarliestSale")].as_int64(), 1);
@@ -161,6 +164,7 @@ TEST(MinMaxTest, UntaintedInsertionBeyondExtremumCombinesInPlace) {
   changes.fact.insertions.Insert(PosRow(2, 20, 1, 2));   // below min 2
   RefreshStats stats = Cycle(c, st, changes);
   EXPECT_EQ(stats.recomputed_groups, 0u);
+  EXPECT_EQ(stats.minmax_recomputes, 0u);
   EXPECT_EQ(stats.recompute_scan_rows, 0u);
   EXPECT_EQ(stats.updated, 1u);
   const rel::Row* row = st.Find({Value::Int64(2), Value::String("toys")});
@@ -182,6 +186,7 @@ TEST(MinMaxTest, TaintedGroupStillRecomputesInDefaultMode) {
   changes.fact.deletions.Insert(PosRow(2, 20, 2, 1));  // delete the min
   RefreshStats stats = Cycle(c, st, changes);
   EXPECT_EQ(stats.recomputed_groups, 1u);
+  EXPECT_EQ(stats.minmax_recomputes, 1u);
   const rel::Row* row = st.Find({Value::Int64(2), Value::String("toys")});
   ASSERT_NE(row, nullptr);
   EXPECT_EQ((*row)[st.schema().Resolve("EarliestSale")].as_int64(), 3);
@@ -237,6 +242,7 @@ TEST(MinMaxTest, MergeStrategyRecomputesToo) {
   ropts.strategy = RefreshStrategy::kMerge;
   RefreshStats stats = Cycle(c, st, changes, ropts);
   EXPECT_EQ(stats.recomputed_groups, 1u);
+  EXPECT_EQ(stats.minmax_recomputes, 1u);
   const rel::Row* row = st.Find({Value::Int64(2), Value::String("toys")});
   ASSERT_NE(row, nullptr);
   EXPECT_EQ((*row)[st.schema().Resolve("EarliestSale")].as_int64(), 3);

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "obs/export_chrome.h"
+#include "obs/export_json.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace sdelta::obs {
+namespace {
+
+/// A tiny fixed workload: one root span with an attribute and a child,
+/// plus one of each instrument kind.
+void RunWorkload(Tracer& t, MetricsRegistry& m) {
+  TraceSpan root(&t, "root");
+  root.Attr("view", "SID_sales");
+  {
+    TraceSpan child(&t, "child");
+  }
+  m.Add("a.counter", 3);
+  m.Set("b.gauge", 0.5);
+  m.Observe("c.hist", 2.0);
+  m.Observe("c.hist", 4.0);
+}
+
+TEST(ExportJsonTest, GoldenSchema) {
+  // The exported document — after zeroing wall-clock fields — must be
+  // byte-for-byte this golden string: the schema is deterministic.
+  Tracer t;
+  MetricsRegistry m;
+  RunWorkload(t, m);
+
+  Json doc = Json::Parse(ExportJson(&m, &t));
+  NormalizeSpanTimes(doc);
+  EXPECT_EQ(
+      doc.Dump(),
+      "{\"schema\":\"sdelta.obs.v1\","
+      "\"metrics\":{"
+      "\"counters\":{\"a.counter\":3},"
+      "\"gauges\":{\"b.gauge\":0.5},"
+      "\"histograms\":{\"c.hist\":"
+      "{\"count\":2,\"sum\":6,\"min\":2,\"max\":4,\"mean\":3}}},"
+      "\"spans\":["
+      "{\"id\":1,\"parent\":0,\"name\":\"root\",\"start_us\":0,"
+      "\"dur_us\":0,\"attrs\":{\"view\":\"SID_sales\"}},"
+      "{\"id\":2,\"parent\":1,\"name\":\"child\",\"start_us\":0,"
+      "\"dur_us\":0,\"attrs\":{}}]}");
+}
+
+TEST(ExportJsonTest, TwoRunsNormalizeIdentically) {
+  auto run = [] {
+    Tracer t;
+    MetricsRegistry m;
+    RunWorkload(t, m);
+    Json doc = Json::Parse(ExportJson(&m, &t));
+    NormalizeSpanTimes(doc);
+    return doc.Dump(2);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(ExportJsonTest, SectionsAreOptional) {
+  MetricsRegistry m;
+  m.Add("x");
+  Json metrics_only = Json::Parse(ExportJson(&m, nullptr));
+  EXPECT_NE(metrics_only.Find("metrics"), nullptr);
+  EXPECT_EQ(metrics_only.Find("spans"), nullptr);
+
+  Tracer t;
+  t.EndSpan(t.BeginSpan("s"));
+  Json spans_only = Json::Parse(ExportJson(nullptr, &t));
+  EXPECT_EQ(spans_only.Find("metrics"), nullptr);
+  ASSERT_NE(spans_only.Find("spans"), nullptr);
+  EXPECT_EQ(spans_only.Find("spans")->items().size(), 1u);
+}
+
+TEST(ExportJsonTest, RebaseMakesFirstSpanStartAtZero) {
+  Tracer t;
+  t.EndSpan(t.BeginSpan("s"));
+  Json spans = SpansToJson(t, /*rebase_timestamps=*/true);
+  ASSERT_EQ(spans.items().size(), 1u);
+  EXPECT_EQ(spans.items()[0].Find("start_us")->as_int(), 0);
+}
+
+TEST(ChromeTraceTest, EventsCarrySpanTreeInArgs) {
+  Tracer t;
+  const uint64_t phase = t.BeginSpan("propagate");
+  const uint64_t parent = t.BeginSpan("SID_sales");
+  t.AddAttribute(parent, "source", "base");
+  t.EndSpan(parent);
+  const uint64_t child = t.BeginSpan("sR_sales", parent);
+  t.EndSpan(child);
+  t.EndSpan(phase);
+
+  Json doc = Json::Parse(ExportChromeTrace(t));
+  EXPECT_EQ(doc.Find("displayTimeUnit")->as_string(), "ms");
+  const std::vector<Json>& events = doc.Find("traceEvents")->items();
+  ASSERT_EQ(events.size(), 3u);
+  for (const Json& e : events) {
+    EXPECT_EQ(e.Find("ph")->as_string(), "X");
+    EXPECT_EQ(e.Find("cat")->as_string(), "sdelta");
+    EXPECT_NE(e.Find("ts"), nullptr);
+    EXPECT_NE(e.Find("dur"), nullptr);
+  }
+  // The D-lattice parent (closed before the child started) survives in
+  // args, both as an id and as a resolved name.
+  const Json& sr = events[2];
+  EXPECT_EQ(sr.Find("name")->as_string(), "sR_sales");
+  const Json* args = sr.Find("args");
+  ASSERT_NE(args, nullptr);
+  EXPECT_EQ(args->Find("parent_id")->as_int(),
+            static_cast<int64_t>(parent));
+  EXPECT_EQ(args->Find("parent")->as_string(), "SID_sales");
+  EXPECT_EQ(events[1].Find("args")->Find("source")->as_string(), "base");
+}
+
+TEST(MergeBenchJsonTest, UpsertsByKeyAndSortsDeterministically) {
+  const std::string path =
+      ::testing::TempDir() + "/sdelta_bench_merge_test.json";
+  std::remove(path.c_str());
+
+  auto entry = [](const std::string& series, int64_t n, double ms) {
+    Json e = Json::Object();
+    e.Set("series", Json::Str(series));
+    e.Set("n", Json::Int(n));
+    e.Set("ms", Json::Double(ms));
+    return e;
+  };
+
+  MergeBenchJson(path, "demo", {"series", "n"},
+                 {entry("b", 1, 10.0), entry("a", 2, 20.0)});
+  std::string contents;
+  ASSERT_TRUE(ReadFile(path, contents));
+  Json doc = Json::Parse(contents);
+  EXPECT_EQ(doc.Find("schema")->as_string(), "sdelta.bench.v1");
+  EXPECT_EQ(doc.Find("bench")->as_string(), "demo");
+  ASSERT_EQ(doc.Find("entries")->items().size(), 2u);
+  // Sorted by key: "a" before "b".
+  EXPECT_EQ(doc.Find("entries")->items()[0].Find("series")->as_string(),
+            "a");
+
+  // Second write: replaces ("b",1), keeps ("a",2), adds ("c",3).
+  MergeBenchJson(path, "demo", {"series", "n"},
+                 {entry("b", 1, 99.0), entry("c", 3, 30.0)});
+  ASSERT_TRUE(ReadFile(path, contents));
+  doc = Json::Parse(contents);
+  const std::vector<Json>& entries = doc.Find("entries")->items();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].Find("series")->as_string(), "a");
+  EXPECT_EQ(entries[1].Find("series")->as_string(), "b");
+  EXPECT_EQ(entries[1].Find("ms")->as_double(), 99.0);
+  EXPECT_EQ(entries[2].Find("series")->as_string(), "c");
+
+  // Identical input -> identical bytes.
+  MergeBenchJson(path, "demo", {"series", "n"}, {});
+  std::string again;
+  ASSERT_TRUE(ReadFile(path, again));
+  EXPECT_EQ(contents, again);
+  std::remove(path.c_str());
+}
+
+TEST(MergeBenchJsonTest, MalformedPreviousFileIsDiscarded) {
+  const std::string path =
+      ::testing::TempDir() + "/sdelta_bench_malformed_test.json";
+  WriteFile(path, "not json at all {");
+  Json e = Json::Object();
+  e.Set("k", Json::Str("v"));
+  MergeBenchJson(path, "demo", {"k"}, {e});
+  std::string contents;
+  ASSERT_TRUE(ReadFile(path, contents));
+  EXPECT_EQ(Json::Parse(contents).Find("entries")->items().size(), 1u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sdelta::obs

@@ -1,0 +1,90 @@
+#include "obs/json.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace sdelta::obs {
+namespace {
+
+TEST(JsonTest, BuildAndDumpCompact) {
+  Json doc = Json::Object();
+  doc.Set("name", Json::Str("sdelta"));
+  doc.Set("n", Json::Int(42));
+  doc.Set("pi", Json::Double(0.5));
+  doc.Set("ok", Json::Bool(true));
+  doc.Set("none", Json());
+  Json arr = Json::Array();
+  arr.Append(Json::Int(1));
+  arr.Append(Json::Int(2));
+  doc.Set("xs", std::move(arr));
+  EXPECT_EQ(doc.Dump(),
+            "{\"name\":\"sdelta\",\"n\":42,\"pi\":0.5,\"ok\":true,"
+            "\"none\":null,\"xs\":[1,2]}");
+}
+
+TEST(JsonTest, ObjectPreservesInsertionOrderAndSetReplaces) {
+  Json doc = Json::Object();
+  doc.Set("z", Json::Int(1));
+  doc.Set("a", Json::Int(2));
+  doc.Set("z", Json::Int(3));  // replaces in place, order unchanged
+  EXPECT_EQ(doc.Dump(), "{\"z\":3,\"a\":2}");
+  ASSERT_NE(doc.Find("a"), nullptr);
+  EXPECT_EQ(doc.Find("a")->as_int(), 2);
+  EXPECT_EQ(doc.Find("missing"), nullptr);
+}
+
+TEST(JsonTest, StringEscaping) {
+  Json s = Json::Str("a\"b\\c\nd\te\x01");
+  EXPECT_EQ(s.Dump(), "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+}
+
+TEST(JsonTest, ParseRoundTrip) {
+  const std::string text =
+      "{\"schema\":\"sdelta.obs.v1\",\"xs\":[1,-2,0.5,true,false,null],"
+      "\"nested\":{\"k\":\"v\"},\"empty_obj\":{},\"empty_arr\":[]}";
+  Json doc = Json::Parse(text);
+  EXPECT_EQ(doc.Dump(), text);  // dump(parse(x)) == x for canonical input
+  EXPECT_EQ(doc.Find("schema")->as_string(), "sdelta.obs.v1");
+  const std::vector<Json>& xs = doc.Find("xs")->items();
+  ASSERT_EQ(xs.size(), 6u);
+  EXPECT_EQ(xs[0].as_int(), 1);
+  EXPECT_EQ(xs[1].as_int(), -2);
+  EXPECT_EQ(xs[2].as_double(), 0.5);
+  EXPECT_TRUE(xs[3].as_bool());
+  EXPECT_EQ(xs[5].kind(), Json::Kind::kNull);
+}
+
+TEST(JsonTest, ParseWhitespaceAndUnicodeEscapes) {
+  Json doc = Json::Parse("  { \"k\" : \"caf\\u00e9\" , \"n\" : 1e2 }  ");
+  EXPECT_EQ(doc.Find("k")->as_string(), "caf\xc3\xa9");
+  EXPECT_EQ(doc.Find("n")->as_double(), 100.0);
+}
+
+TEST(JsonTest, ParseErrorsCarryOffset) {
+  EXPECT_THROW(Json::Parse("{\"k\": }"), std::runtime_error);
+  EXPECT_THROW(Json::Parse("[1, 2"), std::runtime_error);
+  EXPECT_THROW(Json::Parse("{} trailing"), std::runtime_error);
+  EXPECT_THROW(Json::Parse(""), std::runtime_error);
+}
+
+TEST(JsonTest, PrettyPrintIsStable) {
+  Json doc = Json::Object();
+  doc.Set("a", Json::Int(1));
+  Json arr = Json::Array();
+  arr.Append(Json::Str("x"));
+  doc.Set("b", std::move(arr));
+  EXPECT_EQ(doc.Dump(2),
+            "{\n  \"a\": 1,\n  \"b\": [\n    \"x\"\n  ]\n}");
+}
+
+TEST(JsonTest, KindMismatchThrows) {
+  Json i = Json::Int(1);
+  EXPECT_THROW(i.as_string(), std::runtime_error);
+  EXPECT_THROW(i.items(), std::runtime_error);
+  Json arr = Json::Array();
+  EXPECT_THROW(arr.Set("k", Json::Int(1)), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sdelta::obs

@@ -1,0 +1,87 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace sdelta::obs {
+namespace {
+
+TEST(MetricsRegistryTest, CountersAccumulate) {
+  MetricsRegistry m;
+  EXPECT_EQ(m.counter("propagate.rows_scanned"), 0u);  // absent reads zero
+  m.Add("propagate.rows_scanned", 10);
+  m.Add("propagate.rows_scanned", 5);
+  m.Add("propagate.delta_rows");  // default delta 1
+  EXPECT_EQ(m.counter("propagate.rows_scanned"), 15u);
+  EXPECT_EQ(m.counter("propagate.delta_rows"), 1u);
+}
+
+TEST(MetricsRegistryTest, GaugesKeepLastValue) {
+  MetricsRegistry m;
+  EXPECT_EQ(m.gauge("batch.propagate_seconds"), 0.0);
+  m.Set("batch.propagate_seconds", 1.5);
+  m.Set("batch.propagate_seconds", 0.25);
+  EXPECT_EQ(m.gauge("batch.propagate_seconds"), 0.25);
+}
+
+TEST(MetricsRegistryTest, HistogramsTrackDistribution) {
+  MetricsRegistry m;
+  EXPECT_EQ(m.histogram("plan.edge_cost").count, 0u);
+  m.Observe("plan.edge_cost", 4.0);
+  m.Observe("plan.edge_cost", 2.0);
+  m.Observe("plan.edge_cost", 6.0);
+  const Histogram h = m.histogram("plan.edge_cost");
+  EXPECT_EQ(h.count, 3u);
+  EXPECT_EQ(h.sum, 12.0);
+  EXPECT_EQ(h.min, 2.0);
+  EXPECT_EQ(h.max, 6.0);
+  EXPECT_EQ(h.Mean(), 4.0);
+}
+
+TEST(MetricsRegistryTest, SeriesAreSortedByName) {
+  MetricsRegistry m;
+  m.Add("b.second");
+  m.Add("a.first");
+  m.Add("c.third");
+  std::vector<std::string> names;
+  for (const auto& [name, v] : m.counters()) names.push_back(name);
+  EXPECT_EQ(names, (std::vector<std::string>{"a.first", "b.second",
+                                             "c.third"}));
+}
+
+TEST(MetricsRegistryTest, EmptyAndClear) {
+  MetricsRegistry m;
+  EXPECT_TRUE(m.empty());
+  m.Add("x");
+  m.Set("y", 1);
+  m.Observe("z", 1);
+  EXPECT_FALSE(m.empty());
+  m.Clear();
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.counter("x"), 0u);
+}
+
+TEST(MetricsRegistryTest, MergeFromCombinesSeries) {
+  MetricsRegistry a;
+  a.Add("events", 3);
+  a.Set("level", 1.0);
+  a.Observe("cost", 2.0);
+
+  MetricsRegistry b;
+  b.Add("events", 4);
+  b.Add("only_b", 1);
+  b.Set("level", 2.0);
+  b.Observe("cost", 6.0);
+
+  a.MergeFrom(b);
+  EXPECT_EQ(a.counter("events"), 7u);       // counters add
+  EXPECT_EQ(a.counter("only_b"), 1u);
+  EXPECT_EQ(a.gauge("level"), 2.0);         // gauges overwrite
+  const Histogram h = a.histogram("cost");  // histograms merge
+  EXPECT_EQ(h.count, 2u);
+  EXPECT_EQ(h.sum, 8.0);
+  EXPECT_EQ(h.min, 2.0);
+  EXPECT_EQ(h.max, 6.0);
+}
+
+}  // namespace
+}  // namespace sdelta::obs

@@ -1,0 +1,135 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace sdelta::obs {
+namespace {
+
+TEST(TracerTest, StackNestingSetsParents) {
+  Tracer t;
+  const uint64_t outer = t.BeginSpan("outer");
+  const uint64_t inner = t.BeginSpan("inner");
+  EXPECT_EQ(t.CurrentSpan(), inner);
+  t.EndSpan(inner);
+  EXPECT_EQ(t.CurrentSpan(), outer);
+  t.EndSpan(outer);
+  EXPECT_EQ(t.CurrentSpan(), 0u);
+
+  ASSERT_EQ(t.spans().size(), 2u);
+  EXPECT_EQ(t.spans()[0].name, "outer");
+  EXPECT_EQ(t.spans()[0].parent_id, 0u);
+  EXPECT_EQ(t.spans()[1].name, "inner");
+  EXPECT_EQ(t.spans()[1].parent_id, outer);
+}
+
+TEST(TracerTest, SpansRecordedInStartOrderWithMonotonicTimes) {
+  Tracer t;
+  const uint64_t a = t.BeginSpan("a");
+  t.EndSpan(a);
+  const uint64_t b = t.BeginSpan("b");
+  t.EndSpan(b);
+  ASSERT_EQ(t.spans().size(), 2u);
+  EXPECT_LT(a, b);  // ids are issued in start order
+  EXPECT_LE(t.spans()[0].start_ns, t.spans()[1].start_ns);
+  for (const SpanRecord& s : t.spans()) {
+    EXPECT_GE(s.end_ns, s.start_ns);
+    EXPECT_GE(s.duration_seconds(), 0.0);
+  }
+}
+
+TEST(TracerTest, ExplicitParentOfClosedSpan) {
+  // The propagate plan parents a step on its D-lattice source view,
+  // whose span has already closed by the time the step runs.
+  Tracer t;
+  const uint64_t phase = t.BeginSpan("propagate");
+  const uint64_t parent_view = t.BeginSpan("SID_sales");
+  t.EndSpan(parent_view);
+  const uint64_t child_view = t.BeginSpan("sR_sales", parent_view);
+  // The explicit-parent span still joins the stack: nested spans land
+  // beneath it.
+  const uint64_t nested = t.BeginSpan("sd.compute");
+  t.EndSpan(nested);
+  t.EndSpan(child_view);
+  t.EndSpan(phase);
+
+  ASSERT_EQ(t.spans().size(), 4u);
+  EXPECT_EQ(t.spans()[1].parent_id, phase);
+  EXPECT_EQ(t.spans()[2].parent_id, parent_view);
+  EXPECT_EQ(t.spans()[3].parent_id, child_view);
+}
+
+TEST(TracerTest, NonLifoCloseThrows) {
+  Tracer t;
+  const uint64_t outer = t.BeginSpan("outer");
+  t.BeginSpan("inner");
+  EXPECT_THROW(t.EndSpan(outer), std::logic_error);
+}
+
+TEST(TracerTest, AttributesAttachToTheNamedSpan) {
+  Tracer t;
+  const uint64_t id = t.BeginSpan("s");
+  t.AddAttribute(id, "view", "SID_sales");
+  t.AddAttribute(id, "rows", "42");
+  t.EndSpan(id);
+  ASSERT_EQ(t.spans().size(), 1u);
+  const SpanRecord& s = t.spans()[0];
+  ASSERT_EQ(s.attributes.size(), 2u);
+  EXPECT_EQ(s.attributes[0].first, "view");
+  EXPECT_EQ(s.attributes[0].second, "SID_sales");
+  EXPECT_EQ(s.attributes[1].second, "42");
+}
+
+TEST(TracerTest, ClearResetsEverything) {
+  Tracer t;
+  t.EndSpan(t.BeginSpan("s"));
+  t.Clear();
+  EXPECT_TRUE(t.spans().empty());
+  EXPECT_EQ(t.CurrentSpan(), 0u);
+}
+
+TEST(TraceSpanTest, RaiiOpensAndCloses) {
+  Tracer t;
+  {
+    TraceSpan outer(&t, "outer");
+    TraceSpan inner(&t, "inner");
+    inner.Attr("k", "v");
+    inner.Attr("n", static_cast<uint64_t>(7));
+    inner.Attr("flag", true);
+    EXPECT_NE(inner.id(), 0u);
+  }
+  ASSERT_EQ(t.spans().size(), 2u);
+  EXPECT_EQ(t.spans()[1].parent_id, t.spans()[0].id);
+  EXPECT_NE(t.spans()[0].end_ns, 0u);  // both closed by RAII
+  EXPECT_NE(t.spans()[1].end_ns, 0u);
+  ASSERT_EQ(t.spans()[1].attributes.size(), 3u);
+  EXPECT_EQ(t.spans()[1].attributes[1].second, "7");
+  EXPECT_EQ(t.spans()[1].attributes[2].second, "true");
+}
+
+TEST(TraceSpanTest, NullTracerIsANoOp) {
+  TraceSpan span(nullptr, "ignored");
+  span.Attr("k", "v");
+  span.Attr("n", static_cast<uint64_t>(1));
+  span.Attr("b", false);
+  EXPECT_EQ(span.id(), 0u);  // destructor must also tolerate null
+}
+
+TEST(TraceSpanTest, ExplicitParentConstructor) {
+  Tracer t;
+  uint64_t first_id = 0;
+  {
+    TraceSpan first(&t, "first");
+    first_id = first.id();
+  }
+  {
+    TraceSpan second(&t, "second", first_id);
+    EXPECT_NE(second.id(), 0u);
+  }
+  ASSERT_EQ(t.spans().size(), 2u);
+  EXPECT_EQ(t.spans()[1].parent_id, first_id);
+}
+
+}  // namespace
+}  // namespace sdelta::obs
