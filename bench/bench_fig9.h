@@ -24,12 +24,14 @@ inline std::vector<obs::Json>& Fig9Entries() {
 
 inline void AddFig9Entry(const std::string& panel, const std::string& series,
                          size_t pos_rows, size_t change_rows,
-                         double mean_seconds, size_t delta_rows) {
+                         double mean_seconds, size_t delta_rows,
+                         size_t threads = 1) {
   obs::Json e = obs::Json::Object();
   e.Set("panel", obs::Json::Str(panel));
   e.Set("series", obs::Json::Str(series));
   e.Set("pos_rows", obs::Json::Int(static_cast<int64_t>(pos_rows)));
   e.Set("change_rows", obs::Json::Int(static_cast<int64_t>(change_rows)));
+  e.Set("threads", obs::Json::Int(static_cast<int64_t>(threads)));
   e.Set("ms", obs::Json::Double(mean_seconds * 1e3));
   e.Set("delta_rows", obs::Json::Int(static_cast<int64_t>(delta_rows)));
   Fig9Entries().push_back(std::move(e));
@@ -37,7 +39,7 @@ inline void AddFig9Entry(const std::string& panel, const std::string& series,
 
 inline void WriteFig9Json(const std::string& path = "BENCH_fig9.json") {
   obs::MergeBenchJson(path, "fig9",
-                      {"panel", "series", "pos_rows", "change_rows"},
+                      {"panel", "series", "pos_rows", "change_rows", "threads"},
                       Fig9Entries());
 }
 
@@ -55,8 +57,15 @@ inline void WriteFig9Json(const std::string& path = "BENCH_fig9.json") {
 /// |pos| (panels a/c) or |pos| 100k..500k at fixed 10k changes (panels
 /// b/d). `cls` selects update-generating (a/b) vs insertion-generating
 /// (c/d) changes. `panel` tags this binary's rows in BENCH_fig9.json.
+///
+/// The engine-bearing series (Propagate, SummaryDeltaMaint) are
+/// registered once per entry of `thread_counts` (benchmark names get a
+/// "/tN" suffix beyond 1; JSON rows carry a `threads` field). The
+/// baselines (PropagateNoLattice, Rematerialize) stay serial — they
+/// exist to reproduce the paper's serial comparison lines.
 inline void RegisterFig9(const std::string& panel, bool sweep_changes,
-                         ChangeClass cls) {
+                         ChangeClass cls,
+                         const std::vector<size_t>& thread_counts = {1, 4}) {
   constexpr size_t kFixedPos = 500000;
   constexpr size_t kFixedChanges = 10000;
 
@@ -75,32 +84,71 @@ inline void RegisterFig9(const std::string& panel, bool sweep_changes,
     b->UseManualTime()->Unit(benchmark::kMillisecond)->Iterations(2);
   };
 
-  configure(benchmark::RegisterBenchmark(
-      "Propagate", [=](benchmark::State& state) {
-        warehouse::Warehouse& wh = WarehouseCache::Instance().Get(
-            pos_of(state.range(0)), {}, "ro");
-        const core::ChangeSet changes = MakeChanges(
-            wh.catalog(), cls, changes_of(state.range(0)), 1);
-        core::PropagateStats stats;
-        double total = 0;
-        size_t runs = 0;
-        for (auto _ : state) {
-          const double s = wh.PropagateOnly(changes, &stats);
-          state.SetIterationTime(s);
-          total += s;
-          ++runs;
-        }
-        state.counters["delta_rows"] =
-            static_cast<double>(stats.delta_groups);
-        AddFig9Entry(panel, "Propagate", pos_of(state.range(0)),
-                     changes_of(state.range(0)), total / runs,
-                     stats.delta_groups);
-      }));
+  // The serial baselines share the "ro"/"mut" cache entries with the
+  // t=1 engine series, so both must request the same options.
+  warehouse::Warehouse::Options serial_options;
+  serial_options.num_threads = 1;
+
+  for (size_t threads : thread_counts) {
+    warehouse::Warehouse::Options wh_options;
+    wh_options.num_threads = threads;
+    const std::string suffix = threads == 1 ? "" : "/t" + std::to_string(threads);
+    const std::string ro_tag = "ro" + suffix;
+    const std::string mut_tag = "mut" + suffix;
+
+    configure(benchmark::RegisterBenchmark(
+        ("Propagate" + suffix).c_str(), [=](benchmark::State& state) {
+          warehouse::Warehouse& wh = WarehouseCache::Instance().Get(
+              pos_of(state.range(0)), wh_options, ro_tag);
+          const core::ChangeSet changes = MakeChanges(
+              wh.catalog(), cls, changes_of(state.range(0)), 1);
+          core::PropagateStats stats;
+          double total = 0;
+          size_t runs = 0;
+          for (auto _ : state) {
+            const double s = wh.PropagateOnly(changes, &stats);
+            state.SetIterationTime(s);
+            total += s;
+            ++runs;
+          }
+          state.counters["delta_rows"] =
+              static_cast<double>(stats.delta_groups);
+          AddFig9Entry(panel, "Propagate", pos_of(state.range(0)),
+                       changes_of(state.range(0)), total / runs,
+                       stats.delta_groups, threads);
+        }));
+
+    configure(benchmark::RegisterBenchmark(
+        ("SummaryDeltaMaint" + suffix).c_str(), [=](benchmark::State& state) {
+          warehouse::Warehouse& wh = WarehouseCache::Instance().Get(
+              pos_of(state.range(0)), wh_options, mut_tag);
+          uint64_t seed = 1000;
+          double total = 0;
+          double refresh_total = 0;
+          size_t runs = 0;
+          size_t delta_rows = 0;
+          for (auto _ : state) {
+            const core::ChangeSet changes = MakeChanges(
+                wh.catalog(), cls, changes_of(state.range(0)), ++seed);
+            warehouse::BatchReport report = wh.RunBatch(changes);
+            state.SetIterationTime(report.maintenance_seconds());
+            total += report.maintenance_seconds();
+            refresh_total += report.refresh_seconds;
+            delta_rows = report.propagate.delta_groups;
+            ++runs;
+          }
+          state.counters["refresh_ms"] = 1e3 * refresh_total /
+                                         static_cast<double>(runs);
+          AddFig9Entry(panel, "SummaryDeltaMaint", pos_of(state.range(0)),
+                       changes_of(state.range(0)), total / runs, delta_rows,
+                       threads);
+        }));
+  }
 
   configure(benchmark::RegisterBenchmark(
       "PropagateNoLattice", [=](benchmark::State& state) {
         warehouse::Warehouse& wh = WarehouseCache::Instance().Get(
-            pos_of(state.range(0)), {}, "ro");
+            pos_of(state.range(0)), serial_options, "ro");
         const lattice::MaintenancePlan no_lattice = lattice::ChoosePlan(
             wh.catalog(), wh.vlattice(), lattice::PlanOptions{false});
         const core::ChangeSet changes = MakeChanges(
@@ -124,34 +172,9 @@ inline void RegisterFig9(const std::string& panel, bool sweep_changes,
       }));
 
   configure(benchmark::RegisterBenchmark(
-      "SummaryDeltaMaint", [=](benchmark::State& state) {
-        warehouse::Warehouse& wh = WarehouseCache::Instance().Get(
-            pos_of(state.range(0)), {}, "mut");
-        uint64_t seed = 1000;
-        double total = 0;
-        double refresh_total = 0;
-        size_t runs = 0;
-        size_t delta_rows = 0;
-        for (auto _ : state) {
-          const core::ChangeSet changes = MakeChanges(
-              wh.catalog(), cls, changes_of(state.range(0)), ++seed);
-          warehouse::BatchReport report = wh.RunBatch(changes);
-          state.SetIterationTime(report.maintenance_seconds());
-          total += report.maintenance_seconds();
-          refresh_total += report.refresh_seconds;
-          delta_rows = report.propagate.delta_groups;
-          ++runs;
-        }
-        state.counters["refresh_ms"] = 1e3 * refresh_total /
-                                       static_cast<double>(runs);
-        AddFig9Entry(panel, "SummaryDeltaMaint", pos_of(state.range(0)),
-                     changes_of(state.range(0)), total / runs, delta_rows);
-      }));
-
-  configure(benchmark::RegisterBenchmark(
       "Rematerialize", [=](benchmark::State& state) {
         warehouse::Warehouse& wh = WarehouseCache::Instance().Get(
-            pos_of(state.range(0)), {}, "mut");
+            pos_of(state.range(0)), serial_options, "mut");
         uint64_t seed = 5000;
         double total = 0;
         size_t runs = 0;

@@ -1,0 +1,117 @@
+// Parallel-engine scaling: propagate and batch-refresh times at
+// num_threads = 1, 2, 4, 8 on the paper's retail configuration, with
+// speedups relative to the serial engine. Results merge into
+// BENCH_parallel.json.
+//
+// Each entry records host_cpus (std::thread::hardware_concurrency) —
+// speedups are only meaningful up to that bound; on a single-core
+// container every thread count measures the same core plus scheduling
+// overhead, and the recorded speedup will honestly hover around 1×.
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/maintenance.h"
+#include "obs/export_json.h"
+
+namespace sdelta::bench {
+namespace {
+
+constexpr size_t kPosRows = 200000;
+constexpr size_t kChangeRows = 10000;
+constexpr int kReps = 3;
+
+struct Measurement {
+  size_t threads = 1;
+  double propagate_seconds = 0;  // mean over kReps
+  double refresh_seconds = 0;    // mean over kReps RunBatch windows
+  size_t delta_rows = 0;
+};
+
+Measurement MeasureAt(size_t threads, ChangeClass cls) {
+  Measurement m;
+  m.threads = threads;
+  warehouse::Warehouse::Options options;
+  options.num_threads = threads;
+  const std::string tag =
+      (cls == ChangeClass::kUpdate ? "scale_u/t" : "scale_i/t") +
+      std::to_string(threads);
+  warehouse::Warehouse& wh =
+      WarehouseCache::Instance().Get(kPosRows, options, tag);
+
+  // Propagate-only: same change set every rep (read-only, comparable
+  // across thread counts).
+  const core::ChangeSet changes =
+      MakeChanges(wh.catalog(), cls, kChangeRows, 7);
+  core::PropagateStats stats;
+  wh.PropagateOnly(changes, &stats);  // warm-up
+  for (int rep = 0; rep < kReps; ++rep) {
+    m.propagate_seconds += wh.PropagateOnly(changes, &stats) / kReps;
+  }
+  m.delta_rows = stats.delta_groups;
+
+  // Full batches mutate the warehouse; fresh seeds per rep, identical
+  // across thread counts because the warehouses evolve in lockstep.
+  for (int rep = 0; rep < kReps; ++rep) {
+    const core::ChangeSet batch = MakeChanges(
+        wh.catalog(), cls, kChangeRows, 100 + static_cast<uint64_t>(rep));
+    m.refresh_seconds += wh.RunBatch(batch).refresh_seconds / kReps;
+  }
+  return m;
+}
+
+void Run(ChangeClass cls, const char* workload, std::vector<obs::Json>* out) {
+  const std::vector<size_t> thread_counts = {1, 2, 4, 8};
+  std::vector<Measurement> results;
+  for (size_t t : thread_counts) {
+    results.push_back(MeasureAt(t, cls));
+    const Measurement& m = results.back();
+    std::printf("%-10s t=%zu  propagate %8.2f ms  refresh %8.2f ms\n",
+                workload, m.threads, 1e3 * m.propagate_seconds,
+                1e3 * m.refresh_seconds);
+  }
+  const double base_propagate = results.front().propagate_seconds;
+  const double base_refresh = results.front().refresh_seconds;
+  const int64_t host_cpus =
+      static_cast<int64_t>(std::thread::hardware_concurrency());
+  for (const Measurement& m : results) {
+    obs::Json e = obs::Json::Object();
+    e.Set("workload", obs::Json::Str(workload));
+    e.Set("threads", obs::Json::Int(static_cast<int64_t>(m.threads)));
+    e.Set("pos_rows", obs::Json::Int(static_cast<int64_t>(kPosRows)));
+    e.Set("change_rows", obs::Json::Int(static_cast<int64_t>(kChangeRows)));
+    e.Set("propagate_ms", obs::Json::Double(1e3 * m.propagate_seconds));
+    e.Set("refresh_ms", obs::Json::Double(1e3 * m.refresh_seconds));
+    e.Set("propagate_speedup",
+          obs::Json::Double(m.propagate_seconds > 0
+                                ? base_propagate / m.propagate_seconds
+                                : 0));
+    e.Set("refresh_speedup",
+          obs::Json::Double(m.refresh_seconds > 0
+                                ? base_refresh / m.refresh_seconds
+                                : 0));
+    e.Set("delta_rows", obs::Json::Int(static_cast<int64_t>(m.delta_rows)));
+    e.Set("host_cpus", obs::Json::Int(host_cpus));
+    out->push_back(std::move(e));
+  }
+}
+
+}  // namespace
+}  // namespace sdelta::bench
+
+int main() {
+  using namespace sdelta::bench;
+  std::vector<sdelta::obs::Json> entries;
+  Run(ChangeClass::kUpdate, "update", &entries);
+  Run(ChangeClass::kInsertion, "insertion", &entries);
+  sdelta::obs::MergeBenchJson("BENCH_parallel.json", "parallel_scaling",
+                              {"workload", "threads", "pos_rows",
+                               "change_rows"},
+                              entries);
+  std::printf("wrote BENCH_parallel.json (host_cpus=%u)\n",
+              std::thread::hardware_concurrency());
+  return 0;
+}

@@ -4,6 +4,7 @@
 #include "core/delta.h"
 #include "core/self_maintenance.h"
 #include "core/view_def.h"
+#include "exec/thread_pool.h"
 
 namespace sdelta::core {
 
@@ -31,7 +32,8 @@ namespace sdelta::core {
 /// combination of {old, inserted, deleted} per source except all-old,
 /// with the row's sign being the product of the per-source signs.
 rel::Table PrepareChanges(const rel::Catalog& catalog,
-                          const AugmentedView& view, const ChangeSet& changes);
+                          const AugmentedView& view, const ChangeSet& changes,
+                          exec::ThreadPool* pool = nullptr);
 
 /// The prepare-insertions (sign = +1) or prepare-deletions (sign = -1)
 /// relation for changes to the fact table only — the pi_/pd_ views of
@@ -39,7 +41,8 @@ rel::Table PrepareChanges(const rel::Catalog& catalog,
 /// production entry point.
 rel::Table PrepareFactChanges(const rel::Catalog& catalog,
                               const AugmentedView& view,
-                              const rel::Table& fact_rows, int sign);
+                              const rel::Table& fact_rows, int sign,
+                              exec::ThreadPool* pool = nullptr);
 
 /// Schema of the prepare-changes relation for `view`.
 rel::Schema PrepareChangesSchema(const rel::Catalog& catalog,

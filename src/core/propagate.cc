@@ -96,7 +96,7 @@ bool PreaggregationLegal(const rel::Catalog& catalog,
 /// columns, then join dimensions and re-aggregate to the view's groups.
 Table PreaggregatedDelta(const rel::Catalog& catalog,
                          const AugmentedView& view, const ChangeSet& changes,
-                         PropagateStats* stats) {
+                         exec::ThreadPool* pool, PropagateStats* stats) {
   const ViewDef& def = view.physical;
   const rel::Schema fact_qualified =
       catalog.GetTable(def.fact_table).schema().Qualified(def.fact_table);
@@ -147,7 +147,7 @@ Table PreaggregatedDelta(const rel::Catalog& catalog,
   // Share the underlying tables by copying (tables are cheap to copy at
   // change-set sizes).
   fact_changes.fact = changes.fact;
-  Table pc = PrepareChanges(catalog, fact_stage, fact_changes);
+  Table pc = PrepareChanges(catalog, fact_stage, fact_changes, pool);
   if (stats != nullptr) stats->prepared_tuples = pc.NumRows();
   // pc columns carry bare names; group by the bare forms.
   std::vector<std::string> bare_fact_groups;
@@ -157,7 +157,7 @@ Table PreaggregatedDelta(const rel::Catalog& catalog,
   std::vector<rel::AggregateSpec> stage1 = DeltaAggregates(view);
   stage1.push_back(TaintFromSources(view));
   Table sd_fact =
-      rel::GroupBy(pc, rel::GroupCols(bare_fact_groups), stage1);
+      rel::GroupBy(pc, rel::GroupCols(bare_fact_groups), stage1, pool);
 
   // Stage 2: join the needed dimensions onto the pre-aggregated delta.
   Table current = std::move(sd_fact);
@@ -165,7 +165,7 @@ Table PreaggregatedDelta(const rel::Catalog& catalog,
     const DimensionJoin& j = def.joins[i];
     current = rel::HashJoin(current, catalog.GetTable(j.dim_table),
                             {{j.fact_column, j.dim_column}}, j.dim_table,
-                            /*drop_right_keys=*/true);
+                            /*drop_right_keys=*/true, pool);
   }
 
   // Stage 3: re-aggregate to the view's group-by columns. Re-aggregation
@@ -178,9 +178,11 @@ Table PreaggregatedDelta(const rel::Catalog& catalog,
   std::vector<rel::AggregateSpec> stage3 = DeltaAggregates(view);
   stage3.push_back(
       rel::Max(Expression::Column(kTaintedColumn), kTaintedColumn));
-  Table out = rel::GroupBy(current, final_groups, stage3);
+  Table out = rel::GroupBy(current, final_groups, stage3, pool);
   Table named(out.schema(), "sd_" + def.name);
-  for (const rel::Row& r : out.rows()) named.Insert(r);
+  std::vector<rel::Row> rows = out.TakeRows();
+  named.Reserve(rows.size());
+  for (rel::Row& r : rows) named.Insert(std::move(r));
   return named;
 }
 
@@ -197,9 +199,9 @@ rel::Table ComputeSummaryDelta(const rel::Catalog& catalog,
   Table out = [&] {
     if (options.preaggregate && PreaggregationLegal(catalog, view, changes)) {
       local.preaggregated = true;
-      return PreaggregatedDelta(catalog, view, changes, &local);
+      return PreaggregatedDelta(catalog, view, changes, options.pool, &local);
     }
-    Table pc = PrepareChanges(catalog, view, changes);
+    Table pc = PrepareChanges(catalog, view, changes, options.pool);
     local.prepared_tuples = pc.NumRows();
     std::vector<rel::GroupByColumn> groups;
     for (const std::string& g : view.physical.group_by) {
@@ -207,10 +209,11 @@ rel::Table ComputeSummaryDelta(const rel::Catalog& catalog,
     }
     std::vector<rel::AggregateSpec> specs = DeltaAggregates(view);
     specs.push_back(TaintFromSources(view));
-    Table grouped = rel::GroupBy(pc, groups, specs);
+    Table grouped = rel::GroupBy(pc, groups, specs, options.pool);
     Table named(grouped.schema(), "sd_" + view.name());
-    named.Reserve(grouped.NumRows());
-    for (const rel::Row& r : grouped.rows()) named.Insert(r);
+    std::vector<rel::Row> rows = grouped.TakeRows();
+    named.Reserve(rows.size());
+    for (rel::Row& r : rows) named.Insert(std::move(r));
     return named;
   }();
   local.delta_groups = out.NumRows();
@@ -234,15 +237,17 @@ std::string DerivationRecipe::ToString() const {
 
 rel::Table ApplyDerivation(const rel::Catalog& catalog,
                            const DerivationRecipe& recipe,
-                           const rel::Table& parent_rows) {
-  Table current(parent_rows.schema(), parent_rows.name());
-  current.Reserve(parent_rows.NumRows());
-  for (const rel::Row& r : parent_rows.rows()) current.Insert(r);
-
+                           const rel::Table& parent_rows,
+                           exec::ThreadPool* pool) {
+  // The operators only read their inputs, so the join chain can start
+  // from `parent_rows` in place — no upfront copy.
+  const Table* current = &parent_rows;
+  Table owned;
   for (const DimensionJoin& j : recipe.joins) {
-    current = rel::HashJoin(current, catalog.GetTable(j.dim_table),
-                            {{j.fact_column, j.dim_column}}, j.dim_table,
-                            /*drop_right_keys=*/true);
+    owned = rel::HashJoin(*current, catalog.GetTable(j.dim_table),
+                          {{j.fact_column, j.dim_column}}, j.dim_table,
+                          /*drop_right_keys=*/true, pool);
+    current = &owned;
   }
   // Propagate the hidden taint marker down D-lattice edges (it is absent
   // when the recipe runs over materialized view rows — the V-side).
@@ -251,10 +256,11 @@ rel::Table ApplyDerivation(const rel::Catalog& catalog,
     specs.push_back(
         rel::Max(Expression::Column(kTaintedColumn), kTaintedColumn));
   }
-  Table out = rel::GroupBy(current, recipe.group_by, specs);
+  Table out = rel::GroupBy(*current, recipe.group_by, specs, pool);
   Table named(out.schema(), "sd_" + recipe.child_name);
-  named.Reserve(out.NumRows());
-  for (const rel::Row& r : out.rows()) named.Insert(r);
+  std::vector<rel::Row> rows = out.TakeRows();
+  named.Reserve(rows.size());
+  for (rel::Row& r : rows) named.Insert(std::move(r));
   return named;
 }
 

@@ -22,6 +22,10 @@ struct PropagateOptions {
   /// instrumentation site is behind a single null check.
   obs::Tracer* tracer = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
+  /// Thread pool for morsel-driven operators and wave-scheduled lattice
+  /// propagation. Null = the exact serial path (results are identical
+  /// either way; see operators.h for the determinism contract).
+  exec::ThreadPool* pool = nullptr;
 };
 
 struct PropagateStats {
@@ -86,7 +90,8 @@ struct DerivationRecipe {
 /// child's summary schema.
 rel::Table ApplyDerivation(const rel::Catalog& catalog,
                            const DerivationRecipe& recipe,
-                           const rel::Table& parent_rows);
+                           const rel::Table& parent_rows,
+                           exec::ThreadPool* pool = nullptr);
 
 }  // namespace sdelta::core
 

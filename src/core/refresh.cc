@@ -468,7 +468,11 @@ RefreshStats Refresh(const rel::Catalog& catalog, SummaryTable& view,
     throw std::invalid_argument(
         "summary-delta arity does not match summary table " + view.name());
   }
-  obs::TraceSpan span(options.tracer, "refresh.view");
+  const uint64_t parent =
+      options.parent_span != 0
+          ? options.parent_span
+          : (options.tracer != nullptr ? options.tracer->CurrentSpan() : 0);
+  obs::TraceSpan span(options.tracer, "refresh.view", parent);
   span.Attr("view", view.name());
   span.Attr("strategy",
             options.strategy == RefreshStrategy::kCursor ? "cursor" : "merge");

@@ -38,6 +38,11 @@ struct RefreshOptions {
   /// Observability sinks (see src/obs/). Null = disabled.
   obs::Tracer* tracer = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
+  /// Explicit parent for the refresh.view span. 0 = the caller thread's
+  /// innermost open span. The warehouse sets this when it fans refreshes
+  /// out across pool workers, whose open-span stacks are empty — the
+  /// span still parents on the batch's refresh phase.
+  uint64_t parent_span = 0;
 };
 
 struct RefreshStats {

@@ -1,0 +1,47 @@
+#include "exec/parallel_for.h"
+
+namespace sdelta::exec {
+
+MorselPlan MorselPlan::For(size_t n, size_t min_rows) {
+  MorselPlan plan;
+  if (n == 0) return plan;
+  if (min_rows == 0) min_rows = 1;
+  size_t count = (n + min_rows - 1) / min_rows;
+  count = std::min(count, kMaxMorselsPerLoop);
+  const size_t base = n / count;
+  const size_t extra = n % count;  // first `extra` morsels get one more row
+  plan.morsels.reserve(count);
+  size_t begin = 0;
+  for (size_t i = 0; i < count; ++i) {
+    const size_t len = base + (i < extra ? 1 : 0);
+    plan.morsels.push_back(Morsel{begin, begin + len});
+    begin += len;
+  }
+  return plan;
+}
+
+size_t ParallelFor(ThreadPool* pool, size_t n, size_t min_rows,
+                   const std::function<void(size_t, size_t, size_t)>& fn) {
+  return ParallelFor(pool, MorselPlan::For(n, min_rows), fn);
+}
+
+size_t ParallelFor(ThreadPool* pool, const MorselPlan& plan,
+                   const std::function<void(size_t, size_t, size_t)>& fn) {
+  if (plan.morsels.empty()) return 0;
+  if (pool == nullptr || plan.morsels.size() == 1) {
+    for (size_t i = 0; i < plan.morsels.size(); ++i) {
+      fn(plan.morsels[i].begin, plan.morsels[i].end, i);
+    }
+    return plan.morsels.size();
+  }
+  pool->NoteMorsels(plan.morsels.size());
+  TaskGroup group(pool);
+  for (size_t i = 0; i < plan.morsels.size(); ++i) {
+    const Morsel m = plan.morsels[i];
+    group.Spawn([&fn, m, i] { fn(m.begin, m.end, i); });
+  }
+  group.Wait();
+  return plan.morsels.size();
+}
+
+}  // namespace sdelta::exec

@@ -1,0 +1,60 @@
+// Morsel decomposition and data-parallel loops over row ranges.
+//
+// Determinism contract: MorselPlan::For depends only on the element
+// count and the minimum morsel size — never on the pool, the thread
+// count, or runtime timing.  Operators that emit one output chunk per
+// morsel and concatenate chunks in morsel order therefore produce
+// byte-identical results at every thread count, and the exec.morsels
+// counter is identical for every parallel configuration of the same
+// workload.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "exec/thread_pool.h"
+
+namespace sdelta::exec {
+
+// Default minimum rows per morsel.  Small enough that the retail
+// workloads split into many morsels, large enough that per-morsel
+// overhead (one std::function dispatch + one chunk allocation) stays
+// negligible next to per-row work.
+inline constexpr size_t kDefaultMorselRows = 4096;
+
+// Cap on morsels per loop so tiny min_rows on huge inputs cannot
+// explode task counts; 64 comfortably exceeds any realistic core count
+// for this system.
+inline constexpr size_t kMaxMorselsPerLoop = 64;
+
+struct Morsel {
+  size_t begin = 0;
+  size_t end = 0;  // half-open
+};
+
+struct MorselPlan {
+  std::vector<Morsel> morsels;
+
+  // Split [0, n) into at most kMaxMorselsPerLoop contiguous ranges of
+  // at least min_rows each (the final morsel absorbs the remainder).
+  // Pure function of (n, min_rows).
+  static MorselPlan For(size_t n, size_t min_rows = kDefaultMorselRows);
+};
+
+// Run fn(begin, end, morsel_index) over every morsel of the plan.
+// Runs serially (in morsel order, on the calling thread) when pool is
+// null or the plan has at most one morsel; otherwise forks one task per
+// morsel and joins.  Returns the number of morsels (0 when n == 0).
+// Callers that need per-morsel output slots compute the plan first,
+// size their slot vector from it, and pass the plan in.
+size_t ParallelFor(ThreadPool* pool, const MorselPlan& plan,
+                   const std::function<void(size_t, size_t, size_t)>& fn);
+
+// Convenience: morselize [0, n) and run.
+size_t ParallelFor(ThreadPool* pool, size_t n, size_t min_rows,
+                   const std::function<void(size_t, size_t, size_t)>& fn);
+
+}  // namespace sdelta::exec

@@ -1,0 +1,175 @@
+#include "exec/thread_pool.h"
+
+#include <chrono>
+
+namespace sdelta::exec {
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_workers) {
+  workers_.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::scoped_lock lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+  // Orphaned tasks in the queue would mean a TaskGroup outlived its
+  // pool, which the API forbids; drain defensively so std::function
+  // destructors still run.
+  queue_.clear();
+}
+
+PoolStats ThreadPool::StatsSnapshot() const {
+  PoolStats s;
+  s.tasks_scheduled = tasks_scheduled_.load(std::memory_order_relaxed);
+  s.tasks_executed = tasks_executed_.load(std::memory_order_relaxed);
+  s.tasks_helped = tasks_helped_.load(std::memory_order_relaxed);
+  s.morsels_scheduled = morsels_scheduled_.load(std::memory_order_relaxed);
+  s.busy_ns = busy_ns_.load(std::memory_order_relaxed);
+  return s;
+}
+
+size_t ThreadPool::ResolveThreads(size_t requested) {
+  if (requested != 0) return requested;
+  size_t hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void ThreadPool::Submit(std::function<void()> fn, TaskGroup* group) {
+  tasks_scheduled_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::scoped_lock lock(mu_);
+    queue_.push_back(Task{std::move(fn), group});
+  }
+  work_cv_.notify_one();
+}
+
+bool ThreadPool::RunOneQueued(bool helping) {
+  Task task;
+  {
+    std::scoped_lock lock(mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  Execute(std::move(task), helping);
+  return true;
+}
+
+void ThreadPool::Execute(Task task, bool helping) {
+  const uint64_t start = NowNs();
+  std::exception_ptr error;
+  try {
+    task.fn();
+  } catch (...) {
+    error = std::current_exception();
+  }
+  busy_ns_.fetch_add(NowNs() - start, std::memory_order_relaxed);
+  (helping ? tasks_helped_ : tasks_executed_)
+      .fetch_add(1, std::memory_order_relaxed);
+  if (task.group != nullptr) task.group->OnTaskDone(error);
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock lock(mu_);
+      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    Execute(std::move(task), /*helping=*/false);
+  }
+}
+
+TaskGroup::~TaskGroup() {
+  if (waited_) return;
+  try {
+    Wait();
+  } catch (...) {
+    // Scope is unwinding on another exception; the group's own error is
+    // dropped, but every task has still run to completion.
+  }
+}
+
+void TaskGroup::Spawn(std::function<void()> fn) {
+  if (pool_ == nullptr) {
+    inline_tasks_.push_back(std::move(fn));
+    return;
+  }
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  pool_->Submit(std::move(fn), this);
+}
+
+void TaskGroup::OnTaskDone(std::exception_ptr error) {
+  // The decrement and the notify stay under done_mu_: once pending_
+  // hits 0 the waiter may return from Wait() and destroy this group,
+  // so nothing here may touch members after releasing the lock.
+  // (Wait() re-acquires done_mu_ before returning, which serializes
+  // destruction after this critical section.)
+  std::scoped_lock lock(done_mu_);
+  if (error && !first_error_) first_error_ = std::move(error);
+  if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    done_cv_.notify_all();
+  }
+}
+
+void TaskGroup::Wait() {
+  waited_ = true;
+  if (pool_ == nullptr) {
+    // Pure-inline group: run deferred tasks in spawn order.
+    for (auto& fn : inline_tasks_) {
+      try {
+        fn();
+      } catch (...) {
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+    }
+    inline_tasks_.clear();
+  } else {
+    // Help: execute queued tasks (ours or anyone's) until our own are
+    // all done.  Helping arbitrary tasks is what makes nested fork/join
+    // deadlock-free — every thread blocked in Wait() drains the queue.
+    while (pending_.load(std::memory_order_acquire) > 0) {
+      if (!pool_->RunOneQueued(/*helping=*/true)) {
+        // Queue empty but our tasks still running on workers; block
+        // until one of them completes, then re-check. The timeout is a
+        // helpfulness bound, not correctness: a task enqueued after the
+        // RunOneQueued miss notifies work_cv_, not done_cv_, and the
+        // periodic wake lets this thread help with it.
+        std::unique_lock lock(done_mu_);
+        done_cv_.wait_for(lock, std::chrono::milliseconds(1), [this] {
+          return pending_.load(std::memory_order_acquire) == 0;
+        });
+      }
+    }
+    // A worker that just dropped pending_ to 0 may still be inside
+    // OnTaskDone holding done_mu_; acquiring it once guarantees that
+    // critical section finished before the caller may destroy us.
+    { std::scoped_lock lock(done_mu_); }
+  }
+  if (first_error_) {
+    std::exception_ptr e;
+    std::swap(e, first_error_);
+    std::rethrow_exception(e);
+  }
+}
+
+}  // namespace sdelta::exec

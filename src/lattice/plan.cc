@@ -194,8 +194,11 @@ LatticePropagateResult PropagateAll(const rel::Catalog& catalog,
     return true;
   };
 
-  for (const PlanStep& step : plan.steps) {
-    core::PropagateStats stats;
+  // Runs one plan step (on whichever thread the wave scheduler picked)
+  // and records its summary-delta, span id, and stats into per-step
+  // slots. The explicit parent span mirrors the D-lattice: derived
+  // steps parent on their source view's span, base steps on the phase.
+  auto run_step = [&](const PlanStep& step, core::PropagateStats* stats) {
     const bool via_edge =
         step.edge.has_value() && edge_usable(lattice.edges[*step.edge]);
     const uint64_t parent_span =
@@ -204,28 +207,89 @@ LatticePropagateResult PropagateAll(const rel::Catalog& catalog,
                         parent_span);
     if (via_edge) {
       const VLatticeEdge& edge = lattice.edges[*step.edge];
-      if (!computed[edge.parent]) {
+      result.deltas[step.view] = core::ApplyDerivation(
+          catalog, edge.recipe, result.deltas[edge.parent], opts.pool);
+      stats->prepared_tuples = result.deltas[edge.parent].NumRows();
+      stats->delta_groups = result.deltas[step.view].NumRows();
+      if (opts.metrics != nullptr) stats->EmitTo(*opts.metrics);
+      span.Attr("source", lattice.views[edge.parent].name());
+    } else {
+      result.deltas[step.view] = core::ComputeSummaryDelta(
+          catalog, lattice.views[step.view], changes, opts, stats);
+      span.Attr("source", "base");
+    }
+    span.Attr("delta_rows", static_cast<uint64_t>(stats->delta_groups));
+    view_span[step.view] = span.id();
+  };
+
+  if (opts.pool == nullptr) {
+    // Serial path: run steps in plan order.
+    for (const PlanStep& step : plan.steps) {
+      const bool via_edge =
+          step.edge.has_value() && edge_usable(lattice.edges[*step.edge]);
+      if (via_edge && !computed[lattice.edges[*step.edge].parent]) {
         throw std::logic_error("maintenance plan is not topologically "
                                "ordered: parent of " +
                                lattice.views[step.view].name() +
                                " not yet computed");
       }
-      result.deltas[step.view] = core::ApplyDerivation(
-          catalog, edge.recipe, result.deltas[edge.parent]);
-      stats.prepared_tuples = result.deltas[edge.parent].NumRows();
-      stats.delta_groups = result.deltas[step.view].NumRows();
-      if (opts.metrics != nullptr) stats.EmitTo(*opts.metrics);
-      span.Attr("source", lattice.views[edge.parent].name());
-    } else {
-      result.deltas[step.view] = core::ComputeSummaryDelta(
-          catalog, lattice.views[step.view], changes, opts, &stats);
-      span.Attr("source", "base");
+      core::PropagateStats stats;
+      run_step(step, &stats);
+      computed[step.view] = true;
+      result.totals.prepared_tuples += stats.prepared_tuples;
+      result.totals.delta_groups += stats.delta_groups;
     }
-    span.Attr("delta_rows", static_cast<uint64_t>(stats.delta_groups));
-    view_span[step.view] = span.id();
+    return result;
+  }
+
+  // Wave schedule: group steps by topological depth in the plan's
+  // derivation DAG — wave 0 computes from base changes (or along an
+  // edge disabled by dimension deltas), wave k+1 derives from a wave-k
+  // parent. Steps within a wave are independent by construction, so
+  // each wave is one fork/join over the pool; the wave barrier
+  // guarantees every parent's summary-delta (and its span id) is in
+  // place before any dependent dispatches. Wave membership depends only
+  // on the plan and the change set, never on the thread count.
+  std::vector<size_t> wave(lattice.views.size(), 0);
+  std::vector<std::vector<const PlanStep*>> waves;
+  for (const PlanStep& step : plan.steps) {
+    const bool via_edge =
+        step.edge.has_value() && edge_usable(lattice.edges[*step.edge]);
+    size_t w = 0;
+    if (via_edge) {
+      const size_t parent = lattice.edges[*step.edge].parent;
+      if (!computed[parent]) {
+        throw std::logic_error("maintenance plan is not topologically "
+                               "ordered: parent of " +
+                               lattice.views[step.view].name() +
+                               " not yet computed");
+      }
+      w = wave[parent] + 1;
+    }
+    wave[step.view] = w;
     computed[step.view] = true;
-    result.totals.prepared_tuples += stats.prepared_tuples;
-    result.totals.delta_groups += stats.delta_groups;
+    if (w >= waves.size()) waves.resize(w + 1);
+    waves[w].push_back(&step);
+  }
+
+  std::vector<core::PropagateStats> step_stats(plan.steps.size());
+  for (const auto& wave_steps : waves) {
+    exec::TaskGroup group(opts.pool);
+    for (const PlanStep* step : wave_steps) {
+      const size_t slot = static_cast<size_t>(step - plan.steps.data());
+      group.Spawn([&, step, slot] { run_step(*step, &step_stats[slot]); });
+    }
+    group.Wait();
+    if (opts.metrics != nullptr) {
+      opts.metrics->Add("exec.waves");
+      opts.metrics->Observe("exec.wave_width",
+                            static_cast<double>(wave_steps.size()));
+    }
+  }
+  // Fold per-step stats in plan order so totals are deterministic.
+  for (const core::PropagateStats& s : step_stats) {
+    result.totals.prepared_tuples += s.prepared_tuples;
+    result.totals.delta_groups += s.delta_groups;
   }
   return result;
 }

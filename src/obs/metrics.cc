@@ -3,6 +3,7 @@
 namespace sdelta::obs {
 
 void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
+  std::scoped_lock lock(mu_);
   for (const auto& [name, v] : other.counters_) Find(counters_, name) += v;
   for (const auto& [name, v] : other.gauges_) Find(gauges_, name) = v;
   for (const auto& [name, h] : other.histograms_) {

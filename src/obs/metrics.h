@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <limits>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 
@@ -31,40 +32,55 @@ struct Histogram {
 ///
 /// Naming convention: dotted lower-case paths, subsystem first —
 ///   propagate.rows_scanned, propagate.delta_rows, refresh.updates,
-///   refresh.minmax_recomputes, plan.edge_cost, answer.view_hits, ...
+///   refresh.minmax_recomputes, plan.edge_cost, exec.tasks, ...
 /// The same name must always be used with the same instrument kind.
 ///
 /// The registry is passed around as a nullable pointer; every
-/// instrumentation site guards with a single null check, so the
-/// disabled path costs one branch. Maps are ordered so exports are
-/// deterministic.
+/// instrumentation site guards with a single null check. Maps are
+/// ordered so exports are deterministic.
+///
+/// Thread safety: all mutators and point reads are serialized on an
+/// internal mutex, so concurrent propagate steps / refresh workers can
+/// share one registry. The by-reference accessors (counters(), gauges(),
+/// histograms()) are lock-free reads for export code and must only be
+/// called once parallel work has quiesced (all pool tasks joined).
 class MetricsRegistry {
  public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
   /// Counter: monotonically increasing event count.
   void Add(std::string_view name, uint64_t delta = 1) {
+    std::scoped_lock lock(mu_);
     Find(counters_, name) += delta;
   }
 
   /// Gauge: last-written value (e.g. the most recent batch's seconds).
   void Set(std::string_view name, double value) {
+    std::scoped_lock lock(mu_);
     Find(gauges_, name) = value;
   }
 
   /// Histogram: accumulate a value distribution.
   void Observe(std::string_view name, double value) {
+    std::scoped_lock lock(mu_);
     Find(histograms_, name).Observe(value);
   }
 
   /// Reads return the zero value for names never written.
   uint64_t counter(std::string_view name) const {
+    std::scoped_lock lock(mu_);
     auto it = counters_.find(name);
     return it == counters_.end() ? 0 : it->second;
   }
   double gauge(std::string_view name) const {
+    std::scoped_lock lock(mu_);
     auto it = gauges_.find(name);
     return it == gauges_.end() ? 0 : it->second;
   }
   Histogram histogram(std::string_view name) const {
+    std::scoped_lock lock(mu_);
     auto it = histograms_.find(name);
     return it == histograms_.end() ? Histogram{} : it->second;
   }
@@ -72,22 +88,25 @@ class MetricsRegistry {
   template <typename V>
   using Series = std::map<std::string, V, std::less<>>;
 
+  /// Quiesced-only accessors (see class comment).
   const Series<uint64_t>& counters() const { return counters_; }
   const Series<double>& gauges() const { return gauges_; }
   const Series<Histogram>& histograms() const { return histograms_; }
 
   bool empty() const {
+    std::scoped_lock lock(mu_);
     return counters_.empty() && gauges_.empty() && histograms_.empty();
   }
   void Clear() {
+    std::scoped_lock lock(mu_);
     counters_.clear();
     gauges_.clear();
     histograms_.clear();
   }
 
   /// Folds another registry's series into this one (counters add,
-  /// gauges overwrite, histograms merge) — used to aggregate per-worker
-  /// registries once parallel maintenance lands.
+  /// gauges overwrite, histograms merge) — used to aggregate scratch
+  /// registries and per-phase snapshots. `other` must be quiesced.
   void MergeFrom(const MetricsRegistry& other);
 
  private:
@@ -100,6 +119,7 @@ class MetricsRegistry {
     return it->second;
   }
 
+  mutable std::mutex mu_;
   Series<uint64_t> counters_;
   Series<double> gauges_;
   Series<Histogram> histograms_;

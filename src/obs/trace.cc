@@ -9,39 +9,51 @@ uint64_t Tracer::BeginSpan(std::string_view name) {
 }
 
 uint64_t Tracer::BeginSpan(std::string_view name, uint64_t parent_id) {
+  std::scoped_lock lock(mu_);
   SpanRecord span;
   span.id = spans_.size() + 1;
   span.parent_id = parent_id;
   span.name = std::string(name);
   span.start_ns = NowNs();
   spans_.push_back(std::move(span));
-  stack_.push_back(spans_.back().id);
+  stacks_[std::this_thread::get_id()].push_back(spans_.back().id);
   return spans_.back().id;
 }
 
 void Tracer::EndSpan(uint64_t id) {
+  std::scoped_lock lock(mu_);
   if (id == 0 || id > spans_.size()) {
     throw std::logic_error("Tracer::EndSpan: unknown span id");
   }
-  if (stack_.empty() || stack_.back() != id) {
+  auto it = stacks_.find(std::this_thread::get_id());
+  if (it == stacks_.end() || it->second.empty() || it->second.back() != id) {
     throw std::logic_error("Tracer::EndSpan: spans must close in LIFO order (" +
                            spans_[id - 1].name + ")");
   }
-  stack_.pop_back();
+  it->second.pop_back();
+  if (it->second.empty()) stacks_.erase(it);
   spans_[id - 1].end_ns = NowNs();
 }
 
 void Tracer::AddAttribute(uint64_t id, std::string_view key,
                           std::string_view value) {
+  std::scoped_lock lock(mu_);
   if (id == 0 || id > spans_.size()) {
     throw std::logic_error("Tracer::AddAttribute: unknown span id");
   }
   spans_[id - 1].attributes.emplace_back(std::string(key), std::string(value));
 }
 
+uint64_t Tracer::CurrentSpan() const {
+  std::scoped_lock lock(mu_);
+  auto it = stacks_.find(std::this_thread::get_id());
+  return it == stacks_.end() || it->second.empty() ? 0 : it->second.back();
+}
+
 void Tracer::Clear() {
+  std::scoped_lock lock(mu_);
   spans_.clear();
-  stack_.clear();
+  stacks_.clear();
   epoch_ = std::chrono::steady_clock::now();
 }
 

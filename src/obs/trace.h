@@ -3,8 +3,11 @@
 
 #include <chrono>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <thread>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -34,23 +37,38 @@ struct SpanRecord {
 ///
 /// Like MetricsRegistry, a Tracer is passed as a nullable pointer; use
 /// TraceSpan for null-safe RAII scoping.
+///
+/// Thread safety: all operations serialize on an internal mutex, and
+/// the open-span stack is kept *per thread* — spans opened on a pool
+/// worker nest against that worker's own RAII scopes, never against
+/// another thread's. Work dispatched across threads (a propagate step,
+/// a refresh view) passes its logical parent explicitly via the
+/// two-argument BeginSpan, exactly as the D-lattice parenting already
+/// does. The spans() accessor is a lock-free read for export code and
+/// must only be called once parallel work has quiesced.
 class Tracer {
  public:
   Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
 
-  /// Opens a span; parent = innermost open span (0 if none).
+  /// Opens a span; parent = the calling thread's innermost open span
+  /// (0 if this thread has none open).
   uint64_t BeginSpan(std::string_view name);
   /// Opens a span with an explicit parent id (0 = root). The span still
-  /// joins the open-span stack so nested RAII spans attach beneath it.
+  /// joins the calling thread's open-span stack so nested RAII spans
+  /// attach beneath it.
   uint64_t BeginSpan(std::string_view name, uint64_t parent_id);
-  /// Closes the span. Spans must close innermost-first (RAII order).
+  /// Closes the span. Spans must close innermost-first (RAII order) on
+  /// the thread that opened them.
   void EndSpan(uint64_t id);
   void AddAttribute(uint64_t id, std::string_view key, std::string_view value);
 
   /// All spans, in start order. Open spans have end_ns == 0.
+  /// Quiesced-only (see class comment).
   const std::vector<SpanRecord>& spans() const { return spans_; }
-  /// Innermost open span id, 0 if none.
-  uint64_t CurrentSpan() const { return stack_.empty() ? 0 : stack_.back(); }
+  /// The calling thread's innermost open span id, 0 if none.
+  uint64_t CurrentSpan() const;
   void Clear();
 
  private:
@@ -62,8 +80,11 @@ class Tracer {
   }
 
   std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
   std::vector<SpanRecord> spans_;
-  std::vector<uint64_t> stack_;  ///< open span ids, outermost first
+  /// Open span ids per thread, outermost first. Entries are erased when
+  /// a thread's stack drains so pool churn cannot grow the map.
+  std::unordered_map<std::thread::id, std::vector<uint64_t>> stacks_;
 };
 
 /// RAII span scope that tolerates a null tracer: every member is a

@@ -103,6 +103,35 @@ void Accumulator::Add(const Value& v) {
   }
 }
 
+void Accumulator::Merge(const Accumulator& other) {
+  switch (kind_) {
+    case AggregateKind::kCountStar:
+    case AggregateKind::kCount:
+      count_ += other.count_;
+      return;
+    case AggregateKind::kSum:
+    case AggregateKind::kAvg:
+      count_ += other.count_;
+      if (!other.has_value_) return;
+      has_value_ = true;
+      if (other.sum_is_double_ || sum_is_double_) {
+        if (!sum_is_double_) {
+          sum_d_ = static_cast<double>(sum_i_);
+          sum_is_double_ = true;
+        }
+        sum_d_ += other.sum_is_double_ ? other.sum_d_
+                                       : static_cast<double>(other.sum_i_);
+      } else {
+        sum_i_ += other.sum_i_;
+      }
+      return;
+    case AggregateKind::kMin:
+    case AggregateKind::kMax:
+      if (other.has_value_) Add(other.extremum_);
+      return;
+  }
+}
+
 Value Accumulator::Result() const {
   switch (kind_) {
     case AggregateKind::kCountStar:

@@ -61,6 +61,14 @@ class Accumulator {
   /// Folds one input value. For kCountStar the value is ignored.
   void Add(const Value& v);
 
+  /// Folds another accumulator of the same kind into this one, as if
+  /// this one had also seen all of `other`'s inputs. COUNT/SUM/MIN/MAX
+  /// are distributive and AVG is algebraic over (sum, count), so the
+  /// merge is exact for integer inputs; for double SUM/AVG it is exact
+  /// up to floating-point addition order. This is the combine step for
+  /// parallel GroupBy's thread-local partial aggregates.
+  void Merge(const Accumulator& other);
+
   /// Final aggregate value for the group.
   Value Result() const;
 

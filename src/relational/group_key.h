@@ -2,6 +2,7 @@
 #define SDELTA_RELATIONAL_GROUP_KEY_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "relational/value.h"
@@ -18,13 +19,34 @@ inline size_t HashCombine(size_t seed, size_t h) {
   return seed ^ (h + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
 }
 
+/// Final avalanche step (splitmix64 finalizer). Value::Hash uses
+/// std::hash, which libstdc++ implements as the identity on integers —
+/// so without this, small sequential keys (store ids 0..99, item ids
+/// 0..999, date codes) land in consecutive buckets and strided access
+/// patterns degenerate to near-linear probing. The finalizer spreads
+/// every input bit across the output.
+inline size_t AvalancheMix(size_t h) {
+  uint64_t x = static_cast<uint64_t>(h);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<size_t>(x);
+}
+
 /// Hash functor for GroupKey, consistent with operator== on vectors of
 /// Value.
+///
+/// Each element's hash is avalanched *before* combining: HashCombine
+/// assumes well-spread inputs, and with identity element hashes a dense
+/// 2-D key grid (storeID × itemID) loses about half its distinct hash
+/// values to (a, b)/(a', b') interference even with a final mix.
 struct GroupKeyHash {
   size_t operator()(const GroupKey& key) const {
     size_t seed = key.size();
-    for (const Value& v : key) seed = HashCombine(seed, v.Hash());
-    return seed;
+    for (const Value& v : key) seed = HashCombine(seed, AvalancheMix(v.Hash()));
+    return AvalancheMix(seed);
   }
 };
 
@@ -36,11 +58,21 @@ inline GroupKey ExtractKey(const Row& row, const std::vector<size_t>& indices) {
   return key;
 }
 
+/// Allocation-free variant for per-row loops: reuses `out`'s capacity
+/// across calls (the caller copies `*out` only when it actually needs to
+/// retain the key, e.g. on first appearance of a group).
+inline void ExtractKey(const Row& row, const std::vector<size_t>& indices,
+                       GroupKey* out) {
+  out->clear();
+  out->reserve(indices.size());
+  for (size_t i : indices) out->push_back(row[i]);
+}
+
 /// Hashes an entire row (used by Table's whole-row index).
 inline size_t HashRow(const Row& row) {
   size_t seed = row.size();
-  for (const Value& v : row) seed = HashCombine(seed, v.Hash());
-  return seed;
+  for (const Value& v : row) seed = HashCombine(seed, AvalancheMix(v.Hash()));
+  return AvalancheMix(seed);
 }
 
 }  // namespace sdelta::rel

@@ -3,25 +3,58 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "exec/parallel_for.h"
 #include "relational/group_key.h"
 
 namespace sdelta::rel {
+namespace {
+
+/// Splices per-morsel output chunks into `out` in morsel order. Chunk
+/// concatenation in morsel order equals serial row order because the
+/// morsel plan is a pure function of the input size — this is the whole
+/// determinism argument for the chunked operators.
+void SpliceChunks(std::vector<std::vector<Row>>&& chunks, Table* out) {
+  size_t total = 0;
+  for (const auto& c : chunks) total += c.size();
+  out->Reserve(out->NumRows() + total);
+  for (auto& chunk : chunks) {
+    for (Row& r : chunk) out->Insert(std::move(r));
+  }
+}
+
+}  // namespace
 
 std::string BareName(const std::string& name) {
   const size_t pos = name.rfind('.');
   return pos == std::string::npos ? name : name.substr(pos + 1);
 }
 
-Table Select(const Table& input, const Expression& predicate) {
+Table Select(const Table& input, const Expression& predicate,
+             exec::ThreadPool* pool) {
   BoundExpression bound = predicate.Bind(input.schema());
   Table out(input.schema(), input.name());
-  for (const Row& r : input.rows()) {
-    if (bound.EvalPredicate(r)) out.Insert(r);
+  const exec::MorselPlan plan =
+      exec::MorselPlan::For(input.NumRows(), exec::kDefaultMorselRows);
+  if (pool == nullptr || plan.morsels.size() <= 1) {
+    for (const Row& r : input.rows()) {
+      if (bound.EvalPredicate(r)) out.Insert(r);
+    }
+    return out;
   }
+  std::vector<std::vector<Row>> chunks(plan.morsels.size());
+  exec::ParallelFor(pool, plan, [&](size_t begin, size_t end, size_t m) {
+    std::vector<Row>& chunk = chunks[m];
+    for (size_t i = begin; i < end; ++i) {
+      const Row& r = input.row(i);
+      if (bound.EvalPredicate(r)) chunk.push_back(r);
+    }
+  });
+  SpliceChunks(std::move(chunks), &out);
   return out;
 }
 
-Table Project(const Table& input, const std::vector<ProjectColumn>& columns) {
+Table Project(const Table& input, const std::vector<ProjectColumn>& columns,
+              exec::ThreadPool* pool) {
   Schema out_schema;
   std::vector<BoundExpression> bound;
   bound.reserve(columns.size());
@@ -30,19 +63,33 @@ Table Project(const Table& input, const std::vector<ProjectColumn>& columns) {
     bound.push_back(c.expr.Bind(input.schema()));
   }
   Table out(std::move(out_schema));
-  out.Reserve(input.NumRows());
-  for (const Row& r : input.rows()) {
+  const auto project_row = [&bound](const Row& r) {
     Row row;
     row.reserve(bound.size());
     for (const BoundExpression& b : bound) row.push_back(b.Eval(r));
-    out.Insert(std::move(row));
+    return row;
+  };
+  const exec::MorselPlan plan =
+      exec::MorselPlan::For(input.NumRows(), exec::kDefaultMorselRows);
+  if (pool == nullptr || plan.morsels.size() <= 1) {
+    out.Reserve(input.NumRows());
+    for (const Row& r : input.rows()) out.Insert(project_row(r));
+    return out;
   }
+  std::vector<std::vector<Row>> chunks(plan.morsels.size());
+  exec::ParallelFor(pool, plan, [&](size_t begin, size_t end, size_t m) {
+    std::vector<Row>& chunk = chunks[m];
+    chunk.reserve(end - begin);
+    for (size_t i = begin; i < end; ++i) chunk.push_back(project_row(input.row(i)));
+  });
+  SpliceChunks(std::move(chunks), &out);
   return out;
 }
 
 Table HashJoin(const Table& left, const Table& right,
                const std::vector<std::pair<std::string, std::string>>& keys,
-               const std::string& right_qualifier, bool drop_right_keys) {
+               const std::string& right_qualifier, bool drop_right_keys,
+               exec::ThreadPool* pool) {
   if (keys.empty()) {
     throw std::invalid_argument("HashJoin requires at least one key pair");
   }
@@ -75,7 +122,8 @@ Table HashJoin(const Table& left, const Table& right,
                          right_schema.column(i).type);
   }
 
-  // Build side: the right (dimension) input.
+  // Build side: the right (dimension) input. Always serial — the probe
+  // phase shares this table read-only across morsels.
   std::unordered_multimap<GroupKey, size_t, GroupKeyHash> build;
   build.reserve(right.NumRows());
   for (size_t i = 0; i < right.NumRows(); ++i) {
@@ -87,20 +135,44 @@ Table HashJoin(const Table& left, const Table& right,
   }
 
   Table out(std::move(out_schema));
-  for (const Row& lr : left.rows()) {
-    GroupKey key = ExtractKey(lr, left_idx);
-    bool has_null = false;
-    for (const Value& v : key) has_null |= v.is_null();
-    if (has_null) continue;
-    auto [begin, end] = build.equal_range(key);
+  // Emits the matches for left row `lr` onto `chunk`. The probe key is a
+  // caller-owned scratch buffer: equal_range only reads it, so one
+  // allocation serves the whole morsel.
+  const auto probe_row = [&](const Row& lr, GroupKey* key,
+                             std::vector<Row>* chunk) {
+    ExtractKey(lr, left_idx, key);
+    for (const Value& v : *key) {
+      if (v.is_null()) return;
+    }
+    auto [begin, end] = build.equal_range(*key);
     for (auto it = begin; it != end; ++it) {
       Row row = lr;
       const Row& rr = right.row(it->second);
       row.reserve(row.size() + right_out_idx.size());
       for (size_t i : right_out_idx) row.push_back(rr[i]);
-      out.Insert(std::move(row));
+      chunk->push_back(std::move(row));
     }
+  };
+
+  const exec::MorselPlan plan =
+      exec::MorselPlan::For(left.NumRows(), exec::kDefaultMorselRows);
+  if (pool == nullptr || plan.morsels.size() <= 1) {
+    std::vector<Row> rows;
+    rows.reserve(left.NumRows());  // FK joins emit ~one row per left row
+    GroupKey key;
+    for (const Row& lr : left.rows()) probe_row(lr, &key, &rows);
+    out.Reserve(rows.size());
+    for (Row& r : rows) out.Insert(std::move(r));
+    return out;
   }
+  std::vector<std::vector<Row>> chunks(plan.morsels.size());
+  exec::ParallelFor(pool, plan, [&](size_t begin, size_t end, size_t m) {
+    std::vector<Row>& chunk = chunks[m];
+    chunk.reserve(end - begin);
+    GroupKey key;
+    for (size_t i = begin; i < end; ++i) probe_row(left.row(i), &key, &chunk);
+  });
+  SpliceChunks(std::move(chunks), &out);
   return out;
 }
 
@@ -117,6 +189,21 @@ Table UnionAll(const Table& a, const Table& b) {
   return out;
 }
 
+Table UnionAll(Table&& a, Table&& b) {
+  if (a.schema().NumColumns() != b.schema().NumColumns()) {
+    throw std::invalid_argument("UnionAll arity mismatch: {" +
+                                a.schema().ToString() + "} vs {" +
+                                b.schema().ToString() + "}");
+  }
+  Table out(a.schema());
+  std::vector<Row> a_rows = a.TakeRows();
+  std::vector<Row> b_rows = b.TakeRows();
+  out.Reserve(a_rows.size() + b_rows.size());
+  for (Row& r : a_rows) out.Insert(std::move(r));
+  for (Row& r : b_rows) out.Insert(std::move(r));
+  return out;
+}
+
 std::vector<GroupByColumn> GroupCols(const std::vector<std::string>& names) {
   std::vector<GroupByColumn> out;
   out.reserve(names.size());
@@ -124,8 +211,51 @@ std::vector<GroupByColumn> GroupCols(const std::vector<std::string>& names) {
   return out;
 }
 
+namespace {
+
+/// Insertion-ordered group table: `entries` keeps groups in first-
+/// appearance order, `index` maps a key to its entry slot. Both the
+/// serial path (one accumulation over the whole input) and the parallel
+/// path (one per morsel, merged in morsel order) emit from `entries`,
+/// which is what makes GroupBy's output order thread-count-invariant.
+struct GroupAccumulation {
+  std::unordered_map<GroupKey, size_t, GroupKeyHash> index;
+  std::vector<std::pair<GroupKey, std::vector<Accumulator>>> entries;
+};
+
+void AccumulateRange(const Table& input, size_t begin, size_t end,
+                     const std::vector<size_t>& key_idx,
+                     const std::vector<AggregateSpec>& aggregates,
+                     const std::vector<BoundExpression>& args,
+                     GroupAccumulation* acc) {
+  GroupKey key;  // scratch, reused across rows; copied only per new group
+  for (size_t r = begin; r < end; ++r) {
+    const Row& row = input.row(r);
+    ExtractKey(row, key_idx, &key);
+    auto it = acc->index.find(key);
+    if (it == acc->index.end()) {
+      std::vector<Accumulator> accs;
+      accs.reserve(aggregates.size());
+      for (const AggregateSpec& a : aggregates) accs.emplace_back(a.kind);
+      it = acc->index.emplace(key, acc->entries.size()).first;
+      acc->entries.emplace_back(key, std::move(accs));
+    }
+    std::vector<Accumulator>& accs = acc->entries[it->second].second;
+    for (size_t i = 0; i < aggregates.size(); ++i) {
+      if (aggregates[i].kind == AggregateKind::kCountStar) {
+        accs[i].Add(Value::Null());
+      } else {
+        accs[i].Add(args[i].Eval(row));
+      }
+    }
+  }
+}
+
+}  // namespace
+
 Table GroupBy(const Table& input, const std::vector<GroupByColumn>& group_by,
-              const std::vector<AggregateSpec>& aggregates) {
+              const std::vector<AggregateSpec>& aggregates,
+              exec::ThreadPool* pool) {
   std::vector<size_t> key_idx;
   Schema out_schema;
   for (const GroupByColumn& g : group_by) {
@@ -154,37 +284,49 @@ Table GroupBy(const Table& input, const std::vector<GroupByColumn>& group_by,
     }
   }
 
-  std::unordered_map<GroupKey, std::vector<Accumulator>, GroupKeyHash> groups;
-  groups.reserve(input.NumRows() / 4 + 8);
-  for (const Row& r : input.rows()) {
-    GroupKey key = ExtractKey(r, key_idx);
-    auto it = groups.find(key);
-    if (it == groups.end()) {
-      std::vector<Accumulator> accs;
-      accs.reserve(aggregates.size());
-      for (const AggregateSpec& a : aggregates) accs.emplace_back(a.kind);
-      it = groups.emplace(std::move(key), std::move(accs)).first;
-    }
-    for (size_t i = 0; i < aggregates.size(); ++i) {
-      if (aggregates[i].kind == AggregateKind::kCountStar) {
-        it->second[i].Add(Value::Null());
-      } else {
-        it->second[i].Add(args[i].Eval(r));
+  const exec::MorselPlan plan =
+      exec::MorselPlan::For(input.NumRows(), exec::kDefaultMorselRows);
+  GroupAccumulation groups;
+  groups.index.reserve(input.NumRows() / 4 + 8);
+  if (pool == nullptr || plan.morsels.size() <= 1) {
+    AccumulateRange(input, 0, input.NumRows(), key_idx, aggregates, args,
+                    &groups);
+  } else {
+    // Thread-local partial aggregation, the structure the paper's
+    // summary-delta computation relies on: each morsel builds its own
+    // insertion-ordered partial table, then partials merge in morsel
+    // order, which reproduces the serial first-appearance order.
+    std::vector<GroupAccumulation> partials(plan.morsels.size());
+    exec::ParallelFor(pool, plan, [&](size_t begin, size_t end, size_t m) {
+      AccumulateRange(input, begin, end, key_idx, aggregates, args,
+                      &partials[m]);
+    });
+    for (GroupAccumulation& partial : partials) {
+      for (auto& [key, accs] : partial.entries) {
+        auto it = groups.index.find(key);
+        if (it == groups.index.end()) {
+          groups.index.emplace(key, groups.entries.size());
+          groups.entries.emplace_back(std::move(key), std::move(accs));
+        } else {
+          std::vector<Accumulator>& dst = groups.entries[it->second].second;
+          for (size_t i = 0; i < dst.size(); ++i) dst[i].Merge(accs[i]);
+        }
       }
     }
   }
 
   // Scalar aggregation (no group-by) over empty input yields one row.
-  if (group_by.empty() && groups.empty()) {
+  if (group_by.empty() && groups.entries.empty()) {
     std::vector<Accumulator> accs;
     for (const AggregateSpec& a : aggregates) accs.emplace_back(a.kind);
-    groups.emplace(GroupKey{}, std::move(accs));
+    groups.entries.emplace_back(GroupKey{}, std::move(accs));
   }
 
   Table out(std::move(out_schema));
-  out.Reserve(groups.size());
-  for (const auto& [key, accs] : groups) {
-    Row row = key;
+  out.Reserve(groups.entries.size());
+  for (auto& [key, accs] : groups.entries) {
+    Row row = std::move(key);
+    row.reserve(row.size() + accs.size());
     for (const Accumulator& acc : accs) row.push_back(acc.Result());
     out.Insert(std::move(row));
   }

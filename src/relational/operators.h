@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "exec/thread_pool.h"
 #include "relational/aggregate.h"
 #include "relational/expression.h"
 #include "relational/table.h"
@@ -15,20 +16,36 @@ namespace sdelta::rel {
 ///
 /// Each operator validates its inputs at entry (throwing
 /// std::invalid_argument for schema errors) and produces a new Table.
-/// These are deliberately simple single-threaded implementations: the
-/// paper's experiments measure relative algorithmic costs (tuples touched
-/// per phase), which these operators expose faithfully.
+///
+/// Parallelism and determinism: Select, Project, HashJoin and GroupBy
+/// take an optional exec::ThreadPool and run morsel-driven when one is
+/// supplied (null = the exact serial path). The output is byte-identical
+/// at every thread count:
+///   - Select/Project/HashJoin emit one output chunk per morsel and
+///     concatenate chunks in morsel order, which equals serial row
+///     order because morselization depends only on the input size.
+///   - GroupBy accumulates insertion-ordered partial tables per morsel
+///     and merges them in morsel order, which reproduces the serial
+///     first-appearance group order exactly; distributive aggregates
+///     (COUNT/SUM/MIN/MAX, algebraic AVG) merge exactly for integer
+///     inputs. (Caveat: a double SUM's *value* can differ across thread
+///     counts by floating-point addition order; the retail schema's
+///     summary views aggregate only integers.)
+///   - HashJoin's build side stays serial: one shared read-only hash
+///     table, probed concurrently.
 
 /// Rows of `input` satisfying `predicate` (SQL truthiness: non-null,
 /// non-zero).
-Table Select(const Table& input, const Expression& predicate);
+Table Select(const Table& input, const Expression& predicate,
+             exec::ThreadPool* pool = nullptr);
 
 /// One output column per (name, expression) pair.
 struct ProjectColumn {
   std::string name;
   Expression expr;
 };
-Table Project(const Table& input, const std::vector<ProjectColumn>& columns);
+Table Project(const Table& input, const std::vector<ProjectColumn>& columns,
+              exec::ThreadPool* pool = nullptr);
 
 /// Equi-join of `left` and `right` on the given key column pairs
 /// (left_key resolved in left's schema, right_key in right's).
@@ -46,11 +63,15 @@ Table Project(const Table& input, const std::vector<ProjectColumn>& columns);
 Table HashJoin(const Table& left, const Table& right,
                const std::vector<std::pair<std::string, std::string>>& keys,
                const std::string& right_qualifier,
-               bool drop_right_keys = false);
+               bool drop_right_keys = false, exec::ThreadPool* pool = nullptr);
 
 /// Bag union. Schemas must have identical arity and column types; output
 /// takes `a`'s column names.
 Table UnionAll(const Table& a, const Table& b);
+
+/// Move-optimized bag union: both inputs relinquish their rows, so the
+/// union costs O(1) row moves on the larger side instead of deep copies.
+Table UnionAll(Table&& a, Table&& b);
 
 /// Grouped aggregation.
 ///
@@ -59,12 +80,17 @@ Table UnionAll(const Table& a, const Table& b);
 /// after the last '.') and computes each aggregate. A grouping with an
 /// empty group_by list produces exactly one row even for empty input
 /// (SQL scalar-aggregate semantics).
+///
+/// Output rows appear in first-appearance order of each group in the
+/// input — a deterministic order shared by the serial and parallel
+/// paths (see the determinism notes above).
 struct GroupByColumn {
   std::string input;
   std::string output;  // empty => bare name of `input`
 };
 Table GroupBy(const Table& input, const std::vector<GroupByColumn>& group_by,
-              const std::vector<AggregateSpec>& aggregates);
+              const std::vector<AggregateSpec>& aggregates,
+              exec::ThreadPool* pool = nullptr);
 
 /// Convenience: group-by columns keeping their bare names.
 std::vector<GroupByColumn> GroupCols(const std::vector<std::string>& names);

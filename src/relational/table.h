@@ -50,6 +50,18 @@ class Table {
   /// Removes all rows (keeps schema and index mode).
   void Clear();
 
+  /// Moves the row storage out, leaving the table empty (schema and
+  /// index mode are kept; the index is dropped with the rows). Lets
+  /// operators splice a table's rows into another without per-row
+  /// copies — the move-insert side of UnionAll and the prepare-changes
+  /// version-combination loop use this.
+  std::vector<Row> TakeRows() {
+    std::vector<Row> out = std::move(rows_);
+    rows_.clear();
+    row_index_.clear();
+    return out;
+  }
+
   /// Builds and maintains a whole-row hash index. Idempotent.
   void EnableRowIndex();
   bool row_index_enabled() const { return row_index_enabled_; }

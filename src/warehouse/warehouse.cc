@@ -14,7 +14,38 @@ core::RefreshStats BatchReport::TotalRefresh() const {
 }
 
 Warehouse::Warehouse(rel::Catalog catalog, Options options)
-    : catalog_(std::move(catalog)), options_(options) {}
+    : catalog_(std::move(catalog)),
+      options_(options),
+      num_threads_(exec::ThreadPool::ResolveThreads(options.num_threads)) {
+  // The calling thread is an execution context (TaskGroup::Wait helps),
+  // so n threads of parallelism need n-1 pool workers. num_threads == 1
+  // keeps pool_ null: every operator takes its exact legacy serial path.
+  if (num_threads_ > 1) {
+    pool_ = std::make_unique<exec::ThreadPool>(num_threads_ - 1);
+  }
+}
+
+namespace {
+
+/// Folds the pool-stat delta across a phase into exec.* metrics.
+/// exec.tasks and exec.morsels are counters and depend only on the work
+/// decomposition (identical for every num_threads > 1); the busy-time
+/// split varies with scheduling, so it feeds gauges only.
+void DrainExecStats(const exec::PoolStats& before, const exec::PoolStats& after,
+                    double elapsed_seconds, size_t num_threads,
+                    obs::MetricsRegistry& m) {
+  m.Add("exec.tasks", after.tasks_scheduled - before.tasks_scheduled);
+  m.Add("exec.morsels", after.morsels_scheduled - before.morsels_scheduled);
+  const double busy =
+      static_cast<double>(after.busy_ns - before.busy_ns) * 1e-9;
+  m.Set("exec.busy_seconds", busy);
+  if (elapsed_seconds > 0) {
+    m.Set("exec.pool_utilization",
+          busy / (elapsed_seconds * static_cast<double>(num_threads)));
+  }
+}
+
+}  // namespace
 
 void Warehouse::DefineSummaryTables(const std::vector<core::ViewDef>& views,
                                     bool materialize) {
@@ -131,6 +162,7 @@ BatchReport Warehouse::RunBatch(const core::ChangeSet& changes) {
   core::PropagateOptions popts = options_.propagate;
   popts.tracer = tracer;
   popts.metrics = &m;
+  popts.pool = pool_.get();
   core::RefreshOptions ropts = options_.refresh;
   ropts.tracer = tracer;
   ropts.metrics = &m;
@@ -143,6 +175,10 @@ BatchReport Warehouse::RunBatch(const core::ChangeSet& changes) {
 
   obs::TraceSpan batch(tracer, "warehouse.RunBatch");
   BatchReport report;
+
+  const exec::PoolStats exec0 =
+      pool_ != nullptr ? pool_->StatsSnapshot() : exec::PoolStats{};
+  core::Stopwatch batch_sw;
 
   core::Stopwatch sw;
   lattice::LatticePropagateResult deltas =
@@ -159,13 +195,28 @@ BatchReport Warehouse::RunBatch(const core::ChangeSet& changes) {
   sw.Reset();
   {
     obs::TraceSpan refresh_phase(tracer, "refresh");
-    for (size_t i = 0; i < summaries_.size(); ++i) {
-      ViewBatchReport vr;
+    report.views.resize(summaries_.size());
+    // Refresh every view, one per-view report slot so the report order
+    // matches the serial loop regardless of scheduling. Views are
+    // independent: each refresh mutates only its own summary table and
+    // reads the (already updated) base tables.
+    auto refresh_view = [&](size_t i) {
+      ViewBatchReport& vr = report.views[i];
       vr.view = summaries_[i].name();
       vr.delta_rows = deltas.deltas[i].NumRows();
       vr.refresh =
           core::Refresh(catalog_, summaries_[i], deltas.deltas[i], ropts);
-      report.views.push_back(std::move(vr));
+    };
+    if (pool_ != nullptr) {
+      // Pool workers have no open spans; parent refresh.view explicitly.
+      ropts.parent_span = refresh_phase.id();
+      exec::TaskGroup group(pool_.get());
+      for (size_t i = 0; i < summaries_.size(); ++i) {
+        group.Spawn([&refresh_view, i] { refresh_view(i); });
+      }
+      group.Wait();
+    } else {
+      for (size_t i = 0; i < summaries_.size(); ++i) refresh_view(i);
     }
   }
   m.Set("batch.refresh_seconds", sw.ElapsedSeconds());
@@ -179,6 +230,11 @@ BatchReport Warehouse::RunBatch(const core::ChangeSet& changes) {
   report.propagate.preaggregated =
       m.counter("propagate.preaggregated") > preagg0;
   m.Observe("batch.maintenance_seconds", report.maintenance_seconds());
+  if (pool_ != nullptr) {
+    m.Set("exec.threads", static_cast<double>(num_threads_));
+    DrainExecStats(exec0, pool_->StatsSnapshot(), batch_sw.ElapsedSeconds(),
+                   num_threads_, m);
+  }
   return report;
 }
 
@@ -187,13 +243,21 @@ double Warehouse::PropagateOnly(const core::ChangeSet& changes,
   core::PropagateOptions popts = options_.propagate;
   popts.tracer = options_.tracer;
   popts.metrics = options_.metrics;
+  popts.pool = pool_.get();
   obs::TraceSpan span(options_.tracer, "warehouse.PropagateOnly");
+  const exec::PoolStats exec0 =
+      pool_ != nullptr ? pool_->StatsSnapshot() : exec::PoolStats{};
   core::Stopwatch sw;
   lattice::LatticePropagateResult deltas =
       lattice::PropagateAll(catalog_, lattice_, plan_, changes, popts);
   const double elapsed = sw.ElapsedSeconds();
   if (options_.metrics != nullptr) {
     options_.metrics->Observe("propagate.seconds", elapsed);
+    if (pool_ != nullptr) {
+      options_.metrics->Set("exec.threads", static_cast<double>(num_threads_));
+      DrainExecStats(exec0, pool_->StatsSnapshot(), elapsed, num_threads_,
+                     *options_.metrics);
+    }
   }
   if (stats != nullptr) *stats = deltas.totals;
   return elapsed;

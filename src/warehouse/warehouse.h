@@ -7,6 +7,7 @@
 
 #include "core/maintenance.h"
 #include "core/summary_table.h"
+#include "exec/thread_pool.h"
 #include "lattice/answer.h"
 #include "lattice/plan.h"
 #include "lattice/vlattice.h"
@@ -69,6 +70,12 @@ class Warehouse {
     /// captured trace with obs::WriteChromeTrace / obs::ExportJson.
     obs::Tracer* tracer = nullptr;
     obs::MetricsRegistry* metrics = nullptr;
+    /// Execution contexts for the parallel engine: 0 = one per hardware
+    /// thread, 1 = the exact legacy serial path (no pool, no exec.*
+    /// metrics), n > 1 = the calling thread plus n-1 pool workers.
+    /// Results are byte-identical at every setting (see operators.h for
+    /// the determinism contract and its double-SUM caveat).
+    size_t num_threads = 0;
   };
 
   explicit Warehouse(rel::Catalog catalog) : Warehouse(std::move(catalog), Options()) {}
@@ -77,6 +84,11 @@ class Warehouse {
   rel::Catalog& catalog() { return catalog_; }
   const rel::Catalog& catalog() const { return catalog_; }
   const Options& options() const { return options_; }
+
+  /// Resolved execution-context count (>= 1).
+  size_t num_threads() const { return num_threads_; }
+  /// The engine's pool; null when num_threads() == 1.
+  exec::ThreadPool* pool() const { return pool_.get(); }
 
   /// Registers and materializes the given summary tables; builds the
   /// V-lattice and the maintenance plan. Call once. With
@@ -139,6 +151,10 @@ class Warehouse {
 
   rel::Catalog catalog_;
   Options options_;
+  size_t num_threads_ = 1;
+  /// Workers = num_threads_ - 1: the thread calling into the warehouse
+  /// is itself an execution context (TaskGroup::Wait helps run tasks).
+  std::unique_ptr<exec::ThreadPool> pool_;
   std::vector<core::ViewDef> defined_views_;  // as the user declared them
   lattice::VLattice lattice_;
   lattice::MaintenancePlan plan_;

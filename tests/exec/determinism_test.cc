@@ -1,0 +1,156 @@
+// Satellite (c) of the parallel-engine issue: Warehouse::RunBatch must
+// produce byte-identical summary tables at num_threads = 1, 2, and 8 on
+// the retail schema, across randomized update- and insertion-generating
+// batches with fixed seeds — and the pipeline's counter metrics must be
+// identical too (modulo the exec.* family, which only exists when a
+// pool is attached but is itself deterministic across pool sizes).
+//
+// Byte-identical means CSV-identical here: same rows, same order, same
+// formatting. The retail views aggregate only int64 columns, so the
+// double-SUM addition-order caveat (operators.h) does not apply.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/delta.h"
+#include "obs/metrics.h"
+#include "relational/csv.h"
+#include "warehouse/retail_schema.h"
+#include "warehouse/warehouse.h"
+#include "warehouse/workload.h"
+
+namespace sdelta::warehouse {
+namespace {
+
+RetailConfig SmallConfig() {
+  RetailConfig config;
+  config.num_stores = 15;
+  config.num_cities = 6;
+  config.num_regions = 3;
+  config.num_items = 80;
+  config.num_categories = 8;
+  config.num_dates = 30;
+  config.num_pos_rows = 2500;
+  config.seed = 913;
+  return config;
+}
+
+struct Instance {
+  size_t threads;
+  obs::MetricsRegistry metrics;
+  Warehouse wh;
+
+  explicit Instance(size_t num_threads)
+      : threads(num_threads),
+        wh(MakeRetailCatalog(SmallConfig()), MakeOptions(num_threads, &metrics)) {
+    wh.DefineSummaryTables(RetailSummaryTables());
+  }
+
+  static Warehouse::Options MakeOptions(size_t num_threads,
+                                        obs::MetricsRegistry* metrics) {
+    Warehouse::Options options;
+    options.num_threads = num_threads;
+    options.metrics = metrics;
+    return options;
+  }
+
+  /// All summary tables rendered to CSV, keyed by view name.
+  std::map<std::string, std::string> Snapshot() const {
+    std::map<std::string, std::string> out;
+    for (const core::AugmentedView& av : wh.vlattice().views) {
+      out[av.name()] = rel::ToCsvString(wh.summary(av.name()).ToTable());
+    }
+    return out;
+  }
+
+  /// Counters split into the exec.* family and everything else.
+  std::map<std::string, uint64_t> PipelineCounters() const {
+    std::map<std::string, uint64_t> out;
+    for (const auto& [name, value] : metrics.counters()) {
+      if (name.rfind("exec.", 0) != 0) out[name] = value;
+    }
+    return out;
+  }
+  std::map<std::string, uint64_t> ExecCounters() const {
+    std::map<std::string, uint64_t> out;
+    for (const auto& [name, value] : metrics.counters()) {
+      if (name.rfind("exec.", 0) == 0) out[name] = value;
+    }
+    return out;
+  }
+};
+
+TEST(DeterminismTest, RunBatchByteIdenticalAcrossThreadCounts) {
+  Instance serial(1);
+  Instance two(2);
+  Instance eight(8);
+  ASSERT_EQ(serial.wh.num_threads(), 1u);
+  ASSERT_EQ(serial.wh.pool(), nullptr);
+  ASSERT_EQ(two.wh.num_threads(), 2u);
+  ASSERT_NE(two.wh.pool(), nullptr);
+  ASSERT_EQ(eight.wh.num_threads(), 8u);
+
+  // Initial materialization must already agree.
+  EXPECT_EQ(serial.Snapshot(), two.Snapshot());
+  EXPECT_EQ(serial.Snapshot(), eight.Snapshot());
+
+  struct BatchSpec {
+    bool insertion;
+    size_t size;
+    uint64_t seed;
+  };
+  const std::vector<BatchSpec> batches = {
+      {false, 400, 101}, {true, 300, 202}, {false, 500, 303}, {true, 200, 404}};
+
+  for (const BatchSpec& b : batches) {
+    SCOPED_TRACE("batch seed " + std::to_string(b.seed));
+    for (Instance* inst : {&serial, &two, &eight}) {
+      // Catalogs evolve in lockstep, so each instance generates an
+      // identical change set from its own catalog with the shared seed.
+      const core::ChangeSet changes =
+          b.insertion
+              ? MakeInsertionGeneratingChanges(inst->wh.catalog(), b.size, b.seed)
+              : MakeUpdateGeneratingChanges(inst->wh.catalog(), b.size, b.seed);
+      inst->wh.RunBatch(changes);
+    }
+    const auto expected = serial.Snapshot();
+    EXPECT_EQ(expected, two.Snapshot());
+    EXPECT_EQ(expected, eight.Snapshot());
+  }
+
+  // Pipeline counters (rows scanned, delta rows, refresh updates, ...)
+  // must not depend on the thread count at all.
+  const auto base_counters = serial.PipelineCounters();
+  EXPECT_FALSE(base_counters.empty());
+  EXPECT_EQ(base_counters, two.PipelineCounters());
+  EXPECT_EQ(base_counters, eight.PipelineCounters());
+
+  // exec.* counters (tasks, morsels, waves) are a pure function of the
+  // work, never of the worker count — 2 threads and 8 threads agree.
+  EXPECT_TRUE(serial.ExecCounters().empty());  // no pool, no exec metrics
+  const auto exec_counters = two.ExecCounters();
+  EXPECT_FALSE(exec_counters.empty());
+  EXPECT_EQ(exec_counters, eight.ExecCounters());
+}
+
+TEST(DeterminismTest, PropagateOnlyStatsMatchAcrossThreadCounts) {
+  Instance serial(1);
+  Instance four(4);
+  const core::ChangeSet serial_changes =
+      MakeUpdateGeneratingChanges(serial.wh.catalog(), 600, 777);
+  const core::ChangeSet four_changes =
+      MakeUpdateGeneratingChanges(four.wh.catalog(), 600, 777);
+  core::PropagateStats s1;
+  core::PropagateStats s4;
+  serial.wh.PropagateOnly(serial_changes, &s1);
+  four.wh.PropagateOnly(four_changes, &s4);
+  EXPECT_EQ(s1.prepared_tuples, s4.prepared_tuples);
+  EXPECT_EQ(s1.delta_groups, s4.delta_groups);
+  EXPECT_EQ(s1.preaggregated, s4.preaggregated);
+}
+
+}  // namespace
+}  // namespace sdelta::warehouse

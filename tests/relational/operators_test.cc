@@ -101,6 +101,23 @@ TEST(OperatorsTest, UnionAllArityMismatchThrows) {
   EXPECT_THROW(UnionAll(MakeSales(), MakeItems()), std::invalid_argument);
 }
 
+TEST(OperatorsTest, UnionAllMoveOverloadMatchesCopyAndDrainsInputs) {
+  Table expected = UnionAll(MakeSales(), MakeSales());
+  Table a = MakeSales();
+  Table b = MakeSales();
+  Table u = UnionAll(std::move(a), std::move(b));
+  ExpectBagEq(expected, u);
+  EXPECT_EQ(u.row(0), MakeSales().row(0));  // a's rows first, in order
+  EXPECT_EQ(a.NumRows(), 0u);  // NOLINT(bugprone-use-after-move): drained
+  EXPECT_EQ(b.NumRows(), 0u);  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(OperatorsTest, UnionAllMoveOverloadArityMismatchThrows) {
+  Table a = MakeSales();
+  Table b = MakeItems();
+  EXPECT_THROW(UnionAll(std::move(a), std::move(b)), std::invalid_argument);
+}
+
 TEST(OperatorsTest, GroupByCountsAndSums) {
   Table out = GroupBy(MakeSales(), GroupCols({"store"}),
                       {CountStar("n"), Sum(E::Column("qty"), "total")});
