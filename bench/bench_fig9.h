@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
@@ -32,6 +33,8 @@ inline void AddFig9Entry(const std::string& panel, const std::string& series,
   e.Set("pos_rows", obs::Json::Int(static_cast<int64_t>(pos_rows)));
   e.Set("change_rows", obs::Json::Int(static_cast<int64_t>(change_rows)));
   e.Set("threads", obs::Json::Int(static_cast<int64_t>(threads)));
+  e.Set("host_cpus", obs::Json::Int(static_cast<int64_t>(
+                         std::thread::hardware_concurrency())));
   e.Set("ms", obs::Json::Double(mean_seconds * 1e3));
   e.Set("delta_rows", obs::Json::Int(static_cast<int64_t>(delta_rows)));
   Fig9Entries().push_back(std::move(e));

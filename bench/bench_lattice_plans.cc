@@ -9,6 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
@@ -31,6 +32,9 @@ void AddLatticeEntry(const std::string& series, size_t num_views,
   obs::Json e = obs::Json::Object();
   e.Set("series", obs::Json::Str(series));
   e.Set("num_views", obs::Json::Int(static_cast<int64_t>(num_views)));
+  e.Set("threads", obs::Json::Int(1));  // this ablation is serial
+  e.Set("host_cpus", obs::Json::Int(static_cast<int64_t>(
+                         std::thread::hardware_concurrency())));
   e.Set("ms", obs::Json::Double(mean_seconds * 1e3));
   e.Set("views_from_base", obs::Json::Int(static_cast<int64_t>(from_base)));
   LatticeEntries().push_back(std::move(e));

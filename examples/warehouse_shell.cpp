@@ -1,6 +1,7 @@
 // An interactive warehouse shell over the paper's retail schema:
 // define summary tables in SQL, run batch windows, answer queries from
-// materialized views, snapshot to disk. Reads commands from stdin.
+// materialized views, inspect plans and metrics, snapshot to disk.
+// Reads commands from stdin.
 //
 //   ./build/examples/warehouse_shell [pos_rows]
 //
@@ -13,6 +14,13 @@
 //   lattice           show derives edges and the propagation plan
 //   batch <kind> <n>  run a batch window; kind = update | insert |
 //                     backfill | recat
+//   explain <kind> <n> [dot|json]
+//                     annotated plan tree (estimates only) for such a
+//                     batch, without running it
+//   explain analyze <kind> <n> [dot|json]
+//                     run the batch and annotate the tree with actual
+//                     cardinalities and refresh outcomes
+//   metrics           Prometheus text exposition of all pipeline metrics
 //   save <dir>        snapshot catalog + summaries
 //   help, quit
 #include <cstdio>
@@ -20,6 +28,7 @@
 #include <sstream>
 #include <string>
 
+#include "obs/export_prometheus.h"
 #include "warehouse/persistence.h"
 #include "warehouse/retail_schema.h"
 #include "warehouse/warehouse.h"
@@ -34,26 +43,30 @@ void PrintHelp() {
       "commands: CREATE VIEW ... | SELECT ... | DROP <view> | tables |\n"
       "          summaries | lattice | batch <update|insert|backfill|"
       "recat> <n> |\n"
+      "          explain [analyze] <kind> <n> [dot|json] | metrics |\n"
       "          save <dir> | help | quit\n");
+}
+
+core::ChangeSet MakeChanges(warehouse::Warehouse& wh, const std::string& kind,
+                            size_t n, uint64_t seed) {
+  if (kind == "update") {
+    return warehouse::MakeUpdateGeneratingChanges(wh.catalog(), n, seed);
+  }
+  if (kind == "insert") {
+    return warehouse::MakeInsertionGeneratingChanges(wh.catalog(), n, seed);
+  }
+  if (kind == "backfill") {
+    return warehouse::MakeBackfillChanges(wh.catalog(), n, seed);
+  }
+  if (kind == "recat") {
+    return warehouse::MakeItemRecategorization(wh.catalog(), n, seed);
+  }
+  throw std::invalid_argument("unknown batch kind '" + kind + "'");
 }
 
 void RunBatchCommand(warehouse::Warehouse& wh, const std::string& kind,
                      size_t n, uint64_t seed) {
-  core::ChangeSet changes;
-  if (kind == "update") {
-    changes = warehouse::MakeUpdateGeneratingChanges(wh.catalog(), n, seed);
-  } else if (kind == "insert") {
-    changes =
-        warehouse::MakeInsertionGeneratingChanges(wh.catalog(), n, seed);
-  } else if (kind == "backfill") {
-    changes = warehouse::MakeBackfillChanges(wh.catalog(), n, seed);
-  } else if (kind == "recat") {
-    changes = warehouse::MakeItemRecategorization(wh.catalog(), n, seed);
-  } else {
-    std::printf("unknown batch kind '%s'\n", kind.c_str());
-    return;
-  }
-  warehouse::BatchReport report = wh.RunBatch(changes);
+  warehouse::BatchReport report = wh.RunBatch(MakeChanges(wh, kind, n, seed));
   std::printf("propagate %.2f ms | refresh %.2f ms\n",
               1e3 * report.propagate_seconds, 1e3 * report.refresh_seconds);
   for (const warehouse::ViewBatchReport& v : report.views) {
@@ -64,12 +77,52 @@ void RunBatchCommand(warehouse::Warehouse& wh, const std::string& kind,
   }
 }
 
+void PrintExplain(const lattice::ExplainResult& explain,
+                  const std::string& format) {
+  if (format == "dot") {
+    std::printf("%s", explain.ToDot().c_str());
+  } else if (format == "json") {
+    std::printf("%s\n", explain.ToJson().Dump(1).c_str());
+  } else {
+    std::printf("%s", explain.ToText().c_str());
+  }
+}
+
+/// explain [analyze] <kind> [n] [dot|json]. Plain explain peeks at the
+/// *next* batch's change set without consuming the seed; analyze runs
+/// the batch for real (same seed stepping as `batch`).
+void RunExplainCommand(warehouse::Warehouse& wh, std::istringstream& in,
+                       uint64_t* seed) {
+  std::string kind;
+  in >> kind;
+  bool analyze = false;
+  if (kind == "analyze") {
+    analyze = true;
+    in >> kind;
+  }
+  size_t n = 0;
+  in >> n;
+  if (n == 0) n = 1000;
+  std::string format;
+  in >> format;
+  if (analyze) {
+    core::ChangeSet changes = MakeChanges(wh, kind, n, ++*seed);
+    PrintExplain(wh.ExplainAnalyze(changes), format);
+  } else {
+    core::ChangeSet changes = MakeChanges(wh, kind, n, *seed + 1);
+    PrintExplain(wh.Explain(changes), format);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   warehouse::RetailConfig config;
   config.num_pos_rows = argc > 1 ? std::stoul(argv[1]) : 20000;
-  warehouse::Warehouse wh(warehouse::MakeRetailCatalog(config));
+  obs::MetricsRegistry metrics;
+  warehouse::Warehouse::Options options;
+  options.metrics = &metrics;
+  warehouse::Warehouse wh(warehouse::MakeRetailCatalog(config), options);
   wh.DefineSummaryTables({});  // start with no summary tables
   std::printf("retail warehouse ready: pos=%zu rows. Type 'help'.\n",
               config.num_pos_rows);
@@ -109,6 +162,10 @@ int main(int argc, char** argv) {
         size_t n = 0;
         in >> kind >> n;
         RunBatchCommand(wh, kind, n == 0 ? 1000 : n, ++seed);
+      } else if (upper == "EXPLAIN") {
+        RunExplainCommand(wh, in, &seed);
+      } else if (upper == "METRICS") {
+        std::printf("%s", obs::ExportPrometheus(metrics).c_str());
       } else if (upper == "DROP") {
         std::string name;
         in >> name;

@@ -36,7 +36,8 @@ Expression AggregateSource(const rel::AggregateSpec& agg, int sign) {
 /// Projects a joined+filtered relation down to group-by attributes and
 /// signed aggregate sources.
 Table ProjectSources(const rel::Table& joined, const AugmentedView& view,
-                     int sign, exec::ThreadPool* pool) {
+                     int sign, exec::ThreadPool* pool,
+                     exec::OperatorStats* stats) {
   std::vector<rel::ProjectColumn> cols;
   cols.reserve(view.physical.group_by.size() +
                view.physical.aggregates.size());
@@ -47,7 +48,7 @@ Table ProjectSources(const rel::Table& joined, const AugmentedView& view,
     cols.push_back(
         rel::ProjectColumn{a.output_name, AggregateSource(a, sign)});
   }
-  return rel::Project(joined, cols, pool);
+  return rel::Project(joined, cols, pool, stats);
 }
 
 /// Joins `fact_rows` (fact-table schema) with the given per-dimension
@@ -57,7 +58,7 @@ Table ProjectSources(const rel::Table& joined, const AugmentedView& view,
 Table JoinWith(const AugmentedView& view, const rel::Table& fact_rows,
                const std::vector<const rel::Table*>& dim_tables,
                const std::optional<Expression>& where,
-               exec::ThreadPool* pool) {
+               exec::ThreadPool* pool, exec::OperatorStats* stats) {
   const ViewDef& def = view.physical;
   Table current(fact_rows.schema().Qualified(def.fact_table));
   current.Reserve(fact_rows.NumRows());
@@ -68,9 +69,9 @@ Table JoinWith(const AugmentedView& view, const rel::Table& fact_rows,
     current = rel::HashJoin(
         current, *dim_tables[i],
         {{def.fact_table + "." + j.fact_column, j.dim_column}}, j.dim_table,
-        /*drop_right_keys=*/true, pool);
+        /*drop_right_keys=*/true, pool, stats);
   }
-  if (where.has_value()) current = rel::Select(current, *where, pool);
+  if (where.has_value()) current = rel::Select(current, *where, pool, stats);
   return current;
 }
 
@@ -86,18 +87,21 @@ rel::Schema PrepareChangesSchema(const rel::Catalog& catalog,
 rel::Table PrepareFactChanges(const rel::Catalog& catalog,
                               const AugmentedView& view,
                               const rel::Table& fact_rows, int sign,
-                              exec::ThreadPool* pool) {
+                              exec::ThreadPool* pool,
+                              exec::OperatorStats* stats) {
   std::vector<const rel::Table*> dims;
   for (const DimensionJoin& j : view.physical.joins) {
     dims.push_back(&catalog.GetTable(j.dim_table));
   }
-  Table joined = JoinWith(view, fact_rows, dims, view.physical.where, pool);
-  return ProjectSources(joined, view, sign, pool);
+  Table joined =
+      JoinWith(view, fact_rows, dims, view.physical.where, pool, stats);
+  return ProjectSources(joined, view, sign, pool, stats);
 }
 
 rel::Table PrepareChanges(const rel::Catalog& catalog,
                           const AugmentedView& view,
-                          const ChangeSet& changes, exec::ThreadPool* pool) {
+                          const ChangeSet& changes, exec::ThreadPool* pool,
+                          exec::OperatorStats* stats) {
   const ViewDef& def = view.physical;
   if (changes.fact_table != def.fact_table) {
     throw std::invalid_argument("change set is for fact table '" +
@@ -154,8 +158,9 @@ rel::Table PrepareChanges(const rel::Catalog& catalog,
       if (ver[i] == 2) sign = -sign;
       dims.push_back(t);
     }
-    Table part = ProjectSources(JoinWith(view, *fact, dims, def.where, pool),
-                                view, sign, pool);
+    Table part =
+        ProjectSources(JoinWith(view, *fact, dims, def.where, pool, stats),
+                       view, sign, pool, stats);
     std::vector<rel::Row> rows = part.TakeRows();
     out.Reserve(out.NumRows() + rows.size());
     for (rel::Row& r : rows) out.Insert(std::move(r));

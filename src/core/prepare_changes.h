@@ -4,6 +4,7 @@
 #include "core/delta.h"
 #include "core/self_maintenance.h"
 #include "core/view_def.h"
+#include "exec/operator_stats.h"
 #include "exec/thread_pool.h"
 
 namespace sdelta::core {
@@ -33,7 +34,8 @@ namespace sdelta::core {
 /// with the row's sign being the product of the per-source signs.
 rel::Table PrepareChanges(const rel::Catalog& catalog,
                           const AugmentedView& view, const ChangeSet& changes,
-                          exec::ThreadPool* pool = nullptr);
+                          exec::ThreadPool* pool = nullptr,
+                          exec::OperatorStats* stats = nullptr);
 
 /// The prepare-insertions (sign = +1) or prepare-deletions (sign = -1)
 /// relation for changes to the fact table only — the pi_/pd_ views of
@@ -42,7 +44,8 @@ rel::Table PrepareChanges(const rel::Catalog& catalog,
 rel::Table PrepareFactChanges(const rel::Catalog& catalog,
                               const AugmentedView& view,
                               const rel::Table& fact_rows, int sign,
-                              exec::ThreadPool* pool = nullptr);
+                              exec::ThreadPool* pool = nullptr,
+                              exec::OperatorStats* stats = nullptr);
 
 /// Schema of the prepare-changes relation for `view`.
 rel::Schema PrepareChangesSchema(const rel::Catalog& catalog,

@@ -14,6 +14,20 @@ void PropagateStats::EmitTo(obs::MetricsRegistry& metrics) const {
   metrics.Add("propagate.rows_scanned", prepared_tuples);
   metrics.Add("propagate.delta_rows", delta_groups);
   if (preaggregated) metrics.Add("propagate.preaggregated");
+  exec::ForEachOperator(ops, [&](const char* name,
+                                 const exec::OperatorCounters& c) {
+    if (c.calls == 0) return;
+    const std::string prefix = std::string("op.") + name;
+    metrics.Add(prefix + ".calls", c.calls);
+    metrics.Add(prefix + ".rows_in", c.rows_in);
+    metrics.Add(prefix + ".rows_out", c.rows_out);
+    metrics.Add(prefix + ".morsels", c.morsels);
+    metrics.Observe(prefix + ".seconds", c.wall_seconds);
+  });
+  if (ops.hash_join.calls > 0) {
+    metrics.Add("op.hash_join.build_rows", ops.join_build_rows);
+    metrics.Add("op.hash_join.probe_rows", ops.join_probe_rows);
+  }
 }
 
 std::vector<rel::AggregateSpec> DeltaAggregates(const AugmentedView& view) {
@@ -97,6 +111,7 @@ bool PreaggregationLegal(const rel::Catalog& catalog,
 Table PreaggregatedDelta(const rel::Catalog& catalog,
                          const AugmentedView& view, const ChangeSet& changes,
                          exec::ThreadPool* pool, PropagateStats* stats) {
+  exec::OperatorStats* ops = stats == nullptr ? nullptr : &stats->ops;
   const ViewDef& def = view.physical;
   const rel::Schema fact_qualified =
       catalog.GetTable(def.fact_table).schema().Qualified(def.fact_table);
@@ -147,7 +162,7 @@ Table PreaggregatedDelta(const rel::Catalog& catalog,
   // Share the underlying tables by copying (tables are cheap to copy at
   // change-set sizes).
   fact_changes.fact = changes.fact;
-  Table pc = PrepareChanges(catalog, fact_stage, fact_changes, pool);
+  Table pc = PrepareChanges(catalog, fact_stage, fact_changes, pool, ops);
   if (stats != nullptr) stats->prepared_tuples = pc.NumRows();
   // pc columns carry bare names; group by the bare forms.
   std::vector<std::string> bare_fact_groups;
@@ -157,7 +172,7 @@ Table PreaggregatedDelta(const rel::Catalog& catalog,
   std::vector<rel::AggregateSpec> stage1 = DeltaAggregates(view);
   stage1.push_back(TaintFromSources(view));
   Table sd_fact =
-      rel::GroupBy(pc, rel::GroupCols(bare_fact_groups), stage1, pool);
+      rel::GroupBy(pc, rel::GroupCols(bare_fact_groups), stage1, pool, ops);
 
   // Stage 2: join the needed dimensions onto the pre-aggregated delta.
   Table current = std::move(sd_fact);
@@ -165,7 +180,7 @@ Table PreaggregatedDelta(const rel::Catalog& catalog,
     const DimensionJoin& j = def.joins[i];
     current = rel::HashJoin(current, catalog.GetTable(j.dim_table),
                             {{j.fact_column, j.dim_column}}, j.dim_table,
-                            /*drop_right_keys=*/true, pool);
+                            /*drop_right_keys=*/true, pool, ops);
   }
 
   // Stage 3: re-aggregate to the view's group-by columns. Re-aggregation
@@ -178,7 +193,7 @@ Table PreaggregatedDelta(const rel::Catalog& catalog,
   std::vector<rel::AggregateSpec> stage3 = DeltaAggregates(view);
   stage3.push_back(
       rel::Max(Expression::Column(kTaintedColumn), kTaintedColumn));
-  Table out = rel::GroupBy(current, final_groups, stage3, pool);
+  Table out = rel::GroupBy(current, final_groups, stage3, pool, ops);
   Table named(out.schema(), "sd_" + def.name);
   std::vector<rel::Row> rows = out.TakeRows();
   named.Reserve(rows.size());
@@ -201,7 +216,8 @@ rel::Table ComputeSummaryDelta(const rel::Catalog& catalog,
       local.preaggregated = true;
       return PreaggregatedDelta(catalog, view, changes, options.pool, &local);
     }
-    Table pc = PrepareChanges(catalog, view, changes, options.pool);
+    Table pc = PrepareChanges(catalog, view, changes, options.pool,
+                              &local.ops);
     local.prepared_tuples = pc.NumRows();
     std::vector<rel::GroupByColumn> groups;
     for (const std::string& g : view.physical.group_by) {
@@ -209,7 +225,8 @@ rel::Table ComputeSummaryDelta(const rel::Catalog& catalog,
     }
     std::vector<rel::AggregateSpec> specs = DeltaAggregates(view);
     specs.push_back(TaintFromSources(view));
-    Table grouped = rel::GroupBy(pc, groups, specs, options.pool);
+    Table grouped = rel::GroupBy(pc, groups, specs, options.pool,
+                                 &local.ops);
     Table named(grouped.schema(), "sd_" + view.name());
     std::vector<rel::Row> rows = grouped.TakeRows();
     named.Reserve(rows.size());
@@ -238,7 +255,8 @@ std::string DerivationRecipe::ToString() const {
 rel::Table ApplyDerivation(const rel::Catalog& catalog,
                            const DerivationRecipe& recipe,
                            const rel::Table& parent_rows,
-                           exec::ThreadPool* pool) {
+                           exec::ThreadPool* pool,
+                           exec::OperatorStats* stats) {
   // The operators only read their inputs, so the join chain can start
   // from `parent_rows` in place — no upfront copy.
   const Table* current = &parent_rows;
@@ -246,7 +264,7 @@ rel::Table ApplyDerivation(const rel::Catalog& catalog,
   for (const DimensionJoin& j : recipe.joins) {
     owned = rel::HashJoin(*current, catalog.GetTable(j.dim_table),
                           {{j.fact_column, j.dim_column}}, j.dim_table,
-                          /*drop_right_keys=*/true, pool);
+                          /*drop_right_keys=*/true, pool, stats);
     current = &owned;
   }
   // Propagate the hidden taint marker down D-lattice edges (it is absent
@@ -256,7 +274,7 @@ rel::Table ApplyDerivation(const rel::Catalog& catalog,
     specs.push_back(
         rel::Max(Expression::Column(kTaintedColumn), kTaintedColumn));
   }
-  Table out = rel::GroupBy(*current, recipe.group_by, specs, pool);
+  Table out = rel::GroupBy(*current, recipe.group_by, specs, pool, stats);
   Table named(out.schema(), "sd_" + recipe.child_name);
   std::vector<rel::Row> rows = out.TakeRows();
   named.Reserve(rows.size());

@@ -32,9 +32,15 @@ struct PropagateStats {
   size_t prepared_tuples = 0;  ///< rows in the prepare-changes relation
   size_t delta_groups = 0;     ///< rows in the summary-delta table
   bool preaggregated = false;  ///< whether the §4.1.3 path was taken
+  /// Operator-level accounting for this computation (rows in/out,
+  /// morsels, join build/probe sizes, wall time per operator kind).
+  exec::OperatorStats ops;
 
   /// Folds this run's counters into a registry (propagate.rows_scanned,
-  /// propagate.delta_rows, propagate.preaggregated).
+  /// propagate.delta_rows, propagate.preaggregated, and per-operator
+  /// op.<name>.{calls,rows_in,rows_out,morsels} counters plus
+  /// op.<name>.seconds histograms — only for operators invoked at least
+  /// once, so untouched operators add no series).
   void EmitTo(obs::MetricsRegistry& metrics) const;
 };
 
@@ -91,7 +97,8 @@ struct DerivationRecipe {
 rel::Table ApplyDerivation(const rel::Catalog& catalog,
                            const DerivationRecipe& recipe,
                            const rel::Table& parent_rows,
-                           exec::ThreadPool* pool = nullptr);
+                           exec::ThreadPool* pool = nullptr,
+                           exec::OperatorStats* stats = nullptr);
 
 }  // namespace sdelta::core
 

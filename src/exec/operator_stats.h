@@ -1,0 +1,80 @@
+// Operator-level accounting for the relational operators.
+//
+// An OperatorStats instance is owned by one logical pipeline (a
+// propagate plan step, a refresh, a test); the relational operators take
+// a nullable pointer to it and record rows in/out, morsel counts, join
+// build/probe sizes, and wall time per invocation.  It is a plain
+// struct, not an atomic bundle: every field is written by the thread
+// that *invoked* the operator (morsel tasks running on pool workers
+// never touch it — the operator records totals after its fork/join
+// completes), so one instance per concurrent plan step is race-free.
+//
+// Everything except wall_seconds is a pure function of operator inputs
+// (morsel plans are computed from input sizes alone), so these counts
+// are byte-identical across thread counts and feed deterministic
+// explain output; wall_seconds is measurement and is excluded from
+// deterministic renderings.
+#pragma once
+
+#include <cstdint>
+
+namespace sdelta::exec {
+
+/// Accounting for all invocations of one operator kind.
+struct OperatorCounters {
+  uint64_t calls = 0;
+  uint64_t rows_in = 0;
+  uint64_t rows_out = 0;
+  uint64_t morsels = 0;     // morsels in the operator's parallel plan(s)
+  double wall_seconds = 0;  // non-deterministic; excluded from golden output
+
+  void MergeFrom(const OperatorCounters& other) {
+    calls += other.calls;
+    rows_in += other.rows_in;
+    rows_out += other.rows_out;
+    morsels += other.morsels;
+    wall_seconds += other.wall_seconds;
+  }
+};
+
+/// One accounting bundle per pipeline, covering the five relational
+/// operators. For HashJoin, rows_in counts probe+build and the
+/// build/probe split is broken out separately.
+struct OperatorStats {
+  OperatorCounters select;
+  OperatorCounters project;
+  OperatorCounters hash_join;
+  OperatorCounters group_by;
+  OperatorCounters union_all;
+  uint64_t join_build_rows = 0;  // rows hashed into build tables
+  uint64_t join_probe_rows = 0;  // rows streamed through probes
+
+  uint64_t total_calls() const {
+    return select.calls + project.calls + hash_join.calls + group_by.calls +
+           union_all.calls;
+  }
+
+  void MergeFrom(const OperatorStats& other) {
+    select.MergeFrom(other.select);
+    project.MergeFrom(other.project);
+    hash_join.MergeFrom(other.hash_join);
+    group_by.MergeFrom(other.group_by);
+    union_all.MergeFrom(other.union_all);
+    join_build_rows += other.join_build_rows;
+    join_probe_rows += other.join_probe_rows;
+  }
+};
+
+/// Visits each operator's counters with its canonical short name, in a
+/// fixed order — shared by the metric emitters and explain renderers so
+/// names never drift.
+template <typename Fn>
+void ForEachOperator(const OperatorStats& stats, Fn&& fn) {
+  fn("select", stats.select);
+  fn("project", stats.project);
+  fn("hash_join", stats.hash_join);
+  fn("group_by", stats.group_by);
+  fn("union_all", stats.union_all);
+}
+
+}  // namespace sdelta::exec

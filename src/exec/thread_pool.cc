@@ -15,9 +15,12 @@ uint64_t NowNs() {
 }  // namespace
 
 ThreadPool::ThreadPool(size_t num_workers) {
+  if (num_workers > 0) {
+    worker_busy_ns_ = std::make_unique<std::atomic<uint64_t>[]>(num_workers);
+  }
   workers_.reserve(num_workers);
   for (size_t i = 0; i < num_workers; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -41,6 +44,12 @@ PoolStats ThreadPool::StatsSnapshot() const {
   s.tasks_helped = tasks_helped_.load(std::memory_order_relaxed);
   s.morsels_scheduled = morsels_scheduled_.load(std::memory_order_relaxed);
   s.busy_ns = busy_ns_.load(std::memory_order_relaxed);
+  s.worker_busy_ns.reserve(workers_.size());
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    s.worker_busy_ns.push_back(
+        worker_busy_ns_[i].load(std::memory_order_relaxed));
+  }
+  s.helper_busy_ns = helper_busy_ns_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -67,11 +76,11 @@ bool ThreadPool::RunOneQueued(bool helping) {
     task = std::move(queue_.front());
     queue_.pop_front();
   }
-  Execute(std::move(task), helping);
+  Execute(std::move(task), helping, kHelperContext);
   return true;
 }
 
-void ThreadPool::Execute(Task task, bool helping) {
+void ThreadPool::Execute(Task task, bool helping, size_t worker_index) {
   const uint64_t start = NowNs();
   std::exception_ptr error;
   try {
@@ -79,13 +88,20 @@ void ThreadPool::Execute(Task task, bool helping) {
   } catch (...) {
     error = std::current_exception();
   }
-  busy_ns_.fetch_add(NowNs() - start, std::memory_order_relaxed);
+  const uint64_t elapsed = NowNs() - start;
+  busy_ns_.fetch_add(elapsed, std::memory_order_relaxed);
+  if (worker_index == kHelperContext) {
+    helper_busy_ns_.fetch_add(elapsed, std::memory_order_relaxed);
+  } else {
+    worker_busy_ns_[worker_index].fetch_add(elapsed,
+                                            std::memory_order_relaxed);
+  }
   (helping ? tasks_helped_ : tasks_executed_)
       .fetch_add(1, std::memory_order_relaxed);
   if (task.group != nullptr) task.group->OnTaskDone(error);
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(size_t worker_index) {
   for (;;) {
     Task task;
     {
@@ -95,7 +111,7 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    Execute(std::move(task), /*helping=*/false);
+    Execute(std::move(task), /*helping=*/false, worker_index);
   }
 }
 

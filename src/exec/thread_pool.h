@@ -27,6 +27,7 @@
 #include <deque>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -41,6 +42,11 @@ struct PoolStats {
   uint64_t tasks_helped = 0;       // tasks run by a waiter inside Wait()
   uint64_t morsels_scheduled = 0;  // morsels dispatched by ParallelFor
   uint64_t busy_ns = 0;            // wall ns threads spent inside tasks
+  // Per-execution-context split of busy_ns: one entry per pool worker
+  // (index = worker id), plus the time helping threads spent running
+  // tasks inside Wait().  busy_ns == sum(worker_busy_ns) + helper_busy_ns.
+  std::vector<uint64_t> worker_busy_ns;
+  uint64_t helper_busy_ns = 0;
 };
 
 class TaskGroup;
@@ -89,8 +95,11 @@ class ThreadPool {
   // Pop-and-run one queued task; returns false if the queue was empty.
   // `helping` selects which counter the execution is attributed to.
   bool RunOneQueued(bool helping);
-  void WorkerLoop();
-  void Execute(Task task, bool helping);
+  void WorkerLoop(size_t worker_index);
+  // `worker_index` attributes busy time; pass kHelperContext for
+  // executions on a helping (non-worker) thread.
+  static constexpr size_t kHelperContext = static_cast<size_t>(-1);
+  void Execute(Task task, bool helping, size_t worker_index);
 
   std::vector<std::thread> workers_;
   mutable std::mutex mu_;
@@ -103,6 +112,10 @@ class ThreadPool {
   std::atomic<uint64_t> tasks_helped_{0};
   std::atomic<uint64_t> morsels_scheduled_{0};
   std::atomic<uint64_t> busy_ns_{0};
+  // One busy-time slot per worker (allocated before the threads spawn,
+  // never resized) plus one for all helping threads combined.
+  std::unique_ptr<std::atomic<uint64_t>[]> worker_busy_ns_;
+  std::atomic<uint64_t> helper_busy_ns_{0};
 };
 
 // Scoped fork/join.  Spawn() enqueues onto the pool; Wait() helps run

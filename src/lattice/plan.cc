@@ -1,6 +1,7 @@
 #include "lattice/plan.h"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 #include <unordered_set>
 
@@ -105,7 +106,8 @@ MaintenancePlan ChoosePlan(const rel::Catalog& catalog,
 
   if (!options.use_lattice) {
     for (size_t i = 0; i < n; ++i) {
-      plan.steps.push_back(PlanStep{i, std::nullopt});
+      const double est = EstimateGroupCount(catalog, lattice.views[i]);
+      plan.steps.push_back(PlanStep{i, std::nullopt, est, est});
     }
     if (options.metrics != nullptr) {
       options.metrics->Add("plan.steps_from_base", n);
@@ -158,7 +160,10 @@ MaintenancePlan ChoosePlan(const rel::Catalog& catalog,
         options.metrics->Add("plan.steps_from_base");
       }
     }
-    plan.steps.push_back(PlanStep{v, best_edge});
+    const double cost = best_edge.has_value()
+                            ? edge_cost(lattice.edges[*best_edge])
+                            : estimate[v];
+    plan.steps.push_back(PlanStep{v, best_edge, estimate[v], cost});
   }
   return plan;
 }
@@ -170,6 +175,7 @@ LatticePropagateResult PropagateAll(const rel::Catalog& catalog,
                                     const core::PropagateOptions& opts) {
   LatticePropagateResult result;
   result.deltas.resize(lattice.views.size());
+  result.step_execs.resize(plan.steps.size());
   std::vector<bool> computed(lattice.views.size(), false);
 
   // Root span for the phase; plan-step spans that compute from base
@@ -194,21 +200,56 @@ LatticePropagateResult PropagateAll(const rel::Catalog& catalog,
     return true;
   };
 
-  // Runs one plan step (on whichever thread the wave scheduler picked)
-  // and records its summary-delta, span id, and stats into per-step
-  // slots. The explicit parent span mirrors the D-lattice: derived
-  // steps parent on their source view's span, base steps on the phase.
-  auto run_step = [&](const PlanStep& step, core::PropagateStats* stats) {
-    const bool via_edge =
+  // Per-step edge gating, wave membership, and the topological check —
+  // computed up front and identically on the serial and wave-scheduled
+  // paths, so StepExecution records (and thus explain output) never
+  // depend on the thread count.
+  std::vector<size_t> wave_of(lattice.views.size(), 0);
+  std::vector<std::vector<size_t>> waves;  // slot indexes per wave
+  for (size_t slot = 0; slot < plan.steps.size(); ++slot) {
+    const PlanStep& step = plan.steps[slot];
+    StepExecution& ex = result.step_execs[slot];
+    ex.view = step.view;
+    ex.via_edge =
         step.edge.has_value() && edge_usable(lattice.edges[*step.edge]);
+    ex.edge_disabled = step.edge.has_value() && !ex.via_edge;
+    size_t w = 0;
+    if (ex.via_edge) {
+      const size_t parent = lattice.edges[*step.edge].parent;
+      if (!computed[parent]) {
+        throw std::logic_error("maintenance plan is not topologically "
+                               "ordered: parent of " +
+                               lattice.views[step.view].name() +
+                               " not yet computed");
+      }
+      w = wave_of[parent] + 1;
+    }
+    wave_of[step.view] = w;
+    ex.wave = w;
+    computed[step.view] = true;
+    if (w >= waves.size()) waves.resize(w + 1);
+    waves[w].push_back(slot);
+  }
+
+  // Runs one plan step (on whichever thread the wave scheduler picked)
+  // and records its summary-delta, span id, and execution record into
+  // per-step slots. The explicit parent span mirrors the D-lattice:
+  // derived steps parent on their source view's span, base steps on the
+  // phase.
+  auto run_step = [&](size_t slot, core::PropagateStats* stats) {
+    const PlanStep& step = plan.steps[slot];
+    StepExecution& ex = result.step_execs[slot];
+    const auto start = std::chrono::steady_clock::now();
     const uint64_t parent_span =
-        via_edge ? view_span[lattice.edges[*step.edge].parent] : phase.id();
+        ex.via_edge ? view_span[lattice.edges[*step.edge].parent] : phase.id();
     obs::TraceSpan span(opts.tracer, lattice.views[step.view].name(),
                         parent_span);
-    if (via_edge) {
+    if (ex.via_edge) {
       const VLatticeEdge& edge = lattice.edges[*step.edge];
-      result.deltas[step.view] = core::ApplyDerivation(
-          catalog, edge.recipe, result.deltas[edge.parent], opts.pool);
+      result.deltas[step.view] =
+          core::ApplyDerivation(catalog, edge.recipe,
+                                result.deltas[edge.parent], opts.pool,
+                                &stats->ops);
       stats->prepared_tuples = result.deltas[edge.parent].NumRows();
       stats->delta_groups = result.deltas[step.view].NumRows();
       if (opts.metrics != nullptr) stats->EmitTo(*opts.metrics);
@@ -220,76 +261,45 @@ LatticePropagateResult PropagateAll(const rel::Catalog& catalog,
     }
     span.Attr("delta_rows", static_cast<uint64_t>(stats->delta_groups));
     view_span[step.view] = span.id();
+    ex.input_rows = stats->prepared_tuples;
+    ex.delta_rows = stats->delta_groups;
+    ex.ops = stats->ops;
+    ex.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
   };
 
+  std::vector<core::PropagateStats> step_stats(plan.steps.size());
   if (opts.pool == nullptr) {
     // Serial path: run steps in plan order.
-    for (const PlanStep& step : plan.steps) {
-      const bool via_edge =
-          step.edge.has_value() && edge_usable(lattice.edges[*step.edge]);
-      if (via_edge && !computed[lattice.edges[*step.edge].parent]) {
-        throw std::logic_error("maintenance plan is not topologically "
-                               "ordered: parent of " +
-                               lattice.views[step.view].name() +
-                               " not yet computed");
+    for (size_t slot = 0; slot < plan.steps.size(); ++slot) {
+      run_step(slot, &step_stats[slot]);
+    }
+  } else {
+    // Wave schedule: wave 0 computes from base changes (or along an edge
+    // disabled by dimension deltas), wave k+1 derives from a wave-k
+    // parent. Steps within a wave are independent by construction, so
+    // each wave is one fork/join over the pool; the wave barrier
+    // guarantees every parent's summary-delta (and its span id) is in
+    // place before any dependent dispatches.
+    for (const auto& wave_slots : waves) {
+      exec::TaskGroup group(opts.pool);
+      for (size_t slot : wave_slots) {
+        group.Spawn([&, slot] { run_step(slot, &step_stats[slot]); });
       }
-      core::PropagateStats stats;
-      run_step(step, &stats);
-      computed[step.view] = true;
-      result.totals.prepared_tuples += stats.prepared_tuples;
-      result.totals.delta_groups += stats.delta_groups;
-    }
-    return result;
-  }
-
-  // Wave schedule: group steps by topological depth in the plan's
-  // derivation DAG — wave 0 computes from base changes (or along an
-  // edge disabled by dimension deltas), wave k+1 derives from a wave-k
-  // parent. Steps within a wave are independent by construction, so
-  // each wave is one fork/join over the pool; the wave barrier
-  // guarantees every parent's summary-delta (and its span id) is in
-  // place before any dependent dispatches. Wave membership depends only
-  // on the plan and the change set, never on the thread count.
-  std::vector<size_t> wave(lattice.views.size(), 0);
-  std::vector<std::vector<const PlanStep*>> waves;
-  for (const PlanStep& step : plan.steps) {
-    const bool via_edge =
-        step.edge.has_value() && edge_usable(lattice.edges[*step.edge]);
-    size_t w = 0;
-    if (via_edge) {
-      const size_t parent = lattice.edges[*step.edge].parent;
-      if (!computed[parent]) {
-        throw std::logic_error("maintenance plan is not topologically "
-                               "ordered: parent of " +
-                               lattice.views[step.view].name() +
-                               " not yet computed");
+      group.Wait();
+      if (opts.metrics != nullptr) {
+        opts.metrics->Add("exec.waves");
+        opts.metrics->Observe("exec.wave_width",
+                              static_cast<double>(wave_slots.size()));
       }
-      w = wave[parent] + 1;
-    }
-    wave[step.view] = w;
-    computed[step.view] = true;
-    if (w >= waves.size()) waves.resize(w + 1);
-    waves[w].push_back(&step);
-  }
-
-  std::vector<core::PropagateStats> step_stats(plan.steps.size());
-  for (const auto& wave_steps : waves) {
-    exec::TaskGroup group(opts.pool);
-    for (const PlanStep* step : wave_steps) {
-      const size_t slot = static_cast<size_t>(step - plan.steps.data());
-      group.Spawn([&, step, slot] { run_step(*step, &step_stats[slot]); });
-    }
-    group.Wait();
-    if (opts.metrics != nullptr) {
-      opts.metrics->Add("exec.waves");
-      opts.metrics->Observe("exec.wave_width",
-                            static_cast<double>(wave_steps.size()));
     }
   }
   // Fold per-step stats in plan order so totals are deterministic.
-  for (const core::PropagateStats& s : step_stats) {
-    result.totals.prepared_tuples += s.prepared_tuples;
-    result.totals.delta_groups += s.delta_groups;
+  for (const core::PropagateStats& st : step_stats) {
+    result.totals.prepared_tuples += st.prepared_tuples;
+    result.totals.delta_groups += st.delta_groups;
+    result.totals.ops.MergeFrom(st.ops);
   }
   return result;
 }

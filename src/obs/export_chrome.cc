@@ -7,7 +7,7 @@
 
 namespace sdelta::obs {
 
-Json ChromeTraceJson(const Tracer& tracer) {
+Json ChromeTraceJson(const Tracer& tracer, const MetricsSnapshot* metrics) {
   uint64_t base = std::numeric_limits<uint64_t>::max();
   for (const SpanRecord& s : tracer.spans()) base = std::min(base, s.start_ns);
   if (tracer.spans().empty()) base = 0;
@@ -34,18 +34,41 @@ Json ChromeTraceJson(const Tracer& tracer) {
     events.Append(std::move(e));
   }
 
+  if (metrics != nullptr) {
+    // One counter ("C") event per histogram so its distribution summary
+    // shows up as a track in Perfetto / chrome://tracing.
+    for (const auto& [name, h] : metrics->histograms) {
+      Json e = Json::Object();
+      e.Set("name", Json::Str(name));
+      e.Set("cat", Json::Str("sdelta.histogram"));
+      e.Set("ph", Json::Str("C"));
+      e.Set("pid", Json::Int(1));
+      e.Set("tid", Json::Int(1));
+      e.Set("ts", Json::Int(0));
+      Json args = Json::Object();
+      args.Set("mean", Json::Double(h.Mean()));
+      args.Set("p50", Json::Double(h.P50()));
+      args.Set("p95", Json::Double(h.P95()));
+      args.Set("p99", Json::Double(h.P99()));
+      e.Set("args", std::move(args));
+      events.Append(std::move(e));
+    }
+  }
+
   Json doc = Json::Object();
   doc.Set("displayTimeUnit", Json::Str("ms"));
   doc.Set("traceEvents", std::move(events));
   return doc;
 }
 
-std::string ExportChromeTrace(const Tracer& tracer) {
-  return ChromeTraceJson(tracer).Dump(1) + "\n";
+std::string ExportChromeTrace(const Tracer& tracer,
+                              const MetricsSnapshot* metrics) {
+  return ChromeTraceJson(tracer, metrics).Dump(1) + "\n";
 }
 
-void WriteChromeTrace(const std::string& path, const Tracer& tracer) {
-  WriteFile(path, ExportChromeTrace(tracer));
+void WriteChromeTrace(const std::string& path, const Tracer& tracer,
+                      const MetricsSnapshot* metrics) {
+  WriteFile(path, ExportChromeTrace(tracer, metrics));
 }
 
 }  // namespace sdelta::obs

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "obs/json.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace sdelta::obs {
@@ -20,11 +21,18 @@ namespace sdelta::obs {
 /// propagate plan steps is the D-lattice source view, not the caller) is
 /// carried in args.parent / args.parent_id so the plan tree is
 /// recoverable in the UI.
-Json ChromeTraceJson(const Tracer& tracer);
-std::string ExportChromeTrace(const Tracer& tracer);
+///
+/// When a metrics snapshot is supplied, each histogram additionally
+/// becomes one counter ("C") event at ts 0 whose args carry
+/// mean/p50/p95/p99, giving trace viewers a distribution-summary track.
+Json ChromeTraceJson(const Tracer& tracer,
+                     const MetricsSnapshot* metrics = nullptr);
+std::string ExportChromeTrace(const Tracer& tracer,
+                              const MetricsSnapshot* metrics = nullptr);
 
 /// Convenience: ExportChromeTrace to a file (see ExportJson's WriteFile).
-void WriteChromeTrace(const std::string& path, const Tracer& tracer);
+void WriteChromeTrace(const std::string& path, const Tracer& tracer,
+                      const MetricsSnapshot* metrics = nullptr);
 
 }  // namespace sdelta::obs
 

@@ -8,30 +8,37 @@
 
 namespace sdelta::obs {
 
-Json MetricsToJson(const MetricsRegistry& metrics) {
+Json MetricsToJson(const MetricsSnapshot& snapshot) {
   Json doc = Json::Object();
   Json counters = Json::Object();
-  for (const auto& [name, v] : metrics.counters()) {
+  for (const auto& [name, v] : snapshot.counters) {
     counters.Set(name, Json::Int(static_cast<int64_t>(v)));
   }
   Json gauges = Json::Object();
-  for (const auto& [name, v] : metrics.gauges()) {
+  for (const auto& [name, v] : snapshot.gauges) {
     gauges.Set(name, Json::Double(v));
   }
   Json histograms = Json::Object();
-  for (const auto& [name, h] : metrics.histograms()) {
+  for (const auto& [name, h] : snapshot.histograms) {
     Json entry = Json::Object();
     entry.Set("count", Json::Int(static_cast<int64_t>(h.count)));
     entry.Set("sum", Json::Double(h.sum));
     entry.Set("min", Json::Double(h.count == 0 ? 0 : h.min));
     entry.Set("max", Json::Double(h.count == 0 ? 0 : h.max));
     entry.Set("mean", Json::Double(h.Mean()));
+    entry.Set("p50", Json::Double(h.P50()));
+    entry.Set("p95", Json::Double(h.P95()));
+    entry.Set("p99", Json::Double(h.P99()));
     histograms.Set(name, std::move(entry));
   }
   doc.Set("counters", std::move(counters));
   doc.Set("gauges", std::move(gauges));
   doc.Set("histograms", std::move(histograms));
   return doc;
+}
+
+Json MetricsToJson(const MetricsRegistry& metrics) {
+  return MetricsToJson(metrics.Snapshot());
 }
 
 Json SpansToJson(const Tracer& tracer, bool rebase_timestamps) {
@@ -63,7 +70,7 @@ Json SpansToJson(const Tracer& tracer, bool rebase_timestamps) {
 std::string ExportJson(const MetricsRegistry* metrics, const Tracer* tracer,
                        const JsonExportOptions& options) {
   Json doc = Json::Object();
-  doc.Set("schema", Json::Str("sdelta.obs.v1"));
+  doc.Set("schema", Json::Str("sdelta.obs.v2"));
   if (metrics != nullptr) doc.Set("metrics", MetricsToJson(*metrics));
   if (tracer != nullptr) {
     doc.Set("spans", SpansToJson(*tracer, options.rebase_timestamps));

@@ -19,9 +19,13 @@ struct JsonExportOptions {
   int indent = 2;
 };
 
-/// Deterministic-schema export of a registry:
+/// Deterministic-schema export of a metrics snapshot:
 ///   {"counters": {...sorted...}, "gauges": {...}, "histograms":
-///    {"name": {"count":n,"sum":s,"min":m,"max":M,"mean":u}}}
+///    {"name": {"count":n,"sum":s,"min":m,"max":M,"mean":u,
+///              "p50":a,"p95":b,"p99":c}}}
+Json MetricsToJson(const MetricsSnapshot& snapshot);
+/// Convenience overload: snapshots the registry first (safe while pool
+/// workers are still recording).
 Json MetricsToJson(const MetricsRegistry& metrics);
 
 /// Deterministic-schema export of a span tree (start order):
@@ -29,8 +33,9 @@ Json MetricsToJson(const MetricsRegistry& metrics);
 ///     "attrs":{"k":"v"}}, ...]
 Json SpansToJson(const Tracer& tracer, bool rebase_timestamps = true);
 
-/// Combined document: {"schema":"sdelta.obs.v1","metrics":...,"spans":...}.
-/// Either source may be null; absent sections are omitted.
+/// Combined document: {"schema":"sdelta.obs.v2","metrics":...,"spans":...}.
+/// Either source may be null; absent sections are omitted. v2 added
+/// histogram percentiles (p50/p95/p99) to the v1 layout.
 std::string ExportJson(const MetricsRegistry* metrics, const Tracer* tracer,
                        const JsonExportOptions& options = {});
 

@@ -1,0 +1,91 @@
+#include "obs/export_prometheus.h"
+
+#include <array>
+#include <charconv>
+#include <cmath>
+
+namespace sdelta::obs {
+namespace {
+
+/// Shortest-round-trip number formatting, matching the JSON exporter so
+/// the same value renders identically in both documents. Prometheus
+/// accepts "+Inf"/"-Inf"/"NaN" but we never emit them: empty-histogram
+/// min/max render as 0.
+void NumberTo(std::string& out, double d) {
+  if (!std::isfinite(d)) {
+    out += "0";
+    return;
+  }
+  std::array<char, 32> buf;
+  auto [end, ec] = std::to_chars(buf.data(), buf.data() + buf.size(), d);
+  out.append(buf.data(), end);
+}
+
+void Header(std::string& out, const std::string& name, const char* help,
+            const char* type) {
+  out += "# HELP ";
+  out += name;
+  out.push_back(' ');
+  out += help;
+  out.push_back('\n');
+  out += "# TYPE ";
+  out += name;
+  out.push_back(' ');
+  out += type;
+  out.push_back('\n');
+}
+
+void Sample(std::string& out, const std::string& name, double value,
+            const char* labels = nullptr) {
+  out += name;
+  if (labels != nullptr) out += labels;
+  out.push_back(' ');
+  NumberTo(out, value);
+  out.push_back('\n');
+}
+
+}  // namespace
+
+std::string PrometheusName(std::string_view registry_name) {
+  std::string name = "sdelta_";
+  for (char c : registry_name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    name.push_back(ok ? c : '_');
+  }
+  return name;
+}
+
+std::string ExportPrometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, v] : snapshot.counters) {
+    const std::string p = PrometheusName(name) + "_total";
+    Header(out, p, "Monotonic event count.", "counter");
+    Sample(out, p, static_cast<double>(v));
+  }
+  for (const auto& [name, v] : snapshot.gauges) {
+    const std::string p = PrometheusName(name);
+    Header(out, p, "Last-written value.", "gauge");
+    Sample(out, p, v);
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    const std::string p = PrometheusName(name);
+    Header(out, p, "Observed value distribution.", "summary");
+    Sample(out, p, h.P50(), "{quantile=\"0.5\"}");
+    Sample(out, p, h.P95(), "{quantile=\"0.95\"}");
+    Sample(out, p, h.P99(), "{quantile=\"0.99\"}");
+    Sample(out, p + "_sum", h.sum);
+    Sample(out, p + "_count", static_cast<double>(h.count));
+    Header(out, p + "_min", "Minimum observed value.", "gauge");
+    Sample(out, p + "_min", h.count == 0 ? 0 : h.min);
+    Header(out, p + "_max", "Maximum observed value.", "gauge");
+    Sample(out, p + "_max", h.count == 0 ? 0 : h.max);
+  }
+  return out;
+}
+
+std::string ExportPrometheus(const MetricsRegistry& metrics) {
+  return ExportPrometheus(metrics.Snapshot());
+}
+
+}  // namespace sdelta::obs

@@ -1,0 +1,38 @@
+#ifndef SDELTA_OBS_EXPORT_PROMETHEUS_H_
+#define SDELTA_OBS_EXPORT_PROMETHEUS_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace sdelta::obs {
+
+/// Renders a metrics snapshot in the Prometheus text exposition format
+/// (version 0.0.4), suitable for a /metrics endpoint or for pasting
+/// into promtool. Naming rules:
+///
+///   * every metric is prefixed `sdelta_`;
+///   * dots (and any character outside [a-zA-Z0-9_]) in registry names
+///     become `_`: `propagate.delta_rows` -> `sdelta_propagate_delta_rows`;
+///   * counters get the conventional `_total` suffix and TYPE counter;
+///   * gauges are emitted as-is with TYPE gauge;
+///   * histograms are emitted as TYPE summary with quantile="0.5"/
+///     "0.95"/"0.99" sample lines plus `_sum` and `_count`, and two
+///     companion gauges `<name>_min` / `<name>_max`.
+///
+/// Output is deterministic: series are iterated in sorted (map) order
+/// and floating-point values use shortest-round-trip formatting, so two
+/// identical snapshots render byte-identical documents.
+std::string ExportPrometheus(const MetricsSnapshot& snapshot);
+
+/// Convenience overload: snapshots the registry first (safe while pool
+/// workers are still recording).
+std::string ExportPrometheus(const MetricsRegistry& metrics);
+
+/// The exposition name for a registry metric (prefix + sanitation, no
+/// kind suffix): PrometheusName("plan.edge_cost") == "sdelta_plan_edge_cost".
+std::string PrometheusName(std::string_view registry_name);
+
+}  // namespace sdelta::obs
+
+#endif  // SDELTA_OBS_EXPORT_PROMETHEUS_H_

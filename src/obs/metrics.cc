@@ -2,16 +2,12 @@
 
 namespace sdelta::obs {
 
-void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
+void MetricsRegistry::MergeFrom(const MetricsSnapshot& snapshot) {
   std::scoped_lock lock(mu_);
-  for (const auto& [name, v] : other.counters_) Find(counters_, name) += v;
-  for (const auto& [name, v] : other.gauges_) Find(gauges_, name) = v;
-  for (const auto& [name, h] : other.histograms_) {
-    Histogram& mine = Find(histograms_, name);
-    mine.count += h.count;
-    mine.sum += h.sum;
-    if (h.min < mine.min) mine.min = h.min;
-    if (h.max > mine.max) mine.max = h.max;
+  for (const auto& [name, v] : snapshot.counters) Find(counters_, name) += v;
+  for (const auto& [name, v] : snapshot.gauges) Find(gauges_, name) = v;
+  for (const auto& [name, h] : snapshot.histograms) {
+    Find(histograms_, name).MergeFrom(h);
   }
 }
 

@@ -1,6 +1,8 @@
 #ifndef SDELTA_OBS_METRICS_H_
 #define SDELTA_OBS_METRICS_H_
 
+#include <array>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <map>
@@ -11,39 +13,121 @@
 namespace sdelta::obs {
 
 /// Accumulated distribution of observed values (timings, cardinalities).
-/// Summary statistics only — enough for the JSON export and for benches
-/// to report means; full bucketing would buy little at our scales.
+/// Keeps summary statistics plus a fixed array of base-2 exponential
+/// buckets, so percentile queries need no per-observation storage.
+///
+/// Bucket i covers (2^(i-33), 2^(i-32)] — i.e. bucket upper bounds run
+/// from 2^-32 (~2.3e-10, below any timing we care about) to 2^31
+/// (~2.1e9, above any cardinality we produce). Values at or below the
+/// smallest bound (including zero and negatives) land in bucket 0;
+/// values beyond the largest land in the final bucket. Percentiles are
+/// resolved to the bucket upper bound and clamped to [min, max], so
+/// they are exact whenever all observations in the answering bucket
+/// share one value (true for power-of-two cardinalities and for any
+/// single-valued series) and within 2x otherwise.
 struct Histogram {
+  static constexpr int kNumBuckets = 64;
+  /// upper bound of bucket i is 2^(i + kMinExp); kMinExp = -32.
+  static constexpr int kMinExp = -32;
+
   uint64_t count = 0;
   double sum = 0;
   double min = std::numeric_limits<double>::infinity();
   double max = -std::numeric_limits<double>::infinity();
+  std::array<uint64_t, kNumBuckets> buckets{};
+
+  /// Index of the bucket that covers `v`.
+  static int BucketOf(double v) {
+    if (!(v > 0)) return 0;  // zero, negatives, NaN
+    int exp = 0;
+    const double frac = std::frexp(v, &exp);  // v = frac * 2^exp, frac in [0.5, 1)
+    // v in (2^(exp-1), 2^exp] unless v is an exact power of two
+    // (frac == 0.5), which is the inclusive top of the bucket below.
+    int bucket = exp - kMinExp - (frac == 0.5 ? 1 : 0);
+    if (bucket < 0) bucket = 0;
+    if (bucket >= kNumBuckets) bucket = kNumBuckets - 1;
+    return bucket;
+  }
+  /// Upper bound of bucket i (inclusive).
+  static double BucketUpperBound(int i) {
+    return std::ldexp(1.0, i + kMinExp);
+  }
 
   void Observe(double v) {
     ++count;
     sum += v;
     if (v < min) min = v;
     if (v > max) max = v;
+    ++buckets[static_cast<size_t>(BucketOf(v))];
   }
   double Mean() const { return count == 0 ? 0 : sum / static_cast<double>(count); }
+
+  /// Value at percentile `p` in [0, 100]: the upper bound of the bucket
+  /// containing the ceil(p/100 * count)-th smallest observation,
+  /// clamped to [min, max]. Returns 0 on an empty histogram.
+  double Percentile(double p) const {
+    if (count == 0) return 0;
+    uint64_t rank = static_cast<uint64_t>(
+        std::ceil(p / 100.0 * static_cast<double>(count)));
+    if (rank < 1) rank = 1;
+    if (rank > count) rank = count;
+    uint64_t cumulative = 0;
+    for (int i = 0; i < kNumBuckets; ++i) {
+      cumulative += buckets[static_cast<size_t>(i)];
+      if (cumulative >= rank) {
+        double v = BucketUpperBound(i);
+        if (v < min) v = min;
+        if (v > max) v = max;
+        return v;
+      }
+    }
+    return max;
+  }
+  double P50() const { return Percentile(50); }
+  double P95() const { return Percentile(95); }
+  double P99() const { return Percentile(99); }
+
+  /// Folds another histogram into this one (summary stats and buckets).
+  void MergeFrom(const Histogram& other) {
+    count += other.count;
+    sum += other.sum;
+    if (other.min < min) min = other.min;
+    if (other.max > max) max = other.max;
+    for (size_t i = 0; i < buckets.size(); ++i) buckets[i] += other.buckets[i];
+  }
+};
+
+/// A point-in-time deep copy of a MetricsRegistry's series, taken under
+/// the registry mutex. Exporters iterate snapshots, never live registry
+/// state, so exports are safe while pool workers are still recording.
+struct MetricsSnapshot {
+  template <typename V>
+  using Series = std::map<std::string, V, std::less<>>;
+
+  Series<uint64_t> counters;
+  Series<double> gauges;
+  Series<Histogram> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
 };
 
 /// A registry of named counters, gauges, and histograms.
 ///
 /// Naming convention: dotted lower-case paths, subsystem first —
 ///   propagate.rows_scanned, propagate.delta_rows, refresh.updates,
-///   refresh.minmax_recomputes, plan.edge_cost, exec.tasks, ...
+///   refresh.minmax_recomputes, plan.edge_cost, exec.tasks, op.select.*
 /// The same name must always be used with the same instrument kind.
 ///
 /// The registry is passed around as a nullable pointer; every
 /// instrumentation site guards with a single null check. Maps are
 /// ordered so exports are deterministic.
 ///
-/// Thread safety: all mutators and point reads are serialized on an
-/// internal mutex, so concurrent propagate steps / refresh workers can
-/// share one registry. The by-reference accessors (counters(), gauges(),
-/// histograms()) are lock-free reads for export code and must only be
-/// called once parallel work has quiesced (all pool tasks joined).
+/// Thread safety: all mutators and reads are serialized on an internal
+/// mutex, so concurrent propagate steps / refresh workers can share one
+/// registry. Bulk reads go through Snapshot(), a mutex-held deep copy —
+/// there is no way to observe live series by reference.
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
@@ -86,12 +170,13 @@ class MetricsRegistry {
   }
 
   template <typename V>
-  using Series = std::map<std::string, V, std::less<>>;
+  using Series = MetricsSnapshot::Series<V>;
 
-  /// Quiesced-only accessors (see class comment).
-  const Series<uint64_t>& counters() const { return counters_; }
-  const Series<double>& gauges() const { return gauges_; }
-  const Series<Histogram>& histograms() const { return histograms_; }
+  /// Deep copy of all series under the mutex. The only bulk-read path.
+  MetricsSnapshot Snapshot() const {
+    std::scoped_lock lock(mu_);
+    return MetricsSnapshot{counters_, gauges_, histograms_};
+  }
 
   bool empty() const {
     std::scoped_lock lock(mu_);
@@ -104,10 +189,13 @@ class MetricsRegistry {
     histograms_.clear();
   }
 
-  /// Folds another registry's series into this one (counters add,
-  /// gauges overwrite, histograms merge) — used to aggregate scratch
-  /// registries and per-phase snapshots. `other` must be quiesced.
-  void MergeFrom(const MetricsRegistry& other);
+  /// Folds a snapshot's series into this registry (counters add, gauges
+  /// overwrite, histograms merge) — used to aggregate scratch
+  /// registries and per-phase snapshots.
+  void MergeFrom(const MetricsSnapshot& snapshot);
+  /// Convenience overload: snapshots `other` first, so it is safe even
+  /// while `other` is still being written to.
+  void MergeFrom(const MetricsRegistry& other) { MergeFrom(other.Snapshot()); }
 
  private:
   template <typename V>

@@ -1,5 +1,6 @@
 #include "relational/operators.h"
 
+#include <chrono>
 #include <stdexcept>
 #include <unordered_map>
 
@@ -22,6 +23,29 @@ void SpliceChunks(std::vector<std::vector<Row>>&& chunks, Table* out) {
   }
 }
 
+/// Accounting scope for one operator invocation. The clock is only read
+/// when counters were requested; Done() must be called on every return
+/// path that represents a completed invocation.
+struct OpScope {
+  exec::OperatorCounters* counters;
+  std::chrono::steady_clock::time_point start;
+
+  explicit OpScope(exec::OperatorCounters* c)
+      : counters(c), start(c == nullptr ? std::chrono::steady_clock::time_point{}
+                                        : std::chrono::steady_clock::now()) {}
+
+  void Done(uint64_t rows_in, uint64_t rows_out, uint64_t morsels) {
+    if (counters == nullptr) return;
+    ++counters->calls;
+    counters->rows_in += rows_in;
+    counters->rows_out += rows_out;
+    counters->morsels += morsels;
+    counters->wall_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+  }
+};
+
 }  // namespace
 
 std::string BareName(const std::string& name) {
@@ -30,7 +54,8 @@ std::string BareName(const std::string& name) {
 }
 
 Table Select(const Table& input, const Expression& predicate,
-             exec::ThreadPool* pool) {
+             exec::ThreadPool* pool, exec::OperatorStats* stats) {
+  OpScope op(stats == nullptr ? nullptr : &stats->select);
   BoundExpression bound = predicate.Bind(input.schema());
   Table out(input.schema(), input.name());
   const exec::MorselPlan plan =
@@ -39,6 +64,7 @@ Table Select(const Table& input, const Expression& predicate,
     for (const Row& r : input.rows()) {
       if (bound.EvalPredicate(r)) out.Insert(r);
     }
+    op.Done(input.NumRows(), out.NumRows(), plan.morsels.size());
     return out;
   }
   std::vector<std::vector<Row>> chunks(plan.morsels.size());
@@ -50,11 +76,13 @@ Table Select(const Table& input, const Expression& predicate,
     }
   });
   SpliceChunks(std::move(chunks), &out);
+  op.Done(input.NumRows(), out.NumRows(), plan.morsels.size());
   return out;
 }
 
 Table Project(const Table& input, const std::vector<ProjectColumn>& columns,
-              exec::ThreadPool* pool) {
+              exec::ThreadPool* pool, exec::OperatorStats* stats) {
+  OpScope op(stats == nullptr ? nullptr : &stats->project);
   Schema out_schema;
   std::vector<BoundExpression> bound;
   bound.reserve(columns.size());
@@ -74,6 +102,7 @@ Table Project(const Table& input, const std::vector<ProjectColumn>& columns,
   if (pool == nullptr || plan.morsels.size() <= 1) {
     out.Reserve(input.NumRows());
     for (const Row& r : input.rows()) out.Insert(project_row(r));
+    op.Done(input.NumRows(), out.NumRows(), plan.morsels.size());
     return out;
   }
   std::vector<std::vector<Row>> chunks(plan.morsels.size());
@@ -83,13 +112,15 @@ Table Project(const Table& input, const std::vector<ProjectColumn>& columns,
     for (size_t i = begin; i < end; ++i) chunk.push_back(project_row(input.row(i)));
   });
   SpliceChunks(std::move(chunks), &out);
+  op.Done(input.NumRows(), out.NumRows(), plan.morsels.size());
   return out;
 }
 
 Table HashJoin(const Table& left, const Table& right,
                const std::vector<std::pair<std::string, std::string>>& keys,
                const std::string& right_qualifier, bool drop_right_keys,
-               exec::ThreadPool* pool) {
+               exec::ThreadPool* pool, exec::OperatorStats* stats) {
+  OpScope op(stats == nullptr ? nullptr : &stats->hash_join);
   if (keys.empty()) {
     throw std::invalid_argument("HashJoin requires at least one key pair");
   }
@@ -156,6 +187,14 @@ Table HashJoin(const Table& left, const Table& right,
 
   const exec::MorselPlan plan =
       exec::MorselPlan::For(left.NumRows(), exec::kDefaultMorselRows);
+  const auto join_done = [&](const Table& result) {
+    if (stats != nullptr) {
+      stats->join_build_rows += right.NumRows();
+      stats->join_probe_rows += left.NumRows();
+    }
+    op.Done(left.NumRows() + right.NumRows(), result.NumRows(),
+            plan.morsels.size());
+  };
   if (pool == nullptr || plan.morsels.size() <= 1) {
     std::vector<Row> rows;
     rows.reserve(left.NumRows());  // FK joins emit ~one row per left row
@@ -163,6 +202,7 @@ Table HashJoin(const Table& left, const Table& right,
     for (const Row& lr : left.rows()) probe_row(lr, &key, &rows);
     out.Reserve(rows.size());
     for (Row& r : rows) out.Insert(std::move(r));
+    join_done(out);
     return out;
   }
   std::vector<std::vector<Row>> chunks(plan.morsels.size());
@@ -173,10 +213,12 @@ Table HashJoin(const Table& left, const Table& right,
     for (size_t i = begin; i < end; ++i) probe_row(left.row(i), &key, &chunk);
   });
   SpliceChunks(std::move(chunks), &out);
+  join_done(out);
   return out;
 }
 
-Table UnionAll(const Table& a, const Table& b) {
+Table UnionAll(const Table& a, const Table& b, exec::OperatorStats* stats) {
+  OpScope op(stats == nullptr ? nullptr : &stats->union_all);
   if (a.schema().NumColumns() != b.schema().NumColumns()) {
     throw std::invalid_argument("UnionAll arity mismatch: {" +
                                 a.schema().ToString() + "} vs {" +
@@ -186,10 +228,12 @@ Table UnionAll(const Table& a, const Table& b) {
   out.Reserve(a.NumRows() + b.NumRows());
   for (const Row& r : a.rows()) out.Insert(r);
   for (const Row& r : b.rows()) out.Insert(r);
+  op.Done(out.NumRows(), out.NumRows(), 0);
   return out;
 }
 
-Table UnionAll(Table&& a, Table&& b) {
+Table UnionAll(Table&& a, Table&& b, exec::OperatorStats* stats) {
+  OpScope op(stats == nullptr ? nullptr : &stats->union_all);
   if (a.schema().NumColumns() != b.schema().NumColumns()) {
     throw std::invalid_argument("UnionAll arity mismatch: {" +
                                 a.schema().ToString() + "} vs {" +
@@ -201,6 +245,7 @@ Table UnionAll(Table&& a, Table&& b) {
   out.Reserve(a_rows.size() + b_rows.size());
   for (Row& r : a_rows) out.Insert(std::move(r));
   for (Row& r : b_rows) out.Insert(std::move(r));
+  op.Done(out.NumRows(), out.NumRows(), 0);
   return out;
 }
 
@@ -255,7 +300,8 @@ void AccumulateRange(const Table& input, size_t begin, size_t end,
 
 Table GroupBy(const Table& input, const std::vector<GroupByColumn>& group_by,
               const std::vector<AggregateSpec>& aggregates,
-              exec::ThreadPool* pool) {
+              exec::ThreadPool* pool, exec::OperatorStats* stats) {
+  OpScope op(stats == nullptr ? nullptr : &stats->group_by);
   std::vector<size_t> key_idx;
   Schema out_schema;
   for (const GroupByColumn& g : group_by) {
@@ -330,6 +376,7 @@ Table GroupBy(const Table& input, const std::vector<GroupByColumn>& group_by,
     for (const Accumulator& acc : accs) row.push_back(acc.Result());
     out.Insert(std::move(row));
   }
+  op.Done(input.NumRows(), out.NumRows(), plan.morsels.size());
   return out;
 }
 

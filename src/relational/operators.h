@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "exec/operator_stats.h"
 #include "exec/thread_pool.h"
 #include "relational/aggregate.h"
 #include "relational/expression.h"
@@ -33,11 +34,17 @@ namespace sdelta::rel {
 ///     summary views aggregate only integers.)
 ///   - HashJoin's build side stays serial: one shared read-only hash
 ///     table, probed concurrently.
+///
+/// Accounting: every operator takes an optional exec::OperatorStats and
+/// records calls, rows in/out, morsel counts (a pure function of input
+/// size — deterministic across thread counts), join build/probe sizes,
+/// and wall time. Null means no accounting overhead beyond one branch.
 
 /// Rows of `input` satisfying `predicate` (SQL truthiness: non-null,
 /// non-zero).
 Table Select(const Table& input, const Expression& predicate,
-             exec::ThreadPool* pool = nullptr);
+             exec::ThreadPool* pool = nullptr,
+             exec::OperatorStats* stats = nullptr);
 
 /// One output column per (name, expression) pair.
 struct ProjectColumn {
@@ -45,7 +52,8 @@ struct ProjectColumn {
   Expression expr;
 };
 Table Project(const Table& input, const std::vector<ProjectColumn>& columns,
-              exec::ThreadPool* pool = nullptr);
+              exec::ThreadPool* pool = nullptr,
+              exec::OperatorStats* stats = nullptr);
 
 /// Equi-join of `left` and `right` on the given key column pairs
 /// (left_key resolved in left's schema, right_key in right's).
@@ -63,15 +71,17 @@ Table Project(const Table& input, const std::vector<ProjectColumn>& columns,
 Table HashJoin(const Table& left, const Table& right,
                const std::vector<std::pair<std::string, std::string>>& keys,
                const std::string& right_qualifier,
-               bool drop_right_keys = false, exec::ThreadPool* pool = nullptr);
+               bool drop_right_keys = false, exec::ThreadPool* pool = nullptr,
+               exec::OperatorStats* stats = nullptr);
 
 /// Bag union. Schemas must have identical arity and column types; output
 /// takes `a`'s column names.
-Table UnionAll(const Table& a, const Table& b);
+Table UnionAll(const Table& a, const Table& b,
+               exec::OperatorStats* stats = nullptr);
 
 /// Move-optimized bag union: both inputs relinquish their rows, so the
 /// union costs O(1) row moves on the larger side instead of deep copies.
-Table UnionAll(Table&& a, Table&& b);
+Table UnionAll(Table&& a, Table&& b, exec::OperatorStats* stats = nullptr);
 
 /// Grouped aggregation.
 ///
@@ -90,7 +100,8 @@ struct GroupByColumn {
 };
 Table GroupBy(const Table& input, const std::vector<GroupByColumn>& group_by,
               const std::vector<AggregateSpec>& aggregates,
-              exec::ThreadPool* pool = nullptr);
+              exec::ThreadPool* pool = nullptr,
+              exec::OperatorStats* stats = nullptr);
 
 /// Convenience: group-by columns keeping their bare names.
 std::vector<GroupByColumn> GroupCols(const std::vector<std::string>& names);

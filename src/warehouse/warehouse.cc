@@ -30,7 +30,10 @@ namespace {
 /// Folds the pool-stat delta across a phase into exec.* metrics.
 /// exec.tasks and exec.morsels are counters and depend only on the work
 /// decomposition (identical for every num_threads > 1); the busy-time
-/// split varies with scheduling, so it feeds gauges only.
+/// split varies with scheduling, so it feeds gauges only. Utilization is
+/// reported per execution context: one exec.worker_utilization.<i> gauge
+/// per pool worker plus exec.helper_utilization for the calling thread's
+/// help-while-waiting time, each a busy fraction of the elapsed phase.
 void DrainExecStats(const exec::PoolStats& before, const exec::PoolStats& after,
                     double elapsed_seconds, size_t num_threads,
                     obs::MetricsRegistry& m) {
@@ -39,10 +42,19 @@ void DrainExecStats(const exec::PoolStats& before, const exec::PoolStats& after,
   const double busy =
       static_cast<double>(after.busy_ns - before.busy_ns) * 1e-9;
   m.Set("exec.busy_seconds", busy);
-  if (elapsed_seconds > 0) {
-    m.Set("exec.pool_utilization",
-          busy / (elapsed_seconds * static_cast<double>(num_threads)));
+  if (elapsed_seconds <= 0) return;
+  m.Set("exec.pool_utilization",
+        busy / (elapsed_seconds * static_cast<double>(num_threads)));
+  for (size_t i = 0; i < after.worker_busy_ns.size(); ++i) {
+    const uint64_t b0 =
+        i < before.worker_busy_ns.size() ? before.worker_busy_ns[i] : 0;
+    m.Set("exec.worker_utilization." + std::to_string(i),
+          static_cast<double>(after.worker_busy_ns[i] - b0) * 1e-9 /
+              elapsed_seconds);
   }
+  m.Set("exec.helper_utilization",
+        static_cast<double>(after.helper_busy_ns - before.helper_busy_ns) *
+            1e-9 / elapsed_seconds);
 }
 
 }  // namespace
@@ -184,6 +196,7 @@ BatchReport Warehouse::RunBatch(const core::ChangeSet& changes) {
   lattice::LatticePropagateResult deltas =
       lattice::PropagateAll(catalog_, lattice_, plan_, changes, popts);
   m.Set("batch.propagate_seconds", sw.ElapsedSeconds());
+  report.step_execs = std::move(deltas.step_execs);
 
   sw.Reset();
   {
@@ -236,6 +249,29 @@ BatchReport Warehouse::RunBatch(const core::ChangeSet& changes) {
                    num_threads_, m);
   }
   return report;
+}
+
+lattice::ExplainResult Warehouse::Explain(
+    const core::ChangeSet& changes) const {
+  return lattice::BuildExplain(catalog_, lattice_, plan_, changes);
+}
+
+lattice::ExplainResult Warehouse::ExplainAnalyze(const core::ChangeSet& changes,
+                                                 BatchReport* report) {
+  // Estimates read the pre-change catalog (distinct counts, fan-in), so
+  // the tree is built before RunBatch applies the change set.
+  lattice::ExplainResult explain =
+      lattice::BuildExplain(catalog_, lattice_, plan_, changes);
+  BatchReport batch = RunBatch(changes);
+  lattice::AttachActuals(batch.step_execs, &explain);
+  for (const ViewBatchReport& vr : batch.views) {
+    if (lattice::ExplainStep* step = explain.FindStep(vr.view)) {
+      step->has_refresh = true;
+      step->refresh = vr.refresh;
+    }
+  }
+  if (report != nullptr) *report = std::move(batch);
+  return explain;
 }
 
 double Warehouse::PropagateOnly(const core::ChangeSet& changes,

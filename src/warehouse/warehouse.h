@@ -9,6 +9,7 @@
 #include "core/summary_table.h"
 #include "exec/thread_pool.h"
 #include "lattice/answer.h"
+#include "lattice/explain.h"
 #include "lattice/plan.h"
 #include "lattice/vlattice.h"
 #include "obs/metrics.h"
@@ -37,6 +38,9 @@ struct BatchReport {
   double refresh_seconds = 0;
   core::PropagateStats propagate;
   std::vector<ViewBatchReport> views;
+  /// Per-plan-step execution records from the propagate phase, parallel
+  /// to Warehouse::plan().steps — the actuals side of EXPLAIN ANALYZE.
+  std::vector<lattice::StepExecution> step_execs;
 
   double maintenance_seconds() const {
     return propagate_seconds + refresh_seconds;
@@ -122,6 +126,19 @@ class Warehouse {
   /// window), apply the change set to the base tables, refresh every
   /// summary table (inside the window).
   BatchReport RunBatch(const core::ChangeSet& changes);
+
+  /// EXPLAIN: the annotated maintenance-plan tree for a change set —
+  /// per-step source (after dimension-delta edge gating), wave, and
+  /// estimated input/delta cardinalities. Pure; executes nothing.
+  lattice::ExplainResult Explain(const core::ChangeSet& changes) const;
+
+  /// EXPLAIN ANALYZE: runs the full batch (this *is* RunBatch — base and
+  /// summary tables are mutated) and returns the tree annotated with
+  /// actual cardinalities, operator accounting, and the refresh outcome
+  /// classes each step fed. The default renderings are byte-identical
+  /// across thread counts. `report` (optional) receives the batch report.
+  lattice::ExplainResult ExplainAnalyze(const core::ChangeSet& changes,
+                                        BatchReport* report = nullptr);
 
   /// The paper's propagate-only measurement: computes every
   /// summary-delta (with or without the lattice, per options) without

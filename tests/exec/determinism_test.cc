@@ -69,14 +69,14 @@ struct Instance {
   /// Counters split into the exec.* family and everything else.
   std::map<std::string, uint64_t> PipelineCounters() const {
     std::map<std::string, uint64_t> out;
-    for (const auto& [name, value] : metrics.counters()) {
+    for (const auto& [name, value] : metrics.Snapshot().counters) {
       if (name.rfind("exec.", 0) != 0) out[name] = value;
     }
     return out;
   }
   std::map<std::string, uint64_t> ExecCounters() const {
     std::map<std::string, uint64_t> out;
-    for (const auto& [name, value] : metrics.counters()) {
+    for (const auto& [name, value] : metrics.Snapshot().counters) {
       if (name.rfind("exec.", 0) == 0) out[name] = value;
     }
     return out;

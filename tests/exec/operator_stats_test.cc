@@ -1,0 +1,122 @@
+// Operator-level accounting (exec::OperatorStats): every relational
+// operator records calls, rows in/out, morsel counts, and the join
+// build/probe split — and the counts (everything but wall time) are
+// identical with and without a thread pool, because morsel plans are a
+// pure function of input sizes.
+#include "exec/operator_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "exec/thread_pool.h"
+#include "relational/operators.h"
+
+namespace sdelta::rel {
+namespace {
+
+using E = Expression;
+
+Table MakeSales(size_t rows) {
+  Schema s;
+  s.AddColumn("store", ValueType::kInt64);
+  s.AddColumn("item", ValueType::kInt64);
+  s.AddColumn("qty", ValueType::kInt64);
+  Table t(s, "sales");
+  for (size_t i = 0; i < rows; ++i) {
+    t.Insert({Value::Int64(static_cast<int64_t>(i % 5)),
+              Value::Int64(static_cast<int64_t>(10 + i % 2)),
+              Value::Int64(static_cast<int64_t>(i % 7))});
+  }
+  return t;
+}
+
+Table MakeItems() {
+  Schema s;
+  s.AddColumn("item", ValueType::kInt64);
+  s.AddColumn("cat", ValueType::kString);
+  Table t(s, "items");
+  t.Insert({Value::Int64(10), Value::String("food")});
+  t.Insert({Value::Int64(11), Value::String("toys")});
+  return t;
+}
+
+exec::OperatorStats RunPipeline(exec::ThreadPool* pool) {
+  exec::OperatorStats stats;
+  Table sales = MakeSales(100);
+  Table filtered = Select(
+      sales, E::Ge(E::Column("qty"), E::Literal(Value::Int64(1))), pool,
+      &stats);
+  Table projected = Project(filtered, {{"item", E::Column("item")},
+                                       {"qty", E::Column("qty")}},
+                            pool, &stats);
+  Table joined = HashJoin(projected, MakeItems(), {{"item", "item"}}, "items",
+                          /*drop_right_keys=*/true, pool, &stats);
+  Table grouped =
+      GroupBy(joined, GroupCols({"items.cat"}),
+              {Sum(E::Column("qty"), "total")}, pool, &stats);
+  Table unioned = UnionAll(grouped, grouped, &stats);
+  return stats;
+}
+
+TEST(OperatorStatsTest, EveryOperatorRecordsRowsAndCalls) {
+  const exec::OperatorStats stats = RunPipeline(nullptr);
+  EXPECT_EQ(stats.select.calls, 1u);
+  EXPECT_EQ(stats.select.rows_in, 100u);
+  // qty in {0..6}: rows with qty == 0 (i % 7 == 0) drop out.
+  EXPECT_EQ(stats.select.rows_out, 85u);
+  EXPECT_EQ(stats.project.calls, 1u);
+  EXPECT_EQ(stats.project.rows_in, 85u);
+  EXPECT_EQ(stats.project.rows_out, 85u);
+  EXPECT_EQ(stats.hash_join.calls, 1u);
+  EXPECT_EQ(stats.hash_join.rows_in, 85u + 2u);  // probe + build
+  EXPECT_EQ(stats.join_build_rows, 2u);
+  EXPECT_EQ(stats.join_probe_rows, 85u);
+  EXPECT_EQ(stats.hash_join.rows_out, 85u);
+  EXPECT_EQ(stats.group_by.calls, 1u);
+  EXPECT_EQ(stats.group_by.rows_in, 85u);
+  EXPECT_EQ(stats.group_by.rows_out, 2u);  // food, toys
+  EXPECT_EQ(stats.union_all.calls, 1u);
+  EXPECT_EQ(stats.union_all.rows_out, 4u);
+  EXPECT_EQ(stats.total_calls(), 5u);
+}
+
+TEST(OperatorStatsTest, CountsMatchAcrossSerialAndPooled) {
+  const exec::OperatorStats serial = RunPipeline(nullptr);
+  exec::ThreadPool pool(3);
+  const exec::OperatorStats pooled = RunPipeline(&pool);
+
+  // Everything but wall time is part of the determinism contract.
+  auto counts_of = [](const exec::OperatorStats& s) {
+    std::vector<uint64_t> out;
+    exec::ForEachOperator(s, [&](const char*,
+                                 const exec::OperatorCounters& c) {
+      out.insert(out.end(), {c.calls, c.rows_in, c.rows_out, c.morsels});
+    });
+    out.push_back(s.join_build_rows);
+    out.push_back(s.join_probe_rows);
+    return out;
+  };
+  EXPECT_EQ(counts_of(serial), counts_of(pooled));
+}
+
+TEST(OperatorStatsTest, MergeFromAddsEverything) {
+  exec::OperatorStats a = RunPipeline(nullptr);
+  const exec::OperatorStats b = RunPipeline(nullptr);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.select.calls, 2u);
+  EXPECT_EQ(a.select.rows_in, 200u);
+  EXPECT_EQ(a.join_build_rows, 4u);
+  EXPECT_EQ(a.total_calls(), 10u);
+}
+
+TEST(OperatorStatsTest, NullStatsIsANoOp) {
+  // The accounting hook must be optional: same results, no crash.
+  Table out = Select(MakeSales(10),
+                     E::Ge(E::Column("qty"), E::Literal(Value::Int64(0))));
+  EXPECT_EQ(out.NumRows(), 10u);
+}
+
+}  // namespace
+}  // namespace sdelta::rel

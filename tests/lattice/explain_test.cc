@@ -1,0 +1,199 @@
+// EXPLAIN / EXPLAIN ANALYZE over the Figure 8 retail lattice.
+//
+// Two properties are load-bearing:
+//   1. Determinism — the default text/DOT/JSON renderings are
+//      byte-identical across num_threads 1, 2, and 8 and across runs
+//      (wall times and thread counts are excluded by default).
+//   2. Estimator exactness — on a *saturated* retail config (every
+//      group combination present in the data, change set large enough
+//      to touch every group) the §5.5 estimates equal the actual
+//      summary-delta cardinalities step for step.
+#include "lattice/explain.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "warehouse/retail_schema.h"
+#include "warehouse/warehouse.h"
+#include "warehouse/workload.h"
+
+namespace sdelta::lattice {
+namespace {
+
+/// Small but saturated: 4x6x3 = 72 fact-group combinations over 4000
+/// pos rows, so every combination occurs and per-attribute distinct
+/// counts multiply out to exact group counts.
+warehouse::RetailConfig SaturatedConfig() {
+  warehouse::RetailConfig config;
+  config.num_stores = 4;
+  config.num_cities = 2;
+  config.num_regions = 2;
+  config.num_items = 6;
+  config.num_categories = 2;
+  config.num_dates = 3;
+  config.num_pos_rows = 4000;
+  config.seed = 321;
+  return config;
+}
+
+warehouse::Warehouse MakeWarehouse(size_t num_threads) {
+  warehouse::Warehouse::Options options;
+  options.num_threads = num_threads;
+  warehouse::Warehouse wh(
+      warehouse::MakeRetailCatalog(SaturatedConfig()), options);
+  wh.DefineSummaryTables(warehouse::RetailSummaryTables());
+  return wh;
+}
+
+/// A change set touching (with overwhelming probability at this fixed
+/// seed) every group of every retail view.
+core::ChangeSet SaturatingChanges(warehouse::Warehouse& wh) {
+  return warehouse::MakeUpdateGeneratingChanges(wh.catalog(), 1500, 77);
+}
+
+TEST(ExplainTest, EstimateOnlyTreeHasNoActuals) {
+  warehouse::Warehouse wh = MakeWarehouse(1);
+  const ExplainResult explain = wh.Explain(SaturatingChanges(wh));
+  EXPECT_FALSE(explain.analyzed);
+  EXPECT_EQ(explain.plan_source, "lattice");
+  ASSERT_EQ(explain.steps.size(), wh.plan().steps.size());
+  size_t from_base = 0;
+  for (const ExplainStep& step : explain.steps) {
+    EXPECT_FALSE(step.has_actuals);
+    EXPECT_FALSE(step.has_refresh);
+    EXPECT_GT(step.estimated_groups, 0);
+    EXPECT_GT(step.estimated_input_rows, 0);
+    if (step.source == "base") {
+      ++from_base;
+      EXPECT_EQ(step.wave, 0u);
+    } else {
+      EXPECT_GE(step.wave, 1u);
+    }
+  }
+  EXPECT_GE(from_base, 1u);
+  const std::string text = explain.ToText();
+  EXPECT_EQ(text.rfind("EXPLAIN plan=lattice", 0), 0u) << text;
+  EXPECT_EQ(text.find(" act "), std::string::npos);
+}
+
+TEST(ExplainTest, AnalyzeAttachesActualsAndRefreshOutcomes) {
+  warehouse::Warehouse wh = MakeWarehouse(1);
+  const core::ChangeSet changes = SaturatingChanges(wh);
+  warehouse::BatchReport report;
+  const ExplainResult explain = wh.ExplainAnalyze(changes, &report);
+  EXPECT_TRUE(explain.analyzed);
+  ASSERT_EQ(explain.steps.size(), wh.plan().steps.size());
+
+  size_t total_updates = 0;
+  for (const ExplainStep& step : explain.steps) {
+    EXPECT_TRUE(step.has_actuals) << step.view;
+    EXPECT_TRUE(step.has_refresh) << step.view;
+    EXPECT_GT(step.actual_delta_rows, 0u) << step.view;
+    EXPECT_GT(step.ops.total_calls(), 0u) << step.view;
+    total_updates += step.refresh.updated;
+  }
+  EXPECT_EQ(total_updates, report.TotalRefresh().updated);
+  EXPECT_GT(total_updates, 0u);
+
+  const std::string text = explain.ToText();
+  EXPECT_EQ(text.rfind("EXPLAIN ANALYZE plan=lattice", 0), 0u);
+  EXPECT_NE(text.find("refresh insert="), std::string::npos);
+  // Wall-clock fields appear only with include_timings.
+  EXPECT_EQ(text.find("seconds="), std::string::npos);
+  ExplainRenderOptions timed;
+  timed.include_timings = true;
+  EXPECT_NE(explain.ToText(timed).find("seconds="), std::string::npos);
+}
+
+TEST(ExplainTest, EstimatesAreExactOnSaturatedRetailLattice) {
+  warehouse::Warehouse wh = MakeWarehouse(1);
+  const ExplainResult explain = wh.ExplainAnalyze(SaturatingChanges(wh));
+  for (const ExplainStep& step : explain.steps) {
+    SCOPED_TRACE(step.view + " <- " + step.source);
+    // The §5.5 estimator (FD/FK-aware product of distinct counts) hits
+    // the actual summary-delta cardinality exactly on saturated data,
+    // and the input estimate matches the actual rows fed to each step.
+    EXPECT_EQ(step.estimated_delta_rows,
+              static_cast<double>(step.actual_delta_rows));
+    EXPECT_EQ(step.estimated_input_rows,
+              static_cast<double>(step.actual_input_rows));
+  }
+}
+
+TEST(ExplainTest, RenderingsAreByteIdenticalAcrossThreadCounts) {
+  struct Rendered {
+    std::string text;
+    std::string dot;
+    std::string json;
+  };
+  auto run = [](size_t num_threads) {
+    warehouse::Warehouse wh = MakeWarehouse(num_threads);
+    const ExplainResult explain = wh.ExplainAnalyze(SaturatingChanges(wh));
+    return Rendered{explain.ToText(), explain.ToDot(),
+                    explain.ToJson().Dump(1)};
+  };
+  const Rendered serial = run(1);
+  const Rendered two = run(2);
+  const Rendered eight = run(8);
+  EXPECT_EQ(serial.text, two.text);
+  EXPECT_EQ(serial.text, eight.text);
+  EXPECT_EQ(serial.dot, two.dot);
+  EXPECT_EQ(serial.dot, eight.dot);
+  EXPECT_EQ(serial.json, two.json);
+  EXPECT_EQ(serial.json, eight.json);
+  // And across repeated runs at the same thread count.
+  EXPECT_EQ(serial.text, run(1).text);
+}
+
+TEST(ExplainTest, JsonCarriesVersionedSchema) {
+  warehouse::Warehouse wh = MakeWarehouse(1);
+  const ExplainResult explain = wh.ExplainAnalyze(SaturatingChanges(wh));
+  const obs::Json doc = explain.ToJson();
+  ASSERT_NE(doc.Find("schema"), nullptr);
+  EXPECT_EQ(doc.Find("schema")->as_string(), "sdelta.explain.v1");
+  EXPECT_TRUE(doc.Find("analyzed")->as_bool());
+  const obs::Json* steps = doc.Find("steps");
+  ASSERT_NE(steps, nullptr);
+  ASSERT_EQ(steps->items().size(), explain.steps.size());
+  const obs::Json& first = steps->items()[0];
+  ASSERT_NE(first.Find("estimated"), nullptr);
+  ASSERT_NE(first.Find("actual"), nullptr);
+  ASSERT_NE(first.Find("refresh"), nullptr);
+  // Timings are excluded from the default JSON rendering too.
+  EXPECT_EQ(first.Find("actual")->Find("seconds"), nullptr);
+}
+
+TEST(ExplainTest, DotRendersOneNodePerViewPlusBase) {
+  warehouse::Warehouse wh = MakeWarehouse(1);
+  const ExplainResult explain = wh.Explain(SaturatingChanges(wh));
+  const std::string dot = explain.ToDot();
+  EXPECT_EQ(dot.rfind("digraph explain {", 0), 0u);
+  EXPECT_NE(dot.find("base [label=\"base changes\"]"), std::string::npos);
+  for (const ExplainStep& step : explain.steps) {
+    EXPECT_NE(dot.find("\"" + step.view + "\""), std::string::npos);
+  }
+}
+
+TEST(ExplainTest, DimensionDeltaDisablesEdgesInTheTree) {
+  warehouse::Warehouse wh = MakeWarehouse(1);
+  // Item recategorization produces a delta on `items`; edges re-joining
+  // items must fall back to base.
+  const core::ChangeSet changes =
+      warehouse::MakeItemRecategorization(wh.catalog(), 2, 5);
+  const ExplainResult explain = wh.Explain(changes);
+  bool any_disabled = false;
+  for (const ExplainStep& step : explain.steps) {
+    if (step.edge_disabled) {
+      any_disabled = true;
+      EXPECT_EQ(step.source, "base");
+      EXPECT_EQ(step.wave, 0u);
+    }
+  }
+  // The retail plan derives iC_sales via a join with items; the
+  // recategorization must disable at least that edge.
+  EXPECT_TRUE(any_disabled);
+}
+
+}  // namespace
+}  // namespace sdelta::lattice

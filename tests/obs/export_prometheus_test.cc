@@ -1,0 +1,64 @@
+#include "obs/export_prometheus.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace sdelta::obs {
+namespace {
+
+TEST(PrometheusNameTest, PrefixesAndSanitizes) {
+  EXPECT_EQ(PrometheusName("propagate.rows_scanned"),
+            "sdelta_propagate_rows_scanned");
+  EXPECT_EQ(PrometheusName("op.hash_join.seconds"),
+            "sdelta_op_hash_join_seconds");
+  EXPECT_EQ(PrometheusName("exec.worker_utilization.0"),
+            "sdelta_exec_worker_utilization_0");
+  EXPECT_EQ(PrometheusName("weird name-2"), "sdelta_weird_name_2");
+}
+
+TEST(ExportPrometheusTest, GoldenExposition) {
+  MetricsRegistry m;
+  m.Add("a.counter", 3);
+  m.Set("b.gauge", 0.5);
+  m.Observe("c.hist", 2.0);
+  m.Observe("c.hist", 4.0);
+
+  EXPECT_EQ(ExportPrometheus(m),
+            "# HELP sdelta_a_counter_total Monotonic event count.\n"
+            "# TYPE sdelta_a_counter_total counter\n"
+            "sdelta_a_counter_total 3\n"
+            "# HELP sdelta_b_gauge Last-written value.\n"
+            "# TYPE sdelta_b_gauge gauge\n"
+            "sdelta_b_gauge 0.5\n"
+            "# HELP sdelta_c_hist Observed value distribution.\n"
+            "# TYPE sdelta_c_hist summary\n"
+            "sdelta_c_hist{quantile=\"0.5\"} 2\n"
+            "sdelta_c_hist{quantile=\"0.95\"} 4\n"
+            "sdelta_c_hist{quantile=\"0.99\"} 4\n"
+            "sdelta_c_hist_sum 6\n"
+            "sdelta_c_hist_count 2\n"
+            "# HELP sdelta_c_hist_min Minimum observed value.\n"
+            "# TYPE sdelta_c_hist_min gauge\n"
+            "sdelta_c_hist_min 2\n"
+            "# HELP sdelta_c_hist_max Maximum observed value.\n"
+            "# TYPE sdelta_c_hist_max gauge\n"
+            "sdelta_c_hist_max 4\n");
+}
+
+TEST(ExportPrometheusTest, EmptyHistogramMinMaxRenderAsZero) {
+  MetricsSnapshot snap;
+  snap.histograms["idle"];  // default-constructed: count 0, min/max inf
+  const std::string out = ExportPrometheus(snap);
+  EXPECT_NE(out.find("sdelta_idle_min 0\n"), std::string::npos);
+  EXPECT_NE(out.find("sdelta_idle_max 0\n"), std::string::npos);
+  EXPECT_NE(out.find("sdelta_idle_count 0\n"), std::string::npos);
+}
+
+TEST(ExportPrometheusTest, EmptyRegistryExportsNothing) {
+  MetricsRegistry m;
+  EXPECT_EQ(ExportPrometheus(m), "");
+}
+
+}  // namespace
+}  // namespace sdelta::obs

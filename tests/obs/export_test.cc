@@ -37,12 +37,13 @@ TEST(ExportJsonTest, GoldenSchema) {
   NormalizeSpanTimes(doc);
   EXPECT_EQ(
       doc.Dump(),
-      "{\"schema\":\"sdelta.obs.v1\","
+      "{\"schema\":\"sdelta.obs.v2\","
       "\"metrics\":{"
       "\"counters\":{\"a.counter\":3},"
       "\"gauges\":{\"b.gauge\":0.5},"
       "\"histograms\":{\"c.hist\":"
-      "{\"count\":2,\"sum\":6,\"min\":2,\"max\":4,\"mean\":3}}},"
+      "{\"count\":2,\"sum\":6,\"min\":2,\"max\":4,\"mean\":3,"
+      "\"p50\":2,\"p95\":4,\"p99\":4}}},"
       "\"spans\":["
       "{\"id\":1,\"parent\":0,\"name\":\"root\",\"start_us\":0,"
       "\"dur_us\":0,\"attrs\":{\"view\":\"SID_sales\"}},"

@@ -43,9 +43,71 @@ TEST(MetricsRegistryTest, SeriesAreSortedByName) {
   m.Add("a.first");
   m.Add("c.third");
   std::vector<std::string> names;
-  for (const auto& [name, v] : m.counters()) names.push_back(name);
+  for (const auto& [name, v] : m.Snapshot().counters) names.push_back(name);
   EXPECT_EQ(names, (std::vector<std::string>{"a.first", "b.second",
                                              "c.third"}));
+}
+
+TEST(MetricsRegistryTest, SnapshotIsADeepCopy) {
+  MetricsRegistry m;
+  m.Add("events", 2);
+  m.Set("level", 1.5);
+  m.Observe("cost", 4.0);
+  const MetricsSnapshot snap = m.Snapshot();
+  m.Add("events", 5);  // mutations after the snapshot are not visible
+  m.Observe("cost", 64.0);
+  EXPECT_EQ(snap.counters.at("events"), 2u);
+  EXPECT_EQ(snap.gauges.at("level"), 1.5);
+  EXPECT_EQ(snap.histograms.at("cost").count, 1u);
+  EXPECT_FALSE(snap.empty());
+  EXPECT_TRUE(MetricsRegistry().Snapshot().empty());
+}
+
+TEST(HistogramTest, BucketsAreLogTwoSpaced) {
+  // Bucket i covers (2^(i + kMinExp - 1), 2^(i + kMinExp)]: exact powers
+  // of two land in the bucket they upper-bound.
+  EXPECT_EQ(Histogram::BucketOf(0.0), 0);    // non-positive clamps low
+  EXPECT_EQ(Histogram::BucketOf(-3.0), 0);
+  EXPECT_EQ(Histogram::BucketOf(1.0), 32 - 1 + 1);  // 2^0 upper-bounds b32
+  EXPECT_EQ(Histogram::BucketUpperBound(Histogram::BucketOf(1.0)), 1.0);
+  EXPECT_EQ(Histogram::BucketUpperBound(Histogram::BucketOf(2.0)), 2.0);
+  EXPECT_EQ(Histogram::BucketUpperBound(Histogram::BucketOf(1024.0)), 1024.0);
+  // A value just above a power of two falls in the next bucket.
+  EXPECT_EQ(Histogram::BucketOf(2.5), Histogram::BucketOf(4.0));
+  EXPECT_EQ(Histogram::kNumBuckets, 64);
+}
+
+TEST(HistogramTest, PercentilesAreBucketUpperBoundsClampedToRange) {
+  Histogram h;
+  h.Observe(2.0);
+  h.Observe(4.0);
+  EXPECT_EQ(h.P50(), 2.0);
+  EXPECT_EQ(h.P95(), 4.0);
+  EXPECT_EQ(h.P99(), 4.0);
+
+  Histogram skew;
+  for (int i = 0; i < 99; ++i) skew.Observe(1.0);
+  skew.Observe(1000.0);
+  EXPECT_EQ(skew.P50(), 1.0);
+  EXPECT_EQ(skew.P95(), 1.0);
+  // The tail bucket's upper bound is 1024 but the max clamps it.
+  EXPECT_EQ(skew.Percentile(100.0), 1000.0);
+
+  Histogram empty;
+  EXPECT_EQ(empty.Percentile(50.0), 0.0);
+}
+
+TEST(HistogramTest, MergePreservesBuckets) {
+  Histogram a;
+  a.Observe(2.0);
+  Histogram b;
+  b.Observe(4.0);
+  b.Observe(4.0);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.count, 3u);
+  EXPECT_EQ(a.min, 2.0);
+  EXPECT_EQ(a.max, 4.0);
+  EXPECT_EQ(a.P50(), 4.0);  // rank 2 of 3 lands in the 4.0 bucket
 }
 
 TEST(MetricsRegistryTest, EmptyAndClear) {

@@ -1,0 +1,150 @@
+// The perf-regression gate: CompareBench semantics (key matching,
+// per-metric tolerances, exact metrics, ignored fields) plus an
+// end-to-end subprocess self-test of the bench_compare binary — the
+// same check CI runs so a broken gate cannot silently pass everything.
+#include "bench_compare_lib.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "obs/export_json.h"
+#include "obs/json.h"
+
+namespace sdelta::tools {
+namespace {
+
+using obs::Json;
+
+Json Entry(const std::string& series, int64_t n, double ms, int64_t rows,
+           int64_t host_cpus = 1) {
+  Json e = Json::Object();
+  e.Set("series", Json::Str(series));
+  e.Set("n", Json::Int(n));
+  e.Set("host_cpus", Json::Int(host_cpus));
+  e.Set("ms", Json::Double(ms));
+  e.Set("delta_rows", Json::Int(rows));
+  return e;
+}
+
+Json BenchDoc(std::vector<Json> entries) {
+  Json doc = Json::Object();
+  doc.Set("schema", Json::Str("sdelta.bench.v1"));
+  doc.Set("bench", Json::Str("demo"));
+  Json arr = Json::Array();
+  for (Json& e : entries) arr.Append(std::move(e));
+  doc.Set("entries", std::move(arr));
+  return doc;
+}
+
+CompareOptions DemoOptions() {
+  Json tol = Json::Parse(R"({
+    "schema": "sdelta.tolerances.v1",
+    "ignore": ["host_cpus"],
+    "metrics": {"ms": {"rel_tolerance": 0.5},
+                "delta_rows": {"exact": true}}})");
+  return ParseTolerances(tol);
+}
+
+TEST(BenchCompareTest, WithinToleranceIsOk) {
+  const Json baseline = BenchDoc({Entry("a", 1, 100.0, 7)});
+  const Json current = BenchDoc({Entry("a", 1, 149.0, 7)});
+  const CompareReport report =
+      CompareBench(baseline, current, DemoOptions());
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_EQ(report.entries_compared, 1u);
+  EXPECT_EQ(report.metrics_compared, 2u);
+}
+
+TEST(BenchCompareTest, TimingRegressionFailsOneSided) {
+  const Json baseline = BenchDoc({Entry("a", 1, 100.0, 7)});
+  const CompareReport slow =
+      CompareBench(baseline, BenchDoc({Entry("a", 1, 151.0, 7)}),
+                   DemoOptions());
+  ASSERT_EQ(slow.regressions.size(), 1u);
+  EXPECT_EQ(slow.regressions[0].metric, "ms");
+  EXPECT_EQ(slow.regressions[0].limit, 150.0);
+  // Getting faster never fails.
+  const CompareReport fast =
+      CompareBench(baseline, BenchDoc({Entry("a", 1, 10.0, 7)}),
+                   DemoOptions());
+  EXPECT_TRUE(fast.ok());
+}
+
+TEST(BenchCompareTest, ExactMetricFailsOnAnyDifference) {
+  const Json baseline = BenchDoc({Entry("a", 1, 100.0, 7)});
+  const CompareReport more =
+      CompareBench(baseline, BenchDoc({Entry("a", 1, 100.0, 8)}),
+                   DemoOptions());
+  ASSERT_EQ(more.regressions.size(), 1u);
+  EXPECT_EQ(more.regressions[0].metric, "delta_rows");
+  const CompareReport fewer =
+      CompareBench(baseline, BenchDoc({Entry("a", 1, 100.0, 6)}),
+                   DemoOptions());
+  EXPECT_FALSE(fewer.ok());  // exact means exact, both directions
+}
+
+TEST(BenchCompareTest, IgnoredFieldsDoNotAffectMatching) {
+  // Baseline recorded on a 1-cpu machine, current on 8 cpus: the entries
+  // must still pair up, and host_cpus must not be compared.
+  const Json baseline = BenchDoc({Entry("a", 1, 100.0, 7, /*host_cpus=*/1)});
+  const Json current = BenchDoc({Entry("a", 1, 100.0, 7, /*host_cpus=*/8)});
+  const CompareReport report =
+      CompareBench(baseline, current, DemoOptions());
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_EQ(report.entries_compared, 1u);
+}
+
+TEST(BenchCompareTest, UnmatchedEntriesAreNotesNotFailures) {
+  const Json baseline = BenchDoc({Entry("a", 1, 100.0, 7),
+                                  Entry("gone", 1, 50.0, 3)});
+  const Json current = BenchDoc({Entry("a", 1, 100.0, 7),
+                                 Entry("new", 1, 60.0, 4)});
+  const CompareReport report =
+      CompareBench(baseline, current, DemoOptions());
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.entries_compared, 1u);
+  EXPECT_EQ(report.notes.size(), 2u) << report.ToString();
+}
+
+TEST(BenchCompareTest, MalformedDocumentsThrow) {
+  EXPECT_THROW(CompareBench(Json::Object(), BenchDoc({}), DemoOptions()),
+               std::runtime_error);
+  Json tol = Json::Object();
+  tol.Set("schema", Json::Str("wrong"));
+  EXPECT_THROW(ParseTolerances(tol), std::runtime_error);
+}
+
+#ifdef SDELTA_BENCH_COMPARE_BIN
+/// End-to-end over the real binary and the real tolerance semantics: a
+/// synthetically regressed BENCH file must make bench_compare exit
+/// nonzero, and the unregressed file must exit zero.
+TEST(BenchCompareTest, BinarySelfTestFailsOnSyntheticRegression) {
+  const std::string dir = ::testing::TempDir();
+  const std::string tolerances = dir + "/sdelta_tolerances.json";
+  const std::string baseline = dir + "/sdelta_baseline.json";
+  const std::string good = dir + "/sdelta_good.json";
+  const std::string regressed = dir + "/sdelta_regressed.json";
+  obs::WriteFile(tolerances, R"({
+    "schema": "sdelta.tolerances.v1",
+    "ignore": ["host_cpus"],
+    "metrics": {"ms": {"rel_tolerance": 0.5},
+                "delta_rows": {"exact": true}}})");
+  obs::WriteFile(baseline, BenchDoc({Entry("a", 1, 100.0, 7)}).Dump(1));
+  obs::WriteFile(good, BenchDoc({Entry("a", 1, 120.0, 7)}).Dump(1));
+  obs::WriteFile(regressed, BenchDoc({Entry("a", 1, 400.0, 7)}).Dump(1));
+
+  const std::string bin = SDELTA_BENCH_COMPARE_BIN;
+  auto run = [&](const std::string& current) {
+    const std::string cmd = bin + " --tolerance-file " + tolerances + " " +
+                            baseline + " " + current + " > /dev/null";
+    return std::system(cmd.c_str());
+  };
+  EXPECT_EQ(run(good), 0);
+  EXPECT_NE(run(regressed), 0);
+}
+#endif  // SDELTA_BENCH_COMPARE_BIN
+
+}  // namespace
+}  // namespace sdelta::tools

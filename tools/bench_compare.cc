@@ -1,0 +1,82 @@
+// Perf-regression gate over two BENCH_*.json files (sdelta.bench.v1).
+//
+//   bench_compare --tolerance-file bench/tolerances.json
+//       bench/baselines/BENCH_fig9.json BENCH_fig9.json
+//
+// Exit status: 0 when every matched metric is within tolerance, 1 when
+// any metric regressed, 2 on usage or I/O errors. CI runs this against
+// the committed baselines after the bench binaries write fresh files.
+#include <cstdio>
+#include <string>
+
+#include "bench_compare_lib.h"
+#include "obs/export_json.h"
+#include "obs/json.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: bench_compare --tolerance-file <tolerances.json> "
+               "<baseline.json> <current.json>\n");
+  return 2;
+}
+
+bool LoadJson(const std::string& path, sdelta::obs::Json* out) {
+  std::string contents;
+  if (!sdelta::obs::ReadFile(path, contents)) {
+    std::fprintf(stderr, "bench_compare: cannot read %s\n", path.c_str());
+    return false;
+  }
+  try {
+    *out = sdelta::obs::Json::Parse(contents);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_compare: %s: %s\n", path.c_str(), e.what());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string tolerance_path;
+  std::string baseline_path;
+  std::string current_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--tolerance-file") {
+      if (i + 1 >= argc) return Usage();
+      tolerance_path = argv[++i];
+    } else if (baseline_path.empty()) {
+      baseline_path = arg;
+    } else if (current_path.empty()) {
+      current_path = arg;
+    } else {
+      return Usage();
+    }
+  }
+  if (tolerance_path.empty() || baseline_path.empty() || current_path.empty()) {
+    return Usage();
+  }
+
+  sdelta::obs::Json tolerances;
+  sdelta::obs::Json baseline;
+  sdelta::obs::Json current;
+  if (!LoadJson(tolerance_path, &tolerances) ||
+      !LoadJson(baseline_path, &baseline) || !LoadJson(current_path, &current)) {
+    return 2;
+  }
+
+  try {
+    const sdelta::tools::CompareOptions options =
+        sdelta::tools::ParseTolerances(tolerances);
+    const sdelta::tools::CompareReport report =
+        sdelta::tools::CompareBench(baseline, current, options);
+    std::printf("%s", report.ToString().c_str());
+    return report.ok() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_compare: %s\n", e.what());
+    return 2;
+  }
+}

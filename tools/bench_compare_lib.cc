@@ -1,0 +1,172 @@
+#include "bench_compare_lib.h"
+
+#include <algorithm>
+#include <charconv>
+#include <stdexcept>
+
+namespace sdelta::tools {
+
+namespace {
+
+std::string NumberTo(double v) {
+  char buf[32];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec != std::errc{}) return "0";
+  return std::string(buf, ptr);
+}
+
+bool Contains(const std::vector<std::string>& v, const std::string& s) {
+  return std::find(v.begin(), v.end(), s) != v.end();
+}
+
+/// The identity key of an entry: every member that is neither a metric
+/// nor ignored, as "name=value" pairs in member order (the merge-writer
+/// emits key fields in a fixed order, so keys are stable).
+std::string EntryKey(const obs::Json& entry, const CompareOptions& options) {
+  std::string key;
+  for (const auto& [name, value] : entry.members()) {
+    if (options.metrics.count(name) > 0) continue;
+    if (Contains(options.ignore, name)) continue;
+    if (!key.empty()) key += ' ';
+    key += name + "=" + value.Dump();
+  }
+  return key;
+}
+
+const obs::Json& Entries(const obs::Json& doc, const char* which) {
+  if (!doc.is_object()) {
+    throw std::runtime_error(std::string(which) + ": not a JSON object");
+  }
+  const obs::Json* schema = doc.Find("schema");
+  if (schema == nullptr || schema->as_string() != "sdelta.bench.v1") {
+    throw std::runtime_error(std::string(which) +
+                             ": not an sdelta.bench.v1 document");
+  }
+  const obs::Json* entries = doc.Find("entries");
+  if (entries == nullptr || !entries->is_array()) {
+    throw std::runtime_error(std::string(which) + ": no entries array");
+  }
+  return *entries;
+}
+
+bool IsNumeric(const obs::Json& v) {
+  return v.kind() == obs::Json::Kind::kInt ||
+         v.kind() == obs::Json::Kind::kDouble;
+}
+
+}  // namespace
+
+CompareOptions ParseTolerances(const obs::Json& doc) {
+  if (!doc.is_object()) {
+    throw std::runtime_error("tolerance file: not a JSON object");
+  }
+  const obs::Json* schema = doc.Find("schema");
+  if (schema == nullptr || schema->as_string() != "sdelta.tolerances.v1") {
+    throw std::runtime_error(
+        "tolerance file: schema is not sdelta.tolerances.v1");
+  }
+  CompareOptions options;
+  if (const obs::Json* ignore = doc.Find("ignore"); ignore != nullptr) {
+    for (const obs::Json& field : ignore->items()) {
+      options.ignore.push_back(field.as_string());
+    }
+  }
+  const obs::Json* metrics = doc.Find("metrics");
+  if (metrics == nullptr || !metrics->is_object()) {
+    throw std::runtime_error("tolerance file: no metrics object");
+  }
+  for (const auto& [name, spec] : metrics->members()) {
+    MetricTolerance t;
+    if (const obs::Json* exact = spec.Find("exact"); exact != nullptr) {
+      t.exact = exact->as_bool();
+    }
+    if (const obs::Json* rel = spec.Find("rel_tolerance"); rel != nullptr) {
+      t.rel_tolerance = rel->as_double();
+      if (t.rel_tolerance < 0) {
+        throw std::runtime_error("tolerance file: negative rel_tolerance for " +
+                                 name);
+      }
+    }
+    options.metrics[name] = t;
+  }
+  return options;
+}
+
+std::string CompareIssue::ToString() const {
+  return key + " " + metric + ": baseline=" + NumberTo(baseline) +
+         " current=" + NumberTo(current) + " allowed<=" + NumberTo(limit);
+}
+
+std::string CompareReport::ToString() const {
+  std::string out;
+  for (const std::string& note : notes) out += "note: " + note + "\n";
+  for (const CompareIssue& issue : regressions) {
+    out += "REGRESSION: " + issue.ToString() + "\n";
+  }
+  out += "compared " + std::to_string(entries_compared) + " entries, " +
+         std::to_string(metrics_compared) + " metrics: " +
+         (regressions.empty() ? "OK" :
+          std::to_string(regressions.size()) + " regression(s)") + "\n";
+  return out;
+}
+
+CompareReport CompareBench(const obs::Json& baseline, const obs::Json& current,
+                           const CompareOptions& options) {
+  const obs::Json& base_entries = Entries(baseline, "baseline");
+  const obs::Json& cur_entries = Entries(current, "current");
+  const obs::Json* base_bench = baseline.Find("bench");
+  const obs::Json* cur_bench = current.Find("bench");
+  if (base_bench != nullptr && cur_bench != nullptr &&
+      base_bench->as_string() != cur_bench->as_string()) {
+    throw std::runtime_error("bench name mismatch: baseline is '" +
+                             base_bench->as_string() + "', current is '" +
+                             cur_bench->as_string() + "'");
+  }
+
+  CompareReport report;
+  std::map<std::string, const obs::Json*> by_key;
+  for (const obs::Json& entry : base_entries.items()) {
+    by_key[EntryKey(entry, options)] = &entry;
+  }
+
+  for (const obs::Json& entry : cur_entries.items()) {
+    const std::string key = EntryKey(entry, options);
+    auto it = by_key.find(key);
+    if (it == by_key.end()) {
+      report.notes.push_back("no baseline for: " + key);
+      continue;
+    }
+    const obs::Json& base = *it->second;
+    by_key.erase(it);
+    ++report.entries_compared;
+
+    for (const auto& [metric, tolerance] : options.metrics) {
+      const obs::Json* base_value = base.Find(metric);
+      const obs::Json* cur_value = entry.Find(metric);
+      if (base_value == nullptr || cur_value == nullptr) continue;
+      if (!IsNumeric(*base_value) || !IsNumeric(*cur_value)) {
+        report.notes.push_back("non-numeric metric " + metric + " in: " + key);
+        continue;
+      }
+      ++report.metrics_compared;
+      const double b = base_value->as_double();
+      const double c = cur_value->as_double();
+      if (tolerance.exact) {
+        if (c != b) {
+          report.regressions.push_back(CompareIssue{key, metric, b, c, b});
+        }
+      } else {
+        const double limit = b * (1.0 + tolerance.rel_tolerance);
+        if (c > limit) {
+          report.regressions.push_back(CompareIssue{key, metric, b, c, limit});
+        }
+      }
+    }
+  }
+  for (const auto& [key, entry] : by_key) {
+    report.notes.push_back("baseline entry not in current run: " + key);
+  }
+  return report;
+}
+
+}  // namespace sdelta::tools

@@ -1,0 +1,77 @@
+// Library behind the bench_compare tool: diffs two sdelta.bench.v1
+// documents entry-by-entry under per-metric tolerances, so CI can gate
+// on committed baselines (bench/baselines/) without flaking on
+// machine-speed differences.
+//
+// Semantics:
+//   * A tolerance file names the *metric* fields (with either an exact
+//     requirement or a relative tolerance) and the *ignored* fields
+//     (e.g. host_cpus — baselines are recorded on whatever machine the
+//     committer had). Every other field of an entry is part of its
+//     identity key.
+//   * Entries are matched by key. A current entry with no baseline is
+//     new coverage, noted but never a failure; a baseline entry with no
+//     current counterpart is noted too (coverage loss is a review
+//     concern, not a perf regression).
+//   * A metric regresses when current > baseline * (1 + rel_tolerance)
+//     — one-sided: getting faster/smaller never fails. `exact` metrics
+//     (row counts) fail on any difference, in either direction.
+#ifndef SDELTA_TOOLS_BENCH_COMPARE_LIB_H_
+#define SDELTA_TOOLS_BENCH_COMPARE_LIB_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace sdelta::tools {
+
+struct MetricTolerance {
+  bool exact = false;
+  double rel_tolerance = 0;  ///< fraction: 0.25 allows +25% over baseline
+};
+
+struct CompareOptions {
+  /// Fields excluded from both the entry key and the comparison.
+  std::vector<std::string> ignore;
+  /// Metric fields to compare, keyed by field name.
+  std::map<std::string, MetricTolerance> metrics;
+};
+
+/// Parses a tolerance file:
+///   {"schema": "sdelta.tolerances.v1",
+///    "ignore": ["host_cpus"],
+///    "metrics": {"ms": {"rel_tolerance": 2.0},
+///                "delta_rows": {"exact": true}}}
+/// Throws std::runtime_error on malformed documents.
+CompareOptions ParseTolerances(const obs::Json& doc);
+
+struct CompareIssue {
+  std::string key;
+  std::string metric;
+  double baseline = 0;
+  double current = 0;
+  double limit = 0;  ///< the value `current` was allowed to reach
+  std::string ToString() const;
+};
+
+struct CompareReport {
+  size_t entries_compared = 0;
+  size_t metrics_compared = 0;
+  std::vector<CompareIssue> regressions;
+  /// Unmatched entries, skipped non-numeric metrics, and similar.
+  std::vector<std::string> notes;
+
+  bool ok() const { return regressions.empty(); }
+  std::string ToString() const;
+};
+
+/// Diffs two sdelta.bench.v1 documents. Throws std::runtime_error when
+/// either document is not a bench file or the bench names disagree.
+CompareReport CompareBench(const obs::Json& baseline, const obs::Json& current,
+                           const CompareOptions& options);
+
+}  // namespace sdelta::tools
+
+#endif  // SDELTA_TOOLS_BENCH_COMPARE_LIB_H_

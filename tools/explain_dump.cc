@@ -1,0 +1,118 @@
+// Dumps the EXPLAIN / EXPLAIN ANALYZE tree for the paper's retail
+// lattice — the CLI face of Warehouse::Explain for scripts and CI (the
+// bench gate uploads DOT output as a debugging artifact on failure).
+//
+//   explain_dump [--analyze] [--format text|dot|json] [--timings]
+//                [--pos-rows N] [--changes N] [--threads N] [--seed S]
+//                [--kind update|insert|backfill|recat]
+//
+// The default rendering contains only plan-and-data-determined fields:
+// two runs with the same arguments produce byte-identical output at any
+// --threads value.
+#include <cstdio>
+#include <string>
+
+#include "lattice/explain.h"
+#include "warehouse/retail_schema.h"
+#include "warehouse/warehouse.h"
+#include "warehouse/workload.h"
+
+using namespace sdelta;  // NOLINT: tool brevity
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: explain_dump [--analyze] [--format text|dot|json] "
+               "[--timings]\n"
+               "                    [--pos-rows N] [--changes N] "
+               "[--threads N] [--seed S]\n"
+               "                    [--kind update|insert|backfill|recat]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool analyze = false;
+  std::string format = "text";
+  std::string kind = "update";
+  lattice::ExplainRenderOptions render;
+  size_t pos_rows = 20000;
+  size_t change_rows = 1000;
+  size_t threads = 1;
+  uint64_t seed = 42;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--analyze") {
+      analyze = true;
+    } else if (arg == "--timings") {
+      render.include_timings = true;
+    } else if (arg == "--format") {
+      const char* v = value();
+      if (v == nullptr) return Usage();
+      format = v;
+    } else if (arg == "--kind") {
+      const char* v = value();
+      if (v == nullptr) return Usage();
+      kind = v;
+    } else if (arg == "--pos-rows") {
+      const char* v = value();
+      if (v == nullptr) return Usage();
+      pos_rows = std::stoul(v);
+    } else if (arg == "--changes") {
+      const char* v = value();
+      if (v == nullptr) return Usage();
+      change_rows = std::stoul(v);
+    } else if (arg == "--threads") {
+      const char* v = value();
+      if (v == nullptr) return Usage();
+      threads = std::stoul(v);
+    } else if (arg == "--seed") {
+      const char* v = value();
+      if (v == nullptr) return Usage();
+      seed = std::stoull(v);
+    } else {
+      return Usage();
+    }
+  }
+  if (format != "text" && format != "dot" && format != "json") return Usage();
+
+  warehouse::RetailConfig config;
+  config.num_pos_rows = pos_rows;
+  warehouse::Warehouse::Options options;
+  options.num_threads = threads;
+  warehouse::Warehouse wh(warehouse::MakeRetailCatalog(config), options);
+  wh.DefineSummaryTables(warehouse::RetailSummaryTables());
+
+  core::ChangeSet changes;
+  if (kind == "update") {
+    changes = warehouse::MakeUpdateGeneratingChanges(wh.catalog(), change_rows,
+                                                     seed);
+  } else if (kind == "insert") {
+    changes = warehouse::MakeInsertionGeneratingChanges(wh.catalog(),
+                                                        change_rows, seed);
+  } else if (kind == "backfill") {
+    changes = warehouse::MakeBackfillChanges(wh.catalog(), change_rows, seed);
+  } else if (kind == "recat") {
+    changes = warehouse::MakeItemRecategorization(wh.catalog(), change_rows,
+                                                  seed);
+  } else {
+    return Usage();
+  }
+
+  const lattice::ExplainResult explain =
+      analyze ? wh.ExplainAnalyze(changes) : wh.Explain(changes);
+  if (format == "dot") {
+    std::printf("%s", explain.ToDot(render).c_str());
+  } else if (format == "json") {
+    std::printf("%s\n", explain.ToJson(render).Dump(1).c_str());
+  } else {
+    std::printf("%s", explain.ToText(render).c_str());
+  }
+  return 0;
+}
