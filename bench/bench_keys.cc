@@ -1,0 +1,191 @@
+// Microbench for the key/compression layer: packed 128-bit keys +
+// flat open-addressing maps versus the boxed GroupKey path over
+// std::unordered_map, on the retail-shaped key schemas the propagate
+// and refresh hot loops actually see.
+//
+// Cases:
+//   groupby_packed / groupby_boxed  - 3-int-column GroupBy (storeID,
+//       itemID, date), SUM + COUNT, toggled via SetPackedKeysEnabled
+//   join_packed / join_boxed        - fact-to-dimension HashJoin probe
+//
+// Writes BENCH_keys.json entries {case, rows, ms, groups,
+// packed_ratio, probe_len_mean} for the CI bench gate: packed_ratio
+// and groups are exact (the codec either packs the schema or the PR
+// regressed it), probe_len_mean is tolerance-gated.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/maintenance.h"
+#include "exec/operator_stats.h"
+#include "obs/export_json.h"
+#include "relational/operators.h"
+#include "relational/packed_key.h"
+#include "relational/table.h"
+
+namespace sdelta::bench {
+namespace {
+
+std::vector<obs::Json>& KeyEntries() {
+  static auto* entries = new std::vector<obs::Json>();
+  return *entries;
+}
+
+void AddKeyEntry(const std::string& kase, size_t rows, double mean_seconds,
+                 size_t groups, const exec::OperatorStats& stats) {
+  const uint64_t keyed = stats.key_packed_rows + stats.key_fallback_rows;
+  obs::Json e = obs::Json::Object();
+  e.Set("case", obs::Json::Str(kase));
+  e.Set("rows", obs::Json::Int(static_cast<int64_t>(rows)));
+  e.Set("ms", obs::Json::Double(mean_seconds * 1e3));
+  e.Set("groups", obs::Json::Int(static_cast<int64_t>(groups)));
+  e.Set("packed_ratio",
+        obs::Json::Double(keyed == 0 ? 0.0
+                                     : static_cast<double>(
+                                           stats.key_packed_rows) /
+                                           static_cast<double>(keyed)));
+  e.Set("probe_len_mean",
+        obs::Json::Double(stats.key_probe_ops == 0
+                              ? 0.0
+                              : static_cast<double>(stats.key_probe_steps) /
+                                    static_cast<double>(stats.key_probe_ops)));
+  KeyEntries().push_back(std::move(e));
+}
+
+/// A retail-shaped synthetic fact table: dense int dimension keys, the
+/// exact key distribution the paper's §6 configuration produces.
+rel::Table MakeFact(size_t rows) {
+  rel::Schema s;
+  s.AddColumn("storeID", rel::ValueType::kInt64);
+  s.AddColumn("itemID", rel::ValueType::kInt64);
+  s.AddColumn("date", rel::ValueType::kInt64);
+  s.AddColumn("qty", rel::ValueType::kInt64);
+  rel::Table t(s, "fact");
+  t.Reserve(rows);
+  uint64_t x = 0x2545F4914F6CDD1DULL;
+  for (size_t i = 0; i < rows; ++i) {
+    // xorshift64*: cheap, deterministic, and key-collision-rich.
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    const uint64_t r = x * 0x2545F4914F6CDD1DULL;
+    t.Insert({rel::Value::Int64(static_cast<int64_t>(r % 100)),
+              rel::Value::Int64(static_cast<int64_t>((r >> 8) % 1000)),
+              rel::Value::Int64(static_cast<int64_t>((r >> 24) % 365)),
+              rel::Value::Int64(static_cast<int64_t>(r % 7) + 1)});
+  }
+  return t;
+}
+
+rel::Table MakeItemsDim() {
+  rel::Schema s;
+  s.AddColumn("itemID", rel::ValueType::kInt64);
+  s.AddColumn("category", rel::ValueType::kInt64);
+  rel::Table t(s, "items");
+  t.Reserve(1000);
+  for (int64_t i = 0; i < 1000; ++i) {
+    t.Insert({rel::Value::Int64(i), rel::Value::Int64(i % 20)});
+  }
+  return t;
+}
+
+/// RAII wrapper: the boxed series flips the global toggle off only for
+/// the duration of its iterations.
+class ScopedPackedKeys {
+ public:
+  explicit ScopedPackedKeys(bool enabled) { rel::SetPackedKeysEnabled(enabled); }
+  ~ScopedPackedKeys() { rel::SetPackedKeysEnabled(true); }
+};
+
+void RunGroupBy(benchmark::State& state, bool packed) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  const rel::Table fact = MakeFact(rows);
+  ScopedPackedKeys toggle(packed);
+  exec::OperatorStats stats;
+  size_t groups = 0;
+  double total = 0;
+  size_t runs = 0;
+  for (auto _ : state) {
+    core::Stopwatch sw;
+    rel::Table out = rel::GroupBy(
+        fact, rel::GroupCols({"storeID", "itemID", "date"}),
+        {rel::CountStar("TotalCount"),
+         rel::Sum(rel::Expression::Column("qty"), "TotalQuantity")},
+        nullptr, &stats);
+    const double s = sw.ElapsedSeconds();
+    state.SetIterationTime(s);
+    total += s;
+    ++runs;
+    groups = out.NumRows();
+    benchmark::DoNotOptimize(out.NumRows());
+  }
+  state.counters["groups"] = static_cast<double>(groups);
+  AddKeyEntry(packed ? "groupby_packed" : "groupby_boxed", rows,
+              total / static_cast<double>(runs), groups, stats);
+}
+
+void RunJoin(benchmark::State& state, bool packed) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  const rel::Table fact = MakeFact(rows);
+  const rel::Table items = MakeItemsDim();
+  ScopedPackedKeys toggle(packed);
+  exec::OperatorStats stats;
+  size_t matched = 0;
+  double total = 0;
+  size_t runs = 0;
+  for (auto _ : state) {
+    core::Stopwatch sw;
+    rel::Table out =
+        rel::HashJoin(fact, items, {{"itemID", "itemID"}}, "items",
+                      /*drop_right_keys=*/true, nullptr, &stats);
+    const double s = sw.ElapsedSeconds();
+    state.SetIterationTime(s);
+    total += s;
+    ++runs;
+    matched = out.NumRows();
+    benchmark::DoNotOptimize(out.NumRows());
+  }
+  state.counters["matched"] = static_cast<double>(matched);
+  AddKeyEntry(packed ? "join_packed" : "join_boxed", rows,
+              total / static_cast<double>(runs), matched, stats);
+}
+
+void BM_GroupByPacked(benchmark::State& state) { RunGroupBy(state, true); }
+void BM_GroupByBoxed(benchmark::State& state) { RunGroupBy(state, false); }
+void BM_JoinPacked(benchmark::State& state) { RunJoin(state, true); }
+void BM_JoinBoxed(benchmark::State& state) { RunJoin(state, false); }
+
+BENCHMARK(BM_GroupByPacked)
+    ->Arg(200000)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(5);
+BENCHMARK(BM_GroupByBoxed)
+    ->Arg(200000)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(5);
+BENCHMARK(BM_JoinPacked)
+    ->Arg(200000)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(5);
+BENCHMARK(BM_JoinBoxed)
+    ->Arg(200000)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(5);
+
+}  // namespace
+}  // namespace sdelta::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  sdelta::obs::MergeBenchJson("BENCH_keys.json", "keys", {"case", "rows"},
+                              sdelta::bench::KeyEntries());
+  benchmark::Shutdown();
+  return 0;
+}

@@ -21,6 +21,8 @@
 //                     run the batch and annotate the tree with actual
 //                     cardinalities and refresh outcomes
 //   metrics           Prometheus text exposition of all pipeline metrics
+//   dicts             per-column string dictionaries and per-view packed
+//                     key stats (see DESIGN.md §8)
 //   save <dir>        snapshot catalog + summaries
 //   help, quit
 #include <cstdio>
@@ -44,7 +46,7 @@ void PrintHelp() {
       "          summaries | lattice | batch <update|insert|backfill|"
       "recat> <n> |\n"
       "          explain [analyze] <kind> <n> [dot|json] | metrics |\n"
-      "          save <dir> | help | quit\n");
+      "          dicts | save <dir> | help | quit\n");
 }
 
 core::ChangeSet MakeChanges(warehouse::Warehouse& wh, const std::string& kind,
@@ -166,6 +168,25 @@ int main(int argc, char** argv) {
         RunExplainCommand(wh, in, &seed);
       } else if (upper == "METRICS") {
         std::printf("%s", obs::ExportPrometheus(metrics).c_str());
+      } else if (upper == "DICTS") {
+        std::printf("dictionaries (%zu entries total):\n",
+                    wh.catalog().dictionaries().TotalEntries());
+        for (const auto& [column, entries] :
+             wh.catalog().dictionaries().Entries()) {
+          std::printf("  %-16s %zu codes\n", column.c_str(), entries);
+        }
+        std::printf("summary key paths:\n");
+        for (const core::AugmentedView& av : wh.vlattice().views) {
+          const core::SummaryTable& st = wh.summary(av.name());
+          uint64_t packed = st.packed_key_ops();
+          uint64_t fallback = st.fallback_key_ops();
+          uint64_t total = packed + fallback;
+          std::printf("  %-16s %-8s ops=%llu packed=%.1f%%\n",
+                      av.name().c_str(), st.keys_packed() ? "packed" : "boxed",
+                      static_cast<unsigned long long>(total),
+                      total == 0 ? 0.0 : 100.0 * static_cast<double>(packed) /
+                                             static_cast<double>(total));
+        }
       } else if (upper == "DROP") {
         std::string name;
         in >> name;

@@ -28,6 +28,18 @@ void PropagateStats::EmitTo(obs::MetricsRegistry& metrics) const {
     metrics.Add("op.hash_join.build_rows", ops.join_build_rows);
     metrics.Add("op.hash_join.probe_rows", ops.join_probe_rows);
   }
+  // Key-encoding traffic. The row counters are thread-count-invariant
+  // (tallied once per input row); probe lengths depend on the morsel
+  // split, so they only ever feed a histogram.
+  if (ops.key_packed_rows + ops.key_fallback_rows > 0) {
+    metrics.Add("key.packed_rows", ops.key_packed_rows);
+    metrics.Add("key.fallback_rows", ops.key_fallback_rows);
+  }
+  if (ops.key_probe_ops > 0) {
+    metrics.Observe("hash.probe_len",
+                    static_cast<double>(ops.key_probe_steps) /
+                        static_cast<double>(ops.key_probe_ops));
+  }
 }
 
 std::vector<rel::AggregateSpec> DeltaAggregates(const AugmentedView& view) {
@@ -110,7 +122,8 @@ bool PreaggregationLegal(const rel::Catalog& catalog,
 /// columns, then join dimensions and re-aggregate to the view's groups.
 Table PreaggregatedDelta(const rel::Catalog& catalog,
                          const AugmentedView& view, const ChangeSet& changes,
-                         exec::ThreadPool* pool, PropagateStats* stats) {
+                         exec::ThreadPool* pool, size_t size_hint,
+                         PropagateStats* stats) {
   exec::OperatorStats* ops = stats == nullptr ? nullptr : &stats->ops;
   const ViewDef& def = view.physical;
   const rel::Schema fact_qualified =
@@ -193,7 +206,8 @@ Table PreaggregatedDelta(const rel::Catalog& catalog,
   std::vector<rel::AggregateSpec> stage3 = DeltaAggregates(view);
   stage3.push_back(
       rel::Max(Expression::Column(kTaintedColumn), kTaintedColumn));
-  Table out = rel::GroupBy(current, final_groups, stage3, pool, ops);
+  Table out =
+      rel::GroupBy(current, final_groups, stage3, pool, ops, size_hint);
   Table named(out.schema(), "sd_" + def.name);
   std::vector<rel::Row> rows = out.TakeRows();
   named.Reserve(rows.size());
@@ -214,7 +228,8 @@ rel::Table ComputeSummaryDelta(const rel::Catalog& catalog,
   Table out = [&] {
     if (options.preaggregate && PreaggregationLegal(catalog, view, changes)) {
       local.preaggregated = true;
-      return PreaggregatedDelta(catalog, view, changes, options.pool, &local);
+      return PreaggregatedDelta(catalog, view, changes, options.pool,
+                                options.delta_size_hint, &local);
     }
     Table pc = PrepareChanges(catalog, view, changes, options.pool,
                               &local.ops);
@@ -225,8 +240,8 @@ rel::Table ComputeSummaryDelta(const rel::Catalog& catalog,
     }
     std::vector<rel::AggregateSpec> specs = DeltaAggregates(view);
     specs.push_back(TaintFromSources(view));
-    Table grouped = rel::GroupBy(pc, groups, specs, options.pool,
-                                 &local.ops);
+    Table grouped = rel::GroupBy(pc, groups, specs, options.pool, &local.ops,
+                                 options.delta_size_hint);
     Table named(grouped.schema(), "sd_" + view.name());
     std::vector<rel::Row> rows = grouped.TakeRows();
     named.Reserve(rows.size());
@@ -255,8 +270,8 @@ std::string DerivationRecipe::ToString() const {
 rel::Table ApplyDerivation(const rel::Catalog& catalog,
                            const DerivationRecipe& recipe,
                            const rel::Table& parent_rows,
-                           exec::ThreadPool* pool,
-                           exec::OperatorStats* stats) {
+                           exec::ThreadPool* pool, exec::OperatorStats* stats,
+                           size_t size_hint) {
   // The operators only read their inputs, so the join chain can start
   // from `parent_rows` in place — no upfront copy.
   const Table* current = &parent_rows;
@@ -274,7 +289,8 @@ rel::Table ApplyDerivation(const rel::Catalog& catalog,
     specs.push_back(
         rel::Max(Expression::Column(kTaintedColumn), kTaintedColumn));
   }
-  Table out = rel::GroupBy(*current, recipe.group_by, specs, pool, stats);
+  Table out =
+      rel::GroupBy(*current, recipe.group_by, specs, pool, stats, size_hint);
   Table named(out.schema(), "sd_" + recipe.child_name);
   std::vector<rel::Row> rows = out.TakeRows();
   named.Reserve(rows.size());

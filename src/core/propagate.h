@@ -26,6 +26,11 @@ struct PropagateOptions {
   /// propagation. Null = the exact serial path (results are identical
   /// either way; see operators.h for the determinism contract).
   exec::ThreadPool* pool = nullptr;
+  /// Expected number of summary-delta groups (a §5.5 cardinality
+  /// estimate), used to pre-size the final GroupBy's hash table so the
+  /// propagate fan-out never rehashes mid-batch. 0 = no hint. Capacity
+  /// only — results are identical with or without it.
+  size_t delta_size_hint = 0;
 };
 
 struct PropagateStats {
@@ -93,12 +98,14 @@ struct DerivationRecipe {
 
 /// Applies a derivation recipe: joins the recipe's dimension tables into
 /// `parent_rows`, then groups and aggregates. Returns a relation with the
-/// child's summary schema.
+/// child's summary schema. `size_hint`, when nonzero, pre-sizes the
+/// final GroupBy (the lattice planner passes its group estimate).
 rel::Table ApplyDerivation(const rel::Catalog& catalog,
                            const DerivationRecipe& recipe,
                            const rel::Table& parent_rows,
                            exec::ThreadPool* pool = nullptr,
-                           exec::OperatorStats* stats = nullptr);
+                           exec::OperatorStats* stats = nullptr,
+                           size_t size_hint = 0);
 
 }  // namespace sdelta::core
 

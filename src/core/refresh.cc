@@ -1,14 +1,16 @@
 #include "core/refresh.h"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
 #include <unordered_map>
-#include <unordered_set>
 
 #include "core/propagate.h"
 #include "core/view_def.h"
+#include "relational/flat_hash.h"
 #include "relational/group_key.h"
 #include "relational/operators.h"
+#include "relational/packed_key.h"
 
 namespace sdelta::core {
 
@@ -159,24 +161,33 @@ void UpdateInPlace(const RefreshLayout& layout, Row& old_row,
   }
 }
 
-/// Recomputes every group in `keys` from the (already updated) base
-/// data in one streaming pass over the fact table, writing the fresh
-/// rows into the summary table. Returns rows scanned.
+/// Recomputes every group in `keys` (assumed distinct — summary-delta
+/// keys are grouped) from the (already updated) base data in one
+/// streaming pass over the fact table, writing the fresh rows into the
+/// summary table. Returns rows scanned.
 size_t BatchRecompute(const rel::Catalog& catalog, SummaryTable& view,
-                      const std::unordered_set<GroupKey, rel::GroupKeyHash>&
-                          keys,
+                      const std::vector<GroupKey>& keys,
                       RefreshStats* stats) {
   if (keys.empty()) return 0;
   const ViewDef& def = view.def().physical;
   const Table& fact = catalog.GetTable(def.fact_table);
 
-  // Per-join lookup: dim key value -> dim row (FK joins are 1:1).
+  // Per-join lookup: dim key value -> dim row (FK joins are 1:1). The
+  // single-column key packs through a codec over the dim key column —
+  // probes then encode the fact FK value instead of boxing it into a
+  // one-element GroupKey per fact row. NULLs encode to the codec's null
+  // sentinel, preserving the historical NULL-matches-NULL behaviour of
+  // this lookup (unlike HashJoin, which skips NULL keys).
   struct DimLookup {
     const Table* dim;
     size_t fact_col;  // index in fact schema
     size_t dim_key_col;
+    std::vector<size_t> fact_key_idx;  // {fact_col}, for EncodeRow
+    std::vector<size_t> dim_key_idx;   // {dim_key_col}, for EncodeRow
     std::vector<size_t> carried;  // non-key dim columns, in schema order
-    std::unordered_map<GroupKey, size_t, rel::GroupKeyHash> index;
+    rel::PackedKeyCodec codec;
+    rel::FlatHashMap<rel::PackedKey, size_t, rel::PackedKeyHash> packed;
+    std::unordered_map<GroupKey, size_t, rel::GroupKeyHash> boxed;
   };
   std::vector<DimLookup> dims;
   for (const DimensionJoin& j : def.joins) {
@@ -184,12 +195,30 @@ size_t BatchRecompute(const rel::Catalog& catalog, SummaryTable& view,
     dl.dim = &catalog.GetTable(j.dim_table);
     dl.fact_col = fact.schema().Resolve(j.fact_column);
     dl.dim_key_col = dl.dim->schema().Resolve(j.dim_column);
+    dl.fact_key_idx = {dl.fact_col};
+    dl.dim_key_idx = {dl.dim_key_col};
     for (size_t c = 0; c < dl.dim->schema().NumColumns(); ++c) {
       if (c != dl.dim_key_col) dl.carried.push_back(c);
     }
-    dl.index.reserve(dl.dim->NumRows());
+    dl.codec = rel::PackedKeyCodec::ForColumns(
+        dl.dim->schema(), dl.dim_key_idx, [&catalog](const rel::Column& c) {
+          return &catalog.dictionaries().ForColumn(c.name);
+        });
+    if (dl.codec.packable()) {
+      dl.packed.Reserve(dl.dim->NumRows());
+    } else {
+      dl.boxed.reserve(dl.dim->NumRows());
+    }
     for (size_t r = 0; r < dl.dim->NumRows(); ++r) {
-      dl.index.emplace(GroupKey{dl.dim->row(r)[dl.dim_key_col]}, r);
+      std::optional<rel::PackedKey> pk;
+      if (dl.codec.packable()) {
+        pk = dl.codec.EncodeRow(dl.dim->row(r), dl.dim_key_idx);
+      }
+      if (pk.has_value()) {
+        dl.packed.FindOrInsert(*pk, r);  // keep-first, like emplace did
+      } else {
+        dl.boxed.emplace(GroupKey{dl.dim->row(r)[dl.dim_key_col]}, r);
+      }
     }
     dims.push_back(std::move(dl));
   }
@@ -211,47 +240,95 @@ size_t BatchRecompute(const rel::Catalog& catalog, SummaryTable& view,
   std::optional<rel::BoundExpression> where;
   if (def.where.has_value()) where = def.where->Bind(joined);
 
-  std::unordered_map<GroupKey, std::vector<rel::Accumulator>,
-                     rel::GroupKeyHash>
-      groups;
+  // Recompute set, keyed through the view's own codec (first-appearance
+  // entries keep the original GroupKeys for the writeback below, in the
+  // deterministic order of `keys`).
+  const rel::PackedKeyCodec& vcodec = view.codec();
+  rel::FlatHashMap<rel::PackedKey, size_t, rel::PackedKeyHash> gpacked;
+  std::unordered_map<GroupKey, size_t, rel::GroupKeyHash> gboxed;
+  std::vector<std::pair<GroupKey, std::vector<rel::Accumulator>>> entries;
+  entries.reserve(keys.size());
+  if (vcodec.packable()) {
+    gpacked.Reserve(keys.size());
+  } else {
+    gboxed.reserve(keys.size());
+  }
   for (const GroupKey& k : keys) {
     std::vector<rel::Accumulator> accs;
     for (const rel::AggregateSpec& a : def.aggregates) {
       accs.emplace_back(a.kind);
     }
-    groups.emplace(k, std::move(accs));
+    std::optional<rel::PackedKey> pk;
+    if (vcodec.packable()) pk = vcodec.EncodeKey(k);
+    if (pk.has_value()) {
+      auto [slot, inserted] = gpacked.FindOrInsert(*pk, entries.size());
+      if (inserted) entries.emplace_back(k, std::move(accs));
+    } else {
+      auto [it, inserted] = gboxed.emplace(k, entries.size());
+      if (inserted) entries.emplace_back(k, std::move(accs));
+    }
   }
 
+  uint64_t packed_probes = 0;
+  uint64_t fallback_probes = 0;
   size_t scanned = 0;
   Row joined_row;
+  GroupKey key_scratch;
   for (const Row& fr : fact.rows()) {
     ++scanned;
     joined_row.assign(fr.begin(), fr.end());
     bool matched = true;
     for (const DimLookup& dl : dims) {
-      auto it = dl.index.find(GroupKey{fr[dl.fact_col]});
-      if (it == dl.index.end()) {
+      const size_t* pos = nullptr;
+      std::optional<rel::PackedKey> pk;
+      if (dl.codec.packable()) pk = dl.codec.EncodeRow(fr, dl.fact_key_idx);
+      if (pk.has_value()) {
+        ++packed_probes;
+        pos = dl.packed.Find(*pk);
+      } else {
+        ++fallback_probes;
+        key_scratch.clear();
+        key_scratch.push_back(fr[dl.fact_col]);
+        auto it = dl.boxed.find(key_scratch);
+        if (it != dl.boxed.end()) pos = &it->second;
+      }
+      if (pos == nullptr) {
         matched = false;
         break;
       }
-      const Row& dr = dl.dim->row(it->second);
+      const Row& dr = dl.dim->row(*pos);
       for (size_t c : dl.carried) joined_row.push_back(dr[c]);
     }
     if (!matched) continue;
     if (where.has_value() && !where->EvalPredicate(joined_row)) continue;
-    GroupKey key = rel::ExtractKey(joined_row, group_idx);
-    auto it = groups.find(key);
-    if (it == groups.end()) continue;
+    std::vector<rel::Accumulator>* accs = nullptr;
+    std::optional<rel::PackedKey> pk;
+    if (vcodec.packable()) pk = vcodec.EncodeRow(joined_row, group_idx);
+    if (pk.has_value()) {
+      ++packed_probes;
+      const size_t* slot = gpacked.Find(*pk);
+      if (slot != nullptr) accs = &entries[*slot].second;
+    } else {
+      ++fallback_probes;
+      rel::ExtractKey(joined_row, group_idx, &key_scratch);
+      auto it = gboxed.find(key_scratch);
+      if (it != gboxed.end()) accs = &entries[it->second].second;
+    }
+    if (accs == nullptr) continue;
     for (size_t i = 0; i < def.aggregates.size(); ++i) {
       if (def.aggregates[i].kind == rel::AggregateKind::kCountStar) {
-        it->second[i].Add(Value::Null());
+        (*accs)[i].Add(Value::Null());
       } else {
-        it->second[i].Add(agg_args[i].Eval(joined_row));
+        (*accs)[i].Add(agg_args[i].Eval(joined_row));
       }
     }
   }
+  if (stats != nullptr) {
+    stats->key_packed_ops += packed_probes;
+    stats->key_fallback_ops += fallback_probes;
+  }
 
-  for (auto& [key, accs] : groups) {
+  for (auto& [key, accs] : entries) {
     Row fresh = key;
     bool any_rows = false;
     for (size_t i = 0; i < accs.size(); ++i) {
@@ -285,10 +362,14 @@ RefreshStats RefreshCursor(const rel::Catalog& catalog, SummaryTable& view,
                            const RefreshOptions& options) {
   RefreshStats stats;
   const RefreshLayout layout = MakeLayout(view, summary_delta);
-  std::unordered_set<GroupKey, rel::GroupKeyHash> recompute;
+  // Delta keys are grouped (distinct), so a plain vector is the
+  // recompute set — in delta order, which keeps the batch-recompute
+  // writeback deterministic.
+  std::vector<GroupKey> recompute;
+  GroupKey key;  // scratch, reused across delta rows
 
   for (const Row& t : summary_delta.rows()) {
-    GroupKey key(t.begin(), t.begin() + layout.num_groups);
+    key.assign(t.begin(), t.begin() + layout.num_groups);
     Row* old_row = view.FindMutable(key);
     if (old_row == nullptr) {
       const int64_t count = AsCount(t[layout.count_star_index]);
@@ -307,7 +388,7 @@ RefreshStats RefreshCursor(const rel::Catalog& catalog, SummaryTable& view,
         // A freshly appearing group whose delta mixes insertions and
         // deletions (dimension moves): the delta MIN/MAX may reflect
         // rows that did not survive — recompute from base data.
-        recompute.insert(std::move(key));
+        recompute.push_back(std::move(key));
         continue;
       }
       view.Insert(Row(t.begin(), t.begin() + layout.arity));
@@ -330,10 +411,10 @@ RefreshStats RefreshCursor(const rel::Catalog& catalog, SummaryTable& view,
     if (may_have_deletions && NeedsRecompute(layout, *old_row, t)) {
       ++stats.minmax_recomputes;
       if (options.batch_minmax_recompute) {
-        recompute.insert(std::move(key));
+        recompute.push_back(std::move(key));
       } else {
-        std::unordered_set<GroupKey, rel::GroupKeyHash> single;
-        single.insert(std::move(key));
+        std::vector<GroupKey> single;
+        single.push_back(std::move(key));
         stats.recompute_scan_rows +=
             BatchRecompute(catalog, view, single, &stats);
       }
@@ -439,9 +520,7 @@ RefreshStats RefreshMerge(const rel::Catalog& catalog, SummaryTable& view,
 
   // Merge always batches MIN/MAX recomputation: the table was already
   // rewritten wholesale, so per-group scans would have no benefit.
-  std::unordered_set<GroupKey, rel::GroupKeyHash> recompute(
-      recompute_keys.begin(), recompute_keys.end());
-  stats.recompute_scan_rows += BatchRecompute(catalog, view, recompute,
+  stats.recompute_scan_rows += BatchRecompute(catalog, view, recompute_keys,
                                               &stats);
   return stats;
 }
@@ -455,6 +534,10 @@ void RefreshStats::EmitTo(obs::MetricsRegistry& metrics) const {
   metrics.Add("refresh.recomputed_groups", recomputed_groups);
   metrics.Add("refresh.recompute_scan_rows", recompute_scan_rows);
   metrics.Add("refresh.minmax_recomputes", minmax_recomputes);
+  // Shared with propagate's per-operator key tallies, so the warehouse
+  // can derive one batch-wide key.packed_ratio gauge.
+  metrics.Add("key.packed_rows", key_packed_ops);
+  metrics.Add("key.fallback_rows", key_fallback_ops);
 }
 
 RefreshStats Refresh(const rel::Catalog& catalog, SummaryTable& view,
@@ -477,6 +560,9 @@ RefreshStats Refresh(const rel::Catalog& catalog, SummaryTable& view,
   span.Attr("strategy",
             options.strategy == RefreshStrategy::kCursor ? "cursor" : "merge");
   span.Attr("delta_rows", static_cast<uint64_t>(summary_delta.NumRows()));
+  const uint64_t packed_before = view.packed_key_ops();
+  const uint64_t fallback_before = view.fallback_key_ops();
+  const rel::ProbeStats probes_before = view.probe_stats();
   RefreshStats stats;
   switch (options.strategy) {
     case RefreshStrategy::kCursor:
@@ -485,6 +571,21 @@ RefreshStats Refresh(const rel::Catalog& catalog, SummaryTable& view,
     case RefreshStrategy::kMerge:
       stats = RefreshMerge(catalog, view, summary_delta, options);
       break;
+  }
+  // Fold this refresh's summary-table index traffic into the stats (the
+  // dim-lookup and recompute-set probes were already counted inside
+  // BatchRecompute).
+  stats.key_packed_ops += view.packed_key_ops() - packed_before;
+  stats.key_fallback_ops += view.fallback_key_ops() - fallback_before;
+  if (options.metrics != nullptr) {
+    const rel::ProbeStats probes_after = view.probe_stats();
+    const uint64_t ops = probes_after.ops - probes_before.ops;
+    if (ops > 0) {
+      const uint64_t steps = probes_after.steps - probes_before.steps;
+      options.metrics->Observe(
+          "hash.probe_len",
+          static_cast<double>(steps) / static_cast<double>(ops));
+    }
   }
   span.Attr("updated", static_cast<uint64_t>(stats.updated));
   span.Attr("inserted", static_cast<uint64_t>(stats.inserted));

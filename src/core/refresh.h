@@ -57,6 +57,14 @@ struct RefreshStats {
   /// recomputed_groups: recomputes of freshly appearing tainted groups
   /// (dimension moves) are excluded.
   size_t minmax_recomputes = 0;
+  /// Key-index operations during this refresh (summary-table probes,
+  /// inserts, erases, and recompute dimension probes), split by whether
+  /// the key took the packed fast path. Deterministic across thread
+  /// counts: each view's refresh is sequential over a byte-identical
+  /// delta. Feeds the shared key.packed_rows / key.fallback_rows
+  /// counters behind the key.packed_ratio gauge.
+  uint64_t key_packed_ops = 0;
+  uint64_t key_fallback_ops = 0;
 
   RefreshStats& operator+=(const RefreshStats& o) {
     inserted += o.inserted;
@@ -65,12 +73,15 @@ struct RefreshStats {
     recomputed_groups += o.recomputed_groups;
     recompute_scan_rows += o.recompute_scan_rows;
     minmax_recomputes += o.minmax_recomputes;
+    key_packed_ops += o.key_packed_ops;
+    key_fallback_ops += o.key_fallback_ops;
     return *this;
   }
 
   /// Folds this run's counters into a registry (refresh.inserts,
   /// refresh.deletes, refresh.updates, refresh.recomputed_groups,
-  /// refresh.recompute_scan_rows, refresh.minmax_recomputes).
+  /// refresh.recompute_scan_rows, refresh.minmax_recomputes, plus the
+  /// pipeline-wide key.packed_rows / key.fallback_rows).
   void EmitTo(obs::MetricsRegistry& metrics) const;
 };
 

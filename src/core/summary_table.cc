@@ -1,5 +1,7 @@
 #include "core/summary_table.h"
 
+#include <numeric>
+#include <optional>
 #include <stdexcept>
 
 namespace sdelta::core {
@@ -7,7 +9,17 @@ namespace sdelta::core {
 SummaryTable::SummaryTable(AugmentedView def, const rel::Catalog& catalog)
     : def_(std::move(def)),
       schema_(ViewOutputSchema(catalog, def_.physical)),
-      num_group_columns_(def_.physical.group_by.size()) {}
+      num_group_columns_(def_.physical.group_by.size()) {
+  group_idx_.resize(num_group_columns_);
+  std::iota(group_idx_.begin(), group_idx_.end(), size_t{0});
+  // Output schema columns carry bare names ("city"), so every view
+  // grouping on the same column shares one pool dictionary — which is
+  // what keeps codes stable across batches and across views.
+  codec_ = rel::PackedKeyCodec::ForColumns(
+      schema_, group_idx_, [&catalog](const rel::Column& c) {
+        return &catalog.dictionaries().ForColumn(c.name);
+      });
+}
 
 void SummaryTable::MaterializeFrom(const rel::Catalog& catalog) {
   LoadFrom(EvaluateView(catalog, def_.physical));
@@ -19,9 +31,14 @@ void SummaryTable::LoadFrom(const rel::Table& physical_rows) {
                                 name());
   }
   rows_.clear();
-  index_.clear();
+  packed_index_.Clear();
+  boxed_index_.clear();
   rows_.reserve(physical_rows.NumRows());
-  index_.reserve(physical_rows.NumRows());
+  if (codec_.packable()) {
+    packed_index_.Reserve(physical_rows.NumRows());
+  } else {
+    boxed_index_.reserve(physical_rows.NumRows());
+  }
   for (const rel::Row& r : physical_rows.rows()) {
     Insert(r);
   }
@@ -32,13 +49,22 @@ rel::GroupKey SummaryTable::KeyOf(const rel::Row& row) const {
 }
 
 const rel::Row* SummaryTable::Find(const rel::GroupKey& key) const {
-  auto it = index_.find(key);
-  return it == index_.end() ? nullptr : &rows_[it->second];
+  if (codec_.packable()) {
+    const std::optional<rel::PackedKey> pk = codec_.EncodeKey(key);
+    if (pk.has_value()) {
+      ++packed_ops_;
+      const size_t* pos = packed_index_.Find(*pk);
+      return pos == nullptr ? nullptr : &rows_[*pos];
+    }
+  }
+  ++fallback_ops_;
+  auto it = boxed_index_.find(key);
+  return it == boxed_index_.end() ? nullptr : &rows_[it->second];
 }
 
 rel::Row* SummaryTable::FindMutable(const rel::GroupKey& key) {
-  auto it = index_.find(key);
-  return it == index_.end() ? nullptr : &rows_[it->second];
+  return const_cast<rel::Row*>(
+      static_cast<const SummaryTable*>(this)->Find(key));
 }
 
 void SummaryTable::Insert(rel::Row row) {
@@ -46,24 +72,62 @@ void SummaryTable::Insert(rel::Row row) {
     throw std::invalid_argument("row arity mismatch for summary table " +
                                 name());
   }
-  rel::GroupKey key = KeyOf(row);
-  auto [it, inserted] = index_.emplace(std::move(key), rows_.size());
-  if (!inserted) {
-    throw std::logic_error("duplicate group inserted into summary table " +
-                           name());
+  std::optional<rel::PackedKey> pk;
+  if (codec_.packable()) pk = codec_.EncodeRow(row, group_idx_);
+  if (pk.has_value()) {
+    ++packed_ops_;
+    auto [slot, inserted] = packed_index_.FindOrInsert(*pk, rows_.size());
+    if (!inserted) {
+      throw std::logic_error("duplicate group inserted into summary table " +
+                             name());
+    }
+  } else {
+    ++fallback_ops_;
+    auto [it, inserted] = boxed_index_.emplace(KeyOf(row), rows_.size());
+    if (!inserted) {
+      throw std::logic_error("duplicate group inserted into summary table " +
+                             name());
+    }
   }
   rows_.push_back(std::move(row));
 }
 
 bool SummaryTable::Erase(const rel::GroupKey& key) {
-  auto it = index_.find(key);
-  if (it == index_.end()) return false;
-  const size_t pos = it->second;
-  index_.erase(it);
+  size_t pos = rows_.size();
+  std::optional<rel::PackedKey> pk;
+  if (codec_.packable()) pk = codec_.EncodeKey(key);
+  if (pk.has_value()) {
+    ++packed_ops_;
+    if (!packed_index_.EraseOneIf(*pk, [&pos](size_t p) {
+          pos = p;
+          return true;
+        })) {
+      return false;
+    }
+  } else {
+    ++fallback_ops_;
+    auto it = boxed_index_.find(key);
+    if (it == boxed_index_.end()) return false;
+    pos = it->second;
+    boxed_index_.erase(it);
+  }
   const size_t last = rows_.size() - 1;
   if (pos != last) {
     rows_[pos] = std::move(rows_[last]);
-    index_[KeyOf(rows_[pos])] = pos;
+    // Re-point the moved row's index entry (it lives in whichever index
+    // its own key encodes into — independent of the erased key's path).
+    std::optional<rel::PackedKey> mk;
+    if (codec_.packable()) mk = codec_.EncodeRow(rows_[pos], group_idx_);
+    if (mk.has_value()) {
+      size_t* slot = packed_index_.Find(*mk);
+      if (slot == nullptr) {
+        throw std::logic_error("summary index out of sync for table " +
+                               name());
+      }
+      *slot = pos;
+    } else {
+      boxed_index_[KeyOf(rows_[pos])] = pos;
+    }
   }
   rows_.pop_back();
   return true;

@@ -7,7 +7,9 @@
 
 #include "core/self_maintenance.h"
 #include "core/view_def.h"
+#include "relational/flat_hash.h"
 #include "relational/group_key.h"
+#include "relational/packed_key.h"
 
 namespace sdelta::core {
 
@@ -63,12 +65,37 @@ class SummaryTable {
   /// The user-visible (logical) rows, with AVG reconstructed.
   rel::Table ToLogicalTable() const;
 
+  /// The key codec built over this view's group-by columns. String
+  /// columns draw their dictionaries from the catalog pool by column
+  /// name, so codes agree across batches (and across views grouping on
+  /// the same column).
+  const rel::PackedKeyCodec& codec() const { return codec_; }
+  bool keys_packed() const { return codec_.packable(); }
+
+  /// Index-operation tallies (Find/Insert/Erase), split by path. Feeds
+  /// the key.packed_ratio metric and the shell's `dicts` command.
+  uint64_t packed_key_ops() const { return packed_ops_; }
+  uint64_t fallback_key_ops() const { return fallback_ops_; }
+  const rel::ProbeStats& probe_stats() const {
+    return packed_index_.probe_stats();
+  }
+
  private:
   AugmentedView def_;
   rel::Schema schema_;
   size_t num_group_columns_ = 0;
+  std::vector<size_t> group_idx_;  // 0..num_group_columns_-1 (EncodeRow arg)
+  rel::PackedKeyCodec codec_;
   std::vector<rel::Row> rows_;
-  std::unordered_map<rel::GroupKey, size_t, rel::GroupKeyHash> index_;
+  // Every group lives in exactly one index: packed_index_ when its key
+  // encodes, boxed_index_ otherwise (a key that escapes the codec never
+  // Value-equals one that packs, so lookups probe a single index).
+  rel::FlatHashMap<rel::PackedKey, size_t, rel::PackedKeyHash> packed_index_;
+  std::unordered_map<rel::GroupKey, size_t, rel::GroupKeyHash> boxed_index_;
+  // Mutated on const Find: accounting only. Refresh probes one view from
+  // one thread (parallel refresh is one task per view), so no races.
+  mutable uint64_t packed_ops_ = 0;
+  mutable uint64_t fallback_ops_ = 0;
 };
 
 }  // namespace sdelta::core

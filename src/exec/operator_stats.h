@@ -49,6 +49,17 @@ struct OperatorStats {
   uint64_t join_build_rows = 0;  // rows hashed into build tables
   uint64_t join_probe_rows = 0;  // rows streamed through probes
 
+  // Key-encoding accounting (GroupBy + HashJoin). packed/fallback row
+  // counts tally each input row exactly once (at morsel accumulation,
+  // never at partial-table merge), so they stay byte-identical across
+  // thread counts like the row counters above. The probe fields are NOT
+  // thread-count-invariant (merge probes depend on the morsel split);
+  // they feed the hash.probe_len histogram only, never counters.
+  uint64_t key_packed_rows = 0;    // rows whose key took the packed path
+  uint64_t key_fallback_rows = 0;  // rows that escaped to boxed GroupKeys
+  uint64_t key_probe_ops = 0;      // flat-map probes on packed indexes
+  uint64_t key_probe_steps = 0;    // slots inspected across those probes
+
   uint64_t total_calls() const {
     return select.calls + project.calls + hash_join.calls + group_by.calls +
            union_all.calls;
@@ -62,6 +73,10 @@ struct OperatorStats {
     union_all.MergeFrom(other.union_all);
     join_build_rows += other.join_build_rows;
     join_probe_rows += other.join_probe_rows;
+    key_packed_rows += other.key_packed_rows;
+    key_fallback_rows += other.key_fallback_rows;
+    key_probe_ops += other.key_probe_ops;
+    key_probe_steps += other.key_probe_steps;
   }
 };
 

@@ -236,6 +236,18 @@ LatticePropagateResult PropagateAll(const rel::Catalog& catalog,
   // per-step slots. The explicit parent span mirrors the D-lattice:
   // derived steps parent on their source view's span, base steps on the
   // phase.
+  // Saturating double -> size_t for the §5.5 estimates feeding hash
+  // pre-sizing (an estimate can be huge or non-finite; the hint is
+  // additionally capped so a wild estimate cannot over-allocate).
+  constexpr size_t kMaxSizeHint = size_t{1} << 22;
+  auto size_hint_of = [&](double estimated_groups) -> size_t {
+    if (!(estimated_groups > 0)) return 0;
+    if (estimated_groups >= static_cast<double>(kMaxSizeHint)) {
+      return kMaxSizeHint;
+    }
+    return static_cast<size_t>(estimated_groups);
+  };
+
   auto run_step = [&](size_t slot, core::PropagateStats* stats) {
     const PlanStep& step = plan.steps[slot];
     StepExecution& ex = result.step_execs[slot];
@@ -246,17 +258,25 @@ LatticePropagateResult PropagateAll(const rel::Catalog& catalog,
                         parent_span);
     if (ex.via_edge) {
       const VLatticeEdge& edge = lattice.edges[*step.edge];
+      // The child can have at most as many delta groups as the parent
+      // has delta rows, so take the tighter of that bound and the plan
+      // estimate.
+      const size_t parent_rows = result.deltas[edge.parent].NumRows();
+      size_t hint = size_hint_of(step.estimated_groups);
+      if (hint == 0 || hint > parent_rows) hint = parent_rows;
       result.deltas[step.view] =
           core::ApplyDerivation(catalog, edge.recipe,
                                 result.deltas[edge.parent], opts.pool,
-                                &stats->ops);
-      stats->prepared_tuples = result.deltas[edge.parent].NumRows();
+                                &stats->ops, hint);
+      stats->prepared_tuples = parent_rows;
       stats->delta_groups = result.deltas[step.view].NumRows();
       if (opts.metrics != nullptr) stats->EmitTo(*opts.metrics);
       span.Attr("source", lattice.views[edge.parent].name());
     } else {
+      core::PropagateOptions step_opts = opts;
+      step_opts.delta_size_hint = size_hint_of(step.estimated_groups);
       result.deltas[step.view] = core::ComputeSummaryDelta(
-          catalog, lattice.views[step.view], changes, opts, stats);
+          catalog, lattice.views[step.view], changes, step_opts, stats);
       span.Attr("source", "base");
     }
     span.Attr("delta_rows", static_cast<uint64_t>(stats->delta_groups));

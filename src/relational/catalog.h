@@ -1,10 +1,12 @@
 #ifndef SDELTA_RELATIONAL_CATALOG_H_
 #define SDELTA_RELATIONAL_CATALOG_H_
 
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "relational/dictionary.h"
 #include "relational/table.h"
 
 namespace sdelta::rel {
@@ -86,8 +88,17 @@ class Catalog {
   std::vector<std::string> FdClosure(const std::string& table,
                                      const std::string& attribute) const;
 
+  /// Per-column string dictionaries, shared by every summary table so
+  /// propagate and refresh agree on key codes across batches. Interning
+  /// mutates the pool but not the catalog's logical contents, hence the
+  /// const accessor; the pool sits behind a unique_ptr so dictionary
+  /// references survive catalog moves.
+  DictionaryPool& dictionaries() const { return *dictionaries_; }
+
  private:
   std::unordered_map<std::string, Table> tables_;
+  std::unique_ptr<DictionaryPool> dictionaries_ =
+      std::make_unique<DictionaryPool>();
   std::vector<ForeignKey> fks_;
   std::vector<FunctionalDependency> fds_;
 };

@@ -1,0 +1,72 @@
+#include "relational/dictionary.h"
+
+#include <stdexcept>
+
+namespace sdelta::rel {
+
+uint32_t Dictionary::Intern(const std::string& s) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = codes_.find(std::string_view(s));
+    if (it != codes_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  // Re-check under the exclusive lock: another thread may have interned
+  // the same string between the two lock acquisitions.
+  auto it = codes_.find(std::string_view(s));
+  if (it != codes_.end()) return it->second;
+  if (strings_.size() > kMaxCode) {
+    throw std::length_error("dictionary overflow: more than 2^32 - 1 codes");
+  }
+  const uint32_t code = static_cast<uint32_t>(strings_.size());
+  strings_.push_back(s);
+  codes_.emplace(std::string_view(strings_.back()), code);
+  return code;
+}
+
+std::optional<uint32_t> Dictionary::Lookup(const std::string& s) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = codes_.find(std::string_view(s));
+  if (it == codes_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& Dictionary::ValueOf(uint32_t code) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (code >= strings_.size()) {
+    throw std::out_of_range("dictionary code " + std::to_string(code) +
+                            " out of range");
+  }
+  return strings_[code];
+}
+
+size_t Dictionary::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return strings_.size();
+}
+
+Dictionary& DictionaryPool::ForColumn(const std::string& column) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Dictionary>& slot = dicts_[column];
+  if (slot == nullptr) slot = std::make_unique<Dictionary>();
+  return *slot;
+}
+
+std::vector<std::pair<std::string, size_t>> DictionaryPool::Entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, size_t>> out;
+  out.reserve(dicts_.size());
+  for (const auto& [name, dict] : dicts_) {
+    out.emplace_back(name, dict->size());
+  }
+  return out;
+}
+
+size_t DictionaryPool::TotalEntries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const auto& [name, dict] : dicts_) total += dict->size();
+  return total;
+}
+
+}  // namespace sdelta::rel

@@ -1,0 +1,19 @@
+#include "relational/flat_hash.h"
+
+namespace sdelta::rel {
+
+double ProbeStats::MeanLength() const {
+  return ops == 0 ? 0.0 : static_cast<double>(steps) / static_cast<double>(ops);
+}
+
+namespace flat_internal {
+
+size_t NormalizeCapacity(size_t n) {
+  size_t cap = 16;
+  while (n * 4 > cap * 3) cap *= 2;
+  return cap;
+}
+
+}  // namespace flat_internal
+
+}  // namespace sdelta::rel

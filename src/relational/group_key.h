@@ -1,6 +1,7 @@
 #ifndef SDELTA_RELATIONAL_GROUP_KEY_H_
 #define SDELTA_RELATIONAL_GROUP_KEY_H_
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -60,12 +61,16 @@ inline GroupKey ExtractKey(const Row& row, const std::vector<size_t>& indices) {
 
 /// Allocation-free variant for per-row loops: reuses `out`'s capacity
 /// across calls (the caller copies `*out` only when it actually needs to
-/// retain the key, e.g. on first appearance of a group).
+/// retain the key, e.g. on first appearance of a group). No reserve here:
+/// after the first call capacity covers indices.size(), and re-checking
+/// it per row is wasted work in the innermost loop.
 inline void ExtractKey(const Row& row, const std::vector<size_t>& indices,
                        GroupKey* out) {
   out->clear();
-  out->reserve(indices.size());
+  [[maybe_unused]] const bool fits = out->capacity() >= indices.size();
+  [[maybe_unused]] const Value* data_before = out->data();
   for (size_t i : indices) out->push_back(row[i]);
+  assert(!fits || out->data() == data_before);
 }
 
 /// Hashes an entire row (used by Table's whole-row index).

@@ -1,11 +1,16 @@
 #include "relational/operators.h"
 
+#include <algorithm>
 #include <chrono>
+#include <optional>
 #include <stdexcept>
 #include <unordered_map>
 
 #include "exec/parallel_for.h"
+#include "relational/dictionary.h"
+#include "relational/flat_hash.h"
 #include "relational/group_key.h"
+#include "relational/packed_key.h"
 
 namespace sdelta::rel {
 namespace {
@@ -154,43 +159,89 @@ Table HashJoin(const Table& left, const Table& right,
   }
 
   // Build side: the right (dimension) input. Always serial — the probe
-  // phase shares this table read-only across morsels.
-  std::unordered_multimap<GroupKey, size_t, GroupKeyHash> build;
-  build.reserve(right.NumRows());
+  // phase shares this table read-only across morsels. Keys pack through
+  // a codec over the right key columns (probe values encode through the
+  // same codec, so Value-equal keys meet in the same table); keys the
+  // codec cannot encode fall back to boxed GroupKeys. An encodable key
+  // never Value-equals an escaping one, so the two tables never need to
+  // cross-probe each other.
+  DictionaryArena dict_arena;
+  const PackedKeyCodec codec = PackedKeyCodec::ForColumns(
+      right.schema(), right_idx,
+      [&dict_arena](const Column&) { return &dict_arena.Add(); });
+  FlatHashMap<PackedKey, size_t, PackedKeyHash> packed_build;
+  std::unordered_multimap<GroupKey, size_t, GroupKeyHash> boxed_build;
+  if (codec.packable()) {
+    packed_build.Reserve(right.NumRows());
+  } else {
+    boxed_build.reserve(right.NumRows());
+  }
+  uint64_t build_packed_rows = 0;
+  uint64_t build_fallback_rows = 0;
   for (size_t i = 0; i < right.NumRows(); ++i) {
-    GroupKey key = ExtractKey(right.row(i), right_idx);
+    const Row& rr = right.row(i);
     // SQL equi-join: NULL keys never match.
     bool has_null = false;
-    for (const Value& v : key) has_null |= v.is_null();
-    if (!has_null) build.emplace(std::move(key), i);
+    for (size_t k : right_idx) has_null |= rr[k].is_null();
+    if (has_null) continue;
+    std::optional<PackedKey> pk;
+    if (codec.packable()) pk = codec.EncodeRow(rr, right_idx);
+    if (pk.has_value()) {
+      ++build_packed_rows;
+      packed_build.InsertMulti(*pk, i);
+    } else {
+      ++build_fallback_rows;
+      boxed_build.emplace(ExtractKey(rr, right_idx), i);
+    }
   }
 
   Table out(std::move(out_schema));
-  // Emits the matches for left row `lr` onto `chunk`. The probe key is a
-  // caller-owned scratch buffer: equal_range only reads it, so one
-  // allocation serves the whole morsel.
+  // Emits the matches for left row `lr` onto `chunk`, tallying whether
+  // the probe key packed. The boxed probe key is a caller-owned scratch
+  // buffer: equal_range only reads it, so one allocation serves the
+  // whole morsel. The packed path probes via ForEachEqual, which does no
+  // accounting — morsels probe the shared build table concurrently.
   const auto probe_row = [&](const Row& lr, GroupKey* key,
-                             std::vector<Row>* chunk) {
-    ExtractKey(lr, left_idx, key);
-    for (const Value& v : *key) {
-      if (v.is_null()) return;
+                             std::vector<Row>* chunk, uint64_t* packed_rows,
+                             uint64_t* fallback_rows) {
+    for (size_t k : left_idx) {
+      if (lr[k].is_null()) return;
     }
-    auto [begin, end] = build.equal_range(*key);
-    for (auto it = begin; it != end; ++it) {
+    const auto emit = [&](size_t right_row) {
       Row row = lr;
-      const Row& rr = right.row(it->second);
+      const Row& rr = right.row(right_row);
       row.reserve(row.size() + right_out_idx.size());
       for (size_t i : right_out_idx) row.push_back(rr[i]);
       chunk->push_back(std::move(row));
+    };
+    std::optional<PackedKey> pk;
+    if (codec.packable()) pk = codec.EncodeRow(lr, left_idx);
+    if (pk.has_value()) {
+      ++*packed_rows;
+      packed_build.ForEachEqual(*pk, [&](size_t r) {
+        emit(r);
+        return false;
+      });
+    } else {
+      ++*fallback_rows;
+      ExtractKey(lr, left_idx, key);
+      auto [begin, end] = boxed_build.equal_range(*key);
+      for (auto it = begin; it != end; ++it) emit(it->second);
     }
   };
 
   const exec::MorselPlan plan =
       exec::MorselPlan::For(left.NumRows(), exec::kDefaultMorselRows);
-  const auto join_done = [&](const Table& result) {
+  const auto join_done = [&](const Table& result, uint64_t probe_packed,
+                             uint64_t probe_fallback) {
     if (stats != nullptr) {
       stats->join_build_rows += right.NumRows();
       stats->join_probe_rows += left.NumRows();
+      stats->key_packed_rows += build_packed_rows + probe_packed;
+      stats->key_fallback_rows += build_fallback_rows + probe_fallback;
+      const ProbeStats& ps = packed_build.probe_stats();  // build inserts
+      stats->key_probe_ops += ps.ops;
+      stats->key_probe_steps += ps.steps;
     }
     op.Done(left.NumRows() + right.NumRows(), result.NumRows(),
             plan.morsels.size());
@@ -199,21 +250,35 @@ Table HashJoin(const Table& left, const Table& right,
     std::vector<Row> rows;
     rows.reserve(left.NumRows());  // FK joins emit ~one row per left row
     GroupKey key;
-    for (const Row& lr : left.rows()) probe_row(lr, &key, &rows);
+    uint64_t packed_rows = 0;
+    uint64_t fallback_rows = 0;
+    for (const Row& lr : left.rows()) {
+      probe_row(lr, &key, &rows, &packed_rows, &fallback_rows);
+    }
     out.Reserve(rows.size());
     for (Row& r : rows) out.Insert(std::move(r));
-    join_done(out);
+    join_done(out, packed_rows, fallback_rows);
     return out;
   }
   std::vector<std::vector<Row>> chunks(plan.morsels.size());
+  std::vector<uint64_t> packed_rows(plan.morsels.size(), 0);
+  std::vector<uint64_t> fallback_rows(plan.morsels.size(), 0);
   exec::ParallelFor(pool, plan, [&](size_t begin, size_t end, size_t m) {
     std::vector<Row>& chunk = chunks[m];
     chunk.reserve(end - begin);
     GroupKey key;
-    for (size_t i = begin; i < end; ++i) probe_row(left.row(i), &key, &chunk);
+    for (size_t i = begin; i < end; ++i) {
+      probe_row(left.row(i), &key, &chunk, &packed_rows[m], &fallback_rows[m]);
+    }
   });
   SpliceChunks(std::move(chunks), &out);
-  join_done(out);
+  uint64_t total_packed = 0;
+  uint64_t total_fallback = 0;
+  for (size_t m = 0; m < plan.morsels.size(); ++m) {
+    total_packed += packed_rows[m];
+    total_fallback += fallback_rows[m];
+  }
+  join_done(out, total_packed, total_fallback);
   return out;
 }
 
@@ -259,33 +324,66 @@ std::vector<GroupByColumn> GroupCols(const std::vector<std::string>& names) {
 namespace {
 
 /// Insertion-ordered group table: `entries` keeps groups in first-
-/// appearance order, `index` maps a key to its entry slot. Both the
-/// serial path (one accumulation over the whole input) and the parallel
-/// path (one per morsel, merged in morsel order) emit from `entries`,
-/// which is what makes GroupBy's output order thread-count-invariant.
+/// appearance order; `packed` (fast path) and `boxed` (fallback) map a
+/// key to its entry slot. Every key lives in exactly one of the two
+/// indexes — escape from the codec is a pure function of the value, so
+/// the split is deterministic and the indexes never cross-probe. The
+/// entry stores the group's *original* first-appearance GroupKey (never
+/// a decoded PackedKey), which keeps output rows byte-identical to the
+/// boxed path even when encoding canonicalizes (Double(7.0) -> Int64 7).
+/// Both the serial path (one accumulation over the whole input) and the
+/// parallel path (one per morsel, merged in morsel order) emit from
+/// `entries`, which is what makes GroupBy's output order
+/// thread-count-invariant.
 struct GroupAccumulation {
-  std::unordered_map<GroupKey, size_t, GroupKeyHash> index;
+  FlatHashMap<PackedKey, size_t, PackedKeyHash> packed;
+  std::unordered_map<GroupKey, size_t, GroupKeyHash> boxed;
   std::vector<std::pair<GroupKey, std::vector<Accumulator>>> entries;
+  // Per-input-row tallies, bumped only during accumulation (never at
+  // merge) so their totals are identical at every thread count.
+  uint64_t packed_rows = 0;
+  uint64_t fallback_rows = 0;
 };
+
+std::vector<Accumulator> NewAccumulators(
+    const std::vector<AggregateSpec>& aggregates) {
+  std::vector<Accumulator> accs;
+  accs.reserve(aggregates.size());
+  for (const AggregateSpec& a : aggregates) accs.emplace_back(a.kind);
+  return accs;
+}
 
 void AccumulateRange(const Table& input, size_t begin, size_t end,
                      const std::vector<size_t>& key_idx,
                      const std::vector<AggregateSpec>& aggregates,
                      const std::vector<BoundExpression>& args,
-                     GroupAccumulation* acc) {
+                     const PackedKeyCodec& codec, GroupAccumulation* acc) {
   GroupKey key;  // scratch, reused across rows; copied only per new group
   for (size_t r = begin; r < end; ++r) {
     const Row& row = input.row(r);
-    ExtractKey(row, key_idx, &key);
-    auto it = acc->index.find(key);
-    if (it == acc->index.end()) {
-      std::vector<Accumulator> accs;
-      accs.reserve(aggregates.size());
-      for (const AggregateSpec& a : aggregates) accs.emplace_back(a.kind);
-      it = acc->index.emplace(key, acc->entries.size()).first;
-      acc->entries.emplace_back(key, std::move(accs));
+    size_t slot;
+    std::optional<PackedKey> pk;
+    if (codec.packable()) pk = codec.EncodeRow(row, key_idx);
+    if (pk.has_value()) {
+      ++acc->packed_rows;
+      auto [value, inserted] =
+          acc->packed.FindOrInsert(*pk, acc->entries.size());
+      if (inserted) {
+        acc->entries.emplace_back(ExtractKey(row, key_idx),
+                                  NewAccumulators(aggregates));
+      }
+      slot = *value;
+    } else {
+      ++acc->fallback_rows;
+      ExtractKey(row, key_idx, &key);
+      auto it = acc->boxed.find(key);
+      if (it == acc->boxed.end()) {
+        it = acc->boxed.emplace(key, acc->entries.size()).first;
+        acc->entries.emplace_back(key, NewAccumulators(aggregates));
+      }
+      slot = it->second;
     }
-    std::vector<Accumulator>& accs = acc->entries[it->second].second;
+    std::vector<Accumulator>& accs = acc->entries[slot].second;
     for (size_t i = 0; i < aggregates.size(); ++i) {
       if (aggregates[i].kind == AggregateKind::kCountStar) {
         accs[i].Add(Value::Null());
@@ -300,7 +398,8 @@ void AccumulateRange(const Table& input, size_t begin, size_t end,
 
 Table GroupBy(const Table& input, const std::vector<GroupByColumn>& group_by,
               const std::vector<AggregateSpec>& aggregates,
-              exec::ThreadPool* pool, exec::OperatorStats* stats) {
+              exec::ThreadPool* pool, exec::OperatorStats* stats,
+              size_t size_hint) {
   OpScope op(stats == nullptr ? nullptr : &stats->group_by);
   std::vector<size_t> key_idx;
   Schema out_schema;
@@ -330,13 +429,34 @@ Table GroupBy(const Table& input, const std::vector<GroupByColumn>& group_by,
     }
   }
 
+  // Key codec for this grouping. String key columns intern into an
+  // operator-local arena: codes only need to be consistent within this
+  // one call, and sharing the arena across morsels is safe (Dictionary
+  // is internally synchronized).
+  DictionaryArena dict_arena;
+  const PackedKeyCodec codec = PackedKeyCodec::ForColumns(
+      input.schema(), key_idx,
+      [&dict_arena](const Column&) { return &dict_arena.Add(); });
+
   const exec::MorselPlan plan =
       exec::MorselPlan::For(input.NumRows(), exec::kDefaultMorselRows);
   GroupAccumulation groups;
-  groups.index.reserve(input.NumRows() / 4 + 8);
+  // Pre-size from the caller's cardinality estimate when given (clamped
+  // to the input size — an estimate can exceed it), else the historical
+  // quarter-of-input heuristic.
+  const size_t expected = size_hint > 0
+                              ? std::min(size_hint, input.NumRows() + 1)
+                              : input.NumRows() / 4 + 8;
+  if (codec.packable()) {
+    groups.packed.Reserve(expected);
+  } else {
+    groups.boxed.reserve(expected);
+  }
+  groups.entries.reserve(expected);
+  ProbeStats merge_probes;  // probes done by partial tables + merge
   if (pool == nullptr || plan.morsels.size() <= 1) {
     AccumulateRange(input, 0, input.NumRows(), key_idx, aggregates, args,
-                    &groups);
+                    codec, &groups);
   } else {
     // Thread-local partial aggregation, the structure the paper's
     // summary-delta computation relies on: each morsel builds its own
@@ -344,20 +464,39 @@ Table GroupBy(const Table& input, const std::vector<GroupByColumn>& group_by,
     // order, which reproduces the serial first-appearance order.
     std::vector<GroupAccumulation> partials(plan.morsels.size());
     exec::ParallelFor(pool, plan, [&](size_t begin, size_t end, size_t m) {
-      AccumulateRange(input, begin, end, key_idx, aggregates, args,
+      AccumulateRange(input, begin, end, key_idx, aggregates, args, codec,
                       &partials[m]);
     });
     for (GroupAccumulation& partial : partials) {
       for (auto& [key, accs] : partial.entries) {
-        auto it = groups.index.find(key);
-        if (it == groups.index.end()) {
-          groups.index.emplace(key, groups.entries.size());
-          groups.entries.emplace_back(std::move(key), std::move(accs));
+        // Re-encode the partial's key against the shared codec. A key
+        // that packed in its morsel packs here too (same codec), so the
+        // packed/boxed split is consistent between partials and merge.
+        std::optional<PackedKey> pk;
+        if (codec.packable()) pk = codec.EncodeKey(key);
+        if (pk.has_value()) {
+          auto [value, inserted] =
+              groups.packed.FindOrInsert(*pk, groups.entries.size());
+          if (inserted) {
+            groups.entries.emplace_back(std::move(key), std::move(accs));
+          } else {
+            std::vector<Accumulator>& dst = groups.entries[*value].second;
+            for (size_t i = 0; i < dst.size(); ++i) dst[i].Merge(accs[i]);
+          }
         } else {
-          std::vector<Accumulator>& dst = groups.entries[it->second].second;
-          for (size_t i = 0; i < dst.size(); ++i) dst[i].Merge(accs[i]);
+          auto it = groups.boxed.find(key);
+          if (it == groups.boxed.end()) {
+            groups.boxed.emplace(key, groups.entries.size());
+            groups.entries.emplace_back(std::move(key), std::move(accs));
+          } else {
+            std::vector<Accumulator>& dst = groups.entries[it->second].second;
+            for (size_t i = 0; i < dst.size(); ++i) dst[i].Merge(accs[i]);
+          }
         }
       }
+      groups.packed_rows += partial.packed_rows;
+      groups.fallback_rows += partial.fallback_rows;
+      merge_probes += partial.packed.probe_stats();
     }
   }
 
@@ -375,6 +514,14 @@ Table GroupBy(const Table& input, const std::vector<GroupByColumn>& group_by,
     row.reserve(row.size() + accs.size());
     for (const Accumulator& acc : accs) row.push_back(acc.Result());
     out.Insert(std::move(row));
+  }
+  if (stats != nullptr) {
+    stats->key_packed_rows += groups.packed_rows;
+    stats->key_fallback_rows += groups.fallback_rows;
+    ProbeStats probes = groups.packed.probe_stats();
+    probes += merge_probes;
+    stats->key_probe_ops += probes.ops;
+    stats->key_probe_steps += probes.steps;
   }
   op.Done(input.NumRows(), out.NumRows(), plan.morsels.size());
   return out;

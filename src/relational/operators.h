@@ -94,6 +94,11 @@ Table UnionAll(Table&& a, Table&& b, exec::OperatorStats* stats = nullptr);
 /// Output rows appear in first-appearance order of each group in the
 /// input — a deterministic order shared by the serial and parallel
 /// paths (see the determinism notes above).
+///
+/// `size_hint`, when nonzero, pre-sizes the group index (propagate
+/// passes the lattice plan's §5.5 cardinality estimate so the fan-out
+/// never rehashes mid-batch). It is a capacity hint only — the result
+/// is identical with or without it.
 struct GroupByColumn {
   std::string input;
   std::string output;  // empty => bare name of `input`
@@ -101,7 +106,7 @@ struct GroupByColumn {
 Table GroupBy(const Table& input, const std::vector<GroupByColumn>& group_by,
               const std::vector<AggregateSpec>& aggregates,
               exec::ThreadPool* pool = nullptr,
-              exec::OperatorStats* stats = nullptr);
+              exec::OperatorStats* stats = nullptr, size_t size_hint = 0);
 
 /// Convenience: group-by columns keeping their bare names.
 std::vector<GroupByColumn> GroupCols(const std::vector<std::string>& names);

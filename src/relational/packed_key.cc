@@ -1,0 +1,162 @@
+#include "relational/packed_key.h"
+
+#include <atomic>
+#include <cstring>
+#include <stdexcept>
+
+namespace sdelta::rel {
+
+namespace {
+std::atomic<bool> g_packed_enabled{true};
+}  // namespace
+
+bool PackedKeysEnabled() {
+  return g_packed_enabled.load(std::memory_order_relaxed);
+}
+
+void SetPackedKeysEnabled(bool enabled) {
+  g_packed_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+PackedKeyCodec PackedKeyCodec::ForTypes(const std::vector<ValueType>& types,
+                                        const std::vector<Dictionary*>& dicts) {
+  if (dicts.size() != types.size()) {
+    throw std::invalid_argument(
+        "PackedKeyCodec: dictionary list does not match column list");
+  }
+  PackedKeyCodec codec;
+  if (!PackedKeysEnabled()) return codec;
+
+  size_t num_strings = 0;
+  size_t num_ints = 0;
+  for (ValueType t : types) {
+    if (t == ValueType::kString) {
+      ++num_strings;
+    } else if (t == ValueType::kInt64) {
+      ++num_ints;
+    } else {
+      return codec;  // doubles and friends never pack
+    }
+  }
+  // Strings take a fixed 32 bits; ints split the remainder evenly, and a
+  // schema whose ints would drop below 32 bits does not pack at all.
+  int int_width = 0;
+  if (num_ints > 0) {
+    const int budget = 128 - 32 * static_cast<int>(num_strings);
+    int_width = budget / static_cast<int>(num_ints);
+    if (int_width < 32) return codec;
+    if (int_width > 63) int_width = 63;
+  } else if (num_strings > 4) {
+    return codec;
+  }
+
+  codec.cols_.reserve(types.size());
+  int shift = 0;
+  for (size_t i = 0; i < types.size(); ++i) {
+    Col c;
+    c.type = types[i];
+    c.width = static_cast<uint8_t>(types[i] == ValueType::kString ? 32
+                                                                  : int_width);
+    c.shift = static_cast<uint8_t>(shift);
+    c.null_code = (uint64_t{1} << c.width) - 1;
+    if (types[i] == ValueType::kString) {
+      if (dicts[i] == nullptr) {
+        throw std::invalid_argument(
+            "PackedKeyCodec: string key column has no dictionary");
+      }
+      c.dict = dicts[i];
+    }
+    shift += c.width;
+    codec.cols_.push_back(c);
+  }
+  codec.packable_ = true;
+  return codec;
+}
+
+PackedKeyCodec PackedKeyCodec::ForColumns(const Schema& schema,
+                                          const std::vector<size_t>& key_indices,
+                                          const DictionarySource& dicts) {
+  std::vector<ValueType> types;
+  std::vector<Dictionary*> dict_ptrs;
+  types.reserve(key_indices.size());
+  dict_ptrs.reserve(key_indices.size());
+  const bool enabled = PackedKeysEnabled();
+  for (size_t idx : key_indices) {
+    const Column& col = schema.columns()[idx];
+    types.push_back(col.type);
+    dict_ptrs.push_back(enabled && col.type == ValueType::kString ? dicts(col)
+                                                                  : nullptr);
+  }
+  return ForTypes(types, dict_ptrs);
+}
+
+bool PackedKeyCodec::EncodeValue(const Col& c, const Value& v,
+                                 unsigned __int128* bits) const {
+  uint64_t code;
+  if (v.is_null()) {
+    code = c.null_code;
+  } else if (c.type == ValueType::kString) {
+    if (v.type() != ValueType::kString) return false;
+    code = c.dict->Intern(v.as_string());
+  } else {
+    int64_t iv;
+    if (v.type() == ValueType::kInt64) {
+      iv = v.as_int64();
+    } else if (v.type() == ValueType::kDouble) {
+      // Value::operator== widens: Int64(7) == Double(7.0). Encode an
+      // integral in-range double as its int64 twin so equal keys get
+      // equal codes; everything else escapes. The range check must come
+      // before the cast — out-of-range double-to-int conversion is UB.
+      const double d = v.as_double();
+      if (!(d >= 0.0 && d < static_cast<double>(c.null_code))) return false;
+      iv = static_cast<int64_t>(d);
+      if (static_cast<double>(iv) != d) return false;
+    } else {
+      return false;
+    }
+    if (iv < 0 || static_cast<uint64_t>(iv) >= c.null_code) return false;
+    code = static_cast<uint64_t>(iv);
+  }
+  *bits |= static_cast<unsigned __int128>(code) << c.shift;
+  return true;
+}
+
+std::optional<PackedKey> PackedKeyCodec::EncodeRow(
+    const Row& row, const std::vector<size_t>& indices) const {
+  unsigned __int128 bits = 0;
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    if (!EncodeValue(cols_[i], row[indices[i]], &bits)) return std::nullopt;
+  }
+  return PackedKey{static_cast<uint64_t>(bits),
+                   static_cast<uint64_t>(bits >> 64)};
+}
+
+std::optional<PackedKey> PackedKeyCodec::EncodeKey(const GroupKey& key) const {
+  unsigned __int128 bits = 0;
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    if (!EncodeValue(cols_[i], key[i], &bits)) return std::nullopt;
+  }
+  return PackedKey{static_cast<uint64_t>(bits),
+                   static_cast<uint64_t>(bits >> 64)};
+}
+
+GroupKey PackedKeyCodec::Decode(const PackedKey& key) const {
+  unsigned __int128 bits =
+      (static_cast<unsigned __int128>(key.hi) << 64) | key.lo;
+  GroupKey out;
+  out.reserve(cols_.size());
+  for (const Col& c : cols_) {
+    const uint64_t code =
+        static_cast<uint64_t>((bits >> c.shift)) & c.null_code;
+    if (code == c.null_code) {
+      out.push_back(Value::Null());
+    } else if (c.type == ValueType::kString) {
+      out.push_back(Value::String(c.dict->ValueOf(static_cast<uint32_t>(code))));
+    } else {
+      out.push_back(Value::Int64(static_cast<int64_t>(code)));
+    }
+  }
+  return out;
+}
+
+}  // namespace sdelta::rel

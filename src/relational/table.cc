@@ -22,14 +22,19 @@ void Table::Insert(Row row) {
 bool Table::EraseOneEqual(const Row& target) {
   if (row_index_enabled_) {
     const size_t h = HashRow(target);
-    auto [begin, end] = row_index_.equal_range(h);
-    for (auto it = begin; it != end; ++it) {
-      if (rows_[it->second] == target) {
-        EraseAt(it->second);
+    size_t found_pos = rows_.size();
+    // Collect the position first: EraseAt rewrites the index, which must
+    // not happen while the probe chain is being walked.
+    row_index_.ForEachEqual(h, [&](size_t pos) {
+      if (rows_[pos] == target) {
+        found_pos = pos;
         return true;
       }
-    }
-    return false;
+      return false;
+    });
+    if (found_pos == rows_.size()) return false;
+    EraseAt(found_pos);
+    return true;
   }
   for (size_t i = 0; i < rows_.size(); ++i) {
     if (rows_[i] == target) {
@@ -62,52 +67,40 @@ void Table::EraseAt(size_t i) {
 
 void Table::Clear() {
   rows_.clear();
-  row_index_.clear();
+  row_index_.Clear();
 }
 
 void Table::EnableRowIndex() {
   if (row_index_enabled_) return;
   row_index_enabled_ = true;
-  row_index_.clear();
-  row_index_.reserve(rows_.size());
+  row_index_.Clear();
+  row_index_.Reserve(rows_.size());
   for (size_t i = 0; i < rows_.size(); ++i) IndexInsert(i);
 }
 
 void Table::IndexInsert(size_t pos) {
-  row_index_.emplace(HashRow(rows_[pos]), pos);
+  row_index_.InsertMulti(HashRow(rows_[pos]), pos);
 }
 
 void Table::IndexErase(size_t pos) {
   const size_t h = HashRow(rows_[pos]);
-  auto [begin, end] = row_index_.equal_range(h);
-  for (auto it = begin; it != end; ++it) {
-    if (it->second == pos) {
-      row_index_.erase(it);
-      return;
-    }
+  if (!row_index_.EraseOneIf(h, [pos](size_t p) { return p == pos; })) {
+    throw std::logic_error("row index out of sync in table '" + name_ + "'");
   }
-  throw std::logic_error("row index out of sync in table '" + name_ + "'");
 }
 
 bool Table::BagEquals(const Table& a, const Table& b) {
   if (a.NumRows() != b.NumRows()) return false;
   if (a.schema().NumColumns() != b.schema().NumColumns()) return false;
   // Count multiplicities of a's rows, subtract b's.
-  std::unordered_multimap<size_t, const Row*> counts;
-  counts.reserve(a.NumRows());
-  for (const Row& r : a.rows()) counts.emplace(HashRow(r), &r);
+  FlatHashMap<size_t, const Row*, IdentityHash> counts;
+  counts.Reserve(a.NumRows());
+  for (const Row& r : a.rows()) counts.InsertMulti(HashRow(r), &r);
   for (const Row& r : b.rows()) {
     const size_t h = HashRow(r);
-    auto [begin, end] = counts.equal_range(h);
-    bool found = false;
-    for (auto it = begin; it != end; ++it) {
-      if (*it->second == r) {
-        counts.erase(it);
-        found = true;
-        break;
-      }
+    if (!counts.EraseOneIf(h, [&r](const Row* cand) { return *cand == r; })) {
+      return false;
     }
-    if (!found) return false;
   }
   return counts.empty();
 }

@@ -2,9 +2,9 @@
 #define SDELTA_RELATIONAL_TABLE_H_
 
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "relational/flat_hash.h"
 #include "relational/group_key.h"
 #include "relational/schema.h"
 #include "relational/value.h"
@@ -33,7 +33,12 @@ class Table {
   const Row& row(size_t i) const { return rows_[i]; }
   const std::vector<Row>& rows() const { return rows_; }
 
-  void Reserve(size_t n) { rows_.reserve(n); }
+  /// Reserves storage for n rows — including the row index when enabled,
+  /// so bulk loads do not rehash it repeatedly.
+  void Reserve(size_t n) {
+    rows_.reserve(n);
+    if (row_index_enabled_) row_index_.Reserve(n);
+  }
 
   /// Appends a row. The row must have schema().NumColumns() values; this
   /// is checked (cheaply) and violations throw std::invalid_argument.
@@ -58,7 +63,7 @@ class Table {
   std::vector<Row> TakeRows() {
     std::vector<Row> out = std::move(rows_);
     rows_.clear();
-    row_index_.clear();
+    row_index_.Clear();
     return out;
   }
 
@@ -82,7 +87,8 @@ class Table {
   std::vector<Row> rows_;
   bool row_index_enabled_ = false;
   // hash(row) -> positions with that hash (collisions resolved by compare).
-  std::unordered_multimap<size_t, size_t> row_index_;
+  // HashRow output is already avalanched, so the map hashes by identity.
+  FlatHashMap<size_t, size_t, IdentityHash> row_index_;
 };
 
 }  // namespace sdelta::rel

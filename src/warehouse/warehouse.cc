@@ -243,6 +243,17 @@ BatchReport Warehouse::RunBatch(const core::ChangeSet& changes) {
   report.propagate.preaggregated =
       m.counter("propagate.preaggregated") > preagg0;
   m.Observe("batch.maintenance_seconds", report.maintenance_seconds());
+  // Batch-wide key-encoding health: share of key operations that took
+  // the packed fast path (100% on the retail schema), and the total
+  // dictionary population backing string key columns.
+  const double key_packed = static_cast<double>(m.counter("key.packed_rows"));
+  const double key_fallback =
+      static_cast<double>(m.counter("key.fallback_rows"));
+  if (key_packed + key_fallback > 0) {
+    m.Set("key.packed_ratio", key_packed / (key_packed + key_fallback));
+  }
+  m.Set("dict.entries",
+        static_cast<double>(catalog_.dictionaries().TotalEntries()));
   if (pool_ != nullptr) {
     m.Set("exec.threads", static_cast<double>(num_threads_));
     DrainExecStats(exec0, pool_->StatsSnapshot(), batch_sw.ElapsedSeconds(),

@@ -18,6 +18,7 @@
 #include "core/delta.h"
 #include "obs/metrics.h"
 #include "relational/csv.h"
+#include "relational/packed_key.h"
 #include "warehouse/retail_schema.h"
 #include "warehouse/warehouse.h"
 #include "warehouse/workload.h"
@@ -134,6 +135,35 @@ TEST(DeterminismTest, RunBatchByteIdenticalAcrossThreadCounts) {
   const auto exec_counters = two.ExecCounters();
   EXPECT_FALSE(exec_counters.empty());
   EXPECT_EQ(exec_counters, eight.ExecCounters());
+}
+
+TEST(DeterminismTest, PackedAndBoxedKeyPathsProduceIdenticalBatches) {
+  // The packed-key fast path must be invisible in the results: the same
+  // batch sequence with packed keys globally disabled yields the same
+  // CSV snapshots, serial and parallel alike.
+  ASSERT_TRUE(rel::PackedKeysEnabled());
+  Instance packed(2);
+  std::map<std::string, std::string> packed_snapshot;
+  {
+    const core::ChangeSet changes =
+        MakeUpdateGeneratingChanges(packed.wh.catalog(), 400, 555);
+    packed.wh.RunBatch(changes);
+    packed_snapshot = packed.Snapshot();
+  }
+  rel::SetPackedKeysEnabled(false);
+  std::map<std::string, std::string> boxed_snapshot;
+  try {
+    Instance boxed(2);
+    const core::ChangeSet changes =
+        MakeUpdateGeneratingChanges(boxed.wh.catalog(), 400, 555);
+    boxed.wh.RunBatch(changes);
+    boxed_snapshot = boxed.Snapshot();
+  } catch (...) {
+    rel::SetPackedKeysEnabled(true);
+    throw;
+  }
+  rel::SetPackedKeysEnabled(true);
+  EXPECT_EQ(packed_snapshot, boxed_snapshot);
 }
 
 TEST(DeterminismTest, PropagateOnlyStatsMatchAcrossThreadCounts) {

@@ -1,0 +1,139 @@
+// Tests for the per-column string dictionaries that back packed keys:
+// codes must round-trip, stay stable across batches (propagate in batch
+// k probes summary entries encoded in batch 1), and be shared per
+// column through the catalog pool.
+#include "relational/dictionary.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace sdelta::rel {
+namespace {
+
+TEST(DictionaryTest, InternRoundTripsThroughValueOf) {
+  Dictionary d;
+  const uint32_t boston = d.Intern("Boston");
+  const uint32_t seattle = d.Intern("Seattle");
+  EXPECT_NE(boston, seattle);
+  EXPECT_EQ(d.ValueOf(boston), "Boston");
+  EXPECT_EQ(d.ValueOf(seattle), "Seattle");
+  EXPECT_EQ(d.size(), 2u);
+}
+
+TEST(DictionaryTest, DuplicateInternReturnsSameCode) {
+  Dictionary d;
+  const uint32_t first = d.Intern("Boston");
+  EXPECT_EQ(d.Intern("Boston"), first);
+  EXPECT_EQ(d.Intern("Boston"), first);
+  EXPECT_EQ(d.size(), 1u);
+}
+
+TEST(DictionaryTest, LookupNeverInterns) {
+  Dictionary d;
+  EXPECT_FALSE(d.Lookup("Boston").has_value());
+  EXPECT_EQ(d.size(), 0u);
+  const uint32_t code = d.Intern("Boston");
+  ASSERT_TRUE(d.Lookup("Boston").has_value());
+  EXPECT_EQ(*d.Lookup("Boston"), code);
+  EXPECT_FALSE(d.Lookup("Seattle").has_value());
+}
+
+TEST(DictionaryTest, CodesAreDenseAndStableAcrossBatches) {
+  // Simulates two batch windows interning overlapping key sets: codes
+  // assigned in "batch 1" must be unchanged after "batch 2" interns a
+  // superset, or summary-table probes would miss their own entries.
+  Dictionary d;
+  std::vector<uint32_t> batch1;
+  for (int i = 0; i < 100; ++i) {
+    batch1.push_back(d.Intern("store" + std::to_string(i)));
+    EXPECT_EQ(batch1.back(), static_cast<uint32_t>(i));  // dense, in order
+  }
+  for (int i = 0; i < 200; ++i) d.Intern("store" + std::to_string(i));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(d.Intern("store" + std::to_string(i)), batch1[i]);
+  }
+  EXPECT_EQ(d.size(), 200u);
+}
+
+TEST(DictionaryTest, ValueOfOutOfRangeThrows) {
+  Dictionary d;
+  d.Intern("only");
+  EXPECT_THROW(d.ValueOf(1), std::out_of_range);
+  EXPECT_THROW(d.ValueOf(Dictionary::kMaxCode), std::out_of_range);
+}
+
+TEST(DictionaryTest, EmptyStringIsAnOrdinaryKey) {
+  Dictionary d;
+  const uint32_t code = d.Intern("");
+  EXPECT_EQ(d.ValueOf(code), "");
+  EXPECT_EQ(d.Intern(""), code);
+}
+
+TEST(DictionaryTest, ConcurrentInternAgreesOnCodes) {
+  // Parallel GroupBy morsels intern through a shared dictionary; every
+  // thread must observe one code per distinct string, with the full code
+  // range dense afterwards.
+  Dictionary d;
+  constexpr int kThreads = 8;
+  constexpr int kStrings = 256;
+  std::vector<std::vector<uint32_t>> codes(kThreads,
+                                           std::vector<uint32_t>(kStrings));
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&d, &codes, t] {
+      for (int i = 0; i < kStrings; ++i) {
+        codes[t][i] = d.Intern("k" + std::to_string(i));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(d.size(), static_cast<size_t>(kStrings));
+  std::set<uint32_t> distinct;
+  for (int i = 0; i < kStrings; ++i) {
+    for (int t = 1; t < kThreads; ++t) EXPECT_EQ(codes[t][i], codes[0][i]);
+    distinct.insert(codes[0][i]);
+    EXPECT_EQ(d.ValueOf(codes[0][i]), "k" + std::to_string(i));
+  }
+  EXPECT_EQ(distinct.size(), static_cast<size_t>(kStrings));
+}
+
+TEST(DictionaryPoolTest, SameColumnSharesOneDictionary) {
+  DictionaryPool pool;
+  Dictionary& city1 = pool.ForColumn("city");
+  Dictionary& city2 = pool.ForColumn("city");
+  EXPECT_EQ(&city1, &city2);
+  Dictionary& state = pool.ForColumn("state");
+  EXPECT_NE(&city1, &state);
+}
+
+TEST(DictionaryPoolTest, EntriesReportPerColumnSizesSorted) {
+  DictionaryPool pool;
+  pool.ForColumn("city").Intern("Boston");
+  pool.ForColumn("city").Intern("Seattle");
+  pool.ForColumn("state").Intern("WA");
+  const auto entries = pool.Entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].first, "city");
+  EXPECT_EQ(entries[0].second, 2u);
+  EXPECT_EQ(entries[1].first, "state");
+  EXPECT_EQ(entries[1].second, 1u);
+  EXPECT_EQ(pool.TotalEntries(), 3u);
+}
+
+TEST(DictionaryArenaTest, ArenaAddressesAreStableAcrossAdds) {
+  DictionaryArena arena;
+  Dictionary& first = arena.Add();
+  const uint32_t code = first.Intern("pinned");
+  for (int i = 0; i < 64; ++i) arena.Add();
+  EXPECT_EQ(first.ValueOf(code), "pinned");
+  EXPECT_EQ(arena.size(), 65u);
+}
+
+}  // namespace
+}  // namespace sdelta::rel

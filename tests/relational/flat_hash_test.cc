@@ -1,0 +1,233 @@
+// Tests for the flat open-addressing map: collision chains, wraparound
+// at the end of the slot array, backward-shift deletion (the map is
+// tombstone-free, so probe chains must stay intact after erases), and
+// the multimap operations the HashJoin build side relies on.
+#include "relational/flat_hash.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sdelta::rel {
+namespace {
+
+using IntMap = FlatHashMap<size_t, int, IdentityHash>;
+
+TEST(FlatHashMapTest, FindOrInsertBasics) {
+  IntMap m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.Find(1), nullptr);
+
+  auto [v1, inserted1] = m.FindOrInsert(1, 10);
+  EXPECT_TRUE(inserted1);
+  EXPECT_EQ(*v1, 10);
+  auto [v2, inserted2] = m.FindOrInsert(1, 999);
+  EXPECT_FALSE(inserted2);  // existing value wins
+  EXPECT_EQ(*v2, 10);
+  EXPECT_EQ(m.size(), 1u);
+
+  ASSERT_NE(m.Find(1), nullptr);
+  EXPECT_EQ(*m.Find(1), 10);
+  *m.Find(1) = 11;
+  EXPECT_EQ(*m.Find(1), 11);
+}
+
+TEST(FlatHashMapTest, GrowsThroughManyInserts) {
+  IntMap m;
+  constexpr size_t kN = 10000;
+  for (size_t i = 0; i < kN; ++i) m.FindOrInsert(i * 2654435761u, int(i));
+  EXPECT_EQ(m.size(), kN);
+  for (size_t i = 0; i < kN; ++i) {
+    const int* v = m.Find(i * 2654435761u);
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(*v, int(i));
+  }
+  // Load factor <= 3/4 held through growth.
+  EXPECT_GE(m.capacity() * 3, m.size() * 4);
+}
+
+TEST(FlatHashMapTest, CollidingKeysShareAProbeChain) {
+  // IdentityHash + keys congruent mod capacity: a guaranteed collision
+  // chain. Reserve first so capacity is known and stable.
+  IntMap m;
+  m.Reserve(8);
+  const size_t cap = m.capacity();
+  for (size_t k = 0; k < 5; ++k) m.FindOrInsert(3 + k * cap, int(k));
+  EXPECT_EQ(m.size(), 5u);
+  for (size_t k = 0; k < 5; ++k) {
+    const int* v = m.Find(3 + k * cap);
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(*v, int(k));
+  }
+  // A missing key on the same chain walks it and falls off the end.
+  EXPECT_EQ(m.Find(3 + 5 * cap), nullptr);
+}
+
+TEST(FlatHashMapTest, ProbesWrapAroundTheSlotArray) {
+  IntMap m;
+  m.Reserve(8);
+  const size_t cap = m.capacity();
+  // Home slot cap-1: the second and third insert wrap to slots 0, 1.
+  m.FindOrInsert(cap - 1, 0);
+  m.FindOrInsert(2 * cap - 1, 1);
+  m.FindOrInsert(3 * cap - 1, 2);
+  EXPECT_EQ(*m.Find(cap - 1), 0);
+  EXPECT_EQ(*m.Find(2 * cap - 1), 1);
+  EXPECT_EQ(*m.Find(3 * cap - 1), 2);
+  // Erasing the head backward-shifts the wrapped entries into place.
+  EXPECT_TRUE(m.Erase(cap - 1));
+  EXPECT_EQ(m.Find(cap - 1), nullptr);
+  EXPECT_EQ(*m.Find(2 * cap - 1), 1);
+  EXPECT_EQ(*m.Find(3 * cap - 1), 2);
+}
+
+TEST(FlatHashMapTest, BackwardShiftEraseKeepsChainsReachable) {
+  IntMap m;
+  m.Reserve(16);
+  const size_t cap = m.capacity();
+  // Chain A homes at 2, chain B homes at 3; B's entries displace behind
+  // A's. Erasing from the middle of A must not strand B.
+  std::vector<size_t> keys = {2, 2 + cap, 3, 3 + cap, 2 + 2 * cap};
+  for (size_t i = 0; i < keys.size(); ++i) m.FindOrInsert(keys[i], int(i));
+  EXPECT_TRUE(m.Erase(2 + cap));
+  EXPECT_EQ(m.size(), keys.size() - 1);
+  EXPECT_EQ(m.Find(2 + cap), nullptr);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (keys[i] == 2 + cap) continue;
+    const int* v = m.Find(keys[i]);
+    ASSERT_NE(v, nullptr) << "key " << keys[i] << " lost after erase";
+    EXPECT_EQ(*v, int(i));
+  }
+}
+
+TEST(FlatHashMapTest, EraseChurnNeverDegradesLookup) {
+  // Tombstone-free deletion means heavy insert/erase churn (the summary
+  // table refresh pattern) leaves no residue: after deleting everything,
+  // the table is as good as new.
+  IntMap m;
+  for (int round = 0; round < 3; ++round) {
+    for (size_t i = 0; i < 1000; ++i) m.FindOrInsert(i, int(i));
+    EXPECT_EQ(m.size(), 1000u);
+    for (size_t i = 0; i < 1000; ++i) EXPECT_TRUE(m.Erase(i));
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.Find(500), nullptr);
+  }
+}
+
+TEST(FlatHashMapTest, InsertMultiKeepsDuplicatesInInsertionOrder) {
+  IntMap m;
+  m.Reserve(64);  // no rehash below, so probe order == insertion order
+  m.InsertMulti(7, 1);
+  m.InsertMulti(9, 99);
+  m.InsertMulti(7, 2);
+  m.InsertMulti(7, 3);
+  EXPECT_EQ(m.size(), 4u);
+
+  std::vector<int> seen;
+  m.ForEachEqual(7, [&](const int& v) {
+    seen.push_back(v);
+    return false;
+  });
+  EXPECT_EQ(seen, (std::vector<int>{1, 2, 3}));
+
+  // Early stop after the first match.
+  seen.clear();
+  m.ForEachEqual(7, [&](const int& v) {
+    seen.push_back(v);
+    return true;
+  });
+  EXPECT_EQ(seen, (std::vector<int>{1}));
+
+  // Find returns the first duplicate in probe order.
+  EXPECT_EQ(*m.Find(7), 1);
+  m.ForEachEqual(8, [](const int&) {
+    ADD_FAILURE() << "no entries for key 8";
+    return false;
+  });
+}
+
+TEST(FlatHashMapTest, EraseOneIfRemovesOnlyTheMatchingDuplicate) {
+  IntMap m;
+  m.Reserve(64);
+  m.InsertMulti(7, 1);
+  m.InsertMulti(7, 2);
+  m.InsertMulti(7, 3);
+  EXPECT_TRUE(m.EraseOneIf(7, [](const int& v) { return v == 2; }));
+  EXPECT_FALSE(m.EraseOneIf(7, [](const int& v) { return v == 2; }));
+  std::vector<int> seen;
+  m.ForEachEqual(7, [&](const int& v) {
+    seen.push_back(v);
+    return false;
+  });
+  EXPECT_EQ(seen, (std::vector<int>{1, 3}));
+  EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(FlatHashMapTest, ClearKeepsCapacity) {
+  IntMap m;
+  for (size_t i = 0; i < 100; ++i) m.FindOrInsert(i, int(i));
+  const size_t cap = m.capacity();
+  m.Clear();
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.capacity(), cap);
+  EXPECT_EQ(m.Find(5), nullptr);
+  m.FindOrInsert(5, 50);
+  EXPECT_EQ(*m.Find(5), 50);
+}
+
+TEST(FlatHashMapTest, ReservePreventsRehashDuringFill) {
+  IntMap m;
+  m.Reserve(1000);
+  const size_t cap = m.capacity();
+  EXPECT_GE(cap * 3, 1000u * 4);
+  for (size_t i = 0; i < 1000; ++i) m.FindOrInsert(i, int(i));
+  EXPECT_EQ(m.capacity(), cap);  // no growth mid-fill
+}
+
+TEST(FlatHashMapTest, ProbeStatsCountOpsAndSteps) {
+  IntMap m;
+  m.Reserve(8);
+  const size_t cap = m.capacity();
+  m.FindOrInsert(1, 10);           // home slot: 1 op, 1 step
+  m.FindOrInsert(1 + cap, 11);     // collides: 1 op, 2 steps
+  const ProbeStats& after_insert = m.probe_stats();
+  EXPECT_EQ(after_insert.ops, 2u);
+  EXPECT_EQ(after_insert.steps, 3u);
+  m.Find(1);        // 1 step
+  m.Find(1 + cap);  // 2 steps
+  EXPECT_EQ(m.probe_stats().ops, 4u);
+  EXPECT_EQ(m.probe_stats().steps, 6u);
+  EXPECT_DOUBLE_EQ(m.probe_stats().MeanLength(), 1.5);
+  // ForEachEqual does no accounting (it runs concurrently in joins).
+  m.ForEachEqual(1, [](const int&) { return false; });
+  EXPECT_EQ(m.probe_stats().ops, 4u);
+}
+
+TEST(FlatHashMapTest, StringValuesMoveCleanlyThroughRehash) {
+  FlatHashMap<size_t, std::string, IdentityHash> m;
+  for (size_t i = 0; i < 200; ++i) {
+    m.InsertMulti(i % 10, "v" + std::to_string(i));
+  }
+  EXPECT_EQ(m.size(), 200u);
+  size_t count = 0;
+  m.ForEachEqual(3, [&](const std::string& v) {
+    EXPECT_EQ(v.substr(0, 1), "v");
+    ++count;
+    return false;
+  });
+  EXPECT_EQ(count, 20u);
+}
+
+TEST(NormalizeCapacityTest, PowerOfTwoAboveLoadFactor) {
+  EXPECT_EQ(flat_internal::NormalizeCapacity(0), 16u);
+  EXPECT_EQ(flat_internal::NormalizeCapacity(12), 16u);
+  EXPECT_EQ(flat_internal::NormalizeCapacity(13), 32u);
+  EXPECT_EQ(flat_internal::NormalizeCapacity(24), 32u);
+  EXPECT_EQ(flat_internal::NormalizeCapacity(25), 64u);
+}
+
+}  // namespace
+}  // namespace sdelta::rel

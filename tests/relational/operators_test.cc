@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "relational/packed_key.h"
 #include "test_util.h"
 
 namespace sdelta::rel {
@@ -184,6 +185,101 @@ TEST(OperatorsTest, BareName) {
   EXPECT_EQ(BareName("stores.city"), "city");
   EXPECT_EQ(BareName("city"), "city");
   EXPECT_EQ(BareName("a.b.c"), "c");
+}
+
+/// RAII toggle so a failing test cannot leave packed keys disabled for
+/// the rest of the suite.
+class PackedKeysOff {
+ public:
+  PackedKeysOff() { SetPackedKeysEnabled(false); }
+  ~PackedKeysOff() { SetPackedKeysEnabled(true); }
+};
+
+TEST(OperatorsTest, GroupByPackedAndBoxedPathsAgree) {
+  // Same inputs, packed keys on vs off: identical result bags. The
+  // retail-shaped int key schema packs, so this pins equivalence of the
+  // two code paths end to end.
+  Table packed = GroupBy(MakeSales(), GroupCols({"store", "item"}),
+                         {CountStar("n"), Sum(E::Column("qty"), "total")});
+  Table boxed;
+  {
+    PackedKeysOff off;
+    boxed = GroupBy(MakeSales(), GroupCols({"store", "item"}),
+                    {CountStar("n"), Sum(E::Column("qty"), "total")});
+  }
+  ExpectBagEq(packed, boxed);
+}
+
+TEST(OperatorsTest, HashJoinPackedAndBoxedPathsAgree) {
+  Table packed =
+      HashJoin(MakeSales(), MakeItems(), {{"item", "item"}}, "items");
+  Table boxed;
+  {
+    PackedKeysOff off;
+    boxed = HashJoin(MakeSales(), MakeItems(), {{"item", "item"}}, "items");
+  }
+  ExpectBagEq(packed, boxed);
+}
+
+TEST(OperatorsTest, GroupByWidenedDoublesJoinTheirInt64Group) {
+  // Value::operator== widens Int64(5) == Double(5.0): both rows land in
+  // one group on the packed path (the double encodes as its int twin),
+  // while Double(5.5) escapes to the boxed path as its own group.
+  Schema s;
+  s.AddColumn("k", ValueType::kInt64);
+  s.AddColumn("qty", ValueType::kInt64);
+  Table t(s, "mixed");
+  t.Insert({Value::Int64(5), Value::Int64(1)});
+  t.Insert({Value::Double(5.0), Value::Int64(10)});
+  t.Insert({Value::Double(5.5), Value::Int64(100)});
+  Table out = GroupBy(t, GroupCols({"k"}), {Sum(E::Column("qty"), "total")});
+  ASSERT_EQ(out.NumRows(), 2u);
+  for (const Row& r : out.rows()) {
+    if (r[0] == Value::Double(5.5)) {
+      EXPECT_EQ(r[1].as_int64(), 100);
+    } else {
+      EXPECT_EQ(r[0], Value::Int64(5));
+      EXPECT_EQ(r[1].as_int64(), 11);
+    }
+  }
+}
+
+TEST(OperatorsTest, GroupByWideKeySchemaFallsBackToBoxedKeys) {
+  // Five int64 key columns would get 25 bits each — below the packing
+  // floor — so the whole schema takes the boxed path. Results must be
+  // unaffected.
+  Schema s;
+  for (int i = 0; i < 5; ++i) {
+    s.AddColumn("k" + std::to_string(i), ValueType::kInt64);
+  }
+  s.AddColumn("qty", ValueType::kInt64);
+  Table t(s, "wide");
+  for (int64_t r = 0; r < 10; ++r) {
+    t.Insert({Value::Int64(r % 2), Value::Int64(r % 3), Value::Int64(r % 2),
+              Value::Int64(r % 3), Value::Int64(r % 2), Value::Int64(1)});
+  }
+  Table out = GroupBy(t, GroupCols({"k0", "k1", "k2", "k3", "k4"}),
+                      {Sum(E::Column("qty"), "total")});
+  EXPECT_EQ(out.NumRows(), 6u);  // (r%2, r%3) has 6 combinations over 0..9
+  int64_t total = 0;
+  for (const Row& r : out.rows()) total += r[5].as_int64();
+  EXPECT_EQ(total, 10);
+}
+
+TEST(OperatorsTest, GroupByStringKeysGroupThroughDictionaries) {
+  Table joined = HashJoin(MakeSales(), MakeItems(), {{"item", "item"}},
+                          "items", true);
+  Table out = GroupBy(joined, {{"items.cat", ""}},
+                      {Sum(E::Column("qty"), "total")});
+  ASSERT_EQ(out.NumRows(), 2u);
+  for (const Row& r : out.rows()) {
+    if (r[0] == Value::String("food")) {
+      EXPECT_EQ(r[1].as_int64(), 11);
+    } else {
+      EXPECT_EQ(r[0], Value::String("toys"));
+      EXPECT_EQ(r[1].as_int64(), 2);
+    }
+  }
 }
 
 }  // namespace

@@ -74,6 +74,19 @@ TEST(TableTest, EnableRowIndexAfterInserts) {
   EXPECT_EQ(t.NumRows(), 1u);
 }
 
+TEST(TableTest, ReservePreSizesTheRowIndex) {
+  Table t(TwoCol());
+  t.EnableRowIndex();
+  t.Reserve(1000);
+  // Filling to the reserved size must not invalidate index consistency
+  // (a mid-fill rehash is the risk Reserve exists to avoid).
+  for (int i = 0; i < 1000; ++i) t.Insert(R(i, "v" + std::to_string(i)));
+  EXPECT_EQ(t.NumRows(), 1000u);
+  EXPECT_TRUE(t.EraseOneEqual(R(977, "v977")));
+  EXPECT_FALSE(t.EraseOneEqual(R(977, "v977")));
+  EXPECT_EQ(t.NumRows(), 999u);
+}
+
 TEST(TableTest, EraseAtSwapsWithBack) {
   Table t(TwoCol());
   t.Insert(R(1, "x"));
