@@ -1,0 +1,246 @@
+// Service-runtime availability bench (EXPERIMENTS.md): how much reader
+// throughput does background maintenance cost, and how long is the
+// batch window during which it could cost anything?
+//
+// Cases (keyed by {case, readers}):
+//   readers_idle              - N reader threads hammer snapshot
+//       queries against a quiescent service; each runs a fixed query
+//       count, so the workload is deterministic and QPS is the only
+//       timing output.
+//   readers_with_maintenance  - the same readers run concurrently with
+//       a producer appending a fixed trajectory of insertion change
+//       sets through the WAL + auto-batching maintenance loop. The
+//       service's refresh-window histogram (the epoch-install swap,
+//       i.e. the paper's batch window as experienced by readers) is
+//       reported alongside.
+//
+// Writes BENCH_service.json entries for the CI bench gate:
+// appended_changesets / appended_rows are exact (the trajectory is
+// deterministic; a mismatch means the ingest path dropped or split
+// work), refresh_window_ms_mean / refresh_window_ms_p99 are
+// tolerance-gated timings, qps and the batching-dependent counts are
+// recorded but ignored by the gate (QPS is higher-is-better, so a
+// one-sided upper gate would point the wrong way).
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/maintenance.h"
+#include "obs/export_json.h"
+#include "obs/metrics.h"
+#include "service/service.h"
+#include "warehouse/workload.h"
+
+namespace sdelta::bench {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr size_t kPosRows = 50000;
+constexpr size_t kReaderThreads = 4;
+constexpr size_t kQueriesPerIdleReader = 400;
+constexpr size_t kChangeSets = 120;
+constexpr size_t kRowsPerChangeSet = 64;
+
+constexpr char kRegionQuery[] =
+    "SELECT region, SUM(qty) AS q FROM pos, stores "
+    "WHERE pos.storeID = stores.storeID GROUP BY region";
+constexpr char kCategoryQuery[] =
+    "SELECT category, SUM(qty) AS q FROM pos, items "
+    "WHERE pos.itemID = items.itemID GROUP BY category";
+
+std::vector<obs::Json>& ServiceEntries() {
+  static auto* entries = new std::vector<obs::Json>();
+  return *entries;
+}
+
+struct RunResult {
+  double seconds = 0;
+  uint64_t queries = 0;
+  uint64_t appended_changesets = 0;
+  uint64_t appended_rows = 0;
+  obs::Histogram query_latency;
+  obs::Histogram refresh_window;
+  uint64_t batches = 0;
+  uint64_t epochs = 0;
+};
+
+std::unique_ptr<service::WarehouseService> OpenService(const fs::path& dir) {
+  service::WarehouseService::Options options;
+  options.auto_batching = true;
+  options.queue.max_batch_rows = 512;
+  options.queue.max_batch_delay_seconds = 0.005;
+  return service::WarehouseService::Open(
+      dir.string(), warehouse::MakeRetailCatalog(PaperConfig(kPosRows)),
+      warehouse::RetailSummaryTables(), options);
+}
+
+/// One reader: alternates the two derivable aggregate queries against
+/// freshly pinned snapshots until its quota (fixed count, or until
+/// `stop` flips for the contention run).
+void ReaderLoop(const service::WarehouseService& svc, size_t fixed_queries,
+                const std::atomic<bool>* stop, uint64_t* queries_out,
+                obs::Histogram* latency_out) {
+  uint64_t done = 0;
+  obs::Histogram latency;
+  while (stop != nullptr ? !stop->load(std::memory_order_acquire)
+                         : done < fixed_queries) {
+    core::Stopwatch sw;
+    const service::ReadSnapshot snap = svc.Snapshot();
+    const lattice::AnswerResult a =
+        snap.Query(done % 2 == 0 ? kRegionQuery : kCategoryQuery);
+    latency.Observe(sw.ElapsedSeconds());
+    if (a.rows.NumRows() == 0) {
+      std::fprintf(stderr, "bench_service: empty query result\n");
+      std::abort();
+    }
+    ++done;
+  }
+  *queries_out = done;
+  *latency_out = latency;
+}
+
+RunResult RunIdle(const fs::path& dir) {
+  auto svc = OpenService(dir);
+  RunResult r;
+  std::vector<uint64_t> counts(kReaderThreads, 0);
+  std::vector<obs::Histogram> latencies(kReaderThreads);
+  std::vector<std::thread> readers;
+  core::Stopwatch sw;
+  for (size_t i = 0; i < kReaderThreads; ++i) {
+    readers.emplace_back(ReaderLoop, std::cref(*svc), kQueriesPerIdleReader,
+                         nullptr, &counts[i], &latencies[i]);
+  }
+  for (std::thread& t : readers) t.join();
+  r.seconds = sw.ElapsedSeconds();
+  for (uint64_t c : counts) r.queries += c;
+  for (const obs::Histogram& h : latencies) r.query_latency.MergeFrom(h);
+  r.epochs = svc->GetStats().epoch;
+  svc->Stop();
+  return r;
+}
+
+RunResult RunWithMaintenance(const fs::path& dir) {
+  auto svc = OpenService(dir);
+  RunResult r;
+  std::atomic<bool> stop{false};
+  std::vector<uint64_t> counts(kReaderThreads, 0);
+  std::vector<obs::Histogram> latencies(kReaderThreads);
+  std::vector<std::thread> readers;
+
+  // The producer's mirror catalog evolves in lockstep with the
+  // service's warehouse so the workload generator sees current keys.
+  rel::Catalog mirror = warehouse::MakeRetailCatalog(PaperConfig(kPosRows));
+
+  core::Stopwatch sw;
+  for (size_t i = 0; i < kReaderThreads; ++i) {
+    readers.emplace_back(ReaderLoop, std::cref(*svc), size_t{0}, &stop,
+                         &counts[i], &latencies[i]);
+  }
+  for (size_t i = 0; i < kChangeSets; ++i) {
+    core::ChangeSet changes = warehouse::MakeInsertionGeneratingChanges(
+        mirror, kRowsPerChangeSet, /*seed=*/9000 + i);
+    core::ApplyChangeSet(mirror, changes);
+    r.appended_rows += changes.fact.insertions.NumRows();
+    svc->Append(std::move(changes));
+  }
+  svc->Flush();
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+  r.seconds = sw.ElapsedSeconds();
+
+  for (uint64_t c : counts) r.queries += c;
+  for (const obs::Histogram& h : latencies) r.query_latency.MergeFrom(h);
+  r.appended_changesets = kChangeSets;
+  r.refresh_window = svc->metrics().histogram("service.refresh_window");
+  const service::WarehouseService::Stats stats = svc->GetStats();
+  r.batches = stats.batches;
+  r.epochs = stats.epoch;
+  if (stats.applied_seq != kChangeSets) {
+    std::fprintf(stderr, "bench_service: applied %llu of %zu change sets\n",
+                 static_cast<unsigned long long>(stats.applied_seq),
+                 kChangeSets);
+    std::abort();
+  }
+  svc->Stop();
+  return r;
+}
+
+void AddEntry(const std::string& kase, const RunResult& r,
+              bool with_windows) {
+  obs::Json e = obs::Json::Object();
+  e.Set("case", obs::Json::Str(kase));
+  e.Set("readers", obs::Json::Int(static_cast<int64_t>(kReaderThreads)));
+  e.Set("queries", obs::Json::Int(static_cast<int64_t>(r.queries)));
+  e.Set("qps", obs::Json::Double(r.seconds > 0
+                                     ? static_cast<double>(r.queries) / r.seconds
+                                     : 0));
+  e.Set("query_ms_p99", obs::Json::Double(r.query_latency.P99() * 1e3));
+  e.Set("appended_changesets",
+        obs::Json::Int(static_cast<int64_t>(r.appended_changesets)));
+  e.Set("appended_rows", obs::Json::Int(static_cast<int64_t>(r.appended_rows)));
+  e.Set("batches", obs::Json::Int(static_cast<int64_t>(r.batches)));
+  e.Set("epochs", obs::Json::Int(static_cast<int64_t>(r.epochs)));
+  if (with_windows) {
+    e.Set("refresh_windows", obs::Json::Int(
+                                 static_cast<int64_t>(r.refresh_window.count)));
+    e.Set("refresh_window_ms_mean",
+          obs::Json::Double(r.refresh_window.Mean() * 1e3));
+    e.Set("refresh_window_ms_p99",
+          obs::Json::Double(r.refresh_window.P99() * 1e3));
+  }
+  ServiceEntries().push_back(std::move(e));
+}
+
+int Run() {
+  const fs::path root =
+      fs::temp_directory_path() /
+      ("sdelta_bench_service_" + std::to_string(::getpid()));
+  fs::remove_all(root);
+
+  std::printf("bench_service: %zu pos rows, %zu readers\n", kPosRows,
+              kReaderThreads);
+
+  const RunResult idle = RunIdle(root / "idle");
+  std::printf(
+      "  readers_idle:             %8.0f qps, p99 %.3f ms "
+      "(%llu queries in %.3fs)\n",
+      static_cast<double>(idle.queries) / idle.seconds,
+      idle.query_latency.P99() * 1e3,
+      static_cast<unsigned long long>(idle.queries), idle.seconds);
+  AddEntry("readers_idle", idle, /*with_windows=*/false);
+
+  const RunResult busy = RunWithMaintenance(root / "busy");
+  std::printf(
+      "  readers_with_maintenance: %8.0f qps, p99 %.3f ms "
+      "(%llu queries in %.3fs)\n"
+      "    %llu change sets / %llu rows in %llu batches, %llu epochs\n"
+      "    refresh window: %llu installs, mean %.2f us, p99 %.2f us\n",
+      static_cast<double>(busy.queries) / busy.seconds,
+      busy.query_latency.P99() * 1e3,
+      static_cast<unsigned long long>(busy.queries), busy.seconds,
+      static_cast<unsigned long long>(busy.appended_changesets),
+      static_cast<unsigned long long>(busy.appended_rows),
+      static_cast<unsigned long long>(busy.batches),
+      static_cast<unsigned long long>(busy.epochs),
+      static_cast<unsigned long long>(busy.refresh_window.count),
+      busy.refresh_window.Mean() * 1e6, busy.refresh_window.P99() * 1e6);
+  AddEntry("readers_with_maintenance", busy, /*with_windows=*/true);
+
+  fs::remove_all(root);
+  obs::MergeBenchJson("BENCH_service.json", "service", {"case", "readers"},
+                      ServiceEntries());
+  std::printf("wrote BENCH_service.json\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace sdelta::bench
+
+int main() { return sdelta::bench::Run(); }

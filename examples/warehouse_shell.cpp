@@ -1,36 +1,48 @@
-// An interactive warehouse shell over the paper's retail schema:
-// define summary tables in SQL, run batch windows, answer queries from
-// materialized views, inspect plans and metrics, snapshot to disk.
+// An interactive warehouse shell over the paper's retail schema, now
+// running on the concurrent service runtime (src/service/): ingested
+// batches go through the WAL + maintenance loop, queries answer from
+// pinned epoch snapshots, and the service can checkpoint to disk.
 // Reads commands from stdin.
 //
-//   ./build/examples/warehouse_shell [pos_rows]
+//   ./build/examples/warehouse_shell [pos_rows] [data_dir]
+//
+// `data_dir` holds the WAL and checkpoints (default: a per-process temp
+// directory, wiped on exit). Start from a fresh directory when changing
+// the set of summary tables: a checkpoint records their schemas.
 //
 // Commands:
 //   CREATE VIEW ...   define + materialize a summary table (SQL dialect)
-//   SELECT ...        answer a query (from a view when possible)
+//   SELECT ...        answer a query (from a pinned snapshot when a view
+//                     derives it, else from the live warehouse)
 //   DROP <name>       remove a summary table
 //   tables            list base tables
 //   summaries         list summary tables
 //   lattice           show derives edges and the propagation plan
-//   batch <kind> <n>  run a batch window; kind = update | insert |
-//                     backfill | recat
+//   batch <kind> <n>  append a change set and flush; kind = update |
+//                     insert | backfill | recat
 //   explain <kind> <n> [dot|json]
 //                     annotated plan tree (estimates only) for such a
 //                     batch, without running it
 //   explain analyze <kind> <n> [dot|json]
 //                     run the batch and annotate the tree with actual
 //                     cardinalities and refresh outcomes
+//   service stats     queue depth, epoch, staleness, last refresh window
+//   service flush     force a maintenance batch and wait for it
+//   service checkpoint
+//                     snapshot to <data_dir>/checkpoint + truncate WAL
 //   metrics           Prometheus text exposition of all pipeline metrics
 //   dicts             per-column string dictionaries and per-view packed
 //                     key stats (see DESIGN.md §8)
 //   save <dir>        snapshot catalog + summaries
 //   help, quit
 #include <cstdio>
+#include <filesystem>
 #include <iostream>
 #include <sstream>
 #include <string>
 
 #include "obs/export_prometheus.h"
+#include "service/service.h"
 #include "warehouse/persistence.h"
 #include "warehouse/retail_schema.h"
 #include "warehouse/warehouse.h"
@@ -45,38 +57,77 @@ void PrintHelp() {
       "commands: CREATE VIEW ... | SELECT ... | DROP <view> | tables |\n"
       "          summaries | lattice | batch <update|insert|backfill|"
       "recat> <n> |\n"
-      "          explain [analyze] <kind> <n> [dot|json] | metrics |\n"
+      "          explain [analyze] <kind> <n> [dot|json] |\n"
+      "          service <stats|flush|checkpoint> | metrics |\n"
       "          dicts | save <dir> | help | quit\n");
 }
 
-core::ChangeSet MakeChanges(warehouse::Warehouse& wh, const std::string& kind,
-                            size_t n, uint64_t seed) {
+core::ChangeSet MakeChanges(const rel::Catalog& catalog,
+                            const std::string& kind, size_t n, uint64_t seed) {
   if (kind == "update") {
-    return warehouse::MakeUpdateGeneratingChanges(wh.catalog(), n, seed);
+    return warehouse::MakeUpdateGeneratingChanges(catalog, n, seed);
   }
   if (kind == "insert") {
-    return warehouse::MakeInsertionGeneratingChanges(wh.catalog(), n, seed);
+    return warehouse::MakeInsertionGeneratingChanges(catalog, n, seed);
   }
   if (kind == "backfill") {
-    return warehouse::MakeBackfillChanges(wh.catalog(), n, seed);
+    return warehouse::MakeBackfillChanges(catalog, n, seed);
   }
   if (kind == "recat") {
-    return warehouse::MakeItemRecategorization(wh.catalog(), n, seed);
+    return warehouse::MakeItemRecategorization(catalog, n, seed);
   }
   throw std::invalid_argument("unknown batch kind '" + kind + "'");
 }
 
-void RunBatchCommand(warehouse::Warehouse& wh, const std::string& kind,
+/// Generates a change set against the quiescent live catalog.
+core::ChangeSet MakeChangesQuiesced(service::WarehouseService& svc,
+                                    const std::string& kind, size_t n,
+                                    uint64_t seed) {
+  core::ChangeSet changes;
+  svc.WithWriter([&](warehouse::Warehouse& wh) {
+    changes = MakeChanges(wh.catalog(), kind, n, seed);
+  });
+  return changes;
+}
+
+void RunBatchCommand(service::WarehouseService& svc, const std::string& kind,
                      size_t n, uint64_t seed) {
-  warehouse::BatchReport report = wh.RunBatch(MakeChanges(wh, kind, n, seed));
-  std::printf("propagate %.2f ms | refresh %.2f ms\n",
-              1e3 * report.propagate_seconds, 1e3 * report.refresh_seconds);
+  const uint64_t seq =
+      svc.Append(MakeChangesQuiesced(svc, kind, n, seed));
+  svc.Flush();
+  const warehouse::BatchReport report = svc.LastReport();
+  const service::WarehouseService::Stats stats = svc.GetStats();
+  std::printf(
+      "seq %llu applied | propagate %.2f ms | refresh %.2f ms | "
+      "reader window %.3f ms\n",
+      static_cast<unsigned long long>(seq), 1e3 * report.propagate_seconds,
+      1e3 * report.refresh_seconds,
+      1e3 * stats.last_refresh_window_seconds);
   for (const warehouse::ViewBatchReport& v : report.views) {
     std::printf("  %-16s delta=%6zu  +%zu ~%zu -%zu (recomputed %zu)\n",
                 v.view.c_str(), v.delta_rows, v.refresh.inserted,
                 v.refresh.updated, v.refresh.deleted,
                 v.refresh.recomputed_groups);
   }
+}
+
+void PrintServiceStats(service::WarehouseService& svc) {
+  const service::WarehouseService::Stats s = svc.GetStats();
+  std::printf("epoch             %llu\n",
+              static_cast<unsigned long long>(s.epoch));
+  std::printf("seq (acked/applied/checkpointed) %llu / %llu / %llu\n",
+              static_cast<unsigned long long>(s.last_seq),
+              static_cast<unsigned long long>(s.applied_seq),
+              static_cast<unsigned long long>(s.checkpoint_seq));
+  std::printf("queue depth       %zu change sets, %zu rows\n",
+              s.queue_changesets, s.queue_rows);
+  std::printf("staleness         %.3f s\n", s.staleness_seconds);
+  std::printf("last refresh window %.3f ms\n",
+              1e3 * s.last_refresh_window_seconds);
+  std::printf("batches           %llu (checkpoints %llu, recovered %llu)\n",
+              static_cast<unsigned long long>(s.batches),
+              static_cast<unsigned long long>(s.checkpoints),
+              static_cast<unsigned long long>(s.recovered_records));
 }
 
 void PrintExplain(const lattice::ExplainResult& explain,
@@ -93,7 +144,7 @@ void PrintExplain(const lattice::ExplainResult& explain,
 /// explain [analyze] <kind> [n] [dot|json]. Plain explain peeks at the
 /// *next* batch's change set without consuming the seed; analyze runs
 /// the batch for real (same seed stepping as `batch`).
-void RunExplainCommand(warehouse::Warehouse& wh, std::istringstream& in,
+void RunExplainCommand(service::WarehouseService& svc, std::istringstream& in,
                        uint64_t* seed) {
   std::string kind;
   in >> kind;
@@ -107,13 +158,12 @@ void RunExplainCommand(warehouse::Warehouse& wh, std::istringstream& in,
   if (n == 0) n = 1000;
   std::string format;
   in >> format;
-  if (analyze) {
-    core::ChangeSet changes = MakeChanges(wh, kind, n, ++*seed);
-    PrintExplain(wh.ExplainAnalyze(changes), format);
-  } else {
-    core::ChangeSet changes = MakeChanges(wh, kind, n, *seed + 1);
-    PrintExplain(wh.Explain(changes), format);
-  }
+  const uint64_t use_seed = analyze ? ++*seed : *seed + 1;
+  svc.WithWriter([&](warehouse::Warehouse& wh) {
+    core::ChangeSet changes = MakeChanges(wh.catalog(), kind, n, use_seed);
+    PrintExplain(analyze ? wh.ExplainAnalyze(changes) : wh.Explain(changes),
+                 format);
+  });
 }
 
 }  // namespace
@@ -121,13 +171,24 @@ void RunExplainCommand(warehouse::Warehouse& wh, std::istringstream& in,
 int main(int argc, char** argv) {
   warehouse::RetailConfig config;
   config.num_pos_rows = argc > 1 ? std::stoul(argv[1]) : 20000;
+  const bool temp_data_dir = argc <= 2;
+  const std::string data_dir =
+      temp_data_dir ? (std::filesystem::temp_directory_path() /
+                       ("sdelta_shell_" + std::to_string(::getpid())))
+                          .string()
+                    : std::string(argv[2]);
+
   obs::MetricsRegistry metrics;
-  warehouse::Warehouse::Options options;
+  service::WarehouseService::Options options;
   options.metrics = &metrics;
-  warehouse::Warehouse wh(warehouse::MakeRetailCatalog(config), options);
-  wh.DefineSummaryTables({});  // start with no summary tables
-  std::printf("retail warehouse ready: pos=%zu rows. Type 'help'.\n",
-              config.num_pos_rows);
+  options.auto_batching = false;  // the shell flushes explicitly
+  auto svc = service::WarehouseService::Open(
+      data_dir, warehouse::MakeRetailCatalog(config),
+      /*views=*/{}, options);
+  std::printf(
+      "retail warehouse service ready: pos=%zu rows, data dir %s.\n"
+      "Type 'help'.\n",
+      config.num_pos_rows, data_dir.c_str());
 
   uint64_t seed = 1;
   std::string line;
@@ -147,63 +208,106 @@ int main(int argc, char** argv) {
       } else if (upper == "HELP") {
         PrintHelp();
       } else if (upper == "TABLES") {
-        for (const std::string& name : wh.catalog().TableNames()) {
-          std::printf("  %-10s %zu rows\n", name.c_str(),
-                      wh.catalog().GetTable(name).NumRows());
-        }
+        svc->WithWriter([](warehouse::Warehouse& wh) {
+          for (const std::string& name : wh.catalog().TableNames()) {
+            std::printf("  %-10s %zu rows\n", name.c_str(),
+                        wh.catalog().GetTable(name).NumRows());
+          }
+        });
       } else if (upper == "SUMMARIES") {
-        for (const core::AugmentedView& av : wh.vlattice().views) {
-          std::printf("  %-16s %zu rows\n", av.name().c_str(),
-                      wh.summary(av.name()).NumRows());
+        const service::ReadSnapshot snap = svc->Snapshot();
+        for (const std::string& name : snap.ViewNames()) {
+          std::printf("  %-16s %zu rows (epoch %llu)\n", name.c_str(),
+                      snap.view(name).NumRows(),
+                      static_cast<unsigned long long>(snap.epoch()));
         }
       } else if (upper == "LATTICE") {
-        std::printf("%s", wh.vlattice().ToString().c_str());
-        std::printf("plan:\n%s", wh.plan().ToString(wh.vlattice()).c_str());
+        svc->WithWriter([](warehouse::Warehouse& wh) {
+          std::printf("%s", wh.vlattice().ToString().c_str());
+          std::printf("plan:\n%s", wh.plan().ToString(wh.vlattice()).c_str());
+        });
       } else if (upper == "BATCH") {
         std::string kind;
         size_t n = 0;
         in >> kind >> n;
-        RunBatchCommand(wh, kind, n == 0 ? 1000 : n, ++seed);
+        RunBatchCommand(*svc, kind, n == 0 ? 1000 : n, ++seed);
       } else if (upper == "EXPLAIN") {
-        RunExplainCommand(wh, in, &seed);
+        RunExplainCommand(*svc, in, &seed);
+      } else if (upper == "SERVICE") {
+        std::string sub;
+        in >> sub;
+        if (sub == "stats") {
+          PrintServiceStats(*svc);
+        } else if (sub == "flush") {
+          svc->Flush();
+          std::printf("flushed through seq %llu\n",
+                      static_cast<unsigned long long>(
+                          svc->GetStats().applied_seq));
+        } else if (sub == "checkpoint") {
+          svc->Checkpoint();
+          const service::WarehouseService::Stats s = svc->GetStats();
+          std::printf("checkpointed at seq %llu (WAL truncated)\n",
+                      static_cast<unsigned long long>(s.checkpoint_seq));
+        } else {
+          std::printf("usage: service <stats|flush|checkpoint>\n");
+        }
       } else if (upper == "METRICS") {
         std::printf("%s", obs::ExportPrometheus(metrics).c_str());
       } else if (upper == "DICTS") {
-        std::printf("dictionaries (%zu entries total):\n",
-                    wh.catalog().dictionaries().TotalEntries());
-        for (const auto& [column, entries] :
-             wh.catalog().dictionaries().Entries()) {
-          std::printf("  %-16s %zu codes\n", column.c_str(), entries);
-        }
-        std::printf("summary key paths:\n");
-        for (const core::AugmentedView& av : wh.vlattice().views) {
-          const core::SummaryTable& st = wh.summary(av.name());
-          uint64_t packed = st.packed_key_ops();
-          uint64_t fallback = st.fallback_key_ops();
-          uint64_t total = packed + fallback;
-          std::printf("  %-16s %-8s ops=%llu packed=%.1f%%\n",
-                      av.name().c_str(), st.keys_packed() ? "packed" : "boxed",
-                      static_cast<unsigned long long>(total),
-                      total == 0 ? 0.0 : 100.0 * static_cast<double>(packed) /
-                                             static_cast<double>(total));
-        }
+        svc->WithWriter([](warehouse::Warehouse& wh) {
+          std::printf("dictionaries (%zu entries total):\n",
+                      wh.catalog().dictionaries().TotalEntries());
+          for (const auto& [column, entries] :
+               wh.catalog().dictionaries().Entries()) {
+            std::printf("  %-16s %zu codes\n", column.c_str(), entries);
+          }
+          std::printf("summary key paths:\n");
+          for (const core::AugmentedView& av : wh.vlattice().views) {
+            const core::SummaryTable& st = wh.summary(av.name());
+            uint64_t packed = st.packed_key_ops();
+            uint64_t fallback = st.fallback_key_ops();
+            uint64_t total = packed + fallback;
+            std::printf("  %-16s %-8s ops=%llu packed=%.1f%%\n",
+                        av.name().c_str(),
+                        st.keys_packed() ? "packed" : "boxed",
+                        static_cast<unsigned long long>(total),
+                        total == 0 ? 0.0
+                                   : 100.0 * static_cast<double>(packed) /
+                                         static_cast<double>(total));
+          }
+        });
       } else if (upper == "DROP") {
         std::string name;
         in >> name;
-        wh.DropSummaryTable(name);
+        svc->WithWriter(
+            [&](warehouse::Warehouse& wh) { wh.DropSummaryTable(name); });
         std::printf("dropped %s\n", name.c_str());
       } else if (upper == "SAVE") {
         std::string dir;
         in >> dir;
-        warehouse::SaveWarehouse(wh, dir);
+        svc->WithWriter([&](warehouse::Warehouse& wh) {
+          warehouse::SaveWarehouse(wh, dir);
+        });
         std::printf("saved to %s\n", dir.c_str());
       } else if (upper == "CREATE") {
-        wh.AddSummaryTable(line);
-        std::printf("defined %s (%zu rows)\n",
-                    wh.vlattice().views.back().name().c_str(),
-                    wh.summary(wh.vlattice().views.back().name()).NumRows());
+        svc->WithWriter(
+            [&](warehouse::Warehouse& wh) { wh.AddSummaryTable(line); });
+        const service::ReadSnapshot snap = svc->Snapshot();
+        const std::string name = snap.ViewNames().back();
+        std::printf("defined %s (%zu rows)\n", name.c_str(),
+                    snap.view(name).NumRows());
       } else if (upper == "SELECT") {
-        lattice::AnswerResult r = wh.Query(line);
+        lattice::AnswerResult r;
+        try {
+          // Snapshot path: answered from a pinned epoch, concurrent
+          // with any in-flight maintenance.
+          r = svc->Snapshot().Query(line);
+        } catch (const std::runtime_error&) {
+          // No pinned view derives it — fall back to the live
+          // warehouse (base-table evaluation).
+          svc->WithWriter(
+              [&](warehouse::Warehouse& wh) { r = wh.Query(line); });
+        }
         std::printf("-- answered from %s (%zu rows read)\n",
                     r.from_base ? "base tables" : r.source_view.c_str(),
                     r.rows_read);
@@ -215,6 +319,12 @@ int main(int argc, char** argv) {
       std::printf("error: %s\n", e.what());
     }
     std::printf("> ");
+  }
+  svc->Stop();
+  svc.reset();
+  if (temp_data_dir) {
+    std::error_code ec;
+    std::filesystem::remove_all(data_dir, ec);
   }
   std::printf("bye\n");
   return 0;

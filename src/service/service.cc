@@ -1,0 +1,369 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <set>
+#include <stdexcept>
+
+#include "warehouse/persistence.h"
+
+namespace sdelta::service {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kWalFile = "wal.log";
+constexpr const char* kCheckpointDir = "checkpoint";
+constexpr const char* kCheckpointTmp = "checkpoint.tmp";
+constexpr const char* kCheckpointPrev = "checkpoint.prev";
+constexpr const char* kSeqFile = "SEQ";
+
+uint64_t ReadSeqFile(const fs::path& path) {
+  std::ifstream in(path);
+  uint64_t seq = 0;
+  if (!(in >> seq)) {
+    throw std::runtime_error("checkpoint: missing or unreadable " +
+                             path.string());
+  }
+  return seq;
+}
+
+void WriteSeqFile(const fs::path& path, uint64_t seq) {
+  std::ofstream out(path, std::ios::trunc);
+  out << seq << "\n";
+  if (!out) {
+    throw std::runtime_error("checkpoint: cannot write " + path.string());
+  }
+}
+
+size_t ChangeSetRows(const core::ChangeSet& changes) {
+  size_t rows = changes.fact.size();
+  for (const auto& [name, delta] : changes.dimensions) rows += delta.size();
+  return rows;
+}
+
+}  // namespace
+
+std::unique_ptr<WarehouseService> WarehouseService::Open(
+    std::string data_dir, rel::Catalog bootstrap,
+    std::vector<core::ViewDef> views, Options options) {
+  fs::create_directories(data_dir);
+  const fs::path dir(data_dir);
+  const fs::path ckpt = dir / kCheckpointDir;
+  const fs::path tmp = dir / kCheckpointTmp;
+  const fs::path prev = dir / kCheckpointPrev;
+
+  // Crash cleanup (see Checkpoint for the rename protocol): a leftover
+  // tmp is an unfinished build — discard it; a leftover prev with no
+  // current checkpoint means we crashed mid-swap — the old checkpoint is
+  // still complete, restore it.
+  std::error_code ec;
+  fs::remove_all(tmp, ec);
+  if (!fs::exists(ckpt) && fs::exists(prev)) {
+    fs::rename(prev, ckpt);
+  } else {
+    fs::remove_all(prev, ec);
+  }
+
+  auto owned = options.metrics
+                   ? std::unique_ptr<obs::MetricsRegistry>()
+                   : std::make_unique<obs::MetricsRegistry>();
+  obs::MetricsRegistry* metrics =
+      options.metrics ? options.metrics : owned.get();
+  options.metrics = metrics;
+  options.warehouse.metrics = metrics;
+
+  uint64_t checkpoint_seq = 0;
+  const bool have_checkpoint = fs::exists(ckpt / "manifest.txt");
+  if (have_checkpoint) checkpoint_seq = ReadSeqFile(ckpt / kSeqFile);
+  warehouse::Warehouse wh =
+      have_checkpoint
+          ? warehouse::LoadWarehouse(ckpt.string(), views, options.warehouse)
+          : warehouse::Warehouse(std::move(bootstrap), options.warehouse);
+  if (!have_checkpoint) wh.DefineSummaryTables(views);
+
+  // Replay the WAL tail through the normal batch path, one batch per
+  // record — the same boundaries an uninterrupted per-append-flush run
+  // would have used, so the recovered state is byte-identical to it.
+  uint64_t recovered = 0;
+  const WalReplayReport replay =
+      ReplayWal((dir / kWalFile).string(), wh.catalog(), checkpoint_seq,
+                [&](WalRecord record) {
+                  wh.RunBatch(record.changes);
+                  ++recovered;
+                });
+  const uint64_t start_seq = std::max(checkpoint_seq, replay.last_seq);
+
+  return std::unique_ptr<WarehouseService>(new WarehouseService(
+      std::move(data_dir), std::move(wh), std::move(options), std::move(owned),
+      checkpoint_seq, recovered, start_seq));
+}
+
+WarehouseService::WarehouseService(
+    std::string data_dir, warehouse::Warehouse wh, Options options,
+    std::unique_ptr<obs::MetricsRegistry> owned_metrics,
+    uint64_t checkpoint_seq, uint64_t recovered_records, uint64_t start_seq)
+    : data_dir_(std::move(data_dir)),
+      options_(std::move(options)),
+      owned_metrics_(std::move(owned_metrics)),
+      metrics_(options_.metrics),
+      wal_(std::make_unique<WalWriter>((fs::path(data_dir_) / kWalFile).string(),
+                                       start_seq + 1, options_.wal_sync)),
+      queue_(options_.queue),
+      warehouse_(std::move(wh)) {
+  last_seq_.store(start_seq);
+  applied_seq_ = start_seq;
+  checkpoint_seq_ = checkpoint_seq;
+  recovered_records_ = recovered_records;
+  if (recovered_records > 0) {
+    metrics_->Add("service.recovered_records", recovered_records);
+  }
+  versioned_.Install(BuildEpoch(nullptr, true, true));
+  maintenance_ = std::thread(&WarehouseService::MaintenanceLoop, this);
+}
+
+WarehouseService::~WarehouseService() { Stop(); }
+
+std::vector<std::string> WarehouseService::FactTableNames() const {
+  std::set<std::string> facts;
+  for (const rel::ForeignKey& fk : warehouse_.catalog().foreign_keys()) {
+    facts.insert(fk.fact_table);
+  }
+  for (const core::AugmentedView& v : warehouse_.vlattice().views) {
+    facts.insert(v.physical.fact_table);
+  }
+  return {facts.begin(), facts.end()};
+}
+
+std::shared_ptr<const Epoch> WarehouseService::BuildEpoch(
+    const std::vector<size_t>* view_delta_rows, bool dims_changed,
+    bool full_rebuild) {
+  const std::shared_ptr<const Epoch> prev = versioned_.Current();
+  const lattice::VLattice& wl = warehouse_.vlattice();
+  auto next = std::make_shared<Epoch>();
+  next->number = prev ? prev->number + 1 : 1;
+  next->metrics = metrics_;
+  if (!full_rebuild && prev) {
+    next->lattice = prev->lattice;
+  } else {
+    next->lattice = std::make_shared<lattice::VLattice>(wl);
+  }
+  if (!full_rebuild && prev && !dims_changed) {
+    next->catalog = prev->catalog;
+  } else {
+    next->catalog = MakeReaderCatalog(warehouse_.catalog(), FactTableNames());
+  }
+  const bool can_share = !full_rebuild && prev && view_delta_rows &&
+                         view_delta_rows->size() == wl.views.size() &&
+                         prev->views.size() == wl.views.size();
+  next->views.reserve(wl.views.size());
+  for (size_t i = 0; i < wl.views.size(); ++i) {
+    if (can_share && (*view_delta_rows)[i] == 0) {
+      next->views.push_back(prev->views[i]);
+      metrics_->Add("service.epoch_views_shared");
+      continue;
+    }
+    auto copy =
+        std::make_shared<core::SummaryTable>(wl.views[i], *next->catalog);
+    copy->LoadFrom(warehouse_.summary(wl.views[i].physical.name).ToTable());
+    next->views.push_back(std::move(copy));
+    metrics_->Add("service.epoch_views_rebuilt");
+  }
+  metrics_->Set("service.epoch", static_cast<double>(next->number));
+  return next;
+}
+
+uint64_t WarehouseService::Append(core::ChangeSet changes) {
+  const size_t rows = ChangeSetRows(changes);
+  std::scoped_lock append_lock(wal_mu_);
+  {
+    std::scoped_lock lk(state_mu_);
+    if (stopped_) throw std::runtime_error("service: Append after Stop");
+  }
+  const uint64_t seq = last_seq_.load(std::memory_order_relaxed) + 1;
+  const size_t wal_bytes = wal_->Append(seq, changes);
+
+  IngestItem item;
+  item.seq = seq;
+  item.changes = std::move(changes);
+  item.rows = rows;
+  item.enqueued_at = std::chrono::steady_clock::now();
+  if (!queue_.Push(std::move(item))) {
+    // The record is durable (it reached the WAL) but the service shut
+    // down before accepting it; the next Open will replay it.
+    throw std::runtime_error(
+        "service: stopped while appending (change is in the WAL and will be "
+        "recovered on the next Open)");
+  }
+  last_seq_.store(seq, std::memory_order_relaxed);
+
+  metrics_->Add("service.appends");
+  metrics_->Add("service.append_rows", rows);
+  metrics_->Add("service.wal_records");
+  metrics_->Add("service.wal_bytes", wal_bytes);
+  metrics_->Set("service.queue_depth",
+                static_cast<double>(queue_.rows_queued()));
+  metrics_->Set("service.queue_changesets",
+                static_cast<double>(queue_.changesets_queued()));
+  return seq;
+}
+
+void WarehouseService::AwaitApplied(uint64_t target) {
+  std::unique_lock lk(state_mu_);
+  state_cv_.wait(lk, [&] { return applied_seq_ >= target; });
+}
+
+void WarehouseService::Flush() {
+  const uint64_t target = last_seq_.load();
+  metrics_->Add("service.flushes");
+  queue_.RequestFlush();
+  AwaitApplied(target);
+}
+
+void WarehouseService::ApplyItems(std::vector<IngestItem> items) {
+  const uint64_t max_seq = items.back().seq;
+  const size_t n_views = warehouse_.vlattice().views.size();
+  std::vector<size_t> delta_rows(n_views, 0);
+  bool dims_changed = false;
+  size_t runs = 0;
+  warehouse::BatchReport report;
+
+  // Items must apply in sequence order; a change of fact table ends the
+  // coalescing run (ChangeSet carries exactly one fact table's delta).
+  size_t i = 0;
+  while (i < items.size()) {
+    size_t j = i + 1;
+    while (j < items.size() &&
+           items[j].changes.fact_table == items[i].changes.fact_table) {
+      ++j;
+    }
+    std::vector<IngestItem> run(std::make_move_iterator(items.begin() + i),
+                                std::make_move_iterator(items.begin() + j));
+    metrics_->Add("service.coalesced_changesets", run.size());
+    core::ChangeSet merged = CoalesceChanges(std::move(run));
+    dims_changed = dims_changed || !merged.dimensions.empty();
+    report = warehouse_.RunBatch(merged);
+    metrics_->Add("service.batches");
+    ++runs;
+    for (size_t v = 0; v < report.views.size() && v < n_views; ++v) {
+      delta_rows[v] += report.views[v].delta_rows;
+    }
+    i = j;
+  }
+
+  std::shared_ptr<const Epoch> next =
+      BuildEpoch(&delta_rows, dims_changed, /*full_rebuild=*/false);
+  const double window = versioned_.Install(std::move(next));
+  metrics_->Observe("service.refresh_window", window);
+  metrics_->Set("service.refresh_window_seconds", window);
+  metrics_->Set("service.queue_depth",
+                static_cast<double>(queue_.rows_queued()));
+  metrics_->Set("service.queue_changesets",
+                static_cast<double>(queue_.changesets_queued()));
+  metrics_->Set("service.staleness_seconds", queue_.oldest_age_seconds());
+
+  std::scoped_lock lk(state_mu_);
+  applied_seq_ = max_seq;
+  batches_ += runs;
+  last_refresh_window_ = window;
+  last_report_ = std::move(report);
+  state_cv_.notify_all();
+}
+
+void WarehouseService::MaintenanceLoop() {
+  while (true) {
+    IngestBatch batch = queue_.WaitAndTake(options_.auto_batching);
+    if (!batch.items.empty()) ApplyItems(std::move(batch.items));
+    if (batch.flush_requested) {
+      std::scoped_lock lk(state_mu_);
+      state_cv_.notify_all();
+    }
+    if (batch.closed) break;
+  }
+}
+
+void WarehouseService::Stop() {
+  std::scoped_lock stop_lock(stop_mu_);
+  {
+    std::scoped_lock lk(state_mu_);
+    if (stopped_) return;
+  }
+  queue_.Close();
+  if (maintenance_.joinable()) maintenance_.join();
+  std::scoped_lock lk(state_mu_);
+  stopped_ = true;
+  state_cv_.notify_all();
+}
+
+void WarehouseService::Checkpoint() {
+  // Fence producers for the duration: no new sequences, WAL quiescent.
+  std::scoped_lock append_lock(wal_mu_);
+  const uint64_t target = last_seq_.load();
+  queue_.RequestFlush();
+  AwaitApplied(target);
+  // The maintenance thread is idle (queue drained, applied == last) and
+  // touches the warehouse only after taking new work, so the snapshot
+  // below reads quiescent state.
+
+  const fs::path dir(data_dir_);
+  const fs::path ckpt = dir / kCheckpointDir;
+  const fs::path tmp = dir / kCheckpointTmp;
+  const fs::path prev = dir / kCheckpointPrev;
+  std::error_code ec;
+  fs::remove_all(tmp, ec);
+  warehouse::SaveWarehouse(warehouse_, tmp.string());
+  WriteSeqFile(tmp / kSeqFile, target);
+  // Swap: keep the old checkpoint complete until the new one is in
+  // place. Open() resolves every intermediate crash state.
+  fs::remove_all(prev, ec);
+  if (fs::exists(ckpt)) fs::rename(ckpt, prev);
+  fs::rename(tmp, ckpt);
+  fs::remove_all(prev, ec);
+  // Log truncation commits the checkpoint: replay now starts at
+  // target + 1, which is exactly what the snapshot already contains.
+  wal_->Reset(target + 1);
+
+  metrics_->Add("service.checkpoints");
+  std::scoped_lock lk(state_mu_);
+  checkpoint_seq_ = target;
+  ++checkpoints_;
+}
+
+void WarehouseService::WithWriter(
+    const std::function<void(warehouse::Warehouse&)>& fn) {
+  std::scoped_lock append_lock(wal_mu_);
+  const uint64_t target = last_seq_.load();
+  queue_.RequestFlush();
+  AwaitApplied(target);
+  fn(warehouse_);
+  // DDL may have changed the lattice, plans, and summary schemas:
+  // readers get a fully fresh epoch.
+  versioned_.Install(BuildEpoch(nullptr, true, /*full_rebuild=*/true));
+}
+
+WarehouseService::Stats WarehouseService::GetStats() const {
+  Stats stats;
+  stats.last_seq = last_seq_.load();
+  stats.queue_changesets = queue_.changesets_queued();
+  stats.queue_rows = queue_.rows_queued();
+  stats.staleness_seconds = queue_.oldest_age_seconds();
+  std::scoped_lock lk(state_mu_);
+  stats.applied_seq = applied_seq_;
+  stats.checkpoint_seq = checkpoint_seq_;
+  stats.batches = batches_;
+  stats.checkpoints = checkpoints_;
+  stats.recovered_records = recovered_records_;
+  stats.last_refresh_window_seconds = last_refresh_window_;
+  stats.epoch = versioned_.Current()->number;
+  return stats;
+}
+
+warehouse::BatchReport WarehouseService::LastReport() const {
+  std::scoped_lock lk(state_mu_);
+  return last_report_;
+}
+
+}  // namespace sdelta::service

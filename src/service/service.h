@@ -1,0 +1,199 @@
+#ifndef SDELTA_SERVICE_SERVICE_H_
+#define SDELTA_SERVICE_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "service/ingest.h"
+#include "service/versioned.h"
+#include "service/wal.h"
+#include "warehouse/warehouse.h"
+
+namespace sdelta::service {
+
+/// The concurrent warehouse service runtime (DESIGN.md §9): a
+/// background maintenance loop over one Warehouse, versioned summary
+/// tables for lock-free-feeling readers, and a WAL for ingest
+/// durability.
+///
+/// Threads and roles:
+///   - producers call Append (WAL append + enqueue, under one mutex so
+///     sequence order == WAL order == apply order) and Snapshot/Query;
+///   - one maintenance thread drains the queue, coalesces deltas, runs
+///     the paper's propagate/refresh batch, and installs the next epoch
+///     with a single pointer swap (the measured refresh window);
+///   - Checkpoint / WithWriter are exclusive: they block appends, drain
+///     the queue, and then own the warehouse briefly.
+///
+/// Durability invariant: once Append returns, the change set is in the
+/// WAL; warehouse state after a crash equals
+///   checkpoint ∘ replay(records with seq > checkpoint sequence),
+/// with each replayed record applied as its own batch — byte-identical
+/// to an uninterrupted run that flushed after every append.
+class WarehouseService {
+ public:
+  struct Options {
+    warehouse::Warehouse::Options warehouse;
+    IngestQueue::Policy queue;
+    /// true: the maintenance loop also wakes on the batching policy's
+    /// row/latency triggers. false: batches form only on explicit Flush
+    /// (or shutdown) — deterministic boundaries for tests and replay.
+    bool auto_batching = true;
+    /// fsync the WAL after every append. Off by default: the container
+    /// tests and benches exercise the logical protocol; production
+    /// deployments turn it on.
+    bool wal_sync = false;
+    /// External registry for all service.*, pipeline, and answer.*
+    /// series; null = the service owns a private registry (metrics()).
+    obs::MetricsRegistry* metrics = nullptr;
+  };
+
+  /// Point-in-time service numbers (the shell's `service stats`).
+  struct Stats {
+    uint64_t epoch = 0;
+    uint64_t last_seq = 0;     ///< last sequence acknowledged by Append
+    uint64_t applied_seq = 0;  ///< last sequence visible to readers
+    uint64_t checkpoint_seq = 0;
+    size_t queue_changesets = 0;
+    size_t queue_rows = 0;
+    double staleness_seconds = 0;  ///< age of the oldest queued change
+    double last_refresh_window_seconds = 0;
+    uint64_t batches = 0;
+    uint64_t checkpoints = 0;
+    uint64_t recovered_records = 0;  ///< WAL records replayed by Open
+  };
+
+  /// Opens the service on `data_dir` (created if needed; holds the WAL
+  /// and checkpoints). With an existing checkpoint the bootstrap
+  /// catalog is ignored and state is restored from it; the WAL tail
+  /// (seq > checkpoint sequence) is then replayed through the normal
+  /// batch path, one batch per record. Fresh directories build the
+  /// warehouse from `bootstrap` and materialize `views`. The
+  /// maintenance thread is running when Open returns.
+  static std::unique_ptr<WarehouseService> Open(
+      std::string data_dir, rel::Catalog bootstrap,
+      std::vector<core::ViewDef> views, Options options);
+  static std::unique_ptr<WarehouseService> Open(
+      std::string data_dir, rel::Catalog bootstrap,
+      std::vector<core::ViewDef> views) {
+    return Open(std::move(data_dir), std::move(bootstrap), std::move(views),
+                Options());
+  }
+
+  ~WarehouseService();
+  WarehouseService(const WarehouseService&) = delete;
+  WarehouseService& operator=(const WarehouseService&) = delete;
+
+  /// Durably accepts one change set: assigns the next sequence number,
+  /// appends it to the WAL, and enqueues it for maintenance. Blocks for
+  /// backpressure while the queue is at its row bound. Returns the
+  /// assigned sequence. Throws std::runtime_error after Stop (a record
+  /// that reached the WAL first is recovered on the next Open).
+  uint64_t Append(core::ChangeSet changes);
+
+  /// Forces a batch and blocks until every change appended before this
+  /// call is reader-visible (applied_seq >= that sequence).
+  void Flush();
+
+  /// Pins the current epoch. Cheap (a shared_ptr copy under a mutex);
+  /// the snapshot stays queryable while any number of newer epochs are
+  /// installed beside it.
+  ReadSnapshot Snapshot() const { return versioned_.Pin(); }
+
+  /// Flushes, snapshots the warehouse to `<data_dir>/checkpoint` (via
+  /// warehouse::SaveWarehouse plus a SEQ marker), and truncates the
+  /// WAL. Appends are blocked for the duration. Crash-safe: the new
+  /// checkpoint is built in a temp directory and swapped in by rename,
+  /// with the previous checkpoint kept until the swap completes.
+  void Checkpoint();
+
+  /// Exclusive writer access for DDL (AddSummaryTable / DropSummary-
+  /// Table): blocks appends, drains the queue, hands the warehouse to
+  /// `fn`, then rebuilds and installs a full fresh epoch. The warehouse
+  /// reference must not escape `fn`.
+  void WithWriter(const std::function<void(warehouse::Warehouse&)>& fn);
+
+  /// Drains the queue, applies everything, and stops the maintenance
+  /// thread. Idempotent; the destructor calls it.
+  void Stop();
+
+  Stats GetStats() const;
+  /// The batch report of the most recent maintenance batch.
+  warehouse::BatchReport LastReport() const;
+  obs::MetricsRegistry& metrics() { return *metrics_; }
+  const std::string& data_dir() const { return data_dir_; }
+
+ private:
+  WarehouseService(std::string data_dir, warehouse::Warehouse wh,
+                   Options options,
+                   std::unique_ptr<obs::MetricsRegistry> owned_metrics,
+                   uint64_t checkpoint_seq, uint64_t recovered_records,
+                   uint64_t start_seq);
+
+  /// Builds the next epoch from the warehouse's current summaries.
+  /// `view_delta_rows` (nullable, parallel to vlattice().views) enables
+  /// per-view sharing: views whose batch delta_rows == 0 reuse the
+  /// previous epoch's table; the reader catalog is recopied only when
+  /// `dims_changed`. `full_rebuild` forces everything fresh (DDL,
+  /// initial epoch).
+  std::shared_ptr<const Epoch> BuildEpoch(
+      const std::vector<size_t>* view_delta_rows, bool dims_changed,
+      bool full_rebuild);
+
+  void MaintenanceLoop();
+  /// Applies one drained run of items (one RunBatch per fact-table run)
+  /// and installs the next epoch.
+  void ApplyItems(std::vector<IngestItem> items);
+  /// Waits (under state_mu_) until applied_seq_ >= target.
+  void AwaitApplied(uint64_t target);
+
+  std::vector<std::string> FactTableNames() const;
+
+  const std::string data_dir_;
+  const Options options_;
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+
+  /// Serializes Append (sequence assignment + WAL append + enqueue) and
+  /// is held across Checkpoint/WithWriter to fence out producers.
+  std::mutex wal_mu_;
+  std::unique_ptr<WalWriter> wal_;
+  std::atomic<uint64_t> last_seq_{0};
+
+  IngestQueue queue_;
+
+  /// Owned by the maintenance thread between WaitAndTake and the
+  /// state_mu_ release that publishes applied_seq_; owned by Checkpoint
+  /// and WithWriter after they hold wal_mu_ and observe
+  /// applied_seq_ == last_seq_.
+  warehouse::Warehouse warehouse_;
+
+  VersionedTables versioned_;
+
+  mutable std::mutex state_mu_;
+  std::condition_variable state_cv_;
+  uint64_t applied_seq_ = 0;
+  uint64_t checkpoint_seq_ = 0;
+  uint64_t batches_ = 0;
+  uint64_t checkpoints_ = 0;
+  uint64_t recovered_records_ = 0;
+  double last_refresh_window_ = 0;
+  warehouse::BatchReport last_report_;
+  bool stopped_ = false;
+
+  /// Serializes Stop against concurrent Stop/destructor.
+  std::mutex stop_mu_;
+  std::thread maintenance_;
+};
+
+}  // namespace sdelta::service
+
+#endif  // SDELTA_SERVICE_SERVICE_H_

@@ -1,0 +1,103 @@
+#include "service/versioned.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/maintenance.h"
+#include "core/sql_parser.h"
+#include "lattice/derives.h"
+
+namespace sdelta::service {
+
+std::vector<std::string> ReadSnapshot::ViewNames() const {
+  std::vector<std::string> names;
+  names.reserve(epoch_->views.size());
+  for (const auto& v : epoch_->views) names.push_back(v->name());
+  return names;
+}
+
+const core::SummaryTable& ReadSnapshot::view(const std::string& name) const {
+  for (const auto& v : epoch_->views) {
+    if (v->name() == name) return *v;
+  }
+  throw std::invalid_argument("snapshot: unknown summary table '" + name +
+                              "'");
+}
+
+lattice::AnswerResult ReadSnapshot::Query(const core::ViewDef& query) const {
+  const Epoch& epoch = *epoch_;
+  const core::AugmentedView augmented =
+      core::AugmentForSelfMaintenance(*epoch.catalog, query);
+  // Reject base fallback up front: the epoch's fact tables are
+  // schema-only, so AnswerQuery's base path would answer from zero rows.
+  bool derivable = false;
+  for (const core::AugmentedView& v : epoch.lattice->views) {
+    if (lattice::ComputeDerivation(*epoch.catalog, augmented, v).has_value()) {
+      derivable = true;
+      break;
+    }
+  }
+  if (!derivable) {
+    throw std::runtime_error(
+        "snapshot query '" + query.name +
+        "' derives from no pinned summary table; base-table queries must go "
+        "to the live warehouse");
+  }
+  std::vector<const core::SummaryTable*> summaries;
+  summaries.reserve(epoch.views.size());
+  for (const auto& v : epoch.views) summaries.push_back(v.get());
+  return lattice::AnswerQuery(*epoch.catalog, *epoch.lattice, summaries, query,
+                              /*tracer=*/nullptr, epoch.metrics);
+}
+
+lattice::AnswerResult ReadSnapshot::Query(const std::string& sql) const {
+  return Query(core::ParseQuery(*epoch_->catalog, sql));
+}
+
+ReadSnapshot VersionedTables::Pin() const {
+  std::scoped_lock lock(mu_);
+  return ReadSnapshot(current_);
+}
+
+std::shared_ptr<const Epoch> VersionedTables::Current() const {
+  std::scoped_lock lock(mu_);
+  return current_;
+}
+
+double VersionedTables::Install(std::shared_ptr<const Epoch> next) {
+  // The reader-visible batch window: everything before this point built
+  // `next` off to the side; everything readers can observe flips in one
+  // pointer assignment under the pin mutex.
+  core::Stopwatch sw;
+  {
+    std::scoped_lock lock(mu_);
+    current_ = std::move(next);
+  }
+  return sw.ElapsedSeconds();
+}
+
+std::shared_ptr<const rel::Catalog> MakeReaderCatalog(
+    const rel::Catalog& writer, const std::vector<std::string>& fact_tables) {
+  auto out = std::make_shared<rel::Catalog>();
+  for (const std::string& name : writer.TableNames()) {
+    const rel::Table& table = writer.GetTable(name);
+    const bool is_fact = std::find(fact_tables.begin(), fact_tables.end(),
+                                   name) != fact_tables.end();
+    if (is_fact) {
+      out->AddTable(rel::Table(table.schema(), name));
+    } else {
+      out->AddTable(table);  // rows copied: epoch-consistent join input
+    }
+  }
+  for (const rel::ForeignKey& fk : writer.foreign_keys()) {
+    out->DeclareForeignKey(fk.fact_table, fk.fact_column, fk.dim_table,
+                           fk.dim_column);
+  }
+  for (const rel::FunctionalDependency& fd :
+       writer.functional_dependencies()) {
+    out->DeclareFunctionalDependency(fd.table, fd.determinant, fd.dependent);
+  }
+  return out;
+}
+
+}  // namespace sdelta::service

@@ -1,0 +1,325 @@
+#include "service/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace sdelta::service {
+
+namespace {
+
+constexpr char kMagic[7] = {'S', 'D', 'W', 'A', 'L', '1', '\n'};
+constexpr uint8_t kVersion = 1;
+constexpr size_t kHeaderSize = sizeof(kMagic) + 1 + 8;
+// Record framing: u64 seq + u32 len + u32 crc.
+constexpr size_t kFrameSize = 8 + 4 + 4;
+
+const std::array<uint32_t, 256>& CrcTable() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+void PutU32(std::vector<uint8_t>& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PutU64(std::vector<uint8_t>& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PutString(std::vector<uint8_t>& out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+void PutValue(std::vector<uint8_t>& out, const rel::Value& v) {
+  switch (v.type()) {
+    case rel::ValueType::kNull:
+      out.push_back(0);
+      return;
+    case rel::ValueType::kInt64:
+      out.push_back(1);
+      PutU64(out, static_cast<uint64_t>(v.as_int64()));
+      return;
+    case rel::ValueType::kDouble: {
+      out.push_back(2);
+      uint64_t bits = 0;
+      const double d = v.as_double();
+      static_assert(sizeof(bits) == sizeof(d));
+      std::memcpy(&bits, &d, sizeof(bits));
+      PutU64(out, bits);
+      return;
+    }
+    case rel::ValueType::kString:
+      out.push_back(3);
+      PutString(out, v.as_string());
+      return;
+  }
+  throw std::logic_error("WAL: unencodable value type");
+}
+
+void PutTable(std::vector<uint8_t>& out, const rel::Table& table) {
+  PutU32(out, static_cast<uint32_t>(table.schema().NumColumns()));
+  PutU64(out, table.NumRows());
+  for (const rel::Row& row : table.rows()) {
+    for (const rel::Value& v : row) PutValue(out, v);
+  }
+}
+
+/// Bounds-checked big-to-little reader over a payload buffer.
+class Reader {
+ public:
+  Reader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  uint32_t U32() {
+    Need(4);
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= uint32_t{data_[pos_ + static_cast<size_t>(i)]} << (8 * i);
+    pos_ += 4;
+    return v;
+  }
+  uint64_t U64() {
+    Need(8);
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= uint64_t{data_[pos_ + static_cast<size_t>(i)]} << (8 * i);
+    pos_ += 8;
+    return v;
+  }
+  uint8_t U8() {
+    Need(1);
+    return data_[pos_++];
+  }
+  std::string String() {
+    const uint32_t n = U32();
+    Need(n);
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+  rel::Value Value() {
+    switch (U8()) {
+      case 0:
+        return rel::Value::Null();
+      case 1:
+        return rel::Value::Int64(static_cast<int64_t>(U64()));
+      case 2: {
+        const uint64_t bits = U64();
+        double d = 0;
+        std::memcpy(&d, &bits, sizeof(d));
+        return rel::Value::Double(d);
+      }
+      case 3:
+        return rel::Value::String(String());
+      default:
+        throw std::runtime_error("WAL: unknown value tag");
+    }
+  }
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  void Need(size_t n) {
+    if (size_ - pos_ < n) throw std::runtime_error("WAL: truncated payload");
+  }
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+void ReadTableInto(Reader& in, rel::Table& out) {
+  const uint32_t cols = in.U32();
+  if (cols != out.schema().NumColumns()) {
+    throw std::runtime_error("WAL: table arity mismatch for " + out.name());
+  }
+  const uint64_t rows = in.U64();
+  out.Reserve(out.NumRows() + rows);
+  for (uint64_t r = 0; r < rows; ++r) {
+    rel::Row row;
+    row.reserve(cols);
+    for (uint32_t c = 0; c < cols; ++c) row.push_back(in.Value());
+    out.Insert(std::move(row));
+  }
+}
+
+core::DeltaSet ReadDeltaSet(Reader& in, const rel::Schema& schema) {
+  core::DeltaSet delta(schema);
+  ReadTableInto(in, delta.insertions);
+  ReadTableInto(in, delta.deletions);
+  return delta;
+}
+
+}  // namespace
+
+uint32_t Crc32(const uint8_t* data, size_t size) {
+  const auto& table = CrcTable();
+  uint32_t c = 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    c = table[(c ^ data[i]) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::vector<uint8_t> EncodeChangeSet(const core::ChangeSet& changes) {
+  std::vector<uint8_t> out;
+  PutString(out, changes.fact_table);
+  PutTable(out, changes.fact.insertions);
+  PutTable(out, changes.fact.deletions);
+  PutU32(out, static_cast<uint32_t>(changes.dimensions.size()));
+  // std::map iteration is name-ordered, so the encoding is deterministic.
+  for (const auto& [name, delta] : changes.dimensions) {
+    PutString(out, name);
+    PutTable(out, delta.insertions);
+    PutTable(out, delta.deletions);
+  }
+  return out;
+}
+
+core::ChangeSet DecodeChangeSet(const rel::Catalog& catalog,
+                                const std::vector<uint8_t>& payload) {
+  Reader in(payload.data(), payload.size());
+  core::ChangeSet changes;
+  changes.fact_table = in.String();
+  if (!catalog.HasTable(changes.fact_table)) {
+    throw std::runtime_error("WAL: unknown fact table '" + changes.fact_table +
+                             "'");
+  }
+  changes.fact =
+      ReadDeltaSet(in, catalog.GetTable(changes.fact_table).schema());
+  const uint32_t dims = in.U32();
+  for (uint32_t i = 0; i < dims; ++i) {
+    const std::string name = in.String();
+    if (!catalog.HasTable(name)) {
+      throw std::runtime_error("WAL: unknown dimension table '" + name + "'");
+    }
+    changes.dimensions.emplace(
+        name, ReadDeltaSet(in, catalog.GetTable(name).schema()));
+  }
+  if (!in.AtEnd()) throw std::runtime_error("WAL: trailing payload bytes");
+  return changes;
+}
+
+WalWriter::WalWriter(std::string path, uint64_t first_seq, bool sync)
+    : path_(std::move(path)), sync_(sync) {
+  OpenOrCreate(first_seq);
+}
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void WalWriter::OpenOrCreate(uint64_t first_seq) {
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) throw std::runtime_error("WAL: cannot open " + path_);
+  const off_t size = ::lseek(fd_, 0, SEEK_END);
+  if (size > 0) return;  // existing log: append after its tail
+  std::vector<uint8_t> header(kMagic, kMagic + sizeof(kMagic));
+  header.push_back(kVersion);
+  PutU64(header, first_seq);
+  if (::write(fd_, header.data(), header.size()) !=
+      static_cast<ssize_t>(header.size())) {
+    throw std::runtime_error("WAL: cannot write header to " + path_);
+  }
+  if (sync_) ::fsync(fd_);
+}
+
+size_t WalWriter::Append(uint64_t seq, const core::ChangeSet& changes) {
+  const std::vector<uint8_t> payload = EncodeChangeSet(changes);
+  std::vector<uint8_t> frame;
+  frame.reserve(kFrameSize + payload.size());
+  PutU64(frame, seq);
+  PutU32(frame, static_cast<uint32_t>(payload.size()));
+  PutU32(frame, Crc32(payload.data(), payload.size()));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  // One write call per record keeps torn records to the file tail.
+  if (::write(fd_, frame.data(), frame.size()) !=
+      static_cast<ssize_t>(frame.size())) {
+    throw std::runtime_error("WAL: append failed on " + path_);
+  }
+  if (sync_) ::fsync(fd_);
+  return frame.size();
+}
+
+void WalWriter::Reset(uint64_t first_seq) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) throw std::runtime_error("WAL: cannot truncate " + path_);
+  ::close(fd_);
+  fd_ = -1;
+  OpenOrCreate(first_seq);
+}
+
+WalReplayReport ReplayWal(const std::string& path, const rel::Catalog& catalog,
+                          uint64_t after_seq,
+                          const std::function<void(WalRecord)>& fn) {
+  WalReplayReport report;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return report;  // no log yet: empty
+  std::array<char, kHeaderSize> header{};
+  in.read(header.data(), header.size());
+  if (in.gcount() != static_cast<std::streamsize>(header.size()) ||
+      std::memcmp(header.data(), kMagic, sizeof(kMagic)) != 0 ||
+      header[sizeof(kMagic)] != static_cast<char>(kVersion)) {
+    throw std::runtime_error("WAL: bad header in " + path);
+  }
+  uint64_t first_seq = 0;
+  for (int i = 0; i < 8; ++i) {
+    first_seq |= uint64_t{static_cast<uint8_t>(
+                     header[sizeof(kMagic) + 1 + static_cast<size_t>(i)])}
+                 << (8 * i);
+  }
+  report.first_seq = first_seq;
+
+  std::array<char, kFrameSize> frame{};
+  while (true) {
+    in.read(frame.data(), frame.size());
+    if (in.gcount() == 0) break;  // clean end of log
+    if (in.gcount() != static_cast<std::streamsize>(frame.size())) {
+      report.tail_truncated = true;  // torn frame
+      break;
+    }
+    auto u = [&frame](size_t off, size_t n) {
+      uint64_t v = 0;
+      for (size_t i = 0; i < n; ++i) {
+        v |= uint64_t{static_cast<uint8_t>(frame[off + i])} << (8 * i);
+      }
+      return v;
+    };
+    const uint64_t seq = u(0, 8);
+    const uint32_t len = static_cast<uint32_t>(u(8, 4));
+    const uint32_t crc = static_cast<uint32_t>(u(12, 4));
+    std::vector<uint8_t> payload(len);
+    in.read(reinterpret_cast<char*>(payload.data()), len);
+    if (in.gcount() != static_cast<std::streamsize>(len)) {
+      report.tail_truncated = true;  // torn payload
+      break;
+    }
+    if (Crc32(payload.data(), payload.size()) != crc) {
+      report.tail_truncated = true;  // corrupt record: never acknowledged
+      break;
+    }
+    WalRecord record;
+    record.seq = seq;
+    // Decode even below the replay cutoff: a decode failure is corruption
+    // and must stop the scan, checkpointed or not.
+    record.changes = DecodeChangeSet(catalog, payload);
+    ++report.records;
+    report.last_seq = seq;
+    if (seq > after_seq) fn(std::move(record));
+  }
+  return report;
+}
+
+}  // namespace sdelta::service

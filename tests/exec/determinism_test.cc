@@ -11,7 +11,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <filesystem>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -19,6 +21,7 @@
 #include "obs/metrics.h"
 #include "relational/csv.h"
 #include "relational/packed_key.h"
+#include "service/service.h"
 #include "warehouse/retail_schema.h"
 #include "warehouse/warehouse.h"
 #include "warehouse/workload.h"
@@ -164,6 +167,73 @@ TEST(DeterminismTest, PackedAndBoxedKeyPathsProduceIdenticalBatches) {
   }
   rel::SetPackedKeysEnabled(true);
   EXPECT_EQ(packed_snapshot, boxed_snapshot);
+}
+
+// ISSUE 5 satellite: every service.* counter must be thread-count
+// invariant. With explicit flushes the batch boundaries are
+// deterministic, so two services differing only in worker count do the
+// same appends, WAL writes, batches, coalescing, and epoch view
+// rebuild/share decisions — and their whole non-exec counter maps
+// (pipeline + service.*) must agree.
+TEST(DeterminismTest, ServiceCountersInvariantAcrossThreadCounts) {
+  namespace fs = std::filesystem;
+  struct ServiceInstance {
+    fs::path dir;
+    rel::Catalog mirror;
+    std::unique_ptr<service::WarehouseService> svc;
+
+    explicit ServiceInstance(size_t num_threads)
+        : dir(fs::temp_directory_path() /
+              ("sdelta_det_svc_" + std::to_string(::getpid()) + "_t" +
+               std::to_string(num_threads))),
+          mirror(MakeRetailCatalog(SmallConfig())) {
+      fs::remove_all(dir);
+      service::WarehouseService::Options options;
+      options.auto_batching = false;  // deterministic batch boundaries
+      options.warehouse.num_threads = num_threads;
+      svc = service::WarehouseService::Open(dir.string(),
+                                            MakeRetailCatalog(SmallConfig()),
+                                            RetailSummaryTables(), options);
+    }
+    ~ServiceInstance() {
+      svc.reset();
+      fs::remove_all(dir);
+    }
+
+    std::map<std::string, uint64_t> NonExecCounters() {
+      std::map<std::string, uint64_t> out;
+      for (const auto& [name, value] : svc->metrics().Snapshot().counters) {
+        if (name.rfind("exec.", 0) != 0) out[name] = value;
+      }
+      return out;
+    }
+  };
+
+  ServiceInstance serial(1);
+  ServiceInstance eight(8);
+  for (ServiceInstance* inst : {&serial, &eight}) {
+    // Identical trajectory per instance: two coalesced appends, a flush,
+    // then a single append + flush, then a checkpoint.
+    for (uint64_t seed : {31u, 32u}) {
+      core::ChangeSet changes =
+          MakeUpdateGeneratingChanges(inst->mirror, 200, seed);
+      core::ApplyChangeSet(inst->mirror, changes);
+      inst->svc->Append(std::move(changes));
+    }
+    inst->svc->Flush();
+    core::ChangeSet more = MakeInsertionGeneratingChanges(inst->mirror, 150, 33);
+    core::ApplyChangeSet(inst->mirror, more);
+    inst->svc->Append(std::move(more));
+    inst->svc->Flush();
+    inst->svc->Checkpoint();
+  }
+
+  const auto counters = serial.NonExecCounters();
+  EXPECT_FALSE(counters.empty());
+  EXPECT_GT(counters.count("service.appends"), 0u);
+  EXPECT_GT(counters.count("service.wal_bytes"), 0u);
+  EXPECT_GT(counters.count("service.batches"), 0u);
+  EXPECT_EQ(counters, eight.NonExecCounters());
 }
 
 TEST(DeterminismTest, PropagateOnlyStatsMatchAcrossThreadCounts) {

@@ -1,0 +1,91 @@
+// ISSUE 5 satellite (metrics polish): gauges written by one thread
+// (the service's maintenance loop) while other threads snapshot the
+// registry (Prometheus scrapes, `service stats`) must race-free yield
+// point-in-time-consistent values: every observed value is one that was
+// actually written, and values never run backwards when the writer is
+// monotone. CI runs this under TSAN too.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace sdelta::obs {
+namespace {
+
+TEST(GaugeConcurrencyTest, SnapshotsSeeConsistentMonotoneValues) {
+  MetricsRegistry registry;
+  registry.Set("svc.queue_depth", 0.0);
+  registry.Set("svc.epoch", 0.0);
+
+  constexpr int kWrites = 20000;
+  constexpr int kReaders = 4;
+  std::atomic<bool> done{false};
+  std::atomic<bool> failed{false};
+
+  std::thread writer([&] {
+    for (int i = 1; i <= kWrites; ++i) {
+      registry.Set("svc.queue_depth", static_cast<double>(i));
+      registry.Set("svc.epoch", static_cast<double>(i));
+      registry.Add("svc.batches");
+      registry.Observe("svc.window", 1e-6 * i);
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      double last_depth = 0;
+      double last_epoch = 0;
+      uint64_t last_batches = 0;
+      uint64_t last_window_count = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        const MetricsSnapshot snap = registry.Snapshot();
+        const double depth = snap.gauges.count("svc.queue_depth")
+                                 ? snap.gauges.at("svc.queue_depth")
+                                 : 0;
+        const double epoch =
+            snap.gauges.count("svc.epoch") ? snap.gauges.at("svc.epoch") : 0;
+        const uint64_t batches = snap.counters.count("svc.batches")
+                                     ? snap.counters.at("svc.batches")
+                                     : 0;
+        const uint64_t window_count = snap.histograms.count("svc.window")
+                                          ? snap.histograms.at("svc.window").count
+                                          : 0;
+        // Written values only (integers in [0, kWrites]), and monotone
+        // per reader — a torn read or lost update breaks one of these.
+        if (depth < last_depth || epoch < last_epoch ||
+            batches < last_batches || window_count < last_window_count ||
+            depth != static_cast<double>(static_cast<int64_t>(depth)) ||
+            depth > kWrites || batches > kWrites) {
+          failed.store(true);
+          return;
+        }
+        last_depth = depth;
+        last_epoch = epoch;
+        last_batches = batches;
+        last_window_count = window_count;
+      }
+    });
+  }
+
+  writer.join();
+  for (std::thread& t : readers) t.join();
+  EXPECT_FALSE(failed.load());
+
+  // The final snapshot is exact.
+  const MetricsSnapshot final_snap = registry.Snapshot();
+  EXPECT_EQ(final_snap.gauges.at("svc.queue_depth"), kWrites);
+  EXPECT_EQ(final_snap.gauges.at("svc.epoch"), kWrites);
+  EXPECT_EQ(final_snap.counters.at("svc.batches"),
+            static_cast<uint64_t>(kWrites));
+  EXPECT_EQ(final_snap.histograms.at("svc.window").count,
+            static_cast<uint64_t>(kWrites));
+}
+
+}  // namespace
+}  // namespace sdelta::obs

@@ -103,5 +103,79 @@ TEST(CsvTest, LastLineWithoutNewline) {
   EXPECT_EQ(t.row(0)[0].as_int64(), 5);
 }
 
+// ISSUE 5 satellite: exact (ordered, value-for-value) round-trips of
+// string data a warehouse dimension could legally hold — commas,
+// quotes in every position, embedded LF and CRLF, fields that look like
+// numbers or like the CSV syntax itself, and NULL vs empty-string.
+TEST(CsvTest, HardenedRoundTripPreservesAdversarialStringsExactly) {
+  Schema s;
+  s.AddColumn("k", ValueType::kInt64);
+  s.AddColumn("v", ValueType::kString);
+  const std::vector<std::string> nasty = {
+      "plain",
+      "comma,inside",
+      ",leading",
+      "trailing,",
+      ",",
+      "\"",
+      "\"\"",
+      "say \"hi\"",
+      "\"quoted at both ends\"",
+      "line1\nline2",
+      "crlf\r\nline",
+      "lone\rcarriage",
+      "\n",
+      "mix\",\nof,\"everything\r\n",
+      "  padded  ",
+      "123",
+      "-4.5e3",
+      "NULL",
+      "a,b\"c\nd\"e,,\"\"f",
+  };
+  Table t(s, "nasty");
+  for (size_t i = 0; i < nasty.size(); ++i) {
+    t.Insert({Value::Int64(static_cast<int64_t>(i)), Value::String(nasty[i])});
+  }
+  // One NULL and one empty string — these must stay distinct.
+  t.Insert({Value::Int64(100), Value::Null()});
+  t.Insert({Value::Int64(101), Value::String("")});
+
+  const Table back = FromCsvString(s, ToCsvString(t), "back");
+  ASSERT_EQ(back.NumRows(), t.NumRows());
+  for (size_t i = 0; i < nasty.size(); ++i) {
+    SCOPED_TRACE("row " + std::to_string(i));
+    EXPECT_EQ(back.row(i)[0].as_int64(), static_cast<int64_t>(i));
+    EXPECT_EQ(back.row(i)[1].as_string(), nasty[i]);
+  }
+  EXPECT_TRUE(back.row(nasty.size())[1].is_null());
+  EXPECT_FALSE(back.row(nasty.size() + 1)[1].is_null());
+  EXPECT_EQ(back.row(nasty.size() + 1)[1].as_string(), "");
+
+  // A second trip is byte-stable: writing the parsed table reproduces
+  // the same CSV text.
+  EXPECT_EQ(ToCsvString(back), ToCsvString(t));
+}
+
+TEST(CsvTest, HardenedRoundTripSurvivesStreamingThroughAFile) {
+  Schema s;
+  s.AddColumn("name", ValueType::kString);
+  s.AddColumn("note", ValueType::kString);
+  Table t(s, "dim");
+  t.Insert({Value::String("Acme, Inc."), Value::String("said \"ok\"\nthen left")});
+  t.Insert({Value::String(""), Value::Null()});
+  t.Insert({Value::String("O'Brien \"The\r\nQuote\","), Value::String(",")});
+
+  std::stringstream file;
+  WriteCsv(t, file);
+  const Table back = ReadCsv(s, file, "back");
+  ASSERT_EQ(back.NumRows(), 3u);
+  EXPECT_EQ(back.row(0)[0].as_string(), "Acme, Inc.");
+  EXPECT_EQ(back.row(0)[1].as_string(), "said \"ok\"\nthen left");
+  EXPECT_EQ(back.row(1)[0].as_string(), "");
+  EXPECT_TRUE(back.row(1)[1].is_null());
+  EXPECT_EQ(back.row(2)[0].as_string(), "O'Brien \"The\r\nQuote\",");
+  EXPECT_EQ(back.row(2)[1].as_string(), ",");
+}
+
 }  // namespace
 }  // namespace sdelta::rel

@@ -1,0 +1,187 @@
+#include "service/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "relational/csv.h"
+#include "warehouse/retail_schema.h"
+#include "warehouse/workload.h"
+
+namespace sdelta::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+warehouse::RetailConfig SmallConfig() {
+  warehouse::RetailConfig config;
+  config.num_stores = 8;
+  config.num_items = 40;
+  config.num_pos_rows = 400;
+  config.seed = 7;
+  return config;
+}
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (fs::temp_directory_path() /
+             ("sdelta_wal_" + std::to_string(::getpid()) + "_" +
+              ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+              ".log"))
+                .string();
+    fs::remove(path_);
+    catalog_ = warehouse::MakeRetailCatalog(SmallConfig());
+  }
+  void TearDown() override { fs::remove(path_); }
+
+  core::ChangeSet MakeChanges(uint64_t seed) const {
+    return warehouse::MakeUpdateGeneratingChanges(catalog_, 40, seed);
+  }
+
+  std::vector<WalRecord> ReplayAll(uint64_t after_seq,
+                                   WalReplayReport* report = nullptr) const {
+    std::vector<WalRecord> records;
+    WalReplayReport r = ReplayWal(path_, catalog_, after_seq,
+                                  [&](WalRecord rec) {
+                                    records.push_back(std::move(rec));
+                                  });
+    if (report) *report = r;
+    return records;
+  }
+
+  std::string path_;
+  rel::Catalog catalog_;
+};
+
+std::string ChangesCsv(const core::ChangeSet& c) {
+  std::string out = c.fact_table + "\n";
+  out += rel::ToCsvString(c.fact.insertions);
+  out += rel::ToCsvString(c.fact.deletions);
+  for (const auto& [name, d] : c.dimensions) {
+    out += name + "\n" + rel::ToCsvString(d.insertions) +
+           rel::ToCsvString(d.deletions);
+  }
+  return out;
+}
+
+TEST_F(WalTest, EncodeDecodeRoundTrip) {
+  core::ChangeSet changes = MakeChanges(11);
+  // Add a dimension delta and some awkward values.
+  core::ChangeSet recat = warehouse::MakeItemRecategorization(catalog_, 3, 5);
+  changes.dimensions = std::move(recat.dimensions);
+  const std::vector<uint8_t> payload = EncodeChangeSet(changes);
+  const core::ChangeSet decoded = DecodeChangeSet(catalog_, payload);
+  EXPECT_EQ(ChangesCsv(decoded), ChangesCsv(changes));
+  // Deterministic encoding: identical change sets → identical bytes.
+  EXPECT_EQ(EncodeChangeSet(decoded), payload);
+}
+
+TEST_F(WalTest, AppendAndReplay) {
+  {
+    WalWriter writer(path_, /*first_seq=*/1, /*sync=*/false);
+    writer.Append(1, MakeChanges(1));
+    writer.Append(2, MakeChanges(2));
+    writer.Append(3, MakeChanges(3));
+  }
+  WalReplayReport report;
+  const std::vector<WalRecord> records = ReplayAll(0, &report);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].seq, 1u);
+  EXPECT_EQ(records[2].seq, 3u);
+  EXPECT_EQ(report.records, 3u);
+  EXPECT_EQ(report.last_seq, 3u);
+  EXPECT_FALSE(report.tail_truncated);
+  EXPECT_EQ(ChangesCsv(records[1].changes), ChangesCsv(MakeChanges(2)));
+}
+
+TEST_F(WalTest, ReplayCutoffSkipsCheckpointedRecords) {
+  {
+    WalWriter writer(path_, 1, false);
+    for (uint64_t seq = 1; seq <= 5; ++seq) writer.Append(seq, MakeChanges(seq));
+  }
+  WalReplayReport report;
+  const std::vector<WalRecord> records = ReplayAll(/*after_seq=*/3, &report);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].seq, 4u);
+  EXPECT_EQ(records[1].seq, 5u);
+  // The scan still verified the whole log.
+  EXPECT_EQ(report.records, 5u);
+}
+
+TEST_F(WalTest, MissingFileIsEmptyLog) {
+  WalReplayReport report;
+  EXPECT_TRUE(ReplayAll(0, &report).empty());
+  EXPECT_EQ(report.records, 0u);
+  EXPECT_FALSE(report.tail_truncated);
+}
+
+TEST_F(WalTest, TornTailIsTruncatedCleanly) {
+  {
+    WalWriter writer(path_, 1, false);
+    writer.Append(1, MakeChanges(1));
+    writer.Append(2, MakeChanges(2));
+  }
+  // Chop bytes off the last record: replay keeps record 1, flags the tail.
+  const auto full = fs::file_size(path_);
+  fs::resize_file(path_, full - 7);
+  WalReplayReport report;
+  const std::vector<WalRecord> records = ReplayAll(0, &report);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].seq, 1u);
+  EXPECT_TRUE(report.tail_truncated);
+
+  // Appending after recovery continues the log past the good prefix.
+  // (The service truncates via checkpoint; here we only check the torn
+  // frame never yields a phantom record.)
+}
+
+TEST_F(WalTest, CorruptPayloadStopsReplay) {
+  {
+    WalWriter writer(path_, 1, false);
+    writer.Append(1, MakeChanges(1));
+    writer.Append(2, MakeChanges(2));
+    writer.Append(3, MakeChanges(3));
+  }
+  // Flip one byte in the middle record's payload region.
+  const auto size = fs::file_size(path_);
+  std::fstream f(path_, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekg(static_cast<std::streamoff>(size / 2));
+  char b = 0;
+  f.read(&b, 1);
+  f.seekp(static_cast<std::streamoff>(size / 2));
+  b = static_cast<char>(b ^ 0x5A);
+  f.write(&b, 1);
+  f.close();
+
+  WalReplayReport report;
+  const std::vector<WalRecord> records = ReplayAll(0, &report);
+  EXPECT_LT(records.size(), 3u);
+  EXPECT_TRUE(report.tail_truncated);
+}
+
+TEST_F(WalTest, ResetTruncatesAndAdvancesFirstSeq) {
+  WalWriter writer(path_, 1, false);
+  writer.Append(1, MakeChanges(1));
+  writer.Append(2, MakeChanges(2));
+  writer.Reset(/*first_seq=*/3);
+  WalReplayReport report;
+  EXPECT_TRUE(ReplayAll(0, &report).empty());
+  EXPECT_EQ(report.first_seq, 3u);
+  writer.Append(3, MakeChanges(3));
+  const std::vector<WalRecord> records = ReplayAll(2, &report);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].seq, 3u);
+}
+
+TEST_F(WalTest, Crc32KnownVector) {
+  // The IEEE CRC-32 of "123456789" is 0xCBF43926.
+  const char* s = "123456789";
+  EXPECT_EQ(Crc32(reinterpret_cast<const uint8_t*>(s), 9), 0xCBF43926u);
+}
+
+}  // namespace
+}  // namespace sdelta::service
