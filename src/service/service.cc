@@ -95,6 +95,13 @@ std::unique_ptr<WarehouseService> WarehouseService::Open(
                   wh.RunBatch(record.changes);
                   ++recovered;
                 });
+  if (replay.tail_truncated) {
+    // Cut the torn tail before the WalWriter below opens with O_APPEND:
+    // records acknowledged after the garbage bytes would be invisible to
+    // the next recovery scan, silently dropping durable data.
+    fs::resize_file(dir / kWalFile, replay.valid_bytes);
+    metrics->Add("service.wal_tail_truncations");
+  }
   const uint64_t start_seq = std::max(checkpoint_seq, replay.last_seq);
 
   return std::unique_ptr<WarehouseService>(new WarehouseService(

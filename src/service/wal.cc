@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <array>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <stdexcept>
@@ -31,6 +32,16 @@ const std::array<uint32_t, 256>& CrcTable() {
     return t;
   }();
   return table;
+}
+
+// Incremental CRC-32: feed buffers into a running state seeded with
+// 0xFFFFFFFF; the final value is state ^ 0xFFFFFFFF.
+uint32_t Crc32Feed(uint32_t state, const uint8_t* data, size_t size) {
+  const auto& table = CrcTable();
+  for (size_t i = 0; i < size; ++i) {
+    state = table[(state ^ data[i]) & 0xFF] ^ (state >> 8);
+  }
+  return state;
 }
 
 void PutU32(std::vector<uint8_t>& out, uint32_t v) {
@@ -164,12 +175,7 @@ core::DeltaSet ReadDeltaSet(Reader& in, const rel::Schema& schema) {
 }  // namespace
 
 uint32_t Crc32(const uint8_t* data, size_t size) {
-  const auto& table = CrcTable();
-  uint32_t c = 0xFFFFFFFFu;
-  for (size_t i = 0; i < size; ++i) {
-    c = table[(c ^ data[i]) & 0xFF] ^ (c >> 8);
-  }
-  return c ^ 0xFFFFFFFFu;
+  return Crc32Feed(0xFFFFFFFFu, data, size) ^ 0xFFFFFFFFu;
 }
 
 std::vector<uint8_t> EncodeChangeSet(const core::ChangeSet& changes) {
@@ -241,7 +247,12 @@ size_t WalWriter::Append(uint64_t seq, const core::ChangeSet& changes) {
   frame.reserve(kFrameSize + payload.size());
   PutU64(frame, seq);
   PutU32(frame, static_cast<uint32_t>(payload.size()));
-  PutU32(frame, Crc32(payload.data(), payload.size()));
+  // The CRC covers seq + len + payload, so a flipped bit anywhere in the
+  // record — including a bogus length that would otherwise drive a huge
+  // allocation — reads as a torn tail.
+  uint32_t crc_state = Crc32Feed(0xFFFFFFFFu, frame.data(), frame.size());
+  crc_state = Crc32Feed(crc_state, payload.data(), payload.size());
+  PutU32(frame, crc_state ^ 0xFFFFFFFFu);
   frame.insert(frame.end(), payload.begin(), payload.end());
   // One write call per record keeps torn records to the file tail.
   if (::write(fd_, frame.data(), frame.size()) !=
@@ -254,10 +265,26 @@ size_t WalWriter::Append(uint64_t seq, const core::ChangeSet& changes) {
 
 void WalWriter::Reset(uint64_t first_seq) {
   if (fd_ >= 0) ::close(fd_);
-  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd_ < 0) throw std::runtime_error("WAL: cannot truncate " + path_);
-  ::close(fd_);
   fd_ = -1;
+  // Build the fresh empty log beside the old one and rename it into
+  // place: every crash point leaves either the old complete log or the
+  // new headered one, never a header-less file.
+  const std::string tmp = path_ + ".reset";
+  const int tmp_fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (tmp_fd < 0) throw std::runtime_error("WAL: cannot create " + tmp);
+  std::vector<uint8_t> header(kMagic, kMagic + sizeof(kMagic));
+  header.push_back(kVersion);
+  PutU64(header, first_seq);
+  const ssize_t written = ::write(tmp_fd, header.data(), header.size());
+  if (written != static_cast<ssize_t>(header.size())) {
+    ::close(tmp_fd);
+    throw std::runtime_error("WAL: cannot write header to " + tmp);
+  }
+  if (sync_) ::fsync(tmp_fd);
+  ::close(tmp_fd);
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    throw std::runtime_error("WAL: cannot rename " + tmp + " over " + path_);
+  }
   OpenOrCreate(first_seq);
 }
 
@@ -267,6 +294,17 @@ WalReplayReport ReplayWal(const std::string& path, const rel::Catalog& catalog,
   WalReplayReport report;
   std::ifstream in(path, std::ios::binary);
   if (!in) return report;  // no log yet: empty
+  in.seekg(0, std::ios::end);
+  const uint64_t file_size = static_cast<uint64_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
+  if (file_size == 0) return report;  // crashed before the header: empty
+  if (file_size < kHeaderSize) {
+    // Torn header write. Records only follow a complete header, so
+    // nothing was ever acknowledged; flag the tail so the caller
+    // truncates to valid_bytes (0) before appending.
+    report.tail_truncated = true;
+    return report;
+  }
   std::array<char, kHeaderSize> header{};
   in.read(header.data(), header.size());
   if (in.gcount() != static_cast<std::streamsize>(header.size()) ||
@@ -281,8 +319,10 @@ WalReplayReport ReplayWal(const std::string& path, const rel::Catalog& catalog,
                  << (8 * i);
   }
   report.first_seq = first_seq;
+  report.valid_bytes = kHeaderSize;
 
   std::array<char, kFrameSize> frame{};
+  uint64_t offset = kHeaderSize;
   while (true) {
     in.read(frame.data(), frame.size());
     if (in.gcount() == 0) break;  // clean end of log
@@ -290,6 +330,7 @@ WalReplayReport ReplayWal(const std::string& path, const rel::Catalog& catalog,
       report.tail_truncated = true;  // torn frame
       break;
     }
+    offset += kFrameSize;
     auto u = [&frame](size_t off, size_t n) {
       uint64_t v = 0;
       for (size_t i = 0; i < n; ++i) {
@@ -300,13 +341,24 @@ WalReplayReport ReplayWal(const std::string& path, const rel::Catalog& catalog,
     const uint64_t seq = u(0, 8);
     const uint32_t len = static_cast<uint32_t>(u(8, 4));
     const uint32_t crc = static_cast<uint32_t>(u(12, 4));
+    if (len > file_size - offset) {
+      // A corrupt length field would fail the CRC anyway; checking it
+      // against the bytes actually present avoids attempting an up-to-
+      // 4 GiB payload allocation first.
+      report.tail_truncated = true;
+      break;
+    }
     std::vector<uint8_t> payload(len);
     in.read(reinterpret_cast<char*>(payload.data()), len);
     if (in.gcount() != static_cast<std::streamsize>(len)) {
       report.tail_truncated = true;  // torn payload
       break;
     }
-    if (Crc32(payload.data(), payload.size()) != crc) {
+    offset += len;
+    uint32_t crc_state = Crc32Feed(
+        0xFFFFFFFFu, reinterpret_cast<const uint8_t*>(frame.data()), 12);
+    crc_state = Crc32Feed(crc_state, payload.data(), payload.size());
+    if ((crc_state ^ 0xFFFFFFFFu) != crc) {
       report.tail_truncated = true;  // corrupt record: never acknowledged
       break;
     }
@@ -317,6 +369,7 @@ WalReplayReport ReplayWal(const std::string& path, const rel::Catalog& catalog,
     record.changes = DecodeChangeSet(catalog, payload);
     ++report.records;
     report.last_seq = seq;
+    report.valid_bytes = offset;
     if (seq > after_seq) fn(std::move(record));
   }
   return report;

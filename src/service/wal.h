@@ -15,7 +15,10 @@ namespace sdelta::service {
 ///
 /// File layout:
 ///   header:  "SDWAL1\n" (7 bytes) + u8 version (1) + u64 first_seq
-///   record:  u64 seq + u32 payload_len + u32 crc32(payload) + payload
+///   record:  u64 seq + u32 payload_len + u32 crc + payload
+/// where crc = crc32(seq bytes + payload_len bytes + payload), so a
+/// corrupted sequence number or length field is detected, not just a
+/// corrupted payload.
 ///
 /// The payload is a self-describing binary ChangeSet (fact-table name,
 /// fact insert/delete rows, per-dimension deltas; values carry a type
@@ -27,7 +30,10 @@ namespace sdelta::service {
 /// change set survives a crash. Recovery replays every record with
 /// seq > the checkpoint's last applied sequence; a torn tail record
 /// (short payload or CRC mismatch) terminates replay cleanly — it was
-/// never acknowledged.
+/// never acknowledged. Before appending to a log whose scan reported
+/// tail_truncated, the caller must truncate the file to the report's
+/// valid_bytes: bytes written after the garbage tail would be invisible
+/// to the next recovery scan.
 
 /// CRC-32 (IEEE 802.3 polynomial, the zlib crc32) over a byte buffer.
 uint32_t Crc32(const uint8_t* data, size_t size);
@@ -54,6 +60,10 @@ struct WalReplayReport {
   uint64_t first_seq = 1;     ///< header first_seq (next expected record)
   uint64_t records = 0;       ///< records decoded successfully
   uint64_t last_seq = 0;      ///< seq of the last good record (0 if none)
+  uint64_t valid_bytes = 0;   ///< file offset just past the last intact
+                              ///< record (header size if none; 0 when the
+                              ///< file is missing, empty, or its header
+                              ///< itself is torn)
   bool tail_truncated = false;  ///< a torn/corrupt record ended the scan
 };
 
@@ -73,8 +83,11 @@ class WalWriter {
   /// payload). Throws std::runtime_error on IO failure.
   size_t Append(uint64_t seq, const core::ChangeSet& changes);
 
-  /// Truncates the log: the file is rewritten as an empty log whose
+  /// Truncates the log: the file is replaced by an empty log whose
   /// header says the next record is `first_seq` (checkpoint commit).
+  /// The fresh header is written to a side file and rename(2)-d into
+  /// place, so a crash mid-reset leaves either the old complete log or
+  /// the new empty one — never a header-less file.
   void Reset(uint64_t first_seq);
 
   const std::string& path() const { return path_; }
@@ -89,8 +102,11 @@ class WalWriter {
 
 /// Scans the log at `path`, invoking `fn` for every intact record with
 /// seq > `after_seq` in file order. Returns the scan report. A missing
-/// file is an empty log (0 records). A torn or CRC-corrupt record stops
-/// the scan (tail_truncated = true); everything before it is replayed.
+/// or zero-length file is an empty log (0 records); a file shorter than
+/// the header is a torn creation (empty, tail_truncated = true). A torn
+/// or CRC-corrupt record stops the scan (tail_truncated = true);
+/// everything before it is replayed, and the caller must truncate the
+/// file to valid_bytes before appending to it.
 WalReplayReport ReplayWal(const std::string& path, const rel::Catalog& catalog,
                           uint64_t after_seq,
                           const std::function<void(WalRecord)>& fn);

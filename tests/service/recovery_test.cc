@@ -214,6 +214,39 @@ TEST_P(RecoveryTest, TornWalTailIsDiscarded) {
   EXPECT_EQ(SnapshotSummaries(*svc), oracle);
 }
 
+TEST_P(RecoveryTest, AppendsAfterTornTailRecoverySurviveNextCrash) {
+  const size_t threads = GetParam();
+  const std::vector<core::ChangeSet> trajectory = MakeTrajectory();
+  const auto oracle = OracleSummaries(trajectory);
+
+  // Seqs 1..4 reach the WAL; the seq-4 record is torn mid-payload.
+  fs::create_directories(dir_);
+  {
+    WalWriter writer(WalPath(), 1, false);
+    for (size_t i = 0; i < 4; ++i) writer.Append(i + 1, trajectory[i]);
+  }
+  fs::resize_file(WalPath(), fs::file_size(WalPath()) - 11);
+
+  // First recovery discards the torn record and must truncate it, so
+  // that the re-appended seq 4 and the new seq 5 land on the good
+  // prefix — not after garbage bytes the next scan would stop at.
+  {
+    auto svc = OpenService(threads);
+    EXPECT_EQ(svc->GetStats().recovered_records, 3u);
+    EXPECT_EQ(svc->Append(trajectory[3]), 4u);
+    svc->Flush();
+    EXPECT_EQ(svc->Append(trajectory[4]), 5u);
+    svc->Flush();
+  }  // crash again: no checkpoint, seqs 4-5 live only in the WAL
+
+  auto svc = OpenService(threads);
+  EXPECT_EQ(svc->GetStats().recovered_records, 5u);
+  EXPECT_EQ(svc->GetStats().last_seq, 5u);
+  svc->Append(trajectory[5]);
+  svc->Flush();
+  EXPECT_EQ(SnapshotSummaries(*svc), oracle);
+}
+
 INSTANTIATE_TEST_SUITE_P(Threads, RecoveryTest, ::testing::Values(1, 8),
                          [](const ::testing::TestParamInfo<size_t>& info) {
                            return "threads" + std::to_string(info.param);

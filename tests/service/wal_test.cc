@@ -119,10 +119,23 @@ TEST_F(WalTest, MissingFileIsEmptyLog) {
   EXPECT_FALSE(report.tail_truncated);
 }
 
+// On-disk layout constants from wal.h: 16-byte header ("SDWAL1\n" +
+// version + first_seq), 16-byte record frame (seq + len + crc).
+constexpr size_t kHeaderBytes = 16;
+constexpr size_t kFrameBytes = 16;
+
+void OverwriteByte(const std::string& path, size_t offset, uint8_t value) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.put(static_cast<char>(value));
+  ASSERT_TRUE(f.good());
+}
+
 TEST_F(WalTest, TornTailIsTruncatedCleanly) {
+  size_t record1_bytes = 0;
   {
     WalWriter writer(path_, 1, false);
-    writer.Append(1, MakeChanges(1));
+    record1_bytes = writer.Append(1, MakeChanges(1));
     writer.Append(2, MakeChanges(2));
   }
   // Chop bytes off the last record: replay keeps record 1, flags the tail.
@@ -133,10 +146,77 @@ TEST_F(WalTest, TornTailIsTruncatedCleanly) {
   ASSERT_EQ(records.size(), 1u);
   EXPECT_EQ(records[0].seq, 1u);
   EXPECT_TRUE(report.tail_truncated);
+  EXPECT_EQ(report.valid_bytes, kHeaderBytes + record1_bytes);
 
-  // Appending after recovery continues the log past the good prefix.
-  // (The service truncates via checkpoint; here we only check the torn
-  // frame never yields a phantom record.)
+  // Appending after recovery requires truncating to valid_bytes first
+  // (the service's Open does this); the new record then replays.
+  fs::resize_file(path_, report.valid_bytes);
+  {
+    WalWriter writer(path_, 1, false);
+    writer.Append(2, MakeChanges(12));
+  }
+  const std::vector<WalRecord> again = ReplayAll(0, &report);
+  ASSERT_EQ(again.size(), 2u);
+  EXPECT_EQ(again[1].seq, 2u);
+  EXPECT_FALSE(report.tail_truncated);
+  EXPECT_EQ(ChangesCsv(again[1].changes), ChangesCsv(MakeChanges(12)));
+}
+
+TEST_F(WalTest, CorruptLengthFieldTruncatesWithoutHugeAllocation) {
+  size_t record1_bytes = 0;
+  {
+    WalWriter writer(path_, 1, false);
+    record1_bytes = writer.Append(1, MakeChanges(1));
+    writer.Append(2, MakeChanges(2));
+  }
+  // Smash record 2's length field to 0xFFFFFFFF (~4 GiB): replay must
+  // stop at a clean torn tail, not attempt the allocation.
+  const size_t len_off = kHeaderBytes + record1_bytes + 8;
+  for (size_t i = 0; i < 4; ++i) OverwriteByte(path_, len_off + i, 0xFF);
+  WalReplayReport report;
+  const std::vector<WalRecord> records = ReplayAll(0, &report);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_TRUE(report.tail_truncated);
+  EXPECT_EQ(report.valid_bytes, kHeaderBytes + record1_bytes);
+}
+
+TEST_F(WalTest, CorruptSeqFieldFailsCrc) {
+  size_t record1_bytes = 0;
+  {
+    WalWriter writer(path_, 1, false);
+    record1_bytes = writer.Append(1, MakeChanges(1));
+    writer.Append(2, MakeChanges(2));
+  }
+  // Flip a bit in record 2's sequence number: the frame CRC covers it,
+  // so the record must not replay with a bogus seq.
+  OverwriteByte(path_, kHeaderBytes + record1_bytes, 0x7F);
+  WalReplayReport report;
+  const std::vector<WalRecord> records = ReplayAll(0, &report);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].seq, 1u);
+  EXPECT_TRUE(report.tail_truncated);
+}
+
+TEST_F(WalTest, ZeroLengthFileIsEmptyLog) {
+  std::ofstream(path_, std::ios::binary).close();
+  ASSERT_EQ(fs::file_size(path_), 0u);
+  WalReplayReport report;
+  EXPECT_TRUE(ReplayAll(0, &report).empty());
+  EXPECT_FALSE(report.tail_truncated);
+  // A writer opened on the empty file lays down a header and appends.
+  {
+    WalWriter writer(path_, 1, false);
+    writer.Append(1, MakeChanges(1));
+  }
+  EXPECT_EQ(ReplayAll(0, &report).size(), 1u);
+}
+
+TEST_F(WalTest, TornHeaderIsEmptyTruncatedLog) {
+  std::ofstream(path_, std::ios::binary) << "SDW";  // crash mid-header
+  WalReplayReport report;
+  EXPECT_TRUE(ReplayAll(0, &report).empty());
+  EXPECT_TRUE(report.tail_truncated);
+  EXPECT_EQ(report.valid_bytes, 0u);
 }
 
 TEST_F(WalTest, CorruptPayloadStopsReplay) {
