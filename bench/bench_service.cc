@@ -13,6 +13,10 @@
 //       service's refresh-window histogram (the epoch-install swap,
 //       i.e. the paper's batch window as experienced by readers) is
 //       reported alongside.
+//   readers_with_scraping     - readers_with_maintenance plus a scraper
+//       thread hammering the embedded HTTP endpoint's /metrics route
+//       over a real socket for the whole run: the observability tax.
+//       Gated by the same reader-p99 tolerance as the maintenance case.
 //
 // Writes BENCH_service.json entries for the CI bench gate:
 // appended_changesets / appended_rows are exact (the trajectory is
@@ -27,8 +31,12 @@
 #include <filesystem>
 #include <string>
 #include <thread>
-#include <unistd.h>
 #include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include "bench_common.h"
 #include "core/maintenance.h"
@@ -69,16 +77,66 @@ struct RunResult {
   obs::Histogram refresh_window;
   uint64_t batches = 0;
   uint64_t epochs = 0;
+  uint64_t scrapes = 0;
 };
 
-std::unique_ptr<service::WarehouseService> OpenService(const fs::path& dir) {
+std::unique_ptr<service::WarehouseService> OpenService(const fs::path& dir,
+                                                       bool with_http = false) {
   service::WarehouseService::Options options;
   options.auto_batching = true;
   options.queue.max_batch_rows = 512;
   options.queue.max_batch_delay_seconds = 0.005;
+  if (with_http) options.http_port = 0;  // ephemeral loopback port
   return service::WarehouseService::Open(
       dir.string(), warehouse::MakeRetailCatalog(PaperConfig(kPosRows)),
       warehouse::RetailSummaryTables(), options);
+}
+
+/// One blocking HTTP/1.0 GET against the service's loopback endpoint;
+/// returns true when the response is a 200 with a body.
+bool ScrapeOnce(int port, const char* path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return false;
+  }
+  const std::string request = std::string("GET ") + path + " HTTP/1.0\r\n\r\n";
+  if (::send(fd, request.data(), request.size(), 0) !=
+      static_cast<ssize_t>(request.size())) {
+    ::close(fd);
+    return false;
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n = 0;
+  while ((n = ::recv(fd, buf, sizeof buf, 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response.rfind("HTTP/1.0 200", 0) == 0 &&
+         response.find("\r\n\r\n") != std::string::npos;
+}
+
+/// The scraper: alternates the exporter routes until `stop` flips, so
+/// every reader latency sample in the scraping case was taken while
+/// the exporter lock traffic was live.
+void ScraperLoop(int port, const std::atomic<bool>* stop,
+                 uint64_t* scrapes_out) {
+  static const char* kRoutes[] = {"/metrics", "/healthz", "/epochs"};
+  uint64_t done = 0;
+  while (!stop->load(std::memory_order_acquire)) {
+    if (!ScrapeOnce(port, kRoutes[done % 3])) {
+      std::fprintf(stderr, "bench_service: scrape failed\n");
+      std::abort();
+    }
+    ++done;
+  }
+  *scrapes_out = done;
 }
 
 /// One reader: alternates the two derivable aggregate queries against
@@ -126,13 +184,17 @@ RunResult RunIdle(const fs::path& dir) {
   return r;
 }
 
-RunResult RunWithMaintenance(const fs::path& dir) {
-  auto svc = OpenService(dir);
+RunResult RunWithMaintenance(const fs::path& dir, bool with_scraper = false) {
+  auto svc = OpenService(dir, with_scraper);
   RunResult r;
   std::atomic<bool> stop{false};
   std::vector<uint64_t> counts(kReaderThreads, 0);
   std::vector<obs::Histogram> latencies(kReaderThreads);
   std::vector<std::thread> readers;
+  std::thread scraper;
+  if (with_scraper) {
+    scraper = std::thread(ScraperLoop, svc->http_port(), &stop, &r.scrapes);
+  }
 
   // The producer's mirror catalog evolves in lockstep with the
   // service's warehouse so the workload generator sees current keys.
@@ -153,6 +215,7 @@ RunResult RunWithMaintenance(const fs::path& dir) {
   svc->Flush();
   stop.store(true, std::memory_order_release);
   for (std::thread& t : readers) t.join();
+  if (scraper.joinable()) scraper.join();
   r.seconds = sw.ElapsedSeconds();
 
   for (uint64_t c : counts) r.queries += c;
@@ -195,6 +258,9 @@ void AddEntry(const std::string& kase, const RunResult& r,
     e.Set("refresh_window_ms_p99",
           obs::Json::Double(r.refresh_window.P99() * 1e3));
   }
+  if (r.scrapes > 0) {
+    e.Set("scrapes", obs::Json::Int(static_cast<int64_t>(r.scrapes)));
+  }
   ServiceEntries().push_back(std::move(e));
 }
 
@@ -232,6 +298,17 @@ int Run() {
       static_cast<unsigned long long>(busy.refresh_window.count),
       busy.refresh_window.Mean() * 1e6, busy.refresh_window.P99() * 1e6);
   AddEntry("readers_with_maintenance", busy, /*with_windows=*/true);
+
+  const RunResult scraped =
+      RunWithMaintenance(root / "scraped", /*with_scraper=*/true);
+  std::printf(
+      "  readers_with_scraping:    %8.0f qps, p99 %.3f ms "
+      "(%llu queries, %llu scrapes in %.3fs)\n",
+      static_cast<double>(scraped.queries) / scraped.seconds,
+      scraped.query_latency.P99() * 1e3,
+      static_cast<unsigned long long>(scraped.queries),
+      static_cast<unsigned long long>(scraped.scrapes), scraped.seconds);
+  AddEntry("readers_with_scraping", scraped, /*with_windows=*/true);
 
   fs::remove_all(root);
   obs::MergeBenchJson("BENCH_service.json", "service", {"case", "readers"},

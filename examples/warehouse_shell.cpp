@@ -4,11 +4,14 @@
 // pinned epoch snapshots, and the service can checkpoint to disk.
 // Reads commands from stdin.
 //
-//   ./build/examples/warehouse_shell [pos_rows] [data_dir]
+//   ./build/examples/warehouse_shell [pos_rows] [data_dir] [http_port]
 //
 // `data_dir` holds the WAL and checkpoints (default: a per-process temp
 // directory, wiped on exit). Start from a fresh directory when changing
 // the set of summary tables: a checkpoint records their schemas.
+// `http_port` starts the embedded scrape endpoint on 127.0.0.1 (0 =
+// pick an ephemeral port; the bound port is printed at startup). Routes:
+// /metrics /healthz /varz /epochs /events.
 //
 // Commands:
 //   CREATE VIEW ...   define + materialize a summary table (SQL dialect)
@@ -30,6 +33,8 @@
 //   service flush     force a maintenance batch and wait for it
 //   service checkpoint
 //                     snapshot to <data_dir>/checkpoint + truncate WAL
+//   service slo       SLO targets, violation counts, burn rate, health
+//   service events    the structured event log (flight recorder)
 //   metrics           Prometheus text exposition of all pipeline metrics
 //   dicts             per-column string dictionaries and per-view packed
 //                     key stats (see DESIGN.md §8)
@@ -58,7 +63,7 @@ void PrintHelp() {
       "          summaries | lattice | batch <update|insert|backfill|"
       "recat> <n> |\n"
       "          explain [analyze] <kind> <n> [dot|json] |\n"
-      "          service <stats|flush|checkpoint> | metrics |\n"
+      "          service <stats|flush|checkpoint|slo|events> | metrics |\n"
       "          dicts | save <dir> | help | quit\n");
 }
 
@@ -130,6 +135,34 @@ void PrintServiceStats(service::WarehouseService& svc) {
               static_cast<unsigned long long>(s.recovered_records));
 }
 
+void PrintServiceSlo(service::WarehouseService& svc) {
+  std::printf("%s\n", svc.slo().ToJson().Dump(2).c_str());
+  const service::WarehouseService::Health h = svc.CheckHealth();
+  std::printf(
+      "health: %s (wal_writable=%d maintenance_alive=%d "
+      "queue_below_high_water=%d slo_ok=%d staleness=%.3fs)\n",
+      h.healthy() ? "ok" : "DEGRADED", h.wal_writable, h.maintenance_alive,
+      h.queue_below_high_water, h.slo_ok, h.staleness_seconds);
+}
+
+void PrintServiceEvents(service::WarehouseService& svc) {
+  const std::vector<obs::Event> events = svc.events().Snapshot();
+  std::printf("%llu recorded, %llu dropped, %zu retained\n",
+              static_cast<unsigned long long>(svc.events().total_recorded()),
+              static_cast<unsigned long long>(svc.events().dropped_count()),
+              events.size());
+  for (const obs::Event& e : events) {
+    std::printf("  #%-4llu %11.6fs %-14s batch=%-4llu req=%-4llu seq=%-5llu "
+                "value=%-10.6g %s\n",
+                static_cast<unsigned long long>(e.id), 1e-9 * e.ts_ns,
+                obs::EventTypeName(e.type),
+                static_cast<unsigned long long>(e.batch_id),
+                static_cast<unsigned long long>(e.request_id),
+                static_cast<unsigned long long>(e.seq), e.value,
+                e.detail.c_str());
+  }
+}
+
 void PrintExplain(const lattice::ExplainResult& explain,
                   const std::string& format) {
   if (format == "dot") {
@@ -182,6 +215,7 @@ int main(int argc, char** argv) {
   service::WarehouseService::Options options;
   options.metrics = &metrics;
   options.auto_batching = false;  // the shell flushes explicitly
+  if (argc > 3) options.http_port = std::stoi(argv[3]);
   auto svc = service::WarehouseService::Open(
       data_dir, warehouse::MakeRetailCatalog(config),
       /*views=*/{}, options);
@@ -189,6 +223,12 @@ int main(int argc, char** argv) {
       "retail warehouse service ready: pos=%zu rows, data dir %s.\n"
       "Type 'help'.\n",
       config.num_pos_rows, data_dir.c_str());
+  if (svc->http_port() >= 0) {
+    std::printf(
+        "scrape endpoint: http://127.0.0.1:%d  "
+        "(/metrics /healthz /varz /epochs /events)\n",
+        svc->http_port());
+  }
 
   uint64_t seed = 1;
   std::string line;
@@ -248,8 +288,12 @@ int main(int argc, char** argv) {
           const service::WarehouseService::Stats s = svc->GetStats();
           std::printf("checkpointed at seq %llu (WAL truncated)\n",
                       static_cast<unsigned long long>(s.checkpoint_seq));
+        } else if (sub == "slo") {
+          PrintServiceSlo(*svc);
+        } else if (sub == "events") {
+          PrintServiceEvents(*svc);
         } else {
-          std::printf("usage: service <stats|flush|checkpoint>\n");
+          std::printf("usage: service <stats|flush|checkpoint|slo|events>\n");
         }
       } else if (upper == "METRICS") {
         std::printf("%s", obs::ExportPrometheus(metrics).c_str());

@@ -1,0 +1,174 @@
+#include "obs/event_log.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace sdelta::obs {
+
+namespace {
+
+constexpr EventType kAllTypes[] = {
+    EventType::kBatchStart,     EventType::kBatchEnd,
+    EventType::kEpochInstall,   EventType::kWalCheckpoint,
+    EventType::kQueueSaturated, EventType::kSlowQuery,
+    EventType::kRecoveryReplay,
+};
+
+uint64_t SteadyNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+const char* EventTypeName(EventType type) {
+  switch (type) {
+    case EventType::kBatchStart: return "BatchStart";
+    case EventType::kBatchEnd: return "BatchEnd";
+    case EventType::kEpochInstall: return "EpochInstall";
+    case EventType::kWalCheckpoint: return "WalCheckpoint";
+    case EventType::kQueueSaturated: return "QueueSaturated";
+    case EventType::kSlowQuery: return "SlowQuery";
+    case EventType::kRecoveryReplay: return "RecoveryReplay";
+  }
+  return "Unknown";
+}
+
+bool EventTypeFromName(std::string_view name, EventType* out) {
+  for (EventType t : kAllTypes) {
+    if (name == EventTypeName(t)) {
+      *out = t;
+      return true;
+    }
+  }
+  return false;
+}
+
+void EventLog::SetBaseUnlocked() {
+  if (!base_set_) {
+    base_ns_ = SteadyNowNs();
+    base_set_ = true;
+  }
+}
+
+uint64_t EventLog::Record(EventType type, uint64_t batch_id,
+                          uint64_t request_id, uint64_t seq, double value,
+                          std::string detail) {
+  std::scoped_lock lock(mu_);
+  SetBaseUnlocked();
+  Event e;
+  e.id = ++total_;
+  e.type = type;
+  e.ts_ns = SteadyNowNs() - base_ns_;
+  e.batch_id = batch_id;
+  e.request_id = request_id;
+  e.seq = seq;
+  e.value = value;
+  e.detail = std::move(detail);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(e));
+  } else {
+    ring_[next_slot_] = std::move(e);
+  }
+  next_slot_ = (next_slot_ + 1) % capacity_;
+  return total_;
+}
+
+std::vector<Event> EventLog::RetainedUnlocked() const {
+  std::vector<Event> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    // next_slot_ is the oldest entry once the ring has wrapped.
+    out.insert(out.end(), ring_.begin() + static_cast<ptrdiff_t>(next_slot_),
+               ring_.end());
+    out.insert(out.end(), ring_.begin(),
+               ring_.begin() + static_cast<ptrdiff_t>(next_slot_));
+  }
+  return out;
+}
+
+std::vector<Event> EventLog::Snapshot() const {
+  std::scoped_lock lock(mu_);
+  return RetainedUnlocked();
+}
+
+uint64_t EventLog::total_recorded() const {
+  std::scoped_lock lock(mu_);
+  return total_;
+}
+
+uint64_t EventLog::dropped_count() const {
+  std::scoped_lock lock(mu_);
+  return total_ - ring_.size();
+}
+
+uint64_t EventLog::count(EventType type) const {
+  std::scoped_lock lock(mu_);
+  return static_cast<uint64_t>(
+      std::count_if(ring_.begin(), ring_.end(),
+                    [&](const Event& e) { return e.type == type; }));
+}
+
+void EventLog::Clear() {
+  std::scoped_lock lock(mu_);
+  ring_.clear();
+  next_slot_ = 0;
+  total_ = 0;
+  base_set_ = false;
+  base_ns_ = 0;
+}
+
+Json EventLog::ToJson() const {
+  // One lock for both the ring copy and the totals, so "dropped" is
+  // consistent with the events actually exported.
+  std::vector<Event> events;
+  uint64_t total = 0;
+  {
+    std::scoped_lock lock(mu_);
+    events = RetainedUnlocked();
+    total = total_;
+  }
+  Json doc = Json::Object();
+  doc.Set("schema", Json::Str("sdelta.events.v1"));
+  doc.Set("capacity", Json::Int(static_cast<int64_t>(capacity_)));
+  doc.Set("total_recorded", Json::Int(static_cast<int64_t>(total)));
+  doc.Set("dropped",
+          Json::Int(static_cast<int64_t>(total - events.size())));
+  Json counts = Json::Object();
+  for (EventType t : kAllTypes) {
+    const auto n = std::count_if(events.begin(), events.end(),
+                                 [&](const Event& e) { return e.type == t; });
+    counts.Set(EventTypeName(t), Json::Int(static_cast<int64_t>(n)));
+  }
+  doc.Set("counts", std::move(counts));
+  Json arr = Json::Array();
+  for (const Event& e : events) {
+    Json j = Json::Object();
+    j.Set("id", Json::Int(static_cast<int64_t>(e.id)));
+    j.Set("type", Json::Str(EventTypeName(e.type)));
+    j.Set("ts_us", Json::Int(static_cast<int64_t>(e.ts_ns / 1000)));
+    j.Set("batch_id", Json::Int(static_cast<int64_t>(e.batch_id)));
+    j.Set("request_id", Json::Int(static_cast<int64_t>(e.request_id)));
+    j.Set("seq", Json::Int(static_cast<int64_t>(e.seq)));
+    j.Set("value", Json::Double(e.value));
+    j.Set("detail", Json::Str(e.detail));
+    arr.Append(std::move(j));
+  }
+  doc.Set("events", std::move(arr));
+  return doc;
+}
+
+void NormalizeEventTimes(Json& doc) {
+  Json* events = doc.is_array() ? &doc : doc.FindMutable("events");
+  if (events == nullptr || !events->is_array()) return;
+  for (Json& e : events->items_mutable()) {
+    if (e.FindMutable("ts_us") != nullptr) e.Set("ts_us", Json::Int(0));
+    if (e.FindMutable("value") != nullptr) e.Set("value", Json::Double(0));
+  }
+}
+
+}  // namespace sdelta::obs

@@ -1,0 +1,112 @@
+#ifndef SDELTA_OBS_EVENT_LOG_H_
+#define SDELTA_OBS_EVENT_LOG_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace sdelta::obs {
+
+/// The service runtime's typed lifecycle events (DESIGN.md §11). One
+/// enum per operationally meaningful state change; free-form detail
+/// rides in Event::detail, never in the type.
+enum class EventType {
+  kBatchStart,     ///< maintenance drain began applying a batch
+  kBatchEnd,       ///< batch applied (value = maintenance seconds)
+  kEpochInstall,   ///< epoch swap installed (value = window seconds)
+  kWalCheckpoint,  ///< checkpoint committed, WAL truncated
+  kQueueSaturated, ///< a producer blocked on the queue's row bound
+  kSlowQuery,      ///< snapshot query exceeded the slow-query threshold
+  kRecoveryReplay, ///< Open replayed WAL records (value = record count)
+};
+
+/// Stable wire name of an event type (used by the JSON export and the
+/// shell); parseable back via EventTypeFromName.
+const char* EventTypeName(EventType type);
+/// Returns true and sets `out` when `name` is a known event type name.
+bool EventTypeFromName(std::string_view name, EventType* out);
+
+/// One structured event. Correlation fields (DESIGN.md §11.3): batch_id
+/// ties the event to one maintenance drain, request_id to one snapshot
+/// query, seq to a WAL sequence number; 0 means "not applicable". The
+/// timestamp is steady-clock nanoseconds since the log's construction,
+/// so a sorted dump is also causally ordered.
+struct Event {
+  uint64_t id = 0;  ///< 1-based record number (monotonic, never reused)
+  EventType type = EventType::kBatchStart;
+  uint64_t ts_ns = 0;
+  uint64_t batch_id = 0;
+  uint64_t request_id = 0;
+  uint64_t seq = 0;
+  double value = 0;     ///< type-specific magnitude (seconds, counts)
+  std::string detail;   ///< free-form context ("pos", "epoch 7", ...)
+};
+
+/// Fixed-capacity, mutex-protected ring buffer of typed events — the
+/// service's flight recorder. Overwrites the oldest event once full
+/// (dropped_count() says how many); recording never blocks maintenance
+/// for more than the buffer append.
+///
+/// Like MetricsRegistry and Tracer, an EventLog is passed around as a
+/// nullable pointer; every Record site guards with one null check.
+///
+/// Determinism contract: the *sequence of (type, batch_id, request_id,
+/// seq, detail)* recorded by a deterministic workload is itself
+/// deterministic — only ts_ns and value (timings) vary run to run. The
+/// JSON export (sdelta.events.v1) is byte-deterministic for identical
+/// event sequences once timestamps/values are normalized
+/// (NormalizeEventTimes), which the golden tests rely on.
+class EventLog {
+ public:
+  explicit EventLog(size_t capacity = 1024)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Records one event; assigns Event::id and ts_ns. Returns the id.
+  uint64_t Record(EventType type, uint64_t batch_id = 0,
+                  uint64_t request_id = 0, uint64_t seq = 0, double value = 0,
+                  std::string detail = {});
+
+  /// Oldest-to-newest copy of the retained events.
+  std::vector<Event> Snapshot() const;
+
+  /// Events recorded since construction (including overwritten ones).
+  uint64_t total_recorded() const;
+  /// Events overwritten by ring wrap-around.
+  uint64_t dropped_count() const;
+  /// Retained events recorded with the given type.
+  uint64_t count(EventType type) const;
+  size_t capacity() const { return capacity_; }
+
+  void Clear();
+
+  /// The sdelta.events.v1 document: schema, capacity, totals, per-type
+  /// counts over retained events, and the retained events oldest-first.
+  Json ToJson() const;
+
+ private:
+  void SetBaseUnlocked();
+  std::vector<Event> RetainedUnlocked() const;  // caller holds mu_
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<Event> ring_;   ///< ring storage, capacity_ max entries
+  size_t next_slot_ = 0;      ///< ring index the next event lands in
+  uint64_t total_ = 0;
+  bool base_set_ = false;
+  uint64_t base_ns_ = 0;      ///< steady-clock origin for ts_ns
+};
+
+/// Zeroes every ts_ns/value field of an events document (or bare events
+/// array) in place — the analogue of NormalizeSpanTimes for golden
+/// tests comparing event streams across thread counts.
+void NormalizeEventTimes(Json& doc);
+
+}  // namespace sdelta::obs
+
+#endif  // SDELTA_OBS_EVENT_LOG_H_

@@ -70,10 +70,34 @@ std::string ExportPrometheus(const MetricsSnapshot& snapshot) {
   }
   for (const auto& [name, h] : snapshot.histograms) {
     const std::string p = PrometheusName(name);
-    Header(out, p, "Observed value distribution.", "summary");
+    Header(out, p, "Observed value distribution.", "histogram");
+    // Legacy quantile samples (pre-bucket dashboards) ride along under
+    // the histogram family; Prometheus ingests them as plain series.
     Sample(out, p, h.P50(), "{quantile=\"0.5\"}");
     Sample(out, p, h.P95(), "{quantile=\"0.95\"}");
     Sample(out, p, h.P99(), "{quantile=\"0.99\"}");
+    // Cumulative buckets over the fixed log2 boundaries, trimmed to the
+    // populated range (plus the mandatory +Inf) so expositions stay
+    // compact. histogram_quantile() needs exactly this shape.
+    int first = -1;
+    int last = -1;
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      if (h.buckets[static_cast<size_t>(i)] != 0) {
+        if (first < 0) first = i;
+        last = i;
+      }
+    }
+    uint64_t cumulative = 0;
+    for (int i = first; first >= 0 && i <= last; ++i) {
+      cumulative += h.buckets[static_cast<size_t>(i)];
+      std::string labels = "{le=\"";
+      NumberTo(labels, Histogram::BucketUpperBound(i));
+      labels += "\"}";
+      Sample(out, p + "_bucket", static_cast<double>(cumulative),
+             labels.c_str());
+    }
+    Sample(out, p + "_bucket", static_cast<double>(h.count),
+           "{le=\"+Inf\"}");
     Sample(out, p + "_sum", h.sum);
     Sample(out, p + "_count", static_cast<double>(h.count));
     Header(out, p + "_min", "Minimum observed value.", "gauge");

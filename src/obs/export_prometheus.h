@@ -16,9 +16,14 @@ namespace sdelta::obs {
 ///     become `_`: `propagate.delta_rows` -> `sdelta_propagate_delta_rows`;
 ///   * counters get the conventional `_total` suffix and TYPE counter;
 ///   * gauges are emitted as-is with TYPE gauge;
-///   * histograms are emitted as TYPE summary with quantile="0.5"/
-///     "0.95"/"0.99" sample lines plus `_sum` and `_count`, and two
-///     companion gauges `<name>_min` / `<name>_max`.
+///   * histograms are emitted as TYPE histogram: cumulative
+///     `<name>_bucket{le="..."}` samples over the fixed log2 bucket
+///     boundaries (trimmed to the populated range, always ending in
+///     le="+Inf"), plus `_sum` and `_count` — the shape
+///     histogram_quantile() consumes. The pre-bucket quantile samples
+///     (`<name>{quantile="0.5"/"0.95"/"0.99"}`) are kept for dashboard
+///     compatibility, and the two companion gauges `<name>_min` /
+///     `<name>_max` remain.
 ///
 /// Output is deterministic: series are iterated in sorted (map) order
 /// and floating-point values use shortest-round-trip formatting, so two

@@ -1,0 +1,215 @@
+#include "obs/http_endpoint.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace sdelta::obs {
+
+namespace {
+
+constexpr size_t kMaxRequestBytes = 16 * 1024;  ///< scrape requests are tiny
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+    default: return "OK";
+  }
+}
+
+/// Blocking full write (the sockets are blocking; partial writes only
+/// happen on signals or huge bodies).
+void WriteAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // peer went away; nothing useful to do
+    }
+    off += static_cast<size_t>(n);
+  }
+}
+
+/// Reads until the end of the request head ("\r\n\r\n"), EOF, or the
+/// size cap. Returns false on a connection that never produced a
+/// complete head.
+bool ReadHead(int fd, std::string& head) {
+  char buf[2048];
+  while (head.size() < kMaxRequestBytes) {
+    if (head.find("\r\n\r\n") != std::string::npos ||
+        head.find("\n\n") != std::string::npos) {
+      return true;
+    }
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return !head.empty();
+    head.append(buf, static_cast<size_t>(n));
+  }
+  return true;
+}
+
+/// Parses "GET /path?query HTTP/1.x" out of the head's first line.
+bool ParseRequestLine(const std::string& head, HttpRequest& out) {
+  const size_t eol = head.find_first_of("\r\n");
+  const std::string line = head.substr(0, eol);
+  const size_t sp1 = line.find(' ');
+  if (sp1 == std::string::npos) return false;
+  const size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos) return false;
+  out.method = line.substr(0, sp1);
+  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (target.empty() || target[0] != '/') return false;
+  const size_t q = target.find('?');
+  out.path = target.substr(0, q);
+  out.query = q == std::string::npos ? std::string() : target.substr(q + 1);
+  return true;
+}
+
+}  // namespace
+
+HttpEndpoint::~HttpEndpoint() { Stop(); }
+
+void HttpEndpoint::Route(std::string path, Handler handler) {
+  if (running_) {
+    throw std::logic_error("http: Route after Start");
+  }
+  routes_[std::move(path)] = std::move(handler);
+}
+
+void HttpEndpoint::Start(uint16_t port) {
+  if (running_) throw std::logic_error("http: already started");
+
+  if (::pipe(wake_fds_) != 0) {
+    throw std::runtime_error(std::string("http: pipe: ") +
+                             std::strerror(errno));
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error(std::string("http: socket: ") +
+                             std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // observability is local
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::close(wake_fds_[0]);
+    ::close(wake_fds_[1]);
+    wake_fds_[0] = wake_fds_[1] = -1;
+    throw std::runtime_error("http: bind/listen 127.0.0.1:" +
+                             std::to_string(port) + ": " + err);
+  }
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+
+  running_ = true;
+  acceptor_ = std::thread(&HttpEndpoint::AcceptLoop, this);
+}
+
+void HttpEndpoint::Stop() {
+  if (!running_.exchange(false)) return;
+  // Wake the poll() even when no connection ever arrives.
+  const char byte = 'x';
+  (void)!::write(wake_fds_[1], &byte, 1);
+  if (acceptor_.joinable()) acceptor_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::close(wake_fds_[0]);
+  ::close(wake_fds_[1]);
+  wake_fds_[0] = wake_fds_[1] = -1;
+  port_ = 0;
+}
+
+uint64_t HttpEndpoint::requests_served() const {
+  std::scoped_lock lock(stats_mu_);
+  return requests_served_;
+}
+
+void HttpEndpoint::AcceptLoop() {
+  while (running_) {
+    pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {wake_fds_[0], POLLIN, 0};
+    const int rc = ::poll(fds, 2, /*timeout_ms=*/-1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents != 0) break;  // Stop() wrote the wake byte
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    HandleConnection(conn);
+    ::close(conn);
+  }
+}
+
+void HttpEndpoint::HandleConnection(int fd) {
+  std::string head;
+  if (!ReadHead(fd, head)) return;
+
+  HttpRequest req;
+  HttpResponse resp;
+  if (!ParseRequestLine(head, req)) {
+    resp.status = 400;
+    resp.content_type = "text/plain";
+    resp.body = "bad request\n";
+  } else if (req.method != "GET" && req.method != "HEAD") {
+    resp.status = 405;
+    resp.content_type = "text/plain";
+    resp.body = "only GET is served here\n";
+  } else {
+    auto it = routes_.find(req.path);
+    if (it == routes_.end()) {
+      resp.status = 404;
+      resp.content_type = "text/plain";
+      resp.body = "unknown route " + req.path + "\n";
+    } else {
+      try {
+        resp = it->second(req);
+      } catch (const std::exception& e) {
+        resp.status = 503;
+        resp.content_type = "text/plain";
+        resp.body = std::string("handler error: ") + e.what() + "\n";
+      }
+    }
+  }
+
+  std::string out = "HTTP/1.0 " + std::to_string(resp.status) + " " +
+                    StatusText(resp.status) + "\r\n";
+  out += "Content-Type: " + resp.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(resp.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  if (req.method != "HEAD") out += resp.body;
+  WriteAll(fd, out);
+
+  std::scoped_lock lock(stats_mu_);
+  ++requests_served_;
+}
+
+}  // namespace sdelta::obs

@@ -1,0 +1,89 @@
+#ifndef SDELTA_OBS_HTTP_ENDPOINT_H_
+#define SDELTA_OBS_HTTP_ENDPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace sdelta::obs {
+
+/// One parsed request. Only the pieces a scrape endpoint needs: method,
+/// path (query string split off), raw query string. Bodies are ignored
+/// (GET-only surface).
+struct HttpRequest {
+  std::string method;
+  std::string path;
+  std::string query;
+};
+
+/// Handler return value. `content_type` defaults to JSON because every
+/// route except /metrics serves a JSON document.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+/// A deliberately tiny embedded HTTP/1.0 scrape server (DESIGN.md
+/// §11.2): one POSIX listen socket on 127.0.0.1, one acceptor thread,
+/// requests handled sequentially on that thread, every response sent
+/// with Content-Length + Connection: close. No third-party
+/// dependencies, no TLS, no keep-alive — it exists so a running
+/// WarehouseService can be observed with curl/Prometheus, not to serve
+/// traffic.
+///
+/// Handlers run on the acceptor thread and must be thread-safe against
+/// the service's own threads (the service routes only call snapshot/
+/// export surfaces that already are). Registration is not synchronized
+/// with serving: add all routes before Start().
+class HttpEndpoint {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  HttpEndpoint() = default;
+  ~HttpEndpoint();
+  HttpEndpoint(const HttpEndpoint&) = delete;
+  HttpEndpoint& operator=(const HttpEndpoint&) = delete;
+
+  /// Registers a handler for an exact path ("/metrics"). Call before
+  /// Start().
+  void Route(std::string path, Handler handler);
+
+  /// Binds 127.0.0.1:`port` (0 = kernel-assigned ephemeral port), starts
+  /// the acceptor thread. Throws std::runtime_error when the bind/listen
+  /// fails (e.g. port in use). Idempotence: Start on a started endpoint
+  /// throws std::logic_error.
+  void Start(uint16_t port);
+
+  /// Stops accepting, closes the socket, joins the acceptor thread.
+  /// Idempotent; the destructor calls it.
+  void Stop();
+
+  bool running() const { return running_; }
+  /// The actually bound port (resolves port 0); 0 before Start.
+  uint16_t port() const { return port_; }
+
+  /// Requests served since Start (404s included).
+  uint64_t requests_served() const;
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+
+  std::map<std::string, Handler> routes_;
+  std::thread acceptor_;
+  std::atomic<bool> running_{false};
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  ///< self-pipe: Stop() wakes poll()
+  mutable std::mutex stats_mu_;
+  uint64_t requests_served_ = 0;
+};
+
+}  // namespace sdelta::obs
+
+#endif  // SDELTA_OBS_HTTP_ENDPOINT_H_

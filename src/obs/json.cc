@@ -262,6 +262,10 @@ class Parser {
   }
 
   Json ParseValue() {
+    // The parser recurses per nesting level; adversarial input (the
+    // /varz and /events payloads make this an external surface) must
+    // not be able to overflow the stack.
+    if (depth_ >= kMaxDepth) Fail("nesting too deep");
     switch (Peek()) {
       case '{': return ParseObject();
       case '[': return ParseArray();
@@ -281,9 +285,11 @@ class Parser {
 
   Json ParseObject() {
     Expect('{');
+    ++depth_;
     Json obj = Json::Object();
     if (Peek() == '}') {
       ++pos_;
+      --depth_;
       return obj;
     }
     while (true) {
@@ -293,23 +299,31 @@ class Parser {
       obj.Set(key, ParseValue());
       const char c = Peek();
       ++pos_;
-      if (c == '}') return obj;
+      if (c == '}') {
+        --depth_;
+        return obj;
+      }
       if (c != ',') Fail("expected ',' or '}'");
     }
   }
 
   Json ParseArray() {
     Expect('[');
+    ++depth_;
     Json arr = Json::Array();
     if (Peek() == ']') {
       ++pos_;
+      --depth_;
       return arr;
     }
     while (true) {
       arr.Append(ParseValue());
       const char c = Peek();
       ++pos_;
-      if (c == ']') return arr;
+      if (c == ']') {
+        --depth_;
+        return arr;
+      }
       if (c != ',') Fail("expected ',' or ']'");
     }
   }
@@ -347,8 +361,14 @@ class Parser {
             else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
             else Fail("bad \\u escape");
           }
-          // UTF-8 encode the BMP code point (surrogate pairs unsupported
-          // — our exporters never emit them).
+          // UTF-8 encode the BMP code point. Surrogates are rejected
+          // rather than CESU-8-encoded: our exporters never emit them,
+          // and passing one through would hand invalid UTF-8 to
+          // downstream consumers of the external /varz//events surface.
+          if (code >= 0xD800 && code <= 0xDFFF) {
+            pos_ -= 4;
+            Fail("surrogate \\u escape");
+          }
           if (code < 0x80) {
             out.push_back(static_cast<char>(code));
           } else if (code < 0x800) {
@@ -382,7 +402,7 @@ class Parser {
       }
     }
     const std::string_view tok = text_.substr(start, pos_ - start);
-    if (tok.empty() || tok == "-") Fail("bad number");
+    if (!ValidNumberToken(tok)) Fail("bad number");
     if (!is_double) {
       int64_t v = 0;
       auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v);
@@ -396,8 +416,39 @@ class Parser {
     return Json::Double(d);
   }
 
+  /// The JSON number grammar, enforced before handing the token to
+  /// from_chars — which is laxer (it accepts ".5", "01", "1.") and
+  /// would silently admit near-JSON from other producers.
+  static bool ValidNumberToken(std::string_view tok) {
+    size_t i = 0;
+    if (i < tok.size() && tok[i] == '-') ++i;
+    if (i >= tok.size() || tok[i] < '0' || tok[i] > '9') return false;
+    if (tok[i] == '0') {
+      ++i;  // a leading zero must stand alone
+    } else {
+      while (i < tok.size() && tok[i] >= '0' && tok[i] <= '9') ++i;
+    }
+    if (i < tok.size() && tok[i] == '.') {
+      ++i;
+      if (i >= tok.size() || tok[i] < '0' || tok[i] > '9') return false;
+      while (i < tok.size() && tok[i] >= '0' && tok[i] <= '9') ++i;
+    }
+    if (i < tok.size() && (tok[i] == 'e' || tok[i] == 'E')) {
+      ++i;
+      if (i < tok.size() && (tok[i] == '+' || tok[i] == '-')) ++i;
+      if (i >= tok.size() || tok[i] < '0' || tok[i] > '9') return false;
+      while (i < tok.size() && tok[i] >= '0' && tok[i] <= '9') ++i;
+    }
+    return i == tok.size();
+  }
+
+  /// Nesting cap: far above any document we produce, far below the
+  /// ~tens-of-thousands of frames that would actually smash the stack.
+  static constexpr int kMaxDepth = 256;
+
   std::string_view text_;
   size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -1,0 +1,107 @@
+#include "obs/slo.h"
+
+#include <cmath>
+
+namespace sdelta::obs {
+
+namespace {
+constexpr const char* kStalenessViolations = "service.slo.staleness_violations";
+constexpr const char* kWindowViolations = "service.slo.window_violations";
+constexpr const char* kBurnRate = "service.slo.burn_rate";
+}  // namespace
+
+SloTracker::SloTracker(Targets targets, MetricsRegistry* metrics)
+    : targets_(targets), metrics_(metrics) {
+  if (metrics_ != nullptr) {
+    // Pre-register so the exposition carries the series from the first
+    // scrape, violations or not (and so the determinism suite always
+    // sees them in the counter map).
+    metrics_->Add(kStalenessViolations, 0);
+    metrics_->Add(kWindowViolations, 0);
+    metrics_->Set(kBurnRate, 0);
+  }
+}
+
+void SloTracker::ObserveStaleness(double seconds) {
+  std::scoped_lock lock(mu_);
+  ++observations_;
+  if (seconds > targets_.staleness_seconds) {
+    ++staleness_violations_;
+    if (metrics_ != nullptr) metrics_->Add(kStalenessViolations);
+  }
+  PublishUnlocked();
+}
+
+void SloTracker::ObserveWindow(double seconds) {
+  std::scoped_lock lock(mu_);
+  ++observations_;
+  if (seconds > targets_.refresh_window_seconds) {
+    ++window_violations_;
+    if (metrics_ != nullptr) metrics_->Add(kWindowViolations);
+  }
+  PublishUnlocked();
+}
+
+double SloTracker::BurnRateUnlocked() const {
+  if (observations_ == 0 || targets_.error_budget <= 0) return 0;
+  const double violating =
+      static_cast<double>(staleness_violations_ + window_violations_);
+  return violating / static_cast<double>(observations_) /
+         targets_.error_budget;
+}
+
+void SloTracker::PublishUnlocked() {
+  if (metrics_ != nullptr) metrics_->Set(kBurnRate, BurnRateUnlocked());
+}
+
+bool SloTracker::Healthy() const {
+  std::scoped_lock lock(mu_);
+  return BurnRateUnlocked() <= 1.0;
+}
+
+uint64_t SloTracker::staleness_violations() const {
+  std::scoped_lock lock(mu_);
+  return staleness_violations_;
+}
+
+uint64_t SloTracker::window_violations() const {
+  std::scoped_lock lock(mu_);
+  return window_violations_;
+}
+
+uint64_t SloTracker::observations() const {
+  std::scoped_lock lock(mu_);
+  return observations_;
+}
+
+double SloTracker::BurnRate() const {
+  std::scoped_lock lock(mu_);
+  return BurnRateUnlocked();
+}
+
+namespace {
+Json FiniteOrNull(double v) {
+  return std::isfinite(v) ? Json::Double(v) : Json();
+}
+}  // namespace
+
+Json SloTracker::ToJson() const {
+  std::scoped_lock lock(mu_);
+  Json doc = Json::Object();
+  Json targets = Json::Object();
+  targets.Set("staleness_seconds", FiniteOrNull(targets_.staleness_seconds));
+  targets.Set("refresh_window_seconds",
+              FiniteOrNull(targets_.refresh_window_seconds));
+  targets.Set("error_budget", Json::Double(targets_.error_budget));
+  doc.Set("targets", std::move(targets));
+  doc.Set("observations", Json::Int(static_cast<int64_t>(observations_)));
+  doc.Set("staleness_violations",
+          Json::Int(static_cast<int64_t>(staleness_violations_)));
+  doc.Set("window_violations",
+          Json::Int(static_cast<int64_t>(window_violations_)));
+  doc.Set("burn_rate", Json::Double(BurnRateUnlocked()));
+  doc.Set("healthy", Json::Bool(BurnRateUnlocked() <= 1.0));
+  return doc;
+}
+
+}  // namespace sdelta::obs

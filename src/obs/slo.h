@@ -1,0 +1,80 @@
+#ifndef SDELTA_OBS_SLO_H_
+#define SDELTA_OBS_SLO_H_
+
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <string>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace sdelta::obs {
+
+/// Tracks the service's two paper-derived service-level objectives
+/// (DESIGN.md §11.4): *staleness* (how old may the oldest unapplied
+/// change get — the batch-window tension of §6) and *refresh window*
+/// (how long may one epoch install keep readers on stale state).
+///
+/// Violation counters are driven only at deterministic workload points
+/// (a maintenance drain, an epoch install), never by scrapes, so under
+/// the determinism contract their values are thread-count invariant
+/// whenever the evaluated quantities are (e.g. a disabled target, or a
+/// zero target that every observation violates). The burn-rate gauge is
+/// the violated fraction of the error budget: burn 1.0 = violations are
+/// arriving exactly at the budgeted rate, > 1.0 = burning faster.
+class SloTracker {
+ public:
+  struct Targets {
+    /// Max tolerated staleness; infinity disables the objective.
+    double staleness_seconds = std::numeric_limits<double>::infinity();
+    /// Max tolerated epoch-install window; infinity disables.
+    double refresh_window_seconds = std::numeric_limits<double>::infinity();
+    /// Error budget: tolerated violating fraction of observations.
+    double error_budget = 0.01;
+  };
+
+  /// `metrics` (nullable) receives service.slo.* series; the counters
+  /// are pre-registered at 0 so the exposition always carries them.
+  SloTracker(Targets targets, MetricsRegistry* metrics);
+
+  /// One staleness observation (a maintenance drain's oldest-age).
+  void ObserveStaleness(double seconds);
+  /// One refresh-window observation (an epoch install's duration).
+  void ObserveWindow(double seconds);
+
+  /// True while the cumulative burn rate is within budget (<= 1.0).
+  bool Healthy() const;
+
+  /// Evaluates a live staleness reading against the target WITHOUT
+  /// recording it (the /healthz path: scrapes must not move counters).
+  bool StalenessWithinTarget(double seconds) const {
+    return seconds <= targets_.staleness_seconds;
+  }
+
+  const Targets& targets() const { return targets_; }
+  uint64_t staleness_violations() const;
+  uint64_t window_violations() const;
+  uint64_t observations() const;
+  /// (staleness + window violations) / observations / error_budget;
+  /// 0 before any observation.
+  double BurnRate() const;
+
+  /// Status document embedded in /healthz and the shell's `service slo`.
+  Json ToJson() const;
+
+ private:
+  double BurnRateUnlocked() const;  // caller holds mu_
+  void PublishUnlocked();           // caller holds mu_
+
+  const Targets targets_;
+  MetricsRegistry* metrics_;
+  mutable std::mutex mu_;
+  uint64_t staleness_violations_ = 0;
+  uint64_t window_violations_ = 0;
+  uint64_t observations_ = 0;
+};
+
+}  // namespace sdelta::obs
+
+#endif  // SDELTA_OBS_SLO_H_

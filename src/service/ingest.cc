@@ -5,8 +5,11 @@
 
 namespace sdelta::service {
 
-bool IngestQueue::Push(IngestItem item) {
+bool IngestQueue::Push(IngestItem item, bool* saturated) {
   std::unique_lock lock(mu_);
+  if (saturated != nullptr) {
+    *saturated = !closed_ && rows_ >= policy_.max_queue_rows;
+  }
   producer_cv_.wait(lock,
                     [this] { return closed_ || rows_ < policy_.max_queue_rows; });
   if (closed_) return false;

@@ -51,7 +51,10 @@ class IngestQueue {
   /// Enqueues one item; blocks while the queue is at its row bound.
   /// Returns false when the queue was closed (the item is dropped here —
   /// with durability on it is already in the WAL and will be recovered).
-  bool Push(IngestItem item);
+  /// `saturated` (nullable) is set to true when the producer actually
+  /// had to wait on the row bound — the backpressure signal the service
+  /// turns into a QueueSaturated event.
+  bool Push(IngestItem item, bool* saturated = nullptr);
 
   /// Consumer side. With `auto_batching` the wait honours the batching
   /// policy triggers; without it only flush/close wake the consumer

@@ -7,6 +7,9 @@
 #include <set>
 #include <stdexcept>
 
+#include "core/maintenance.h"
+#include "obs/export_json.h"
+#include "obs/export_prometheus.h"
 #include "warehouse/persistence.h"
 
 namespace sdelta::service {
@@ -75,6 +78,11 @@ std::unique_ptr<WarehouseService> WarehouseService::Open(
       options.metrics ? options.metrics : owned.get();
   options.metrics = metrics;
   options.warehouse.metrics = metrics;
+  // Default the warehouse's tracer from the service's so RunBatch's span
+  // tree nests under the maintenance thread's service.batch span.
+  if (options.warehouse.tracer == nullptr) {
+    options.warehouse.tracer = options.tracer;
+  }
 
   uint64_t checkpoint_seq = 0;
   const bool have_checkpoint = fs::exists(ckpt / "manifest.txt");
@@ -117,19 +125,38 @@ WarehouseService::WarehouseService(
       options_(std::move(options)),
       owned_metrics_(std::move(owned_metrics)),
       metrics_(options_.metrics),
+      events_(options_.event_log_capacity),
+      slo_(options_.slo, metrics_),
       wal_(std::make_unique<WalWriter>((fs::path(data_dir_) / kWalFile).string(),
                                        start_seq + 1, options_.wal_sync)),
       queue_(options_.queue),
       warehouse_(std::move(wh)) {
+  obs_.metrics = metrics_;
+  obs_.tracer = options_.tracer;
+  obs_.events = &events_;
+  obs_.slo = &slo_;
+  obs_.slow_query_threshold_seconds = options_.slow_query_threshold_seconds;
+  // Pre-register the event-driven counters at 0 so the exposition (and
+  // the determinism test's counter map) always carries them, whether or
+  // not the triggering condition ever fires.
+  metrics_->Add("service.queue_saturated", 0);
+  metrics_->Add("service.slow_queries", 0);
   last_seq_.store(start_seq);
   applied_seq_ = start_seq;
   checkpoint_seq_ = checkpoint_seq;
   recovered_records_ = recovered_records;
   if (recovered_records > 0) {
     metrics_->Add("service.recovered_records", recovered_records);
+    events_.Record(obs::EventType::kRecoveryReplay, /*batch_id=*/0,
+                   /*request_id=*/0, /*seq=*/start_seq,
+                   static_cast<double>(recovered_records),
+                   "WAL tail replayed by Open");
   }
   versioned_.Install(BuildEpoch(nullptr, true, true));
   maintenance_ = std::thread(&WarehouseService::MaintenanceLoop, this);
+  if (options_.http_port >= 0) {
+    StartHttp(static_cast<uint16_t>(options_.http_port));
+  }
 }
 
 WarehouseService::~WarehouseService() { Stop(); }
@@ -153,6 +180,7 @@ std::shared_ptr<const Epoch> WarehouseService::BuildEpoch(
   auto next = std::make_shared<Epoch>();
   next->number = prev ? prev->number + 1 : 1;
   next->metrics = metrics_;
+  next->obs = &obs_;
   if (!full_rebuild && prev) {
     next->lattice = prev->lattice;
   } else {
@@ -185,12 +213,16 @@ std::shared_ptr<const Epoch> WarehouseService::BuildEpoch(
 
 uint64_t WarehouseService::Append(core::ChangeSet changes) {
   const size_t rows = ChangeSetRows(changes);
+  const std::string fact = changes.fact_table;
   std::scoped_lock append_lock(wal_mu_);
   {
     std::scoped_lock lk(state_mu_);
     if (stopped_) throw std::runtime_error("service: Append after Stop");
   }
   const uint64_t seq = last_seq_.load(std::memory_order_relaxed) + 1;
+  obs::TraceSpan span(options_.tracer, "service.append");
+  span.Attr("seq", seq);
+  span.Attr("rows", static_cast<uint64_t>(rows));
   const size_t wal_bytes = wal_->Append(seq, changes);
 
   IngestItem item;
@@ -198,12 +230,20 @@ uint64_t WarehouseService::Append(core::ChangeSet changes) {
   item.changes = std::move(changes);
   item.rows = rows;
   item.enqueued_at = std::chrono::steady_clock::now();
-  if (!queue_.Push(std::move(item))) {
+  bool saturated = false;
+  if (!queue_.Push(std::move(item), &saturated)) {
     // The record is durable (it reached the WAL) but the service shut
     // down before accepting it; the next Open will replay it.
     throw std::runtime_error(
         "service: stopped while appending (change is in the WAL and will be "
         "recovered on the next Open)");
+  }
+  if (saturated) {
+    // This producer blocked against the queue's row bound — the
+    // backpressure signal the batching policy is supposed to avoid.
+    metrics_->Add("service.queue_saturated");
+    events_.Record(obs::EventType::kQueueSaturated, /*batch_id=*/0,
+                   /*request_id=*/0, seq, static_cast<double>(rows), fact);
   }
   last_seq_.store(seq, std::memory_order_relaxed);
 
@@ -231,12 +271,30 @@ void WarehouseService::Flush() {
 }
 
 void WarehouseService::ApplyItems(std::vector<IngestItem> items) {
+  const uint64_t first_seq = items.front().seq;
   const uint64_t max_seq = items.back().seq;
   const size_t n_views = warehouse_.vlattice().views.size();
   std::vector<size_t> delta_rows(n_views, 0);
   bool dims_changed = false;
   size_t runs = 0;
   warehouse::BatchReport report;
+
+  // Correlation root for this drain: every event and span below (and,
+  // via the tracer's per-thread stack, RunBatch's whole subtree) hangs
+  // off this batch id / span.
+  const uint64_t batch_id = ++next_batch_id_;
+  const double staleness = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() -
+                               items.front().enqueued_at)
+                               .count();
+  events_.Record(obs::EventType::kBatchStart, batch_id, /*request_id=*/0,
+                 max_seq, static_cast<double>(items.size()),
+                 std::to_string(items.size()) + " changesets");
+  obs::TraceSpan batch_span(options_.tracer, "service.batch");
+  batch_span.Attr("batch_id", batch_id);
+  batch_span.Attr("first_seq", first_seq);
+  batch_span.Attr("last_seq", max_seq);
+  core::Stopwatch batch_sw;
 
   // Items must apply in sequence order; a change of fact table ends the
   // coalescing run (ChangeSet carries exactly one fact table's delta).
@@ -261,9 +319,23 @@ void WarehouseService::ApplyItems(std::vector<IngestItem> items) {
     i = j;
   }
 
+  // The drain's staleness observation: how old the oldest change got
+  // before this batch picked it up (the paper's batch-window tension).
+  slo_.ObserveStaleness(staleness);
+
   std::shared_ptr<const Epoch> next =
       BuildEpoch(&delta_rows, dims_changed, /*full_rebuild=*/false);
-  const double window = versioned_.Install(std::move(next));
+  const uint64_t epoch_number = next->number;
+  double window = 0;
+  {
+    obs::TraceSpan install_span(options_.tracer, "service.epoch_install");
+    install_span.Attr("batch_id", batch_id);
+    install_span.Attr("epoch", epoch_number);
+    window = versioned_.Install(std::move(next));
+  }
+  events_.Record(obs::EventType::kEpochInstall, batch_id, /*request_id=*/0,
+                 max_seq, window, "epoch " + std::to_string(epoch_number));
+  slo_.ObserveWindow(window);
   metrics_->Observe("service.refresh_window", window);
   metrics_->Set("service.refresh_window_seconds", window);
   metrics_->Set("service.queue_depth",
@@ -271,16 +343,21 @@ void WarehouseService::ApplyItems(std::vector<IngestItem> items) {
   metrics_->Set("service.queue_changesets",
                 static_cast<double>(queue_.changesets_queued()));
   metrics_->Set("service.staleness_seconds", queue_.oldest_age_seconds());
+  events_.Record(obs::EventType::kBatchEnd, batch_id, /*request_id=*/0,
+                 max_seq, batch_sw.ElapsedSeconds(),
+                 std::to_string(runs) + " runs");
 
   std::scoped_lock lk(state_mu_);
   applied_seq_ = max_seq;
   batches_ += runs;
+  last_batch_id_ = batch_id;
   last_refresh_window_ = window;
   last_report_ = std::move(report);
   state_cv_.notify_all();
 }
 
 void WarehouseService::MaintenanceLoop() {
+  maintenance_alive_.store(true);
   while (true) {
     IngestBatch batch = queue_.WaitAndTake(options_.auto_batching);
     if (!batch.items.empty()) ApplyItems(std::move(batch.items));
@@ -290,6 +367,7 @@ void WarehouseService::MaintenanceLoop() {
     }
     if (batch.closed) break;
   }
+  maintenance_alive_.store(false);
 }
 
 void WarehouseService::Stop() {
@@ -298,6 +376,9 @@ void WarehouseService::Stop() {
     std::scoped_lock lk(state_mu_);
     if (stopped_) return;
   }
+  // Scrapes go first: a request racing shutdown must not observe the
+  // service mid-teardown.
+  if (http_) http_->Stop();
   queue_.Close();
   if (maintenance_.joinable()) maintenance_.join();
   std::scoped_lock lk(state_mu_);
@@ -332,6 +413,9 @@ void WarehouseService::Checkpoint() {
   // Log truncation commits the checkpoint: replay now starts at
   // target + 1, which is exactly what the snapshot already contains.
   wal_->Reset(target + 1);
+  events_.Record(obs::EventType::kWalCheckpoint, /*batch_id=*/0,
+                 /*request_id=*/0, target, /*value=*/0,
+                 "seq " + std::to_string(target));
 
   metrics_->Add("service.checkpoints");
   std::scoped_lock lk(state_mu_);
@@ -352,6 +436,7 @@ void WarehouseService::WithWriter(
 }
 
 WarehouseService::Stats WarehouseService::GetStats() const {
+  RefreshLiveGauges();
   Stats stats;
   stats.last_seq = last_seq_.load();
   stats.queue_changesets = queue_.changesets_queued();
@@ -364,6 +449,7 @@ WarehouseService::Stats WarehouseService::GetStats() const {
   stats.checkpoints = checkpoints_;
   stats.recovered_records = recovered_records_;
   stats.last_refresh_window_seconds = last_refresh_window_;
+  stats.last_batch_id = last_batch_id_;
   stats.epoch = versioned_.Current()->number;
   return stats;
 }
@@ -371,6 +457,104 @@ WarehouseService::Stats WarehouseService::GetStats() const {
 warehouse::BatchReport WarehouseService::LastReport() const {
   std::scoped_lock lk(state_mu_);
   return last_report_;
+}
+
+void WarehouseService::RefreshLiveGauges() const {
+  // The drain path last set these at the end of a batch; recompute from
+  // the live queue so an export between batches reads *now*. Staleness
+  // in particular would otherwise stay frozen at the last drain's value
+  // while changes silently age in the queue.
+  metrics_->Set("service.staleness_seconds", queue_.oldest_age_seconds());
+  metrics_->Set("service.queue_depth",
+                static_cast<double>(queue_.rows_queued()));
+  metrics_->Set("service.queue_changesets",
+                static_cast<double>(queue_.changesets_queued()));
+}
+
+WarehouseService::Health WarehouseService::CheckHealth() const {
+  Health h;
+  h.wal_writable = wal_->healthy();
+  h.maintenance_alive = maintenance_alive_.load();
+  h.staleness_seconds = queue_.oldest_age_seconds();
+  h.queue_below_high_water =
+      queue_.rows_queued() < options_.queue.max_queue_rows;
+  // SLO gate: cumulative burn within budget AND the live staleness is
+  // within target right now (evaluated without recording — scrapes must
+  // not move the violation counters).
+  h.slo_ok = slo_.Healthy() && slo_.StalenessWithinTarget(h.staleness_seconds);
+  return h;
+}
+
+int WarehouseService::http_port() const {
+  return http_ != nullptr && http_->running() ? static_cast<int>(http_->port())
+                                              : -1;
+}
+
+void WarehouseService::StartHttp(uint16_t port) {
+  http_ = std::make_unique<obs::HttpEndpoint>();
+  http_->Route("/metrics", [this](const obs::HttpRequest&) {
+    RefreshLiveGauges();
+    obs::HttpResponse r;
+    r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    r.body = obs::ExportPrometheus(*metrics_);
+    return r;
+  });
+  http_->Route("/healthz", [this](const obs::HttpRequest&) {
+    const Health h = CheckHealth();
+    obs::Json doc = obs::Json::Object();
+    doc.Set("healthy", obs::Json::Bool(h.healthy()));
+    doc.Set("wal_writable", obs::Json::Bool(h.wal_writable));
+    doc.Set("maintenance_alive", obs::Json::Bool(h.maintenance_alive));
+    doc.Set("queue_below_high_water",
+            obs::Json::Bool(h.queue_below_high_water));
+    doc.Set("slo_ok", obs::Json::Bool(h.slo_ok));
+    doc.Set("staleness_seconds", obs::Json::Double(h.staleness_seconds));
+    doc.Set("slo", slo_.ToJson());
+    obs::HttpResponse r;
+    r.status = h.healthy() ? 200 : 503;
+    r.body = doc.Dump(2) + "\n";
+    return r;
+  });
+  http_->Route("/varz", [this](const obs::HttpRequest&) {
+    RefreshLiveGauges();
+    obs::HttpResponse r;
+    // Metrics only: span export requires a quiesced tracer, which a
+    // scrape racing the maintenance thread cannot guarantee.
+    r.body = obs::ExportJson(metrics_, /*tracer=*/nullptr);
+    return r;
+  });
+  http_->Route("/epochs", [this](const obs::HttpRequest&) {
+    const std::shared_ptr<const Epoch> cur = versioned_.Current();
+    obs::Json doc = obs::Json::Object();
+    doc.Set("epoch", obs::Json::Int(static_cast<int64_t>(cur->number)));
+    doc.Set("last_seq",
+            obs::Json::Int(static_cast<int64_t>(last_seq_.load())));
+    {
+      std::scoped_lock lk(state_mu_);
+      doc.Set("applied_seq",
+              obs::Json::Int(static_cast<int64_t>(applied_seq_)));
+      doc.Set("last_batch_id",
+              obs::Json::Int(static_cast<int64_t>(last_batch_id_)));
+    }
+    obs::Json views = obs::Json::Array();
+    for (size_t i = 0; i < cur->views.size(); ++i) {
+      obs::Json v = obs::Json::Object();
+      v.Set("name", obs::Json::Str(cur->lattice->views[i].physical.name));
+      v.Set("rows",
+            obs::Json::Int(static_cast<int64_t>(cur->views[i]->NumRows())));
+      views.Append(std::move(v));
+    }
+    doc.Set("views", std::move(views));
+    obs::HttpResponse r;
+    r.body = doc.Dump(2) + "\n";
+    return r;
+  });
+  http_->Route("/events", [this](const obs::HttpRequest&) {
+    obs::HttpResponse r;
+    r.body = events_.ToJson().Dump(2) + "\n";
+    return r;
+  });
+  http_->Start(port);
 }
 
 }  // namespace sdelta::service

@@ -11,7 +11,11 @@
 #include <thread>
 #include <vector>
 
+#include "obs/event_log.h"
+#include "obs/http_endpoint.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
+#include "obs/trace.h"
 #include "service/ingest.h"
 #include "service/versioned.h"
 #include "service/wal.h"
@@ -54,6 +58,24 @@ class WarehouseService {
     /// External registry for all service.*, pipeline, and answer.*
     /// series; null = the service owns a private registry (metrics()).
     obs::MetricsRegistry* metrics = nullptr;
+    /// Span sink for the correlated service trace (DESIGN.md §11.3):
+    /// one service.batch tree per maintenance drain (append/WAL/
+    /// RunBatch/epoch-install children), one service.query span per
+    /// snapshot query. Null = tracing off. Note a Tracer accumulates
+    /// spans until cleared, so attach one for bounded diagnosis
+    /// sessions, not unbounded production serving.
+    obs::Tracer* tracer = nullptr;
+    /// Capacity of the structured event ring buffer (events()).
+    size_t event_log_capacity = 1024;
+    /// Snapshot queries slower than this record a SlowQuery event.
+    double slow_query_threshold_seconds = 0.1;
+    /// Staleness / refresh-window SLO targets (default: disabled).
+    obs::SloTracker::Targets slo;
+    /// Embedded HTTP scrape endpoint (DESIGN.md §11.2): < 0 = disabled
+    /// (default); 0 = bind an ephemeral 127.0.0.1 port (read it back
+    /// via http_port()); > 0 = bind that port. Routes: /metrics,
+    /// /healthz, /varz, /epochs, /events.
+    int http_port = -1;
   };
 
   /// Point-in-time service numbers (the shell's `service stats`).
@@ -69,6 +91,21 @@ class WarehouseService {
     uint64_t batches = 0;
     uint64_t checkpoints = 0;
     uint64_t recovered_records = 0;  ///< WAL records replayed by Open
+    uint64_t last_batch_id = 0;      ///< correlation id of the last drain
+  };
+
+  /// One /healthz evaluation: overall status plus the individual checks
+  /// (each must hold for healthy() to be true).
+  struct Health {
+    bool wal_writable = false;
+    bool maintenance_alive = false;
+    bool queue_below_high_water = false;
+    bool slo_ok = false;
+    double staleness_seconds = 0;  ///< the live value the check used
+    bool healthy() const {
+      return wal_writable && maintenance_alive && queue_below_high_water &&
+             slo_ok;
+    }
   };
 
   /// Opens the service on `data_dir` (created if needed; holds the WAL
@@ -131,6 +168,21 @@ class WarehouseService {
   obs::MetricsRegistry& metrics() { return *metrics_; }
   const std::string& data_dir() const { return data_dir_; }
 
+  /// The structured event log (BatchStart/End, EpochInstall, ...).
+  const obs::EventLog& events() const { return events_; }
+  /// The staleness / refresh-window SLO tracker.
+  const obs::SloTracker& slo() const { return slo_; }
+  /// Evaluates the /healthz checks right now (live staleness, WAL fd,
+  /// maintenance-thread liveness, queue headroom, SLO burn rate).
+  Health CheckHealth() const;
+  /// The bound HTTP scrape port; -1 when the endpoint is disabled.
+  int http_port() const;
+  /// Re-derives the live gauges (service.staleness_seconds, queue
+  /// depths) from current queue state so an export between batches
+  /// reflects *now*, not the last drain. Called by GetStats and every
+  /// HTTP scrape; cheap enough to call before any manual export.
+  void RefreshLiveGauges() const;
+
  private:
   WarehouseService(std::string data_dir, warehouse::Warehouse wh,
                    Options options,
@@ -154,6 +206,8 @@ class WarehouseService {
   void ApplyItems(std::vector<IngestItem> items);
   /// Waits (under state_mu_) until applied_seq_ >= target.
   void AwaitApplied(uint64_t target);
+  /// Registers the five scrape routes and starts the HTTP endpoint.
+  void StartHttp(uint16_t port);
 
   std::vector<std::string> FactTableNames() const;
 
@@ -161,6 +215,10 @@ class WarehouseService {
   const Options options_;
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
   obs::MetricsRegistry* metrics_ = nullptr;
+  obs::EventLog events_;
+  obs::SloTracker slo_;
+  /// Shared with every epoch (ReadSnapshot::Query reports through it).
+  ServiceObs obs_;
 
   /// Serializes Append (sequence assignment + WAL append + enqueue) and
   /// is held across Checkpoint/WithWriter to fence out producers.
@@ -188,6 +246,16 @@ class WarehouseService {
   double last_refresh_window_ = 0;
   warehouse::BatchReport last_report_;
   bool stopped_ = false;
+
+  /// Batch correlation id; owned by the maintenance thread (one drain
+  /// at a time), read via Stats under state_mu_ (last_batch_id_).
+  uint64_t next_batch_id_ = 0;
+  uint64_t last_batch_id_ = 0;  ///< guarded by state_mu_
+
+  /// True between MaintenanceLoop entry and exit (the /healthz check).
+  std::atomic<bool> maintenance_alive_{false};
+
+  std::unique_ptr<obs::HttpEndpoint> http_;
 
   /// Serializes Stop against concurrent Stop/destructor.
   std::mutex stop_mu_;

@@ -26,6 +26,19 @@ const core::SummaryTable& ReadSnapshot::view(const std::string& name) const {
 
 lattice::AnswerResult ReadSnapshot::Query(const core::ViewDef& query) const {
   const Epoch& epoch = *epoch_;
+  // Request correlation: every snapshot query takes the next request id
+  // so its span, metrics, and any SlowQuery event share one handle.
+  ServiceObs* obs = epoch.obs;
+  const uint64_t request_id =
+      obs != nullptr
+          ? obs->next_request_id.fetch_add(1, std::memory_order_relaxed) + 1
+          : 0;
+  obs::TraceSpan span(obs != nullptr ? obs->tracer : nullptr,
+                      "service.query");
+  span.Attr("request_id", request_id);
+  span.Attr("epoch", epoch.number);
+  span.Attr("query", query.name);
+  core::Stopwatch sw;
   const core::AugmentedView augmented =
       core::AugmentForSelfMaintenance(*epoch.catalog, query);
   // Reject base fallback up front: the epoch's fact tables are
@@ -46,8 +59,21 @@ lattice::AnswerResult ReadSnapshot::Query(const core::ViewDef& query) const {
   std::vector<const core::SummaryTable*> summaries;
   summaries.reserve(epoch.views.size());
   for (const auto& v : epoch.views) summaries.push_back(v.get());
-  return lattice::AnswerQuery(*epoch.catalog, *epoch.lattice, summaries, query,
-                              /*tracer=*/nullptr, epoch.metrics);
+  lattice::AnswerResult result =
+      lattice::AnswerQuery(*epoch.catalog, *epoch.lattice, summaries, query,
+                           /*tracer=*/nullptr, epoch.metrics);
+  const double elapsed = sw.ElapsedSeconds();
+  if (obs != nullptr) {
+    if (obs->metrics != nullptr) obs->metrics->Add("service.snapshot_queries");
+    span.Attr("source_view", result.source_view);
+    if (obs->events != nullptr &&
+        elapsed > obs->slow_query_threshold_seconds) {
+      obs->events->Record(obs::EventType::kSlowQuery, /*batch_id=*/0,
+                          request_id, /*seq=*/0, elapsed, query.name);
+      if (obs->metrics != nullptr) obs->metrics->Add("service.slow_queries");
+    }
+  }
+  return result;
 }
 
 lattice::AnswerResult ReadSnapshot::Query(const std::string& sql) const {

@@ -1,6 +1,7 @@
 #ifndef SDELTA_SERVICE_VERSIONED_H_
 #define SDELTA_SERVICE_VERSIONED_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -8,10 +9,29 @@
 #include "core/summary_table.h"
 #include "lattice/answer.h"
 #include "lattice/vlattice.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
+#include "obs/trace.h"
 #include "relational/catalog.h"
 
 namespace sdelta::service {
+
+/// The service's shared observability context (DESIGN.md §11), handed
+/// to every epoch so reader-side paths (snapshot queries) report into
+/// the same sinks as the maintenance thread. Owned by WarehouseService;
+/// snapshots must not outlive it. All pointers are nullable.
+struct ServiceObs {
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
+  obs::EventLog* events = nullptr;
+  obs::SloTracker* slo = nullptr;
+  /// Correlation-ID source for snapshot queries: each query takes the
+  /// next id, stamps its trace span, and tags any SlowQuery event.
+  std::atomic<uint64_t> next_request_id{0};
+  /// A snapshot query slower than this records a SlowQuery event.
+  double slow_query_threshold_seconds = 0.1;
+};
 
 /// One immutable reader-visible version of the warehouse's summary
 /// state (DESIGN.md §9). Everything a query needs is pinned inside:
@@ -32,6 +52,10 @@ struct Epoch {
   /// Shared service registry for answer.* accounting; may be null.
   /// Owned by the service — snapshots must not outlive it.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Shared observability context (request ids, events, tracer); may be
+  /// null (e.g. epochs built outside a service). Same lifetime rule as
+  /// `metrics`.
+  ServiceObs* obs = nullptr;
 };
 
 /// A pinned epoch: the cheap read handle. Copyable; holding one keeps

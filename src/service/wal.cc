@@ -257,6 +257,7 @@ size_t WalWriter::Append(uint64_t seq, const core::ChangeSet& changes) {
   // One write call per record keeps torn records to the file tail.
   if (::write(fd_, frame.data(), frame.size()) !=
       static_cast<ssize_t>(frame.size())) {
+    append_failed_ = true;  // latch for healthy(): the log is wedged
     throw std::runtime_error("WAL: append failed on " + path_);
   }
   if (sync_) ::fsync(fd_);
@@ -286,6 +287,8 @@ void WalWriter::Reset(uint64_t first_seq) {
     throw std::runtime_error("WAL: cannot rename " + tmp + " over " + path_);
   }
   OpenOrCreate(first_seq);
+  // A successful reset just proved the log is writable again.
+  append_failed_ = false;
 }
 
 WalReplayReport ReplayWal(const std::string& path, const rel::Catalog& catalog,

@@ -1,6 +1,7 @@
 #ifndef SDELTA_SERVICE_WAL_H_
 #define SDELTA_SERVICE_WAL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -92,12 +93,19 @@ class WalWriter {
 
   const std::string& path() const { return path_; }
 
+  /// The /healthz "WAL writable" check: the log fd is open and no
+  /// append has failed since. Append failures throw to the producer
+  /// AND latch this false — a scrape can see the wedged log even if
+  /// every producer swallowed its exception.
+  bool healthy() const { return fd_ >= 0 && !append_failed_; }
+
  private:
   void OpenOrCreate(uint64_t first_seq);
 
   std::string path_;
   bool sync_ = true;
   int fd_ = -1;
+  std::atomic<bool> append_failed_{false};
 };
 
 /// Scans the log at `path`, invoking `fn` for every intact record with

@@ -1,0 +1,158 @@
+#include "obs/event_log.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace sdelta::obs {
+namespace {
+
+TEST(EventTypeTest, NamesRoundTrip) {
+  const EventType all[] = {
+      EventType::kBatchStart,     EventType::kBatchEnd,
+      EventType::kEpochInstall,   EventType::kWalCheckpoint,
+      EventType::kQueueSaturated, EventType::kSlowQuery,
+      EventType::kRecoveryReplay,
+  };
+  for (EventType t : all) {
+    EventType parsed;
+    ASSERT_TRUE(EventTypeFromName(EventTypeName(t), &parsed))
+        << EventTypeName(t);
+    EXPECT_EQ(parsed, t);
+  }
+  EventType unused;
+  EXPECT_FALSE(EventTypeFromName("NotAnEvent", &unused));
+}
+
+TEST(EventLogTest, RecordAssignsMonotonicIdsAndTimestamps) {
+  EventLog log(8);
+  EXPECT_EQ(log.Record(EventType::kBatchStart, 1), 1u);
+  EXPECT_EQ(log.Record(EventType::kBatchEnd, 1), 2u);
+  const std::vector<Event> events = log.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].id, 1u);
+  EXPECT_EQ(events[1].id, 2u);
+  EXPECT_LE(events[0].ts_ns, events[1].ts_ns);
+  EXPECT_EQ(log.total_recorded(), 2u);
+  EXPECT_EQ(log.dropped_count(), 0u);
+}
+
+TEST(EventLogTest, CorrelationFieldsSurviveTheRing) {
+  EventLog log;
+  log.Record(EventType::kSlowQuery, /*batch_id=*/0, /*request_id=*/42,
+             /*seq=*/0, /*value=*/0.25, "region query");
+  const std::vector<Event> events = log.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].request_id, 42u);
+  EXPECT_DOUBLE_EQ(events[0].value, 0.25);
+  EXPECT_EQ(events[0].detail, "region query");
+}
+
+TEST(EventLogTest, RingOverwritesOldestAndCountsDrops) {
+  EventLog log(4);
+  for (uint64_t i = 1; i <= 10; ++i) {
+    log.Record(EventType::kBatchStart, i);
+  }
+  EXPECT_EQ(log.total_recorded(), 10u);
+  EXPECT_EQ(log.dropped_count(), 6u);
+  const std::vector<Event> events = log.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-to-newest: batches 7, 8, 9, 10 survive.
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].batch_id, 7 + i);
+    EXPECT_EQ(events[i].id, 7 + i);
+  }
+}
+
+TEST(EventLogTest, CountByTypeSeesOnlyRetainedEvents) {
+  EventLog log(3);
+  log.Record(EventType::kBatchStart);
+  log.Record(EventType::kBatchEnd);
+  log.Record(EventType::kBatchStart);
+  log.Record(EventType::kBatchEnd);  // evicts the first BatchStart
+  EXPECT_EQ(log.count(EventType::kBatchStart), 1u);
+  EXPECT_EQ(log.count(EventType::kBatchEnd), 2u);
+  EXPECT_EQ(log.count(EventType::kWalCheckpoint), 0u);
+}
+
+TEST(EventLogTest, ZeroCapacityClampsToOne) {
+  EventLog log(0);
+  EXPECT_EQ(log.capacity(), 1u);
+  log.Record(EventType::kBatchStart, 1);
+  log.Record(EventType::kBatchEnd, 1);
+  const std::vector<Event> events = log.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].type, EventType::kBatchEnd);
+}
+
+TEST(EventLogTest, ClearResetsEverything) {
+  EventLog log(4);
+  log.Record(EventType::kBatchStart);
+  log.Clear();
+  EXPECT_EQ(log.total_recorded(), 0u);
+  EXPECT_TRUE(log.Snapshot().empty());
+  EXPECT_EQ(log.Record(EventType::kBatchEnd), 1u);  // ids restart
+}
+
+TEST(EventLogTest, ToJsonCarriesSchemaTotalsAndCounts) {
+  EventLog log(8);
+  log.Record(EventType::kBatchStart, 1, 0, 3, 2.0, "2 changesets");
+  log.Record(EventType::kEpochInstall, 1, 0, 3, 0.001, "epoch 2");
+  log.Record(EventType::kBatchEnd, 1, 0, 3, 0.125, "1 runs");
+  const Json doc = log.ToJson();
+  EXPECT_EQ(doc.Find("schema")->as_string(), "sdelta.events.v1");
+  EXPECT_EQ(doc.Find("capacity")->as_int(), 8);
+  EXPECT_EQ(doc.Find("total_recorded")->as_int(), 3);
+  EXPECT_EQ(doc.Find("dropped")->as_int(), 0);
+  EXPECT_EQ(doc.Find("counts")->Find("BatchStart")->as_int(), 1);
+  EXPECT_EQ(doc.Find("counts")->Find("EpochInstall")->as_int(), 1);
+  EXPECT_EQ(doc.Find("counts")->Find("SlowQuery")->as_int(), 0);
+  const Json* events = doc.Find("events");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->items().size(), 3u);
+  EXPECT_EQ(events->items()[0].Find("type")->as_string(), "BatchStart");
+  EXPECT_EQ(events->items()[0].Find("batch_id")->as_int(), 1);
+  EXPECT_EQ(events->items()[0].Find("detail")->as_string(), "2 changesets");
+}
+
+TEST(EventLogTest, NormalizedJsonIsByteDeterministic) {
+  const auto run = [] {
+    EventLog log(8);
+    log.Record(EventType::kBatchStart, 1, 0, 2, 2.0, "2 changesets");
+    log.Record(EventType::kBatchEnd, 1, 0, 2, 0.5, "1 runs");
+    Json doc = log.ToJson();
+    NormalizeEventTimes(doc);
+    return doc.Dump(2);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(EventLogTest, ConcurrentRecordersLoseNothing) {
+  EventLog log(4096);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        log.Record(EventType::kSlowQuery, 0,
+                   static_cast<uint64_t>(t * kPerThread + i));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(log.total_recorded(), kThreads * kPerThread);
+  EXPECT_EQ(log.dropped_count(), 0u);
+  const std::vector<Event> events = log.Snapshot();
+  ASSERT_EQ(events.size(), kThreads * kPerThread);
+  // Ids are a permutation-free monotonic assignment regardless of the
+  // interleaving.
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].id, i + 1);
+  }
+}
+
+}  // namespace
+}  // namespace sdelta::obs

@@ -32,10 +32,13 @@ TEST(ExportPrometheusTest, GoldenExposition) {
             "# TYPE sdelta_b_gauge gauge\n"
             "sdelta_b_gauge 0.5\n"
             "# HELP sdelta_c_hist Observed value distribution.\n"
-            "# TYPE sdelta_c_hist summary\n"
+            "# TYPE sdelta_c_hist histogram\n"
             "sdelta_c_hist{quantile=\"0.5\"} 2\n"
             "sdelta_c_hist{quantile=\"0.95\"} 4\n"
             "sdelta_c_hist{quantile=\"0.99\"} 4\n"
+            "sdelta_c_hist_bucket{le=\"2\"} 1\n"
+            "sdelta_c_hist_bucket{le=\"4\"} 2\n"
+            "sdelta_c_hist_bucket{le=\"+Inf\"} 2\n"
             "sdelta_c_hist_sum 6\n"
             "sdelta_c_hist_count 2\n"
             "# HELP sdelta_c_hist_min Minimum observed value.\n"
@@ -53,6 +56,26 @@ TEST(ExportPrometheusTest, EmptyHistogramMinMaxRenderAsZero) {
   EXPECT_NE(out.find("sdelta_idle_min 0\n"), std::string::npos);
   EXPECT_NE(out.find("sdelta_idle_max 0\n"), std::string::npos);
   EXPECT_NE(out.find("sdelta_idle_count 0\n"), std::string::npos);
+  // Even with no observations the mandatory +Inf bucket is present.
+  EXPECT_NE(out.find("sdelta_idle_bucket{le=\"+Inf\"} 0\n"),
+            std::string::npos);
+}
+
+TEST(ExportPrometheusTest, BucketsAreCumulativeAcrossThePopulatedRange) {
+  MetricsRegistry m;
+  // 0.5, 1, and 3 land in buckets with upper bounds 0.5, 1, and 4; the
+  // gap bucket (le="2") must still appear with the running total so the
+  // series is cumulative, and sub-one bounds exercise fractional le
+  // rendering.
+  m.Observe("h", 0.5);
+  m.Observe("h", 1.0);
+  m.Observe("h", 3.0);
+  const std::string out = ExportPrometheus(m);
+  EXPECT_NE(out.find("sdelta_h_bucket{le=\"0.5\"} 1\n"), std::string::npos);
+  EXPECT_NE(out.find("sdelta_h_bucket{le=\"1\"} 2\n"), std::string::npos);
+  EXPECT_NE(out.find("sdelta_h_bucket{le=\"2\"} 2\n"), std::string::npos);
+  EXPECT_NE(out.find("sdelta_h_bucket{le=\"4\"} 3\n"), std::string::npos);
+  EXPECT_NE(out.find("sdelta_h_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
 }
 
 TEST(ExportPrometheusTest, EmptyRegistryExportsNothing) {

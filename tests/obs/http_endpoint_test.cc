@@ -1,0 +1,172 @@
+#include "obs/http_endpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace sdelta::obs {
+namespace {
+
+/// Minimal test client: one HTTP/1.0 round trip against 127.0.0.1.
+std::string RoundTrip(uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    ADD_FAILURE() << "connect failed";
+    return {};
+  }
+  EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char buf[4096];
+  ssize_t n = 0;
+  while ((n = ::recv(fd, buf, sizeof buf, 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string Get(uint16_t port, const std::string& path) {
+  return RoundTrip(port, "GET " + path + " HTTP/1.0\r\n\r\n");
+}
+
+TEST(HttpEndpointTest, ServesRegisteredRoute) {
+  HttpEndpoint http;
+  http.Route("/ping", [](const HttpRequest&) {
+    HttpResponse r;
+    r.content_type = "text/plain";
+    r.body = "pong\n";
+    return r;
+  });
+  http.Start(0);
+  ASSERT_GT(http.port(), 0);
+  const std::string response = Get(http.port(), "/ping");
+  EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("Content-Type: text/plain"), std::string::npos);
+  EXPECT_NE(response.find("Content-Length: 5"), std::string::npos);
+  EXPECT_NE(response.find("\r\n\r\npong\n"), std::string::npos);
+  EXPECT_EQ(http.requests_served(), 1u);
+  http.Stop();
+}
+
+TEST(HttpEndpointTest, HandlerSeesPathAndQuery) {
+  HttpEndpoint http;
+  http.Route("/echo", [](const HttpRequest& req) {
+    HttpResponse r;
+    r.body = req.method + " " + req.path + " [" + req.query + "]";
+    return r;
+  });
+  http.Start(0);
+  const std::string response = Get(http.port(), "/echo?a=1&b=2");
+  EXPECT_NE(response.find("GET /echo [a=1&b=2]"), std::string::npos);
+  http.Stop();
+}
+
+TEST(HttpEndpointTest, UnknownRouteIs404AndServerSurvives) {
+  HttpEndpoint http;
+  http.Route("/ok", [](const HttpRequest&) { return HttpResponse{}; });
+  http.Start(0);
+  EXPECT_NE(Get(http.port(), "/missing").find("HTTP/1.0 404"),
+            std::string::npos);
+  EXPECT_NE(Get(http.port(), "/ok").find("HTTP/1.0 200"), std::string::npos);
+  EXPECT_EQ(http.requests_served(), 2u);
+  http.Stop();
+}
+
+TEST(HttpEndpointTest, NonGetIs405) {
+  HttpEndpoint http;
+  http.Route("/ok", [](const HttpRequest&) { return HttpResponse{}; });
+  http.Start(0);
+  const std::string response =
+      RoundTrip(http.port(), "POST /ok HTTP/1.0\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.0 405"), std::string::npos);
+  http.Stop();
+}
+
+TEST(HttpEndpointTest, HeadOmitsTheBodyButKeepsHeaders) {
+  HttpEndpoint http;
+  http.Route("/doc", [](const HttpRequest&) {
+    HttpResponse r;
+    r.body = "0123456789";
+    return r;
+  });
+  http.Start(0);
+  const std::string response =
+      RoundTrip(http.port(), "HEAD /doc HTTP/1.0\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.0 200"), std::string::npos);
+  EXPECT_NE(response.find("Content-Length: 10"), std::string::npos);
+  EXPECT_EQ(response.find("0123456789"), std::string::npos);
+  http.Stop();
+}
+
+TEST(HttpEndpointTest, ThrowingHandlerAnswers503) {
+  HttpEndpoint http;
+  http.Route("/boom", [](const HttpRequest&) -> HttpResponse {
+    throw std::runtime_error("kaput");
+  });
+  http.Start(0);
+  const std::string response = Get(http.port(), "/boom");
+  EXPECT_NE(response.find("HTTP/1.0 503"), std::string::npos);
+  EXPECT_NE(response.find("kaput"), std::string::npos);
+  // Still serving afterwards.
+  EXPECT_NE(Get(http.port(), "/boom").find("503"), std::string::npos);
+  http.Stop();
+}
+
+TEST(HttpEndpointTest, MalformedRequestLineIs400) {
+  HttpEndpoint http;
+  http.Route("/ok", [](const HttpRequest&) { return HttpResponse{}; });
+  http.Start(0);
+  EXPECT_NE(RoundTrip(http.port(), "NONSENSE\r\n\r\n").find("HTTP/1.0 400"),
+            std::string::npos);
+  http.Stop();
+}
+
+TEST(HttpEndpointTest, StartTwiceThrowsAndStopIsIdempotent) {
+  HttpEndpoint http;
+  http.Route("/ok", [](const HttpRequest&) { return HttpResponse{}; });
+  http.Start(0);
+  EXPECT_THROW(http.Start(0), std::logic_error);
+  http.Stop();
+  http.Stop();  // no-op
+  EXPECT_FALSE(http.running());
+}
+
+TEST(HttpEndpointTest, StopWithoutAnyRequestReturnsPromptly) {
+  HttpEndpoint http;
+  http.Start(0);  // no routes, no traffic: Stop must not hang in accept
+  http.Stop();
+  SUCCEED();
+}
+
+TEST(HttpEndpointTest, PortInUseThrows) {
+  HttpEndpoint a;
+  a.Start(0);
+  HttpEndpoint b;
+  EXPECT_THROW(b.Start(a.port()), std::runtime_error);
+  a.Stop();
+}
+
+TEST(HttpEndpointTest, RouteAfterStartThrows) {
+  HttpEndpoint http;
+  http.Start(0);
+  EXPECT_THROW(
+      http.Route("/late", [](const HttpRequest&) { return HttpResponse{}; }),
+      std::logic_error);
+  http.Stop();
+}
+
+}  // namespace
+}  // namespace sdelta::obs

@@ -78,6 +78,91 @@ TEST(JsonTest, PrettyPrintIsStable) {
             "{\n  \"a\": 1,\n  \"b\": [\n    \"x\"\n  ]\n}");
 }
 
+// ---- Adversarial / untrusted input (the parser backs /events and any
+// externally supplied obs document, so it must fail cleanly, never
+// crash or emit invalid UTF-8). ----
+
+TEST(JsonTest, TruncatedDocumentsThrow) {
+  const char* cases[] = {
+      "{",          "[",           "{\"k\"",        "{\"k\":",
+      "{\"k\":1,",  "[1,",         "\"unterminated", "tru",
+      "nul",        "-",           "1e",            "{\"k\":\"v\"",
+      "[[1,2],[3",  "{\"a\":{\"b\":1}",
+  };
+  for (const char* text : cases) {
+    EXPECT_THROW(Json::Parse(text), std::runtime_error) << text;
+  }
+}
+
+TEST(JsonTest, DeepNestingIsCappedNotACrash) {
+  // 256 levels parse; one more is a clean error instead of a stack
+  // overflow on "[[[[[...".
+  std::string ok(256, '[');
+  ok += std::string(256, ']');
+  EXPECT_NO_THROW(Json::Parse(ok));
+
+  std::string too_deep(257, '[');
+  too_deep += std::string(257, ']');
+  EXPECT_THROW(Json::Parse(too_deep), std::runtime_error);
+
+  // Same cap through objects.
+  std::string objs;
+  for (int i = 0; i < 300; ++i) objs += "{\"k\":";
+  objs += "1";
+  for (int i = 0; i < 300; ++i) objs += "}";
+  EXPECT_THROW(Json::Parse(objs), std::runtime_error);
+
+  // A pathological all-open-brackets document must also terminate.
+  EXPECT_THROW(Json::Parse(std::string(100000, '[')), std::runtime_error);
+}
+
+TEST(JsonTest, InvalidEscapesThrow) {
+  EXPECT_THROW(Json::Parse("\"\\x41\""), std::runtime_error);
+  EXPECT_THROW(Json::Parse("\"\\u12\""), std::runtime_error);    // short
+  EXPECT_THROW(Json::Parse("\"\\u12g4\""), std::runtime_error);  // non-hex
+  EXPECT_THROW(Json::Parse("\"\\\""), std::runtime_error);       // dangling
+}
+
+TEST(JsonTest, SurrogateEscapesAreRejectedNotMojibake) {
+  // Lone (and even paired) UTF-16 surrogates would decode to invalid
+  // UTF-8; the parser rejects them outright.
+  EXPECT_THROW(Json::Parse("\"\\ud800\""), std::runtime_error);
+  EXPECT_THROW(Json::Parse("\"\\udfff\""), std::runtime_error);
+  EXPECT_THROW(Json::Parse("\"\\ud83d\\ude00\""), std::runtime_error);
+  // The BMP boundary neighbours still decode.
+  EXPECT_EQ(Json::Parse("\"\\ud7ff\"").as_string(), "\xed\x9f\xbf");
+  EXPECT_EQ(Json::Parse("\"\\ue000\"").as_string(), "\xee\x80\x80");
+}
+
+TEST(JsonTest, HugeAndMalformedNumbersAreRangeChecked) {
+  EXPECT_THROW(Json::Parse("1e999"), std::runtime_error);   // overflows
+  EXPECT_THROW(Json::Parse("-1e999"), std::runtime_error);
+  EXPECT_THROW(Json::Parse("01"), std::runtime_error);      // leading zero
+  EXPECT_THROW(Json::Parse("+1"), std::runtime_error);
+  EXPECT_THROW(Json::Parse("1."), std::runtime_error);
+  EXPECT_THROW(Json::Parse(".5"), std::runtime_error);
+  EXPECT_THROW(Json::Parse("--1"), std::runtime_error);
+  EXPECT_THROW(Json::Parse("0x10"), std::runtime_error);
+  EXPECT_THROW(Json::Parse("NaN"), std::runtime_error);
+  EXPECT_THROW(Json::Parse("Infinity"), std::runtime_error);
+  // Extremes that DO fit round-trip.
+  EXPECT_EQ(Json::Parse("9223372036854775807").as_int(),
+            INT64_MAX);
+  EXPECT_DOUBLE_EQ(Json::Parse("1e308").as_double(), 1e308);
+  EXPECT_DOUBLE_EQ(Json::Parse("2.2250738585072014e-308").as_double(),
+                   2.2250738585072014e-308);  // the classic parser DoS value
+}
+
+TEST(JsonTest, GarbageBytesThrowWithoutSideEffects) {
+  EXPECT_THROW(Json::Parse("\x00\x01\x02"), std::runtime_error);
+  EXPECT_THROW(Json::Parse("{\"k\":1}{\"k\":2}"), std::runtime_error);
+  EXPECT_THROW(Json::Parse("[1 2]"), std::runtime_error);
+  EXPECT_THROW(Json::Parse("{'k':1}"), std::runtime_error);
+  EXPECT_THROW(Json::Parse("{k:1}"), std::runtime_error);
+  EXPECT_THROW(Json::Parse("[,1]"), std::runtime_error);
+  EXPECT_THROW(Json::Parse("[1,]"), std::runtime_error);
+}
+
 TEST(JsonTest, KindMismatchThrows) {
   Json i = Json::Int(1);
   EXPECT_THROW(i.as_string(), std::runtime_error);

@@ -1,0 +1,113 @@
+#include "obs/slo.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "obs/metrics.h"
+
+namespace sdelta::obs {
+namespace {
+
+TEST(SloTrackerTest, DefaultTargetsNeverViolate) {
+  MetricsRegistry m;
+  SloTracker slo(SloTracker::Targets{}, &m);
+  slo.ObserveStaleness(1e9);
+  slo.ObserveWindow(1e9);
+  EXPECT_EQ(slo.staleness_violations(), 0u);
+  EXPECT_EQ(slo.window_violations(), 0u);
+  EXPECT_EQ(slo.observations(), 2u);
+  EXPECT_DOUBLE_EQ(slo.BurnRate(), 0.0);
+  EXPECT_TRUE(slo.Healthy());
+}
+
+TEST(SloTrackerTest, CountersArePreRegisteredAtZero) {
+  MetricsRegistry m;
+  SloTracker slo(SloTracker::Targets{}, &m);
+  const MetricsSnapshot snap = m.Snapshot();
+  ASSERT_TRUE(snap.counters.count("service.slo.staleness_violations"));
+  ASSERT_TRUE(snap.counters.count("service.slo.window_violations"));
+  EXPECT_EQ(snap.counters.at("service.slo.staleness_violations"), 0u);
+  EXPECT_EQ(snap.counters.at("service.slo.window_violations"), 0u);
+  ASSERT_TRUE(snap.gauges.count("service.slo.burn_rate"));
+}
+
+TEST(SloTrackerTest, ViolationsCountAndDriveMetrics) {
+  MetricsRegistry m;
+  SloTracker::Targets targets;
+  targets.staleness_seconds = 1.0;
+  targets.refresh_window_seconds = 0.01;
+  targets.error_budget = 0.5;
+  SloTracker slo(targets, &m);
+
+  slo.ObserveStaleness(0.5);  // within target
+  slo.ObserveStaleness(2.0);  // violates
+  slo.ObserveWindow(0.005);   // within target
+  slo.ObserveWindow(0.02);    // violates
+
+  EXPECT_EQ(slo.staleness_violations(), 1u);
+  EXPECT_EQ(slo.window_violations(), 1u);
+  EXPECT_EQ(slo.observations(), 4u);
+  EXPECT_EQ(m.counter("service.slo.staleness_violations"), 1u);
+  EXPECT_EQ(m.counter("service.slo.window_violations"), 1u);
+  // 2 violations / 4 observations / 0.5 budget = burn 1.0: exactly at
+  // budget, still healthy.
+  EXPECT_DOUBLE_EQ(slo.BurnRate(), 1.0);
+  EXPECT_TRUE(slo.Healthy());
+
+  slo.ObserveWindow(0.02);  // 3/5/0.5 = 1.2: burning too fast
+  EXPECT_GT(slo.BurnRate(), 1.0);
+  EXPECT_FALSE(slo.Healthy());
+  EXPECT_DOUBLE_EQ(m.gauge("service.slo.burn_rate"), slo.BurnRate());
+}
+
+TEST(SloTrackerTest, StalenessWithinTargetDoesNotRecord) {
+  MetricsRegistry m;
+  SloTracker::Targets targets;
+  targets.staleness_seconds = 1.0;
+  SloTracker slo(targets, &m);
+  EXPECT_TRUE(slo.StalenessWithinTarget(0.5));
+  EXPECT_FALSE(slo.StalenessWithinTarget(2.0));
+  // The healthz-style check moved no counters and took no observation.
+  EXPECT_EQ(slo.observations(), 0u);
+  EXPECT_EQ(m.counter("service.slo.staleness_violations"), 0u);
+}
+
+TEST(SloTrackerTest, NullRegistryIsSafe) {
+  SloTracker::Targets targets;
+  targets.staleness_seconds = 0.0;  // everything violates
+  SloTracker slo(targets, nullptr);
+  slo.ObserveStaleness(1.0);
+  EXPECT_EQ(slo.staleness_violations(), 1u);
+}
+
+TEST(SloTrackerTest, ToJsonRendersInfiniteTargetsAsNull) {
+  MetricsRegistry m;
+  SloTracker::Targets targets;
+  targets.refresh_window_seconds = 0.25;
+  SloTracker slo(targets, &m);
+  slo.ObserveWindow(0.5);
+  const Json doc = slo.ToJson();
+  EXPECT_EQ(doc.Find("targets")->Find("staleness_seconds")->kind(),
+            Json::Kind::kNull);
+  EXPECT_DOUBLE_EQ(
+      doc.Find("targets")->Find("refresh_window_seconds")->as_double(), 0.25);
+  EXPECT_EQ(doc.Find("window_violations")->as_int(), 1);
+  EXPECT_EQ(doc.Find("observations")->as_int(), 1);
+  EXPECT_FALSE(doc.Find("healthy")->as_bool());  // 1/1/0.01 = burn 100
+}
+
+TEST(SloTrackerTest, ZeroTargetViolatesDeterministically) {
+  // A zero window target turns every install into a violation — the
+  // deterministic configuration the thread-invariance suite uses.
+  MetricsRegistry m;
+  SloTracker::Targets targets;
+  targets.refresh_window_seconds = 0.0;
+  SloTracker slo(targets, &m);
+  for (int i = 0; i < 5; ++i) slo.ObserveWindow(1e-9);
+  EXPECT_EQ(slo.window_violations(), 5u);
+  EXPECT_EQ(m.counter("service.slo.window_violations"), 5u);
+}
+
+}  // namespace
+}  // namespace sdelta::obs

@@ -1,0 +1,299 @@
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/delta.h"
+#include "obs/event_log.h"
+#include "obs/trace.h"
+#include "service/service.h"
+#include "warehouse/retail_schema.h"
+#include "warehouse/workload.h"
+
+namespace sdelta::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+warehouse::RetailConfig SmallConfig() {
+  warehouse::RetailConfig config;
+  config.num_stores = 10;
+  config.num_cities = 5;
+  config.num_regions = 3;
+  config.num_items = 50;
+  config.num_categories = 6;
+  config.num_dates = 20;
+  config.num_pos_rows = 1200;
+  config.seed = 77;
+  return config;
+}
+
+constexpr char kRegionQuery[] =
+    "SELECT region, SUM(qty) AS q FROM pos, stores "
+    "WHERE pos.storeID = stores.storeID GROUP BY region";
+
+/// One HTTP/1.0 GET against the service's loopback endpoint.
+std::string Get(int port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    ADD_FAILURE() << "connect failed for " << path;
+    return {};
+  }
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char buf[4096];
+  ssize_t n = 0;
+  while ((n = ::recv(fd, buf, sizeof buf, 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+class ObservabilityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("sdelta_obs_svc_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    mirror_ = warehouse::MakeRetailCatalog(SmallConfig());
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::unique_ptr<WarehouseService> OpenService(
+      WarehouseService::Options options = {}) {
+    options.auto_batching = false;
+    return WarehouseService::Open(dir_.string(),
+                                  warehouse::MakeRetailCatalog(SmallConfig()),
+                                  warehouse::RetailSummaryTables(), options);
+  }
+
+  core::ChangeSet NextChanges(size_t size, uint64_t seed) {
+    core::ChangeSet changes =
+        warehouse::MakeInsertionGeneratingChanges(mirror_, size, seed);
+    core::ApplyChangeSet(mirror_, changes);
+    return changes;
+  }
+
+  fs::path dir_;
+  rel::Catalog mirror_;
+};
+
+TEST_F(ObservabilityTest, BatchIdsAreMonotonicAndCorrelateEvents) {
+  auto svc = OpenService();
+  for (uint64_t i = 1; i <= 3; ++i) {
+    svc->Append(NextChanges(60, i));
+    svc->Flush();
+    EXPECT_EQ(svc->GetStats().last_batch_id, i);
+  }
+
+  const obs::EventLog& events = svc->events();
+  EXPECT_EQ(events.count(obs::EventType::kBatchStart), 3u);
+  EXPECT_EQ(events.count(obs::EventType::kBatchEnd), 3u);
+  EXPECT_EQ(events.count(obs::EventType::kEpochInstall), 3u);
+
+  // Every batch-lifecycle event carries the drain's batch_id, and the
+  // ids the log saw are exactly 1, 2, 3 in order.
+  std::vector<uint64_t> start_ids;
+  for (const obs::Event& e : events.Snapshot()) {
+    if (e.type == obs::EventType::kBatchStart) start_ids.push_back(e.batch_id);
+    if (e.type == obs::EventType::kBatchEnd ||
+        e.type == obs::EventType::kEpochInstall) {
+      EXPECT_GT(e.batch_id, 0u);
+    }
+  }
+  EXPECT_EQ(start_ids, (std::vector<uint64_t>{1, 2, 3}));
+}
+
+TEST_F(ObservabilityTest, TraceTreeConnectsBatchToWarehouseRuns) {
+  obs::Tracer tracer;
+  WarehouseService::Options options;
+  options.tracer = &tracer;
+  auto svc = OpenService(std::move(options));
+  svc->Append(NextChanges(80, 1));
+  svc->Flush();
+  (void)svc->Snapshot().Query(kRegionQuery);
+  svc->Stop();  // quiesce before reading spans
+
+  uint64_t batch_id = 0, install_parent = 0, run_parent = 0;
+  bool saw_append = false, saw_query = false;
+  for (const obs::SpanRecord& span : tracer.spans()) {
+    if (span.name == "service.batch") batch_id = span.id;
+    if (span.name == "service.epoch_install") install_parent = span.parent_id;
+    if (span.name == "warehouse.RunBatch") run_parent = span.parent_id;
+    if (span.name == "service.append") saw_append = true;
+    if (span.name == "service.query") saw_query = true;
+  }
+  ASSERT_GT(batch_id, 0u);
+  // The warehouse's RunBatch span and the epoch install both hang off
+  // the same service.batch root: one connected tree per drain.
+  EXPECT_EQ(run_parent, batch_id);
+  EXPECT_EQ(install_parent, batch_id);
+  EXPECT_TRUE(saw_append);
+  EXPECT_TRUE(saw_query);
+}
+
+TEST_F(ObservabilityTest, SlowQueryEventsCarryDistinctRequestIds) {
+  WarehouseService::Options options;
+  options.slow_query_threshold_seconds = 0.0;  // every query is "slow"
+  auto svc = OpenService(std::move(options));
+  (void)svc->Snapshot().Query(kRegionQuery);
+  (void)svc->Snapshot().Query(kRegionQuery);
+
+  EXPECT_EQ(svc->events().count(obs::EventType::kSlowQuery), 2u);
+  EXPECT_EQ(svc->metrics().counter("service.slow_queries"), 2u);
+  std::vector<uint64_t> request_ids;
+  for (const obs::Event& e : svc->events().Snapshot()) {
+    if (e.type == obs::EventType::kSlowQuery) request_ids.push_back(e.request_id);
+  }
+  ASSERT_EQ(request_ids.size(), 2u);
+  EXPECT_GT(request_ids[0], 0u);
+  EXPECT_LT(request_ids[0], request_ids[1]);
+}
+
+TEST_F(ObservabilityTest, RecoveryReplayIsRecordedAsAnEvent) {
+  {
+    auto svc = OpenService();
+    // Appends reach the WAL; no Checkpoint, so the tail replays on the
+    // next Open.
+    svc->Append(NextChanges(50, 1));
+    svc->Append(NextChanges(50, 2));
+  }
+  auto svc = OpenService();
+  EXPECT_EQ(svc->GetStats().recovered_records, 2u);
+  ASSERT_EQ(svc->events().count(obs::EventType::kRecoveryReplay), 1u);
+  for (const obs::Event& e : svc->events().Snapshot()) {
+    if (e.type == obs::EventType::kRecoveryReplay) {
+      EXPECT_DOUBLE_EQ(e.value, 2.0);
+    }
+  }
+}
+
+TEST_F(ObservabilityTest, HealthzIsHealthyWhileServingAndNotAfterStop) {
+  auto svc = OpenService();
+  svc->Append(NextChanges(40, 1));
+  svc->Flush();
+  const WarehouseService::Health healthy = svc->CheckHealth();
+  EXPECT_TRUE(healthy.wal_writable);
+  EXPECT_TRUE(healthy.maintenance_alive);
+  EXPECT_TRUE(healthy.queue_below_high_water);
+  EXPECT_TRUE(healthy.slo_ok);
+  EXPECT_TRUE(healthy.healthy());
+
+  svc->Stop();
+  EXPECT_FALSE(svc->CheckHealth().maintenance_alive);
+  EXPECT_FALSE(svc->CheckHealth().healthy());
+}
+
+TEST_F(ObservabilityTest, HttpEndpointServesTheFiveRoutes) {
+  WarehouseService::Options options;
+  options.http_port = 0;  // ephemeral loopback port
+  auto svc = OpenService(std::move(options));
+  svc->Append(NextChanges(60, 1));
+  svc->Flush();
+  const int port = svc->http_port();
+  ASSERT_GT(port, 0);
+
+  const std::string metrics = Get(port, "/metrics");
+  EXPECT_NE(metrics.find("HTTP/1.0 200"), std::string::npos);
+  EXPECT_NE(metrics.find("sdelta_service_appends_total 1"), std::string::npos);
+  EXPECT_NE(metrics.find("sdelta_service_refresh_window_bucket"),
+            std::string::npos);
+
+  const std::string healthz = Get(port, "/healthz");
+  EXPECT_NE(healthz.find("HTTP/1.0 200"), std::string::npos);
+  EXPECT_NE(healthz.find("\"healthy\": true"), std::string::npos);
+
+  EXPECT_NE(Get(port, "/varz").find("sdelta.obs.v2"), std::string::npos);
+  EXPECT_NE(Get(port, "/epochs").find("\"epoch\": 2"), std::string::npos);
+  EXPECT_NE(Get(port, "/events").find("sdelta.events.v1"), std::string::npos);
+  EXPECT_NE(Get(port, "/nope").find("HTTP/1.0 404"), std::string::npos);
+
+  // Stop shuts the endpoint down with the service.
+  svc->Stop();
+  EXPECT_EQ(svc->http_port(), -1);
+}
+
+/// Runs the reference workload at `num_threads` and returns the
+/// normalized events document plus the SLO counters. Everything
+/// returned must be byte-identical across thread counts.
+struct InvarianceResult {
+  std::string events_json;
+  uint64_t window_violations = 0;
+  uint64_t staleness_violations = 0;
+};
+
+InvarianceResult RunWorkload(const fs::path& base, size_t num_threads) {
+  const fs::path dir = base / ("t" + std::to_string(num_threads));
+  fs::remove_all(dir);
+  rel::Catalog mirror = warehouse::MakeRetailCatalog(SmallConfig());
+
+  WarehouseService::Options options;
+  options.auto_batching = false;
+  options.warehouse.num_threads = num_threads;
+  // Deterministic SLO accounting: a zero window target violates on
+  // every install; an infinite slow-query threshold never fires.
+  options.slo.refresh_window_seconds = 0.0;
+  options.slow_query_threshold_seconds =
+      std::numeric_limits<double>::infinity();
+  auto svc = WarehouseService::Open(dir.string(),
+                                    warehouse::MakeRetailCatalog(SmallConfig()),
+                                    warehouse::RetailSummaryTables(), options);
+  for (uint64_t i = 1; i <= 3; ++i) {
+    core::ChangeSet changes =
+        warehouse::MakeInsertionGeneratingChanges(mirror, 60, i);
+    core::ApplyChangeSet(mirror, changes);
+    svc->Append(std::move(changes));
+    svc->Flush();
+    (void)svc->Snapshot().Query(kRegionQuery);
+  }
+  svc->Checkpoint();
+
+  InvarianceResult result;
+  obs::Json events = svc->events().ToJson();
+  obs::NormalizeEventTimes(events);
+  result.events_json = events.Dump(2);
+  result.window_violations = svc->slo().window_violations();
+  result.staleness_violations = svc->slo().staleness_violations();
+  svc->Stop();
+  fs::remove_all(dir);
+  return result;
+}
+
+TEST_F(ObservabilityTest, EventsAndSloCountersAreThreadCountInvariant) {
+  const InvarianceResult one = RunWorkload(dir_, 1);
+  const InvarianceResult two = RunWorkload(dir_, 2);
+  const InvarianceResult eight = RunWorkload(dir_, 8);
+
+  // Zero window target: every install (3 batches + 1 checkpoint flush
+  // path installs nothing extra) violates deterministically.
+  EXPECT_EQ(one.window_violations, 3u);
+  EXPECT_EQ(one.staleness_violations, 0u);
+  EXPECT_EQ(two.window_violations, one.window_violations);
+  EXPECT_EQ(eight.window_violations, one.window_violations);
+  EXPECT_EQ(two.staleness_violations, one.staleness_violations);
+  EXPECT_EQ(eight.staleness_violations, one.staleness_violations);
+
+  EXPECT_EQ(one.events_json, two.events_json);
+  EXPECT_EQ(one.events_json, eight.events_json);
+}
+
+}  // namespace
+}  // namespace sdelta::service

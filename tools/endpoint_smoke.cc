@@ -1,0 +1,283 @@
+// CI smoke test for the embedded scrape endpoint: boots a small retail
+// WarehouseService on an ephemeral 127.0.0.1 port, drives a few batches
+// and snapshot queries through it, then scrapes every route with a
+// plain POSIX HTTP client and validates the payloads — /metrics through
+// the Prometheus format linter, the JSON routes through obs::Json.
+// Exit 0 = all routes well-formed; nonzero prints what failed.
+//
+//   ./build/tools/endpoint_smoke [data_dir]
+//   ./build/tools/endpoint_smoke --dump-metrics   # print one /metrics
+//       scrape to stdout (for piping through the prom_lint CLI) and
+//       exit without running the route checks
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "prom_lint_lib.h"
+#include "service/service.h"
+#include "warehouse/retail_schema.h"
+#include "warehouse/workload.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using sdelta::service::WarehouseService;
+
+int g_failures = 0;
+
+void Fail(const std::string& what) {
+  std::fprintf(stderr, "FAIL: %s\n", what.c_str());
+  ++g_failures;
+}
+
+void Check(bool ok, const std::string& what) {
+  if (ok) {
+    std::fprintf(stderr, "  ok: %s\n", what.c_str());
+  } else {
+    Fail(what);
+  }
+}
+
+struct ScrapeResult {
+  int status = 0;
+  std::string content_type;
+  std::string body;
+};
+
+/// One HTTP/1.0 GET against 127.0.0.1:port.
+bool Scrape(int port, const std::string& path, ScrapeResult* out) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return false;
+  }
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent, request.size() - sent,
+                             0);
+    if (n <= 0) {
+      ::close(fd);
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n = 0;
+  while ((n = ::recv(fd, buf, sizeof buf, 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  const size_t head_end = response.find("\r\n\r\n");
+  if (head_end == std::string::npos) return false;
+  const std::string head = response.substr(0, head_end);
+  out->body = response.substr(head_end + 4);
+  if (std::sscanf(head.c_str(), "HTTP/1.%*d %d", &out->status) != 1) {
+    return false;
+  }
+  // Pull Content-Type out of the headers (case-exact: our server).
+  const size_t ct = head.find("Content-Type: ");
+  if (ct != std::string::npos) {
+    const size_t eol = head.find("\r\n", ct);
+    out->content_type = head.substr(ct + 14, eol - (ct + 14));
+  }
+  return true;
+}
+
+sdelta::obs::Json ParseJsonOrFail(const std::string& route,
+                                  const std::string& body) {
+  try {
+    return sdelta::obs::Json::Parse(body);
+  } catch (const std::exception& e) {
+    Fail(route + ": body is not valid JSON: " + e.what());
+    return sdelta::obs::Json();
+  }
+}
+
+sdelta::warehouse::RetailConfig SmallConfig() {
+  sdelta::warehouse::RetailConfig config;
+  config.num_stores = 10;
+  config.num_cities = 5;
+  config.num_regions = 3;
+  config.num_items = 50;
+  config.num_categories = 6;
+  config.num_dates = 20;
+  config.num_pos_rows = 1200;
+  config.seed = 77;
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool dump_metrics =
+      argc > 1 && std::strcmp(argv[1], "--dump-metrics") == 0;
+  const std::string data_dir =
+      argc > 1 && !dump_metrics
+          ? argv[1]
+          : (fs::temp_directory_path() /
+             ("sdelta_smoke_" + std::to_string(::getpid())))
+                .string();
+  fs::remove_all(data_dir);
+
+  WarehouseService::Options options;
+  options.auto_batching = false;
+  options.http_port = 0;  // ephemeral
+  auto svc = WarehouseService::Open(
+      data_dir, sdelta::warehouse::MakeRetailCatalog(SmallConfig()),
+      sdelta::warehouse::RetailSummaryTables(), options);
+  const int port = svc->http_port();
+  std::fprintf(stderr, "service up on 127.0.0.1:%d (data %s)\n", port,
+               data_dir.c_str());
+  Check(port > 0, "ephemeral port resolved");
+
+  // Give the endpoint something to show: two batches, a checkpoint, and
+  // a few snapshot queries.
+  sdelta::rel::Catalog mirror =
+      sdelta::warehouse::MakeRetailCatalog(SmallConfig());
+  for (uint64_t seed = 1; seed <= 2; ++seed) {
+    sdelta::core::ChangeSet changes =
+        sdelta::warehouse::MakeInsertionGeneratingChanges(mirror, 100, seed);
+    sdelta::core::ApplyChangeSet(mirror, changes);
+    svc->Append(std::move(changes));
+    svc->Flush();
+  }
+  svc->Checkpoint();
+  for (int i = 0; i < 3; ++i) {
+    svc->Snapshot().Query(
+        "SELECT region, SUM(qty) AS q FROM pos, stores "
+        "WHERE pos.storeID = stores.storeID GROUP BY region");
+  }
+
+  ScrapeResult r;
+
+  if (dump_metrics) {
+    if (!Scrape(port, "/metrics", &r) || r.status != 200) {
+      std::fprintf(stderr, "--dump-metrics: /metrics scrape failed\n");
+      return 1;
+    }
+    std::fwrite(r.body.data(), 1, r.body.size(), stdout);
+    svc->Stop();
+    svc.reset();
+    std::error_code ec;
+    fs::remove_all(data_dir, ec);
+    return 0;
+  }
+
+  // /metrics: Prometheus exposition, must lint clean.
+  if (!Scrape(port, "/metrics", &r)) {
+    Fail("/metrics: scrape failed");
+  } else {
+    Check(r.status == 200, "/metrics status 200");
+    Check(r.content_type.rfind("text/plain", 0) == 0,
+          "/metrics content type text/plain");
+    const std::vector<std::string> problems =
+        sdelta::tools::LintPrometheusText(r.body);
+    for (const std::string& p : problems) {
+      Fail("/metrics lint: " + p);
+    }
+    Check(problems.empty(), "/metrics lints clean");
+    Check(r.body.find("sdelta_service_appends_total 2") != std::string::npos,
+          "/metrics carries service.appends");
+    Check(r.body.find("sdelta_service_refresh_window_bucket") !=
+              std::string::npos,
+          "/metrics carries refresh-window histogram buckets");
+  }
+
+  // /healthz: healthy JSON, status 200.
+  if (!Scrape(port, "/healthz", &r)) {
+    Fail("/healthz: scrape failed");
+  } else {
+    Check(r.status == 200, "/healthz status 200 (healthy)");
+    const sdelta::obs::Json doc = ParseJsonOrFail("/healthz", r.body);
+    const sdelta::obs::Json* healthy = doc.Find("healthy");
+    Check(healthy != nullptr && healthy->as_bool(), "/healthz healthy=true");
+    Check(doc.Find("slo") != nullptr, "/healthz embeds the SLO document");
+  }
+
+  // /varz: obs JSON document with the metrics section.
+  if (!Scrape(port, "/varz", &r)) {
+    Fail("/varz: scrape failed");
+  } else {
+    Check(r.status == 200, "/varz status 200");
+    const sdelta::obs::Json doc = ParseJsonOrFail("/varz", r.body);
+    const sdelta::obs::Json* schema = doc.Find("schema");
+    Check(schema != nullptr && schema->as_string() == "sdelta.obs.v2",
+          "/varz schema sdelta.obs.v2");
+    Check(doc.Find("metrics") != nullptr, "/varz has metrics");
+  }
+
+  // /epochs: epoch number advanced past the two flushes, 4 retail views.
+  if (!Scrape(port, "/epochs", &r)) {
+    Fail("/epochs: scrape failed");
+  } else {
+    Check(r.status == 200, "/epochs status 200");
+    const sdelta::obs::Json doc = ParseJsonOrFail("/epochs", r.body);
+    const sdelta::obs::Json* epoch = doc.Find("epoch");
+    Check(epoch != nullptr && epoch->as_int() >= 3, "/epochs epoch >= 3");
+    const sdelta::obs::Json* views = doc.Find("views");
+    Check(views != nullptr && views->is_array() && views->items().size() == 4,
+          "/epochs lists 4 views with row counts");
+  }
+
+  // /events: the flight recorder saw both batches and the checkpoint.
+  if (!Scrape(port, "/events", &r)) {
+    Fail("/events: scrape failed");
+  } else {
+    Check(r.status == 200, "/events status 200");
+    const sdelta::obs::Json doc = ParseJsonOrFail("/events", r.body);
+    const sdelta::obs::Json* schema = doc.Find("schema");
+    Check(schema != nullptr && schema->as_string() == "sdelta.events.v1",
+          "/events schema sdelta.events.v1");
+    const sdelta::obs::Json* counts = doc.Find("counts");
+    const sdelta::obs::Json* starts =
+        counts != nullptr ? counts->Find("BatchStart") : nullptr;
+    const sdelta::obs::Json* ckpts =
+        counts != nullptr ? counts->Find("WalCheckpoint") : nullptr;
+    Check(starts != nullptr && starts->as_int() == 2,
+          "/events counted 2 BatchStart");
+    Check(ckpts != nullptr && ckpts->as_int() == 1,
+          "/events counted 1 WalCheckpoint");
+  }
+
+  // Unknown route → 404; the server stays up afterwards.
+  if (!Scrape(port, "/nope", &r)) {
+    Fail("/nope: scrape failed");
+  } else {
+    Check(r.status == 404, "unknown route answers 404");
+  }
+  if (!Scrape(port, "/healthz", &r)) {
+    Fail("post-404 /healthz: scrape failed");
+  } else {
+    Check(r.status == 200, "endpoint still serving after a 404");
+  }
+
+  svc->Stop();
+  svc.reset();
+  if (argc <= 1) {
+    std::error_code ec;
+    fs::remove_all(data_dir, ec);
+  }
+
+  if (g_failures == 0) {
+    std::fprintf(stderr, "endpoint smoke: all routes OK\n");
+    return 0;
+  }
+  std::fprintf(stderr, "endpoint smoke: %d failure(s)\n", g_failures);
+  return 1;
+}

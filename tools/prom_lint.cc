@@ -1,0 +1,44 @@
+// Lints a Prometheus text exposition document (see prom_lint_lib.h for
+// the rules). Reads the named file, or stdin when no argument / "-".
+// Exit 0 = clean, 1 = problems found (printed one per line), 2 = usage
+// or IO error. Used by the CI endpoint-smoke job against a live
+// /metrics scrape.
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "prom_lint_lib.h"
+
+int main(int argc, char** argv) {
+  if (argc > 2) {
+    std::fprintf(stderr, "usage: prom_lint [file|-]\n");
+    return 2;
+  }
+  std::string text;
+  if (argc == 2 && std::string(argv[1]) != "-") {
+    std::FILE* f = std::fopen(argv[1], "rb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "prom_lint: cannot open %s\n", argv[1]);
+      return 2;
+    }
+    char buf[1 << 16];
+    size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+    std::fclose(f);
+  } else {
+    std::ostringstream ss;
+    ss << std::cin.rdbuf();
+    text = ss.str();
+  }
+  const std::vector<std::string> problems =
+      sdelta::tools::LintPrometheusText(text);
+  for (const std::string& p : problems) {
+    std::fprintf(stderr, "%s\n", p.c_str());
+  }
+  if (problems.empty()) {
+    std::fprintf(stderr, "prom_lint: OK (%zu bytes)\n", text.size());
+    return 0;
+  }
+  return 1;
+}
