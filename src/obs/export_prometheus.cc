@@ -71,11 +71,6 @@ std::string ExportPrometheus(const MetricsSnapshot& snapshot) {
   for (const auto& [name, h] : snapshot.histograms) {
     const std::string p = PrometheusName(name);
     Header(out, p, "Observed value distribution.", "histogram");
-    // Legacy quantile samples (pre-bucket dashboards) ride along under
-    // the histogram family; Prometheus ingests them as plain series.
-    Sample(out, p, h.P50(), "{quantile=\"0.5\"}");
-    Sample(out, p, h.P95(), "{quantile=\"0.95\"}");
-    Sample(out, p, h.P99(), "{quantile=\"0.99\"}");
     // Cumulative buckets over the fixed log2 boundaries, trimmed to the
     // populated range (plus the mandatory +Inf) so expositions stay
     // compact. histogram_quantile() needs exactly this shape.
@@ -100,6 +95,14 @@ std::string ExportPrometheus(const MetricsSnapshot& snapshot) {
            "{le=\"+Inf\"}");
     Sample(out, p + "_sum", h.sum);
     Sample(out, p + "_count", static_cast<double>(h.count));
+    // Legacy quantile samples (pre-bucket dashboards) live in their own
+    // gauge family: a histogram family may only contain
+    // _bucket/_sum/_count series, and strict (OpenMetrics-mode) parsers
+    // reject bare quantile samples inside it.
+    Header(out, p + "_quantiles", "Approximate quantiles (legacy).", "gauge");
+    Sample(out, p + "_quantiles", h.P50(), "{quantile=\"0.5\"}");
+    Sample(out, p + "_quantiles", h.P95(), "{quantile=\"0.95\"}");
+    Sample(out, p + "_quantiles", h.P99(), "{quantile=\"0.99\"}");
     Header(out, p + "_min", "Minimum observed value.", "gauge");
     Sample(out, p + "_min", h.count == 0 ? 0 : h.min);
     Header(out, p + "_max", "Maximum observed value.", "gauge");

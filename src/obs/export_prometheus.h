@@ -21,9 +21,10 @@ namespace sdelta::obs {
 ///     boundaries (trimmed to the populated range, always ending in
 ///     le="+Inf"), plus `_sum` and `_count` — the shape
 ///     histogram_quantile() consumes. The pre-bucket quantile samples
-///     (`<name>{quantile="0.5"/"0.95"/"0.99"}`) are kept for dashboard
-///     compatibility, and the two companion gauges `<name>_min` /
-///     `<name>_max` remain.
+///     are kept for dashboard compatibility as a separate gauge family
+///     `<name>_quantiles{quantile="0.5"/"0.95"/"0.99"}` (a histogram
+///     family may only contain _bucket/_sum/_count series), and the two
+///     companion gauges `<name>_min` / `<name>_max` remain.
 ///
 /// Output is deterministic: series are iterated in sorted (map) order
 /// and floating-point values use shortest-round-trip formatting, so two

@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -16,6 +17,31 @@ namespace {
 
 constexpr size_t kMaxRequestBytes = 16 * 1024;  ///< scrape requests are tiny
 
+/// Per-connection I/O budget. A client that connects and then stalls
+/// (never finishes its request head, never drains the response) must
+/// not park the single acceptor thread — after this long it is dropped.
+constexpr int kIoTimeoutMs = 5000;
+
+/// Waits until `fd` is readable, the wake pipe fires (Stop wants the
+/// acceptor thread back), or the timeout lapses. Returns true only when
+/// `fd` itself has bytes (or EOF/error) to read; the wake byte is left
+/// in the pipe for AcceptLoop's own poll.
+bool WaitReadable(int fd, int wake_fd, int timeout_ms) {
+  while (true) {
+    pollfd fds[2];
+    fds[0] = {fd, POLLIN, 0};
+    fds[1] = {wake_fd, POLLIN, 0};
+    const int rc = ::poll(fds, 2, timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (rc == 0) return false;              // stalled client: give up
+    if (fds[1].revents != 0) return false;  // shutdown in progress
+    return (fds[0].revents & (POLLIN | POLLHUP | POLLERR)) != 0;
+  }
+}
+
 const char* StatusText(int status) {
   switch (status) {
     case 200: return "OK";
@@ -27,30 +53,33 @@ const char* StatusText(int status) {
   }
 }
 
-/// Blocking full write (the sockets are blocking; partial writes only
-/// happen on signals or huge bodies).
+/// Blocking full write (the sockets are blocking with SO_SNDTIMEO;
+/// a peer that stops draining makes write() fail with EAGAIN after the
+/// timeout and the response is abandoned).
 void WriteAll(int fd, const std::string& data) {
   size_t off = 0;
   while (off < data.size()) {
     const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
     if (n < 0) {
       if (errno == EINTR) continue;
-      return;  // peer went away; nothing useful to do
+      return;  // peer went away or stalled; nothing useful to do
     }
     off += static_cast<size_t>(n);
   }
 }
 
 /// Reads until the end of the request head ("\r\n\r\n"), EOF, or the
-/// size cap. Returns false on a connection that never produced a
+/// size cap, polling against the wake pipe and the I/O timeout before
+/// every read. Returns false on a connection that never produced a
 /// complete head.
-bool ReadHead(int fd, std::string& head) {
+bool ReadHead(int fd, int wake_fd, std::string& head) {
   char buf[2048];
   while (head.size() < kMaxRequestBytes) {
     if (head.find("\r\n\r\n") != std::string::npos ||
         head.find("\n\n") != std::string::npos) {
       return true;
     }
+    if (!WaitReadable(fd, wake_fd, kIoTimeoutMs)) return false;
     const ssize_t n = ::read(fd, buf, sizeof(buf));
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -164,6 +193,12 @@ void HttpEndpoint::AcceptLoop() {
     if ((fds[0].revents & POLLIN) == 0) continue;
     const int conn = ::accept(listen_fd_, nullptr, nullptr);
     if (conn < 0) continue;
+    // Bound the response write: reads are guarded by WaitReadable, and
+    // this keeps a non-draining peer from blocking WriteAll forever.
+    timeval tv{};
+    tv.tv_sec = kIoTimeoutMs / 1000;
+    tv.tv_usec = (kIoTimeoutMs % 1000) * 1000;
+    ::setsockopt(conn, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
     HandleConnection(conn);
     ::close(conn);
   }
@@ -171,7 +206,7 @@ void HttpEndpoint::AcceptLoop() {
 
 void HttpEndpoint::HandleConnection(int fd) {
   std::string head;
-  if (!ReadHead(fd, head)) return;
+  if (!ReadHead(fd, wake_fds_[0], head)) return;
 
   HttpRequest req;
   HttpResponse resp;

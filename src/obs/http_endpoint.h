@@ -34,7 +34,10 @@ struct HttpResponse {
 /// with Content-Length + Connection: close. No third-party
 /// dependencies, no TLS, no keep-alive — it exists so a running
 /// WarehouseService can be observed with curl/Prometheus, not to serve
-/// traffic.
+/// traffic. Per-connection I/O is bounded (reads poll against the stop
+/// wake-pipe with a 5s budget, writes carry SO_SNDTIMEO), so a client
+/// that connects and stalls is dropped instead of parking the acceptor
+/// thread or blocking Stop().
 ///
 /// Handlers run on the acceptor thread and must be thread-safe against
 /// the service's own threads (the service routes only call snapshot/

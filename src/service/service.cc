@@ -153,10 +153,19 @@ WarehouseService::WarehouseService(
                    "WAL tail replayed by Open");
   }
   versioned_.Install(BuildEpoch(nullptr, true, true));
-  maintenance_ = std::thread(&WarehouseService::MaintenanceLoop, this);
+  // Set before the thread spawns so a /healthz scrape racing startup
+  // never reports a dead maintenance thread; MaintenanceLoop clears it
+  // on exit.
+  maintenance_alive_.store(true);
+  // The endpoint starts before the maintenance thread exists: Start()
+  // throws on bind/listen failure (fixed port in use), and unwinding
+  // with a joinable std::thread member would std::terminate instead of
+  // letting Open() surface a catchable error. Handlers only read
+  // already-constructed snapshot state, so serving pre-thread is safe.
   if (options_.http_port >= 0) {
     StartHttp(static_cast<uint16_t>(options_.http_port));
   }
+  maintenance_ = std::thread(&WarehouseService::MaintenanceLoop, this);
 }
 
 WarehouseService::~WarehouseService() { Stop(); }
@@ -357,7 +366,6 @@ void WarehouseService::ApplyItems(std::vector<IngestItem> items) {
 }
 
 void WarehouseService::MaintenanceLoop() {
-  maintenance_alive_.store(true);
   while (true) {
     IngestBatch batch = queue_.WaitAndTake(options_.auto_batching);
     if (!batch.items.empty()) ApplyItems(std::move(batch.items));

@@ -252,7 +252,9 @@ class WarehouseService {
   uint64_t next_batch_id_ = 0;
   uint64_t last_batch_id_ = 0;  ///< guarded by state_mu_
 
-  /// True between MaintenanceLoop entry and exit (the /healthz check).
+  /// True from just before the thread spawns (set in the constructor,
+  /// ahead of any scrape) until MaintenanceLoop exits (the /healthz
+  /// check).
   std::atomic<bool> maintenance_alive_{false};
 
   std::unique_ptr<obs::HttpEndpoint> http_;

@@ -33,14 +33,16 @@ TEST(ExportPrometheusTest, GoldenExposition) {
             "sdelta_b_gauge 0.5\n"
             "# HELP sdelta_c_hist Observed value distribution.\n"
             "# TYPE sdelta_c_hist histogram\n"
-            "sdelta_c_hist{quantile=\"0.5\"} 2\n"
-            "sdelta_c_hist{quantile=\"0.95\"} 4\n"
-            "sdelta_c_hist{quantile=\"0.99\"} 4\n"
             "sdelta_c_hist_bucket{le=\"2\"} 1\n"
             "sdelta_c_hist_bucket{le=\"4\"} 2\n"
             "sdelta_c_hist_bucket{le=\"+Inf\"} 2\n"
             "sdelta_c_hist_sum 6\n"
             "sdelta_c_hist_count 2\n"
+            "# HELP sdelta_c_hist_quantiles Approximate quantiles (legacy).\n"
+            "# TYPE sdelta_c_hist_quantiles gauge\n"
+            "sdelta_c_hist_quantiles{quantile=\"0.5\"} 2\n"
+            "sdelta_c_hist_quantiles{quantile=\"0.95\"} 4\n"
+            "sdelta_c_hist_quantiles{quantile=\"0.99\"} 4\n"
             "# HELP sdelta_c_hist_min Minimum observed value.\n"
             "# TYPE sdelta_c_hist_min gauge\n"
             "sdelta_c_hist_min 2\n"

@@ -5,10 +5,13 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <filesystem>
 #include <limits>
 #include <map>
+#include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/delta.h"
@@ -229,6 +232,59 @@ TEST_F(ObservabilityTest, HttpEndpointServesTheFiveRoutes) {
   // Stop shuts the endpoint down with the service.
   svc->Stop();
   EXPECT_EQ(svc->http_port(), -1);
+}
+
+TEST_F(ObservabilityTest, HttpPortInUseSurfacesAsCatchableError) {
+  // Occupy a loopback port so the service's bind must fail.
+  const int blocker = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(blocker, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(0);
+  ASSERT_EQ(::bind(blocker, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+            0);
+  ASSERT_EQ(::listen(blocker, 1), 0);
+  socklen_t len = sizeof addr;
+  ASSERT_EQ(::getsockname(blocker, reinterpret_cast<sockaddr*>(&addr), &len),
+            0);
+
+  // Open must throw (not std::terminate): the endpoint starts before
+  // the maintenance thread, so the constructor unwinds cleanly.
+  WarehouseService::Options options;
+  options.http_port = ntohs(addr.sin_port);
+  EXPECT_THROW(OpenService(std::move(options)), std::runtime_error);
+  ::close(blocker);
+}
+
+TEST_F(ObservabilityTest, StalledClientDoesNotBlockStop) {
+  WarehouseService::Options options;
+  options.http_port = 0;
+  auto svc = OpenService(std::move(options));
+  const int port = svc->http_port();
+  ASSERT_GT(port, 0);
+
+  // Connect and never send a byte: the acceptor thread ends up in the
+  // in-flight read for this connection.
+  const int stalled = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(stalled, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(stalled, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof addr),
+            0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // Stop's wake byte interrupts the connection poll; this returns well
+  // before the 5s per-connection I/O budget (it used to hang forever).
+  const auto start = std::chrono::steady_clock::now();
+  svc->Stop();
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::seconds(4));
+  EXPECT_EQ(svc->http_port(), -1);
+  ::close(stalled);
 }
 
 /// Runs the reference workload at `num_threads` and returns the

@@ -31,12 +31,16 @@ TEST(PromLintTest, WellFormedFamiliesLintClean) {
       "sdelta_g -0.5\n"
       "# HELP sdelta_h A histogram.\n"
       "# TYPE sdelta_h histogram\n"
-      "sdelta_h{quantile=\"0.5\"} 2\n"
       "sdelta_h_bucket{le=\"2\"} 1\n"
       "sdelta_h_bucket{le=\"4\"} 2\n"
       "sdelta_h_bucket{le=\"+Inf\"} 2\n"
       "sdelta_h_sum 6\n"
-      "sdelta_h_count 2\n";
+      "sdelta_h_count 2\n"
+      "# HELP sdelta_s A summary.\n"
+      "# TYPE sdelta_s summary\n"
+      "sdelta_s{quantile=\"0.5\"} 2\n"
+      "sdelta_s_sum 6\n"
+      "sdelta_s_count 2\n";
   const auto problems = LintPrometheusText(doc);
   EXPECT_TRUE(problems.empty()) << JoinProblems(problems);
 }
@@ -153,13 +157,37 @@ TEST(PromLintTest, MissingSumOrCountIsFlagged) {
   EXPECT_EQ(problems.size(), 2u) << JoinProblems(problems);
 }
 
-TEST(PromLintTest, BareHistogramSampleNeedsQuantile) {
+TEST(PromLintTest, BareSampleOnHistogramFamilyIsFlagged) {
   const char* doc =
       "# TYPE sdelta_h histogram\n"
       "sdelta_h 2\n"
       "sdelta_h_bucket{le=\"+Inf\"} 1\n"
       "sdelta_h_sum 2\n"
       "sdelta_h_count 1\n";
+  const auto problems = LintPrometheusText(doc);
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("_bucket/_sum/_count"), std::string::npos);
+}
+
+TEST(PromLintTest, QuantileSampleInsideHistogramFamilyIsFlagged) {
+  // The legacy rider format: strict parsers reject it, and so do we.
+  const char* doc =
+      "# TYPE sdelta_h histogram\n"
+      "sdelta_h{quantile=\"0.5\"} 2\n"
+      "sdelta_h_bucket{le=\"+Inf\"} 1\n"
+      "sdelta_h_sum 2\n"
+      "sdelta_h_count 1\n";
+  const auto problems = LintPrometheusText(doc);
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("_bucket/_sum/_count"), std::string::npos);
+}
+
+TEST(PromLintTest, BareSummarySampleNeedsQuantile) {
+  const char* doc =
+      "# TYPE sdelta_s summary\n"
+      "sdelta_s 2\n"
+      "sdelta_s_sum 2\n"
+      "sdelta_s_count 1\n";
   const auto problems = LintPrometheusText(doc);
   ASSERT_EQ(problems.size(), 1u);
   EXPECT_NE(problems[0].find("quantile"), std::string::npos);

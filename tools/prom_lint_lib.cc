@@ -327,12 +327,20 @@ class Linter {
         return;
       }
       if (sample.name == fam) {
-        // Documented exception (export_prometheus.h): legacy quantile
-        // samples ride along under the histogram family.
-        if (!sample.Label("quantile").has_value()) {
-          Error(line_no,
-                "bare sample on histogram family '" + fam +
-                    "' without a quantile label");
+        if (family_.type == "summary") {
+          // Summaries legitimately carry quantile-labelled samples of
+          // the family name itself.
+          if (!sample.Label("quantile").has_value()) {
+            Error(line_no, "bare sample on summary family '" + fam +
+                               "' without a quantile label");
+          }
+        } else {
+          // A histogram family may only contain _bucket/_sum/_count
+          // series; quantile samples belong in their own family
+          // (export_prometheus emits <name>_quantiles).
+          Error(line_no, "histogram family '" + fam +
+                             "' may only contain _bucket/_sum/_count "
+                             "series");
         }
         return;
       }

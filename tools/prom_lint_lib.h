@@ -26,10 +26,10 @@ namespace sdelta::tools {
 ///   * histogram families: `_bucket` samples carry an `le` label, their
 ///     `le` values are sorted ascending and end at "+Inf", cumulative
 ///     counts are non-decreasing, the +Inf bucket equals `_count`, and
-///     `_sum`/`_count` are present. Exception (documented in
-///     export_prometheus.h): bare `name{quantile="..."}` samples are
-///     allowed on a histogram family — our exporter keeps the legacy
-///     quantile samples riding along for dashboard compatibility;
+///     `_sum`/`_count` are present. A histogram family may contain ONLY
+///     `_bucket`/`_sum`/`_count` series — quantile samples belong in a
+///     separate family (our exporter emits `<name>_quantiles` gauges);
+///     summary families accept `name{quantile="..."}` samples;
 ///   * duplicate sample series (same name + label set) are rejected.
 ///
 /// Returns the list of problems, one human-readable line each, with
