@@ -1,0 +1,208 @@
+// Microbench for the columnar storage layer: vectorized operators over
+// typed column vectors versus the legacy row-at-a-time path (ValueAt /
+// RowAt materialization per cell), on the retail-shaped tables the
+// propagate and refresh hot loops actually see.
+//
+// Cases (each at 200k rows, vectorized vs rowpath):
+//   select_*   - filter qty >= 4 (~4/7 selectivity). Vectorized runs
+//       rel::Select (per-morsel selection vectors + columnar gather);
+//       the row path materializes each row and re-Inserts survivors.
+//   sum_*      - GroupBy(storeID, itemID) with SUM(qty) + COUNT(*).
+//       Vectorized runs rel::GroupBy (packed keys + typed aggregate
+//       inputs); the row path reproduces the pre-columnar operator
+//       shape — materialize each row, extract a boxed GroupKey, probe
+//       an unordered_map, aggregate through Value boxes.
+//
+// Both paths must agree exactly: `selected`/`groups`/`checksum` are
+// emitted per entry and gated exact by the CI bench gate, so a
+// vectorization bug that changes results fails the gate, not just the
+// clock. Writes BENCH_columnar.json entries
+// {case, rows, ms, selected|groups, checksum}.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/maintenance.h"
+#include "obs/export_json.h"
+#include "relational/operators.h"
+#include "relational/table.h"
+
+namespace sdelta::bench {
+namespace {
+
+std::vector<obs::Json>& ColumnarEntries() {
+  static auto* entries = new std::vector<obs::Json>();
+  return *entries;
+}
+
+void AddEntry(const std::string& kase, size_t rows, double mean_seconds,
+              const char* count_name, size_t count, int64_t checksum) {
+  obs::Json e = obs::Json::Object();
+  e.Set("case", obs::Json::Str(kase));
+  e.Set("rows", obs::Json::Int(static_cast<int64_t>(rows)));
+  e.Set("ms", obs::Json::Double(mean_seconds * 1e3));
+  e.Set(count_name, obs::Json::Int(static_cast<int64_t>(count)));
+  e.Set("checksum", obs::Json::Int(checksum));
+  ColumnarEntries().push_back(std::move(e));
+}
+
+/// Same retail-shaped synthetic fact table as bench_keys: dense int
+/// dimension keys, deterministic xorshift64* stream.
+rel::Table MakeFact(size_t rows) {
+  rel::Schema s;
+  s.AddColumn("storeID", rel::ValueType::kInt64);
+  s.AddColumn("itemID", rel::ValueType::kInt64);
+  s.AddColumn("date", rel::ValueType::kInt64);
+  s.AddColumn("qty", rel::ValueType::kInt64);
+  rel::Table t(s, "fact");
+  t.Reserve(rows);
+  uint64_t x = 0x2545F4914F6CDD1DULL;
+  for (size_t i = 0; i < rows; ++i) {
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    const uint64_t r = x * 0x2545F4914F6CDD1DULL;
+    t.Insert({rel::Value::Int64(static_cast<int64_t>(r % 100)),
+              rel::Value::Int64(static_cast<int64_t>((r >> 8) % 1000)),
+              rel::Value::Int64(static_cast<int64_t>((r >> 24) % 365)),
+              rel::Value::Int64(static_cast<int64_t>(r % 7) + 1)});
+  }
+  return t;
+}
+
+/// Order-independent content checksum over the qty column — both paths
+/// must produce the same multiset of rows.
+int64_t QtyChecksum(const rel::Table& t, size_t qty_col) {
+  int64_t sum = 0;
+  for (size_t r = 0; r < t.NumRows(); ++r) {
+    sum += t.ValueAt(r, qty_col).as_int64();
+  }
+  return sum;
+}
+
+void RunSelect(benchmark::State& state, bool vectorized) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  const rel::Table fact = MakeFact(rows);
+  const rel::Expression pred =
+      rel::Expression::Ge(rel::Expression::Column("qty"),
+                          rel::Expression::Literal(rel::Value::Int64(4)));
+  size_t selected = 0;
+  int64_t checksum = 0;
+  double total = 0;
+  size_t runs = 0;
+  for (auto _ : state) {
+    core::Stopwatch sw;
+    rel::Table out(fact.schema());
+    if (vectorized) {
+      out = rel::Select(fact, pred);
+    } else {
+      // Legacy shape: materialize each row, test, re-insert survivors.
+      for (size_t r = 0; r < fact.NumRows(); ++r) {
+        rel::Row row = fact.RowAt(r);
+        if (row[3].as_int64() >= 4) out.Insert(std::move(row));
+      }
+    }
+    const double s = sw.ElapsedSeconds();
+    state.SetIterationTime(s);
+    total += s;
+    ++runs;
+    selected = out.NumRows();
+    checksum = QtyChecksum(out, 3);
+    benchmark::DoNotOptimize(out.NumRows());
+  }
+  state.counters["selected"] = static_cast<double>(selected);
+  AddEntry(vectorized ? "select_vectorized" : "select_rowpath", rows,
+           total / static_cast<double>(runs), "selected", selected, checksum);
+}
+
+void RunSum(benchmark::State& state, bool vectorized) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  const rel::Table fact = MakeFact(rows);
+  size_t groups = 0;
+  int64_t checksum = 0;
+  double total = 0;
+  size_t runs = 0;
+  for (auto _ : state) {
+    core::Stopwatch sw;
+    double s = 0;
+    if (vectorized) {
+      rel::Table out = rel::GroupBy(
+          fact, rel::GroupCols({"storeID", "itemID"}),
+          {rel::CountStar("TotalCount"),
+           rel::Sum(rel::Expression::Column("qty"), "TotalQuantity")});
+      s = sw.ElapsedSeconds();
+      groups = out.NumRows();
+      checksum = QtyChecksum(out, 3);
+    } else {
+      // Legacy shape — what GroupBy did before the columnar refactor:
+      // materialize each row, box its key columns into a GroupKey, probe
+      // a GroupKey-keyed map, and aggregate through Value boxes.
+      const std::vector<size_t> key_idx = {0, 1};
+      std::unordered_map<rel::GroupKey, std::pair<rel::Value, rel::Value>,
+                         rel::GroupKeyHash>
+          agg;
+      for (size_t r = 0; r < fact.NumRows(); ++r) {
+        const rel::Row row = fact.RowAt(r);
+        auto [it, inserted] = agg.try_emplace(
+            rel::ExtractKey(row, key_idx),
+            std::make_pair(rel::Value::Int64(0), rel::Value::Int64(0)));
+        it->second.first = rel::Value::Int64(it->second.first.as_int64() + 1);
+        it->second.second =
+            rel::Value::Int64(it->second.second.as_int64() + row[3].as_int64());
+      }
+      s = sw.ElapsedSeconds();
+      groups = agg.size();
+      checksum = 0;
+      for (const auto& [k, v] : agg) checksum += v.second.as_int64();
+      benchmark::DoNotOptimize(agg.size());
+    }
+    state.SetIterationTime(s);
+    total += s;
+    ++runs;
+  }
+  state.counters["groups"] = static_cast<double>(groups);
+  AddEntry(vectorized ? "sum_vectorized" : "sum_rowpath", rows,
+           total / static_cast<double>(runs), "groups", groups, checksum);
+}
+
+void BM_SelectVectorized(benchmark::State& state) { RunSelect(state, true); }
+void BM_SelectRowPath(benchmark::State& state) { RunSelect(state, false); }
+void BM_SumVectorized(benchmark::State& state) { RunSum(state, true); }
+void BM_SumRowPath(benchmark::State& state) { RunSum(state, false); }
+
+BENCHMARK(BM_SelectVectorized)
+    ->Arg(200000)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(5);
+BENCHMARK(BM_SelectRowPath)
+    ->Arg(200000)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(5);
+BENCHMARK(BM_SumVectorized)
+    ->Arg(200000)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(5);
+BENCHMARK(BM_SumRowPath)
+    ->Arg(200000)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(5);
+
+}  // namespace
+}  // namespace sdelta::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  sdelta::obs::MergeBenchJson("BENCH_columnar.json", "columnar",
+                              {"case", "rows"},
+                              sdelta::bench::ColumnarEntries());
+  benchmark::Shutdown();
+  return 0;
+}

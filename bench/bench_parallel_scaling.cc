@@ -95,6 +95,10 @@ void Run(ChangeClass cls, const char* workload, std::vector<obs::Json>* out) {
                                 : 0));
     e.Set("delta_rows", obs::Json::Int(static_cast<int64_t>(m.delta_rows)));
     e.Set("host_cpus", obs::Json::Int(host_cpus));
+    // Speedup gating flag: on a single-core host every thread count
+    // shares one core and the recorded speedups hover around 1x, so
+    // bench_compare only checks them when both runs had real cores.
+    e.Set("scaling_meaningful", obs::Json::Bool(host_cpus > 1));
     out->push_back(std::move(e));
   }
 }

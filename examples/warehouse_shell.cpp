@@ -18,7 +18,8 @@
 //   SELECT ...        answer a query (from a pinned snapshot when a view
 //                     derives it, else from the live warehouse)
 //   DROP <name>       remove a summary table
-//   tables            list base tables
+//   tables            list base tables with per-column storage layout
+//                     (column type, storage mode, null count, dict size)
 //   summaries         list summary tables
 //   lattice           show derives edges and the propagation plan
 //   batch <kind> <n>  append a change set and flush; kind = update |
@@ -250,8 +251,20 @@ int main(int argc, char** argv) {
       } else if (upper == "TABLES") {
         svc->WithWriter([](warehouse::Warehouse& wh) {
           for (const std::string& name : wh.catalog().TableNames()) {
-            std::printf("  %-10s %zu rows\n", name.c_str(),
-                        wh.catalog().GetTable(name).NumRows());
+            const rel::Table& t = wh.catalog().GetTable(name);
+            std::printf("  %-10s %zu rows, %zu bytes\n", name.c_str(),
+                        t.NumRows(), t.ApproxBytes());
+            for (size_t c = 0; c < t.schema().NumColumns(); ++c) {
+              const rel::ColumnVector& cv = t.column_data(c);
+              std::printf("    %-16s %-7s %-6s nulls=%zu",
+                          t.schema().column(c).name.c_str(),
+                          rel::ValueTypeName(t.schema().column(c).type),
+                          cv.StorageName(), cv.null_count());
+              if (cv.dict() != nullptr) {
+                std::printf(" dict=%zu codes", cv.dict()->size());
+              }
+              std::printf("\n");
+            }
           }
         });
       } else if (upper == "SUMMARIES") {

@@ -5,11 +5,9 @@
 namespace sdelta::core {
 
 void ApplyDeltaToTable(rel::Table& table, const DeltaSet& delta) {
-  for (const rel::Row& r : delta.insertions.rows()) {
-    table.Insert(r);
-  }
-  for (const rel::Row& r : delta.deletions.rows()) {
-    if (!table.EraseOneEqual(r)) {
+  table.AppendColumnsFrom(delta.insertions);
+  for (size_t i = 0; i < delta.deletions.NumRows(); ++i) {
+    if (!table.EraseOneEqual(delta.deletions.RowAt(i))) {
       throw std::runtime_error("deletion does not match any row of table '" +
                                table.name() + "'");
     }

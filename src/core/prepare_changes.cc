@@ -60,9 +60,10 @@ Table JoinWith(const AugmentedView& view, const rel::Table& fact_rows,
                const std::optional<Expression>& where,
                exec::ThreadPool* pool, exec::OperatorStats* stats) {
   const ViewDef& def = view.physical;
+  // Re-plate the fact rows under qualified column names: same column
+  // types, so this is a whole-column copy (dictionary codes included).
   Table current(fact_rows.schema().Qualified(def.fact_table));
-  current.Reserve(fact_rows.NumRows());
-  for (const rel::Row& r : fact_rows.rows()) current.Insert(r);
+  current.AppendColumnsFrom(fact_rows);
 
   for (size_t i = 0; i < def.joins.size(); ++i) {
     const DimensionJoin& j = def.joins[i];
@@ -161,9 +162,7 @@ rel::Table PrepareChanges(const rel::Catalog& catalog,
     Table part =
         ProjectSources(JoinWith(view, *fact, dims, def.where, pool, stats),
                        view, sign, pool, stats);
-    std::vector<rel::Row> rows = part.TakeRows();
-    out.Reserve(out.NumRows() + rows.size());
-    for (rel::Row& r : rows) out.Insert(std::move(r));
+    out.AppendColumnsFrom(std::move(part));
   };
 
   // Iterate the mixed-radix counter over versions.

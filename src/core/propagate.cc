@@ -22,6 +22,7 @@ void PropagateStats::EmitTo(obs::MetricsRegistry& metrics) const {
     metrics.Add(prefix + ".rows_in", c.rows_in);
     metrics.Add(prefix + ".rows_out", c.rows_out);
     metrics.Add(prefix + ".morsels", c.morsels);
+    metrics.Add(prefix + ".batches", c.batches);
     metrics.Observe(prefix + ".seconds", c.wall_seconds);
   });
   if (ops.hash_join.calls > 0) {
@@ -208,11 +209,8 @@ Table PreaggregatedDelta(const rel::Catalog& catalog,
       rel::Max(Expression::Column(kTaintedColumn), kTaintedColumn));
   Table out =
       rel::GroupBy(current, final_groups, stage3, pool, ops, size_hint);
-  Table named(out.schema(), "sd_" + def.name);
-  std::vector<rel::Row> rows = out.TakeRows();
-  named.Reserve(rows.size());
-  for (rel::Row& r : rows) named.Insert(std::move(r));
-  return named;
+  out.SetName("sd_" + def.name);
+  return out;
 }
 
 }  // namespace
@@ -242,11 +240,8 @@ rel::Table ComputeSummaryDelta(const rel::Catalog& catalog,
     specs.push_back(TaintFromSources(view));
     Table grouped = rel::GroupBy(pc, groups, specs, options.pool, &local.ops,
                                  options.delta_size_hint);
-    Table named(grouped.schema(), "sd_" + view.name());
-    std::vector<rel::Row> rows = grouped.TakeRows();
-    named.Reserve(rows.size());
-    for (rel::Row& r : rows) named.Insert(std::move(r));
-    return named;
+    grouped.SetName("sd_" + view.name());
+    return grouped;
   }();
   local.delta_groups = out.NumRows();
   span.Attr("prepared_tuples", static_cast<uint64_t>(local.prepared_tuples));
@@ -291,11 +286,8 @@ rel::Table ApplyDerivation(const rel::Catalog& catalog,
   }
   Table out =
       rel::GroupBy(*current, recipe.group_by, specs, pool, stats, size_hint);
-  Table named(out.schema(), "sd_" + recipe.child_name);
-  std::vector<rel::Row> rows = out.TakeRows();
-  named.Reserve(rows.size());
-  for (rel::Row& r : rows) named.Insert(std::move(r));
-  return named;
+  out.SetName("sd_" + recipe.child_name);
+  return out;
 }
 
 }  // namespace sdelta::core

@@ -43,7 +43,7 @@ struct PropagateStats {
 
   /// Folds this run's counters into a registry (propagate.rows_scanned,
   /// propagate.delta_rows, propagate.preaggregated, and per-operator
-  /// op.<name>.{calls,rows_in,rows_out,morsels} counters plus
+  /// op.<name>.{calls,rows_in,rows_out,morsels,batches} counters plus
   /// op.<name>.seconds histograms — only for operators invoked at least
   /// once, so untouched operators add no series).
   void EmitTo(obs::MetricsRegistry& metrics) const;

@@ -210,14 +210,17 @@ size_t BatchRecompute(const rel::Catalog& catalog, SummaryTable& view,
       dl.boxed.reserve(dl.dim->NumRows());
     }
     for (size_t r = 0; r < dl.dim->NumRows(); ++r) {
-      std::optional<rel::PackedKey> pk;
-      if (dl.codec.packable()) {
-        pk = dl.codec.EncodeRow(dl.dim->row(r), dl.dim_key_idx);
-      }
-      if (pk.has_value()) {
-        dl.packed.FindOrInsert(*pk, r);  // keep-first, like emplace did
+      rel::PackedKey pk;
+      const bool packed =
+          dl.codec.packable() &&
+          dl.codec.EncodeColumns(*dl.dim, dl.dim_key_idx, r,
+                                 rel::PackedKeyCodec::StringMode::kIntern,
+                                 &pk) ==
+              rel::PackedKeyCodec::ColumnarEncode::kPacked;
+      if (packed) {
+        dl.packed.FindOrInsert(pk, r);  // keep-first, like emplace did
       } else {
-        dl.boxed.emplace(GroupKey{dl.dim->row(r)[dl.dim_key_col]}, r);
+        dl.boxed.emplace(GroupKey{dl.dim->ValueAt(r, dl.dim_key_col)}, r);
       }
     }
     dims.push_back(std::move(dl));
@@ -272,23 +275,32 @@ size_t BatchRecompute(const rel::Catalog& catalog, SummaryTable& view,
   uint64_t packed_probes = 0;
   uint64_t fallback_probes = 0;
   size_t scanned = 0;
+  const size_t fact_cols = fact.schema().NumColumns();
   Row joined_row;
   GroupKey key_scratch;
-  for (const Row& fr : fact.rows()) {
+  for (size_t fr = 0; fr < fact.NumRows(); ++fr) {
     ++scanned;
-    joined_row.assign(fr.begin(), fr.end());
+    joined_row.clear();
+    for (size_t c = 0; c < fact_cols; ++c) {
+      joined_row.push_back(fact.ValueAt(fr, c));
+    }
     bool matched = true;
     for (const DimLookup& dl : dims) {
       const size_t* pos = nullptr;
-      std::optional<rel::PackedKey> pk;
-      if (dl.codec.packable()) pk = dl.codec.EncodeRow(fr, dl.fact_key_idx);
-      if (pk.has_value()) {
+      rel::PackedKey pk;
+      const bool packed =
+          dl.codec.packable() &&
+          dl.codec.EncodeColumns(fact, dl.fact_key_idx, fr,
+                                 rel::PackedKeyCodec::StringMode::kIntern,
+                                 &pk) ==
+              rel::PackedKeyCodec::ColumnarEncode::kPacked;
+      if (packed) {
         ++packed_probes;
-        pos = dl.packed.Find(*pk);
+        pos = dl.packed.Find(pk);
       } else {
         ++fallback_probes;
         key_scratch.clear();
-        key_scratch.push_back(fr[dl.fact_col]);
+        key_scratch.push_back(joined_row[dl.fact_col]);
         auto it = dl.boxed.find(key_scratch);
         if (it != dl.boxed.end()) pos = &it->second;
       }
@@ -296,8 +308,9 @@ size_t BatchRecompute(const rel::Catalog& catalog, SummaryTable& view,
         matched = false;
         break;
       }
-      const Row& dr = dl.dim->row(*pos);
-      for (size_t c : dl.carried) joined_row.push_back(dr[c]);
+      for (size_t c : dl.carried) {
+        joined_row.push_back(dl.dim->ValueAt(*pos, c));
+      }
     }
     if (!matched) continue;
     if (where.has_value() && !where->EvalPredicate(joined_row)) continue;
@@ -368,7 +381,8 @@ RefreshStats RefreshCursor(const rel::Catalog& catalog, SummaryTable& view,
   std::vector<GroupKey> recompute;
   GroupKey key;  // scratch, reused across delta rows
 
-  for (const Row& t : summary_delta.rows()) {
+  for (size_t ti = 0; ti < summary_delta.NumRows(); ++ti) {
+    const Row t = summary_delta.RowAt(ti);
     key.assign(t.begin(), t.begin() + layout.num_groups);
     Row* old_row = view.FindMutable(key);
     if (old_row == nullptr) {
@@ -444,8 +458,7 @@ RefreshStats RefreshMerge(const rel::Catalog& catalog, SummaryTable& view,
   };
 
   std::vector<Row> old_rows(view.rows().begin(), view.rows().end());
-  std::vector<Row> delta_rows(summary_delta.rows().begin(),
-                              summary_delta.rows().end());
+  std::vector<Row> delta_rows = summary_delta.MaterializeRows();
   std::sort(old_rows.begin(), old_rows.end(), key_less);
   std::sort(delta_rows.begin(), delta_rows.end(), key_less);
 

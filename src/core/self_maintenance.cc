@@ -213,7 +213,8 @@ rel::Table LogicalRows(const AugmentedView& view,
 
   rel::Table out(std::move(out_schema), view.name());
   out.Reserve(physical_rows.NumRows());
-  for (const rel::Row& r : physical_rows.rows()) {
+  for (size_t ri = 0; ri < physical_rows.NumRows(); ++ri) {
+    const rel::Row r = physical_rows.RowAt(ri);
     rel::Row row(r.begin(), r.begin() + num_groups);
     for (size_t i = 0; i < sources.size(); ++i) {
       if (kinds[i] == LogicalColumn::Source::kSumOverCount) {

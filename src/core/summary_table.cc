@@ -39,8 +39,8 @@ void SummaryTable::LoadFrom(const rel::Table& physical_rows) {
   } else {
     boxed_index_.reserve(physical_rows.NumRows());
   }
-  for (const rel::Row& r : physical_rows.rows()) {
-    Insert(r);
+  for (size_t i = 0; i < physical_rows.NumRows(); ++i) {
+    Insert(physical_rows.RowAt(i));
   }
 }
 

@@ -44,8 +44,7 @@ rel::Table JoinedRelation(const rel::Catalog& catalog, const ViewDef& view,
                           const rel::Table& fact_rows) {
   // Re-plate the fact rows under the fact table's qualified schema.
   Table current(fact_rows.schema().Qualified(view.fact_table));
-  current.Reserve(fact_rows.NumRows());
-  for (const rel::Row& r : fact_rows.rows()) current.Insert(r);
+  current.AppendColumnsFrom(fact_rows);
 
   for (const DimensionJoin& j : view.joins) {
     const Table& dim = catalog.GetTable(j.dim_table);
@@ -95,10 +94,8 @@ rel::Table EvaluateView(const rel::Catalog& catalog, const ViewDef& view) {
   Table out = rel::GroupBy(joined, rel::GroupCols(view.group_by),
                            view.aggregates);
   // GroupBy names outputs by bare name already; stamp the view name.
-  Table named(out.schema(), view.name);
-  named.Reserve(out.NumRows());
-  for (const rel::Row& r : out.rows()) named.Insert(r);
-  return named;
+  out.SetName(view.name);
+  return out;
 }
 
 void ValidateView(const rel::Catalog& catalog, const ViewDef& view) {

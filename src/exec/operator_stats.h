@@ -26,6 +26,10 @@ struct OperatorCounters {
   uint64_t rows_in = 0;
   uint64_t rows_out = 0;
   uint64_t morsels = 0;     // morsels in the operator's parallel plan(s)
+  uint64_t batches = 0;     // column batches scanned/emitted (each morsel
+                            // range is one batch through the vectorized
+                            // operators; a pure function of input sizes,
+                            // so thread-count-invariant like morsels)
   double wall_seconds = 0;  // non-deterministic; excluded from golden output
 
   void MergeFrom(const OperatorCounters& other) {
@@ -33,6 +37,7 @@ struct OperatorCounters {
     rows_in += other.rows_in;
     rows_out += other.rows_out;
     morsels += other.morsels;
+    batches += other.batches;
     wall_seconds += other.wall_seconds;
   }
 };

@@ -65,10 +65,8 @@ AnswerResult AnswerQuery(const rel::Catalog& catalog, const VLattice& lattice,
       core::ApplyDerivation(catalog, best_recipe, best->ToTable());
   rel::Table logical = core::LogicalRows(augmented, physical);
   // Stamp the query's own name on the output.
-  rel::Table named(logical.schema(), query.name);
-  named.Reserve(logical.NumRows());
-  for (const rel::Row& r : logical.rows()) named.Insert(r);
-  result.rows = std::move(named);
+  logical.SetName(query.name);
+  result.rows = std::move(logical);
   return result;
 }
 

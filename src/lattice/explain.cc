@@ -38,7 +38,8 @@ void AppendOpLines(const ExplainStep& step, const std::string& indent,
     if (c.calls == 0) return;
     *out += indent + "op " + name + " calls=" + NumberTo(c.calls) +
             " in=" + NumberTo(c.rows_in) + " out=" + NumberTo(c.rows_out) +
-            " morsels=" + NumberTo(c.morsels);
+            " morsels=" + NumberTo(c.morsels) +
+            " batches=" + NumberTo(c.batches);
     if (std::string_view(name) == "hash_join") {
       *out += " build=" + NumberTo(step.ops.join_build_rows) +
               " probe=" + NumberTo(step.ops.join_probe_rows);
@@ -207,6 +208,7 @@ obs::Json ExplainResult::ToJson(const ExplainRenderOptions& options) const {
             op.Set("rows_in", obs::Json::Int(int64_t(c.rows_in)));
             op.Set("rows_out", obs::Json::Int(int64_t(c.rows_out)));
             op.Set("morsels", obs::Json::Int(int64_t(c.morsels)));
+            op.Set("batches", obs::Json::Int(int64_t(c.batches)));
             if (options.include_timings) {
               op.Set("seconds", obs::Json::Double(c.wall_seconds));
             }

@@ -87,8 +87,8 @@ double EstimateGroupCount(const rel::Catalog& catalog,
     const rel::Table& t = catalog.GetTable(table);
     const size_t idx = t.schema().Resolve(column);
     std::unordered_set<rel::GroupKey, rel::GroupKeyHash> distinct;
-    for (const rel::Row& r : t.rows()) {
-      distinct.insert(rel::GroupKey{r[idx]});
+    for (size_t r = 0; r < t.NumRows(); ++r) {
+      distinct.insert(rel::GroupKey{t.ValueAt(r, idx)});
     }
     product *= static_cast<double>(std::max<size_t>(distinct.size(), 1));
   }

@@ -3,6 +3,7 @@
 
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "relational/expression.h"
@@ -61,6 +62,60 @@ class Accumulator {
   /// Folds one input value. For kCountStar the value is ignored.
   void Add(const Value& v);
 
+  /// Typed fast paths for the vectorized GroupBy kernels: identical
+  /// semantics to Add(Value::Int64(v)) / Add(Value::Double(v)) /
+  /// Add(Value::Null()) without constructing a Value on the hot path
+  /// (MIN/MAX build one only when the extremum actually changes).
+  void AddInt64(int64_t v) {
+    switch (kind_) {
+      case AggregateKind::kCountStar:
+      case AggregateKind::kCount:
+        ++count_;
+        return;
+      case AggregateKind::kSum:
+      case AggregateKind::kAvg:
+        has_value_ = true;
+        ++count_;
+        if (sum_is_double_) {
+          sum_d_ += static_cast<double>(v);
+        } else {
+          sum_i_ += v;
+        }
+        return;
+      case AggregateKind::kMin:
+      case AggregateKind::kMax:
+        AddExtremum(Value::Int64(v));
+        return;
+    }
+  }
+
+  void AddDouble(double v) {
+    switch (kind_) {
+      case AggregateKind::kCountStar:
+      case AggregateKind::kCount:
+        ++count_;
+        return;
+      case AggregateKind::kSum:
+      case AggregateKind::kAvg:
+        has_value_ = true;
+        ++count_;
+        if (!sum_is_double_) {
+          sum_d_ = static_cast<double>(sum_i_);
+          sum_is_double_ = true;
+        }
+        sum_d_ += v;
+        return;
+      case AggregateKind::kMin:
+      case AggregateKind::kMax:
+        AddExtremum(Value::Double(v));
+        return;
+    }
+  }
+
+  void AddNull() {
+    if (kind_ == AggregateKind::kCountStar) ++count_;
+  }
+
   /// Folds another accumulator of the same kind into this one, as if
   /// this one had also seen all of `other`'s inputs. COUNT/SUM/MIN/MAX
   /// are distributive and AVG is algebraic over (sum, count), so the
@@ -73,6 +128,15 @@ class Accumulator {
   Value Result() const;
 
  private:
+  void AddExtremum(Value v) {
+    const bool better =
+        !has_value_ || (kind_ == AggregateKind::kMin
+                            ? Value::Compare(v, extremum_) < 0
+                            : Value::Compare(v, extremum_) > 0);
+    if (better) extremum_ = std::move(v);
+    has_value_ = true;
+  }
+
   AggregateKind kind_;
   int64_t count_ = 0;       // non-null inputs (or all rows for COUNT(*))
   bool has_value_ = false;  // any non-null input seen

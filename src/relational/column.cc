@@ -1,0 +1,378 @@
+#include "relational/column.h"
+
+#include <functional>
+#include <utility>
+
+namespace sdelta::rel {
+
+namespace {
+
+/// Placeholder code stored in NULL slots of dictionary columns. Never a
+/// valid code (Dictionary caps codes at kMaxCode = 0xFFFFFFFE).
+constexpr uint32_t kNullCodeSlot = 0xFFFFFFFFu;
+
+size_t NullWordsFor(size_t rows) { return (rows + 63) / 64; }
+
+}  // namespace
+
+ColumnVector::ColumnVector(ValueType declared) : declared_(declared) {
+  switch (declared) {
+    case ValueType::kInt64: storage_ = Storage::kInt64; break;
+    case ValueType::kDouble: storage_ = Storage::kDouble; break;
+    case ValueType::kString: storage_ = Storage::kDict; break;
+    case ValueType::kNull: storage_ = Storage::kBoxed; break;
+  }
+}
+
+size_t ColumnVector::null_count() const {
+  if (storage_ != Storage::kBoxed) return null_count_;
+  size_t n = 0;
+  for (const Value& v : box_) n += v.is_null();
+  return n;
+}
+
+void ColumnVector::Reserve(size_t n) {
+  switch (storage_) {
+    case Storage::kInt64: ints_.reserve(n); break;
+    case Storage::kDouble: doubles_.reserve(n); break;
+    case Storage::kDict: codes_.reserve(n); break;
+    case Storage::kBoxed: box_.reserve(n); return;
+  }
+  nulls_.reserve(NullWordsFor(n));
+}
+
+void ColumnVector::Clear() {
+  ints_.clear();
+  doubles_.clear();
+  codes_.clear();
+  nulls_.clear();
+  box_.clear();
+  size_ = 0;
+  null_count_ = 0;
+  // A cleared column keeps its storage mode and dictionary: existing
+  // codes are gone, but the interner stays valid for future appends.
+  if (storage_ == Storage::kBoxed && declared_ != ValueType::kNull) {
+    // Un-demote: with no rows left the typed layout is valid again.
+    storage_ = declared_ == ValueType::kInt64    ? Storage::kInt64
+               : declared_ == ValueType::kDouble ? Storage::kDouble
+                                                 : Storage::kDict;
+  }
+}
+
+void ColumnVector::EnsureDict() {
+  if (dict_ == nullptr) dict_ = std::make_shared<Dictionary>();
+}
+
+void ColumnVector::PushNullBit(bool is_null) {
+  if ((size_ & 63) == 0) nulls_.push_back(0);
+  if (is_null) {
+    nulls_.back() |= uint64_t{1} << (size_ & 63);
+    ++null_count_;
+  }
+}
+
+void ColumnVector::Append(const Value& v) {
+  switch (storage_) {
+    case Storage::kBoxed:
+      box_.push_back(v);
+      ++size_;
+      return;
+    case Storage::kInt64:
+      if (v.is_null()) {
+        ints_.push_back(0);
+        PushNullBit(true);
+        ++size_;
+        return;
+      }
+      if (v.type() == ValueType::kInt64) {
+        ints_.push_back(v.as_int64());
+        PushNullBit(false);
+        ++size_;
+        return;
+      }
+      break;
+    case Storage::kDouble:
+      if (v.is_null()) {
+        doubles_.push_back(0.0);
+        PushNullBit(true);
+        ++size_;
+        return;
+      }
+      if (v.type() == ValueType::kDouble) {
+        doubles_.push_back(v.as_double());
+        PushNullBit(false);
+        ++size_;
+        return;
+      }
+      break;
+    case Storage::kDict:
+      if (v.is_null()) {
+        codes_.push_back(kNullCodeSlot);
+        PushNullBit(true);
+        ++size_;
+        return;
+      }
+      if (v.type() == ValueType::kString) {
+        EnsureDict();
+        codes_.push_back(dict_->Intern(v.as_string()));
+        PushNullBit(false);
+        ++size_;
+        return;
+      }
+      break;
+  }
+  // Runtime type escaped the declared layout: demote the whole column.
+  Demote();
+  box_.push_back(v);
+  ++size_;
+}
+
+void ColumnVector::AppendNull() { Append(Value::Null()); }
+
+void ColumnVector::Demote() {
+  box_.reserve(size_ + 1);
+  for (size_t i = 0; i < size_; ++i) box_.push_back(At(i));
+  std::vector<int64_t>().swap(ints_);
+  std::vector<double>().swap(doubles_);
+  std::vector<uint32_t>().swap(codes_);
+  std::vector<uint64_t>().swap(nulls_);
+  dict_.reset();
+  null_count_ = 0;
+  storage_ = Storage::kBoxed;
+}
+
+Value ColumnVector::At(size_t i) const {
+  switch (storage_) {
+    case Storage::kBoxed: return box_[i];
+    case Storage::kInt64:
+      return NullBit(i) ? Value::Null() : Value::Int64(ints_[i]);
+    case Storage::kDouble:
+      return NullBit(i) ? Value::Null() : Value::Double(doubles_[i]);
+    case Storage::kDict:
+      return NullBit(i) ? Value::Null()
+                        : Value::String(dict_->ValueOf(codes_[i]));
+  }
+  return Value::Null();
+}
+
+size_t ColumnVector::HashAt(size_t i) const {
+  // Must equal At(i).Hash() exactly: the whole-row index and BagEquals
+  // mix these hashes the same way HashRow mixes Value::Hash.
+  switch (storage_) {
+    case Storage::kBoxed:
+      return box_[i].Hash();
+    case Storage::kInt64:
+      if (NullBit(i)) break;
+      return std::hash<int64_t>{}(ints_[i]);
+    case Storage::kDouble: {
+      if (NullBit(i)) break;
+      const double d = doubles_[i];
+      const int64_t twin = static_cast<int64_t>(d);
+      if (static_cast<double>(twin) == d) return std::hash<int64_t>{}(twin);
+      return std::hash<double>{}(d);
+    }
+    case Storage::kDict:
+      if (NullBit(i)) break;
+      return std::hash<std::string>{}(dict_->ValueOf(codes_[i]));
+  }
+  return 0x9e3779b97f4a7c15ULL;  // Value::Hash of NULL
+}
+
+bool ColumnVector::EqualsAt(size_t i, const Value& v) const {
+  switch (storage_) {
+    case Storage::kBoxed:
+      return box_[i] == v;
+    case Storage::kInt64:
+      if (NullBit(i)) return v.is_null();
+      if (v.type() == ValueType::kInt64) return ints_[i] == v.as_int64();
+      if (v.type() == ValueType::kDouble) {
+        return static_cast<double>(ints_[i]) == v.as_double();
+      }
+      return false;
+    case Storage::kDouble:
+      if (NullBit(i)) return v.is_null();
+      if (v.type() == ValueType::kDouble) return doubles_[i] == v.as_double();
+      if (v.type() == ValueType::kInt64) {
+        return doubles_[i] == static_cast<double>(v.as_int64());
+      }
+      return false;
+    case Storage::kDict:
+      if (NullBit(i)) return v.is_null();
+      return v.type() == ValueType::kString &&
+             dict_->ValueOf(codes_[i]) == v.as_string();
+  }
+  return false;
+}
+
+void ColumnVector::AppendRange(const ColumnVector& src, size_t begin,
+                               size_t end) {
+  if (begin >= end) return;
+  // Mirrors the PR-4 ExtractKey contract: when the caller Reserved
+  // enough capacity up front, a bulk append must not reallocate.
+  [[maybe_unused]] const Storage mode_before = storage_;
+  [[maybe_unused]] const bool fits =
+      storage_ == Storage::kInt64    ? ints_.capacity() >= size_ + (end - begin)
+      : storage_ == Storage::kDouble ? doubles_.capacity() >=
+                                           size_ + (end - begin)
+      : storage_ == Storage::kDict   ? codes_.capacity() >= size_ + (end - begin)
+                                     : box_.capacity() >= size_ + (end - begin);
+  [[maybe_unused]] const void* data_before =
+      storage_ == Storage::kInt64    ? static_cast<const void*>(ints_.data())
+      : storage_ == Storage::kDouble ? static_cast<const void*>(doubles_.data())
+      : storage_ == Storage::kDict   ? static_cast<const void*>(codes_.data())
+                                     : static_cast<const void*>(box_.data());
+  if (src.storage_ == storage_ && storage_ == Storage::kInt64) {
+    ints_.insert(ints_.end(), src.ints_.begin() + begin,
+                 src.ints_.begin() + end);
+    for (size_t i = begin; i < end; ++i) {
+      PushNullBit(src.NullBit(i));
+      ++size_;
+    }
+  } else if (src.storage_ == storage_ && storage_ == Storage::kDouble) {
+    doubles_.insert(doubles_.end(), src.doubles_.begin() + begin,
+                    src.doubles_.begin() + end);
+    for (size_t i = begin; i < end; ++i) {
+      PushNullBit(src.NullBit(i));
+      ++size_;
+    }
+  } else if (src.storage_ == storage_ && storage_ == Storage::kDict) {
+    if (dict_ == nullptr && size_ == 0) dict_ = src.dict_;  // adopt
+    if (dict_ == src.dict_) {
+      codes_.insert(codes_.end(), src.codes_.begin() + begin,
+                    src.codes_.begin() + end);
+      for (size_t i = begin; i < end; ++i) {
+        PushNullBit(src.NullBit(i));
+        ++size_;
+      }
+    } else {
+      for (size_t i = begin; i < end; ++i) {
+        if (src.NullBit(i)) {
+          codes_.push_back(kNullCodeSlot);
+          PushNullBit(true);
+        } else {
+          EnsureDict();
+          codes_.push_back(dict_->Intern(src.dict_->ValueOf(src.codes_[i])));
+          PushNullBit(false);
+        }
+        ++size_;
+      }
+    }
+  } else {
+    // Mixed modes (or boxed): per-value append keeps demotion behavior
+    // identical to a row-at-a-time build of the same sequence.
+    for (size_t i = begin; i < end; ++i) Append(src.At(i));
+  }
+  assert(!fits || storage_ != mode_before ||
+         data_before ==
+                      (storage_ == Storage::kInt64
+                           ? static_cast<const void*>(ints_.data())
+                       : storage_ == Storage::kDouble
+                           ? static_cast<const void*>(doubles_.data())
+                       : storage_ == Storage::kDict
+                           ? static_cast<const void*>(codes_.data())
+                           : static_cast<const void*>(box_.data())));
+}
+
+void ColumnVector::AppendGather(const ColumnVector& src,
+                                const std::vector<size_t>& rows) {
+  if (rows.empty()) return;
+  if (src.storage_ == storage_ && storage_ == Storage::kInt64) {
+    for (size_t i : rows) {
+      ints_.push_back(src.ints_[i]);
+      PushNullBit(src.NullBit(i));
+      ++size_;
+    }
+  } else if (src.storage_ == storage_ && storage_ == Storage::kDouble) {
+    for (size_t i : rows) {
+      doubles_.push_back(src.doubles_[i]);
+      PushNullBit(src.NullBit(i));
+      ++size_;
+    }
+  } else if (src.storage_ == storage_ && storage_ == Storage::kDict) {
+    if (dict_ == nullptr && size_ == 0) dict_ = src.dict_;  // adopt
+    if (dict_ == src.dict_) {
+      for (size_t i : rows) {
+        codes_.push_back(src.codes_[i]);
+        PushNullBit(src.NullBit(i));
+        ++size_;
+      }
+    } else {
+      for (size_t i : rows) {
+        if (src.NullBit(i)) {
+          codes_.push_back(kNullCodeSlot);
+          PushNullBit(true);
+        } else {
+          EnsureDict();
+          codes_.push_back(dict_->Intern(src.dict_->ValueOf(src.codes_[i])));
+          PushNullBit(false);
+        }
+        ++size_;
+      }
+    }
+  } else {
+    for (size_t i : rows) Append(src.At(i));
+  }
+}
+
+void ColumnVector::EraseAtSwap(size_t i) {
+  const size_t last = size_ - 1;
+  if (storage_ == Storage::kBoxed) {
+    if (i != last) box_[i] = std::move(box_[last]);
+    box_.pop_back();
+    --size_;
+    return;
+  }
+  const bool erased_null = NullBit(i);
+  const bool last_null = NullBit(last);
+  switch (storage_) {
+    case Storage::kInt64:
+      ints_[i] = ints_[last];
+      ints_.pop_back();
+      break;
+    case Storage::kDouble:
+      doubles_[i] = doubles_[last];
+      doubles_.pop_back();
+      break;
+    case Storage::kDict:
+      codes_[i] = codes_[last];
+      codes_.pop_back();
+      break;
+    case Storage::kBoxed:
+      break;  // unreachable
+  }
+  if (last_null) {
+    nulls_[i >> 6] |= uint64_t{1} << (i & 63);
+  } else {
+    nulls_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+  }
+  nulls_[last >> 6] &= ~(uint64_t{1} << (last & 63));
+  if (erased_null) --null_count_;
+  --size_;
+  if (nulls_.size() > NullWordsFor(size_)) nulls_.pop_back();
+}
+
+size_t ColumnVector::ApproxBytes() const {
+  size_t bytes = ints_.capacity() * sizeof(int64_t) +
+                 doubles_.capacity() * sizeof(double) +
+                 codes_.capacity() * sizeof(uint32_t) +
+                 nulls_.capacity() * sizeof(uint64_t);
+  if (storage_ == Storage::kBoxed) {
+    bytes += box_.capacity() * sizeof(Value);
+    for (const Value& v : box_) {
+      if (v.type() == ValueType::kString) bytes += v.as_string().capacity();
+    }
+  }
+  return bytes;
+}
+
+const char* ColumnVector::StorageName() const {
+  switch (storage_) {
+    case Storage::kInt64: return "int64";
+    case Storage::kDouble: return "double";
+    case Storage::kDict: return "dict";
+    case Storage::kBoxed: return "boxed";
+  }
+  return "?";
+}
+
+}  // namespace sdelta::rel

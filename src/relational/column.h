@@ -1,0 +1,134 @@
+#ifndef SDELTA_RELATIONAL_COLUMN_H_
+#define SDELTA_RELATIONAL_COLUMN_H_
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relational/dictionary.h"
+#include "relational/value.h"
+
+namespace sdelta::rel {
+
+/// One column of a Table, stored as a typed vector chosen by the
+/// column's *declared* schema type:
+///
+///   declared kInt64  -> std::vector<int64_t>
+///   declared kDouble -> std::vector<double>
+///   declared kString -> std::vector<uint32_t> dictionary codes plus a
+///                       shared, append-only Dictionary
+///
+/// plus a per-column null bitmap (one bit per row, set = NULL). NULL
+/// slots keep a placeholder in the typed vector so positions stay
+/// aligned; the bitmap is authoritative.
+///
+/// Values whose runtime type does not match the declared type (a
+/// non-integral double in an int64 column, an int64 that an expression
+/// widened into a string column, any value in a kNull-declared column)
+/// demote the *whole column* to boxed storage — a plain
+/// std::vector<Value> holding the exact original Values. Demotion is a
+/// pure function of the appended value sequence, so a table built from
+/// the same rows in the same order always lands in the same storage
+/// mode regardless of thread count; and because typed storage only ever
+/// holds values whose runtime type matched exactly, At(i) reproduces
+/// every appended Value byte-identically in either mode.
+///
+/// The dictionary is shared via shared_ptr: operators that copy or
+/// gather rows from a column reuse the source dictionary and copy codes
+/// verbatim (no re-hashing); appends from a column with a *different*
+/// dictionary re-intern through the destination's. Codes never appear
+/// in results, so dictionary state does not affect output bytes.
+class ColumnVector {
+ public:
+  enum class Storage : uint8_t { kInt64, kDouble, kDict, kBoxed };
+
+  ColumnVector() : ColumnVector(ValueType::kNull) {}
+  explicit ColumnVector(ValueType declared);
+
+  ValueType declared_type() const { return declared_; }
+  Storage storage() const { return storage_; }
+  bool boxed() const { return storage_ == Storage::kBoxed; }
+  size_t size() const { return size_; }
+  size_t null_count() const;
+
+  void Reserve(size_t n);
+  void Clear();
+
+  /// Appends one value, demoting to boxed storage on a type mismatch.
+  void Append(const Value& v);
+  void AppendNull();
+
+  /// Materializes the value at i (dictionary columns copy the string).
+  Value At(size_t i) const;
+
+  bool IsNullAt(size_t i) const {
+    return storage_ == Storage::kBoxed ? box_[i].is_null() : NullBit(i);
+  }
+
+  /// Hash of At(i), identical to Value::Hash without materializing.
+  size_t HashAt(size_t i) const;
+
+  /// At(i) == v under Value's widening equality, without materializing.
+  bool EqualsAt(size_t i, const Value& v) const;
+
+  /// Bulk-appends src rows [begin, end). Columns in the same storage
+  /// mode copy vectors directly (dictionary codes copy verbatim when
+  /// the dictionaries are the same object, and re-intern otherwise);
+  /// everything else falls back to per-value Append, keeping the
+  /// demotion rule identical to a row-at-a-time build.
+  void AppendRange(const ColumnVector& src, size_t begin, size_t end);
+
+  /// Bulk-appends src rows at `rows`, in order. Same fast paths as
+  /// AppendRange.
+  void AppendGather(const ColumnVector& src, const std::vector<size_t>& rows);
+
+  /// Removes row i by swapping the last row into its place (O(1)).
+  void EraseAtSwap(size_t i);
+
+  // Typed accessors for vectorized inner loops. Only valid in the
+  // matching storage mode; callers branch on storage() once per batch.
+  const int64_t* ints() const { return ints_.data(); }
+  const double* doubles() const { return doubles_.data(); }
+  const uint32_t* codes() const { return codes_.data(); }
+  const std::shared_ptr<Dictionary>& dict() const { return dict_; }
+  const std::vector<Value>& boxed_values() const { return box_; }
+  /// Null bitmap words (64 rows per word, bit set = NULL). Null when
+  /// boxed (NULLs then live in the Values themselves).
+  const uint64_t* null_words() const {
+    return storage_ == Storage::kBoxed ? nullptr : nulls_.data();
+  }
+
+  static bool WordBit(const uint64_t* words, size_t i) {
+    return (words[i >> 6] >> (i & 63)) & 1;
+  }
+
+  /// Heap bytes used by this column's own storage (the shared
+  /// dictionary is excluded — it may back many columns).
+  size_t ApproxBytes() const;
+
+  /// "int64" | "double" | "dict" | "boxed", for layout introspection.
+  const char* StorageName() const;
+
+ private:
+  void Demote();
+  void EnsureDict();
+  void PushNullBit(bool is_null);
+  bool NullBit(size_t i) const { return WordBit(nulls_.data(), i); }
+
+  ValueType declared_ = ValueType::kNull;
+  Storage storage_ = Storage::kBoxed;
+  size_t size_ = 0;
+  size_t null_count_ = 0;  // typed modes only; boxed counts on demand
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<uint32_t> codes_;
+  std::shared_ptr<Dictionary> dict_;
+  std::vector<uint64_t> nulls_;
+  std::vector<Value> box_;
+};
+
+}  // namespace sdelta::rel
+
+#endif  // SDELTA_RELATIONAL_COLUMN_H_

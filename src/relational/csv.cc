@@ -153,10 +153,10 @@ void WriteCsv(const Table& table, std::ostream& out) {
     out << schema.column(i).name;
   }
   out << '\n';
-  for (const Row& row : table.rows()) {
-    for (size_t i = 0; i < row.size(); ++i) {
+  for (size_t r = 0; r < table.NumRows(); ++r) {
+    for (size_t i = 0; i < schema.NumColumns(); ++i) {
       if (i > 0) out << ',';
-      WriteField(row[i], out);
+      WriteField(table.ValueAt(r, i), out);
     }
     out << '\n';
   }

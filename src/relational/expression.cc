@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "relational/table.h"
+
 namespace sdelta::rel {
 
 struct Expression::Node {
@@ -301,41 +303,64 @@ Value FromTruth(int t) {
 
 }  // namespace
 
-Value BoundExpression::Eval(const Row& row) const {
+namespace {
+
+/// Column accessors for the shared evaluation walk: one view over a
+/// materialized Row, one over a columnar Table row.
+struct RowAccess {
+  const Row& row;
+  Value Get(size_t col) const { return row[col]; }
+};
+
+struct TableAccess {
+  const Table& table;
+  size_t row;
+  Value Get(size_t col) const { return table.ValueAt(row, col); }
+};
+
+}  // namespace
+
+template <typename Access>
+Value BoundExpression::EvalNode(const BoundNode& n, const Access& at) {
   using Kind = Expression::Kind;
-  const BoundNode& n = *node_;
   switch (n.kind) {
     case Kind::kColumn:
-      return row[n.column_index];
+      return at.Get(n.column_index);
     case Kind::kLiteral:
       return n.literal;
     case Kind::kNegate:
-      return Value::Negate(n.children[0].Eval(row));
+      return Value::Negate(EvalNode(*n.children[0].node_, at));
     case Kind::kIsNull:
-      return Value::Int64(n.children[0].Eval(row).is_null() ? 1 : 0);
+      return Value::Int64(EvalNode(*n.children[0].node_, at).is_null() ? 1
+                                                                       : 0);
     case Kind::kNot: {
-      int t = Truth(n.children[0].Eval(row));
+      int t = Truth(EvalNode(*n.children[0].node_, at));
       return FromTruth(t < 0 ? -1 : 1 - t);
     }
     case Kind::kCaseIsNull:
-      return n.children[0].Eval(row).is_null() ? n.children[1].Eval(row)
-                                               : n.children[2].Eval(row);
+      return EvalNode(*n.children[0].node_, at).is_null()
+                 ? EvalNode(*n.children[1].node_, at)
+                 : EvalNode(*n.children[2].node_, at);
     case Kind::kAdd:
-      return Value::Add(n.children[0].Eval(row), n.children[1].Eval(row));
+      return Value::Add(EvalNode(*n.children[0].node_, at),
+                        EvalNode(*n.children[1].node_, at));
     case Kind::kSubtract:
-      return Value::Subtract(n.children[0].Eval(row), n.children[1].Eval(row));
+      return Value::Subtract(EvalNode(*n.children[0].node_, at),
+                             EvalNode(*n.children[1].node_, at));
     case Kind::kMultiply:
-      return Value::Multiply(n.children[0].Eval(row), n.children[1].Eval(row));
+      return Value::Multiply(EvalNode(*n.children[0].node_, at),
+                             EvalNode(*n.children[1].node_, at));
     case Kind::kDivide:
-      return Value::Divide(n.children[0].Eval(row), n.children[1].Eval(row));
+      return Value::Divide(EvalNode(*n.children[0].node_, at),
+                           EvalNode(*n.children[1].node_, at));
     case Kind::kEq:
     case Kind::kNe:
     case Kind::kLt:
     case Kind::kLe:
     case Kind::kGt:
     case Kind::kGe: {
-      Value a = n.children[0].Eval(row);
-      Value b = n.children[1].Eval(row);
+      Value a = EvalNode(*n.children[0].node_, at);
+      Value b = EvalNode(*n.children[1].node_, at);
       if (a.is_null() || b.is_null()) return Value::Null();
       int c = Value::Compare(a, b);
       bool r = false;
@@ -350,17 +375,17 @@ Value BoundExpression::Eval(const Row& row) const {
       return Value::Int64(r ? 1 : 0);
     }
     case Kind::kAnd: {
-      int a = Truth(n.children[0].Eval(row));
+      int a = Truth(EvalNode(*n.children[0].node_, at));
       if (a == 0) return Value::Int64(0);
-      int b = Truth(n.children[1].Eval(row));
+      int b = Truth(EvalNode(*n.children[1].node_, at));
       if (b == 0) return Value::Int64(0);
       if (a < 0 || b < 0) return Value::Null();
       return Value::Int64(1);
     }
     case Kind::kOr: {
-      int a = Truth(n.children[0].Eval(row));
+      int a = Truth(EvalNode(*n.children[0].node_, at));
       if (a == 1) return Value::Int64(1);
-      int b = Truth(n.children[1].Eval(row));
+      int b = Truth(EvalNode(*n.children[1].node_, at));
       if (b == 1) return Value::Int64(1);
       if (a < 0 || b < 0) return Value::Null();
       return Value::Int64(0);
@@ -369,8 +394,27 @@ Value BoundExpression::Eval(const Row& row) const {
   return Value::Null();
 }
 
+Value BoundExpression::Eval(const Row& row) const {
+  return EvalNode(*node_, RowAccess{row});
+}
+
+Value BoundExpression::EvalAt(const Table& table, size_t row) const {
+  return EvalNode(*node_, TableAccess{table, row});
+}
+
 bool BoundExpression::EvalPredicate(const Row& row) const {
   return Truth(Eval(row)) == 1;
+}
+
+bool BoundExpression::EvalPredicateAt(const Table& table, size_t row) const {
+  return Truth(EvalAt(table, row)) == 1;
+}
+
+std::optional<size_t> BoundExpression::SourceColumn() const {
+  if (node_ != nullptr && node_->kind == Expression::Kind::kColumn) {
+    return node_->column_index;
+  }
+  return std::nullopt;
 }
 
 }  // namespace sdelta::rel

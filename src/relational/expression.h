@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -12,6 +13,7 @@
 namespace sdelta::rel {
 
 class BoundExpression;
+class Table;
 
 /// An immutable scalar-expression AST over named columns.
 ///
@@ -126,13 +128,25 @@ class BoundExpression {
 
   Value Eval(const Row& row) const;
 
+  /// Evaluates against row `row` of a columnar table, reading only the
+  /// columns the expression touches (no whole-row materialization).
+  Value EvalAt(const Table& table, size_t row) const;
+
   /// SQL WHERE-clause truthiness: non-null and non-zero.
   bool EvalPredicate(const Row& row) const;
+  bool EvalPredicateAt(const Table& table, size_t row) const;
+
+  /// If this expression is a bare column reference, its bound column
+  /// index — the vectorized operators then copy the column wholesale
+  /// instead of evaluating per row. nullopt for anything else.
+  std::optional<size_t> SourceColumn() const;
 
  private:
   struct BoundNode;
   friend class Expression;
   explicit BoundExpression(std::shared_ptr<const BoundNode> node);
+  template <typename Access>
+  static Value EvalNode(const BoundNode& n, const Access& at);
   std::shared_ptr<const BoundNode> node_;
 };
 

@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "exec/parallel_for.h"
+#include "relational/column.h"
 #include "relational/dictionary.h"
 #include "relational/flat_hash.h"
 #include "relational/group_key.h"
@@ -14,19 +15,6 @@
 
 namespace sdelta::rel {
 namespace {
-
-/// Splices per-morsel output chunks into `out` in morsel order. Chunk
-/// concatenation in morsel order equals serial row order because the
-/// morsel plan is a pure function of the input size — this is the whole
-/// determinism argument for the chunked operators.
-void SpliceChunks(std::vector<std::vector<Row>>&& chunks, Table* out) {
-  size_t total = 0;
-  for (const auto& c : chunks) total += c.size();
-  out->Reserve(out->NumRows() + total);
-  for (auto& chunk : chunks) {
-    for (Row& r : chunk) out->Insert(std::move(r));
-  }
-}
 
 /// Accounting scope for one operator invocation. The clock is only read
 /// when counters were requested; Done() must be called on every return
@@ -39,17 +27,39 @@ struct OpScope {
       : counters(c), start(c == nullptr ? std::chrono::steady_clock::time_point{}
                                         : std::chrono::steady_clock::now()) {}
 
-  void Done(uint64_t rows_in, uint64_t rows_out, uint64_t morsels) {
+  void Done(uint64_t rows_in, uint64_t rows_out, uint64_t morsels,
+            uint64_t batches) {
     if (counters == nullptr) return;
     ++counters->calls;
     counters->rows_in += rows_in;
     counters->rows_out += rows_out;
     counters->morsels += morsels;
+    counters->batches += batches;
     counters->wall_seconds +=
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();
   }
 };
+
+/// ExtractKey reading straight from the columns (no whole-row
+/// materialization). Same reuse contract as the Row overload: `out`'s
+/// capacity is recycled across rows and must not reallocate after the
+/// first call.
+void ExtractKeyAt(const Table& t, const std::vector<size_t>& indices,
+                  size_t row, GroupKey* out) {
+  out->clear();
+  [[maybe_unused]] const bool fits = out->capacity() >= indices.size();
+  [[maybe_unused]] const Value* data_before = out->data();
+  for (size_t i : indices) out->push_back(t.ValueAt(row, i));
+  assert(!fits || out->data() == data_before);
+}
+
+GroupKey KeyAt(const Table& t, const std::vector<size_t>& indices, size_t row) {
+  GroupKey key;
+  key.reserve(indices.size());
+  for (size_t i : indices) key.push_back(t.ValueAt(row, i));
+  return key;
+}
 
 }  // namespace
 
@@ -65,23 +75,31 @@ Table Select(const Table& input, const Expression& predicate,
   Table out(input.schema(), input.name());
   const exec::MorselPlan plan =
       exec::MorselPlan::For(input.NumRows(), exec::kDefaultMorselRows);
+  // Each morsel scans its column-batch range into a selection vector;
+  // the qualifying rows then gather column-wise in morsel order, which
+  // equals serial row order because the plan is a pure function of the
+  // input size.
+  std::vector<std::vector<size_t>> selected(
+      std::max<size_t>(plan.morsels.size(), 1));
   if (pool == nullptr || plan.morsels.size() <= 1) {
-    for (const Row& r : input.rows()) {
-      if (bound.EvalPredicate(r)) out.Insert(r);
+    std::vector<size_t>& sel = selected[0];
+    for (size_t i = 0; i < input.NumRows(); ++i) {
+      if (bound.EvalPredicateAt(input, i)) sel.push_back(i);
     }
-    op.Done(input.NumRows(), out.NumRows(), plan.morsels.size());
-    return out;
+  } else {
+    exec::ParallelFor(pool, plan, [&](size_t begin, size_t end, size_t m) {
+      std::vector<size_t>& sel = selected[m];
+      for (size_t i = begin; i < end; ++i) {
+        if (bound.EvalPredicateAt(input, i)) sel.push_back(i);
+      }
+    });
   }
-  std::vector<std::vector<Row>> chunks(plan.morsels.size());
-  exec::ParallelFor(pool, plan, [&](size_t begin, size_t end, size_t m) {
-    std::vector<Row>& chunk = chunks[m];
-    for (size_t i = begin; i < end; ++i) {
-      const Row& r = input.row(i);
-      if (bound.EvalPredicate(r)) chunk.push_back(r);
-    }
-  });
-  SpliceChunks(std::move(chunks), &out);
-  op.Done(input.NumRows(), out.NumRows(), plan.morsels.size());
+  size_t total = 0;
+  for (const auto& sel : selected) total += sel.size();
+  out.Reserve(total);
+  for (const auto& sel : selected) out.AppendGather(input, sel);
+  op.Done(input.NumRows(), out.NumRows(), plan.morsels.size(),
+          plan.morsels.size());
   return out;
 }
 
@@ -95,29 +113,67 @@ Table Project(const Table& input, const std::vector<ProjectColumn>& columns,
     out_schema.AddColumn(c.name, c.expr.ResultType(input.schema()));
     bound.push_back(c.expr.Bind(input.schema()));
   }
-  Table out(std::move(out_schema));
-  const auto project_row = [&bound](const Row& r) {
-    Row row;
-    row.reserve(bound.size());
-    for (const BoundExpression& b : bound) row.push_back(b.Eval(r));
-    return row;
-  };
-  const exec::MorselPlan plan =
-      exec::MorselPlan::For(input.NumRows(), exec::kDefaultMorselRows);
-  if (pool == nullptr || plan.morsels.size() <= 1) {
-    out.Reserve(input.NumRows());
-    for (const Row& r : input.rows()) out.Insert(project_row(r));
-    op.Done(input.NumRows(), out.NumRows(), plan.morsels.size());
-    return out;
+
+  const size_t n = input.NumRows();
+  std::vector<ColumnVector> out_cols;
+  out_cols.reserve(columns.size());
+  for (size_t j = 0; j < columns.size(); ++j) {
+    out_cols.emplace_back(out_schema.column(j).type);
   }
-  std::vector<std::vector<Row>> chunks(plan.morsels.size());
-  exec::ParallelFor(pool, plan, [&](size_t begin, size_t end, size_t m) {
-    std::vector<Row>& chunk = chunks[m];
-    chunk.reserve(end - begin);
-    for (size_t i = begin; i < end; ++i) chunk.push_back(project_row(input.row(i)));
-  });
-  SpliceChunks(std::move(chunks), &out);
-  op.Done(input.NumRows(), out.NumRows(), plan.morsels.size());
+
+  // Bare column references copy the source column wholesale (dictionary
+  // codes and null bits included); only computed expressions evaluate
+  // per row.
+  std::vector<size_t> computed;
+  for (size_t j = 0; j < columns.size(); ++j) {
+    if (std::optional<size_t> src = bound[j].SourceColumn();
+        src.has_value() && input.schema().column(*src).type ==
+                               out_schema.column(j).type) {
+      out_cols[j].Reserve(n);
+      out_cols[j].AppendRange(input.column_data(*src), 0, n);
+    } else {
+      computed.push_back(j);
+    }
+  }
+
+  const exec::MorselPlan plan =
+      exec::MorselPlan::For(n, exec::kDefaultMorselRows);
+  if (!computed.empty()) {
+    if (pool == nullptr || plan.morsels.size() <= 1) {
+      for (size_t j : computed) out_cols[j].Reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        for (size_t j : computed) out_cols[j].Append(bound[j].EvalAt(input, i));
+      }
+    } else {
+      // Per-morsel column chunks, concatenated in morsel order: the
+      // appended value sequence (and therefore any boxed demotion) is
+      // identical to the serial build.
+      std::vector<std::vector<ColumnVector>> chunks(plan.morsels.size());
+      exec::ParallelFor(pool, plan, [&](size_t begin, size_t end, size_t m) {
+        std::vector<ColumnVector>& chunk = chunks[m];
+        chunk.reserve(computed.size());
+        for (size_t j : computed) {
+          chunk.emplace_back(out_schema.column(j).type);
+          chunk.back().Reserve(end - begin);
+        }
+        for (size_t i = begin; i < end; ++i) {
+          for (size_t k = 0; k < computed.size(); ++k) {
+            chunk[k].Append(bound[computed[k]].EvalAt(input, i));
+          }
+        }
+      });
+      for (size_t j : computed) out_cols[j].Reserve(n);
+      for (std::vector<ColumnVector>& chunk : chunks) {
+        for (size_t k = 0; k < computed.size(); ++k) {
+          out_cols[computed[k]].AppendRange(chunk[k], 0, chunk[k].size());
+        }
+      }
+    }
+  }
+
+  Table out = Table::FromColumns(std::move(out_schema), "",
+                                 std::move(out_cols), n);
+  op.Done(n, out.NumRows(), plan.morsels.size(), plan.morsels.size());
   return out;
 }
 
@@ -159,16 +215,16 @@ Table HashJoin(const Table& left, const Table& right,
   }
 
   // Build side: the right (dimension) input. Always serial — the probe
-  // phase shares this table read-only across morsels. Keys pack through
-  // a codec over the right key columns (probe values encode through the
-  // same codec, so Value-equal keys meet in the same table); keys the
-  // codec cannot encode fall back to boxed GroupKeys. An encodable key
-  // never Value-equals an escaping one, so the two tables never need to
-  // cross-probe each other.
+  // phase shares this table read-only across morsels. The codec reuses
+  // the right columns' own dictionaries, so build keys pack by copying
+  // stored codes; keys the codec cannot encode fall back to boxed
+  // GroupKeys. An encodable key never Value-equals an escaping one, so
+  // the two tables never need to cross-probe each other. Probe-side
+  // strings resolve lookup-only (an unknown string cannot match any
+  // build key), which keeps parallel probes free of dictionary writes.
   DictionaryArena dict_arena;
-  const PackedKeyCodec codec = PackedKeyCodec::ForColumns(
-      right.schema(), right_idx,
-      [&dict_arena](const Column&) { return &dict_arena.Add(); });
+  const PackedKeyCodec codec =
+      PackedKeyCodec::ForTableColumns(right, right_idx, &dict_arena);
   FlatHashMap<PackedKey, size_t, PackedKeyHash> packed_build;
   std::unordered_multimap<GroupKey, size_t, GroupKeyHash> boxed_build;
   if (codec.packable()) {
@@ -179,106 +235,127 @@ Table HashJoin(const Table& left, const Table& right,
   uint64_t build_packed_rows = 0;
   uint64_t build_fallback_rows = 0;
   for (size_t i = 0; i < right.NumRows(); ++i) {
-    const Row& rr = right.row(i);
     // SQL equi-join: NULL keys never match.
     bool has_null = false;
-    for (size_t k : right_idx) has_null |= rr[k].is_null();
+    for (size_t k : right_idx) has_null |= right.column_data(k).IsNullAt(i);
     if (has_null) continue;
-    std::optional<PackedKey> pk;
-    if (codec.packable()) pk = codec.EncodeRow(rr, right_idx);
-    if (pk.has_value()) {
+    PackedKey pk;
+    const auto enc =
+        codec.packable()
+            ? codec.EncodeColumns(right, right_idx, i,
+                                  PackedKeyCodec::StringMode::kIntern, &pk)
+            : PackedKeyCodec::ColumnarEncode::kEscaped;
+    if (enc == PackedKeyCodec::ColumnarEncode::kPacked) {
       ++build_packed_rows;
-      packed_build.InsertMulti(*pk, i);
+      packed_build.InsertMulti(pk, i);
     } else {
       ++build_fallback_rows;
-      boxed_build.emplace(ExtractKey(rr, right_idx), i);
+      boxed_build.emplace(KeyAt(right, right_idx, i), i);
     }
   }
 
-  Table out(std::move(out_schema));
-  // Emits the matches for left row `lr` onto `chunk`, tallying whether
-  // the probe key packed. The boxed probe key is a caller-owned scratch
-  // buffer: equal_range only reads it, so one allocation serves the
-  // whole morsel. The packed path probes via ForEachEqual, which does no
-  // accounting — morsels probe the shared build table concurrently.
-  const auto probe_row = [&](const Row& lr, GroupKey* key,
-                             std::vector<Row>* chunk, uint64_t* packed_rows,
+  // Probe: each morsel collects its (left, right) match pairs; output
+  // rows then gather column-wise in morsel order.
+  const auto probe_row = [&](size_t li, GroupKey* key,
+                             std::vector<size_t>* lrows,
+                             std::vector<size_t>* rrows, uint64_t* packed_rows,
                              uint64_t* fallback_rows) {
     for (size_t k : left_idx) {
-      if (lr[k].is_null()) return;
+      if (left.column_data(k).IsNullAt(li)) return;
     }
-    const auto emit = [&](size_t right_row) {
-      Row row = lr;
-      const Row& rr = right.row(right_row);
-      row.reserve(row.size() + right_out_idx.size());
-      for (size_t i : right_out_idx) row.push_back(rr[i]);
-      chunk->push_back(std::move(row));
-    };
-    std::optional<PackedKey> pk;
-    if (codec.packable()) pk = codec.EncodeRow(lr, left_idx);
-    if (pk.has_value()) {
+    PackedKey pk;
+    const auto enc =
+        codec.packable()
+            ? codec.EncodeColumns(left, left_idx, li,
+                                  PackedKeyCodec::StringMode::kLookupOnly, &pk)
+            : PackedKeyCodec::ColumnarEncode::kEscaped;
+    if (enc == PackedKeyCodec::ColumnarEncode::kPacked) {
       ++*packed_rows;
-      packed_build.ForEachEqual(*pk, [&](size_t r) {
-        emit(r);
+      packed_build.ForEachEqual(pk, [&](size_t r) {
+        lrows->push_back(li);
+        rrows->push_back(r);
         return false;
       });
+    } else if (enc == PackedKeyCodec::ColumnarEncode::kUnknownString) {
+      // The key packs (type-wise) but its string never appears on the
+      // build side: no match. Counted as packed, exactly as if it had
+      // been interned and probed.
+      ++*packed_rows;
     } else {
       ++*fallback_rows;
-      ExtractKey(lr, left_idx, key);
+      ExtractKeyAt(left, left_idx, li, key);
       auto [begin, end] = boxed_build.equal_range(*key);
-      for (auto it = begin; it != end; ++it) emit(it->second);
+      for (auto it = begin; it != end; ++it) {
+        lrows->push_back(li);
+        rrows->push_back(it->second);
+      }
     }
   };
 
   const exec::MorselPlan plan =
       exec::MorselPlan::For(left.NumRows(), exec::kDefaultMorselRows);
-  const auto join_done = [&](const Table& result, uint64_t probe_packed,
-                             uint64_t probe_fallback) {
-    if (stats != nullptr) {
-      stats->join_build_rows += right.NumRows();
-      stats->join_probe_rows += left.NumRows();
-      stats->key_packed_rows += build_packed_rows + probe_packed;
-      stats->key_fallback_rows += build_fallback_rows + probe_fallback;
-      const ProbeStats& ps = packed_build.probe_stats();  // build inserts
-      stats->key_probe_ops += ps.ops;
-      stats->key_probe_steps += ps.steps;
-    }
-    op.Done(left.NumRows() + right.NumRows(), result.NumRows(),
-            plan.morsels.size());
-  };
+  const size_t num_chunks = std::max<size_t>(plan.morsels.size(), 1);
+  std::vector<std::vector<size_t>> lrows(num_chunks);
+  std::vector<std::vector<size_t>> rrows(num_chunks);
+  std::vector<uint64_t> packed_rows(num_chunks, 0);
+  std::vector<uint64_t> fallback_rows(num_chunks, 0);
   if (pool == nullptr || plan.morsels.size() <= 1) {
-    std::vector<Row> rows;
-    rows.reserve(left.NumRows());  // FK joins emit ~one row per left row
     GroupKey key;
-    uint64_t packed_rows = 0;
-    uint64_t fallback_rows = 0;
-    for (const Row& lr : left.rows()) {
-      probe_row(lr, &key, &rows, &packed_rows, &fallback_rows);
+    lrows[0].reserve(left.NumRows());  // FK joins emit ~one row per left row
+    rrows[0].reserve(left.NumRows());
+    for (size_t i = 0; i < left.NumRows(); ++i) {
+      probe_row(i, &key, &lrows[0], &rrows[0], &packed_rows[0],
+                &fallback_rows[0]);
     }
-    out.Reserve(rows.size());
-    for (Row& r : rows) out.Insert(std::move(r));
-    join_done(out, packed_rows, fallback_rows);
-    return out;
+  } else {
+    exec::ParallelFor(pool, plan, [&](size_t begin, size_t end, size_t m) {
+      GroupKey key;
+      lrows[m].reserve(end - begin);
+      rrows[m].reserve(end - begin);
+      for (size_t i = begin; i < end; ++i) {
+        probe_row(i, &key, &lrows[m], &rrows[m], &packed_rows[m],
+                  &fallback_rows[m]);
+      }
+    });
   }
-  std::vector<std::vector<Row>> chunks(plan.morsels.size());
-  std::vector<uint64_t> packed_rows(plan.morsels.size(), 0);
-  std::vector<uint64_t> fallback_rows(plan.morsels.size(), 0);
-  exec::ParallelFor(pool, plan, [&](size_t begin, size_t end, size_t m) {
-    std::vector<Row>& chunk = chunks[m];
-    chunk.reserve(end - begin);
-    GroupKey key;
-    for (size_t i = begin; i < end; ++i) {
-      probe_row(left.row(i), &key, &chunk, &packed_rows[m], &fallback_rows[m]);
-    }
-  });
-  SpliceChunks(std::move(chunks), &out);
+
+  size_t total = 0;
   uint64_t total_packed = 0;
   uint64_t total_fallback = 0;
-  for (size_t m = 0; m < plan.morsels.size(); ++m) {
+  for (size_t m = 0; m < num_chunks; ++m) {
+    total += lrows[m].size();
     total_packed += packed_rows[m];
     total_fallback += fallback_rows[m];
   }
-  join_done(out, total_packed, total_fallback);
+  const size_t num_left_cols = left.schema().NumColumns();
+  std::vector<ColumnVector> out_cols;
+  out_cols.reserve(out_schema.NumColumns());
+  for (size_t j = 0; j < out_schema.NumColumns(); ++j) {
+    out_cols.emplace_back(out_schema.column(j).type);
+    out_cols.back().Reserve(total);
+  }
+  for (size_t m = 0; m < num_chunks; ++m) {
+    for (size_t c = 0; c < num_left_cols; ++c) {
+      out_cols[c].AppendGather(left.column_data(c), lrows[m]);
+    }
+    for (size_t j = 0; j < right_out_idx.size(); ++j) {
+      out_cols[num_left_cols + j].AppendGather(
+          right.column_data(right_out_idx[j]), rrows[m]);
+    }
+  }
+  Table out = Table::FromColumns(std::move(out_schema), "",
+                                 std::move(out_cols), total);
+  if (stats != nullptr) {
+    stats->join_build_rows += right.NumRows();
+    stats->join_probe_rows += left.NumRows();
+    stats->key_packed_rows += build_packed_rows + total_packed;
+    stats->key_fallback_rows += build_fallback_rows + total_fallback;
+    const ProbeStats& ps = packed_build.probe_stats();  // build inserts
+    stats->key_probe_ops += ps.ops;
+    stats->key_probe_steps += ps.steps;
+  }
+  op.Done(left.NumRows() + right.NumRows(), out.NumRows(),
+          plan.morsels.size(), plan.morsels.size());
   return out;
 }
 
@@ -291,9 +368,9 @@ Table UnionAll(const Table& a, const Table& b, exec::OperatorStats* stats) {
   }
   Table out(a.schema());
   out.Reserve(a.NumRows() + b.NumRows());
-  for (const Row& r : a.rows()) out.Insert(r);
-  for (const Row& r : b.rows()) out.Insert(r);
-  op.Done(out.NumRows(), out.NumRows(), 0);
+  out.AppendColumnsFrom(a);
+  out.AppendColumnsFrom(b);
+  op.Done(out.NumRows(), out.NumRows(), 0, 2);
   return out;
 }
 
@@ -305,12 +382,10 @@ Table UnionAll(Table&& a, Table&& b, exec::OperatorStats* stats) {
                                 b.schema().ToString() + "}");
   }
   Table out(a.schema());
-  std::vector<Row> a_rows = a.TakeRows();
-  std::vector<Row> b_rows = b.TakeRows();
-  out.Reserve(a_rows.size() + b_rows.size());
-  for (Row& r : a_rows) out.Insert(std::move(r));
-  for (Row& r : b_rows) out.Insert(std::move(r));
-  op.Done(out.NumRows(), out.NumRows(), 0);
+  out.AppendColumnsFrom(std::move(a));  // steals a's columns outright
+  out.Reserve(out.NumRows() + b.NumRows());
+  out.AppendColumnsFrom(std::move(b));
+  op.Done(out.NumRows(), out.NumRows(), 0, 2);
   return out;
 }
 
@@ -323,22 +398,23 @@ std::vector<GroupByColumn> GroupCols(const std::vector<std::string>& names) {
 
 namespace {
 
-/// Insertion-ordered group table: `entries` keeps groups in first-
+/// Insertion-ordered group table: groups live at dense slots in first-
 /// appearance order; `packed` (fast path) and `boxed` (fallback) map a
-/// key to its entry slot. Every key lives in exactly one of the two
-/// indexes — escape from the codec is a pure function of the value, so
-/// the split is deterministic and the indexes never cross-probe. The
-/// entry stores the group's *original* first-appearance GroupKey (never
-/// a decoded PackedKey), which keeps output rows byte-identical to the
-/// boxed path even when encoding canonicalizes (Double(7.0) -> Int64 7).
-/// Both the serial path (one accumulation over the whole input) and the
-/// parallel path (one per morsel, merged in morsel order) emit from
-/// `entries`, which is what makes GroupBy's output order
-/// thread-count-invariant.
+/// key to its slot. Every key lives in exactly one of the two indexes —
+/// escape from the codec is a pure function of the value, so the split
+/// is deterministic and the indexes never cross-probe. Each slot stores
+/// the *input row* where its group first appeared instead of a boxed
+/// GroupKey: the output gathers key columns at those rows, which keeps
+/// output rows byte-identical to the boxed path even when encoding
+/// canonicalizes (Double(7.0) -> Int64 7). Both the serial path (one
+/// accumulation over the whole input) and the parallel path (one per
+/// morsel, merged in morsel order) emit from the slots in order, which
+/// is what makes GroupBy's output order thread-count-invariant.
 struct GroupAccumulation {
   FlatHashMap<PackedKey, size_t, PackedKeyHash> packed;
   std::unordered_map<GroupKey, size_t, GroupKeyHash> boxed;
-  std::vector<std::pair<GroupKey, std::vector<Accumulator>>> entries;
+  std::vector<size_t> first_rows;
+  std::vector<std::vector<Accumulator>> accs;
   // Per-input-row tallies, bumped only during accumulation (never at
   // merge) so their totals are identical at every thread count.
   uint64_t packed_rows = 0;
@@ -353,42 +429,117 @@ std::vector<Accumulator> NewAccumulators(
   return accs;
 }
 
+/// Pre-resolved aggregate input: most propagate-path aggregates read a
+/// bare column, which the accumulate loop then feeds through the typed
+/// Add kernels straight from the column vectors (no Value boxing, no
+/// expression walk). Anything else evaluates the bound expression.
+struct AggInput {
+  enum class Mode { kCountStar, kInt64Col, kDoubleCol, kValueCol, kExpr };
+  Mode mode = Mode::kExpr;
+  const int64_t* ints = nullptr;
+  const double* doubles = nullptr;
+  const uint64_t* nulls = nullptr;
+  const ColumnVector* column = nullptr;  // kValueCol
+  size_t col = 0;
+  const BoundExpression* expr = nullptr;
+};
+
+std::vector<AggInput> ResolveAggInputs(
+    const Table& input, const std::vector<AggregateSpec>& aggregates,
+    const std::vector<BoundExpression>& args) {
+  std::vector<AggInput> inputs(aggregates.size());
+  for (size_t i = 0; i < aggregates.size(); ++i) {
+    AggInput& in = inputs[i];
+    if (aggregates[i].kind == AggregateKind::kCountStar) {
+      in.mode = AggInput::Mode::kCountStar;
+      continue;
+    }
+    in.expr = &args[i];
+    if (std::optional<size_t> src = args[i].SourceColumn(); src.has_value()) {
+      const ColumnVector& cv = input.column_data(*src);
+      in.col = *src;
+      switch (cv.storage()) {
+        case ColumnVector::Storage::kInt64:
+          in.mode = AggInput::Mode::kInt64Col;
+          in.ints = cv.ints();
+          in.nulls = cv.null_words();
+          break;
+        case ColumnVector::Storage::kDouble:
+          in.mode = AggInput::Mode::kDoubleCol;
+          in.doubles = cv.doubles();
+          in.nulls = cv.null_words();
+          break;
+        default:
+          in.mode = AggInput::Mode::kValueCol;
+          in.column = &cv;
+          break;
+      }
+    }
+  }
+  return inputs;
+}
+
 void AccumulateRange(const Table& input, size_t begin, size_t end,
                      const std::vector<size_t>& key_idx,
                      const std::vector<AggregateSpec>& aggregates,
-                     const std::vector<BoundExpression>& args,
+                     const std::vector<AggInput>& agg_inputs,
                      const PackedKeyCodec& codec, GroupAccumulation* acc) {
   GroupKey key;  // scratch, reused across rows; copied only per new group
   for (size_t r = begin; r < end; ++r) {
-    const Row& row = input.row(r);
     size_t slot;
-    std::optional<PackedKey> pk;
-    if (codec.packable()) pk = codec.EncodeRow(row, key_idx);
-    if (pk.has_value()) {
+    PackedKey pk;
+    const auto enc =
+        codec.packable()
+            ? codec.EncodeColumns(input, key_idx, r,
+                                  PackedKeyCodec::StringMode::kIntern, &pk)
+            : PackedKeyCodec::ColumnarEncode::kEscaped;
+    if (enc == PackedKeyCodec::ColumnarEncode::kPacked) {
       ++acc->packed_rows;
       auto [value, inserted] =
-          acc->packed.FindOrInsert(*pk, acc->entries.size());
+          acc->packed.FindOrInsert(pk, acc->first_rows.size());
       if (inserted) {
-        acc->entries.emplace_back(ExtractKey(row, key_idx),
-                                  NewAccumulators(aggregates));
+        acc->first_rows.push_back(r);
+        acc->accs.push_back(NewAccumulators(aggregates));
       }
       slot = *value;
     } else {
       ++acc->fallback_rows;
-      ExtractKey(row, key_idx, &key);
+      ExtractKeyAt(input, key_idx, r, &key);
       auto it = acc->boxed.find(key);
       if (it == acc->boxed.end()) {
-        it = acc->boxed.emplace(key, acc->entries.size()).first;
-        acc->entries.emplace_back(key, NewAccumulators(aggregates));
+        it = acc->boxed.emplace(key, acc->first_rows.size()).first;
+        acc->first_rows.push_back(r);
+        acc->accs.push_back(NewAccumulators(aggregates));
       }
       slot = it->second;
     }
-    std::vector<Accumulator>& accs = acc->entries[slot].second;
-    for (size_t i = 0; i < aggregates.size(); ++i) {
-      if (aggregates[i].kind == AggregateKind::kCountStar) {
-        accs[i].Add(Value::Null());
-      } else {
-        accs[i].Add(args[i].Eval(row));
+    std::vector<Accumulator>& accs = acc->accs[slot];
+    for (size_t i = 0; i < agg_inputs.size(); ++i) {
+      const AggInput& in = agg_inputs[i];
+      switch (in.mode) {
+        case AggInput::Mode::kCountStar:
+          accs[i].AddNull();  // COUNT(*) counts NULL rows too
+          break;
+        case AggInput::Mode::kInt64Col:
+          if (ColumnVector::WordBit(in.nulls, r)) {
+            accs[i].AddNull();
+          } else {
+            accs[i].AddInt64(in.ints[r]);
+          }
+          break;
+        case AggInput::Mode::kDoubleCol:
+          if (ColumnVector::WordBit(in.nulls, r)) {
+            accs[i].AddNull();
+          } else {
+            accs[i].AddDouble(in.doubles[r]);
+          }
+          break;
+        case AggInput::Mode::kValueCol:
+          accs[i].Add(in.column->At(r));
+          break;
+        case AggInput::Mode::kExpr:
+          accs[i].Add(in.expr->EvalAt(input, r));
+          break;
       }
     }
   }
@@ -429,14 +580,17 @@ Table GroupBy(const Table& input, const std::vector<GroupByColumn>& group_by,
     }
   }
 
-  // Key codec for this grouping. String key columns intern into an
-  // operator-local arena: codes only need to be consistent within this
-  // one call, and sharing the arena across morsels is safe (Dictionary
-  // is internally synchronized).
+  // Key codec wired to the input's own column dictionaries: dictionary-
+  // coded key columns pack by copying their stored codes. Key columns
+  // without a dictionary intern into an operator-local arena — codes
+  // only need to be consistent within this one call, and sharing either
+  // dictionary across morsels is safe (Dictionary is internally
+  // synchronized).
   DictionaryArena dict_arena;
-  const PackedKeyCodec codec = PackedKeyCodec::ForColumns(
-      input.schema(), key_idx,
-      [&dict_arena](const Column&) { return &dict_arena.Add(); });
+  const PackedKeyCodec codec =
+      PackedKeyCodec::ForTableColumns(input, key_idx, &dict_arena);
+  const std::vector<AggInput> agg_inputs =
+      ResolveAggInputs(input, aggregates, args);
 
   const exec::MorselPlan plan =
       exec::MorselPlan::For(input.NumRows(), exec::kDefaultMorselRows);
@@ -452,10 +606,11 @@ Table GroupBy(const Table& input, const std::vector<GroupByColumn>& group_by,
   } else {
     groups.boxed.reserve(expected);
   }
-  groups.entries.reserve(expected);
+  groups.first_rows.reserve(expected);
+  groups.accs.reserve(expected);
   ProbeStats merge_probes;  // probes done by partial tables + merge
   if (pool == nullptr || plan.morsels.size() <= 1) {
-    AccumulateRange(input, 0, input.NumRows(), key_idx, aggregates, args,
+    AccumulateRange(input, 0, input.NumRows(), key_idx, aggregates, agg_inputs,
                     codec, &groups);
   } else {
     // Thread-local partial aggregation, the structure the paper's
@@ -464,32 +619,42 @@ Table GroupBy(const Table& input, const std::vector<GroupByColumn>& group_by,
     // order, which reproduces the serial first-appearance order.
     std::vector<GroupAccumulation> partials(plan.morsels.size());
     exec::ParallelFor(pool, plan, [&](size_t begin, size_t end, size_t m) {
-      AccumulateRange(input, begin, end, key_idx, aggregates, args, codec,
-                      &partials[m]);
+      AccumulateRange(input, begin, end, key_idx, aggregates, agg_inputs,
+                      codec, &partials[m]);
     });
+    GroupKey key;  // scratch for boxed merge lookups
     for (GroupAccumulation& partial : partials) {
-      for (auto& [key, accs] : partial.entries) {
+      for (size_t s = 0; s < partial.first_rows.size(); ++s) {
+        const size_t row = partial.first_rows[s];
+        std::vector<Accumulator>& accs = partial.accs[s];
         // Re-encode the partial's key against the shared codec. A key
         // that packed in its morsel packs here too (same codec), so the
         // packed/boxed split is consistent between partials and merge.
-        std::optional<PackedKey> pk;
-        if (codec.packable()) pk = codec.EncodeKey(key);
-        if (pk.has_value()) {
+        PackedKey pk;
+        const auto enc =
+            codec.packable()
+                ? codec.EncodeColumns(input, key_idx, row,
+                                      PackedKeyCodec::StringMode::kIntern, &pk)
+                : PackedKeyCodec::ColumnarEncode::kEscaped;
+        if (enc == PackedKeyCodec::ColumnarEncode::kPacked) {
           auto [value, inserted] =
-              groups.packed.FindOrInsert(*pk, groups.entries.size());
+              groups.packed.FindOrInsert(pk, groups.first_rows.size());
           if (inserted) {
-            groups.entries.emplace_back(std::move(key), std::move(accs));
+            groups.first_rows.push_back(row);
+            groups.accs.push_back(std::move(accs));
           } else {
-            std::vector<Accumulator>& dst = groups.entries[*value].second;
+            std::vector<Accumulator>& dst = groups.accs[*value];
             for (size_t i = 0; i < dst.size(); ++i) dst[i].Merge(accs[i]);
           }
         } else {
+          ExtractKeyAt(input, key_idx, row, &key);
           auto it = groups.boxed.find(key);
           if (it == groups.boxed.end()) {
-            groups.boxed.emplace(key, groups.entries.size());
-            groups.entries.emplace_back(std::move(key), std::move(accs));
+            groups.boxed.emplace(key, groups.first_rows.size());
+            groups.first_rows.push_back(row);
+            groups.accs.push_back(std::move(accs));
           } else {
-            std::vector<Accumulator>& dst = groups.entries[it->second].second;
+            std::vector<Accumulator>& dst = groups.accs[it->second];
             for (size_t i = 0; i < dst.size(); ++i) dst[i].Merge(accs[i]);
           }
         }
@@ -501,20 +666,32 @@ Table GroupBy(const Table& input, const std::vector<GroupByColumn>& group_by,
   }
 
   // Scalar aggregation (no group-by) over empty input yields one row.
-  if (group_by.empty() && groups.entries.empty()) {
-    std::vector<Accumulator> accs;
-    for (const AggregateSpec& a : aggregates) accs.emplace_back(a.kind);
-    groups.entries.emplace_back(GroupKey{}, std::move(accs));
+  const bool synthetic_group = group_by.empty() && groups.first_rows.empty();
+  if (synthetic_group) {
+    groups.first_rows.push_back(0);  // never dereferenced: no key columns
+    groups.accs.push_back(NewAccumulators(aggregates));
   }
 
-  Table out(std::move(out_schema));
-  out.Reserve(groups.entries.size());
-  for (auto& [key, accs] : groups.entries) {
-    Row row = std::move(key);
-    row.reserve(row.size() + accs.size());
-    for (const Accumulator& acc : accs) row.push_back(acc.Result());
-    out.Insert(std::move(row));
+  const size_t num_groups = groups.first_rows.size();
+  std::vector<ColumnVector> out_cols;
+  out_cols.reserve(out_schema.NumColumns());
+  // Key columns gather from the input at each group's first-appearance
+  // row — a columnar gather, no per-group boxing.
+  for (size_t j = 0; j < group_by.size(); ++j) {
+    out_cols.emplace_back(out_schema.column(j).type);
+    out_cols.back().Reserve(num_groups);
+    out_cols.back().AppendGather(input.column_data(key_idx[j]),
+                                 groups.first_rows);
   }
+  for (size_t i = 0; i < aggregates.size(); ++i) {
+    out_cols.emplace_back(out_schema.column(group_by.size() + i).type);
+    out_cols.back().Reserve(num_groups);
+    for (size_t s = 0; s < num_groups; ++s) {
+      out_cols.back().Append(groups.accs[s][i].Result());
+    }
+  }
+  Table out = Table::FromColumns(std::move(out_schema), "",
+                                 std::move(out_cols), num_groups);
   if (stats != nullptr) {
     stats->key_packed_rows += groups.packed_rows;
     stats->key_fallback_rows += groups.fallback_rows;
@@ -523,7 +700,8 @@ Table GroupBy(const Table& input, const std::vector<GroupByColumn>& group_by,
     stats->key_probe_ops += probes.ops;
     stats->key_probe_steps += probes.steps;
   }
-  op.Done(input.NumRows(), out.NumRows(), plan.morsels.size());
+  op.Done(input.NumRows(), out.NumRows(), plan.morsels.size(),
+          plan.morsels.size());
   return out;
 }
 

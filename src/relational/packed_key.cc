@@ -4,6 +4,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "relational/table.h"
+
 namespace sdelta::rel {
 
 namespace {
@@ -90,6 +92,32 @@ PackedKeyCodec PackedKeyCodec::ForColumns(const Schema& schema,
   return ForTypes(types, dict_ptrs);
 }
 
+PackedKeyCodec PackedKeyCodec::ForTableColumns(
+    const Table& table, const std::vector<size_t>& key_indices,
+    DictionaryArena* arena) {
+  std::vector<ValueType> types;
+  std::vector<Dictionary*> dict_ptrs;
+  types.reserve(key_indices.size());
+  dict_ptrs.reserve(key_indices.size());
+  const bool enabled = PackedKeysEnabled();
+  for (size_t idx : key_indices) {
+    const Column& col = table.schema().columns()[idx];
+    types.push_back(col.type);
+    Dictionary* dict = nullptr;
+    if (enabled && col.type == ValueType::kString) {
+      const ColumnVector& cv = table.column_data(idx);
+      if (cv.storage() == ColumnVector::Storage::kDict &&
+          cv.dict() != nullptr) {
+        dict = cv.dict().get();
+      } else {
+        dict = &arena->Add();
+      }
+    }
+    dict_ptrs.push_back(dict);
+  }
+  return ForTypes(types, dict_ptrs);
+}
+
 bool PackedKeyCodec::EncodeValue(const Col& c, const Value& v,
                                  unsigned __int128* bits) const {
   uint64_t code;
@@ -119,6 +147,85 @@ bool PackedKeyCodec::EncodeValue(const Col& c, const Value& v,
   }
   *bits |= static_cast<unsigned __int128>(code) << c.shift;
   return true;
+}
+
+bool PackedKeyCodec::EncodeValueMode(const Col& c, const Value& v,
+                                     StringMode mode, unsigned __int128* bits,
+                                     bool* unknown) const {
+  if (mode == StringMode::kIntern || v.is_null() ||
+      c.type != ValueType::kString) {
+    return EncodeValue(c, v, bits);
+  }
+  if (v.type() != ValueType::kString) return false;
+  const std::optional<uint32_t> code = c.dict->Lookup(v.as_string());
+  if (!code.has_value()) {
+    *unknown = true;
+    return false;
+  }
+  *bits |= static_cast<unsigned __int128>(*code) << c.shift;
+  return true;
+}
+
+PackedKeyCodec::ColumnarEncode PackedKeyCodec::EncodeColumns(
+    const Table& table, const std::vector<size_t>& indices, size_t row,
+    StringMode mode, PackedKey* out) const {
+  unsigned __int128 bits = 0;
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    const Col& c = cols_[i];
+    const ColumnVector& cv = table.column_data(indices[i]);
+    switch (cv.storage()) {
+      case ColumnVector::Storage::kInt64: {
+        if (ColumnVector::WordBit(cv.null_words(), row)) {
+          bits |= static_cast<unsigned __int128>(c.null_code) << c.shift;
+          break;
+        }
+        const int64_t iv = cv.ints()[row];
+        if (iv < 0 || static_cast<uint64_t>(iv) >= c.null_code) {
+          return ColumnarEncode::kEscaped;
+        }
+        bits |= static_cast<unsigned __int128>(static_cast<uint64_t>(iv))
+                << c.shift;
+        break;
+      }
+      case ColumnVector::Storage::kDict: {
+        if (ColumnVector::WordBit(cv.null_words(), row)) {
+          bits |= static_cast<unsigned __int128>(c.null_code) << c.shift;
+          break;
+        }
+        const uint32_t sc = cv.codes()[row];
+        if (c.dict == cv.dict().get()) {
+          // The codec shares the column's dictionary: the stored code
+          // IS the key code — no hashing at all.
+          bits |= static_cast<unsigned __int128>(sc) << c.shift;
+          break;
+        }
+        const std::string& s = cv.dict()->ValueOf(sc);
+        uint64_t code;
+        if (mode == StringMode::kIntern) {
+          code = c.dict->Intern(s);
+        } else {
+          const std::optional<uint32_t> found = c.dict->Lookup(s);
+          if (!found.has_value()) return ColumnarEncode::kUnknownString;
+          code = *found;
+        }
+        bits |= static_cast<unsigned __int128>(code) << c.shift;
+        break;
+      }
+      default: {
+        // Boxed storage (or a defensive fallback): exact EncodeRow
+        // semantics on the materialized value.
+        bool unknown = false;
+        if (!EncodeValueMode(c, cv.At(row), mode, &bits, &unknown)) {
+          return unknown ? ColumnarEncode::kUnknownString
+                         : ColumnarEncode::kEscaped;
+        }
+        break;
+      }
+    }
+  }
+  *out = PackedKey{static_cast<uint64_t>(bits),
+                   static_cast<uint64_t>(bits >> 64)};
+  return ColumnarEncode::kPacked;
 }
 
 std::optional<PackedKey> PackedKeyCodec::EncodeRow(

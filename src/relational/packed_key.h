@@ -14,6 +14,8 @@
 
 namespace sdelta::rel {
 
+class Table;
+
 /// Global switch for packed-key codecs, consulted at codec construction
 /// time. On by default; the bench_keys binary and a handful of tests
 /// turn it off to exercise (and measure against) the boxed GroupKey
@@ -89,6 +91,37 @@ class PackedKeyCodec {
                                    const std::vector<size_t>& key_indices,
                                    const DictionarySource& dicts);
 
+  /// Codec wired to a columnar table's own storage: string key columns
+  /// in dictionary mode reuse the column's dictionary, so EncodeColumns
+  /// copies codes straight out of the column with no hashing at all.
+  /// Columns without a dictionary (empty, or demoted to boxed) get an
+  /// arena-backed one instead.
+  static PackedKeyCodec ForTableColumns(const Table& table,
+                                        const std::vector<size_t>& key_indices,
+                                        DictionaryArena* arena);
+
+  /// String resolution policy for EncodeColumns. kIntern matches
+  /// EncodeRow (first sight assigns a code) and is safe for serial
+  /// build loops; kLookupOnly never mutates a dictionary — parallel
+  /// probe loops use it, treating an unknown string as "matches
+  /// nothing" (every build-side string was interned first).
+  enum class StringMode { kIntern, kLookupOnly };
+
+  /// Outcome of a columnar encode.
+  enum class ColumnarEncode {
+    kPacked,         ///< *out holds the key
+    kEscaped,        ///< value-level escape: caller takes the boxed path
+    kUnknownString,  ///< kLookupOnly only: key packs but cannot match
+  };
+
+  /// Encodes the key at `indices` of `table`'s row `row`, reading the
+  /// columns directly (dictionary codes copy verbatim when the column
+  /// shares this codec's dictionary). Exactly equivalent to EncodeRow
+  /// on the materialized row, minus the boxing.
+  ColumnarEncode EncodeColumns(const Table& table,
+                               const std::vector<size_t>& indices, size_t row,
+                               StringMode mode, PackedKey* out) const;
+
   bool packable() const { return packable_; }
   size_t num_columns() const { return cols_.size(); }
   int width(size_t col) const { return cols_[col].width; }
@@ -117,6 +150,8 @@ class PackedKeyCodec {
   };
 
   bool EncodeValue(const Col& c, const Value& v, unsigned __int128* bits) const;
+  bool EncodeValueMode(const Col& c, const Value& v, StringMode mode,
+                       unsigned __int128* bits, bool* unknown) const;
 
   bool packable_ = false;
   std::vector<Col> cols_;

@@ -87,7 +87,7 @@ namespace {
 
 void AppendRows(rel::Table& dst, const rel::Table& src) {
   dst.Reserve(dst.NumRows() + src.NumRows());
-  for (const rel::Row& row : src.rows()) dst.Insert(row);
+  dst.AppendColumnsFrom(src);
 }
 
 }  // namespace

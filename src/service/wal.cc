@@ -86,8 +86,9 @@ void PutValue(std::vector<uint8_t>& out, const rel::Value& v) {
 void PutTable(std::vector<uint8_t>& out, const rel::Table& table) {
   PutU32(out, static_cast<uint32_t>(table.schema().NumColumns()));
   PutU64(out, table.NumRows());
-  for (const rel::Row& row : table.rows()) {
-    for (const rel::Value& v : row) PutValue(out, v);
+  const size_t cols = table.schema().NumColumns();
+  for (size_t r = 0; r < table.NumRows(); ++r) {
+    for (size_t c = 0; c < cols; ++c) PutValue(out, table.ValueAt(r, c));
   }
 }
 

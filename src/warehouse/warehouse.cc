@@ -254,6 +254,23 @@ BatchReport Warehouse::RunBatch(const core::ChangeSet& changes) {
   }
   m.Set("dict.entries",
         static_cast<double>(catalog_.dictionaries().TotalEntries()));
+  // Columnar storage health: resident bytes across base tables and the
+  // mean rows delivered per column batch this run (vectorization grain).
+  size_t table_bytes = 0;
+  for (const std::string& tn : catalog_.TableNames()) {
+    table_bytes += catalog_.GetTable(tn).ApproxBytes();
+  }
+  m.Set("table.bytes", static_cast<double>(table_bytes));
+  uint64_t batch_rows = 0;
+  uint64_t batches = 0;
+  for (const char* op : {"select", "project", "hash_join", "group_by"}) {
+    batch_rows += m.counter(std::string("op.") + op + ".rows_in");
+    batches += m.counter(std::string("op.") + op + ".batches");
+  }
+  if (batches > 0) {
+    m.Set("columnar.batch_rows",
+          static_cast<double>(batch_rows) / static_cast<double>(batches));
+  }
   if (pool_ != nullptr) {
     m.Set("exec.threads", static_cast<double>(num_threads_));
     DrainExecStats(exec0, pool_->StatsSnapshot(), batch_sw.ElapsedSeconds(),

@@ -15,8 +15,9 @@ namespace {
 std::vector<int64_t> DistinctInt64(const Table& t, const std::string& col) {
   const size_t idx = t.schema().Resolve(col);
   std::unordered_set<int64_t> seen;
-  for (const Row& r : t.rows()) {
-    if (!r[idx].is_null()) seen.insert(r[idx].as_int64());
+  for (size_t r = 0; r < t.NumRows(); ++r) {
+    const Value v = t.ValueAt(r, idx);
+    if (!v.is_null()) seen.insert(v.as_int64());
   }
   return std::vector<int64_t>(seen.begin(), seen.end());
 }
@@ -24,9 +25,10 @@ std::vector<int64_t> DistinctInt64(const Table& t, const std::string& col) {
 int64_t MaxInt64(const Table& t, const std::string& col) {
   const size_t idx = t.schema().Resolve(col);
   int64_t max = 0;
-  for (const Row& r : t.rows()) {
-    if (!r[idx].is_null() && r[idx].as_int64() > max) {
-      max = r[idx].as_int64();
+  for (size_t r = 0; r < t.NumRows(); ++r) {
+    const Value v = t.ValueAt(r, idx);
+    if (!v.is_null() && v.as_int64() > max) {
+      max = v.as_int64();
     }
   }
   return max;
@@ -54,7 +56,7 @@ core::ChangeSet MakeUpdateGeneratingChanges(const rel::Catalog& catalog,
     picked.insert(pos_dist(rng));
   }
   for (size_t p : picked) {
-    changes.fact.deletions.Insert(pos.row(p));
+    changes.fact.deletions.Insert(pos.RowAt(p));
   }
 
   // Insertions: existing store/item/date values, fresh qty/price.
@@ -153,7 +155,7 @@ core::ChangeSet MakeItemRecategorization(const rel::Catalog& catalog,
     picked.insert(row_dist(rng));
   }
   for (size_t p : picked) {
-    Row old_row = items.row(p);
+    Row old_row = items.RowAt(p);
     Row new_row = old_row;
     new_row[category_idx] = Value::String(
         old_row[category_idx].as_string() + "_moved");

@@ -41,7 +41,7 @@ TEST(PrepareChangesTest, Table1InsertionSources) {
   // Figure 6's pi_SiC_sales: +1 count, date passthrough, +qty.
   Table pi = PrepareFactChanges(c, v, ins, +1);
   ASSERT_EQ(pi.NumRows(), 1u);
-  const rel::Row& r = pi.row(0);
+  const rel::Row& r = pi.RowAt(0);
   EXPECT_EQ(r[Col(pi, "storeID")].as_int64(), 1);
   EXPECT_EQ(r[Col(pi, "category")].as_string(), "food");
   EXPECT_EQ(r[Col(pi, "TotalCount")].as_int64(), 1);
@@ -59,7 +59,7 @@ TEST(PrepareChangesTest, Table1DeletionSources) {
   // -qty.
   Table pd = PrepareFactChanges(c, v, del, -1);
   ASSERT_EQ(pd.NumRows(), 1u);
-  const rel::Row& r = pd.row(0);
+  const rel::Row& r = pd.RowAt(0);
   EXPECT_EQ(r[Col(pd, "TotalCount")].as_int64(), -1);
   EXPECT_EQ(r[Col(pd, "EarliestSale")].as_int64(), 3);
   EXPECT_EQ(r[Col(pd, "TotalQuantity")].as_int64(), -4);
@@ -87,10 +87,10 @@ TEST(PrepareChangesTest, Table1CountExprWithNulls) {
   Table pi = PrepareFactChanges(c, av, rows, +1);
   Table pd = PrepareFactChanges(c, av, rows, -1);
   const size_t nx_i = Col(pi, "nx");
-  EXPECT_EQ(pi.row(0)[nx_i].as_int64(), 1);
-  EXPECT_EQ(pi.row(1)[nx_i].as_int64(), 0);  // null -> 0
-  EXPECT_EQ(pd.row(0)[nx_i].as_int64(), -1);
-  EXPECT_EQ(pd.row(1)[nx_i].as_int64(), 0);  // null -> 0, not -0 trouble
+  EXPECT_EQ(pi.RowAt(0)[nx_i].as_int64(), 1);
+  EXPECT_EQ(pi.RowAt(1)[nx_i].as_int64(), 0);  // null -> 0
+  EXPECT_EQ(pd.RowAt(0)[nx_i].as_int64(), -1);
+  EXPECT_EQ(pd.RowAt(1)[nx_i].as_int64(), 0);  // null -> 0, not -0 trouble
 }
 
 TEST(PrepareChangesTest, SumOfExpressionNegatedOnDeletion) {
@@ -108,7 +108,7 @@ TEST(PrepareChangesTest, SumOfExpressionNegatedOnDeletion) {
   Table del(c.GetTable("pos").schema());
   del.Insert(PosRow(1, 10, 1, 3));
   Table pd = PrepareFactChanges(c, av, del, -1);
-  EXPECT_EQ(pd.row(0)[Col(pd, "qty_sq")].as_int64(), -9);
+  EXPECT_EQ(pd.RowAt(0)[Col(pd, "qty_sq")].as_int64(), -9);
 }
 
 TEST(PrepareChangesTest, UnionsInsertionsAndDeletions) {
@@ -125,7 +125,7 @@ TEST(PrepareChangesTest, UnionsInsertionsAndDeletions) {
   EXPECT_EQ(pc.NumRows(), 3u);
   // Net count by sign.
   int64_t net = 0;
-  for (const rel::Row& r : pc.rows()) {
+  for (const rel::Row& r : pc.MaterializeRows()) {
     net += r[Col(pc, "TotalCount")].as_int64();
   }
   EXPECT_EQ(net, 1);
@@ -179,7 +179,7 @@ TEST(PrepareChangesTest, DimensionInsertionsJoinOldFact) {
   Table pc = PrepareChanges(c, v, changes);
   int64_t food_net = 0;
   int64_t fresh_net = 0;
-  for (const rel::Row& r : pc.rows()) {
+  for (const rel::Row& r : pc.MaterializeRows()) {
     const std::string& cat = r[Col(pc, "category")].as_string();
     const int64_t n = r[Col(pc, "TotalCount")].as_int64();
     if (cat == "food") food_net += n;
@@ -209,7 +209,7 @@ TEST(PrepareChangesTest, SimultaneousFactAndDimensionChanges) {
   // Aggregate net counts per (storeID, category).
   int64_t store1_fresh = 0;
   int64_t store1_food = 0;
-  for (const rel::Row& r : pc.rows()) {
+  for (const rel::Row& r : pc.MaterializeRows()) {
     if (r[Col(pc, "storeID")].as_int64() != 1) continue;
     const std::string& cat = r[Col(pc, "category")].as_string();
     const int64_t n = r[Col(pc, "TotalCount")].as_int64();

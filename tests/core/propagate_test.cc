@@ -59,7 +59,7 @@ TEST(PropagateTest, NetChangesPerGroupNoJoin) {
 
   const size_t cnt = sd.schema().Resolve("TotalCount");
   const size_t qty = sd.schema().Resolve("TotalQuantity");
-  for (const rel::Row& r : sd.rows()) {
+  for (const rel::Row& r : sd.MaterializeRows()) {
     const int64_t store = r[0].as_int64();
     const int64_t item = r[1].as_int64();
     const int64_t date = r[2].as_int64();
@@ -96,7 +96,7 @@ TEST(PropagateTest, TaintColumnReflectsDeletions) {
   AugmentedView v = SidView(c);
   Table sd = ComputeSummaryDelta(c, v, SmallChanges(c));
   const size_t taint = sd.schema().Resolve(kTaintedColumn);
-  for (const rel::Row& r : sd.rows()) {
+  for (const rel::Row& r : sd.MaterializeRows()) {
     const bool pure_insert_group =
         r[0].as_int64() == 2 && r[1].as_int64() == 10;
     EXPECT_EQ(r[taint].as_int64(), pure_insert_group ? 0 : 1)
@@ -215,7 +215,7 @@ TEST(ApplyDerivationTest, RecipeAggregatesParentRows) {
 
   Table out = ApplyDerivation(c, recipe, parent);
   ASSERT_EQ(out.NumRows(), 2u);  // west and east
-  for (const rel::Row& r : out.rows()) {
+  for (const rel::Row& r : out.MaterializeRows()) {
     EXPECT_EQ(r[1].as_int64(), 3);
   }
   EXPECT_EQ(out.name(), "sd_by_region");

@@ -171,7 +171,7 @@ TEST(LogicalRowsTest, ReconstructsAvg) {
   rel::Table logical = LogicalRows(av, physical);
   ASSERT_EQ(logical.NumRows(), 2u);
   EXPECT_EQ(logical.schema().column(1).name, "avg_qty");
-  for (const rel::Row& r : logical.rows()) {
+  for (const rel::Row& r : logical.MaterializeRows()) {
     if (r[0].as_int64() == 1) {
       EXPECT_DOUBLE_EQ(r[1].as_double(), 10.0 / 3.0);  // qty 5,3,2
     } else {

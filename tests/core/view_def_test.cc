@@ -95,7 +95,7 @@ TEST(ViewDefTest, MultiJoinMinAggregate) {
   v.aggregates = {rel::Min(Expression::Column("date"), "first")};
   rel::Table out = EvaluateView(c, v);
   ASSERT_EQ(out.NumRows(), 4u);
-  for (const rel::Row& r : out.rows()) {
+  for (const rel::Row& r : out.MaterializeRows()) {
     if (r[0].as_int64() == 2 && r[1].as_string() == "toys") {
       EXPECT_EQ(r[2].as_int64(), 2);
     }

@@ -1,0 +1,257 @@
+// Property tests for the columnar storage layer: whatever sequence of
+// Values is appended to a column — NULLs, extreme ints, non-integral
+// doubles, type mismatches that demote to boxed storage — materializing
+// the rows back must reproduce the appended Values byte-identically,
+// and the storage mode must be a pure function of the appended
+// sequence (never of how the rows arrived: Insert vs AppendColumnsFrom
+// vs AppendGather).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "relational/column.h"
+#include "relational/table.h"
+#include "test_util.h"
+
+namespace sdelta::rel {
+namespace {
+
+using Storage = ColumnVector::Storage;
+
+/// Deterministic value stream mixing every interesting case for a
+/// column declared `declared`: in-type values (including extremes and
+/// NULLs) and, when `adversarial`, values of the wrong runtime type
+/// that must demote the column.
+std::vector<Value> MakeStream(ValueType declared, size_t n,
+                              bool adversarial) {
+  std::vector<Value> out;
+  out.reserve(n);
+  uint64_t x = 0x9E3779B97F4A7C15ULL + static_cast<uint64_t>(declared);
+  for (size_t i = 0; i < n; ++i) {
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    const uint64_t r = x * 0x2545F4914F6CDD1DULL;
+    if (r % 7 == 0) {
+      out.push_back(Value::Null());
+      continue;
+    }
+    if (adversarial && r % 11 == 0) {
+      // Wrong runtime type for every declared type below.
+      out.push_back(declared == ValueType::kString
+                        ? Value::Int64(static_cast<int64_t>(r))
+                        : Value::String("stray" + std::to_string(r % 5)));
+      continue;
+    }
+    switch (declared) {
+      case ValueType::kInt64:
+        switch (r % 5) {
+          case 0:
+            out.push_back(Value::Int64(std::numeric_limits<int64_t>::min()));
+            break;
+          case 1:
+            out.push_back(Value::Int64(std::numeric_limits<int64_t>::max()));
+            break;
+          case 2:
+            out.push_back(Value::Int64(-static_cast<int64_t>(r % 1000)));
+            break;
+          default:
+            out.push_back(Value::Int64(static_cast<int64_t>(r % 1000)));
+        }
+        break;
+      case ValueType::kDouble:
+        out.push_back(r % 3 == 0
+                          ? Value::Double(static_cast<double>(r % 100))
+                          : Value::Double(0.25 + static_cast<double>(r % 97)));
+        break;
+      default:
+        out.push_back(Value::String("s" + std::to_string(r % 13)));
+    }
+  }
+  return out;
+}
+
+void ExpectRoundTrip(const std::vector<Value>& stream, ValueType declared) {
+  ColumnVector col(declared);
+  for (const Value& v : stream) col.Append(v);
+  ASSERT_EQ(col.size(), stream.size());
+  for (size_t i = 0; i < stream.size(); ++i) {
+    SCOPED_TRACE(i);
+    const Value got = col.At(i);
+    EXPECT_EQ(got.type(), stream[i].type());
+    EXPECT_TRUE(Value::Compare(got, stream[i]) == 0 ||
+                (got.is_null() && stream[i].is_null()))
+        << got.ToString() << " vs " << stream[i].ToString();
+    EXPECT_EQ(col.IsNullAt(i), stream[i].is_null());
+  }
+}
+
+TEST(ColumnarTest, TypedStreamsRoundTripInTypedStorage) {
+  for (ValueType t :
+       {ValueType::kInt64, ValueType::kDouble, ValueType::kString}) {
+    SCOPED_TRACE(static_cast<int>(t));
+    const std::vector<Value> stream = MakeStream(t, 300, false);
+    ColumnVector col(t);
+    for (const Value& v : stream) col.Append(v);
+    EXPECT_FALSE(col.boxed());
+    ExpectRoundTrip(stream, t);
+  }
+}
+
+TEST(ColumnarTest, AdversarialStreamsDemoteButRoundTripExactly) {
+  for (ValueType t :
+       {ValueType::kInt64, ValueType::kDouble, ValueType::kString}) {
+    SCOPED_TRACE(static_cast<int>(t));
+    const std::vector<Value> stream = MakeStream(t, 300, true);
+    ColumnVector col(t);
+    for (const Value& v : stream) col.Append(v);
+    EXPECT_TRUE(col.boxed());  // the stray runtime types force demotion
+    ExpectRoundTrip(stream, t);
+  }
+}
+
+TEST(ColumnarTest, NonIntegralDoubleDemotesIntColumn) {
+  ColumnVector col(ValueType::kInt64);
+  col.Append(Value::Int64(7));
+  EXPECT_EQ(col.storage(), Storage::kInt64);
+  col.Append(Value::Double(7.5));
+  EXPECT_TRUE(col.boxed());
+  // The demoted column reproduces both values with their runtime types.
+  EXPECT_EQ(col.At(0).type(), ValueType::kInt64);
+  EXPECT_EQ(col.At(1).type(), ValueType::kDouble);
+  EXPECT_EQ(col.At(1).as_double(), 7.5);
+}
+
+TEST(ColumnarTest, NullBitmapTracksNullCount) {
+  ColumnVector col(ValueType::kInt64);
+  col.Append(Value::Int64(1));
+  col.AppendNull();
+  col.Append(Value::Null());
+  col.Append(Value::Int64(-2));
+  EXPECT_EQ(col.null_count(), 2u);
+  EXPECT_FALSE(col.IsNullAt(0));
+  EXPECT_TRUE(col.IsNullAt(1));
+  EXPECT_TRUE(col.IsNullAt(2));
+  EXPECT_FALSE(col.IsNullAt(3));
+  // NULLs materialize as NULL, not as the typed placeholder.
+  EXPECT_TRUE(col.At(2).is_null());
+}
+
+TEST(ColumnarTest, StorageModeIsAFunctionOfTheValueSequenceNotTheRoute) {
+  // Insert row-by-row vs bulk-append vs gather: identical appended
+  // sequences must land in identical storage modes with identical
+  // contents — the invariant the parallel operators rely on.
+  Schema s;
+  s.AddColumn("a", ValueType::kInt64);
+  s.AddColumn("b", ValueType::kString);
+  Table rowwise(s);
+  const std::vector<Value> as = MakeStream(ValueType::kInt64, 200, true);
+  const std::vector<Value> bs = MakeStream(ValueType::kString, 200, true);
+  for (size_t i = 0; i < as.size(); ++i) rowwise.Insert({as[i], bs[i]});
+
+  Table bulk(s);
+  bulk.AppendColumnsFrom(rowwise);
+
+  std::vector<size_t> all(rowwise.NumRows());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+  Table gathered(s);
+  gathered.AppendGather(rowwise, all);
+
+  for (const Table* t : {&bulk, &gathered}) {
+    for (size_t c = 0; c < 2; ++c) {
+      EXPECT_EQ(t->column_data(c).storage(), rowwise.column_data(c).storage());
+    }
+    ASSERT_EQ(t->NumRows(), rowwise.NumRows());
+    for (size_t r = 0; r < rowwise.NumRows(); ++r) {
+      ASSERT_TRUE(t->RowEqualsAt(r, rowwise.RowAt(r))) << "row " << r;
+    }
+  }
+}
+
+TEST(ColumnarTest, EraseAtSwapKeepsColumnsAligned) {
+  Schema s;
+  s.AddColumn("a", ValueType::kInt64);
+  s.AddColumn("b", ValueType::kString);
+  Table t(s);
+  for (int64_t i = 0; i < 10; ++i) {
+    t.Insert({i % 3 == 0 ? Value::Null() : Value::Int64(i),
+              Value::String("v" + std::to_string(i))});
+  }
+  const Row last = t.RowAt(9);
+  t.EraseAt(2);  // swap-with-back: row 9 moves into slot 2
+  ASSERT_EQ(t.NumRows(), 9u);
+  EXPECT_TRUE(t.RowEqualsAt(2, last));
+  // Null bits must have moved with the values.
+  EXPECT_EQ(t.column_data(0).IsNullAt(2), last[0].is_null());
+}
+
+TEST(ColumnarTest, ClearUndemotesToTypedStorage) {
+  ColumnVector col(ValueType::kInt64);
+  col.Append(Value::String("stray"));
+  EXPECT_TRUE(col.boxed());
+  col.Clear();
+  EXPECT_EQ(col.storage(), Storage::kInt64);
+  col.Append(Value::Int64(3));
+  EXPECT_EQ(col.storage(), Storage::kInt64);
+  EXPECT_EQ(col.At(0).as_int64(), 3);
+}
+
+TEST(ColumnarTest, DictionaryIsSharedOnBulkCopyAndCodesStayPrivateToIt) {
+  Schema s;
+  s.AddColumn("city", ValueType::kString);
+  Table src(s);
+  for (int i = 0; i < 50; ++i) {
+    src.Insert({Value::String("c" + std::to_string(i % 4))});
+  }
+  Table dst(s);
+  dst.AppendColumnsFrom(src);
+  // Bulk copy from a dict column into an empty dict column adopts the
+  // source dictionary (codes copied verbatim, no re-interning).
+  EXPECT_EQ(dst.column_data(0).dict().get(), src.column_data(0).dict().get());
+
+  // A destination with its *own* dictionary re-interns instead; the
+  // materialized strings are identical either way.
+  Table other(s);
+  other.Insert({Value::String("elsewhere")});
+  other.AppendColumnsFrom(src);
+  EXPECT_NE(other.column_data(0).dict().get(),
+            src.column_data(0).dict().get());
+  for (size_t r = 0; r < src.NumRows(); ++r) {
+    EXPECT_TRUE(Value::Compare(other.ValueAt(r + 1, 0), src.ValueAt(r, 0)) ==
+                0);
+  }
+}
+
+TEST(ColumnarTest, ReserveDoesNotChangeContents) {
+  Schema s;
+  s.AddColumn("a", ValueType::kInt64);
+  Table t(s);
+  t.Insert({Value::Int64(1)});
+  t.Reserve(10000);
+  t.Insert({Value::Int64(2)});
+  ASSERT_EQ(t.NumRows(), 2u);
+  EXPECT_EQ(t.ValueAt(0, 0).as_int64(), 1);
+  EXPECT_EQ(t.ValueAt(1, 0).as_int64(), 2);
+}
+
+TEST(ColumnarTest, ApproxBytesGrowsWithRowsAndCountsEveryColumn) {
+  Schema s;
+  s.AddColumn("a", ValueType::kInt64);
+  s.AddColumn("b", ValueType::kString);
+  Table t(s);
+  const size_t empty = t.ApproxBytes();
+  for (int64_t i = 0; i < 1000; ++i) {
+    t.Insert({Value::Int64(i), Value::String("x" + std::to_string(i % 7))});
+  }
+  const size_t full = t.ApproxBytes();
+  EXPECT_GT(full, empty);
+  // At minimum the int64 vector (8 bytes/row) and the code vector
+  // (4 bytes/row) must be accounted for.
+  EXPECT_GE(full, 1000 * (8 + 4));
+}
+
+}  // namespace
+}  // namespace sdelta::rel

@@ -55,17 +55,17 @@ TEST(CsvTest, ReadBasic) {
   Table t = FromCsvString(MixedSchema(),
                           "id,name,price\n10,widget,9.99\n11,gadget,\n");
   ASSERT_EQ(t.NumRows(), 2u);
-  EXPECT_EQ(t.row(0)[0].as_int64(), 10);
-  EXPECT_EQ(t.row(0)[1].as_string(), "widget");
-  EXPECT_DOUBLE_EQ(t.row(0)[2].as_double(), 9.99);
-  EXPECT_TRUE(t.row(1)[2].is_null());
+  EXPECT_EQ(t.RowAt(0)[0].as_int64(), 10);
+  EXPECT_EQ(t.RowAt(0)[1].as_string(), "widget");
+  EXPECT_DOUBLE_EQ(t.RowAt(0)[2].as_double(), 9.99);
+  EXPECT_TRUE(t.RowAt(1)[2].is_null());
 }
 
 TEST(CsvTest, ReadCrLfAndTrailingBlankLines) {
   Table t = FromCsvString(MixedSchema(),
                           "id,name,price\r\n1,x,2.5\r\n\r\n");
   ASSERT_EQ(t.NumRows(), 1u);
-  EXPECT_EQ(t.row(0)[1].as_string(), "x");
+  EXPECT_EQ(t.RowAt(0)[1].as_string(), "x");
 }
 
 TEST(CsvTest, HeaderMismatchThrows) {
@@ -94,13 +94,13 @@ TEST(CsvTest, QuotedFieldWithEmbeddedNewlineReads) {
   Table t = FromCsvString(MixedSchema(),
                           "id,name,price\n1,\"two\nlines\",3.5\n");
   ASSERT_EQ(t.NumRows(), 1u);
-  EXPECT_EQ(t.row(0)[1].as_string(), "two\nlines");
+  EXPECT_EQ(t.RowAt(0)[1].as_string(), "two\nlines");
 }
 
 TEST(CsvTest, LastLineWithoutNewline) {
   Table t = FromCsvString(MixedSchema(), "id,name,price\n5,last,1.25");
   ASSERT_EQ(t.NumRows(), 1u);
-  EXPECT_EQ(t.row(0)[0].as_int64(), 5);
+  EXPECT_EQ(t.RowAt(0)[0].as_int64(), 5);
 }
 
 // ISSUE 5 satellite: exact (ordered, value-for-value) round-trips of
@@ -144,12 +144,12 @@ TEST(CsvTest, HardenedRoundTripPreservesAdversarialStringsExactly) {
   ASSERT_EQ(back.NumRows(), t.NumRows());
   for (size_t i = 0; i < nasty.size(); ++i) {
     SCOPED_TRACE("row " + std::to_string(i));
-    EXPECT_EQ(back.row(i)[0].as_int64(), static_cast<int64_t>(i));
-    EXPECT_EQ(back.row(i)[1].as_string(), nasty[i]);
+    EXPECT_EQ(back.RowAt(i)[0].as_int64(), static_cast<int64_t>(i));
+    EXPECT_EQ(back.RowAt(i)[1].as_string(), nasty[i]);
   }
-  EXPECT_TRUE(back.row(nasty.size())[1].is_null());
-  EXPECT_FALSE(back.row(nasty.size() + 1)[1].is_null());
-  EXPECT_EQ(back.row(nasty.size() + 1)[1].as_string(), "");
+  EXPECT_TRUE(back.RowAt(nasty.size())[1].is_null());
+  EXPECT_FALSE(back.RowAt(nasty.size() + 1)[1].is_null());
+  EXPECT_EQ(back.RowAt(nasty.size() + 1)[1].as_string(), "");
 
   // A second trip is byte-stable: writing the parsed table reproduces
   // the same CSV text.
@@ -169,12 +169,12 @@ TEST(CsvTest, HardenedRoundTripSurvivesStreamingThroughAFile) {
   WriteCsv(t, file);
   const Table back = ReadCsv(s, file, "back");
   ASSERT_EQ(back.NumRows(), 3u);
-  EXPECT_EQ(back.row(0)[0].as_string(), "Acme, Inc.");
-  EXPECT_EQ(back.row(0)[1].as_string(), "said \"ok\"\nthen left");
-  EXPECT_EQ(back.row(1)[0].as_string(), "");
-  EXPECT_TRUE(back.row(1)[1].is_null());
-  EXPECT_EQ(back.row(2)[0].as_string(), "O'Brien \"The\r\nQuote\",");
-  EXPECT_EQ(back.row(2)[1].as_string(), ",");
+  EXPECT_EQ(back.RowAt(0)[0].as_string(), "Acme, Inc.");
+  EXPECT_EQ(back.RowAt(0)[1].as_string(), "said \"ok\"\nthen left");
+  EXPECT_EQ(back.RowAt(1)[0].as_string(), "");
+  EXPECT_TRUE(back.RowAt(1)[1].is_null());
+  EXPECT_EQ(back.RowAt(2)[0].as_string(), "O'Brien \"The\r\nQuote\",");
+  EXPECT_EQ(back.RowAt(2)[1].as_string(), ",");
 }
 
 }  // namespace

@@ -52,7 +52,7 @@ TEST(OperatorsTest, ProjectComputesExpressions) {
                        {"double_qty", E::Multiply(E::Column("qty"),
                                                   E::Literal(Value::Int64(2)))}});
   EXPECT_EQ(out.schema().column(1).name, "double_qty");
-  EXPECT_EQ(out.row(0)[1].as_int64(), 6);
+  EXPECT_EQ(out.RowAt(0)[1].as_int64(), 6);
   EXPECT_EQ(out.NumRows(), 4u);
 }
 
@@ -108,7 +108,7 @@ TEST(OperatorsTest, UnionAllMoveOverloadMatchesCopyAndDrainsInputs) {
   Table b = MakeSales();
   Table u = UnionAll(std::move(a), std::move(b));
   ExpectBagEq(expected, u);
-  EXPECT_EQ(u.row(0), MakeSales().row(0));  // a's rows first, in order
+  EXPECT_EQ(u.RowAt(0), MakeSales().RowAt(0));  // a's rows first, in order
   EXPECT_EQ(a.NumRows(), 0u);  // NOLINT(bugprone-use-after-move): drained
   EXPECT_EQ(b.NumRows(), 0u);  // NOLINT(bugprone-use-after-move)
 }
@@ -139,7 +139,7 @@ TEST(OperatorsTest, GroupByMinMax) {
                       {Min(E::Column("qty"), "lo"),
                        Max(E::Column("qty"), "hi")});
   ASSERT_EQ(out.NumRows(), 2u);
-  for (const Row& r : out.rows()) {
+  for (const Row& r : out.MaterializeRows()) {
     if (r[0].as_int64() == 10) {
       EXPECT_EQ(r[1].as_int64(), 1);
       EXPECT_EQ(r[2].as_int64(), 7);
@@ -165,8 +165,8 @@ TEST(OperatorsTest, ScalarAggregateOverEmptyInputYieldsOneRow) {
   Table out = GroupBy(empty, {}, {CountStar("n"), Sum(E::Column("qty"),
                                                       "total")});
   ASSERT_EQ(out.NumRows(), 1u);
-  EXPECT_EQ(out.row(0)[0].as_int64(), 0);
-  EXPECT_TRUE(out.row(0)[1].is_null());
+  EXPECT_EQ(out.RowAt(0)[0].as_int64(), 0);
+  EXPECT_TRUE(out.RowAt(0)[1].is_null());
 }
 
 TEST(OperatorsTest, GroupByEmptyInputWithKeysYieldsNothing) {
@@ -234,7 +234,7 @@ TEST(OperatorsTest, GroupByWidenedDoublesJoinTheirInt64Group) {
   t.Insert({Value::Double(5.5), Value::Int64(100)});
   Table out = GroupBy(t, GroupCols({"k"}), {Sum(E::Column("qty"), "total")});
   ASSERT_EQ(out.NumRows(), 2u);
-  for (const Row& r : out.rows()) {
+  for (const Row& r : out.MaterializeRows()) {
     if (r[0] == Value::Double(5.5)) {
       EXPECT_EQ(r[1].as_int64(), 100);
     } else {
@@ -262,7 +262,7 @@ TEST(OperatorsTest, GroupByWideKeySchemaFallsBackToBoxedKeys) {
                       {Sum(E::Column("qty"), "total")});
   EXPECT_EQ(out.NumRows(), 6u);  // (r%2, r%3) has 6 combinations over 0..9
   int64_t total = 0;
-  for (const Row& r : out.rows()) total += r[5].as_int64();
+  for (const Row& r : out.MaterializeRows()) total += r[5].as_int64();
   EXPECT_EQ(total, 10);
 }
 
@@ -272,7 +272,7 @@ TEST(OperatorsTest, GroupByStringKeysGroupThroughDictionaries) {
   Table out = GroupBy(joined, {{"items.cat", ""}},
                       {Sum(E::Column("qty"), "total")});
   ASSERT_EQ(out.NumRows(), 2u);
-  for (const Row& r : out.rows()) {
+  for (const Row& r : out.MaterializeRows()) {
     if (r[0] == Value::String("food")) {
       EXPECT_EQ(r[1].as_int64(), 11);
     } else {

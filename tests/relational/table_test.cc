@@ -23,7 +23,7 @@ TEST(TableTest, InsertAndRead) {
   t.Insert(R(1, "x"));
   t.Insert(R(2, "y"));
   EXPECT_EQ(t.NumRows(), 2u);
-  EXPECT_EQ(t.row(0)[0].as_int64(), 1);
+  EXPECT_EQ(t.RowAt(0)[0].as_int64(), 1);
   EXPECT_EQ(t.name(), "t");
   EXPECT_FALSE(t.empty());
 }
@@ -94,7 +94,7 @@ TEST(TableTest, EraseAtSwapsWithBack) {
   t.Insert(R(3, "z"));
   t.EraseAt(0);
   EXPECT_EQ(t.NumRows(), 2u);
-  EXPECT_EQ(t.row(0)[0].as_int64(), 3);  // back swapped in
+  EXPECT_EQ(t.RowAt(0)[0].as_int64(), 3);  // back swapped in
   EXPECT_THROW(t.EraseAt(5), std::invalid_argument);
 }
 

@@ -41,7 +41,7 @@ warehouse::RetailConfig SmallConfig() {
 int64_t Total(const rel::Table& rows) {
   int64_t total = 0;
   const size_t col = rows.schema().NumColumns() - 1;
-  for (const rel::Row& row : rows.rows()) total += row[col].as_int64();
+  for (const rel::Row& row : rows.MaterializeRows()) total += row[col].as_int64();
   return total;
 }
 

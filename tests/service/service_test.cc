@@ -41,14 +41,14 @@ constexpr char kDateQuery[] =
 int64_t TotalOfLastColumn(const rel::Table& rows) {
   int64_t total = 0;
   const size_t col = rows.schema().NumColumns() - 1;
-  for (const rel::Row& row : rows.rows()) total += row[col].as_int64();
+  for (const rel::Row& row : rows.MaterializeRows()) total += row[col].as_int64();
   return total;
 }
 
 int64_t QtyOf(const rel::Table& rows) {
   const size_t col = *rows.schema().IndexOf("qty");
   int64_t total = 0;
-  for (const rel::Row& row : rows.rows()) total += row[col].as_int64();
+  for (const rel::Row& row : rows.MaterializeRows()) total += row[col].as_int64();
   return total;
 }
 

@@ -24,7 +24,7 @@ inline void ExpectBagEq(const rel::Table& expected, const rel::Table& actual) {
 /// Sorts rows lexicographically (nulls first) — canonical order for
 /// row-by-row comparison.
 inline std::vector<rel::Row> SortedRows(const rel::Table& t) {
-  std::vector<rel::Row> rows(t.rows().begin(), t.rows().end());
+  std::vector<rel::Row> rows = t.MaterializeRows();
   std::sort(rows.begin(), rows.end(), [](const rel::Row& a,
                                          const rel::Row& b) {
     for (size_t i = 0; i < a.size() && i < b.size(); ++i) {

@@ -108,6 +108,59 @@ TEST(BenchCompareTest, UnmatchedEntriesAreNotesNotFailures) {
   EXPECT_EQ(report.notes.size(), 2u) << report.ToString();
 }
 
+TEST(BenchCompareTest, HigherIsBetterFlipsTheDirection) {
+  const CompareOptions options = ParseTolerances(Json::Parse(R"({
+    "schema": "sdelta.tolerances.v1",
+    "ignore": ["host_cpus", "ms", "delta_rows"],
+    "metrics": {"speedup": {"rel_tolerance": 0.5,
+                            "higher_is_better": true}}})"));
+  auto with_speedup = [](double s) {
+    Json e = Entry("a", 1, 100.0, 7);
+    e.Set("speedup", Json::Double(s));
+    return BenchDoc({std::move(e)});
+  };
+  const Json baseline = with_speedup(4.0);
+  // Dropping below baseline * (1 - tol) = 2.0 regresses...
+  const CompareReport slow =
+      CompareBench(baseline, with_speedup(1.5), options);
+  ASSERT_EQ(slow.regressions.size(), 1u);
+  EXPECT_EQ(slow.regressions[0].metric, "speedup");
+  EXPECT_EQ(slow.regressions[0].limit, 2.0);
+  EXPECT_NE(slow.regressions[0].ToString().find("allowed>="),
+            std::string::npos);
+  // ...while getting faster never fails.
+  const CompareReport fast =
+      CompareBench(baseline, with_speedup(8.0), options);
+  EXPECT_TRUE(fast.ok()) << fast.ToString();
+}
+
+TEST(BenchCompareTest, OnlyIfSkipsUnlessFlagTruthyOnBothSides) {
+  const CompareOptions options = ParseTolerances(Json::Parse(R"({
+    "schema": "sdelta.tolerances.v1",
+    "ignore": ["host_cpus", "ms", "delta_rows", "meaningful"],
+    "metrics": {"speedup": {"rel_tolerance": 0.5,
+                            "higher_is_better": true,
+                            "only_if": "meaningful"}}})"));
+  auto doc = [](double speedup, bool meaningful) {
+    Json e = Entry("a", 1, 100.0, 7);
+    e.Set("speedup", Json::Double(speedup));
+    e.Set("meaningful", Json::Bool(meaningful));
+    return BenchDoc({std::move(e)});
+  };
+  // Flag false on the baseline (single-core recording host): the clear
+  // regression is skipped with a note, not a failure.
+  const CompareReport skipped =
+      CompareBench(doc(4.0, false), doc(1.0, true), options);
+  EXPECT_TRUE(skipped.ok()) << skipped.ToString();
+  EXPECT_EQ(skipped.metrics_compared, 0u);
+  ASSERT_EQ(skipped.notes.size(), 1u);
+  EXPECT_NE(skipped.notes[0].find("skipped speedup"), std::string::npos);
+  // Flag true on both sides: the same regression now gates.
+  const CompareReport gated =
+      CompareBench(doc(4.0, true), doc(1.0, true), options);
+  EXPECT_EQ(gated.regressions.size(), 1u) << gated.ToString();
+}
+
 TEST(BenchCompareTest, MalformedDocumentsThrow) {
   EXPECT_THROW(CompareBench(Json::Object(), BenchDoc({}), DemoOptions()),
                std::runtime_error);

@@ -116,7 +116,7 @@ core::ChangeSet RandomEventChanges(const rel::Catalog& c, uint64_t seed) {
   std::uniform_int_distribution<int64_t> dwell_d(10, 60000);
   std::unordered_set<size_t> picked;
   while (picked.size() < 60) picked.insert(pos_d(rng));
-  for (size_t p : picked) changes.fact.deletions.Insert(events.row(p));
+  for (size_t p : picked) changes.fact.deletions.Insert(events.RowAt(p));
   for (int i = 0; i < 80; ++i) {
     changes.fact.insertions.Insert(
         {Value::Int64(user_d(rng)), Value::Int64(page_d(rng)),
@@ -169,7 +169,7 @@ TEST(ClickstreamTest, MaxTimestampRecomputesOnDeletion) {
   // Locate a matching base row to delete.
   const rel::Table& events = c.GetTable("events");
   rel::Row victim;
-  for (const rel::Row& r : events.rows()) {
+  for (const rel::Row& r : events.MaterializeRows()) {
     if (r[0].as_int64() == user && r[1].as_int64() == page &&
         r[2].as_int64() == last_seen) {
       victim = r;

@@ -23,7 +23,7 @@ TEST(RetailSchemaTest, DimensionHierarchyFdsHoldInData) {
   rel::Catalog c = MakeRetailCatalog(RetailConfig{});
   const rel::Table& stores = c.GetTable("stores");
   std::map<std::string, std::string> city_region;
-  for (const rel::Row& r : stores.rows()) {
+  for (const rel::Row& r : stores.MaterializeRows()) {
     const std::string& city = r[1].as_string();
     const std::string& region = r[2].as_string();
     auto [it, inserted] = city_region.emplace(city, region);
@@ -37,7 +37,7 @@ TEST(RetailSchemaTest, PosReferentialIntegrity) {
   config.num_pos_rows = 300;
   rel::Catalog c = MakeRetailCatalog(config);
   const rel::Table& pos = c.GetTable("pos");
-  for (const rel::Row& r : pos.rows()) {
+  for (const rel::Row& r : pos.MaterializeRows()) {
     const int64_t store = r[0].as_int64();
     const int64_t item = r[1].as_int64();
     EXPECT_GE(store, 1);

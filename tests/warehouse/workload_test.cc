@@ -33,7 +33,7 @@ TEST(WorkloadTest, UpdateGeneratingDeletionsExistInPos) {
   rel::Catalog c = Small();
   core::ChangeSet changes = MakeUpdateGeneratingChanges(c, 100, 6);
   rel::Table& pos = c.GetTable("pos");
-  for (const rel::Row& r : changes.fact.deletions.rows()) {
+  for (const rel::Row& r : changes.fact.deletions.MaterializeRows()) {
     EXPECT_TRUE(pos.EraseOneEqual(r)) << rel::RowToString(r);
   }
 }
@@ -44,8 +44,8 @@ TEST(WorkloadTest, UpdateGeneratingInsertionsUseExistingValues) {
   const rel::Table& pos = c.GetTable("pos");
   std::unordered_set<int64_t> dates;
   const size_t date_idx = pos.schema().Resolve("date");
-  for (const rel::Row& r : pos.rows()) dates.insert(r[date_idx].as_int64());
-  for (const rel::Row& r : changes.fact.insertions.rows()) {
+  for (const rel::Row& r : pos.MaterializeRows()) dates.insert(r[date_idx].as_int64());
+  for (const rel::Row& r : changes.fact.insertions.MaterializeRows()) {
     EXPECT_TRUE(dates.count(r[date_idx].as_int64()) > 0);
   }
 }
@@ -57,7 +57,7 @@ TEST(WorkloadTest, InsertionGeneratingUsesOnlyNewDates) {
   EXPECT_EQ(changes.fact.deletions.NumRows(), 0u);
   const size_t date_idx =
       changes.fact.insertions.schema().Resolve("date");
-  for (const rel::Row& r : changes.fact.insertions.rows()) {
+  for (const rel::Row& r : changes.fact.insertions.MaterializeRows()) {
     EXPECT_GT(r[date_idx].as_int64(), 20);  // beyond num_dates
   }
 }
@@ -85,9 +85,9 @@ TEST(WorkloadTest, RecategorizationIsBalancedDelta) {
   rel::Table& items = c.GetTable("items");
   const size_t cat_idx = items.schema().Resolve("category");
   for (size_t i = 0; i < d.deletions.NumRows(); ++i) {
-    EXPECT_TRUE(items.EraseOneEqual(d.deletions.row(i)));
+    EXPECT_TRUE(items.EraseOneEqual(d.deletions.RowAt(i)));
   }
-  for (const rel::Row& r : d.insertions.rows()) {
+  for (const rel::Row& r : d.insertions.MaterializeRows()) {
     EXPECT_NE(r[cat_idx].as_string().find("_moved"), std::string::npos);
   }
 }
@@ -98,7 +98,7 @@ TEST(WorkloadTest, BackfillDatesPrecedeAllExistingDates) {
   EXPECT_EQ(changes.fact.insertions.NumRows(), 120u);
   EXPECT_TRUE(changes.fact.deletions.empty());
   const size_t date_idx = changes.fact.insertions.schema().Resolve("date");
-  for (const rel::Row& r : changes.fact.insertions.rows()) {
+  for (const rel::Row& r : changes.fact.insertions.MaterializeRows()) {
     EXPECT_LE(r[date_idx].as_int64(), 0);  // existing dates are >= 1
   }
 }

@@ -54,6 +54,16 @@ bool IsNumeric(const obs::Json& v) {
          v.kind() == obs::Json::Kind::kDouble;
 }
 
+/// Truthiness of an entry's flag member: present and true (or a nonzero
+/// number). Absent members are falsy.
+bool FlagTruthy(const obs::Json& entry, const std::string& member) {
+  const obs::Json* v = entry.Find(member);
+  if (v == nullptr) return false;
+  if (v->kind() == obs::Json::Kind::kBool) return v->as_bool();
+  if (IsNumeric(*v)) return v->as_double() != 0;
+  return false;
+}
+
 }  // namespace
 
 CompareOptions ParseTolerances(const obs::Json& doc) {
@@ -87,14 +97,22 @@ CompareOptions ParseTolerances(const obs::Json& doc) {
                                  name);
       }
     }
+    if (const obs::Json* hib = spec.Find("higher_is_better"); hib != nullptr) {
+      t.higher_is_better = hib->as_bool();
+    }
+    if (const obs::Json* cond = spec.Find("only_if"); cond != nullptr) {
+      t.only_if = cond->as_string();
+    }
     options.metrics[name] = t;
   }
   return options;
 }
 
 std::string CompareIssue::ToString() const {
+  // For higher-is-better metrics the limit is a floor, not a ceiling.
+  const char* bound = current < limit ? " allowed>=" : " allowed<=";
   return key + " " + metric + ": baseline=" + NumberTo(baseline) +
-         " current=" + NumberTo(current) + " allowed<=" + NumberTo(limit);
+         " current=" + NumberTo(current) + bound + NumberTo(limit);
 }
 
 std::string CompareReport::ToString() const {
@@ -144,6 +162,13 @@ CompareReport CompareBench(const obs::Json& baseline, const obs::Json& current,
       const obs::Json* base_value = base.Find(metric);
       const obs::Json* cur_value = entry.Find(metric);
       if (base_value == nullptr || cur_value == nullptr) continue;
+      if (!tolerance.only_if.empty() &&
+          !(FlagTruthy(base, tolerance.only_if) &&
+            FlagTruthy(entry, tolerance.only_if))) {
+        report.notes.push_back("skipped " + metric + " (" + tolerance.only_if +
+                               " not set on both sides) in: " + key);
+        continue;
+      }
       if (!IsNumeric(*base_value) || !IsNumeric(*cur_value)) {
         report.notes.push_back("non-numeric metric " + metric + " in: " + key);
         continue;
@@ -154,6 +179,11 @@ CompareReport CompareBench(const obs::Json& baseline, const obs::Json& current,
       if (tolerance.exact) {
         if (c != b) {
           report.regressions.push_back(CompareIssue{key, metric, b, c, b});
+        }
+      } else if (tolerance.higher_is_better) {
+        const double limit = b * (1.0 - tolerance.rel_tolerance);
+        if (c < limit) {
+          report.regressions.push_back(CompareIssue{key, metric, b, c, limit});
         }
       } else {
         const double limit = b * (1.0 + tolerance.rel_tolerance);

@@ -30,6 +30,15 @@ namespace sdelta::tools {
 struct MetricTolerance {
   bool exact = false;
   double rel_tolerance = 0;  ///< fraction: 0.25 allows +25% over baseline
+  /// For metrics where larger is better (speedups, QPS): the check
+  /// flips to `current < baseline * (1 - rel_tolerance)` and getting
+  /// faster/bigger never fails.
+  bool higher_is_better = false;
+  /// When non-empty, the metric is only compared if BOTH entries carry
+  /// this member with a truthy value. Lets recorded-but-conditional
+  /// metrics (parallel speedups, which are meaningless on a single-core
+  /// host) gate only where the recording host could produce them.
+  std::string only_if;
 };
 
 struct CompareOptions {
