@@ -17,6 +17,12 @@
 //       thread hammering the embedded HTTP endpoint's /metrics route
 //       over a real socket for the whole run: the observability tax.
 //       Gated by the same reader-p99 tolerance as the maintenance case.
+//   readers_profiler_on       - readers_with_maintenance with the whole
+//       historical layer enabled (span profiler, per-batch time-series
+//       snapshots, anomaly checks). Emits p99_overhead_ratio (reader
+//       p99 vs the plain maintenance run), gated at baseline 1.0 with
+//       5% tolerance: the committed proof the diagnostics stay off the
+//       read path.
 //
 // Writes BENCH_service.json entries for the CI bench gate:
 // appended_changesets / appended_rows are exact (the trajectory is
@@ -80,13 +86,20 @@ struct RunResult {
   uint64_t scrapes = 0;
 };
 
-std::unique_ptr<service::WarehouseService> OpenService(const fs::path& dir,
-                                                       bool with_http = false) {
+std::unique_ptr<service::WarehouseService> OpenService(
+    const fs::path& dir, bool with_http = false, bool with_profiler = false) {
   service::WarehouseService::Options options;
   options.auto_batching = true;
   options.queue.max_batch_rows = 512;
   options.queue.max_batch_delay_seconds = 0.005;
   if (with_http) options.http_port = 0;  // ephemeral loopback port
+  if (with_profiler) {
+    // The whole historical layer (DESIGN.md §13): per-batch time-series
+    // snapshots, maintenance-path profiling, and anomaly checks with
+    // default rules. Steady-state reader overhead is gated below.
+    options.profile = true;
+    options.anomaly.enabled = true;
+  }
   return service::WarehouseService::Open(
       dir.string(), warehouse::MakeRetailCatalog(PaperConfig(kPosRows)),
       warehouse::RetailSummaryTables(), options);
@@ -184,8 +197,9 @@ RunResult RunIdle(const fs::path& dir) {
   return r;
 }
 
-RunResult RunWithMaintenance(const fs::path& dir, bool with_scraper = false) {
-  auto svc = OpenService(dir, with_scraper);
+RunResult RunWithMaintenance(const fs::path& dir, bool with_scraper = false,
+                             bool with_profiler = false) {
+  auto svc = OpenService(dir, with_scraper, with_profiler);
   RunResult r;
   std::atomic<bool> stop{false};
   std::vector<uint64_t> counts(kReaderThreads, 0);
@@ -309,6 +323,28 @@ int Run() {
       static_cast<unsigned long long>(scraped.queries),
       static_cast<unsigned long long>(scraped.scrapes), scraped.seconds);
   AddEntry("readers_with_scraping", scraped, /*with_windows=*/true);
+
+  // The historical layer's steady-state tax: same workload as
+  // readers_with_maintenance with profiling + time-series + anomaly
+  // checks on. All of that work happens on the maintenance thread after
+  // the epoch install, so readers should not feel it — the gated
+  // p99_overhead_ratio (reader p99 vs the plain maintenance run,
+  // baseline 1.0) is the <5% proof the diagnostics stay off the read
+  // path.
+  const RunResult profiled = RunWithMaintenance(
+      root / "profiled", /*with_scraper=*/false, /*with_profiler=*/true);
+  const double overhead_ratio =
+      busy.query_latency.P99() > 0
+          ? profiled.query_latency.P99() / busy.query_latency.P99()
+          : 0;
+  std::printf(
+      "  readers_profiler_on:      %8.0f qps, p99 %.3f ms "
+      "(p99 overhead ratio %.3f)\n",
+      static_cast<double>(profiled.queries) / profiled.seconds,
+      profiled.query_latency.P99() * 1e3, overhead_ratio);
+  AddEntry("readers_profiler_on", profiled, /*with_windows=*/true);
+  ServiceEntries().back().Set("p99_overhead_ratio",
+                              obs::Json::Double(overhead_ratio));
 
   fs::remove_all(root);
   obs::MergeBenchJson("BENCH_service.json", "service", {"case", "readers"},

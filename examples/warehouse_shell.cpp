@@ -11,7 +11,7 @@
 // the set of summary tables: a checkpoint records their schemas.
 // `http_port` starts the embedded scrape endpoint on 127.0.0.1 (0 =
 // pick an ephemeral port; the bound port is printed at startup). Routes:
-// /metrics /healthz /varz /epochs /events.
+// /metrics /healthz /varz /epochs /events /timeseries /profile /anomalies.
 //
 // Commands:
 //   CREATE VIEW ...   define + materialize a summary table (SQL dialect)
@@ -35,7 +35,13 @@
 //   service checkpoint
 //                     snapshot to <data_dir>/checkpoint + truncate WAL
 //   service slo       SLO targets, violation counts, burn rate, health
-//   service events    the structured event log (flight recorder)
+//   service events    the structured event log
+//   history [metric]  per-batch metric history from the time-series ring
+//                     (no metric: list the recorded series)
+//   profile [collapsed]
+//                     cumulative self-time profile of the maintenance
+//                     path; `collapsed` prints flamegraph.pl input
+//   anomalies         detector state + flight-recorder bundles on disk
 //   metrics           Prometheus text exposition of all pipeline metrics
 //   dicts             per-column string dictionaries and per-view packed
 //                     key stats (see DESIGN.md §8)
@@ -65,6 +71,7 @@ void PrintHelp() {
       "recat> <n> |\n"
       "          explain [analyze] <kind> <n> [dot|json] |\n"
       "          service <stats|flush|checkpoint|slo|events> | metrics |\n"
+      "          history [metric] | profile [collapsed] | anomalies |\n"
       "          dicts | save <dir> | help | quit\n");
 }
 
@@ -164,6 +171,73 @@ void PrintServiceEvents(service::WarehouseService& svc) {
   }
 }
 
+void PrintHistory(service::WarehouseService& svc, const std::string& metric) {
+  const obs::TimeSeriesStore* ts = svc.timeseries();
+  if (ts == nullptr) {
+    std::printf("time-series store disabled (timeseries_capacity = 0)\n");
+    return;
+  }
+  if (metric.empty()) {
+    std::printf("%zu batches retained (%llu appended, %llu beyond the "
+                "ring); series:\n",
+                ts->size(), static_cast<unsigned long long>(ts->appended()),
+                static_cast<unsigned long long>(ts->dropped()));
+    for (const auto& [name, kind] : ts->SeriesNames()) {
+      std::printf("  %-44s %s\n", name.c_str(), obs::SampleKindName(kind));
+    }
+    return;
+  }
+  const std::vector<obs::TimeSeriesPoint> points = ts->Query(metric);
+  if (points.empty()) {
+    std::printf("no samples for '%s' (try 'history' for the series list)\n",
+                metric.c_str());
+    return;
+  }
+  for (const obs::TimeSeriesPoint& p : points) {
+    std::printf("  batch %-6llu %.6g\n",
+                static_cast<unsigned long long>(p.batch_id), p.value);
+  }
+}
+
+void PrintProfile(service::WarehouseService& svc, const std::string& format) {
+  const obs::Profiler* profiler = svc.profiler();
+  if (profiler == nullptr) {
+    std::printf("profiler disabled (Options::profile = false)\n");
+    return;
+  }
+  if (format == "collapsed") {
+    // flamegraph.pl input: pipe to tools/flamegraph.pl or speedscope.
+    std::printf("%s", profiler->ToCollapsed().c_str());
+    return;
+  }
+  std::printf("%llu batches profiled\n",
+              static_cast<unsigned long long>(profiler->batches()));
+  std::printf("%s", profiler->ToText().c_str());
+}
+
+void PrintAnomalies(service::WarehouseService& svc) {
+  const obs::AnomalyDetector* detector = svc.anomalies();
+  if (detector == nullptr) {
+    std::printf("anomaly detection disabled (Options::anomaly.enabled)\n");
+    return;
+  }
+  std::printf("%llu checks, %llu detections\n",
+              static_cast<unsigned long long>(detector->checks()),
+              static_cast<unsigned long long>(detector->detections()));
+  for (const obs::Anomaly& a : detector->recent()) {
+    std::printf("  batch %-6llu %-10s %-36s value=%.6g baseline=%.6g "
+                "threshold=%.6g\n",
+                static_cast<unsigned long long>(a.batch_id), a.kind.c_str(),
+                a.metric.c_str(), a.value, a.baseline, a.threshold);
+  }
+  if (const obs::FlightRecorder* rec = svc.flight_recorder()) {
+    const std::vector<std::string> bundles = rec->ListBundles();
+    std::printf("flight-recorder bundles in %s:\n", rec->options().dir.c_str());
+    for (const std::string& b : bundles) std::printf("  %s\n", b.c_str());
+    if (bundles.empty()) std::printf("  (none)\n");
+  }
+}
+
 void PrintExplain(const lattice::ExplainResult& explain,
                   const std::string& format) {
   if (format == "dot") {
@@ -216,6 +290,10 @@ int main(int argc, char** argv) {
   service::WarehouseService::Options options;
   options.metrics = &metrics;
   options.auto_batching = false;  // the shell flushes explicitly
+  // The shell is a diagnosis surface: keep the whole historical layer on
+  // (per-batch history, maintenance profile, anomaly flight recorder).
+  options.profile = true;
+  options.anomaly.enabled = true;
   if (argc > 3) options.http_port = std::stoi(argv[3]);
   auto svc = service::WarehouseService::Open(
       data_dir, warehouse::MakeRetailCatalog(config),
@@ -227,7 +305,8 @@ int main(int argc, char** argv) {
   if (svc->http_port() >= 0) {
     std::printf(
         "scrape endpoint: http://127.0.0.1:%d  "
-        "(/metrics /healthz /varz /epochs /events)\n",
+        "(/metrics /healthz /varz /epochs /events /timeseries /profile "
+        "/anomalies)\n",
         svc->http_port());
   }
 
@@ -308,6 +387,16 @@ int main(int argc, char** argv) {
         } else {
           std::printf("usage: service <stats|flush|checkpoint|slo|events>\n");
         }
+      } else if (upper == "HISTORY") {
+        std::string metric;
+        in >> metric;
+        PrintHistory(*svc, metric);
+      } else if (upper == "PROFILE") {
+        std::string format;
+        in >> format;
+        PrintProfile(*svc, format);
+      } else if (upper == "ANOMALIES") {
+        PrintAnomalies(*svc);
       } else if (upper == "METRICS") {
         std::printf("%s", obs::ExportPrometheus(metrics).c_str());
       } else if (upper == "DICTS") {

@@ -1,0 +1,276 @@
+#include "obs/anomaly.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace sdelta::obs {
+
+namespace fs = std::filesystem;
+
+std::vector<AnomalyRule> AnomalyConfig::DefaultRules() {
+  // Floors are set above timing noise on a quiet service: a rule only
+  // arms once the signal is operationally meaningful.
+  const auto rule = [](const char* metric, double min_threshold) {
+    AnomalyRule r;
+    r.metric = metric;
+    r.min_threshold = min_threshold;
+    return r;
+  };
+  return {
+      rule("service.refresh_window_seconds", 0.005),
+      rule("service.staleness_seconds", 0.05),
+      rule("batch.propagate_seconds", 0.005),
+      rule("service.queue_depth", 1024),
+  };
+}
+
+Json AnomalyToJson(const Anomaly& anomaly) {
+  Json j = Json::Object();
+  j.Set("batch_id", Json::Int(static_cast<int64_t>(anomaly.batch_id)));
+  j.Set("kind", Json::Str(anomaly.kind));
+  j.Set("metric", Json::Str(anomaly.metric));
+  j.Set("value", Json::Double(anomaly.value));
+  j.Set("baseline", Json::Double(anomaly.baseline));
+  j.Set("threshold", Json::Double(anomaly.threshold));
+  return j;
+}
+
+AnomalyDetector::AnomalyDetector(AnomalyConfig config, MetricsRegistry* metrics)
+    : config_(std::move(config)), metrics_(metrics) {
+  // Pre-register so the exposition always carries the family, fired or
+  // not (same contract as service.queue_saturated).
+  if (metrics_ != nullptr) {
+    metrics_->Add("anomaly.checks", 0);
+    metrics_->Add("anomaly.detections", 0);
+  }
+}
+
+std::vector<Anomaly> AnomalyDetector::Check(const TimeSeriesStore& store,
+                                            uint64_t batch_id) {
+  std::vector<Anomaly> fired;
+  for (const AnomalyRule& rule : config_.rules) {
+    std::vector<TimeSeriesPoint> points = store.Query(rule.metric);
+    std::vector<double> values;
+    values.reserve(points.size());
+    if (rule.delta) {
+      for (size_t i = 1; i < points.size(); ++i) {
+        values.push_back(points[i].value - points[i - 1].value);
+      }
+    } else {
+      for (const TimeSeriesPoint& p : points) values.push_back(p.value);
+    }
+    if (values.empty()) continue;
+    const double current = values.back();
+    values.pop_back();
+    if (values.size() < rule.warmup) continue;
+    const size_t n = std::min(values.size(), rule.window);
+    double sum = 0;
+    for (size_t i = values.size() - n; i < values.size(); ++i) {
+      sum += values[i];
+    }
+    const double mean = sum / static_cast<double>(n);
+    const double threshold = std::max(rule.min_threshold, rule.factor * mean);
+    if (current > threshold) {
+      fired.push_back(Anomaly{.batch_id = batch_id,
+                              .kind = "threshold",
+                              .metric = rule.metric,
+                              .value = current,
+                              .baseline = mean,
+                              .threshold = threshold});
+    }
+  }
+  {
+    std::scoped_lock lock(mu_);
+    ++checks_;
+  }
+  if (metrics_ != nullptr) metrics_->Add("anomaly.checks");
+  RecordDetections(fired);
+  return fired;
+}
+
+std::vector<Anomaly> AnomalyDetector::CheckSlo(const SloTracker& slo,
+                                               uint64_t batch_id) {
+  const uint64_t violations =
+      slo.staleness_violations() + slo.window_violations();
+  const double burn = slo.BurnRate();
+  std::vector<Anomaly> fired;
+  bool is_new = false;
+  {
+    std::scoped_lock lock(mu_);
+    is_new = violations > last_slo_violations_;
+    last_slo_violations_ = violations;
+  }
+  if (is_new && burn > config_.slo_burn_threshold) {
+    fired.push_back(Anomaly{.batch_id = batch_id,
+                            .kind = "slo_burn",
+                            .metric = "slo.burn_rate",
+                            .value = burn,
+                            .baseline = config_.slo_burn_threshold,
+                            .threshold = config_.slo_burn_threshold});
+  }
+  RecordDetections(fired);
+  return fired;
+}
+
+void AnomalyDetector::RecordDetections(const std::vector<Anomaly>& fired) {
+  if (fired.empty()) return;
+  {
+    std::scoped_lock lock(mu_);
+    detections_ += fired.size();
+    for (const Anomaly& a : fired) {
+      recent_.push_back(a);
+      while (recent_.size() > 64) recent_.pop_front();
+    }
+  }
+  if (metrics_ != nullptr) {
+    metrics_->Add("anomaly.detections", fired.size());
+  }
+}
+
+uint64_t AnomalyDetector::checks() const {
+  std::scoped_lock lock(mu_);
+  return checks_;
+}
+
+uint64_t AnomalyDetector::detections() const {
+  std::scoped_lock lock(mu_);
+  return detections_;
+}
+
+std::vector<Anomaly> AnomalyDetector::recent() const {
+  std::scoped_lock lock(mu_);
+  return {recent_.begin(), recent_.end()};
+}
+
+Json AnomalyDetector::ToJson() const {
+  std::scoped_lock lock(mu_);
+  Json doc = Json::Object();
+  doc.Set("schema", Json::Str("sdelta.anomaly.v1"));
+  doc.Set("enabled", Json::Bool(config_.enabled));
+  doc.Set("checks", Json::Int(static_cast<int64_t>(checks_)));
+  doc.Set("detections", Json::Int(static_cast<int64_t>(detections_)));
+  doc.Set("slo_burn_threshold", Json::Double(config_.slo_burn_threshold));
+  Json rules = Json::Array();
+  for (const AnomalyRule& r : config_.rules) {
+    Json j = Json::Object();
+    j.Set("metric", Json::Str(r.metric));
+    j.Set("factor", Json::Double(r.factor));
+    j.Set("min_threshold", Json::Double(r.min_threshold));
+    j.Set("window", Json::Int(static_cast<int64_t>(r.window)));
+    j.Set("warmup", Json::Int(static_cast<int64_t>(r.warmup)));
+    j.Set("delta", Json::Bool(r.delta));
+    rules.Append(std::move(j));
+  }
+  doc.Set("rules", std::move(rules));
+  Json anomalies = Json::Array();
+  for (const Anomaly& a : recent_) anomalies.Append(AnomalyToJson(a));
+  doc.Set("anomalies", std::move(anomalies));
+  return doc;
+}
+
+FlightRecorder::FlightRecorder(Options options, MetricsRegistry* metrics)
+    : options_(std::move(options)), metrics_(metrics) {
+  if (metrics_ != nullptr) {
+    metrics_->Add("anomaly.bundles_written", 0);
+    metrics_->Add("anomaly.bundles_pruned", 0);
+  }
+  // Resume the sequence past any bundles a previous run left behind so
+  // names never collide.
+  for (const std::string& name : ListBundlesUnlocked()) {
+    unsigned long seq = 0;
+    if (std::sscanf(name.c_str(), "bundle-%lu-", &seq) == 1 &&
+        seq >= next_seq_) {
+      next_seq_ = seq + 1;
+    }
+  }
+}
+
+std::vector<std::string> FlightRecorder::ListBundlesUnlocked() const {
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(options_.dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (entry.is_directory() && name.rfind("bundle-", 0) == 0) {
+      out.push_back(name);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::string> FlightRecorder::ListBundles() const {
+  std::scoped_lock lock(mu_);
+  return ListBundlesUnlocked();
+}
+
+uint64_t FlightRecorder::bundles_written() const {
+  std::scoped_lock lock(mu_);
+  return written_;
+}
+
+void FlightRecorder::PruneUnlocked() {
+  std::vector<std::string> bundles = ListBundlesUnlocked();
+  const size_t keep = options_.max_bundles == 0 ? 1 : options_.max_bundles;
+  std::error_code ec;
+  for (size_t i = 0; i + keep < bundles.size(); ++i) {
+    fs::remove_all(fs::path(options_.dir) / bundles[i], ec);
+    if (metrics_ != nullptr) metrics_->Add("anomaly.bundles_pruned");
+  }
+}
+
+std::string FlightRecorder::WriteBundle(
+    uint64_t batch_id, const std::vector<Anomaly>& anomalies,
+    const std::vector<std::pair<std::string, Json>>& artifacts) {
+  std::scoped_lock lock(mu_);
+  char seq_buf[16];
+  std::snprintf(seq_buf, sizeof(seq_buf), "%06lu",
+                static_cast<unsigned long>(next_seq_++));
+  const std::string name =
+      std::string("bundle-") + seq_buf + "-batch" + std::to_string(batch_id);
+
+  fs::create_directories(options_.dir);
+  const fs::path dir(options_.dir);
+  const fs::path tmp = dir / (".tmp-" + name);
+  std::error_code ec;
+  fs::remove_all(tmp, ec);
+  fs::create_directories(tmp);
+
+  Json manifest = Json::Object();
+  manifest.Set("schema", Json::Str("sdelta.flightrec.v1"));
+  manifest.Set("bundle", Json::Str(name));
+  manifest.Set("batch_id", Json::Int(static_cast<int64_t>(batch_id)));
+  Json alist = Json::Array();
+  for (const Anomaly& a : anomalies) alist.Append(AnomalyToJson(a));
+  manifest.Set("anomalies", std::move(alist));
+  Json files = Json::Array();
+  for (const auto& [aname, doc] : artifacts) {
+    files.Append(Json::Str(aname + ".json"));
+  }
+  manifest.Set("artifacts", std::move(files));
+
+  const auto write_file = [&](const std::string& file, const Json& doc) {
+    std::ofstream out(tmp / file, std::ios::trunc);
+    out << doc.Dump(2) << "\n";
+    if (!out) {
+      throw std::runtime_error("flightrec: cannot write " +
+                               (tmp / file).string());
+    }
+  };
+  write_file("manifest.json", manifest);
+  for (const auto& [aname, doc] : artifacts) {
+    write_file(aname + ".json", doc);
+  }
+  // Atomic publish: a bundle directory either exists complete or not at
+  // all (readers never see partial bundles).
+  fs::rename(tmp, dir / name);
+
+  ++written_;
+  if (metrics_ != nullptr) metrics_->Add("anomaly.bundles_written");
+  PruneUnlocked();
+  return name;
+}
+
+}  // namespace sdelta::obs

@@ -1,0 +1,151 @@
+#ifndef SDELTA_OBS_ANOMALY_H_
+#define SDELTA_OBS_ANOMALY_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/slo.h"
+#include "obs/timeseries.h"
+
+namespace sdelta::obs {
+
+/// One rolling-threshold rule over a time series. Fires when the
+/// current batch's value exceeds BOTH `factor` times the rolling mean
+/// of the trailing window AND the absolute floor `min_threshold` (the
+/// floor keeps microsecond-scale noise from tripping 3x rules).
+struct AnomalyRule {
+  std::string metric;        ///< TimeSeriesStore series name
+  double factor = 3.0;       ///< fire above factor * rolling mean
+  double min_threshold = 0;  ///< absolute floor the value must also exceed
+  size_t window = 16;        ///< trailing samples in the rolling mean
+  size_t warmup = 4;         ///< prior samples required before firing
+  /// Evaluate per-batch deltas instead of raw values — the right
+  /// semantics for counters, whose raw values grow monotonically.
+  bool delta = false;
+};
+
+/// Detector configuration. Disabled by default: detection writes flight
+/// bundles to disk on trigger, which a test or bench must opt into.
+struct AnomalyConfig {
+  bool enabled = false;
+  std::vector<AnomalyRule> rules;
+  /// SLO trigger: fire when new violations arrived this batch and the
+  /// cumulative burn rate exceeds this.
+  double slo_burn_threshold = 1.0;
+
+  /// The paper-motivated default rule set: refresh window, staleness,
+  /// propagate time, and queue depth (DESIGN.md §13.3).
+  static std::vector<AnomalyRule> DefaultRules();
+};
+
+/// One detection. `baseline` is the rolling mean the value was judged
+/// against (the burn threshold for kind "slo_burn"), `threshold` the
+/// effective trip level max(min_threshold, factor * baseline).
+struct Anomaly {
+  uint64_t batch_id = 0;
+  std::string kind;    ///< "threshold" or "slo_burn"
+  std::string metric;  ///< rule metric, or "slo.burn_rate"
+  double value = 0;
+  double baseline = 0;
+  double threshold = 0;
+};
+
+Json AnomalyToJson(const Anomaly& anomaly);
+
+/// Evaluates the rolling-threshold rules against the time-series ring
+/// after each batch, plus the SLO burn trigger. Keeps a bounded list of
+/// recent detections for the /anomalies route and the shell.
+///
+/// Counters: anomaly.checks / anomaly.detections (pre-registered at 0).
+/// Thread safety: all methods serialize on an internal mutex; Check is
+/// called by the maintenance thread only, reads by scrape/shell threads.
+class AnomalyDetector {
+ public:
+  /// `metrics` nullable, as everywhere in obs.
+  AnomalyDetector(AnomalyConfig config, MetricsRegistry* metrics);
+  AnomalyDetector(const AnomalyDetector&) = delete;
+  AnomalyDetector& operator=(const AnomalyDetector&) = delete;
+
+  /// Evaluates every rule for `batch_id`, whose snapshot must already
+  /// be appended to `store`. Returns the anomalies that fired.
+  std::vector<Anomaly> Check(const TimeSeriesStore& store, uint64_t batch_id);
+
+  /// The SLO trigger: fires when the tracker's violation total
+  /// increased since the previous call AND BurnRate() exceeds the
+  /// configured threshold.
+  std::vector<Anomaly> CheckSlo(const SloTracker& slo, uint64_t batch_id);
+
+  uint64_t checks() const;
+  uint64_t detections() const;
+  /// Most recent detections, oldest first (bounded to 64).
+  std::vector<Anomaly> recent() const;
+  const AnomalyConfig& config() const { return config_; }
+
+  /// {"schema":"sdelta.anomaly.v1", rules, counters, recent anomalies}.
+  Json ToJson() const;
+
+ private:
+  void RecordDetections(const std::vector<Anomaly>& fired);
+
+  const AnomalyConfig config_;
+  MetricsRegistry* metrics_;
+  mutable std::mutex mu_;
+  uint64_t checks_ = 0;
+  uint64_t detections_ = 0;
+  uint64_t last_slo_violations_ = 0;
+  std::deque<Anomaly> recent_;
+};
+
+/// Writes self-contained diagnostic bundles to a bounded on-disk
+/// directory. Each bundle is a subdirectory `bundle-NNNNNN-batch<id>/`
+/// holding `manifest.json` (schema sdelta.flightrec.v1: the anomalies,
+/// the artifact list) plus one `<artifact>.json` per artifact, built in
+/// a temp directory and atomically renamed into place. Retention keeps
+/// the newest `max_bundles` bundles (zero-padded sequence numbers make
+/// lexicographic order creation order).
+///
+/// Counters: anomaly.bundles_written / anomaly.bundles_pruned.
+class FlightRecorder {
+ public:
+  struct Options {
+    std::string dir;         ///< bundle directory, created on first write
+    size_t max_bundles = 8;  ///< retention bound (>= 1)
+  };
+
+  /// Scans `options.dir` for existing bundles so sequence numbers keep
+  /// increasing across restarts. `metrics` nullable.
+  FlightRecorder(Options options, MetricsRegistry* metrics);
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Writes one bundle; `artifacts` are (name, document) pairs, each
+  /// stored as `<name>.json`. Returns the bundle directory name.
+  std::string WriteBundle(
+      uint64_t batch_id, const std::vector<Anomaly>& anomalies,
+      const std::vector<std::pair<std::string, Json>>& artifacts);
+
+  /// Bundle directory names currently on disk, oldest first.
+  std::vector<std::string> ListBundles() const;
+  uint64_t bundles_written() const;
+  const Options& options() const { return options_; }
+
+ private:
+  std::vector<std::string> ListBundlesUnlocked() const;
+  void PruneUnlocked();
+
+  const Options options_;
+  MetricsRegistry* metrics_;
+  mutable std::mutex mu_;
+  uint64_t next_seq_ = 1;
+  uint64_t written_ = 0;
+};
+
+}  // namespace sdelta::obs
+
+#endif  // SDELTA_OBS_ANOMALY_H_

@@ -11,7 +11,7 @@ constexpr EventType kAllTypes[] = {
     EventType::kBatchStart,     EventType::kBatchEnd,
     EventType::kEpochInstall,   EventType::kWalCheckpoint,
     EventType::kQueueSaturated, EventType::kSlowQuery,
-    EventType::kRecoveryReplay,
+    EventType::kRecoveryReplay, EventType::kAnomaly,
 };
 
 uint64_t SteadyNowNs() {
@@ -32,6 +32,7 @@ const char* EventTypeName(EventType type) {
     case EventType::kQueueSaturated: return "QueueSaturated";
     case EventType::kSlowQuery: return "SlowQuery";
     case EventType::kRecoveryReplay: return "RecoveryReplay";
+    case EventType::kAnomaly: return "Anomaly";
   }
   return "Unknown";
 }

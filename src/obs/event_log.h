@@ -22,6 +22,8 @@ enum class EventType {
   kQueueSaturated, ///< a producer blocked on the queue's row bound
   kSlowQuery,      ///< snapshot query exceeded the slow-query threshold
   kRecoveryReplay, ///< Open replayed WAL records (value = record count)
+  kAnomaly,        ///< detector fired; a flight bundle was written
+                   ///< (value = anomaly count, detail = bundle name)
 };
 
 /// Stable wire name of an event type (used by the JSON export and the

@@ -20,11 +20,13 @@ namespace sdelta::obs {
 /// from 2^-32 (~2.3e-10, below any timing we care about) to 2^31
 /// (~2.1e9, above any cardinality we produce). Values at or below the
 /// smallest bound (including zero and negatives) land in bucket 0;
-/// values beyond the largest land in the final bucket. Percentiles are
-/// resolved to the bucket upper bound and clamped to [min, max], so
-/// they are exact whenever all observations in the answering bucket
-/// share one value (true for power-of-two cardinalities and for any
-/// single-valued series) and within 2x otherwise.
+/// values beyond the largest land in the final bucket. Percentiles
+/// interpolate linearly within the answering bucket (by the rank's
+/// position among that bucket's observations) and clamp to [min, max],
+/// so they are exact whenever all observations in the answering bucket
+/// share its upper bound (power-of-two cardinalities, single-valued
+/// series) and avoid bucket-edge quantization otherwise — important for
+/// the P50/P95/P99 samples feeding the time-series store.
 struct Histogram {
   static constexpr int kNumBuckets = 64;
   /// upper bound of bucket i is 2^(i + kMinExp); kMinExp = -32.
@@ -62,9 +64,11 @@ struct Histogram {
   }
   double Mean() const { return count == 0 ? 0 : sum / static_cast<double>(count); }
 
-  /// Value at percentile `p` in [0, 100]: the upper bound of the bucket
-  /// containing the ceil(p/100 * count)-th smallest observation,
-  /// clamped to [min, max]. Returns 0 on an empty histogram.
+  /// Value at percentile `p` in [0, 100]: locates the bucket containing
+  /// the ceil(p/100 * count)-th smallest observation, interpolates
+  /// linearly within it by the rank's position among the bucket's
+  /// observations (bucket 0's lower edge is 0), and clamps to
+  /// [min, max]. Returns 0 on an empty histogram.
   double Percentile(double p) const {
     if (count == 0) return 0;
     uint64_t rank = static_cast<uint64_t>(
@@ -73,13 +77,18 @@ struct Histogram {
     if (rank > count) rank = count;
     uint64_t cumulative = 0;
     for (int i = 0; i < kNumBuckets; ++i) {
-      cumulative += buckets[static_cast<size_t>(i)];
-      if (cumulative >= rank) {
-        double v = BucketUpperBound(i);
+      const uint64_t in_bucket = buckets[static_cast<size_t>(i)];
+      if (cumulative + in_bucket >= rank && in_bucket > 0) {
+        const double upper = BucketUpperBound(i);
+        const double lower = i == 0 ? 0.0 : BucketUpperBound(i - 1);
+        const double position = static_cast<double>(rank - cumulative) /
+                                static_cast<double>(in_bucket);
+        double v = lower + (upper - lower) * position;
         if (v < min) v = min;
         if (v > max) v = max;
         return v;
       }
+      cumulative += in_bucket;
     }
     return max;
   }

@@ -1,0 +1,251 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace sdelta::obs {
+
+namespace {
+
+uint64_t SpanDurationNs(const SpanRecord& span) {
+  // Open spans (end == 0) and clock anomalies count as zero duration.
+  return span.end_ns >= span.start_ns ? span.end_ns - span.start_ns : 0;
+}
+
+uint64_t SpanRows(const SpanRecord& span) {
+  for (const auto& [key, value] : span.attributes) {
+    if (key == "delta_rows" || key == "rows") {
+      return std::strtoull(value.c_str(), nullptr, 10);
+    }
+  }
+  return 0;
+}
+
+struct SpanForest {
+  const std::vector<SpanRecord>* spans = nullptr;
+  std::vector<std::vector<size_t>> kids;
+  std::vector<size_t> roots;
+};
+
+SpanForest BuildForest(const std::vector<SpanRecord>& spans) {
+  SpanForest f;
+  f.spans = &spans;
+  f.kids.resize(spans.size());
+  std::unordered_map<uint64_t, size_t> by_id;
+  by_id.reserve(spans.size());
+  for (size_t i = 0; i < spans.size(); ++i) by_id.emplace(spans[i].id, i);
+  for (size_t i = 0; i < spans.size(); ++i) {
+    auto it = spans[i].parent_id == 0 ? by_id.end()
+                                      : by_id.find(spans[i].parent_id);
+    if (it == by_id.end()) {
+      f.roots.push_back(i);
+    } else {
+      f.kids[it->second].push_back(i);
+    }
+  }
+  return f;
+}
+
+void FoldSpan(const SpanForest& f, size_t i, ProfileNode& parent) {
+  const SpanRecord& span = (*f.spans)[i];
+  ProfileNode* node = parent.FindOrAddChild(span.name);
+  const uint64_t dur = SpanDurationNs(span);
+  node->calls += 1;
+  node->inclusive_ns += dur;
+  node->rows += SpanRows(span);
+  uint64_t kids_ns = 0;
+  for (size_t k : f.kids[i]) kids_ns += SpanDurationNs((*f.spans)[k]);
+  node->exclusive_ns += dur > kids_ns ? dur - kids_ns : 0;
+  for (size_t k : f.kids[i]) FoldSpan(f, k, *node);
+}
+
+Json NodeToJson(const ProfileNode& node) {
+  Json j = Json::Object();
+  j.Set("name", Json::Str(node.name));
+  j.Set("calls", Json::Int(static_cast<int64_t>(node.calls)));
+  j.Set("inclusive_us",
+        Json::Int(static_cast<int64_t>(node.inclusive_ns / 1000)));
+  j.Set("exclusive_us",
+        Json::Int(static_cast<int64_t>(node.exclusive_ns / 1000)));
+  j.Set("rows", Json::Int(static_cast<int64_t>(node.rows)));
+  Json children = Json::Array();
+  for (const ProfileNode& c : node.children) children.Append(NodeToJson(c));
+  j.Set("children", std::move(children));
+  return j;
+}
+
+void NodeToText(const ProfileNode& node, size_t depth, std::string& out) {
+  out.append(depth * 2, ' ');
+  out += node.name;
+  out += "  calls=" + std::to_string(node.calls);
+  out += " total_us=" + std::to_string(node.inclusive_ns / 1000);
+  out += " self_us=" + std::to_string(node.exclusive_ns / 1000);
+  if (node.rows > 0) out += " rows=" + std::to_string(node.rows);
+  out += "\n";
+  for (const ProfileNode& c : node.children) NodeToText(c, depth + 1, out);
+}
+
+void NodeToCollapsed(const ProfileNode& node, const std::string& prefix,
+                     std::string& out) {
+  const std::string path =
+      prefix.empty() ? node.name : prefix + ";" + node.name;
+  out += path + " " + std::to_string(node.exclusive_ns / 1000) + "\n";
+  for (const ProfileNode& c : node.children) NodeToCollapsed(c, path, out);
+}
+
+}  // namespace
+
+ProfileNode* ProfileNode::FindOrAddChild(std::string_view child_name) {
+  auto it = std::lower_bound(
+      children.begin(), children.end(), child_name,
+      [](const ProfileNode& n, std::string_view s) { return n.name < s; });
+  if (it == children.end() || it->name != child_name) {
+    it = children.insert(it, ProfileNode(std::string(child_name)));
+  }
+  return &*it;
+}
+
+const ProfileNode* ProfileNode::FindChild(std::string_view child_name) const {
+  auto it = std::lower_bound(
+      children.begin(), children.end(), child_name,
+      [](const ProfileNode& n, std::string_view s) { return n.name < s; });
+  return it != children.end() && it->name == child_name ? &*it : nullptr;
+}
+
+void ProfileNode::MergeFrom(const ProfileNode& other) {
+  calls += other.calls;
+  inclusive_ns += other.inclusive_ns;
+  exclusive_ns += other.exclusive_ns;
+  rows += other.rows;
+  for (const ProfileNode& c : other.children) {
+    FindOrAddChild(c.name)->MergeFrom(c);
+  }
+}
+
+void Profiler::RecordBatch(const std::vector<SpanRecord>& spans,
+                           const exec::OperatorStats* ops) {
+  ProfileNode batch("profile");
+  const SpanForest forest = BuildForest(spans);
+  for (size_t r : forest.roots) FoldSpan(forest, r, batch);
+  if (ops != nullptr && ops->total_calls() > 0) {
+    ProfileNode* container = batch.FindOrAddChild("operators");
+    container->calls += 1;
+    exec::ForEachOperator(*ops, [&](const char* name,
+                                    const exec::OperatorCounters& c) {
+      if (c.calls == 0) return;
+      ProfileNode* frame = container->FindOrAddChild(std::string("op.") + name);
+      const uint64_t ns = static_cast<uint64_t>(c.wall_seconds * 1e9);
+      frame->calls += c.calls;
+      frame->inclusive_ns += ns;
+      frame->exclusive_ns += ns;
+      frame->rows += c.rows_out;
+      container->inclusive_ns += ns;
+    });
+  }
+  std::scoped_lock lock(mu_);
+  ++batches_;
+  cumulative_.MergeFrom(batch);
+  last_batch_ = std::move(batch);
+}
+
+uint64_t Profiler::batches() const {
+  std::scoped_lock lock(mu_);
+  return batches_;
+}
+
+ProfileNode Profiler::last_batch() const {
+  std::scoped_lock lock(mu_);
+  return last_batch_;
+}
+
+ProfileNode Profiler::cumulative() const {
+  std::scoped_lock lock(mu_);
+  return cumulative_;
+}
+
+Json Profiler::ToJson() const {
+  std::scoped_lock lock(mu_);
+  Json doc = Json::Object();
+  doc.Set("schema", Json::Str("sdelta.profile.v1"));
+  doc.Set("batches", Json::Int(static_cast<int64_t>(batches_)));
+  doc.Set("last_batch", NodeToJson(last_batch_));
+  doc.Set("cumulative", NodeToJson(cumulative_));
+  return doc;
+}
+
+std::string Profiler::ToText() const {
+  std::scoped_lock lock(mu_);
+  std::string out;
+  NodeToText(cumulative_, 0, out);
+  return out;
+}
+
+std::string Profiler::ToCollapsed() const {
+  std::scoped_lock lock(mu_);
+  std::string out;
+  for (const ProfileNode& c : cumulative_.children) {
+    NodeToCollapsed(c, "", out);
+  }
+  return out;
+}
+
+namespace {
+
+void JsonNodeToCollapsed(const Json& node, const std::string& prefix,
+                         std::string& out) {
+  const Json* name = node.Find("name");
+  if (name == nullptr) return;
+  const Json* self = node.Find("exclusive_us");
+  const std::string path =
+      prefix.empty() ? name->as_string() : prefix + ";" + name->as_string();
+  out += path + " " +
+         std::to_string(self != nullptr ? self->as_int() : 0) + "\n";
+  const Json* children = node.Find("children");
+  if (children != nullptr && children->is_array()) {
+    for (const Json& c : children->items()) JsonNodeToCollapsed(c, path, out);
+  }
+}
+
+void ZeroTimes(Json& node) {
+  if (!node.is_object()) return;
+  if (node.FindMutable("inclusive_us") != nullptr) {
+    node.Set("inclusive_us", Json::Int(0));
+  }
+  if (node.FindMutable("exclusive_us") != nullptr) {
+    node.Set("exclusive_us", Json::Int(0));
+  }
+  Json* children = node.FindMutable("children");
+  if (children != nullptr && children->is_array()) {
+    for (Json& c : children->items_mutable()) ZeroTimes(c);
+  }
+}
+
+}  // namespace
+
+std::string CollapsedFromProfileJson(const Json& node) {
+  // Accept a full sdelta.profile.v1 document (renders the cumulative
+  // tree), a bare root frame, or a single profile node.
+  if (const Json* cumulative = node.Find("cumulative")) {
+    return CollapsedFromProfileJson(*cumulative);
+  }
+  std::string out;
+  const Json* children = node.Find("children");
+  if (node.Find("name") != nullptr && children != nullptr &&
+      children->is_array()) {
+    for (const Json& c : children->items()) JsonNodeToCollapsed(c, "", out);
+    return out;
+  }
+  JsonNodeToCollapsed(node, "", out);
+  return out;
+}
+
+void NormalizeProfileTimes(Json& doc) {
+  if (Json* last = doc.FindMutable("last_batch")) ZeroTimes(*last);
+  if (Json* cum = doc.FindMutable("cumulative")) ZeroTimes(*cum);
+  if (doc.Find("last_batch") == nullptr && doc.Find("cumulative") == nullptr) {
+    ZeroTimes(doc);
+  }
+}
+
+}  // namespace sdelta::obs

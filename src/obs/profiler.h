@@ -1,0 +1,99 @@
+#ifndef SDELTA_OBS_PROFILER_H_
+#define SDELTA_OBS_PROFILER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "exec/operator_stats.h"
+#include "obs/json.h"
+#include "obs/trace.h"
+
+namespace sdelta::obs {
+
+/// One aggregated frame of a profile tree: all spans that shared this
+/// name *and* this path from the root, folded together. Children are
+/// kept sorted by name so every rendering is deterministic given a
+/// deterministic span-name multiset (which the tracing sites guarantee
+/// across thread counts — see Tracer's parenting contract).
+struct ProfileNode {
+  ProfileNode() = default;
+  explicit ProfileNode(std::string frame_name) : name(std::move(frame_name)) {}
+
+  std::string name;
+  uint64_t calls = 0;
+  /// Total span duration including children.
+  uint64_t inclusive_ns = 0;
+  /// Inclusive time minus the children's inclusive time (self time) —
+  /// the value a flamegraph renders.
+  uint64_t exclusive_ns = 0;
+  /// Rows attributed to the frame (span `rows`/`delta_rows` attributes,
+  /// operator rows_out for operator frames).
+  uint64_t rows = 0;
+  std::vector<ProfileNode> children;
+
+  /// Child with the given name, inserted in sorted position if absent.
+  ProfileNode* FindOrAddChild(std::string_view child_name);
+  const ProfileNode* FindChild(std::string_view child_name) const;
+  /// Folds `other` (same logical frame) into this node, recursively.
+  void MergeFrom(const ProfileNode& other);
+};
+
+/// Span-based self-time profiler (DESIGN.md §13): folds a quiesced
+/// Tracer span set — plus the batch's exec::OperatorStats totals as
+/// synthetic `operators/op.<name>` frames — into an aggregated profile
+/// tree, per batch and cumulatively. The collapsed-stack export is the
+/// `folded` format flamegraph.pl and speedscope consume directly.
+///
+/// Thread safety: RecordBatch and all reads serialize on an internal
+/// mutex; reads return copies/documents. The *span vector handed to
+/// RecordBatch* must be quiesced (Tracer::spans() contract).
+class Profiler {
+ public:
+  Profiler() = default;
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  /// Folds one batch's spans into a fresh last-batch tree and merges it
+  /// into the cumulative tree. `ops` (nullable) adds the batch's
+  /// operator totals as frames under "operators". Open spans (end == 0)
+  /// count as zero-duration calls.
+  void RecordBatch(const std::vector<SpanRecord>& spans,
+                   const exec::OperatorStats* ops);
+
+  uint64_t batches() const;
+  /// Copies of the aggregated trees (root frame name "profile").
+  ProfileNode last_batch() const;
+  ProfileNode cumulative() const;
+
+  /// {"schema":"sdelta.profile.v1","batches":N,
+  ///  "last_batch":{...},"cumulative":{...}}.
+  Json ToJson() const;
+  /// Indented cumulative tree, one frame per line.
+  std::string ToText() const;
+  /// Collapsed stacks of the cumulative tree: "root;a;b <self-µs>" per
+  /// frame, sorted — pipe into flamegraph.pl.
+  std::string ToCollapsed() const;
+
+ private:
+  mutable std::mutex mu_;
+  uint64_t batches_ = 0;
+  ProfileNode last_batch_{"profile"};
+  ProfileNode cumulative_{"profile"};
+};
+
+/// Renders one profile node (as produced by Profiler::ToJson) to
+/// collapsed-stack lines — lets tools/flame_dump convert a flight-
+/// recorder bundle's profile.json without a live Profiler.
+std::string CollapsedFromProfileJson(const Json& node);
+
+/// Zeroes every inclusive_us/exclusive_us field of a profile document
+/// in place (recursively, covering last_batch and cumulative) — the
+/// NormalizeSpanTimes analogue for cross-thread-count golden tests.
+void NormalizeProfileTimes(Json& doc);
+
+}  // namespace sdelta::obs
+
+#endif  // SDELTA_OBS_PROFILER_H_

@@ -1,0 +1,179 @@
+#include "obs/timeseries.h"
+
+#include <algorithm>
+
+namespace sdelta::obs {
+
+const char* SampleKindName(SampleKind kind) {
+  switch (kind) {
+    case SampleKind::kCounter: return "counter";
+    case SampleKind::kGauge: return "gauge";
+    case SampleKind::kPercentile: return "percentile";
+  }
+  return "unknown";
+}
+
+uint32_t TimeSeriesStore::InternUnlocked(std::string_view name,
+                                         SampleKind kind) {
+  auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  const uint32_t idx = static_cast<uint32_t>(names_.size());
+  names_.emplace_back(name);
+  kinds_.push_back(kind);
+  base_.push_back(0);
+  base_present_.push_back(0);
+  latest_.push_back(0);
+  latest_present_.push_back(0);
+  index_.emplace(names_.back(), idx);
+  return idx;
+}
+
+void TimeSeriesStore::SampleUnlocked(Entry& entry, std::string_view name,
+                                     SampleKind kind, double value) {
+  const uint32_t idx = InternUnlocked(name, kind);
+  if (latest_present_[idx] && latest_[idx] == value) return;
+  entry.changes.emplace_back(idx, value);
+  latest_[idx] = value;
+  latest_present_[idx] = 1;
+}
+
+void TimeSeriesStore::Append(uint64_t batch_id,
+                             const MetricsSnapshot& snapshot) {
+  std::scoped_lock lock(mu_);
+  Entry entry;
+  entry.batch_id = batch_id;
+  for (const auto& [name, value] : snapshot.counters) {
+    SampleUnlocked(entry, name, SampleKind::kCounter,
+                   static_cast<double>(value));
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    SampleUnlocked(entry, name, SampleKind::kGauge, value);
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    SampleUnlocked(entry, name + ".p50", SampleKind::kPercentile, h.P50());
+    SampleUnlocked(entry, name + ".p95", SampleKind::kPercentile, h.P95());
+    SampleUnlocked(entry, name + ".p99", SampleKind::kPercentile, h.P99());
+  }
+  entries_.push_back(std::move(entry));
+  ++appended_;
+  while (entries_.size() > capacity_) {
+    // Fold the evicted entry's deltas into the base map so reconstruction
+    // of the remaining window still starts from correct full values.
+    for (const auto& [idx, value] : entries_.front().changes) {
+      base_[idx] = value;
+      base_present_[idx] = 1;
+    }
+    entries_.pop_front();
+    ++dropped_;
+  }
+}
+
+uint64_t TimeSeriesStore::appended() const {
+  std::scoped_lock lock(mu_);
+  return appended_;
+}
+
+uint64_t TimeSeriesStore::dropped() const {
+  std::scoped_lock lock(mu_);
+  return dropped_;
+}
+
+size_t TimeSeriesStore::size() const {
+  std::scoped_lock lock(mu_);
+  return entries_.size();
+}
+
+std::vector<std::pair<std::string, SampleKind>> TimeSeriesStore::SeriesNames()
+    const {
+  std::scoped_lock lock(mu_);
+  std::vector<std::pair<std::string, SampleKind>> out;
+  out.reserve(index_.size());
+  for (const auto& [name, idx] : index_) out.emplace_back(name, kinds_[idx]);
+  return out;
+}
+
+std::vector<TimeSeriesPoint> TimeSeriesStore::Query(std::string_view metric,
+                                                    uint64_t from,
+                                                    uint64_t to) const {
+  std::scoped_lock lock(mu_);
+  auto it = index_.find(metric);
+  if (it == index_.end()) return {};
+  const uint32_t idx = it->second;
+  double value = base_[idx];
+  bool present = base_present_[idx] != 0;
+  std::vector<TimeSeriesPoint> out;
+  for (const Entry& entry : entries_) {
+    for (const auto& [ci, cv] : entry.changes) {
+      if (ci == idx) {
+        value = cv;
+        present = true;
+        break;
+      }
+    }
+    if (present && entry.batch_id >= from && entry.batch_id <= to) {
+      out.push_back(TimeSeriesPoint{entry.batch_id, value});
+    }
+  }
+  return out;
+}
+
+Json TimeSeriesStore::ToJson() const {
+  std::scoped_lock lock(mu_);
+  Json doc = Json::Object();
+  doc.Set("schema", Json::Str("sdelta.timeseries.v1"));
+  doc.Set("capacity", Json::Int(static_cast<int64_t>(capacity_)));
+  doc.Set("appended", Json::Int(static_cast<int64_t>(appended_)));
+  doc.Set("dropped", Json::Int(static_cast<int64_t>(dropped_)));
+  Json batches = Json::Array();
+  for (const Entry& entry : entries_) {
+    batches.Append(Json::Int(static_cast<int64_t>(entry.batch_id)));
+  }
+  doc.Set("batches", std::move(batches));
+
+  // One forward reconstruction pass shared by all series: walk the
+  // entries once, appending each series' running value per batch.
+  const size_t n = names_.size();
+  std::vector<double> value(base_);
+  std::vector<char> present(base_present_);
+  std::vector<Json> points(n, Json::Array());
+  for (const Entry& entry : entries_) {
+    for (const auto& [ci, cv] : entry.changes) {
+      value[ci] = cv;
+      present[ci] = 1;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      points[i].Append(present[i] ? Json::Double(value[i]) : Json());
+    }
+  }
+  Json series = Json::Object();
+  for (const auto& [name, idx] : index_) {  // map order = sorted by name
+    Json s = Json::Object();
+    s.Set("kind", Json::Str(SampleKindName(kinds_[idx])));
+    s.Set("points", std::move(points[idx]));
+    series.Set(name, std::move(s));
+  }
+  doc.Set("series", std::move(series));
+  return doc;
+}
+
+void NormalizeTimeSeries(Json& doc) {
+  Json* series = doc.FindMutable("series");
+  if (series == nullptr || !series->is_object()) return;
+  Json filtered = Json::Object();
+  for (const auto& [name, value] : series->members()) {
+    if (name.rfind("exec.", 0) == 0) continue;
+    Json copy = value;
+    const Json* kind = copy.Find("kind");
+    if (kind == nullptr || kind->as_string() != "counter") {
+      if (Json* points = copy.FindMutable("points")) {
+        for (Json& p : points->items_mutable()) {
+          if (p.kind() != Json::Kind::kNull) p = Json::Double(0);
+        }
+      }
+    }
+    filtered.Set(name, std::move(copy));
+  }
+  *series = std::move(filtered);
+}
+
+}  // namespace sdelta::obs

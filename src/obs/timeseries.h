@@ -1,0 +1,122 @@
+#ifndef SDELTA_OBS_TIMESERIES_H_
+#define SDELTA_OBS_TIMESERIES_H_
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace sdelta::obs {
+
+/// What a time-series sample was derived from. Counters are covered by
+/// the determinism contract (byte-identical across thread counts for a
+/// deterministic workload); gauges and histogram percentiles are mostly
+/// timings, so the normalized export zeroes them.
+enum class SampleKind { kCounter, kGauge, kPercentile };
+
+/// Stable wire name ("counter" / "gauge" / "percentile").
+const char* SampleKindName(SampleKind kind);
+
+/// One reconstructed sample of a series.
+struct TimeSeriesPoint {
+  uint64_t batch_id = 0;
+  double value = 0;
+};
+
+/// Fixed-capacity, delta-encoded ring of per-batch metric snapshots —
+/// the service's longitudinal performance memory (DESIGN.md §13). The
+/// maintenance thread appends one record per epoch install covering
+/// every counter, every gauge, and each histogram's P50/P95/P99 (as
+/// `<name>.p50` etc.); the anomaly detector, the /timeseries route, and
+/// the shell's `history` command read it back.
+///
+/// Storage: each ring entry holds only the series whose value *changed*
+/// since the previous append (plus a full-value base map representing
+/// the state just before the oldest retained entry, folded forward on
+/// eviction). Counters that did not move and idle gauges cost nothing
+/// per batch, so hundreds of batches of history stay small.
+///
+/// Thread safety: all operations serialize on an internal mutex; reads
+/// return copies / documents, never references into the ring.
+class TimeSeriesStore {
+ public:
+  explicit TimeSeriesStore(size_t capacity = 512)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+  TimeSeriesStore(const TimeSeriesStore&) = delete;
+  TimeSeriesStore& operator=(const TimeSeriesStore&) = delete;
+
+  /// Records one per-batch snapshot. Batch ids must be appended in
+  /// increasing order (the maintenance thread's drain order).
+  void Append(uint64_t batch_id, const MetricsSnapshot& snapshot);
+
+  size_t capacity() const { return capacity_; }
+  /// Entries appended since construction (including evicted ones).
+  uint64_t appended() const;
+  /// Entries evicted by ring wrap-around.
+  uint64_t dropped() const;
+  /// Entries currently retained.
+  size_t size() const;
+
+  /// All known series names (sorted), with their kinds.
+  std::vector<std::pair<std::string, SampleKind>> SeriesNames() const;
+
+  /// Reconstructs `metric` over the retained window, restricted to
+  /// batch ids in [from, to]. Batches where the series did not exist
+  /// yet produce no point. Unknown metrics return an empty vector.
+  std::vector<TimeSeriesPoint> Query(
+      std::string_view metric, uint64_t from = 0,
+      uint64_t to = std::numeric_limits<uint64_t>::max()) const;
+
+  /// The sdelta.timeseries.v1 document: schema, capacity/appended/
+  /// dropped, the retained batch ids, and one dense per-series points
+  /// array (null where the series did not exist yet), series sorted by
+  /// name. Deterministic for identical append sequences.
+  Json ToJson() const;
+
+ private:
+  struct Entry {
+    uint64_t batch_id = 0;
+    /// (series index, new value) for series that changed this batch.
+    std::vector<std::pair<uint32_t, double>> changes;
+  };
+
+  /// Interns a series name; first use fixes its kind.
+  uint32_t InternUnlocked(std::string_view name, SampleKind kind);
+  void SampleUnlocked(Entry& entry, std::string_view name, SampleKind kind,
+                      double value);
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<std::string> names_;            ///< index -> series name
+  std::vector<SampleKind> kinds_;             ///< parallel to names_
+  std::map<std::string, uint32_t, std::less<>> index_;
+  /// Full values as of just before the oldest retained entry.
+  std::vector<double> base_;
+  std::vector<char> base_present_;
+  /// Latest appended value per series (the delta-encoding reference).
+  std::vector<double> latest_;
+  std::vector<char> latest_present_;
+  std::deque<Entry> entries_;
+  uint64_t appended_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+/// Normalizes a sdelta.timeseries.v1 document in place for golden
+/// comparisons across thread counts: drops every `exec.*` series (the
+/// pool's series only exist when a pool is attached, and per-worker
+/// names vary with its size) and zeroes the points of every non-counter
+/// series (gauges and percentiles carry timings). Counter values are
+/// kept — the determinism contract makes them thread-count invariant.
+void NormalizeTimeSeries(Json& doc);
+
+}  // namespace sdelta::obs
+
+#endif  // SDELTA_OBS_TIMESERIES_H_

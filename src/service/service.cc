@@ -1,6 +1,7 @@
 #include "service/service.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iterator>
@@ -46,6 +47,41 @@ size_t ChangeSetRows(const core::ChangeSet& changes) {
   size_t rows = changes.fact.size();
   for (const auto& [name, delta] : changes.dimensions) rows += delta.size();
   return rows;
+}
+
+/// Value of `key` in an application/x-www-form-urlencoded query string
+/// ("metric=service.appends&from=3"); empty when absent. The scrape
+/// surface's names never need percent-decoding.
+std::string QueryParam(const std::string& query, std::string_view key) {
+  size_t pos = 0;
+  while (pos < query.size()) {
+    size_t end = query.find('&', pos);
+    if (end == std::string::npos) end = query.size();
+    const std::string_view pair =
+        std::string_view(query).substr(pos, end - pos);
+    const size_t eq = pair.find('=');
+    if (eq != std::string_view::npos && pair.substr(0, eq) == key) {
+      return std::string(pair.substr(eq + 1));
+    }
+    pos = end + 1;
+  }
+  return {};
+}
+
+uint64_t ParseIdOr(const std::string& text, uint64_t fallback) {
+  if (text.empty()) return fallback;
+  return std::strtoull(text.c_str(), nullptr, 10);
+}
+
+obs::HttpResponse DisabledDoc(const char* feature) {
+  obs::Json doc = obs::Json::Object();
+  doc.Set("enabled", obs::Json::Bool(false));
+  doc.Set("hint", obs::Json::Str(std::string("enable WarehouseService::"
+                                             "Options::") +
+                                 feature));
+  obs::HttpResponse r;
+  r.body = doc.Dump(2) + "\n";
+  return r;
 }
 
 }  // namespace
@@ -141,6 +177,31 @@ WarehouseService::WarehouseService(
   // not the triggering condition ever fires.
   metrics_->Add("service.queue_saturated", 0);
   metrics_->Add("service.slow_queries", 0);
+  // Event-ring visibility (events.* gauges): capacity is fixed here;
+  // occupancy/recorded/dropped refresh with the live gauges.
+  metrics_->Set("events.capacity", static_cast<double>(events_.capacity()));
+  metrics_->Set("events.occupancy", 0);
+  metrics_->Set("events.recorded", 0);
+  metrics_->Set("events.dropped", 0);
+  if (options_.timeseries_capacity > 0) {
+    timeseries_ =
+        std::make_unique<obs::TimeSeriesStore>(options_.timeseries_capacity);
+  }
+  if (options_.profile) {
+    profile_tracer_ = std::make_unique<obs::Tracer>();
+    profiler_ = std::make_unique<obs::Profiler>();
+    // The batch pipeline's spans go to the service-owned tracer so the
+    // fold-and-clear cycle never races (or discards) a caller's spans.
+    warehouse_.SetTracer(profile_tracer_.get());
+  }
+  if (options_.anomaly.enabled) {
+    detector_ =
+        std::make_unique<obs::AnomalyDetector>(options_.anomaly, metrics_);
+    obs::FlightRecorder::Options rec;
+    rec.dir = (fs::path(data_dir_) / "flightrec").string();
+    rec.max_bundles = options_.max_anomaly_bundles;
+    recorder_ = std::make_unique<obs::FlightRecorder>(std::move(rec), metrics_);
+  }
   last_seq_.store(start_seq);
   applied_seq_ = start_seq;
   checkpoint_seq_ = checkpoint_seq;
@@ -307,6 +368,9 @@ void WarehouseService::ApplyItems(std::vector<IngestItem> items) {
 
   // Items must apply in sequence order; a change of fact table ends the
   // coalescing run (ChangeSet carries exactly one fact table's delta).
+  exec::OperatorStats drain_ops;
+  lattice::ExplainResult explain;
+  bool have_explain = false;
   size_t i = 0;
   while (i < items.size()) {
     size_t j = i + 1;
@@ -319,7 +383,21 @@ void WarehouseService::ApplyItems(std::vector<IngestItem> items) {
     metrics_->Add("service.coalesced_changesets", run.size());
     core::ChangeSet merged = CoalesceChanges(std::move(run));
     dims_changed = dims_changed || !merged.dimensions.empty();
+    if (detector_ != nullptr) {
+      // Estimate side of the EXPLAIN ANALYZE bundle artifact, built
+      // against pre-batch base-table sizes (what the planner saw).
+      explain = lattice::BuildExplain(warehouse_.catalog(),
+                                      warehouse_.vlattice(), warehouse_.plan(),
+                                      merged);
+      have_explain = true;
+    }
     report = warehouse_.RunBatch(merged);
+    if (have_explain) lattice::AttachActuals(report.step_execs, &explain);
+    if (profiler_ != nullptr) {
+      for (const lattice::StepExecution& se : report.step_execs) {
+        drain_ops.MergeFrom(se.ops);
+      }
+    }
     metrics_->Add("service.batches");
     ++runs;
     for (size_t v = 0; v < report.views.size() && v < n_views; ++v) {
@@ -355,6 +433,44 @@ void WarehouseService::ApplyItems(std::vector<IngestItem> items) {
   events_.Record(obs::EventType::kBatchEnd, batch_id, /*request_id=*/0,
                  max_seq, batch_sw.ElapsedSeconds(),
                  std::to_string(runs) + " runs");
+
+  // Historical/diagnostic layer (DESIGN.md §13), in dependency order:
+  // fold the batch's profile, append the per-batch snapshot, evaluate
+  // the detector against it, and dump a flight bundle on detection.
+  if (profiler_ != nullptr) {
+    // Quiesced: RunBatch returned, so its pool workers joined; nothing
+    // else writes profile_tracer_.
+    profiler_->RecordBatch(profile_tracer_->spans(), &drain_ops);
+    profile_tracer_->Clear();
+  }
+  if (timeseries_ != nullptr) {
+    RefreshLiveGauges();  // events.* / queue gauges current at sampling
+    timeseries_->Append(batch_id, metrics_->Snapshot());
+  }
+  if (detector_ != nullptr) {
+    std::vector<obs::Anomaly> fired;
+    if (timeseries_ != nullptr) fired = detector_->Check(*timeseries_, batch_id);
+    std::vector<obs::Anomaly> burn = detector_->CheckSlo(slo_, batch_id);
+    fired.insert(fired.end(), burn.begin(), burn.end());
+    if (!fired.empty()) {
+      std::vector<std::pair<std::string, obs::Json>> artifacts;
+      artifacts.emplace_back("events", events_.ToJson());
+      if (profiler_ != nullptr) {
+        artifacts.emplace_back("profile", profiler_->ToJson());
+      }
+      if (timeseries_ != nullptr) {
+        artifacts.emplace_back("timeseries", timeseries_->ToJson());
+      }
+      if (have_explain) {
+        artifacts.emplace_back("explain", explain.ToJson());
+      }
+      artifacts.emplace_back("config", ConfigJson());
+      const std::string bundle =
+          recorder_->WriteBundle(batch_id, fired, artifacts);
+      events_.Record(obs::EventType::kAnomaly, batch_id, /*request_id=*/0,
+                     max_seq, static_cast<double>(fired.size()), bundle);
+    }
+  }
 
   std::scoped_lock lk(state_mu_);
   applied_seq_ = max_seq;
@@ -477,6 +593,11 @@ void WarehouseService::RefreshLiveGauges() const {
                 static_cast<double>(queue_.rows_queued()));
   metrics_->Set("service.queue_changesets",
                 static_cast<double>(queue_.changesets_queued()));
+  const uint64_t recorded = events_.total_recorded();
+  const uint64_t dropped = events_.dropped_count();
+  metrics_->Set("events.recorded", static_cast<double>(recorded));
+  metrics_->Set("events.dropped", static_cast<double>(dropped));
+  metrics_->Set("events.occupancy", static_cast<double>(recorded - dropped));
 }
 
 WarehouseService::Health WarehouseService::CheckHealth() const {
@@ -562,7 +683,104 @@ void WarehouseService::StartHttp(uint16_t port) {
     r.body = events_.ToJson().Dump(2) + "\n";
     return r;
   });
+  http_->Route("/timeseries", [this](const obs::HttpRequest& req) {
+    if (timeseries_ == nullptr) return DisabledDoc("timeseries_capacity");
+    obs::HttpResponse r;
+    const std::string metric = QueryParam(req.query, "metric");
+    if (metric.empty()) {
+      r.body = timeseries_->ToJson().Dump(2) + "\n";
+      return r;
+    }
+    const uint64_t from = ParseIdOr(QueryParam(req.query, "from"), 0);
+    const uint64_t to =
+        ParseIdOr(QueryParam(req.query, "to"), UINT64_MAX);
+    obs::Json doc = obs::Json::Object();
+    doc.Set("schema", obs::Json::Str("sdelta.timeseries.v1"));
+    doc.Set("metric", obs::Json::Str(metric));
+    obs::Json points = obs::Json::Array();
+    for (const obs::TimeSeriesPoint& p :
+         timeseries_->Query(metric, from, to)) {
+      obs::Json point = obs::Json::Object();
+      point.Set("batch", obs::Json::Int(static_cast<int64_t>(p.batch_id)));
+      point.Set("value", obs::Json::Double(p.value));
+      points.Append(std::move(point));
+    }
+    doc.Set("points", std::move(points));
+    r.body = doc.Dump(2) + "\n";
+    return r;
+  });
+  http_->Route("/profile", [this](const obs::HttpRequest& req) {
+    if (profiler_ == nullptr) return DisabledDoc("profile");
+    obs::HttpResponse r;
+    if (QueryParam(req.query, "format") == "collapsed") {
+      r.content_type = "text/plain; charset=utf-8";
+      r.body = profiler_->ToCollapsed();
+      return r;
+    }
+    r.body = profiler_->ToJson().Dump(2) + "\n";
+    return r;
+  });
+  http_->Route("/anomalies", [this](const obs::HttpRequest&) {
+    if (detector_ == nullptr) return DisabledDoc("anomaly.enabled");
+    obs::Json doc = detector_->ToJson();
+    obs::Json bundles = obs::Json::Array();
+    if (recorder_ != nullptr) {
+      for (const std::string& name : recorder_->ListBundles()) {
+        bundles.Append(obs::Json::Str(name));
+      }
+    }
+    doc.Set("bundles", std::move(bundles));
+    obs::HttpResponse r;
+    r.body = doc.Dump(2) + "\n";
+    return r;
+  });
   http_->Start(port);
+}
+
+obs::Json WarehouseService::ConfigJson() const {
+  obs::Json doc = obs::Json::Object();
+  doc.Set("schema", obs::Json::Str("sdelta.config.v1"));
+  doc.Set("auto_batching", obs::Json::Bool(options_.auto_batching));
+  doc.Set("wal_sync", obs::Json::Bool(options_.wal_sync));
+  doc.Set("num_threads",
+          obs::Json::Int(static_cast<int64_t>(warehouse_.num_threads())));
+  obs::Json queue = obs::Json::Object();
+  queue.Set("max_batch_rows", obs::Json::Int(static_cast<int64_t>(
+                                  options_.queue.max_batch_rows)));
+  queue.Set("max_queue_rows", obs::Json::Int(static_cast<int64_t>(
+                                  options_.queue.max_queue_rows)));
+  queue.Set("max_batch_delay_seconds",
+            obs::Json::Double(options_.queue.max_batch_delay_seconds));
+  doc.Set("queue", std::move(queue));
+  obs::Json slo = obs::Json::Object();
+  slo.Set("staleness_seconds", obs::Json::Double(options_.slo.staleness_seconds));
+  slo.Set("refresh_window_seconds",
+          obs::Json::Double(options_.slo.refresh_window_seconds));
+  slo.Set("error_budget", obs::Json::Double(options_.slo.error_budget));
+  doc.Set("slo", std::move(slo));
+  doc.Set("timeseries_capacity", obs::Json::Int(static_cast<int64_t>(
+                                     options_.timeseries_capacity)));
+  doc.Set("profile", obs::Json::Bool(options_.profile));
+  obs::Json anomaly = obs::Json::Object();
+  anomaly.Set("enabled", obs::Json::Bool(options_.anomaly.enabled));
+  anomaly.Set("slo_burn_threshold",
+              obs::Json::Double(options_.anomaly.slo_burn_threshold));
+  obs::Json rules = obs::Json::Array();
+  for (const obs::AnomalyRule& rule : options_.anomaly.rules) {
+    obs::Json r = obs::Json::Object();
+    r.Set("metric", obs::Json::Str(rule.metric));
+    r.Set("factor", obs::Json::Double(rule.factor));
+    r.Set("min_threshold", obs::Json::Double(rule.min_threshold));
+    r.Set("window", obs::Json::Int(static_cast<int64_t>(rule.window)));
+    r.Set("warmup", obs::Json::Int(static_cast<int64_t>(rule.warmup)));
+    r.Set("delta", obs::Json::Bool(rule.delta));
+    rules.Append(std::move(r));
+  }
+  anomaly.Set("rules", std::move(rules));
+  doc.Set("anomaly", std::move(anomaly));
+  doc.Set("max_anomaly_bundles", obs::Json::Int(static_cast<int64_t>(
+                                     options_.max_anomaly_bundles)));
+  return doc;
 }
 
 }  // namespace sdelta::service

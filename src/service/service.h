@@ -11,10 +11,13 @@
 #include <thread>
 #include <vector>
 
+#include "obs/anomaly.h"
 #include "obs/event_log.h"
 #include "obs/http_endpoint.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/slo.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "service/ingest.h"
 #include "service/versioned.h"
@@ -74,8 +77,31 @@ class WarehouseService {
     /// Embedded HTTP scrape endpoint (DESIGN.md §11.2): < 0 = disabled
     /// (default); 0 = bind an ephemeral 127.0.0.1 port (read it back
     /// via http_port()); > 0 = bind that port. Routes: /metrics,
-    /// /healthz, /varz, /epochs, /events.
+    /// /healthz, /varz, /epochs, /events, /timeseries, /profile,
+    /// /anomalies.
     int http_port = -1;
+    /// Per-batch metric history ring (DESIGN.md §13.1): one snapshot of
+    /// every counter/gauge plus histogram P50/P95/P99 per epoch
+    /// install. 0 disables the store (and with it /timeseries and the
+    /// anomaly rules, which read it).
+    size_t timeseries_capacity = 512;
+    /// Span-based self-time profiling of the maintenance path
+    /// (DESIGN.md §13.2). The service owns a private tracer for the
+    /// warehouse batch pipeline, folded into profiler() and cleared
+    /// after every drain — so profiling stays bounded in memory, unlike
+    /// attaching a long-lived Options::tracer. While profiling, the
+    /// warehouse's RunBatch spans go to that private tracer (an
+    /// explicitly set Options::warehouse.tracer, or the default chain
+    /// from Options::tracer, is overridden for the batch pipeline;
+    /// service.batch/append/query spans still go to Options::tracer).
+    bool profile = false;
+    /// Anomaly detection over the time-series ring + SLO burn trigger
+    /// (DESIGN.md §13.3). Disabled by default; when enabled, each
+    /// detection writes a flight-recorder bundle under
+    /// <data_dir>/flightrec/.
+    obs::AnomalyConfig anomaly;
+    /// Flight-recorder retention: newest bundles kept on disk.
+    size_t max_anomaly_bundles = 8;
   };
 
   /// Point-in-time service numbers (the shell's `service stats`).
@@ -172,6 +198,14 @@ class WarehouseService {
   const obs::EventLog& events() const { return events_; }
   /// The staleness / refresh-window SLO tracker.
   const obs::SloTracker& slo() const { return slo_; }
+  /// Per-batch metric history; null when timeseries_capacity == 0.
+  const obs::TimeSeriesStore* timeseries() const { return timeseries_.get(); }
+  /// The maintenance-path profiler; null unless Options::profile.
+  const obs::Profiler* profiler() const { return profiler_.get(); }
+  /// The anomaly detector; null unless Options::anomaly.enabled.
+  const obs::AnomalyDetector* anomalies() const { return detector_.get(); }
+  /// The flight recorder; null unless Options::anomaly.enabled.
+  const obs::FlightRecorder* flight_recorder() const { return recorder_.get(); }
   /// Evaluates the /healthz checks right now (live staleness, WAL fd,
   /// maintenance-thread liveness, queue headroom, SLO burn rate).
   Health CheckHealth() const;
@@ -206,8 +240,10 @@ class WarehouseService {
   void ApplyItems(std::vector<IngestItem> items);
   /// Waits (under state_mu_) until applied_seq_ >= target.
   void AwaitApplied(uint64_t target);
-  /// Registers the five scrape routes and starts the HTTP endpoint.
+  /// Registers the scrape routes and starts the HTTP endpoint.
   void StartHttp(uint16_t port);
+  /// The effective configuration, as a flight-bundle artifact.
+  obs::Json ConfigJson() const;
 
   std::vector<std::string> FactTableNames() const;
 
@@ -219,6 +255,17 @@ class WarehouseService {
   obs::SloTracker slo_;
   /// Shared with every epoch (ReadSnapshot::Query reports through it).
   ServiceObs obs_;
+  /// Historical/diagnostic layer (DESIGN.md §13); each piece is null
+  /// when its option is off.
+  std::unique_ptr<obs::TimeSeriesStore> timeseries_;
+  /// Private span sink for the warehouse batch pipeline while
+  /// profiling: written only by the maintenance thread (and the pool
+  /// workers it joins), folded + cleared per drain, so spans() reads in
+  /// ApplyItems are quiesced by construction.
+  std::unique_ptr<obs::Tracer> profile_tracer_;
+  std::unique_ptr<obs::Profiler> profiler_;
+  std::unique_ptr<obs::AnomalyDetector> detector_;
+  std::unique_ptr<obs::FlightRecorder> recorder_;
 
   /// Serializes Append (sequence assignment + WAL append + enqueue) and
   /// is held across Checkpoint/WithWriter to fence out producers.

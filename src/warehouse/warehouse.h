@@ -89,6 +89,11 @@ class Warehouse {
   const rel::Catalog& catalog() const { return catalog_; }
   const Options& options() const { return options_; }
 
+  /// Re-targets the span sink for subsequent batches (RunBatch reads it
+  /// per call). The service's profiler uses this to own a private
+  /// maintenance-path tracer it can fold and clear per batch.
+  void SetTracer(obs::Tracer* tracer) { options_.tracer = tracer; }
+
   /// Resolved execution-context count (>= 1).
   size_t num_threads() const { return num_threads_; }
   /// The engine's pool; null when num_threads() == 1.

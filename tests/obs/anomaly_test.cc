@@ -1,0 +1,213 @@
+#include "obs/anomaly.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "obs/slo.h"
+#include "obs/timeseries.h"
+
+namespace sdelta::obs {
+namespace {
+
+namespace fs = std::filesystem;
+
+AnomalyRule WindowRule() {
+  AnomalyRule rule;
+  rule.metric = "service.refresh_window_seconds";
+  rule.factor = 3.0;
+  rule.min_threshold = 0.01;
+  rule.window = 16;
+  rule.warmup = 4;
+  return rule;
+}
+
+void AppendGauge(TimeSeriesStore& ts, uint64_t batch, double value) {
+  MetricsRegistry m;
+  m.Set("service.refresh_window_seconds", value);
+  ts.Append(batch, m.Snapshot());
+}
+
+TEST(AnomalyDetectorTest, RollingThresholdDetectsRegression) {
+  MetricsRegistry metrics;
+  AnomalyConfig config;
+  config.enabled = true;
+  config.rules = {WindowRule()};
+  AnomalyDetector detector(std::move(config), &metrics);
+  TimeSeriesStore ts(64);
+
+  // Ten quiet batches around 1ms, then a 100ms spike.
+  uint64_t batch = 0;
+  for (int i = 0; i < 10; ++i) {
+    AppendGauge(ts, ++batch, 0.001);
+    EXPECT_TRUE(detector.Check(ts, batch).empty());
+  }
+  AppendGauge(ts, ++batch, 0.1);
+  const std::vector<Anomaly> fired = detector.Check(ts, batch);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].kind, "threshold");
+  EXPECT_EQ(fired[0].metric, "service.refresh_window_seconds");
+  EXPECT_EQ(fired[0].batch_id, batch);
+  EXPECT_EQ(fired[0].value, 0.1);
+  EXPECT_NEAR(fired[0].baseline, 0.001, 1e-9);
+
+  EXPECT_EQ(detector.checks(), 11u);
+  EXPECT_EQ(detector.detections(), 1u);
+  EXPECT_EQ(metrics.counter("anomaly.checks"), 11u);
+  EXPECT_EQ(metrics.counter("anomaly.detections"), 1u);
+  ASSERT_EQ(detector.recent().size(), 1u);
+}
+
+TEST(AnomalyDetectorTest, WarmupAndFloorSuppressFiring) {
+  AnomalyConfig config;
+  config.enabled = true;
+  config.rules = {WindowRule()};
+  AnomalyDetector detector(std::move(config), nullptr);
+  TimeSeriesStore ts(64);
+
+  // A spike with fewer than `warmup` prior samples must not fire.
+  AppendGauge(ts, 1, 0.001);
+  AppendGauge(ts, 2, 0.5);
+  EXPECT_TRUE(detector.Check(ts, 2).empty());
+
+  // Values above 3x the mean but under the absolute floor must not
+  // fire either (microsecond noise on a quiet service).
+  TimeSeriesStore quiet(64);
+  AnomalyConfig config2;
+  config2.enabled = true;
+  config2.rules = {WindowRule()};
+  AnomalyDetector detector2(std::move(config2), nullptr);
+  for (uint64_t b = 1; b <= 6; ++b) AppendGauge(quiet, b, 0.0001);
+  AppendGauge(quiet, 7, 0.005);  // 50x the mean, below the 0.01 floor
+  EXPECT_TRUE(detector2.Check(quiet, 7).empty());
+}
+
+TEST(AnomalyDetectorTest, CounterRulesEvaluatePerBatchDeltas) {
+  AnomalyConfig config;
+  config.enabled = true;
+  AnomalyRule rule;
+  rule.metric = "service.append_rows";
+  rule.delta = true;
+  rule.factor = 3.0;
+  rule.min_threshold = 100;
+  rule.warmup = 3;
+  config.rules = {rule};
+  AnomalyDetector detector(std::move(config), nullptr);
+
+  TimeSeriesStore ts(64);
+  MetricsRegistry m;
+  uint64_t batch = 0;
+  // Six batches of 50 rows each: deltas are flat at 50.
+  for (int i = 0; i < 6; ++i) {
+    m.Add("service.append_rows", 50);
+    ts.Append(++batch, m.Snapshot());
+    EXPECT_TRUE(detector.Check(ts, batch).empty());
+  }
+  // One batch of 5000 rows: the raw counter grows monotonically, but
+  // the *delta* jumps 100x, which is what the rule evaluates.
+  m.Add("service.append_rows", 5000);
+  ts.Append(++batch, m.Snapshot());
+  const auto fired = detector.Check(ts, batch);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].value, 5000.0);
+  EXPECT_NEAR(fired[0].baseline, 50.0, 1e-9);
+}
+
+TEST(AnomalyDetectorTest, SloBurnFiresOnNewViolations) {
+  AnomalyConfig config;
+  config.enabled = true;
+  AnomalyDetector detector(std::move(config), nullptr);
+
+  SloTracker::Targets targets;
+  targets.staleness_seconds = 0.0;  // every observation violates
+  targets.error_budget = 0.01;
+  SloTracker slo(targets, nullptr);
+
+  // No violations yet: no trigger.
+  EXPECT_TRUE(detector.CheckSlo(slo, 1).empty());
+
+  slo.ObserveStaleness(1.0);  // violation; burn = 1/1/0.01 = 100
+  const auto fired = detector.CheckSlo(slo, 2);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].kind, "slo_burn");
+  EXPECT_EQ(fired[0].metric, "slo.burn_rate");
+  EXPECT_GT(fired[0].value, 1.0);
+
+  // Same violation count again: no re-trigger without new violations.
+  EXPECT_TRUE(detector.CheckSlo(slo, 3).empty());
+}
+
+TEST(FlightRecorderTest, WritesCompleteBundlesAndPrunes) {
+  const fs::path dir =
+      fs::temp_directory_path() / "sdelta_flightrec_test";
+  fs::remove_all(dir);
+
+  MetricsRegistry metrics;
+  FlightRecorder::Options options;
+  options.dir = dir.string();
+  options.max_bundles = 2;
+  FlightRecorder recorder(options, &metrics);
+
+  Anomaly a;
+  a.batch_id = 7;
+  a.kind = "threshold";
+  a.metric = "service.refresh_window_seconds";
+  a.value = 0.1;
+  Json artifact = Json::Object();
+  artifact.Set("hello", Json::Str("world"));
+
+  const std::string name =
+      recorder.WriteBundle(7, {a}, {{"events", artifact}});
+  EXPECT_EQ(name, "bundle-000001-batch7");
+  ASSERT_TRUE(fs::exists(dir / name / "manifest.json"));
+  ASSERT_TRUE(fs::exists(dir / name / "events.json"));
+
+  // The manifest names the batch, the anomalies, and the artifacts.
+  std::ifstream in(dir / name / "manifest.json");
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  const Json manifest = Json::Parse(text);
+  EXPECT_EQ(manifest.Find("schema")->as_string(), "sdelta.flightrec.v1");
+  EXPECT_EQ(manifest.Find("batch_id")->as_int(), 7);
+  ASSERT_EQ(manifest.Find("anomalies")->items().size(), 1u);
+  EXPECT_EQ(manifest.Find("anomalies")->items()[0].Find("metric")->as_string(),
+            "service.refresh_window_seconds");
+  EXPECT_EQ(manifest.Find("artifacts")->items()[0].as_string(),
+            "events.json");
+
+  // Retention: the third bundle evicts the first.
+  recorder.WriteBundle(8, {a}, {});
+  recorder.WriteBundle(9, {a}, {});
+  const auto bundles = recorder.ListBundles();
+  ASSERT_EQ(bundles.size(), 2u);
+  EXPECT_EQ(bundles[0], "bundle-000002-batch8");
+  EXPECT_EQ(bundles[1], "bundle-000003-batch9");
+  EXPECT_EQ(recorder.bundles_written(), 3u);
+  EXPECT_EQ(metrics.counter("anomaly.bundles_written"), 3u);
+  EXPECT_EQ(metrics.counter("anomaly.bundles_pruned"), 1u);
+
+  // A new recorder over the same directory resumes the sequence.
+  FlightRecorder resumed(options, nullptr);
+  const std::string next = resumed.WriteBundle(10, {a}, {});
+  EXPECT_EQ(next, "bundle-000004-batch10");
+
+  fs::remove_all(dir);
+}
+
+TEST(AnomalyDetectorTest, ToJsonCarriesRulesAndRecent) {
+  MetricsRegistry metrics;
+  AnomalyConfig config;
+  config.enabled = true;
+  config.rules = AnomalyConfig::DefaultRules();
+  AnomalyDetector detector(std::move(config), &metrics);
+
+  const Json doc = detector.ToJson();
+  EXPECT_EQ(doc.Find("schema")->as_string(), "sdelta.anomaly.v1");
+  EXPECT_TRUE(doc.Find("enabled")->as_bool());
+  EXPECT_EQ(doc.Find("rules")->items().size(), 4u);
+  EXPECT_EQ(doc.Find("anomalies")->items().size(), 0u);
+}
+
+}  // namespace
+}  // namespace sdelta::obs

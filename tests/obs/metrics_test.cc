@@ -77,7 +77,10 @@ TEST(HistogramTest, BucketsAreLogTwoSpaced) {
   EXPECT_EQ(Histogram::kNumBuckets, 64);
 }
 
-TEST(HistogramTest, PercentilesAreBucketUpperBoundsClampedToRange) {
+TEST(HistogramTest, PercentilesInterpolateAndClampToRange) {
+  // Single-observation buckets: the rank is the bucket's last (and only)
+  // observation, so interpolation resolves to the bucket upper bound —
+  // exact for these power-of-two values.
   Histogram h;
   h.Observe(2.0);
   h.Observe(4.0);
@@ -88,13 +91,33 @@ TEST(HistogramTest, PercentilesAreBucketUpperBoundsClampedToRange) {
   Histogram skew;
   for (int i = 0; i < 99; ++i) skew.Observe(1.0);
   skew.Observe(1000.0);
+  // Rank 50 interpolates inside the (0.5, 1] bucket, below min = 1.0,
+  // and the min clamp restores exactness.
   EXPECT_EQ(skew.P50(), 1.0);
   EXPECT_EQ(skew.P95(), 1.0);
-  // The tail bucket's upper bound is 1024 but the max clamps it.
+  // The tail bucket's interpolated value is 1024 but the max clamps it.
   EXPECT_EQ(skew.Percentile(100.0), 1000.0);
 
   Histogram empty;
   EXPECT_EQ(empty.Percentile(50.0), 0.0);
+}
+
+TEST(HistogramTest, PercentilesInterpolateWithinBucket) {
+  // Two observations in the (4, 8] bucket: rank 1 sits halfway up the
+  // bucket (4 + 4 * 1/2 = 6), rank 2 at the top (8) — no bucket-edge
+  // quantization to 8.0 for both, as the pre-interpolation code gave.
+  Histogram h;
+  h.Observe(5.0);
+  h.Observe(7.0);
+  EXPECT_EQ(h.P50(), 6.0);
+  EXPECT_EQ(h.Percentile(100.0), 7.0);  // max clamp
+
+  // 4 observations in (2, 4]: ranks 1..4 map to 2.5, 3.0, 3.5, 4.0.
+  Histogram quarters;
+  for (int i = 0; i < 4; ++i) quarters.Observe(3.0);
+  EXPECT_EQ(quarters.Percentile(25.0), 3.0);  // 2.5 clamped up to min
+  EXPECT_EQ(quarters.Percentile(50.0), 3.0);
+  EXPECT_EQ(quarters.Percentile(75.0), 3.0);  // 3.5 clamped down to max
 }
 
 TEST(HistogramTest, MergePreservesBuckets) {
@@ -107,7 +130,9 @@ TEST(HistogramTest, MergePreservesBuckets) {
   EXPECT_EQ(a.count, 3u);
   EXPECT_EQ(a.min, 2.0);
   EXPECT_EQ(a.max, 4.0);
-  EXPECT_EQ(a.P50(), 4.0);  // rank 2 of 3 lands in the 4.0 bucket
+  // Rank 2 of 3 is the first of the (2, 4] bucket's two observations:
+  // 2 + 2 * 1/2 = 3 under within-bucket interpolation.
+  EXPECT_EQ(a.P50(), 3.0);
 }
 
 TEST(MetricsRegistryTest, EmptyAndClear) {

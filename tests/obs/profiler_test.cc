@@ -1,0 +1,157 @@
+#include "obs/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/trace.h"
+
+namespace sdelta::obs {
+namespace {
+
+// Builds the span tree
+//   warehouse.RunBatch
+//     propagate        (rows attr)
+//       step.a
+//       step.a         (second call, merged into one frame)
+//     refresh
+// and returns the tracer's spans.
+std::vector<SpanRecord> MakeSpans(Tracer& tracer) {
+  {
+    TraceSpan batch(&tracer, "warehouse.RunBatch");
+    {
+      TraceSpan propagate(&tracer, "propagate");
+      propagate.Attr("delta_rows", static_cast<uint64_t>(42));
+      { TraceSpan step(&tracer, "step.a"); }
+      { TraceSpan step(&tracer, "step.a"); }
+    }
+    { TraceSpan refresh(&tracer, "refresh"); }
+  }
+  return tracer.spans();
+}
+
+TEST(ProfilerTest, FoldsSpansByNamePath) {
+  Tracer tracer;
+  Profiler profiler;
+  profiler.RecordBatch(MakeSpans(tracer), nullptr);
+
+  EXPECT_EQ(profiler.batches(), 1u);
+  const ProfileNode root = profiler.last_batch();
+  EXPECT_EQ(root.name, "profile");
+  ASSERT_EQ(root.children.size(), 1u);
+  const ProfileNode& batch = root.children[0];
+  EXPECT_EQ(batch.name, "warehouse.RunBatch");
+  EXPECT_EQ(batch.calls, 1u);
+  ASSERT_EQ(batch.children.size(), 2u);
+  // Children are sorted by name.
+  EXPECT_EQ(batch.children[0].name, "propagate");
+  EXPECT_EQ(batch.children[1].name, "refresh");
+  const ProfileNode& propagate = batch.children[0];
+  EXPECT_EQ(propagate.rows, 42u);
+  ASSERT_EQ(propagate.children.size(), 1u);
+  EXPECT_EQ(propagate.children[0].name, "step.a");
+  EXPECT_EQ(propagate.children[0].calls, 2u);  // same path merged
+
+  // Inclusive time nests: parent >= sum of children; exclusive is the
+  // remainder.
+  EXPECT_GE(batch.inclusive_ns,
+            propagate.inclusive_ns + batch.children[1].inclusive_ns);
+  EXPECT_EQ(batch.exclusive_ns,
+            batch.inclusive_ns - propagate.inclusive_ns -
+                batch.children[1].inclusive_ns);
+}
+
+TEST(ProfilerTest, CumulativeMergesAcrossBatches) {
+  Tracer t1;
+  Profiler profiler;
+  profiler.RecordBatch(MakeSpans(t1), nullptr);
+  Tracer t2;
+  profiler.RecordBatch(MakeSpans(t2), nullptr);
+
+  EXPECT_EQ(profiler.batches(), 2u);
+  const ProfileNode last = profiler.last_batch();
+  EXPECT_EQ(last.children[0].calls, 1u);
+  const ProfileNode cumulative = profiler.cumulative();
+  ASSERT_EQ(cumulative.children.size(), 1u);
+  EXPECT_EQ(cumulative.children[0].calls, 2u);
+  const ProfileNode* propagate = cumulative.children[0].FindChild("propagate");
+  ASSERT_NE(propagate, nullptr);
+  EXPECT_EQ(propagate->rows, 84u);
+  const ProfileNode* step = propagate->FindChild("step.a");
+  ASSERT_NE(step, nullptr);
+  EXPECT_EQ(step->calls, 4u);
+}
+
+TEST(ProfilerTest, OperatorStatsBecomeFrames) {
+  Tracer tracer;
+  exec::OperatorStats ops;
+  ops.select.calls = 3;
+  ops.select.rows_out = 100;
+  ops.select.wall_seconds = 0.001;
+  ops.group_by.calls = 1;
+  ops.group_by.rows_out = 10;
+  Profiler profiler;
+  profiler.RecordBatch(MakeSpans(tracer), &ops);
+
+  const ProfileNode root = profiler.last_batch();
+  const ProfileNode* container = root.FindChild("operators");
+  ASSERT_NE(container, nullptr);
+  ASSERT_EQ(container->children.size(), 2u);  // only operators with calls
+  EXPECT_EQ(container->children[0].name, "op.group_by");
+  EXPECT_EQ(container->children[1].name, "op.select");
+  EXPECT_EQ(container->children[1].calls, 3u);
+  EXPECT_EQ(container->children[1].rows, 100u);
+  EXPECT_EQ(container->children[1].exclusive_ns, 1000000u);
+}
+
+TEST(ProfilerTest, OpenSpansCountAsZeroDuration) {
+  Tracer tracer;
+  const uint64_t id = tracer.BeginSpan("stuck");
+  Profiler profiler;
+  profiler.RecordBatch(tracer.spans(), nullptr);
+  const ProfileNode root = profiler.last_batch();
+  const ProfileNode* stuck = root.FindChild("stuck");
+  ASSERT_NE(stuck, nullptr);
+  EXPECT_EQ(stuck->calls, 1u);
+  EXPECT_EQ(stuck->inclusive_ns, 0u);
+  tracer.EndSpan(id);
+}
+
+TEST(ProfilerTest, CollapsedStacksAndText) {
+  Tracer tracer;
+  Profiler profiler;
+  profiler.RecordBatch(MakeSpans(tracer), nullptr);
+
+  const std::string collapsed = profiler.ToCollapsed();
+  EXPECT_NE(collapsed.find("warehouse.RunBatch;propagate;step.a "),
+            std::string::npos);
+  EXPECT_NE(collapsed.find("warehouse.RunBatch;refresh "), std::string::npos);
+
+  const std::string text = profiler.ToText();
+  EXPECT_NE(text.find("profile"), std::string::npos);
+  EXPECT_NE(text.find("step.a  calls=2"), std::string::npos);
+}
+
+TEST(ProfilerTest, JsonExportNormalizesDeterministically) {
+  Tracer t1;
+  Profiler p1;
+  p1.RecordBatch(MakeSpans(t1), nullptr);
+  Tracer t2;
+  Profiler p2;
+  p2.RecordBatch(MakeSpans(t2), nullptr);
+
+  Json a = p1.ToJson();
+  Json b = p2.ToJson();
+  EXPECT_EQ(a.Find("schema")->as_string(), "sdelta.profile.v1");
+  // Wall times differ run to run; after normalization the documents are
+  // byte-identical (same span structure, calls, rows).
+  NormalizeProfileTimes(a);
+  NormalizeProfileTimes(b);
+  EXPECT_EQ(a.Dump(2), b.Dump(2));
+
+  // The collapsed renderer also works from the exported JSON.
+  const std::string collapsed = CollapsedFromProfileJson(a);
+  EXPECT_NE(collapsed.find("warehouse.RunBatch;propagate;step.a 0"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace sdelta::obs

@@ -1,0 +1,179 @@
+#include "obs/timeseries.h"
+
+#include <gtest/gtest.h>
+
+namespace sdelta::obs {
+namespace {
+
+MetricsSnapshot Snap(uint64_t counter, double gauge) {
+  MetricsRegistry m;
+  m.Add("service.appends", counter);
+  m.Set("service.queue_depth", gauge);
+  return m.Snapshot();
+}
+
+TEST(TimeSeriesTest, AppendAndQuery) {
+  TimeSeriesStore ts(8);
+  ts.Append(1, Snap(10, 5.0));
+  ts.Append(2, Snap(20, 0.0));
+  ts.Append(3, Snap(35, 2.0));
+
+  EXPECT_EQ(ts.size(), 3u);
+  EXPECT_EQ(ts.appended(), 3u);
+  EXPECT_EQ(ts.dropped(), 0u);
+
+  const auto points = ts.Query("service.appends");
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points[0].batch_id, 1u);
+  EXPECT_EQ(points[0].value, 10.0);
+  EXPECT_EQ(points[2].value, 35.0);
+
+  // Range restriction by batch id.
+  const auto mid = ts.Query("service.queue_depth", 2, 2);
+  ASSERT_EQ(mid.size(), 1u);
+  EXPECT_EQ(mid[0].value, 0.0);
+
+  EXPECT_TRUE(ts.Query("no.such.metric").empty());
+}
+
+TEST(TimeSeriesTest, DeltaEncodingOnlyStoresChanges) {
+  // An unchanged value between appends must still reconstruct at every
+  // batch (the delta encoding stores it once, Query re-materializes).
+  TimeSeriesStore ts(8);
+  ts.Append(1, Snap(10, 7.0));
+  ts.Append(2, Snap(10, 7.0));  // nothing changed
+  ts.Append(3, Snap(12, 7.0));  // only the counter moved
+
+  const auto counter = ts.Query("service.appends");
+  ASSERT_EQ(counter.size(), 3u);
+  EXPECT_EQ(counter[0].value, 10.0);
+  EXPECT_EQ(counter[1].value, 10.0);
+  EXPECT_EQ(counter[2].value, 12.0);
+
+  const auto gauge = ts.Query("service.queue_depth");
+  ASSERT_EQ(gauge.size(), 3u);
+  for (const auto& p : gauge) EXPECT_EQ(p.value, 7.0);
+}
+
+TEST(TimeSeriesTest, WrapAroundFoldsEvictedEntriesIntoBase) {
+  TimeSeriesStore ts(3);
+  for (uint64_t b = 1; b <= 10; ++b) {
+    ts.Append(b, Snap(b * 10, static_cast<double>(b)));
+  }
+  EXPECT_EQ(ts.size(), 3u);
+  EXPECT_EQ(ts.appended(), 10u);
+  EXPECT_EQ(ts.dropped(), 7u);
+
+  // Only the newest three batches remain, with correct absolute values
+  // (the evicted deltas were folded into the base map).
+  const auto points = ts.Query("service.appends");
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points[0].batch_id, 8u);
+  EXPECT_EQ(points[0].value, 80.0);
+  EXPECT_EQ(points[2].batch_id, 10u);
+  EXPECT_EQ(points[2].value, 100.0);
+}
+
+TEST(TimeSeriesTest, WrapAroundReconstructsUnchangedSeries) {
+  // A series that last changed before the retained window must still
+  // reconstruct from the base map after eviction.
+  TimeSeriesStore ts(2);
+  ts.Append(1, Snap(5, 1.0));
+  ts.Append(2, Snap(5, 2.0));
+  ts.Append(3, Snap(5, 3.0));
+  ts.Append(4, Snap(5, 4.0));  // counter unchanged since batch 1 (evicted)
+
+  const auto points = ts.Query("service.appends");
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].batch_id, 3u);
+  EXPECT_EQ(points[0].value, 5.0);
+  EXPECT_EQ(points[1].value, 5.0);
+}
+
+TEST(TimeSeriesTest, HistogramsSampleAsPercentileSeries) {
+  MetricsRegistry m;
+  m.Observe("service.refresh_window", 2.0);
+  m.Observe("service.refresh_window", 4.0);
+  TimeSeriesStore ts(4);
+  ts.Append(1, m.Snapshot());
+
+  const auto names = ts.SeriesNames();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0].first, "service.refresh_window.p50");
+  EXPECT_EQ(names[0].second, SampleKind::kPercentile);
+  EXPECT_EQ(names[2].first, "service.refresh_window.p99");
+
+  const auto p50 = ts.Query("service.refresh_window.p50");
+  ASSERT_EQ(p50.size(), 1u);
+  EXPECT_EQ(p50[0].value, 2.0);
+}
+
+TEST(TimeSeriesTest, SeriesAppearingMidStreamHaveNoEarlierPoints) {
+  TimeSeriesStore ts(8);
+  MetricsRegistry a;
+  a.Add("service.appends", 1);
+  ts.Append(1, a.Snapshot());
+  a.Set("service.late_gauge", 9.0);
+  ts.Append(2, a.Snapshot());
+
+  EXPECT_EQ(ts.Query("service.appends").size(), 2u);
+  const auto late = ts.Query("service.late_gauge");
+  ASSERT_EQ(late.size(), 1u);
+  EXPECT_EQ(late[0].batch_id, 2u);
+
+  // The JSON export fills the missing leading point with null.
+  const Json doc = ts.ToJson();
+  const Json* series = doc.Find("series");
+  ASSERT_NE(series, nullptr);
+  const Json* lg = series->Find("service.late_gauge");
+  ASSERT_NE(lg, nullptr);
+  const auto& points = lg->Find("points")->items();
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].kind(), Json::Kind::kNull);
+  EXPECT_EQ(points[1].as_double(), 9.0);
+}
+
+TEST(TimeSeriesTest, ToJsonRoundTripsThroughParse) {
+  TimeSeriesStore ts(4);
+  ts.Append(7, Snap(3, 1.5));
+  ts.Append(8, Snap(6, 1.5));
+
+  const std::string text = ts.ToJson().Dump(2);
+  const Json parsed = Json::Parse(text);
+  EXPECT_EQ(parsed.Find("schema")->as_string(), "sdelta.timeseries.v1");
+  EXPECT_EQ(parsed.Find("appended")->as_int(), 2);
+  const Json* batches = parsed.Find("batches");
+  ASSERT_EQ(batches->items().size(), 2u);
+  EXPECT_EQ(batches->items()[0].as_int(), 7);
+  const Json* counter =
+      parsed.Find("series")->Find("service.appends");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->Find("kind")->as_string(), "counter");
+  EXPECT_EQ(counter->Find("points")->items()[1].as_double(), 6.0);
+}
+
+TEST(TimeSeriesTest, NormalizeDropsExecAndZeroesNonCounters) {
+  TimeSeriesStore ts(4);
+  MetricsRegistry m;
+  m.Add("service.appends", 2);
+  m.Set("exec.tasks_run", 17.0);
+  m.Set("service.staleness_seconds", 0.25);
+  m.Observe("service.refresh_window", 4.0);
+  ts.Append(1, m.Snapshot());
+
+  Json doc = ts.ToJson();
+  NormalizeTimeSeries(doc);
+  const Json* series = doc.Find("series");
+  ASSERT_NE(series, nullptr);
+  EXPECT_EQ(series->Find("exec.tasks_run"), nullptr);
+  // Counter values survive; gauge and percentile points are zeroed.
+  EXPECT_EQ(series->Find("service.appends")
+                ->Find("points")->items()[0].as_double(), 2.0);
+  EXPECT_EQ(series->Find("service.staleness_seconds")
+                ->Find("points")->items()[0].as_double(), 0.0);
+  EXPECT_EQ(series->Find("service.refresh_window.p99")
+                ->Find("points")->items()[0].as_double(), 0.0);
+}
+
+}  // namespace
+}  // namespace sdelta::obs

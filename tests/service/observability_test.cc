@@ -16,6 +16,7 @@
 
 #include "core/delta.h"
 #include "obs/event_log.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "service/service.h"
 #include "warehouse/retail_schema.h"
@@ -205,9 +206,11 @@ TEST_F(ObservabilityTest, HealthzIsHealthyWhileServingAndNotAfterStop) {
   EXPECT_FALSE(svc->CheckHealth().healthy());
 }
 
-TEST_F(ObservabilityTest, HttpEndpointServesTheFiveRoutes) {
+TEST_F(ObservabilityTest, HttpEndpointServesTheEightRoutes) {
   WarehouseService::Options options;
   options.http_port = 0;  // ephemeral loopback port
+  options.profile = true;
+  options.anomaly.enabled = true;
   auto svc = OpenService(std::move(options));
   svc->Append(NextChanges(60, 1));
   svc->Flush();
@@ -219,6 +222,11 @@ TEST_F(ObservabilityTest, HttpEndpointServesTheFiveRoutes) {
   EXPECT_NE(metrics.find("sdelta_service_appends_total 1"), std::string::npos);
   EXPECT_NE(metrics.find("sdelta_service_refresh_window_bucket"),
             std::string::npos);
+  // The event-ring health gauges (capacity/occupancy/drop accounting).
+  EXPECT_NE(metrics.find("sdelta_events_capacity 1024"), std::string::npos);
+  EXPECT_NE(metrics.find("sdelta_events_occupancy"), std::string::npos);
+  EXPECT_NE(metrics.find("sdelta_events_dropped 0"), std::string::npos);
+  EXPECT_NE(metrics.find("sdelta_anomaly_checks_total"), std::string::npos);
 
   const std::string healthz = Get(port, "/healthz");
   EXPECT_NE(healthz.find("HTTP/1.0 200"), std::string::npos);
@@ -227,11 +235,46 @@ TEST_F(ObservabilityTest, HttpEndpointServesTheFiveRoutes) {
   EXPECT_NE(Get(port, "/varz").find("sdelta.obs.v2"), std::string::npos);
   EXPECT_NE(Get(port, "/epochs").find("\"epoch\": 2"), std::string::npos);
   EXPECT_NE(Get(port, "/events").find("sdelta.events.v1"), std::string::npos);
+
+  // The historical layer's routes (DESIGN.md §13).
+  const std::string timeseries = Get(port, "/timeseries");
+  EXPECT_NE(timeseries.find("sdelta.timeseries.v1"), std::string::npos);
+  EXPECT_NE(timeseries.find("service.appends"), std::string::npos);
+  const std::string one_series =
+      Get(port, "/timeseries?metric=service.appends");
+  EXPECT_NE(one_series.find("\"metric\": \"service.appends\""),
+            std::string::npos);
+  EXPECT_NE(one_series.find("\"batch\": 1"), std::string::npos);
+  EXPECT_NE(Get(port, "/profile").find("sdelta.profile.v1"),
+            std::string::npos);
+  EXPECT_NE(Get(port, "/profile?format=collapsed").find("warehouse.RunBatch"),
+            std::string::npos);
+  EXPECT_NE(Get(port, "/anomalies").find("sdelta.anomaly.v1"),
+            std::string::npos);
+
   EXPECT_NE(Get(port, "/nope").find("HTTP/1.0 404"), std::string::npos);
 
   // Stop shuts the endpoint down with the service.
   svc->Stop();
   EXPECT_EQ(svc->http_port(), -1);
+}
+
+TEST_F(ObservabilityTest, DisabledDiagnosticsAnswerEnabledFalse) {
+  WarehouseService::Options options;
+  options.http_port = 0;
+  options.timeseries_capacity = 0;  // profile/anomaly already default off
+  auto svc = OpenService(std::move(options));
+  const int port = svc->http_port();
+  ASSERT_GT(port, 0);
+  for (const char* path : {"/timeseries", "/profile", "/anomalies"}) {
+    const std::string response = Get(port, path);
+    EXPECT_NE(response.find("HTTP/1.0 200"), std::string::npos) << path;
+    EXPECT_NE(response.find("\"enabled\": false"), std::string::npos) << path;
+  }
+  EXPECT_EQ(svc->timeseries(), nullptr);
+  EXPECT_EQ(svc->profiler(), nullptr);
+  EXPECT_EQ(svc->anomalies(), nullptr);
+  EXPECT_EQ(svc->flight_recorder(), nullptr);
 }
 
 TEST_F(ObservabilityTest, HttpPortInUseSurfacesAsCatchableError) {
@@ -292,6 +335,7 @@ TEST_F(ObservabilityTest, StalledClientDoesNotBlockStop) {
 /// returned must be byte-identical across thread counts.
 struct InvarianceResult {
   std::string events_json;
+  std::string timeseries_json;
   uint64_t window_violations = 0;
   uint64_t staleness_violations = 0;
 };
@@ -326,6 +370,12 @@ InvarianceResult RunWorkload(const fs::path& base, size_t num_threads) {
   obs::Json events = svc->events().ToJson();
   obs::NormalizeEventTimes(events);
   result.events_json = events.Dump(2);
+  // The per-batch metric history: counters must match exactly across
+  // thread counts; gauges/percentiles carry timings and exec.* series
+  // are pool-shaped, so normalization zeroes/drops them.
+  obs::Json timeseries = svc->timeseries()->ToJson();
+  obs::NormalizeTimeSeries(timeseries);
+  result.timeseries_json = timeseries.Dump(2);
   result.window_violations = svc->slo().window_violations();
   result.staleness_violations = svc->slo().staleness_violations();
   svc->Stop();
@@ -349,6 +399,8 @@ TEST_F(ObservabilityTest, EventsAndSloCountersAreThreadCountInvariant) {
 
   EXPECT_EQ(one.events_json, two.events_json);
   EXPECT_EQ(one.events_json, eight.events_json);
+  EXPECT_EQ(one.timeseries_json, two.timeseries_json);
+  EXPECT_EQ(one.timeseries_json, eight.timeseries_json);
 }
 
 }  // namespace

@@ -253,5 +253,80 @@ TEST(PromLintTest, UnknownTypeIsFlagged) {
   EXPECT_EQ(LintPrometheusText("# TYPE sdelta_x wibble\n").size(), 1u);
 }
 
+TEST(PromLintTest, ConsistentDiagnosticFamiliesLintClean) {
+  const char* doc =
+      "# TYPE sdelta_events_capacity gauge\n"
+      "sdelta_events_capacity 1024\n"
+      "# TYPE sdelta_events_occupancy gauge\n"
+      "sdelta_events_occupancy 12\n"
+      "# TYPE sdelta_events_recorded gauge\n"
+      "sdelta_events_recorded 12\n"
+      "# TYPE sdelta_events_dropped gauge\n"
+      "sdelta_events_dropped 0\n"
+      "# TYPE sdelta_anomaly_checks_total counter\n"
+      "sdelta_anomaly_checks_total 20\n"
+      "# TYPE sdelta_anomaly_detections_total counter\n"
+      "sdelta_anomaly_detections_total 2\n"
+      "# TYPE sdelta_anomaly_bundles_written_total counter\n"
+      "sdelta_anomaly_bundles_written_total 2\n"
+      "# TYPE sdelta_anomaly_bundles_pruned_total counter\n"
+      "sdelta_anomaly_bundles_pruned_total 1\n";
+  EXPECT_TRUE(LintPrometheusText(doc).empty());
+}
+
+TEST(PromLintTest, EventRingDropExceedingRecordedIsFlagged) {
+  const char* doc =
+      "# TYPE sdelta_events_recorded gauge\n"
+      "sdelta_events_recorded 5\n"
+      "# TYPE sdelta_events_dropped gauge\n"
+      "sdelta_events_dropped 9\n";
+  const auto problems = LintPrometheusText(doc);
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("sdelta_events_dropped"), std::string::npos);
+  EXPECT_NE(problems[0].find("exceeds"), std::string::npos);
+}
+
+TEST(PromLintTest, OccupancyBeyondCapacityIsFlagged) {
+  const char* doc =
+      "# TYPE sdelta_events_capacity gauge\n"
+      "sdelta_events_capacity 64\n"
+      "# TYPE sdelta_events_occupancy gauge\n"
+      "sdelta_events_occupancy 65\n";
+  ASSERT_EQ(LintPrometheusText(doc).size(), 1u);
+}
+
+TEST(PromLintTest, NegativeDiagnosticGaugeIsFlagged) {
+  // Gauges may be negative in general, but the events.*/anomaly.*
+  // families are counts — a negative value is an exporter bug.
+  const char* doc =
+      "# TYPE sdelta_events_occupancy gauge\n"
+      "sdelta_events_occupancy -1\n";
+  const auto problems = LintPrometheusText(doc);
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("non-negative"), std::string::npos);
+}
+
+TEST(PromLintTest, BundleCounterConsistencyIsChecked) {
+  const char* doc =
+      "# TYPE sdelta_anomaly_detections_total counter\n"
+      "sdelta_anomaly_detections_total 1\n"
+      "# TYPE sdelta_anomaly_bundles_written_total counter\n"
+      "sdelta_anomaly_bundles_written_total 3\n"
+      "# TYPE sdelta_anomaly_bundles_pruned_total counter\n"
+      "sdelta_anomaly_bundles_pruned_total 4\n";
+  const auto problems = LintPrometheusText(doc);
+  // pruned > written and written > detections both fire.
+  EXPECT_EQ(problems.size(), 2u);
+}
+
+TEST(PromLintTest, AbsentDiagnosticFamiliesSkipTheCrossChecks) {
+  // A service with the anomaly layer off exports neither series; the
+  // cross-family checks must not demand them.
+  const char* doc =
+      "# TYPE sdelta_service_appends_total counter\n"
+      "sdelta_service_appends_total 2\n";
+  EXPECT_TRUE(LintPrometheusText(doc).empty());
+}
+
 }  // namespace
 }  // namespace sdelta::tools

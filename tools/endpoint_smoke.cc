@@ -138,6 +138,10 @@ int main(int argc, char** argv) {
   WarehouseService::Options options;
   options.auto_batching = false;
   options.http_port = 0;  // ephemeral
+  // The historical layer on, so /timeseries, /profile, and /anomalies
+  // serve real documents rather than {"enabled": false}.
+  options.profile = true;
+  options.anomaly.enabled = true;
   auto svc = WarehouseService::Open(
       data_dir, sdelta::warehouse::MakeRetailCatalog(SmallConfig()),
       sdelta::warehouse::RetailSummaryTables(), options);
@@ -253,6 +257,78 @@ int main(int argc, char** argv) {
           "/events counted 2 BatchStart");
     Check(ckpts != nullptr && ckpts->as_int() == 1,
           "/events counted 1 WalCheckpoint");
+  }
+
+  // /timeseries: the per-batch metric history, full document and the
+  // single-series query form.
+  if (!Scrape(port, "/timeseries", &r)) {
+    Fail("/timeseries: scrape failed");
+  } else {
+    Check(r.status == 200, "/timeseries status 200");
+    const sdelta::obs::Json doc = ParseJsonOrFail("/timeseries", r.body);
+    const sdelta::obs::Json* schema = doc.Find("schema");
+    Check(schema != nullptr && schema->as_string() == "sdelta.timeseries.v1",
+          "/timeseries schema sdelta.timeseries.v1");
+    const sdelta::obs::Json* batches = doc.Find("batches");
+    Check(batches != nullptr && batches->is_array() &&
+              batches->items().size() == 2,
+          "/timeseries retained both batches");
+    const sdelta::obs::Json* series = doc.Find("series");
+    Check(series != nullptr && series->Find("service.appends") != nullptr,
+          "/timeseries carries service.appends");
+  }
+  if (!Scrape(port, "/timeseries?metric=service.appends&from=2", &r)) {
+    Fail("/timeseries?metric: scrape failed");
+  } else {
+    Check(r.status == 200, "/timeseries?metric status 200");
+    const sdelta::obs::Json doc =
+        ParseJsonOrFail("/timeseries?metric", r.body);
+    const sdelta::obs::Json* points = doc.Find("points");
+    Check(points != nullptr && points->is_array() &&
+              points->items().size() == 1,
+          "/timeseries?metric=...&from=2 returns the range-limited series");
+  }
+
+  // /profile: the folded maintenance profile, JSON and collapsed forms.
+  if (!Scrape(port, "/profile", &r)) {
+    Fail("/profile: scrape failed");
+  } else {
+    Check(r.status == 200, "/profile status 200");
+    const sdelta::obs::Json doc = ParseJsonOrFail("/profile", r.body);
+    const sdelta::obs::Json* schema = doc.Find("schema");
+    Check(schema != nullptr && schema->as_string() == "sdelta.profile.v1",
+          "/profile schema sdelta.profile.v1");
+    const sdelta::obs::Json* batches = doc.Find("batches");
+    Check(batches != nullptr && batches->as_int() == 2,
+          "/profile folded both batches");
+  }
+  if (!Scrape(port, "/profile?format=collapsed", &r)) {
+    Fail("/profile?format=collapsed: scrape failed");
+  } else {
+    Check(r.status == 200, "/profile?format=collapsed status 200");
+    Check(r.content_type.rfind("text/plain", 0) == 0,
+          "/profile?format=collapsed is text/plain");
+    Check(r.body.find("warehouse.RunBatch;") != std::string::npos,
+          "collapsed stacks contain the RunBatch frames");
+  }
+
+  // /anomalies: detector state; the quiet workload fired nothing.
+  if (!Scrape(port, "/anomalies", &r)) {
+    Fail("/anomalies: scrape failed");
+  } else {
+    Check(r.status == 200, "/anomalies status 200");
+    const sdelta::obs::Json doc = ParseJsonOrFail("/anomalies", r.body);
+    const sdelta::obs::Json* schema = doc.Find("schema");
+    Check(schema != nullptr && schema->as_string() == "sdelta.anomaly.v1",
+          "/anomalies schema sdelta.anomaly.v1");
+    const sdelta::obs::Json* anomalies = doc.Find("anomalies");
+    Check(anomalies != nullptr && anomalies->is_array() &&
+              anomalies->items().empty(),
+          "/anomalies shows no detections for the quiet workload");
+    const sdelta::obs::Json* bundles = doc.Find("bundles");
+    Check(bundles != nullptr && bundles->is_array() &&
+              bundles->items().empty(),
+          "/anomalies lists no flight-recorder bundles");
   }
 
   // Unknown route → 404; the server stays up afterwards.

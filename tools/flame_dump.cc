@@ -1,0 +1,133 @@
+// Renders an aggregated maintenance-path profile as collapsed stacks —
+// the input format of Brendan Gregg's flamegraph.pl (and speedscope's
+// "collapsed" importer):
+//
+//   flame_dump profile.json            # a /profile scrape or bundle
+//                                      # artifact -> collapsed stacks
+//   flame_dump [--json] [--text]       # no file: run the reference
+//                                      # retail workload under the
+//                                      # profiler and dump its profile
+//   flame_dump --changes N --batches N --pos-rows N --threads N --seed S
+//
+// Typical pipelines:
+//   curl -s localhost:9464/profile | flame_dump /dev/stdin > out.folded
+//   flamegraph.pl out.folded > flame.svg
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <string>
+
+#include "core/delta.h"
+#include "exec/operator_stats.h"
+#include "obs/json.h"
+#include "obs/profiler.h"
+#include "obs/trace.h"
+#include "warehouse/retail_schema.h"
+#include "warehouse/warehouse.h"
+#include "warehouse/workload.h"
+
+using namespace sdelta;  // NOLINT: tool brevity
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: flame_dump [profile.json] [--json|--text]\n"
+               "                  [--pos-rows N] [--changes N] [--batches N]"
+               " [--threads N]\n"
+               "                  [--seed S]\n");
+  return 2;
+}
+
+int DumpFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "flame_dump: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  try {
+    const obs::Json doc = obs::Json::Parse(text);
+    std::fputs(obs::CollapsedFromProfileJson(doc).c_str(), stdout);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "flame_dump: %s: %s\n", path.c_str(), e.what());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string file;
+  std::string format = "collapsed";
+  size_t pos_rows = 20000;
+  size_t changes = 1000;
+  size_t batches = 3;
+  size_t threads = 1;
+  uint64_t seed = 42;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](size_t* out) {
+      if (i + 1 >= argc) return false;
+      *out = std::stoul(argv[++i]);
+      return true;
+    };
+    size_t v = 0;
+    if (arg == "--json") {
+      format = "json";
+    } else if (arg == "--text") {
+      format = "text";
+    } else if (arg == "--pos-rows" && next(&v)) {
+      pos_rows = v;
+    } else if (arg == "--changes" && next(&v)) {
+      changes = v;
+    } else if (arg == "--batches" && next(&v)) {
+      batches = v;
+    } else if (arg == "--threads" && next(&v)) {
+      threads = v;
+    } else if (arg == "--seed" && next(&v)) {
+      seed = v;
+    } else if (!arg.empty() && arg[0] != '-' && file.empty()) {
+      file = arg;
+    } else {
+      return Usage();
+    }
+  }
+  if (!file.empty()) return DumpFromFile(file);
+
+  // Self-contained mode: profile the reference retail workload.
+  warehouse::RetailConfig config;
+  config.num_pos_rows = pos_rows;
+  warehouse::Warehouse::Options options;
+  options.num_threads = threads;
+  obs::Tracer tracer;
+  options.tracer = &tracer;
+  warehouse::Warehouse wh(warehouse::MakeRetailCatalog(config), options);
+  wh.DefineSummaryTables(warehouse::RetailSummaryTables());
+  tracer.Clear();  // profile the batches, not the setup
+
+  obs::Profiler profiler;
+  for (size_t b = 0; b < batches; ++b) {
+    core::ChangeSet delta = warehouse::MakeUpdateGeneratingChanges(
+        wh.catalog(), changes, seed + b);
+    exec::OperatorStats ops;
+    const warehouse::BatchReport report = wh.RunBatch(delta);
+    for (const lattice::StepExecution& se : report.step_execs) {
+      ops.MergeFrom(se.ops);
+    }
+    profiler.RecordBatch(tracer.spans(), &ops);
+    tracer.Clear();
+  }
+
+  if (format == "json") {
+    std::printf("%s\n", profiler.ToJson().Dump(2).c_str());
+  } else if (format == "text") {
+    std::fputs(profiler.ToText().c_str(), stdout);
+  } else {
+    std::fputs(profiler.ToCollapsed().c_str(), stdout);
+  }
+  return 0;
+}

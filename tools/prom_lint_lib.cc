@@ -208,6 +208,7 @@ class Linter {
       pos = eol + 1;
     }
     FinishFamily(line_no);
+    CrossFamilyChecks();
     return std::move(errors_);
   }
 
@@ -231,6 +232,16 @@ class Linter {
     }
     if (!seen_series_.insert(sample.SeriesKey()).second) {
       Error(line_no, "duplicate series '" + sample.name + "'");
+    }
+    if (sample.labels.empty()) {
+      scalar_values_[sample.name] = sample.value;
+    }
+    // The diagnostic-layer families are all counts: any negative sample
+    // is an exporter bug regardless of the declared type.
+    if ((sample.name.rfind("sdelta_events_", 0) == 0 ||
+         sample.name.rfind("sdelta_anomaly_", 0) == 0) &&
+        !(sample.value >= 0)) {
+      Error(line_no, "'" + sample.name + "' must be non-negative");
     }
     LintSampleAgainstFamily(sample, line_no);
   }
@@ -400,7 +411,38 @@ class Linter {
     family_ = FamilyState{};
   }
 
+  /// Whole-document invariants between the diagnostic-layer families
+  /// (events.* gauges, anomaly.* counters). Each check only fires when
+  /// both series are present, so documents from services with those
+  /// subsystems off still lint clean.
+  void CrossFamilyChecks() {
+    auto value = [&](const char* name) -> std::optional<double> {
+      const auto it = scalar_values_.find(name);
+      if (it == scalar_values_.end()) return std::nullopt;
+      return it->second;
+    };
+    auto require_le = [&](const char* smaller, const char* larger) {
+      const std::optional<double> a = value(smaller);
+      const std::optional<double> b = value(larger);
+      if (a.has_value() && b.has_value() && *a > *b) {
+        errors_.push_back(std::string("document: '") + smaller + "' (" +
+                          std::to_string(*a) + ") exceeds '" + larger +
+                          "' (" + std::to_string(*b) + ")");
+      }
+    };
+    require_le("sdelta_events_dropped", "sdelta_events_recorded");
+    require_le("sdelta_events_occupancy", "sdelta_events_capacity");
+    require_le("sdelta_anomaly_detections_total",
+               "sdelta_anomaly_checks_total");
+    require_le("sdelta_anomaly_bundles_pruned_total",
+               "sdelta_anomaly_bundles_written_total");
+    // Every bundle is triggered by at least one detection.
+    require_le("sdelta_anomaly_bundles_written_total",
+               "sdelta_anomaly_detections_total");
+  }
+
   std::vector<std::string> errors_;
+  std::map<std::string, double> scalar_values_;
   std::set<std::string> seen_series_;
   std::set<std::string> declared_families_;
   FamilyState family_;

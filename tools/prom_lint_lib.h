@@ -30,7 +30,12 @@ namespace sdelta::tools {
 ///     `_bucket`/`_sum`/`_count` series — quantile samples belong in a
 ///     separate family (our exporter emits `<name>_quantiles` gauges);
 ///     summary families accept `name{quantile="..."}` samples;
-///   * duplicate sample series (same name + label set) are rejected.
+///   * duplicate sample series (same name + label set) are rejected;
+///   * diagnostic-layer semantics: events.*/anomaly.* samples are
+///     non-negative, events_dropped <= events_recorded, events_occupancy
+///     <= events_capacity, anomaly detections <= checks, and bundle
+///     counters (pruned <= written <= detections) stay consistent —
+///     each check applies only when both series appear in the document.
 ///
 /// Returns the list of problems, one human-readable line each, with
 /// 1-based line numbers; empty = the document lints clean.
