@@ -1,0 +1,183 @@
+// Multi-query optimization across the batch's maintenance plans
+// (lattice/mqo.h): propagate time with sharing extracted once per batch
+// vs. re-running the common join subtrees per plan.
+//
+// Two configurations bound the design space:
+//   high_sharing — vCity and vRegion both re-join stores over the
+//     sd_SID_sales summary-delta, so MQO materializes the shared join
+//     once, and because the shared key space ({storeID}, 100 values)
+//     is tiny next to the ~20k-row delta, the push-agg rewrite
+//     collapses the delta below the join — the consumers aggregate a
+//     ~100-row table instead of each re-joining and re-aggregating the
+//     full delta;
+//   zero_sharing — the stock paper views, whose plans share nothing.
+//     MQO on vs. off here measures the pure overhead of fingerprinting
+//     and rule evaluation, which the bench gate holds to the committed
+//     propagate-time tolerance.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/maintenance.h"
+#include "lattice/plan.h"
+#include "lattice/vlattice.h"
+#include "obs/export_json.h"
+
+namespace sdelta::bench {
+namespace {
+
+std::vector<obs::Json>& MqoEntries() {
+  static auto* entries = new std::vector<obs::Json>();
+  return *entries;
+}
+
+constexpr size_t kPosRows = 200000;
+constexpr size_t kChangeSize = 10000;
+
+std::vector<core::ViewDef> HighSharingViews() {
+  using rel::Expression;
+  auto view = [](const std::string& name,
+                 std::vector<core::DimensionJoin> joins,
+                 std::vector<std::string> group_by) {
+    core::ViewDef v;
+    v.name = name;
+    v.fact_table = "pos";
+    v.joins = std::move(joins);
+    v.group_by = std::move(group_by);
+    v.aggregates = {rel::CountStar("TotalCount"),
+                    rel::Sum(Expression::Column("qty"), "TotalQuantity")};
+    return v;
+  };
+  // vCity and vRegion are incomparable (region is not derivable from
+  // {city} without an FD walk the planner does not do), so both derive
+  // from SID_sales via the same stores join — one shared subplan,
+  // preaggregated on storeID before the join.
+  const core::DimensionJoin stores{"stores", "storeID", "storeID"};
+  return {view("SID_sales", {}, {"storeID", "itemID", "date"}),
+          view("vCity", {stores}, {"city"}),
+          view("vRegion", {stores}, {"region"})};
+}
+
+std::vector<core::ViewDef> ZeroSharingViews() {
+  return warehouse::RetailSummaryTables();
+}
+
+struct Prepared {
+  rel::Catalog* catalog;
+  lattice::VLattice vlattice;
+  lattice::MaintenancePlan plan;
+};
+
+Prepared Prepare(const std::string& config) {
+  static auto* catalogs = new std::map<std::string, rel::Catalog>();
+  auto it = catalogs->find(config);
+  if (it == catalogs->end()) {
+    it = catalogs
+             ->emplace(config,
+                       warehouse::MakeRetailCatalog(PaperConfig(kPosRows)))
+             .first;
+  }
+  Prepared p;
+  p.catalog = &it->second;
+  // The high-sharing family is hand-built: no FD extension, so the
+  // sharing structure is exactly the three stores re-joins.
+  std::vector<core::ViewDef> views = config == "high_sharing"
+                                         ? HighSharingViews()
+                                         : lattice::MakeLatticeFriendly(
+                                               *p.catalog,
+                                               ZeroSharingViews());
+  std::vector<core::AugmentedView> augmented;
+  for (const core::ViewDef& v : views) {
+    augmented.push_back(core::AugmentForSelfMaintenance(*p.catalog, v));
+  }
+  p.vlattice = lattice::BuildVLattice(*p.catalog, std::move(augmented));
+  p.plan = lattice::ChoosePlan(*p.catalog, p.vlattice);
+  return p;
+}
+
+void RunConfig(benchmark::State& state, const std::string& config,
+               bool mqo_enabled) {
+  Prepared p = Prepare(config);
+  const core::ChangeSet changes =
+      MakeChanges(*p.catalog, ChangeClass::kUpdate, kChangeSize, 9);
+  core::PropagateOptions popts;
+  popts.mqo_enabled = mqo_enabled;
+
+  lattice::MqoStats mqo;
+  double total = 0;
+  size_t runs = 0;
+  for (auto _ : state) {
+    core::Stopwatch sw;
+    lattice::LatticePropagateResult result =
+        lattice::PropagateAll(*p.catalog, p.vlattice, p.plan, changes, popts);
+    const double s = sw.ElapsedSeconds();
+    state.SetIterationTime(s);
+    total += s;
+    ++runs;
+    mqo = result.mqo;
+    benchmark::DoNotOptimize(result.deltas.data());
+  }
+  state.counters["subplans_materialized"] =
+      static_cast<double>(mqo.subplans_materialized);
+  state.counters["rows_reused"] = static_cast<double>(mqo.rows_reused);
+
+  obs::Json e = obs::Json::Object();
+  e.Set("config", obs::Json::Str(config));
+  e.Set("mqo", obs::Json::Str(mqo_enabled ? "on" : "off"));
+  e.Set("threads", obs::Json::Int(1));  // serial: the sharing ablation
+  e.Set("host_cpus", obs::Json::Int(static_cast<int64_t>(
+                         std::thread::hardware_concurrency())));
+  e.Set("ms", obs::Json::Double(total / static_cast<double>(runs) * 1e3));
+  e.Set("subplans_detected",
+        obs::Json::Int(static_cast<int64_t>(mqo.subplans_detected)));
+  e.Set("subplans_materialized",
+        obs::Json::Int(static_cast<int64_t>(mqo.subplans_materialized)));
+  e.Set("rows_reused", obs::Json::Int(static_cast<int64_t>(mqo.rows_reused)));
+  e.Set("rule_fires", obs::Json::Int(static_cast<int64_t>(mqo.rules.Total())));
+  MqoEntries().push_back(std::move(e));
+}
+
+void BM_HighSharingMqoOn(benchmark::State& state) {
+  RunConfig(state, "high_sharing", true);
+}
+void BM_HighSharingMqoOff(benchmark::State& state) {
+  RunConfig(state, "high_sharing", false);
+}
+void BM_ZeroSharingMqoOn(benchmark::State& state) {
+  RunConfig(state, "zero_sharing", true);
+}
+void BM_ZeroSharingMqoOff(benchmark::State& state) {
+  RunConfig(state, "zero_sharing", false);
+}
+
+BENCHMARK(BM_HighSharingMqoOn)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(5);
+BENCHMARK(BM_HighSharingMqoOff)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(5);
+BENCHMARK(BM_ZeroSharingMqoOn)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(5);
+BENCHMARK(BM_ZeroSharingMqoOff)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(5);
+
+}  // namespace
+}  // namespace sdelta::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  sdelta::obs::MergeBenchJson("BENCH_mqo.json", "mqo", {"config", "mqo"},
+                              sdelta::bench::MqoEntries());
+  benchmark::Shutdown();
+  return 0;
+}

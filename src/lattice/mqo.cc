@@ -1,0 +1,710 @@
+#include "lattice/mqo.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_set>
+
+#include "core/view_def.h"
+#include "relational/group_key.h"
+#include "relational/operators.h"
+
+namespace sdelta::lattice {
+
+using core::DimensionJoin;
+using rel::Expression;
+
+namespace {
+
+uint64_t Fnv1a(const std::string& s) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// The parent summary-delta's schema at plan time: the view's output
+/// schema plus the hidden trailing taint column (see kTaintedColumn).
+rel::Schema DeltaSchema(const rel::Catalog& catalog,
+                        const core::AugmentedView& view) {
+  rel::Schema s = core::ViewOutputSchema(catalog, view.physical);
+  s.AddColumn(core::kTaintedColumn, rel::ValueType::kInt64);
+  return s;
+}
+
+/// Column names an operator reads from its input.
+void CollectRefs(const MqoOp& op, std::set<std::string>* out) {
+  switch (op.kind) {
+    case MqoOp::Kind::kJoin:
+      out->insert(op.join.fact_column);
+      break;
+    case MqoOp::Kind::kSelect:
+      if (op.predicate.has_value()) {
+        for (const std::string& c : op.predicate->ReferencedColumns()) {
+          out->insert(c);
+        }
+      }
+      break;
+    case MqoOp::Kind::kProject:
+      for (const std::string& c : op.columns) out->insert(c);
+      break;
+    case MqoOp::Kind::kAggregate:
+      for (const rel::GroupByColumn& g : op.group_by) out->insert(g.input);
+      for (const rel::AggregateSpec& a : op.aggregates) {
+        if (a.argument.has_value()) {
+          for (const std::string& c : a.argument->ReferencedColumns()) {
+            out->insert(c);
+          }
+        }
+      }
+      break;
+  }
+}
+
+void CollectRefs(const MqoChain& ops, std::set<std::string>* out) {
+  for (const MqoOp& op : ops) CollectRefs(op, out);
+}
+
+/// Exact distinct count of one column (dimension tables only — they are
+/// small by definition; fact columns use FK bounds instead of a scan).
+double ExactDistinct(const rel::Table& t, size_t col) {
+  std::unordered_set<rel::GroupKey, rel::GroupKeyHash> distinct;
+  for (size_t r = 0; r < t.NumRows(); ++r) {
+    distinct.insert(rel::GroupKey{t.ValueAt(r, col)});
+  }
+  return static_cast<double>(std::max<size_t>(distinct.size(), 1));
+}
+
+/// Cheap upper bound on the distinct values of a parent output column
+/// `bare` (a group-by output of `parent`): FK columns are bounded by the
+/// referenced dimension's row count, dimension attributes by an exact
+/// scan of the (small) dimension table, and anything else by the fact
+/// table's row count. nullopt when the column cannot be traced.
+std::optional<double> DistinctBound(const rel::Catalog& catalog,
+                                    const core::AugmentedView& parent,
+                                    const std::string& bare) {
+  const core::ViewDef& def = parent.physical;
+  const rel::Schema joined = core::JoinedSchema(catalog, def);
+  for (const std::string& g : def.group_by) {
+    if (rel::BareName(g) != bare) continue;
+    const std::string prov = joined.column(joined.Resolve(g)).name;
+    const size_t dot = prov.find('.');
+    const std::string table = prov.substr(0, dot);
+    const std::string column = prov.substr(dot + 1);
+    if (table == def.fact_table) {
+      const rel::ForeignKey* fk = catalog.FindForeignKey(table, column);
+      const std::string& bound_table = fk != nullptr ? fk->dim_table : table;
+      return static_cast<double>(
+          std::max<size_t>(catalog.GetTable(bound_table).NumRows(), 1));
+    }
+    const rel::Table& dim = catalog.GetTable(table);
+    return ExactDistinct(dim, dim.schema().Resolve(column));
+  }
+  return std::nullopt;
+}
+
+struct ExpandedChain {
+  size_t slot = 0;
+  size_t parent = 0;
+  MqoChain ops;
+  size_t num_joins = 0;
+  /// prefix_canon[L-1] encodes scan + the first L joins.
+  std::vector<std::string> prefix_canon;
+};
+
+struct Bucket {
+  size_t length = 0;  ///< joins covered by the prefix
+  size_t parent = 0;
+  std::string canonical;
+  std::vector<size_t> chain_idx;  ///< indexes into the chains vector
+};
+
+/// b is a proper prefix of k's canonical chain encoding.
+bool IsProperPrefix(const Bucket& b, const Bucket& k) {
+  return b.length < k.length && k.canonical.size() > b.canonical.size() &&
+         k.canonical.compare(0, b.canonical.size(), b.canonical) == 0 &&
+         k.canonical[b.canonical.size()] == '|';
+}
+
+}  // namespace
+
+std::string MqoOp::Canonical() const {
+  switch (kind) {
+    case Kind::kJoin:
+      return "join(" + join.dim_table + "," + join.fact_column + "=" +
+             join.dim_column + ")";
+    case Kind::kSelect:
+      return "select(" +
+             (predicate.has_value() ? predicate->ToString() : "") + ")";
+    case Kind::kProject: {
+      std::vector<std::string> sorted = columns;
+      std::sort(sorted.begin(), sorted.end());
+      std::string s = "project(";
+      for (size_t i = 0; i < sorted.size(); ++i) {
+        if (i > 0) s += ",";
+        s += sorted[i];
+      }
+      return s + ")";
+    }
+    case Kind::kAggregate: {
+      std::string s = "agg(";
+      for (size_t i = 0; i < group_by.size(); ++i) {
+        if (i > 0) s += ",";
+        s += group_by[i].input + ">" +
+             (group_by[i].output.empty() ? rel::BareName(group_by[i].input)
+                                         : group_by[i].output);
+      }
+      s += ";";
+      for (size_t i = 0; i < aggregates.size(); ++i) {
+        if (i > 0) s += ",";
+        s += aggregates[i].ToString();
+      }
+      return s + ")";
+    }
+  }
+  return "";
+}
+
+std::string MqoSharedSubplan::Description(const VLattice& lattice) const {
+  std::string d = shared_input.has_value()
+                      ? "shared#" + std::to_string(*shared_input)
+                      : "sd_" + lattice.views[parent_view].name();
+  for (const MqoOp& op : ops) {
+    switch (op.kind) {
+      case MqoOp::Kind::kJoin:
+        d += " join " + op.join.dim_table;
+        break;
+      case MqoOp::Kind::kAggregate: {
+        d += " preagg[";
+        for (size_t i = 0; i < op.group_by.size(); ++i) {
+          if (i > 0) d += ",";
+          d += op.group_by[i].input;
+        }
+        d += "]";
+        break;
+      }
+      case MqoOp::Kind::kSelect:
+        d += " select";
+        break;
+      case MqoOp::Kind::kProject:
+        d += " project";
+        break;
+    }
+  }
+  return d;
+}
+
+MqoPlan BuildMqoPlan(const rel::Catalog& catalog, const VLattice& lattice,
+                     const MaintenancePlan& plan,
+                     const core::ChangeSet& changes) {
+  MqoPlan out;
+  out.programs.resize(plan.steps.size());
+
+  // Same gating predicate as PropagateAll/BuildExplain: an edge is
+  // unusable when a dimension table it re-joins has a delta.
+  auto edge_usable = [&](const VLatticeEdge& edge) {
+    for (const DimensionJoin& j : edge.recipe.joins) {
+      auto it = changes.dimensions.find(j.dim_table);
+      if (it != changes.dimensions.end() && !it->second.empty()) return false;
+    }
+    return true;
+  };
+
+  // Same input estimate as BuildExplain's base steps (§4.1.4 fan-in).
+  auto base_input_estimate = [&](const core::AugmentedView& view) {
+    double est = static_cast<double>(changes.fact.size());
+    const double fact_rows = static_cast<double>(
+        catalog.GetTable(view.physical.fact_table).NumRows());
+    for (const DimensionJoin& j : view.physical.joins) {
+      auto it = changes.dimensions.find(j.dim_table);
+      if (it == changes.dimensions.end() || it->second.empty()) continue;
+      const double dim_rows = static_cast<double>(
+          std::max<size_t>(catalog.GetTable(j.dim_table).NumRows(), 1));
+      est += static_cast<double>(it->second.size()) * fact_rows / dim_rows;
+    }
+    return est;
+  };
+
+  // Wave numbers and estimated delta cardinalities, mirroring
+  // BuildExplain so shared-subplan estimates agree with the step tree.
+  std::vector<size_t> wave_of(lattice.views.size(), 0);
+  std::vector<double> est_delta_of(lattice.views.size(), 0);
+  std::vector<ExpandedChain> chains;
+  for (size_t slot = 0; slot < plan.steps.size(); ++slot) {
+    const PlanStep& step = plan.steps[slot];
+    const bool via_edge =
+        step.edge.has_value() && edge_usable(lattice.edges[*step.edge]);
+    double input_est = 0;
+    if (via_edge) {
+      const VLatticeEdge& edge = lattice.edges[*step.edge];
+      wave_of[step.view] = wave_of[edge.parent] + 1;
+      input_est = est_delta_of[edge.parent];
+    } else {
+      wave_of[step.view] = 0;
+      input_est = base_input_estimate(lattice.views[step.view]);
+    }
+    est_delta_of[step.view] = std::min(step.estimated_groups, input_est);
+    if (!via_edge) continue;
+
+    // Expand the via-edge step into its canonical chain: the edge's
+    // dimension joins in sorted order (joins over distinct unique-keyed
+    // dimensions commute; sorting normalizes chains so join order in
+    // one view's recipe cannot break a match with another's), then the
+    // final group-by. Summary-deltas always carry the taint column, so
+    // the Max(taint) ApplyDerivation appends at run time is part of the
+    // canonical aggregate here.
+    const core::DerivationRecipe& recipe = lattice.edges[*step.edge].recipe;
+    ExpandedChain chain;
+    chain.slot = slot;
+    chain.parent = lattice.edges[*step.edge].parent;
+    std::vector<DimensionJoin> joins = recipe.joins;
+    std::sort(joins.begin(), joins.end(),
+              [](const DimensionJoin& a, const DimensionJoin& b) {
+                if (a.dim_table != b.dim_table) return a.dim_table < b.dim_table;
+                if (a.fact_column != b.fact_column) {
+                  return a.fact_column < b.fact_column;
+                }
+                return a.dim_column < b.dim_column;
+              });
+    std::string canon = "scan(sd_" + lattice.views[chain.parent].name() + ")";
+    for (const DimensionJoin& j : joins) {
+      MqoOp op;
+      op.kind = MqoOp::Kind::kJoin;
+      op.join = j;
+      canon += "|" + op.Canonical();
+      chain.prefix_canon.push_back(canon);
+      chain.ops.push_back(std::move(op));
+    }
+    chain.num_joins = joins.size();
+    MqoOp agg;
+    agg.kind = MqoOp::Kind::kAggregate;
+    agg.group_by = recipe.group_by;
+    agg.aggregates = recipe.aggregates;
+    agg.aggregates.push_back(
+        rel::Max(Expression::Column(core::kTaintedColumn),
+                 core::kTaintedColumn));
+    chain.ops.push_back(std::move(agg));
+    chains.push_back(std::move(chain));
+  }
+
+  // Bucket every join prefix by its canonical encoding. std::map gives
+  // a deterministic iteration order; chains are visited in slot order,
+  // so each bucket's chain list is in plan order.
+  std::map<std::string, Bucket> buckets;
+  for (size_t c = 0; c < chains.size(); ++c) {
+    for (size_t l = 0; l < chains[c].num_joins; ++l) {
+      Bucket& b = buckets[chains[c].prefix_canon[l]];
+      if (b.chain_idx.empty()) {
+        b.length = l + 1;
+        b.parent = chains[c].parent;
+        b.canonical = chains[c].prefix_canon[l];
+      }
+      b.chain_idx.push_back(c);
+    }
+  }
+
+  std::vector<Bucket> detected;
+  for (const auto& [canon, b] : buckets) {
+    if (b.chain_idx.size() >= 2) detected.push_back(b);
+  }
+  out.stats.subplans_detected = detected.size();
+  if (detected.empty()) return out;
+
+  // Rule 1: extract-common-subplan. Decide which detected prefixes to
+  // materialize, longest first: a bucket is kept only if it has >= 2
+  // direct readers — chains it is the longest kept prefix of, plus kept
+  // longer buckets it is the direct base of. A bucket whose readers are
+  // all covered by a longer kept prefix would be materialized for one
+  // reader only and is skipped (this is why materialized <= detected).
+  std::vector<size_t> order(detected.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (detected[a].length != detected[b].length) {
+      return detected[a].length > detected[b].length;
+    }
+    if (detected[a].chain_idx[0] != detected[b].chain_idx[0]) {
+      return detected[a].chain_idx[0] < detected[b].chain_idx[0];
+    }
+    return detected[a].canonical < detected[b].canonical;
+  });
+  std::vector<bool> kept(detected.size(), false);
+  std::vector<size_t> covered_len(chains.size(), 0);
+  std::vector<std::optional<size_t>> base_of(detected.size());
+  for (size_t oi : order) {
+    const Bucket& b = detected[oi];
+    size_t readers = 0;
+    for (size_t c : b.chain_idx) {
+      if (covered_len[c] <= b.length) ++readers;
+    }
+    std::vector<size_t> dependent;
+    for (size_t kj = 0; kj < detected.size(); ++kj) {
+      if (!kept[kj] || base_of[kj].has_value()) continue;
+      if (IsProperPrefix(b, detected[kj])) {
+        ++readers;
+        dependent.push_back(kj);
+      }
+    }
+    if (readers < 2) continue;
+    kept[oi] = true;
+    for (size_t c : b.chain_idx) {
+      covered_len[c] = std::max(covered_len[c], b.length);
+    }
+    for (size_t kj : dependent) base_of[kj] = oi;
+  }
+
+  // Assign ids in materialization order: shorter prefixes first so a
+  // nested subplan's base always has a smaller id.
+  std::vector<size_t> kept_idx;
+  for (size_t i = 0; i < detected.size(); ++i) {
+    if (kept[i]) kept_idx.push_back(i);
+  }
+  if (kept_idx.empty()) return out;
+  std::sort(kept_idx.begin(), kept_idx.end(), [&](size_t a, size_t b) {
+    if (detected[a].length != detected[b].length) {
+      return detected[a].length < detected[b].length;
+    }
+    if (detected[a].chain_idx[0] != detected[b].chain_idx[0]) {
+      return detected[a].chain_idx[0] < detected[b].chain_idx[0];
+    }
+    return detected[a].canonical < detected[b].canonical;
+  });
+  std::vector<std::optional<size_t>> id_of(detected.size());
+  for (size_t id = 0; id < kept_idx.size(); ++id) id_of[kept_idx[id]] = id;
+
+  for (size_t id = 0; id < kept_idx.size(); ++id) {
+    const Bucket& b = detected[kept_idx[id]];
+    MqoSharedSubplan sp;
+    sp.id = id;
+    sp.fingerprint = Fnv1a(b.canonical);
+    sp.canonical = b.canonical;
+    sp.parent_view = b.parent;
+    sp.wave = wave_of[b.parent] + 1;
+    sp.estimated_rows = est_delta_of[b.parent];
+    if (base_of[kept_idx[id]].has_value()) {
+      sp.shared_input = id_of[*base_of[kept_idx[id]]];
+      sp.level = out.shared[*sp.shared_input].level + 1;
+    }
+    const ExpandedChain& chain = chains[b.chain_idx[0]];
+    const size_t from =
+        sp.shared_input.has_value()
+            ? detected[kept_idx[*sp.shared_input]].length
+            : 0;
+    sp.ops.assign(chain.ops.begin() + from, chain.ops.begin() + b.length);
+    sp.producer_slot = chain.slot;
+    out.shared.push_back(std::move(sp));
+  }
+
+  // Consumer programs: each chain reads its longest kept prefix and
+  // applies the residual operators (uncovered joins + final aggregate).
+  for (size_t c = 0; c < chains.size(); ++c) {
+    std::optional<size_t> target;
+    size_t target_len = 0;
+    for (size_t id = 0; id < kept_idx.size(); ++id) {
+      const Bucket& b = detected[kept_idx[id]];
+      if (b.length <= target_len) continue;
+      if (std::find(b.chain_idx.begin(), b.chain_idx.end(), c) !=
+          b.chain_idx.end()) {
+        target = id;
+        target_len = b.length;
+      }
+    }
+    if (!target.has_value()) continue;
+    MqoProgram& prog = out.programs[chains[c].slot];
+    prog.rewritten = true;
+    prog.shared_input = target;
+    prog.ops.assign(chains[c].ops.begin() + target_len, chains[c].ops.end());
+    out.shared[*target].consumer_slots.push_back(chains[c].slot);
+  }
+  for (MqoSharedSubplan& sp : out.shared) {
+    sp.refs = sp.consumer_slots.size();
+  }
+  for (const MqoSharedSubplan& sp : out.shared) {
+    if (sp.shared_input.has_value()) ++out.shared[*sp.shared_input].refs;
+  }
+  out.stats.subplans_materialized = out.shared.size();
+  out.stats.rules.extract_common_subplan = out.shared.size();
+
+  // Rule 2: push aggregation below a shared join. Applies to a root
+  // subplan with no nested dependents whose consumers are all plain
+  // final aggregates: group the parent delta by the union of the
+  // consumers' parent-side keys (plus the join FKs) before the shared
+  // joins. Legal only when every consumer aggregate is a bare-column
+  // SUM/MIN/MAX over the parent delta (SUMs must be integer so addition
+  // order cannot perturb bytes), and only worth it when the key-space
+  // bound is well under the parent's estimated delta cardinality.
+  for (MqoSharedSubplan& sp : out.shared) {
+    if (sp.shared_input.has_value()) continue;
+    bool extended = false;
+    for (const MqoSharedSubplan& other : out.shared) {
+      extended |= other.shared_input.has_value() &&
+                  *other.shared_input == sp.id;
+    }
+    if (extended || sp.consumer_slots.empty()) continue;
+    bool eligible = true;
+    for (size_t slot : sp.consumer_slots) {
+      const MqoChain& res = out.programs[slot].ops;
+      eligible &= res.size() == 1 && res[0].kind == MqoOp::Kind::kAggregate;
+    }
+    if (!eligible) continue;
+
+    const core::AugmentedView& parent = lattice.views[sp.parent_view];
+    const rel::Schema delta_schema = DeltaSchema(catalog, parent);
+    std::vector<std::string> keys;
+    auto add_key = [&](const std::string& k) {
+      if (std::find(keys.begin(), keys.end(), k) == keys.end()) {
+        keys.push_back(k);
+      }
+    };
+    for (const MqoOp& op : sp.ops) {
+      if (op.kind == MqoOp::Kind::kJoin) add_key(op.join.fact_column);
+    }
+    std::vector<rel::AggregateSpec> union_aggs;
+    bool ok = true;
+    for (size_t slot : sp.consumer_slots) {
+      const MqoOp& agg = out.programs[slot].ops[0];
+      for (const rel::GroupByColumn& g : agg.group_by) {
+        if (delta_schema.IndexOf(g.input).has_value()) {
+          add_key(g.input);
+        } else {
+          // Must be an attribute one of the shared joins provides.
+          const size_t dot = g.input.find('.');
+          bool provided = false;
+          for (const MqoOp& op : sp.ops) {
+            provided |= op.kind == MqoOp::Kind::kJoin &&
+                        dot != std::string::npos &&
+                        g.input.substr(0, dot) == op.join.dim_table;
+          }
+          ok &= provided;
+        }
+      }
+      for (const rel::AggregateSpec& a : agg.aggregates) {
+        ok &= (a.kind == rel::AggregateKind::kSum ||
+               a.kind == rel::AggregateKind::kMin ||
+               a.kind == rel::AggregateKind::kMax) &&
+              a.argument.has_value() &&
+              a.argument->kind() == Expression::Kind::kColumn;
+        if (!ok) break;
+        const std::optional<size_t> col =
+            delta_schema.IndexOf(a.argument->column_name());
+        ok &= col.has_value();
+        if (!ok) break;
+        if (a.kind == rel::AggregateKind::kSum) {
+          ok &= delta_schema.column(*col).type == rel::ValueType::kInt64;
+        }
+        bool merged = false;
+        for (const rel::AggregateSpec& u : union_aggs) {
+          if (u.output_name != a.output_name) continue;
+          merged = true;
+          ok &= u.kind == a.kind && *u.argument == *a.argument;
+        }
+        if (!merged) union_aggs.push_back(a);
+      }
+      if (!ok) break;
+    }
+    for (const rel::AggregateSpec& u : union_aggs) {
+      ok &= std::find(keys.begin(), keys.end(), u.output_name) == keys.end();
+    }
+    if (!ok) continue;
+
+    double key_product = 1.0;
+    for (const std::string& k : keys) {
+      const std::optional<double> bound = DistinctBound(catalog, parent, k);
+      if (!bound.has_value()) {
+        ok = false;
+        break;
+      }
+      key_product *= *bound;
+    }
+    if (!ok || key_product * 2.0 > est_delta_of[sp.parent_view]) continue;
+
+    MqoOp preagg;
+    preagg.kind = MqoOp::Kind::kAggregate;
+    for (const std::string& k : keys) {
+      preagg.group_by.push_back(rel::GroupByColumn{k, ""});
+    }
+    preagg.aggregates = union_aggs;
+    sp.ops.insert(sp.ops.begin(), std::move(preagg));
+    sp.preaggregated = true;
+    sp.preagg_keys = keys;
+    sp.estimated_rows = std::min(sp.estimated_rows, key_product);
+    // Consumers now re-aggregate the partials: same kind over the
+    // pre-aggregated column of the same output name (SUM of partial
+    // SUMs, MIN of partial MINs, ...).
+    for (size_t slot : sp.consumer_slots) {
+      for (rel::AggregateSpec& a : out.programs[slot].ops[0].aggregates) {
+        a.argument = Expression::Column(a.output_name);
+      }
+    }
+    ++out.stats.rules.push_agg_below_shared_join;
+  }
+
+  // Rule 3: prune shared columns. A root subplan whose chain starts
+  // with a join carries every parent-delta column through the join
+  // build; keep only what its own operators and all downstream readers
+  // (consumers + nested subplans, transitively) reference, plus the
+  // taint column the refresh contract requires.
+  std::vector<std::set<std::string>> needs(out.shared.size());
+  for (size_t id = out.shared.size(); id-- > 0;) {
+    const MqoSharedSubplan& sp = out.shared[id];
+    for (size_t slot : sp.consumer_slots) {
+      CollectRefs(out.programs[slot].ops, &needs[id]);
+    }
+    for (size_t other = 0; other < out.shared.size(); ++other) {
+      const MqoSharedSubplan& dep = out.shared[other];
+      if (!dep.shared_input.has_value() || *dep.shared_input != id) continue;
+      CollectRefs(dep.ops, &needs[id]);
+      needs[id].insert(needs[other].begin(), needs[other].end());
+    }
+  }
+  for (MqoSharedSubplan& sp : out.shared) {
+    if (sp.shared_input.has_value() || sp.ops.empty() ||
+        sp.ops[0].kind != MqoOp::Kind::kJoin) {
+      continue;
+    }
+    std::set<std::string> needed = needs[sp.id];
+    CollectRefs(sp.ops, &needed);
+    needed.insert(core::kTaintedColumn);
+    const rel::Schema delta_schema =
+        DeltaSchema(catalog, lattice.views[sp.parent_view]);
+    std::vector<std::string> keep;
+    for (const rel::Column& c : delta_schema.columns()) {
+      if (needed.count(c.name) != 0) keep.push_back(c.name);
+    }
+    if (keep.size() >= delta_schema.NumColumns()) continue;
+    MqoOp project;
+    project.kind = MqoOp::Kind::kProject;
+    project.columns = std::move(keep);
+    sp.ops.insert(sp.ops.begin(), std::move(project));
+    ++out.stats.rules.prune_shared_columns;
+  }
+
+  // Rule 4: collapse redundant Select/Project pairs the earlier rules
+  // (or hand-built chains) may have stacked.
+  for (MqoSharedSubplan& sp : out.shared) {
+    out.stats.rules.collapse_select_project += CollapseChain(&sp.ops);
+  }
+  for (MqoProgram& prog : out.programs) {
+    if (prog.rewritten) {
+      out.stats.rules.collapse_select_project += CollapseChain(&prog.ops);
+    }
+  }
+  return out;
+}
+
+size_t CollapseChain(MqoChain* chain) {
+  size_t removed = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i + 1 < chain->size(); ++i) {
+      const MqoOp& a = (*chain)[i];
+      const MqoOp& b = (*chain)[i + 1];
+      bool drop_first = false;
+      if (a.kind == MqoOp::Kind::kProject && b.kind == MqoOp::Kind::kProject) {
+        // Keep-list composition: if the outer list is a subset of the
+        // inner one, the inner projection is redundant.
+        drop_first = std::all_of(
+            b.columns.begin(), b.columns.end(), [&](const std::string& c) {
+              return std::find(a.columns.begin(), a.columns.end(), c) !=
+                     a.columns.end();
+            });
+      } else if (a.kind == MqoOp::Kind::kProject &&
+                 b.kind == MqoOp::Kind::kAggregate) {
+        // A GroupBy reads only the columns it references; a projection
+        // that keeps a superset of those adds nothing.
+        std::set<std::string> refs;
+        CollectRefs(b, &refs);
+        drop_first = std::all_of(
+            refs.begin(), refs.end(), [&](const std::string& c) {
+              return std::find(a.columns.begin(), a.columns.end(), c) !=
+                     a.columns.end();
+            });
+      } else if (a.kind == MqoOp::Kind::kSelect &&
+                 b.kind == MqoOp::Kind::kSelect) {
+        drop_first = a.predicate.has_value() == b.predicate.has_value() &&
+                     (!a.predicate.has_value() ||
+                      *a.predicate == *b.predicate);
+      }
+      if (drop_first) {
+        chain->erase(chain->begin() + static_cast<ptrdiff_t>(i));
+        ++removed;
+        changed = true;
+        break;
+      }
+    }
+  }
+  return removed;
+}
+
+rel::Table ExecuteMqoChain(const rel::Catalog& catalog, const MqoChain& ops,
+                           const rel::Table& input, exec::ThreadPool* pool,
+                           exec::OperatorStats* stats,
+                           size_t final_size_hint) {
+  const rel::Table* current = &input;
+  rel::Table owned;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const MqoOp& op = ops[i];
+    switch (op.kind) {
+      case MqoOp::Kind::kJoin:
+        owned = rel::HashJoin(*current, catalog.GetTable(op.join.dim_table),
+                              {{op.join.fact_column, op.join.dim_column}},
+                              op.join.dim_table, /*drop_right_keys=*/true,
+                              pool, stats);
+        break;
+      case MqoOp::Kind::kAggregate:
+        owned = rel::GroupBy(*current, op.group_by, op.aggregates, pool,
+                             stats,
+                             i + 1 == ops.size() ? final_size_hint : 0);
+        break;
+      case MqoOp::Kind::kSelect:
+        owned = rel::Select(*current, op.predicate.value(), pool, stats);
+        break;
+      case MqoOp::Kind::kProject: {
+        std::vector<rel::ProjectColumn> cols;
+        cols.reserve(op.columns.size());
+        for (const std::string& c : op.columns) {
+          cols.push_back(rel::ProjectColumn{c, Expression::Column(c)});
+        }
+        owned = rel::Project(*current, cols, pool, stats);
+        break;
+      }
+    }
+    current = &owned;
+  }
+  if (ops.empty()) owned = input;
+  return owned;
+}
+
+std::string FormatMqoReport(const MqoStats& stats,
+                            const std::vector<SharedExecution>& shared_execs) {
+  std::string s = "mqo: detected=" + std::to_string(stats.subplans_detected) +
+                  " materialized=" +
+                  std::to_string(stats.subplans_materialized) +
+                  " rows_reused=" + std::to_string(stats.rows_reused) +
+                  " bytes_cached=" + std::to_string(stats.bytes_cached) + "\n";
+  s += "rules: extract_common_subplan=" +
+       std::to_string(stats.rules.extract_common_subplan) +
+       " push_agg_below_shared_join=" +
+       std::to_string(stats.rules.push_agg_below_shared_join) +
+       " prune_shared_columns=" +
+       std::to_string(stats.rules.prune_shared_columns) +
+       " collapse_select_project=" +
+       std::to_string(stats.rules.collapse_select_project) + "\n";
+  if (shared_execs.empty()) {
+    s += "no shared subplans in the last batch\n";
+    return s;
+  }
+  for (const SharedExecution& ex : shared_execs) {
+    s += "shared #" + std::to_string(ex.id) + ": " + ex.description +
+         " refs=" + std::to_string(ex.refs) +
+         " executions=" + std::to_string(ex.executions) +
+         " input_rows=" + std::to_string(ex.input_rows) +
+         " rows=" + std::to_string(ex.rows) +
+         " bytes=" + std::to_string(ex.bytes) + "\n";
+  }
+  return s;
+}
+
+}  // namespace sdelta::lattice

@@ -1,0 +1,151 @@
+#ifndef SDELTA_LATTICE_MQO_H_
+#define SDELTA_LATTICE_MQO_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lattice/plan.h"
+
+namespace sdelta::lattice {
+
+/// Multi-query optimization across one batch's maintenance plans.
+///
+/// The §5.5 chooser costs each summary table's plan independently, yet
+/// sibling views in the D-lattice routinely repeat the same dimension
+/// joins over the same parent summary-delta (Figure 8: every child of
+/// SID_sales that needs a stores attribute re-joins stores). This layer
+/// sits between plan choice and execution:
+///
+///  1. every via-edge plan step is expanded into a canonical operator
+///     chain (scan parent delta -> dimension joins -> final group-by),
+///  2. join prefixes of those chains are fingerprinted; a prefix that
+///     occurs in >= 2 plans becomes a shared subplan, and
+///  3. a small order-deterministic rewrite-rule catalog turns the
+///     detection into an executable MqoPlan: extract-common-subplan
+///     (materialize once per batch, consumers become SharedScan),
+///     push-aggregation-below-a-shared-join when the consumers' keys
+///     allow it, prune unused columns from shared results, and collapse
+///     redundant Select/Project pairs.
+///
+/// BuildMqoPlan is a pure function of (catalog, lattice, plan, changes),
+/// so the resulting plan — and every mqo.* counter derived from it — is
+/// byte-identical across thread counts and repeated runs.
+
+/// One operator of an MQO chain. The chain for a via-edge step is
+/// scan(sd_parent) -> ops...; the last op of a consumer program is
+/// always the step's final kAggregate.
+struct MqoOp {
+  enum class Kind { kSelect, kProject, kJoin, kAggregate };
+  Kind kind = Kind::kProject;
+  /// kSelect: the predicate.
+  std::optional<rel::Expression> predicate;
+  /// kProject: columns to keep, by name, in input-schema order.
+  std::vector<std::string> columns;
+  /// kJoin: one dimension join (fact_column names the input column).
+  core::DimensionJoin join;
+  /// kAggregate: the group-by + aggregate specs.
+  std::vector<rel::GroupByColumn> group_by;
+  std::vector<rel::AggregateSpec> aggregates;
+
+  /// Canonical encoding for fingerprinting: column order inside Project
+  /// lists is sorted, expressions render via Expression::ToString, and
+  /// nothing of the *consuming* view's identity appears — so column
+  /// order and view identity never break a match.
+  std::string Canonical() const;
+};
+
+using MqoChain = std::vector<MqoOp>;
+
+/// How one plan step executes under MQO. Non-rewritten steps run the
+/// legacy path (ComputeSummaryDelta / ApplyDerivation) untouched.
+struct MqoProgram {
+  bool rewritten = false;
+  /// Shared subplan whose materialized result this step scans.
+  std::optional<size_t> shared_input;
+  /// Residual operators applied to the shared result (any joins the
+  /// shared prefix does not cover, then the final aggregate).
+  MqoChain ops;
+};
+
+/// One materialize-once-per-batch shared subplan.
+struct MqoSharedSubplan {
+  size_t id = 0;
+  /// FNV-1a hash of the canonical prefix encoding (display/metrics key;
+  /// bucketing compares the full canonical string, so collisions cannot
+  /// merge distinct subplans).
+  uint64_t fingerprint = 0;
+  std::string canonical;
+  /// View index whose summary-delta the subplan scans; nested subplans
+  /// scan the shared result `shared_input` instead.
+  size_t parent_view = 0;
+  std::optional<size_t> shared_input;
+  /// Nesting depth: 0 scans a summary-delta, k+1 scans a depth-k shared
+  /// result. Within a wave, depth-ordered materialization is the only
+  /// ordering constraint.
+  size_t level = 0;
+  MqoChain ops;
+  /// First consumer step (plan order) — EXPLAIN hangs the shared(#k)
+  /// annotation off this step.
+  size_t producer_slot = 0;
+  /// Plan-step slots that scan this result directly.
+  std::vector<size_t> consumer_slots;
+  /// Direct readers: consumer_slots plus nested subplans built on this.
+  size_t refs = 0;
+  /// D-lattice wave: one past the parent view's wave, i.e. the wave of
+  /// every consumer, so materialization slots into the wave pre-phase.
+  size_t wave = 0;
+  double estimated_rows = 0;
+  /// The push-agg-below-shared-join rule fired: ops start with a
+  /// pre-aggregation over these keys.
+  bool preaggregated = false;
+  std::vector<std::string> preagg_keys;
+
+  /// Deterministic label, e.g. "sd_SID_sales join stores".
+  std::string Description(const VLattice& lattice) const;
+};
+
+/// The batch's MQO plan: per-step programs (parallel to plan.steps) and
+/// the shared subplans in materialization (id) order.
+struct MqoPlan {
+  std::vector<MqoProgram> programs;
+  std::vector<MqoSharedSubplan> shared;
+  MqoStats stats;
+
+  bool any_sharing() const { return !shared.empty(); }
+};
+
+/// Detects shared subplans across the chosen maintenance plans for this
+/// change set and applies the rewrite-rule catalog. Uses the same
+/// edge-gating predicate as PropagateAll, so a dimension delta that
+/// disables an edge also removes its chain from sharing. Pure and
+/// deterministic.
+MqoPlan BuildMqoPlan(const rel::Catalog& catalog, const VLattice& lattice,
+                     const MaintenancePlan& plan,
+                     const core::ChangeSet& changes);
+
+/// The collapse-select-project rule, exposed for direct testing: merges
+/// adjacent keep-list Projects (outer subset of inner), drops a Project
+/// feeding an Aggregate that references only projected columns, and
+/// deduplicates identical adjacent Selects. Runs to fixpoint; returns
+/// the number of operators removed.
+size_t CollapseChain(MqoChain* chain);
+
+/// Executes a chain over `input` (joins resolve dimension tables from
+/// the catalog). `final_size_hint` pre-sizes the last op's GroupBy, as
+/// ApplyDerivation does.
+rel::Table ExecuteMqoChain(const rel::Catalog& catalog, const MqoChain& ops,
+                           const rel::Table& input, exec::ThreadPool* pool,
+                           exec::OperatorStats* stats,
+                           size_t final_size_hint = 0);
+
+/// Multi-line sharing report for one executed batch (the shell's `mqo`
+/// command): per-subplan description, refs, executions, rows, bytes,
+/// then the batch's MqoStats.
+std::string FormatMqoReport(const MqoStats& stats,
+                            const std::vector<SharedExecution>& shared_execs);
+
+}  // namespace sdelta::lattice
+
+#endif  // SDELTA_LATTICE_MQO_H_

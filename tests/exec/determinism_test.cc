@@ -236,6 +236,98 @@ TEST(DeterminismTest, ServiceCountersInvariantAcrossThreadCounts) {
   EXPECT_EQ(counters, eight.NonExecCounters());
 }
 
+// PR 9 satellite: MQO must be invisible in the results. On a view
+// family with real subplan sharing, the same randomized batch sequence
+// yields byte-identical summary tables with mqo_enabled on and off, at
+// every thread count — and the mqo.* counters themselves are a pure
+// function of the plan and change set, identical at 1, 2, and 8
+// threads.
+TEST(DeterminismTest, MqoOnAndOffByteIdenticalAcrossThreadCounts) {
+  auto sharing_views = [] {
+    auto view = [](const std::string& name,
+                   std::vector<core::DimensionJoin> joins,
+                   std::vector<std::string> group_by) {
+      core::ViewDef v;
+      v.name = name;
+      v.fact_table = "pos";
+      v.joins = std::move(joins);
+      v.group_by = std::move(group_by);
+      v.aggregates = {rel::CountStar("TotalCount"),
+                      rel::Sum(rel::Expression::Column("qty"),
+                               "TotalQuantity")};
+      return v;
+    };
+    const core::DimensionJoin stores{"stores", "storeID", "storeID"};
+    return std::vector<core::ViewDef>{
+        view("SID_sales", {}, {"storeID", "itemID", "date"}),
+        view("vCityItem", {stores}, {"city", "itemID"}),
+        view("vRegionDate", {stores}, {"region", "date"}),
+        view("vCityDate", {stores}, {"city", "date"})};
+  };
+
+  struct MqoInstance {
+    obs::MetricsRegistry metrics;
+    Warehouse wh;
+    MqoInstance(size_t num_threads, bool mqo,
+                const std::vector<core::ViewDef>& views)
+        : wh(MakeRetailCatalog(SmallConfig()), [&] {
+            Warehouse::Options options;
+            options.lattice_friendly = false;
+            options.num_threads = num_threads;
+            options.propagate.mqo_enabled = mqo;
+            options.metrics = &metrics;
+            return options;
+          }()) {
+      wh.DefineSummaryTables(views);
+    }
+    std::map<std::string, std::string> Snapshot() const {
+      std::map<std::string, std::string> out;
+      for (const core::AugmentedView& av : wh.vlattice().views) {
+        out[av.name()] = rel::ToCsvString(wh.summary(av.name()).ToTable());
+      }
+      return out;
+    }
+    std::map<std::string, uint64_t> MqoCounters() const {
+      std::map<std::string, uint64_t> out;
+      for (const auto& [name, value] : metrics.Snapshot().counters) {
+        if (name.rfind("mqo.", 0) == 0) out[name] = value;
+      }
+      return out;
+    }
+  };
+
+  const std::vector<core::ViewDef> views = sharing_views();
+  MqoInstance on1(1, true, views);
+  MqoInstance on2(2, true, views);
+  MqoInstance on8(8, true, views);
+  MqoInstance off1(1, false, views);
+
+  for (uint64_t seed : {71u, 72u, 73u}) {
+    SCOPED_TRACE("batch seed " + std::to_string(seed));
+    for (MqoInstance* inst : {&on1, &on2, &on8, &off1}) {
+      const core::ChangeSet changes =
+          seed == 72u
+              ? MakeInsertionGeneratingChanges(inst->wh.catalog(), 300, seed)
+              : MakeUpdateGeneratingChanges(inst->wh.catalog(), 450, seed);
+      inst->wh.RunBatch(changes);
+    }
+    const auto expected = on1.Snapshot();
+    EXPECT_EQ(expected, on2.Snapshot());
+    EXPECT_EQ(expected, on8.Snapshot());
+    EXPECT_EQ(expected, off1.Snapshot());
+  }
+
+  const auto counters = on1.MqoCounters();
+  EXPECT_FALSE(counters.empty());
+  EXPECT_GT(counters.at("mqo.subplans_materialized"), 0u);
+  EXPECT_GT(counters.at("mqo.rows_reused"), 0u);
+  EXPECT_EQ(counters, on2.MqoCounters());
+  EXPECT_EQ(counters, on8.MqoCounters());
+  // mqo off: the series are absent entirely (no spurious zero counters
+  // from a disabled subsystem).
+  EXPECT_TRUE(off1.MqoCounters().empty());
+}
+
 TEST(DeterminismTest, PropagateOnlyStatsMatchAcrossThreadCounts) {
   Instance serial(1);
   Instance four(4);

@@ -1,0 +1,437 @@
+// Multi-query optimization across one batch's maintenance plans
+// (lattice/mqo.h): canonical fingerprinting of join subtrees, the
+// rewrite-rule catalog, and the execute-once shared-result cache.
+//
+// The load-bearing properties mirror the EXPLAIN suite:
+//   1. Correctness — summary tables are byte-identical with MQO on and
+//      off, serial and pooled alike, including when the push-agg rule
+//      rewrites the shared subplan.
+//   2. Exactness — on a high-sharing view family, EXPLAIN ANALYZE
+//      actuals show every shared subplan executing exactly once per
+//      batch while being read by >= 2 consumers.
+//   3. Determinism — renderings and every mqo.* counter are identical
+//      across num_threads 1, 2, and 8.
+#include "lattice/mqo.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "relational/csv.h"
+#include "warehouse/retail_schema.h"
+#include "warehouse/warehouse.h"
+#include "warehouse/workload.h"
+
+namespace sdelta::lattice {
+namespace {
+
+warehouse::RetailConfig SmallConfig() {
+  warehouse::RetailConfig config;
+  config.num_stores = 15;
+  config.num_cities = 6;
+  config.num_regions = 3;
+  config.num_items = 80;
+  config.num_categories = 8;
+  config.num_dates = 30;
+  config.num_pos_rows = 2500;
+  config.seed = 913;
+  return config;
+}
+
+core::ViewDef View(const std::string& name,
+                   std::vector<core::DimensionJoin> joins,
+                   std::vector<std::string> group_by) {
+  core::ViewDef v;
+  v.name = name;
+  v.fact_table = "pos";
+  v.joins = std::move(joins);
+  v.group_by = std::move(group_by);
+  v.aggregates = {rel::CountStar("TotalCount"),
+                  rel::Sum(rel::Expression::Column("qty"), "TotalQuantity")};
+  return v;
+}
+
+const core::DimensionJoin kStores{"stores", "storeID", "storeID"};
+const core::DimensionJoin kItems{"items", "itemID", "itemID"};
+
+/// Three pairwise-incomparable children of SID_sales, each re-joining
+/// stores: the chooser derives all three from sd_SID_sales, so the
+/// [join stores] prefix occurs in three plans.
+std::vector<core::ViewDef> HighSharingViews() {
+  return {View("SID_sales", {}, {"storeID", "itemID", "date"}),
+          View("vCityItem", {kStores}, {"city", "itemID"}),
+          View("vRegionDate", {kStores}, {"region", "date"}),
+          View("vCityDate", {kStores}, {"city", "date"})};
+}
+
+/// Consumers whose only parent-side key is the storeID join column, so
+/// the push-agg-below-shared-join key product (num_stores) is far under
+/// the parent's delta estimate.
+std::vector<core::ViewDef> PushdownViews() {
+  return {View("SID_sales", {}, {"storeID", "itemID", "date"}),
+          View("vCity", {kStores}, {"city"}),
+          View("vRegion", {kStores}, {"region"})};
+}
+
+/// Chains [items]+agg, [items,stores]+agg, [items,stores]+agg: the
+/// two-join prefix is kept for the city/region views and the one-join
+/// prefix is kept as its base (read by vCatDate plus the nested
+/// subplan).
+std::vector<core::ViewDef> NestedViews() {
+  return {View("SID_sales", {}, {"storeID", "itemID", "date"}),
+          View("vCatDate", {kItems}, {"category", "date"}),
+          View("vCityCat", {kItems, kStores}, {"city", "category"}),
+          View("vRegionCat", {kItems, kStores}, {"region", "category"})};
+}
+
+/// Neither consumer reads itemID, so the prune rule projects it out of
+/// the shared join input; the {storeID, date} key product (450) exceeds
+/// half the 300-row delta estimate, so push-agg stays off and the chain
+/// still starts with the join prune requires.
+std::vector<core::ViewDef> PruneViews() {
+  return {View("SID_sales", {}, {"storeID", "itemID", "date"}),
+          View("vCityDate", {kStores}, {"city", "date"}),
+          View("vRegionDate", {kStores}, {"region", "date"})};
+}
+
+warehouse::Warehouse MakeWh(const std::vector<core::ViewDef>& views,
+                            size_t num_threads, bool mqo_enabled,
+                            obs::MetricsRegistry* metrics = nullptr) {
+  warehouse::Warehouse::Options options;
+  // Hand-built families: no FD extension, so the sharing structure is
+  // exactly what each test constructs.
+  options.lattice_friendly = false;
+  options.num_threads = num_threads;
+  options.propagate.mqo_enabled = mqo_enabled;
+  options.metrics = metrics;
+  warehouse::Warehouse wh(warehouse::MakeRetailCatalog(SmallConfig()),
+                          options);
+  wh.DefineSummaryTables(views);
+  return wh;
+}
+
+std::map<std::string, std::string> Snapshot(const warehouse::Warehouse& wh) {
+  std::map<std::string, std::string> out;
+  for (const core::AugmentedView& av : wh.vlattice().views) {
+    out[av.name()] = rel::ToCsvString(wh.summary(av.name()).ToTable());
+  }
+  return out;
+}
+
+TEST(MqoTest, DetectsSharedJoinAcrossSiblingPlans) {
+  warehouse::Warehouse wh = MakeWh(HighSharingViews(), 1, true);
+  const core::ChangeSet changes =
+      warehouse::MakeUpdateGeneratingChanges(wh.catalog(), 800, 7);
+  const MqoPlan mqo =
+      BuildMqoPlan(wh.catalog(), wh.vlattice(), wh.plan(), changes);
+
+  EXPECT_EQ(mqo.stats.subplans_detected, 1u);
+  ASSERT_EQ(mqo.shared.size(), 1u);
+  const MqoSharedSubplan& sp = mqo.shared[0];
+  EXPECT_EQ(sp.id, 0u);
+  EXPECT_EQ(sp.refs, 3u);
+  EXPECT_EQ(sp.consumer_slots.size(), 3u);
+  EXPECT_FALSE(sp.shared_input.has_value());
+  EXPECT_EQ(sp.level, 0u);
+  EXPECT_EQ(sp.canonical.rfind("scan(sd_SID_sales)", 0), 0u) << sp.canonical;
+  EXPECT_NE(sp.canonical.find("join(stores"), std::string::npos);
+  EXPECT_EQ(sp.Description(wh.vlattice()), "sd_SID_sales join stores");
+
+  // Every consumer program ends in its own final aggregate; the shared
+  // prefix covers the single join, so that aggregate is the whole
+  // residual chain.
+  size_t rewritten = 0;
+  for (const MqoProgram& prog : mqo.programs) {
+    if (!prog.rewritten) continue;
+    ++rewritten;
+    ASSERT_EQ(prog.shared_input, std::optional<size_t>(0));
+    ASSERT_FALSE(prog.ops.empty());
+    EXPECT_EQ(prog.ops.back().kind, MqoOp::Kind::kAggregate);
+  }
+  EXPECT_EQ(rewritten, 3u);
+  EXPECT_EQ(mqo.stats.subplans_materialized, 1u);
+  EXPECT_LE(mqo.stats.subplans_materialized, mqo.stats.subplans_detected);
+  EXPECT_EQ(mqo.stats.rules.extract_common_subplan, 1u);
+}
+
+TEST(MqoTest, NestedPrefixesShareTheirBase) {
+  warehouse::Warehouse wh = MakeWh(NestedViews(), 1, true);
+  const core::ChangeSet changes =
+      warehouse::MakeUpdateGeneratingChanges(wh.catalog(), 800, 11);
+  const MqoPlan mqo =
+      BuildMqoPlan(wh.catalog(), wh.vlattice(), wh.plan(), changes);
+
+  // [items] (read by vCatDate + the nested subplan) and [items, stores]
+  // (read by vCityCat + vRegionCat).
+  EXPECT_EQ(mqo.stats.subplans_detected, 2u);
+  ASSERT_EQ(mqo.shared.size(), 2u);
+  const MqoSharedSubplan& base = mqo.shared[0];
+  const MqoSharedSubplan& nested = mqo.shared[1];
+  EXPECT_FALSE(base.shared_input.has_value());
+  EXPECT_EQ(base.level, 0u);
+  EXPECT_EQ(base.refs, 2u);  // vCatDate + the nested subplan
+  ASSERT_TRUE(nested.shared_input.has_value());
+  EXPECT_EQ(*nested.shared_input, 0u);
+  EXPECT_EQ(nested.level, 1u);
+  EXPECT_EQ(nested.refs, 2u);  // vCityCat + vRegionCat
+  EXPECT_EQ(nested.Description(wh.vlattice()), "shared#0 join stores");
+  // The nested chain holds only the uncovered join.
+  ASSERT_EQ(nested.ops.size(), 1u);
+  EXPECT_EQ(nested.ops[0].kind, MqoOp::Kind::kJoin);
+  EXPECT_EQ(nested.ops[0].join.dim_table, "stores");
+}
+
+TEST(MqoTest, StockRetailPlanHasNoSharing) {
+  // The four paper views re-join distinct dimensions (sCD_sales joins
+  // stores, SiC_sales joins items, sR_sales derives join-free), so MQO
+  // on by default leaves the stock plan untouched.
+  warehouse::Warehouse::Options options;
+  warehouse::Warehouse wh(warehouse::MakeRetailCatalog(SmallConfig()),
+                          options);
+  wh.DefineSummaryTables(warehouse::RetailSummaryTables());
+  const core::ChangeSet changes =
+      warehouse::MakeUpdateGeneratingChanges(wh.catalog(), 800, 3);
+  const MqoPlan mqo =
+      BuildMqoPlan(wh.catalog(), wh.vlattice(), wh.plan(), changes);
+  EXPECT_FALSE(mqo.any_sharing());
+  EXPECT_EQ(mqo.stats.subplans_detected, 0u);
+  for (const MqoProgram& prog : mqo.programs) {
+    EXPECT_FALSE(prog.rewritten);
+  }
+  // And the whole batch runs unchanged: EXPLAIN shows no shared steps.
+  EXPECT_TRUE(wh.Explain(changes).shared.empty());
+}
+
+TEST(MqoTest, PushAggBelowSharedJoinFiresWhenKeysAreSmall) {
+  warehouse::Warehouse wh = MakeWh(PushdownViews(), 1, true);
+  const core::ChangeSet changes =
+      warehouse::MakeUpdateGeneratingChanges(wh.catalog(), 800, 13);
+  const MqoPlan mqo =
+      BuildMqoPlan(wh.catalog(), wh.vlattice(), wh.plan(), changes);
+
+  ASSERT_EQ(mqo.shared.size(), 1u);
+  const MqoSharedSubplan& sp = mqo.shared[0];
+  EXPECT_EQ(mqo.stats.rules.push_agg_below_shared_join, 1u);
+  EXPECT_TRUE(sp.preaggregated);
+  ASSERT_EQ(sp.preagg_keys.size(), 1u);
+  EXPECT_EQ(sp.preagg_keys[0], "storeID");
+  ASSERT_GE(sp.ops.size(), 2u);
+  EXPECT_EQ(sp.ops[0].kind, MqoOp::Kind::kAggregate);
+  EXPECT_EQ(sp.ops[1].kind, MqoOp::Kind::kJoin);
+  // The pre-aggregation caps the shared result at the key space.
+  EXPECT_LE(sp.estimated_rows, 15.0);
+  // Consumers re-aggregate the partials by output column name.
+  for (size_t slot : sp.consumer_slots) {
+    for (const rel::AggregateSpec& a :
+         mqo.programs[slot].ops.back().aggregates) {
+      ASSERT_TRUE(a.argument.has_value());
+      EXPECT_EQ(a.argument->kind(), rel::Expression::Kind::kColumn);
+      EXPECT_EQ(a.argument->column_name(), a.output_name);
+    }
+  }
+}
+
+TEST(MqoTest, PruneDropsColumnsNoReaderReferences) {
+  warehouse::Warehouse wh = MakeWh(PruneViews(), 1, true);
+  // 300 fact rows keep the {storeID, date} key product (450) above the
+  // push-agg benefit gate, leaving the join-first chain prune needs.
+  const core::ChangeSet changes =
+      warehouse::MakeUpdateGeneratingChanges(wh.catalog(), 300, 17);
+  const MqoPlan mqo =
+      BuildMqoPlan(wh.catalog(), wh.vlattice(), wh.plan(), changes);
+
+  ASSERT_EQ(mqo.shared.size(), 1u);
+  const MqoSharedSubplan& sp = mqo.shared[0];
+  EXPECT_FALSE(sp.preaggregated);
+  EXPECT_EQ(mqo.stats.rules.push_agg_below_shared_join, 0u);
+  EXPECT_EQ(mqo.stats.rules.prune_shared_columns, 1u);
+  ASSERT_GE(sp.ops.size(), 2u);
+  ASSERT_EQ(sp.ops[0].kind, MqoOp::Kind::kProject);
+  const std::vector<std::string>& keep = sp.ops[0].columns;
+  // itemID feeds neither consumer; the taint column always survives.
+  EXPECT_EQ(std::count(keep.begin(), keep.end(), "itemID"), 0);
+  EXPECT_EQ(std::count(keep.begin(), keep.end(), "storeID"), 1);
+  EXPECT_EQ(std::count(keep.begin(), keep.end(), "date"), 1);
+  EXPECT_EQ(std::count(keep.begin(), keep.end(), core::kTaintedColumn), 1);
+}
+
+TEST(MqoTest, SummariesByteIdenticalWithMqoOnAndOff) {
+  for (const auto& [label, views] :
+       {std::pair<std::string, std::vector<core::ViewDef>>{
+            "high_sharing", HighSharingViews()},
+        {"pushdown", PushdownViews()},
+        {"nested", NestedViews()}}) {
+    SCOPED_TRACE(label);
+    warehouse::Warehouse on = MakeWh(views, 1, true);
+    warehouse::Warehouse off = MakeWh(views, 1, false);
+    warehouse::Warehouse pooled_on = MakeWh(views, 4, true);
+    for (uint64_t seed : {101u, 202u, 303u}) {
+      for (warehouse::Warehouse* wh : {&on, &off, &pooled_on}) {
+        const core::ChangeSet changes =
+            seed == 202u
+                ? warehouse::MakeInsertionGeneratingChanges(wh->catalog(),
+                                                           300, seed)
+                : warehouse::MakeUpdateGeneratingChanges(wh->catalog(), 400,
+                                                         seed);
+        const warehouse::BatchReport report = wh->RunBatch(changes);
+        if (wh == &on) {
+          EXPECT_GT(report.mqo.subplans_materialized, 0u);
+        } else if (wh == &off) {
+          EXPECT_EQ(report.mqo.subplans_materialized, 0u);
+          EXPECT_TRUE(report.shared_execs.empty());
+        }
+      }
+      const auto expected = Snapshot(on);
+      EXPECT_EQ(expected, Snapshot(off));
+      EXPECT_EQ(expected, Snapshot(pooled_on));
+    }
+  }
+}
+
+TEST(MqoTest, SharedSubplansExecuteOncePerBatch) {
+  warehouse::Warehouse wh = MakeWh(HighSharingViews(), 2, true);
+  const core::ChangeSet changes =
+      warehouse::MakeUpdateGeneratingChanges(wh.catalog(), 800, 19);
+  warehouse::BatchReport report;
+  const ExplainResult explain = wh.ExplainAnalyze(changes, &report);
+
+  ASSERT_FALSE(explain.shared.empty());
+  for (const ExplainShared& sh : explain.shared) {
+    SCOPED_TRACE(sh.description);
+    EXPECT_TRUE(sh.has_actuals);
+    // The MQO contract: one materialization per batch, >= 2 readers.
+    EXPECT_EQ(sh.executions, 1u);
+    EXPECT_GE(sh.refs, 2u);
+    EXPECT_GT(sh.rows, 0u);
+    EXPECT_GT(sh.bytes, 0u);
+  }
+  EXPECT_GT(report.mqo.rows_reused, 0u);
+  EXPECT_GT(report.mqo.bytes_cached, 0u);
+
+  // All three renderings carry the sharing annotations.
+  const std::string text = explain.ToText();
+  EXPECT_NE(text.find("shared(#0, refs=3)"), std::string::npos) << text;
+  EXPECT_NE(text.find("SharedScan(#0)"), std::string::npos);
+  EXPECT_NE(text.find("act executions=1"), std::string::npos);
+  const std::string dot = explain.ToDot();
+  EXPECT_NE(dot.find("\"shared#0\""), std::string::npos);
+  const obs::Json doc = explain.ToJson();
+  const obs::Json* shared = doc.Find("shared");
+  ASSERT_NE(shared, nullptr);
+  ASSERT_EQ(shared->items().size(), explain.shared.size());
+  const obs::Json& first = shared->items()[0];
+  EXPECT_EQ(first.Find("refs")->as_int(), 3);
+  ASSERT_NE(first.Find("actual"), nullptr);
+  EXPECT_EQ(first.Find("actual")->Find("executions")->as_int(), 1);
+  // Consumer steps carry the shared_scan reference.
+  size_t consumers = 0;
+  for (const obs::Json& step : doc.Find("steps")->items()) {
+    if (step.Find("shared_scan") != nullptr) ++consumers;
+  }
+  EXPECT_EQ(consumers, 3u);
+}
+
+TEST(MqoTest, RenderingsAndCountersAreThreadInvariant) {
+  struct Run {
+    std::string text;
+    std::string dot;
+    std::string json;
+    std::map<std::string, uint64_t> mqo_counters;
+  };
+  auto run = [](size_t num_threads) {
+    obs::MetricsRegistry metrics;
+    warehouse::Warehouse wh =
+        MakeWh(HighSharingViews(), num_threads, true, &metrics);
+    const core::ChangeSet changes =
+        warehouse::MakeUpdateGeneratingChanges(wh.catalog(), 600, 23);
+    const ExplainResult explain = wh.ExplainAnalyze(changes);
+    Run out{explain.ToText(), explain.ToDot(), explain.ToJson().Dump(1), {}};
+    for (const auto& [name, value] : metrics.Snapshot().counters) {
+      if (name.rfind("mqo.", 0) == 0) out.mqo_counters[name] = value;
+    }
+    return out;
+  };
+  const Run serial = run(1);
+  const Run two = run(2);
+  const Run eight = run(8);
+  EXPECT_FALSE(serial.mqo_counters.empty());
+  EXPECT_GT(serial.mqo_counters.at("mqo.rows_reused"), 0u);
+  EXPECT_EQ(serial.mqo_counters, two.mqo_counters);
+  EXPECT_EQ(serial.mqo_counters, eight.mqo_counters);
+  EXPECT_EQ(serial.text, two.text);
+  EXPECT_EQ(serial.text, eight.text);
+  EXPECT_EQ(serial.dot, two.dot);
+  EXPECT_EQ(serial.dot, eight.dot);
+  EXPECT_EQ(serial.json, two.json);
+  EXPECT_EQ(serial.json, eight.json);
+}
+
+TEST(MqoTest, MqoMetricSeriesExistEvenWithoutSharing) {
+  obs::MetricsRegistry metrics;
+  warehouse::Warehouse::Options options;
+  options.metrics = &metrics;
+  warehouse::Warehouse wh(warehouse::MakeRetailCatalog(SmallConfig()),
+                          options);
+  wh.DefineSummaryTables(warehouse::RetailSummaryTables());
+  wh.RunBatch(warehouse::MakeUpdateGeneratingChanges(wh.catalog(), 200, 29));
+  const auto counters = metrics.Snapshot().counters;
+  EXPECT_EQ(counters.at("mqo.subplans_detected"), 0u);
+  EXPECT_EQ(counters.at("mqo.subplans_materialized"), 0u);
+  EXPECT_EQ(counters.at("mqo.rows_reused"), 0u);
+  EXPECT_EQ(counters.at("mqo.rule_fires"), 0u);
+}
+
+MqoOp Project(std::vector<std::string> columns) {
+  MqoOp op;
+  op.kind = MqoOp::Kind::kProject;
+  op.columns = std::move(columns);
+  return op;
+}
+
+TEST(MqoTest, CollapseChainMergesStackedProjects) {
+  MqoChain chain = {Project({"a", "b", "c"}), Project({"a", "b"})};
+  EXPECT_EQ(CollapseChain(&chain), 1u);
+  ASSERT_EQ(chain.size(), 1u);
+  EXPECT_EQ(chain[0].columns, (std::vector<std::string>{"a", "b"}));
+
+  // The inner project stays when the outer one needs a column it drops.
+  MqoChain keep = {Project({"a"}), Project({"a", "b"})};
+  EXPECT_EQ(CollapseChain(&keep), 0u);
+  EXPECT_EQ(keep.size(), 2u);
+}
+
+TEST(MqoTest, CollapseChainDropsProjectCoveringAggregate) {
+  MqoOp agg;
+  agg.kind = MqoOp::Kind::kAggregate;
+  agg.group_by = {rel::GroupByColumn{"a", ""}};
+  agg.aggregates = {rel::Sum(rel::Expression::Column("b"), "s")};
+  MqoChain chain = {Project({"a", "b"}), agg};
+  EXPECT_EQ(CollapseChain(&chain), 1u);
+  ASSERT_EQ(chain.size(), 1u);
+  EXPECT_EQ(chain[0].kind, MqoOp::Kind::kAggregate);
+
+  // A project the aggregate actually narrows through must stay... but a
+  // keep-list missing a referenced column is kept as-is.
+  MqoChain narrow = {Project({"a"}), agg};
+  EXPECT_EQ(CollapseChain(&narrow), 0u);
+  EXPECT_EQ(narrow.size(), 2u);
+}
+
+TEST(MqoTest, CollapseChainDeduplicatesIdenticalSelects) {
+  MqoOp sel;
+  sel.kind = MqoOp::Kind::kSelect;
+  sel.predicate =
+      rel::Expression::Eq(rel::Expression::Column("a"),
+                          rel::Expression::Literal(rel::Value::Int64(1)));
+  MqoChain chain = {sel, sel};
+  EXPECT_EQ(CollapseChain(&chain), 1u);
+  EXPECT_EQ(chain.size(), 1u);
+}
+
+}  // namespace
+}  // namespace sdelta::lattice
