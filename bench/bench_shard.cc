@@ -1,0 +1,128 @@
+// Sharded-refresh scaling (DESIGN.md §15): per-batch refresh time with
+// the summary state hash-partitioned into 1, 2, and 8 shards, each
+// slice refreshing as an independent per-shard pipeline on the parallel
+// engine. Results merge into BENCH_shard.json.
+//
+// The CI bench gate checks two kinds of facts:
+//   - exact counts: delta_rows (total routed summary-delta rows) and
+//     composed_rows (total rows across composed views after the run)
+//     are byte-identity consequences of the routing invariant — any
+//     drift means rows crossed shards or got lost;
+//   - shard_refresh_speedup vs the single-shard run, gated only when
+//     shard_scaling_meaningful (host_cpus > 1): on a one-core host all
+//     shards share the core and the speedup honestly hovers around 1x,
+//     so the gate falls back to counts alone.
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/maintenance.h"
+#include "obs/export_json.h"
+#include "obs/metrics.h"
+#include "shard/sharded_maintenance.h"
+
+namespace sdelta::bench {
+namespace {
+
+constexpr size_t kPosRows = 200000;
+constexpr size_t kChangeRows = 10000;
+constexpr int kBatches = 3;
+
+struct Measurement {
+  size_t shards = 1;
+  double refresh_seconds = 0;  // mean per-batch wall time of RunBatch
+  uint64_t delta_rows = 0;     // total routed summary-delta rows
+  size_t composed_rows = 0;    // total view rows after the run
+};
+
+Measurement MeasureAt(size_t num_shards, size_t num_threads) {
+  Measurement m;
+  m.shards = num_shards;
+  obs::MetricsRegistry metrics;
+  warehouse::Warehouse::Options options;
+  options.num_threads = num_threads;
+  options.metrics = &metrics;
+  warehouse::Warehouse wh(
+      warehouse::MakeRetailCatalog(PaperConfig(kPosRows)), options);
+  wh.DefineSummaryTables(warehouse::RetailSummaryTables());
+  shard::ShardedMaintenance shards(&wh, num_shards, &metrics);
+
+  // Same change-set trajectory at every shard count: the warehouses
+  // evolve in lockstep, so delta_rows / composed_rows must agree.
+  for (int batch = 0; batch < kBatches; ++batch) {
+    const core::ChangeSet changes = MakeChanges(
+        wh.catalog(), ChangeClass::kUpdate, kChangeRows,
+        700 + static_cast<uint64_t>(batch));
+    core::Stopwatch sw;
+    shards.RunBatch(changes);
+    m.refresh_seconds += sw.ElapsedSeconds() / kBatches;
+  }
+  for (size_t s = 0; s < num_shards; ++s) {
+    m.delta_rows += shards.total_delta_rows(s);
+  }
+  for (size_t v = 0; v < wh.vlattice().views.size(); ++v) {
+    m.composed_rows += shards.ComposeView(v).NumRows();
+  }
+  return m;
+}
+
+}  // namespace
+}  // namespace sdelta::bench
+
+int main() {
+  using namespace sdelta::bench;
+  using sdelta::obs::Json;
+
+  const int64_t host_cpus =
+      static_cast<int64_t>(std::thread::hardware_concurrency());
+  // Threads track the shard count (capped at the host) so each shard's
+  // refresh can own an execution context; the single-shard run is the
+  // serial baseline.
+  std::printf("bench_shard: %zu pos rows, %zu change rows, host_cpus=%lld\n",
+              kPosRows, kChangeRows, static_cast<long long>(host_cpus));
+
+  std::vector<Measurement> results;
+  for (size_t shards : {1u, 2u, 8u}) {
+    const size_t threads =
+        shards == 1 ? 1
+                    : std::min<size_t>(shards,
+                                       host_cpus > 0
+                                           ? static_cast<size_t>(host_cpus)
+                                           : 1);
+    results.push_back(MeasureAt(shards, threads));
+    const Measurement& m = results.back();
+    std::printf(
+        "  shards=%zu threads=%zu  refresh %8.2f ms  delta_rows %llu  "
+        "composed_rows %zu\n",
+        m.shards, threads, 1e3 * m.refresh_seconds,
+        static_cast<unsigned long long>(m.delta_rows), m.composed_rows);
+  }
+
+  const double base_refresh = results.front().refresh_seconds;
+  std::vector<Json> entries;
+  for (const Measurement& m : results) {
+    Json e = Json::Object();
+    e.Set("shards", Json::Int(static_cast<int64_t>(m.shards)));
+    e.Set("pos_rows", Json::Int(static_cast<int64_t>(kPosRows)));
+    e.Set("change_rows", Json::Int(static_cast<int64_t>(kChangeRows)));
+    e.Set("refresh_ms", Json::Double(1e3 * m.refresh_seconds));
+    e.Set("shard_refresh_speedup",
+          Json::Double(m.refresh_seconds > 0 ? base_refresh / m.refresh_seconds
+                                             : 0));
+    e.Set("delta_rows", Json::Int(static_cast<int64_t>(m.delta_rows)));
+    e.Set("composed_rows", Json::Int(static_cast<int64_t>(m.composed_rows)));
+    e.Set("host_cpus", Json::Int(host_cpus));
+    // Speedup gating flag (same contract as the parallel-scaling bench):
+    // bench_compare checks refresh_speedup only when both runs had real
+    // cores to scale onto.
+    e.Set("shard_scaling_meaningful", Json::Bool(host_cpus > 1));
+    entries.push_back(std::move(e));
+  }
+  sdelta::obs::MergeBenchJson("BENCH_shard.json", "shard_scaling",
+                              {"shards", "pos_rows", "change_rows"}, entries);
+  std::printf("wrote BENCH_shard.json\n");
+  return 0;
+}

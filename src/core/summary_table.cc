@@ -1,5 +1,6 @@
 #include "core/summary_table.h"
 
+#include <algorithm>
 #include <numeric>
 #include <optional>
 #include <stdexcept>
@@ -142,6 +143,28 @@ rel::Table SummaryTable::ToTable() const {
 
 rel::Table SummaryTable::ToLogicalTable() const {
   return LogicalRows(def_, ToTable());
+}
+
+rel::Table SummaryTable::ToCanonicalTable() const {
+  return CanonicalizeRows(ToTable());
+}
+
+rel::Table CanonicalizeRows(const rel::Table& physical_rows) {
+  std::vector<size_t> order(physical_rows.NumRows());
+  std::iota(order.begin(), order.end(), size_t{0});
+  const size_t num_columns = physical_rows.schema().NumColumns();
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    for (size_t c = 0; c < num_columns; ++c) {
+      const int cmp = rel::Value::Compare(physical_rows.ValueAt(a, c),
+                                          physical_rows.ValueAt(b, c));
+      if (cmp != 0) return cmp < 0;
+    }
+    return false;
+  });
+  rel::Table out(physical_rows.schema(), physical_rows.name());
+  out.Reserve(physical_rows.NumRows());
+  out.AppendGather(physical_rows, order);
+  return out;
 }
 
 }  // namespace sdelta::core

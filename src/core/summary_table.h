@@ -62,6 +62,9 @@ class SummaryTable {
   /// Copies the physical rows out as a plain Table (tests, examples).
   rel::Table ToTable() const;
 
+  /// ToTable() in canonical row order (see CanonicalizeRows).
+  rel::Table ToCanonicalTable() const;
+
   /// The user-visible (logical) rows, with AVG reconstructed.
   rel::Table ToLogicalTable() const;
 
@@ -97,6 +100,15 @@ class SummaryTable {
   mutable uint64_t packed_ops_ = 0;
   mutable uint64_t fallback_ops_ = 0;
 };
+
+/// Canonical row order for byte-comparisons that must not depend on
+/// physical row placement: rows sorted by every column left-to-right
+/// under Value::Compare. Summary schemas lead with the group-by columns
+/// and keys are unique, so the order is total and the sorted CSV of a
+/// summary table is a pure function of its *contents* — the byte-compare
+/// anchor for sharded composition (src/shard/) and replica convergence
+/// (src/replica/), where insertion order legitimately differs.
+rel::Table CanonicalizeRows(const rel::Table& physical_rows);
 
 }  // namespace sdelta::core
 

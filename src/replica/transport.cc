@@ -1,0 +1,127 @@
+#include "replica/transport.h"
+
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+
+namespace sdelta::replica {
+
+namespace {
+
+/// Shared Fetch logic over an in-memory copy of the stream bytes.
+ShipFetch FetchFrom(const std::vector<uint8_t>& bytes, uint64_t cursor) {
+  ShipFetch fetch;
+  if (cursor == 0) {
+    if (!CheckShipHeader(bytes)) {
+      // Stream not created yet (or header still being written).
+      fetch.next_cursor = 0;
+      return fetch;
+    }
+    cursor = kShipHeaderSize;
+  }
+  fetch.next_cursor = cursor;
+  size_t next = 0;
+  switch (DecodeShipRecord(bytes, static_cast<size_t>(cursor), &fetch.record,
+                           &next)) {
+    case ShipDecode::kOk:
+      fetch.have = true;
+      fetch.next_cursor = next;
+      return fetch;
+    case ShipDecode::kNeedMore:
+      return fetch;  // nothing (complete) shipped yet; same cursor
+    case ShipDecode::kCorrupt:
+      fetch.corrupt = true;
+      return fetch;  // re-request from the same cursor
+  }
+  return fetch;
+}
+
+}  // namespace
+
+FileShipTransport::FileShipTransport(std::string path)
+    : path_(std::move(path)) {}
+
+ShipFetch FileShipTransport::Fetch(uint64_t cursor) {
+  std::vector<uint8_t> bytes;
+  if (std::filesystem::exists(path_)) {
+    std::ifstream in(path_, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  return FetchFrom(bytes, cursor);
+}
+
+LoopbackShipTransport::LoopbackShipTransport() : bytes_(ShipStreamHeader()) {}
+
+void LoopbackShipTransport::Publish(const ShipRecord& record) {
+  const std::vector<uint8_t> frame = EncodeShipRecord(record);
+  std::scoped_lock lock(mu_);
+  bytes_.insert(bytes_.end(), frame.begin(), frame.end());
+  if (record.epoch > max_epoch_) max_epoch_ = record.epoch;
+  ++records_;
+}
+
+uint64_t LoopbackShipTransport::MaxEpoch() const {
+  std::scoped_lock lock(mu_);
+  return max_epoch_;
+}
+
+uint64_t LoopbackShipTransport::records() const {
+  std::scoped_lock lock(mu_);
+  return records_;
+}
+
+void LoopbackShipTransport::CorruptNextFetch() {
+  std::scoped_lock lock(mu_);
+  corrupt_next_ = true;
+}
+
+void LoopbackShipTransport::DuplicateNextFetch() {
+  std::scoped_lock lock(mu_);
+  duplicate_next_ = true;
+}
+
+void LoopbackShipTransport::DropNextFetch() {
+  std::scoped_lock lock(mu_);
+  drop_next_ = true;
+}
+
+ShipFetch LoopbackShipTransport::Fetch(uint64_t cursor) {
+  std::scoped_lock lock(mu_);
+  ShipFetch fetch = FetchFrom(bytes_, cursor);
+  if (!fetch.have) return fetch;
+  if (corrupt_next_) {
+    corrupt_next_ = false;
+    // Garble the delivered copy (not the stream) and run it back
+    // through the decoder so the real CRC path rejects it.
+    std::vector<uint8_t> frame = EncodeShipRecord(fetch.record);
+    if (!frame.empty()) frame.back() ^= 0xFF;
+    // A flipped payload byte (or, for empty payloads, a flipped CRC
+    // byte) must fail the checksum.
+    ShipRecord ignored;
+    size_t next = 0;
+    ShipFetch bad;
+    bad.corrupt =
+        DecodeShipRecord(frame, 0, &ignored, &next) == ShipDecode::kCorrupt;
+    bad.next_cursor = fetch.next_cursor - frame.size();  // the same cursor
+    return bad;
+  }
+  if (duplicate_next_) {
+    duplicate_next_ = false;
+    // Deliver the record but do not advance: the next Fetch re-delivers
+    // the identical record (a retransmission duplicate).
+    fetch.next_cursor = fetch.next_cursor -
+                        (kShipFrameSize + fetch.record.payload.size());
+    return fetch;
+  }
+  if (drop_next_) {
+    drop_next_ = false;
+    // Deliver the *following* record when one exists (a skipped
+    // record); the replica must detect the sequence gap and re-request.
+    ShipFetch following = FetchFrom(bytes_, fetch.next_cursor);
+    if (following.have) return following;
+  }
+  return fetch;
+}
+
+}  // namespace sdelta::replica

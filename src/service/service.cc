@@ -24,6 +24,9 @@ constexpr const char* kCheckpointDir = "checkpoint";
 constexpr const char* kCheckpointTmp = "checkpoint.tmp";
 constexpr const char* kCheckpointPrev = "checkpoint.prev";
 constexpr const char* kSeqFile = "SEQ";
+/// Epoch number current at checkpoint time — the applied-epoch floor a
+/// replica bootstrapping from this checkpoint adopts.
+constexpr const char* kEpochFile = "EPOCH";
 
 uint64_t ReadSeqFile(const fs::path& path) {
   std::ifstream in(path);
@@ -132,13 +135,42 @@ std::unique_ptr<WarehouseService> WarehouseService::Open(
   // Replay the WAL tail through the normal batch path, one batch per
   // record — the same boundaries an uninterrupted per-append-flush run
   // would have used, so the recovered state is byte-identical to it.
+  // With sharding on, replay runs through a local sharded pipeline so
+  // shard.delta_rows counters stay consistent with propagate.delta_rows
+  // (the prom_lint cross-check); the slices are synced back and
+  // discarded — they hold a pointer to `wh`, which moves below, and the
+  // constructor re-slices from the warehouse anyway. With a ship sink
+  // configured, every replayed record is collected for re-publication
+  // (a record can be WAL-durable yet never shipped if the crash hit
+  // between append and batch; replicas dedup re-ships by sequence).
   uint64_t recovered = 0;
+  std::vector<replica::ShipRecord> replay_ships;
+  std::unique_ptr<shard::ShardedMaintenance> replay_shards;
+  if (options.num_shards > 0) {
+    replay_shards = std::make_unique<shard::ShardedMaintenance>(
+        &wh, options.num_shards, metrics);
+  }
   const WalReplayReport replay =
       ReplayWal((dir / kWalFile).string(), wh.catalog(), checkpoint_seq,
                 [&](WalRecord record) {
-                  wh.RunBatch(record.changes);
+                  if (options.ship != nullptr) {
+                    replica::ShipRecord ship;
+                    ship.first_seq = record.seq;
+                    ship.last_seq = record.seq;
+                    ship.payload = EncodeChangeSet(record.changes);
+                    replay_ships.push_back(std::move(ship));
+                  }
+                  if (replay_shards != nullptr) {
+                    replay_shards->RunBatch(record.changes);
+                  } else {
+                    wh.RunBatch(record.changes);
+                  }
                   ++recovered;
                 });
+  if (replay_shards != nullptr) {
+    replay_shards->SyncIntoWarehouse();
+    replay_shards.reset();
+  }
   if (replay.tail_truncated) {
     // Cut the torn tail before the WalWriter below opens with O_APPEND:
     // records acknowledged after the garbage bytes would be invisible to
@@ -150,13 +182,14 @@ std::unique_ptr<WarehouseService> WarehouseService::Open(
 
   return std::unique_ptr<WarehouseService>(new WarehouseService(
       std::move(data_dir), std::move(wh), std::move(options), std::move(owned),
-      checkpoint_seq, recovered, start_seq));
+      checkpoint_seq, recovered, start_seq, std::move(replay_ships)));
 }
 
 WarehouseService::WarehouseService(
     std::string data_dir, warehouse::Warehouse wh, Options options,
     std::unique_ptr<obs::MetricsRegistry> owned_metrics,
-    uint64_t checkpoint_seq, uint64_t recovered_records, uint64_t start_seq)
+    uint64_t checkpoint_seq, uint64_t recovered_records, uint64_t start_seq,
+    std::vector<replica::ShipRecord> replay_ships)
     : data_dir_(std::move(data_dir)),
       options_(std::move(options)),
       owned_metrics_(std::move(owned_metrics)),
@@ -213,6 +246,23 @@ WarehouseService::WarehouseService(
                    static_cast<double>(recovered_records),
                    "WAL tail replayed by Open");
   }
+  if (options_.num_shards > 0) {
+    sharded_ = std::make_unique<shard::ShardedMaintenance>(
+        &warehouse_, options_.num_shards, metrics_);
+  }
+  if (options_.ship != nullptr) {
+    // Re-ship WAL-recovered batches (each under a fresh epoch number —
+    // replicas that already hold one skip it by sequence), then floor
+    // our epoch numbering past everything the stream has ever carried.
+    for (replica::ShipRecord& ship : replay_ships) {
+      ship.epoch = options_.ship->MaxEpoch() + 1;
+      options_.ship->Publish(ship);
+      metrics_->Add("service.ship_records");
+      metrics_->Add("service.ship_bytes",
+                    replica::kShipFrameSize + ship.payload.size());
+    }
+    epoch_base_ = options_.ship->MaxEpoch();
+  }
   versioned_.Install(BuildEpoch(nullptr, true, true));
   // Set before the thread spawns so a /healthz scrape racing startup
   // never reports a dead maintenance thread; MaintenanceLoop clears it
@@ -248,7 +298,7 @@ std::shared_ptr<const Epoch> WarehouseService::BuildEpoch(
   const std::shared_ptr<const Epoch> prev = versioned_.Current();
   const lattice::VLattice& wl = warehouse_.vlattice();
   auto next = std::make_shared<Epoch>();
-  next->number = prev ? prev->number + 1 : 1;
+  next->number = prev ? prev->number + 1 : epoch_base_ + 1;
   next->metrics = metrics_;
   next->obs = &obs_;
   if (!full_rebuild && prev) {
@@ -273,11 +323,17 @@ std::shared_ptr<const Epoch> WarehouseService::BuildEpoch(
     }
     auto copy =
         std::make_shared<core::SummaryTable>(wl.views[i], *next->catalog);
-    copy->LoadFrom(warehouse_.summary(wl.views[i].physical.name).ToTable());
+    // Sharded mode: the slices are authoritative (the warehouse's own
+    // summary rows go stale between syncs); compose them for readers.
+    copy->LoadFrom(sharded_ != nullptr
+                       ? sharded_->ComposeView(i)
+                       : warehouse_.summary(wl.views[i].physical.name)
+                             .ToTable());
     next->views.push_back(std::move(copy));
     metrics_->Add("service.epoch_views_rebuilt");
   }
   metrics_->Set("service.epoch", static_cast<double>(next->number));
+  metrics_->Set("writer.installed_epoch", static_cast<double>(next->number));
   return next;
 }
 
@@ -348,6 +404,10 @@ void WarehouseService::ApplyItems(std::vector<IngestItem> items) {
   bool dims_changed = false;
   size_t runs = 0;
   warehouse::BatchReport report;
+  // One ship record per RunBatch run (not per drain): a replica must
+  // replay the writer's exact batch trajectory to stay byte-identical,
+  // and the trajectory's unit is the coalesced per-fact-table run.
+  std::vector<replica::ShipRecord> pending_ships;
 
   // Correlation root for this drain: every event and span below (and,
   // via the tracer's per-thread stack, RunBatch's whole subtree) hangs
@@ -378,11 +438,20 @@ void WarehouseService::ApplyItems(std::vector<IngestItem> items) {
            items[j].changes.fact_table == items[i].changes.fact_table) {
       ++j;
     }
+    const uint64_t run_first = items[i].seq;
+    const uint64_t run_last = items[j - 1].seq;
     std::vector<IngestItem> run(std::make_move_iterator(items.begin() + i),
                                 std::make_move_iterator(items.begin() + j));
     metrics_->Add("service.coalesced_changesets", run.size());
     core::ChangeSet merged = CoalesceChanges(std::move(run));
     dims_changed = dims_changed || !merged.dimensions.empty();
+    if (options_.ship != nullptr) {
+      replica::ShipRecord ship;
+      ship.first_seq = run_first;
+      ship.last_seq = run_last;
+      ship.payload = EncodeChangeSet(merged);
+      pending_ships.push_back(std::move(ship));
+    }
     if (detector_ != nullptr) {
       // Estimate side of the EXPLAIN ANALYZE bundle artifact, built
       // against pre-batch base-table sizes (what the planner saw).
@@ -391,7 +460,8 @@ void WarehouseService::ApplyItems(std::vector<IngestItem> items) {
                                       merged);
       have_explain = true;
     }
-    report = warehouse_.RunBatch(merged);
+    report = sharded_ != nullptr ? sharded_->RunBatch(merged)
+                                 : warehouse_.RunBatch(merged);
     if (have_explain) lattice::AttachActuals(report.step_execs, &explain);
     if (profiler_ != nullptr) {
       for (const lattice::StepExecution& se : report.step_execs) {
@@ -422,6 +492,20 @@ void WarehouseService::ApplyItems(std::vector<IngestItem> items) {
   }
   events_.Record(obs::EventType::kEpochInstall, batch_id, /*request_id=*/0,
                  max_seq, window, "epoch " + std::to_string(epoch_number));
+  if (options_.ship != nullptr) {
+    // Publish only after the install: the epoch stamp promises "the
+    // writer's readers can see this batch", and replicas that catch up
+    // to it converge to exactly this epoch's bytes. All of the drain's
+    // runs installed together, so they share the drain's epoch; a
+    // replica applies them run-by-run and lands on the same state.
+    for (replica::ShipRecord& ship : pending_ships) {
+      ship.epoch = epoch_number;
+      options_.ship->Publish(ship);
+      metrics_->Add("service.ship_records");
+      metrics_->Add("service.ship_bytes",
+                    replica::kShipFrameSize + ship.payload.size());
+    }
+  }
   slo_.ObserveWindow(window);
   metrics_->Observe("service.refresh_window", window);
   metrics_->Set("service.refresh_window_seconds", window);
@@ -526,8 +610,15 @@ void WarehouseService::Checkpoint() {
   const fs::path prev = dir / kCheckpointPrev;
   std::error_code ec;
   fs::remove_all(tmp, ec);
+  // Sharded mode keeps authoritative rows in the slices; fold them back
+  // into the warehouse so the snapshot (and any replica bootstrapping
+  // from it) carries current summaries.
+  if (sharded_ != nullptr) sharded_->SyncIntoWarehouse();
   warehouse::SaveWarehouse(warehouse_, tmp.string());
   WriteSeqFile(tmp / kSeqFile, target);
+  // The applied-epoch floor for a replica bootstrapping from this
+  // checkpoint (its state already contains every shipped batch <= SEQ).
+  WriteSeqFile(tmp / kEpochFile, versioned_.Current()->number);
   // Swap: keep the old checkpoint complete until the new one is in
   // place. Open() resolves every intermediate crash state.
   fs::remove_all(prev, ec);
@@ -553,7 +644,12 @@ void WarehouseService::WithWriter(
   const uint64_t target = last_seq_.load();
   queue_.RequestFlush();
   AwaitApplied(target);
+  // DDL reads/writes warehouse state directly: fold the authoritative
+  // slice rows in first, and re-slice afterwards (the view set or
+  // schemas may have changed).
+  if (sharded_ != nullptr) sharded_->SyncIntoWarehouse();
   fn(warehouse_);
+  if (sharded_ != nullptr) sharded_->Repartition();
   // DDL may have changed the lattice, plans, and summary schemas:
   // readers get a fully fresh epoch.
   versioned_.Install(BuildEpoch(nullptr, true, /*full_rebuild=*/true));

@@ -19,9 +19,11 @@
 #include "obs/slo.h"
 #include "obs/timeseries.h"
 #include "obs/trace.h"
+#include "replica/ship.h"
 #include "service/ingest.h"
 #include "service/versioned.h"
 #include "service/wal.h"
+#include "shard/sharded_maintenance.h"
 #include "warehouse/warehouse.h"
 
 namespace sdelta::service {
@@ -102,6 +104,23 @@ class WarehouseService {
     obs::AnomalyConfig anomaly;
     /// Flight-recorder retention: newest bundles kept on disk.
     size_t max_anomaly_bundles = 8;
+    /// Shard the refresh phase by group key (DESIGN.md §15): each
+    /// view's summary state is split into this many hash-disjoint
+    /// slices that refresh as independent per-shard pipelines. 0 = the
+    /// legacy unsharded path (exactly PR-before behavior); summaries
+    /// are byte-identical at every setting. WAL recovery replays
+    /// through the same sharded pipeline so shard.* counters stay
+    /// consistent with propagate.* counters.
+    size_t num_shards = 0;
+    /// Epoch shipping (DESIGN.md §15): after each epoch install the
+    /// maintenance thread publishes one ShipRecord (the batch's
+    /// coalesced change set + seq range + epoch) for read replicas to
+    /// replay. Must outlive the service. Epoch numbering fast-forwards
+    /// past the stream's MaxEpoch() on restart, and WAL-recovered
+    /// batches are re-shipped (replicas dedup by sequence). DDL
+    /// (WithWriter) is NOT shipped — re-bootstrap replicas from a fresh
+    /// checkpoint after schema changes.
+    replica::ShipPublisher* ship = nullptr;
   };
 
   /// Point-in-time service numbers (the shell's `service stats`).
@@ -191,6 +210,10 @@ class WarehouseService {
   Stats GetStats() const;
   /// The batch report of the most recent maintenance batch.
   warehouse::BatchReport LastReport() const;
+  /// The sharded pipeline; null when Options::num_shards == 0. Shell
+  /// introspection only (per-shard rows/deltas/epochs) — mutation stays
+  /// with the maintenance thread.
+  const shard::ShardedMaintenance* sharded() const { return sharded_.get(); }
   obs::MetricsRegistry& metrics() { return *metrics_; }
   const std::string& data_dir() const { return data_dir_; }
 
@@ -222,7 +245,8 @@ class WarehouseService {
                    Options options,
                    std::unique_ptr<obs::MetricsRegistry> owned_metrics,
                    uint64_t checkpoint_seq, uint64_t recovered_records,
-                   uint64_t start_seq);
+                   uint64_t start_seq,
+                   std::vector<replica::ShipRecord> replay_ships);
 
   /// Builds the next epoch from the warehouse's current summaries.
   /// `view_delta_rows` (nullable, parallel to vlattice().views) enables
@@ -281,12 +305,20 @@ class WarehouseService {
   /// applied_seq_ == last_seq_.
   warehouse::Warehouse warehouse_;
 
+  /// The sharded refresh pipeline over warehouse_; null when
+  /// Options::num_shards == 0. Owned by whoever owns warehouse_ at the
+  /// time (maintenance thread / Checkpoint / WithWriter).
+  std::unique_ptr<shard::ShardedMaintenance> sharded_;
+
   VersionedTables versioned_;
 
   mutable std::mutex state_mu_;
   std::condition_variable state_cv_;
   uint64_t applied_seq_ = 0;
   uint64_t checkpoint_seq_ = 0;
+  /// Epoch numbering floor: MaxEpoch() of the ship stream at Open, so a
+  /// restarted writer never reuses an epoch number replicas saw.
+  uint64_t epoch_base_ = 0;
   uint64_t batches_ = 0;
   uint64_t checkpoints_ = 0;
   uint64_t recovered_records_ = 0;

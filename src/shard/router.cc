@@ -1,0 +1,51 @@
+#include "shard/router.h"
+
+#include <numeric>
+
+#include "relational/group_key.h"
+#include "relational/packed_key.h"
+
+namespace sdelta::shard {
+
+ShardRouter::ShardRouter(const core::SummaryTable& view, size_t num_shards)
+    : codec_(&view.codec()),
+      group_idx_(view.num_group_columns()),
+      num_shards_(num_shards == 0 ? 1 : num_shards) {
+  std::iota(group_idx_.begin(), group_idx_.end(), size_t{0});
+}
+
+size_t ShardRouter::ShardOfRow(const rel::Table& rows, size_t row) const {
+  if (codec_->packable()) {
+    rel::PackedKey key;
+    // kIntern: routing runs single-threaded before the per-shard
+    // refresh fan-out, and a delta can legitimately carry a string the
+    // pool dictionary has not seen (a brand-new group).
+    const rel::PackedKeyCodec::ColumnarEncode enc = codec_->EncodeColumns(
+        rows, group_idx_, row, rel::PackedKeyCodec::StringMode::kIntern, &key);
+    if (enc == rel::PackedKeyCodec::ColumnarEncode::kPacked) {
+      return rel::PackedKeyHash{}(key) % num_shards_;
+    }
+  }
+  rel::GroupKey key;
+  key.reserve(group_idx_.size());
+  for (size_t c : group_idx_) key.push_back(rows.ValueAt(row, c));
+  return rel::GroupKeyHash{}(key) % num_shards_;
+}
+
+std::vector<rel::Table> ShardRouter::Partition(const rel::Table& rows) const {
+  std::vector<std::vector<size_t>> picks(num_shards_);
+  for (size_t r = 0; r < rows.NumRows(); ++r) {
+    picks[ShardOfRow(rows, r)].push_back(r);
+  }
+  std::vector<rel::Table> parts;
+  parts.reserve(num_shards_);
+  for (size_t s = 0; s < num_shards_; ++s) {
+    rel::Table part(rows.schema(), rows.name());
+    part.Reserve(picks[s].size());
+    part.AppendGather(rows, picks[s]);
+    parts.push_back(std::move(part));
+  }
+  return parts;
+}
+
+}  // namespace sdelta::shard

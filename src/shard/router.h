@@ -1,0 +1,50 @@
+#ifndef SDELTA_SHARD_ROUTER_H_
+#define SDELTA_SHARD_ROUTER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/summary_table.h"
+#include "relational/table.h"
+
+namespace sdelta::shard {
+
+/// Routes rows of one view's key space to shards by hashing the group
+/// key. The routing invariant (DESIGN.md §15): the shard of a row is a
+/// pure function of its group-key *values*, so every row of a group —
+/// summary rows and summary-delta rows alike — lands on the same shard
+/// and no per-group state ever crosses shards.
+///
+/// The hash reuses the view's 128-bit packed-key codec: keys that pack
+/// hash through PackedKeyHash; keys that escape the codec (or whole
+/// views that never pack) hash the boxed GroupKey through GroupKeyHash.
+/// A packed key and a boxed key are never Value-equal (see
+/// relational/packed_key.h), so the two paths can't split one group.
+///
+/// The router borrows the view's codec; construct one per use — it is
+/// two pointers and a count — rather than storing it across summary-
+/// table reallocation.
+class ShardRouter {
+ public:
+  ShardRouter(const core::SummaryTable& view, size_t num_shards);
+
+  size_t num_shards() const { return num_shards_; }
+
+  /// Shard of row `row` of `rows` (a physical summary relation or a
+  /// summary-delta: anything whose leading columns are the view's
+  /// group-by columns).
+  size_t ShardOfRow(const rel::Table& rows, size_t row) const;
+
+  /// Splits `rows` into num_shards() tables (schema and name preserved),
+  /// each keeping its rows in input order.
+  std::vector<rel::Table> Partition(const rel::Table& rows) const;
+
+ private:
+  const rel::PackedKeyCodec* codec_;  // borrowed from the view
+  std::vector<size_t> group_idx_;     // 0..num_group_columns-1
+  size_t num_shards_;
+};
+
+}  // namespace sdelta::shard
+
+#endif  // SDELTA_SHARD_ROUTER_H_

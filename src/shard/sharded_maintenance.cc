@@ -1,0 +1,162 @@
+#include "shard/sharded_maintenance.h"
+
+#include <utility>
+
+#include "core/refresh.h"
+#include "exec/thread_pool.h"
+
+namespace sdelta::shard {
+
+ShardedMaintenance::ShardedMaintenance(warehouse::Warehouse* warehouse,
+                                       size_t num_shards,
+                                       obs::MetricsRegistry* metrics)
+    : wh_(warehouse),
+      num_shards_(num_shards == 0 ? 1 : num_shards),
+      metrics_(metrics) {
+  Repartition();
+}
+
+void ShardedMaintenance::Repartition() {
+  const lattice::VLattice& lat = wh_->vlattice();
+  slices_.clear();
+  slices_.reserve(lat.views.size());
+  for (size_t v = 0; v < lat.views.size(); ++v) {
+    std::vector<core::SummaryTable> row;
+    row.reserve(num_shards_);
+    for (size_t s = 0; s < num_shards_; ++s) {
+      row.emplace_back(lat.views[v], wh_->catalog());
+    }
+    slices_.push_back(std::move(row));
+    ShardRouter router(slices_[v][0], num_shards_);
+    std::vector<rel::Table> parts =
+        router.Partition(wh_->summary(slices_[v][0].name()).ToTable());
+    for (size_t s = 0; s < num_shards_; ++s) {
+      slices_[v][s].LoadFrom(parts[s]);
+    }
+  }
+  // Epochs survive a repartition (it is a re-slicing of the same state,
+  // not a restart); only a shard-count change resets them.
+  if (shard_epoch_.size() != num_shards_) {
+    shard_epoch_.assign(num_shards_, 0);
+    last_delta_rows_.assign(num_shards_, 0);
+    total_delta_rows_.assign(num_shards_, 0);
+  }
+  EmitGauges();
+}
+
+warehouse::BatchReport ShardedMaintenance::RunBatch(
+    const core::ChangeSet& changes) {
+  return wh_->RunBatchWithRefresh(
+      changes, [this](const lattice::LatticePropagateResult& deltas,
+                      core::RefreshOptions ropts,
+                      warehouse::BatchReport* report) {
+        RefreshShards(deltas, std::move(ropts), report);
+      });
+}
+
+void ShardedMaintenance::RefreshShards(
+    const lattice::LatticePropagateResult& deltas, core::RefreshOptions ropts,
+    warehouse::BatchReport* report) {
+  const size_t num_views = slices_.size();
+  const size_t num_shards = num_shards_;
+
+  // Route every view's summary-delta. Runs on the batch thread: the
+  // router may intern brand-new group strings into pool dictionaries.
+  std::vector<std::vector<rel::Table>> parts(num_views);
+  std::vector<uint64_t> routed(num_shards, 0);
+  for (size_t v = 0; v < num_views; ++v) {
+    ShardRouter router(slices_[v][0], num_shards);
+    parts[v] = router.Partition(deltas.deltas[v]);
+    for (size_t s = 0; s < num_shards; ++s) {
+      routed[s] += parts[v][s].NumRows();
+    }
+  }
+
+  // Per-shard pipelines: every (view, shard) slice refreshes
+  // independently. Slices touch disjoint state and base tables are
+  // read-only here (apply-base already ran), so tasks don't interact.
+  report->views.resize(num_views);
+  std::vector<std::vector<core::RefreshStats>> stats(
+      num_views, std::vector<core::RefreshStats>(num_shards));
+  auto refresh_slice = [&](size_t v, size_t s) {
+    stats[v][s] =
+        core::Refresh(wh_->catalog(), slices_[v][s], parts[v][s], ropts);
+  };
+  if (wh_->pool() != nullptr) {
+    exec::TaskGroup group(wh_->pool());
+    for (size_t v = 0; v < num_views; ++v) {
+      for (size_t s = 0; s < num_shards; ++s) {
+        group.Spawn([&refresh_slice, v, s] { refresh_slice(v, s); });
+      }
+    }
+    group.Wait();
+  } else {
+    for (size_t v = 0; v < num_views; ++v) {
+      for (size_t s = 0; s < num_shards; ++s) refresh_slice(v, s);
+    }
+  }
+
+  // Fold per-view reports in (view, shard) order so the report is
+  // identical regardless of task scheduling.
+  for (size_t v = 0; v < num_views; ++v) {
+    warehouse::ViewBatchReport& vr = report->views[v];
+    vr.view = slices_[v][0].name();
+    vr.delta_rows = deltas.deltas[v].NumRows();
+    for (size_t s = 0; s < num_shards; ++s) vr.refresh += stats[v][s];
+  }
+
+  // Every batch runs every shard's pipeline exactly once, so per-shard
+  // epochs advance in lockstep and a set of equal epochs is a
+  // consistent cut.
+  for (size_t s = 0; s < num_shards; ++s) {
+    ++shard_epoch_[s];
+    last_delta_rows_[s] = routed[s];
+    total_delta_rows_[s] += routed[s];
+    if (metrics_ != nullptr) {
+      metrics_->Add("shard.delta_rows." + std::to_string(s), routed[s]);
+    }
+  }
+  if (metrics_ != nullptr) {
+    metrics_->Add("shard.batches");
+    EmitGauges();
+  }
+}
+
+rel::Table ShardedMaintenance::ComposeView(size_t view_index) const {
+  const std::vector<core::SummaryTable>& row = slices_[view_index];
+  rel::Table out(row[0].schema(), row[0].name());
+  size_t total = 0;
+  for (const core::SummaryTable& slice : row) total += slice.NumRows();
+  out.Reserve(total);
+  for (const core::SummaryTable& slice : row) {
+    out.AppendColumnsFrom(slice.ToTable());
+  }
+  return core::CanonicalizeRows(out);
+}
+
+void ShardedMaintenance::SyncIntoWarehouse() {
+  for (size_t v = 0; v < slices_.size(); ++v) {
+    wh_->summary_mutable(slices_[v][0].name()).LoadFrom(ComposeView(v));
+  }
+}
+
+size_t ShardedMaintenance::ShardRows(size_t s) const {
+  size_t total = 0;
+  for (const std::vector<core::SummaryTable>& row : slices_) {
+    total += row[s].NumRows();
+  }
+  return total;
+}
+
+void ShardedMaintenance::EmitGauges() {
+  if (metrics_ == nullptr) return;
+  metrics_->Set("shard.count", static_cast<double>(num_shards_));
+  for (size_t s = 0; s < num_shards_; ++s) {
+    metrics_->Set("shard.epoch." + std::to_string(s),
+                  static_cast<double>(shard_epoch_[s]));
+    metrics_->Set("shard.rows." + std::to_string(s),
+                  static_cast<double>(ShardRows(s)));
+  }
+}
+
+}  // namespace sdelta::shard

@@ -1,0 +1,98 @@
+#ifndef SDELTA_SHARD_SHARDED_MAINTENANCE_H_
+#define SDELTA_SHARD_SHARDED_MAINTENANCE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/summary_table.h"
+#include "obs/metrics.h"
+#include "shard/router.h"
+#include "warehouse/warehouse.h"
+
+namespace sdelta::shard {
+
+/// Runs the warehouse's batch cycle with the refresh phase partitioned
+/// by group key: each view's summary table is split into num_shards
+/// disjoint slices (ShardRouter decides membership), propagate runs
+/// once as usual, and the batch's summary-deltas are routed so each
+/// (view, shard) slice refreshes independently — no cross-shard merge,
+/// because a group's summary row and every delta row for it hash to the
+/// same shard, and MIN/MAX recomputation rebuilds a group from the
+/// shared read-only base tables without consulting any other shard.
+///
+/// Each shard advances its own epoch counter per batch; since every
+/// batch touches every shard's pipeline exactly once, the per-shard
+/// epochs stay in lockstep and compose into one consistent snapshot:
+/// ComposeView() concatenates a view's slices and canonicalizes the row
+/// order (core::CanonicalizeRows), so the composed table is
+/// byte-identical at every shard count x thread count.
+///
+/// Ownership: the warehouse's own summary tables go stale while a
+/// ShardedMaintenance drives batches (the slices are authoritative).
+/// SyncIntoWarehouse() writes the composed views back — call it before
+/// anything that reads warehouse summaries directly (checkpointing,
+/// DDL, rematerialization); call Repartition() after DDL changed the
+/// view set.
+///
+/// Metrics (per batch): counter shard.delta_rows.<s> (delta rows routed
+/// to shard s; summed over shards this equals propagate.delta_rows by
+/// construction), counter shard.batches, gauges shard.count,
+/// shard.epoch.<s>, shard.rows.<s>.
+class ShardedMaintenance {
+ public:
+  /// `warehouse` must outlive this object and already have its summary
+  /// tables defined. Builds the slices by partitioning the warehouse's
+  /// current summary rows. num_shards == 0 is normalized to 1.
+  ShardedMaintenance(warehouse::Warehouse* warehouse, size_t num_shards,
+                     obs::MetricsRegistry* metrics = nullptr);
+
+  size_t num_shards() const { return num_shards_; }
+  size_t num_views() const { return slices_.size(); }
+
+  /// One batch: shared propagate + apply-base (Warehouse's shell), then
+  /// per-(view, shard) slice refreshes — fanned out on the warehouse's
+  /// pool when it has one. The report is shaped exactly like
+  /// Warehouse::RunBatch's (per-view totals folded in shard order).
+  warehouse::BatchReport RunBatch(const core::ChangeSet& changes);
+
+  /// The composed (all shards, canonical row order) physical relation
+  /// of view `view_index` (index into the warehouse's vlattice views).
+  rel::Table ComposeView(size_t view_index) const;
+
+  /// Writes every composed view back into the warehouse's summary
+  /// tables, so persistence / DDL / direct queries see current rows.
+  void SyncIntoWarehouse();
+
+  /// Rebuilds the slices from the warehouse's current views and summary
+  /// rows (after DDL or an external LoadFrom). Shard epochs persist.
+  void Repartition();
+
+  uint64_t shard_epoch(size_t s) const { return shard_epoch_[s]; }
+  /// Summary rows currently resident in shard s (all views).
+  size_t ShardRows(size_t s) const;
+  /// Delta rows routed to shard s in the most recent batch / in total.
+  uint64_t last_delta_rows(size_t s) const { return last_delta_rows_[s]; }
+  uint64_t total_delta_rows(size_t s) const { return total_delta_rows_[s]; }
+  const core::SummaryTable& slice(size_t view_index, size_t s) const {
+    return slices_[view_index][s];
+  }
+
+ private:
+  void RefreshShards(const lattice::LatticePropagateResult& deltas,
+                     core::RefreshOptions ropts,
+                     warehouse::BatchReport* report);
+  void EmitGauges();
+
+  warehouse::Warehouse* wh_;
+  size_t num_shards_;
+  obs::MetricsRegistry* metrics_;
+  std::vector<std::vector<core::SummaryTable>> slices_;  // [view][shard]
+  std::vector<uint64_t> shard_epoch_;
+  std::vector<uint64_t> last_delta_rows_;
+  std::vector<uint64_t> total_delta_rows_;
+};
+
+}  // namespace sdelta::shard
+
+#endif  // SDELTA_SHARD_SHARDED_MAINTENANCE_H_

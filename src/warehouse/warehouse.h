@@ -1,6 +1,7 @@
 #ifndef SDELTA_WAREHOUSE_WAREHOUSE_H_
 #define SDELTA_WAREHOUSE_WAREHOUSE_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -128,6 +129,12 @@ class Warehouse {
   void DropSummaryTable(const std::string& name);
 
   size_t NumSummaryTables() const { return summaries_.size(); }
+  /// The maintained views exactly as the user declared them — what a
+  /// restore (LoadWarehouse) or a replica bootstrap must pass to end up
+  /// with this warehouse's summary set.
+  const std::vector<core::ViewDef>& defined_views() const {
+    return defined_views_;
+  }
   const core::SummaryTable& summary(const std::string& name) const;
   core::SummaryTable& summary_mutable(const std::string& name);
   const lattice::VLattice& vlattice() const { return lattice_; }
@@ -137,6 +144,22 @@ class Warehouse {
   /// window), apply the change set to the base tables, refresh every
   /// summary table (inside the window).
   BatchReport RunBatch(const core::ChangeSet& changes);
+
+  /// The refresh phase of a batch, owned by the caller: receives the
+  /// propagated summary-deltas (parallel to vlattice().views), the
+  /// resolved refresh options (tracer/metrics wired, parent_span set
+  /// when a pool will run the phase's tasks), and must fill
+  /// report->views. The sharded pipeline (src/shard/) substitutes
+  /// per-shard slice refreshes here while reusing the batch shell.
+  using RefreshPhase =
+      std::function<void(const lattice::LatticePropagateResult& deltas,
+                         core::RefreshOptions ropts, BatchReport* report)>;
+
+  /// RunBatch with a caller-owned refresh phase: propagate, apply-base,
+  /// then `refresh_phase` — with identical timing, tracing, and metric
+  /// accounting to RunBatch (which is this with the default phase).
+  BatchReport RunBatchWithRefresh(const core::ChangeSet& changes,
+                                  const RefreshPhase& refresh_phase);
 
   /// EXPLAIN: the annotated maintenance-plan tree for a change set —
   /// per-step source (after dimension-delta edge gating), wave, and

@@ -1,0 +1,166 @@
+// The hard contract of ISSUE 10: summary tables are byte-identical at
+// every shard count x thread count — {1, 2, 8} x {1, 2, 8} here — over
+// randomized update/insertion batches, and equal to the unsharded
+// warehouse's canonical snapshot. Pipeline counters (everything outside
+// the exec.*, shard.*, and key.* families) are invariant too: sharding
+// a batch never changes what the batch computes, only where.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/delta.h"
+#include "obs/metrics.h"
+#include "relational/csv.h"
+#include "shard/sharded_maintenance.h"
+#include "warehouse/retail_schema.h"
+#include "warehouse/warehouse.h"
+#include "warehouse/workload.h"
+
+namespace sdelta::shard {
+namespace {
+
+warehouse::RetailConfig SmallConfig() {
+  warehouse::RetailConfig config;
+  config.num_stores = 15;
+  config.num_cities = 6;
+  config.num_regions = 3;
+  config.num_items = 80;
+  config.num_categories = 8;
+  config.num_dates = 30;
+  config.num_pos_rows = 2500;
+  config.seed = 913;
+  return config;
+}
+
+struct Instance {
+  size_t num_shards;
+  size_t num_threads;
+  obs::MetricsRegistry metrics;
+  warehouse::Warehouse wh;
+  std::unique_ptr<ShardedMaintenance> shards;
+
+  Instance(size_t shards_n, size_t threads_n)
+      : num_shards(shards_n),
+        num_threads(threads_n),
+        wh(warehouse::MakeRetailCatalog(SmallConfig()), [&] {
+          warehouse::Warehouse::Options options;
+          options.num_threads = threads_n;
+          options.metrics = &metrics;
+          return options;
+        }()) {
+    wh.DefineSummaryTables(warehouse::RetailSummaryTables());
+    shards = std::make_unique<ShardedMaintenance>(&wh, shards_n, &metrics);
+  }
+
+  std::map<std::string, std::string> CanonicalSnapshot() const {
+    std::map<std::string, std::string> out;
+    const lattice::VLattice& lat = wh.vlattice();
+    for (size_t v = 0; v < lat.views.size(); ++v) {
+      out[lat.views[v].name()] = rel::ToCsvString(shards->ComposeView(v));
+    }
+    return out;
+  }
+
+  /// Counters with the families that legitimately vary by topology
+  /// filtered out: exec.* varies with pool presence, shard.* with shard
+  /// count, and key.* counts per-call codec encodes, which multiply
+  /// with the number of per-shard Refresh invocations. Likewise
+  /// refresh.recompute_scan_rows measures MIN/MAX base-table scan WORK,
+  /// which each shard's refresh pays separately — the what-was-computed
+  /// counters (recomputed_groups, minmax_recomputes) stay invariant.
+  std::map<std::string, uint64_t> PipelineCounters() const {
+    std::map<std::string, uint64_t> out;
+    for (const auto& [name, value] : metrics.Snapshot().counters) {
+      if (name.rfind("exec.", 0) == 0) continue;
+      if (name.rfind("shard.", 0) == 0) continue;
+      if (name.rfind("key.", 0) == 0) continue;
+      if (name == "refresh.recompute_scan_rows") continue;
+      out[name] = value;
+    }
+    return out;
+  }
+};
+
+TEST(ShardDeterminismTest, ByteIdenticalAcrossShardAndThreadCounts) {
+  warehouse::Warehouse plain(warehouse::MakeRetailCatalog(SmallConfig()));
+  plain.DefineSummaryTables(warehouse::RetailSummaryTables());
+
+  std::vector<std::unique_ptr<Instance>> grid;
+  for (size_t shards_n : {1u, 2u, 8u}) {
+    for (size_t threads_n : {1u, 2u, 8u}) {
+      grid.push_back(std::make_unique<Instance>(shards_n, threads_n));
+    }
+  }
+
+  struct BatchSpec {
+    bool insertion;
+    size_t size;
+    uint64_t seed;
+  };
+  const std::vector<BatchSpec> batches = {
+      {false, 400, 101}, {true, 300, 202}, {false, 500, 303}};
+
+  for (const BatchSpec& b : batches) {
+    SCOPED_TRACE("batch seed " + std::to_string(b.seed));
+    {
+      const core::ChangeSet changes =
+          b.insertion
+              ? warehouse::MakeInsertionGeneratingChanges(plain.catalog(),
+                                                          b.size, b.seed)
+              : warehouse::MakeUpdateGeneratingChanges(plain.catalog(), b.size,
+                                                       b.seed);
+      plain.RunBatch(changes);
+    }
+    std::map<std::string, std::string> expected;
+    for (const core::AugmentedView& av : plain.vlattice().views) {
+      expected[av.name()] =
+          rel::ToCsvString(plain.summary(av.name()).ToCanonicalTable());
+    }
+    for (std::unique_ptr<Instance>& inst : grid) {
+      SCOPED_TRACE("shards " + std::to_string(inst->num_shards) + " threads " +
+                   std::to_string(inst->num_threads));
+      const core::ChangeSet changes =
+          b.insertion
+              ? warehouse::MakeInsertionGeneratingChanges(inst->wh.catalog(),
+                                                          b.size, b.seed)
+              : warehouse::MakeUpdateGeneratingChanges(inst->wh.catalog(),
+                                                       b.size, b.seed);
+      inst->shards->RunBatch(changes);
+      EXPECT_EQ(inst->CanonicalSnapshot(), expected);
+    }
+  }
+
+  // Pipeline counters are invariant across the whole grid: what the
+  // batches computed (rows scanned, delta rows, refresh outcomes) does
+  // not depend on shard or thread topology.
+  const auto base = grid[0]->PipelineCounters();
+  EXPECT_FALSE(base.empty());
+  EXPECT_GT(base.count("propagate.delta_rows"), 0u);
+  for (size_t i = 1; i < grid.size(); ++i) {
+    SCOPED_TRACE("instance " + std::to_string(i));
+    const auto other = grid[i]->PipelineCounters();
+    for (const auto& [name, value] : base) {
+      ASSERT_GT(other.count(name), 0u) << "missing counter " << name;
+      EXPECT_EQ(value, other.at(name)) << "counter " << name;
+    }
+    EXPECT_EQ(base.size(), other.size());
+  }
+
+  // And the shard.delta_rows partition sums to the same propagate total
+  // at every shard count.
+  for (const std::unique_ptr<Instance>& inst : grid) {
+    uint64_t shard_sum = 0;
+    for (const auto& [name, value] : inst->metrics.Snapshot().counters) {
+      if (name.rfind("shard.delta_rows.", 0) == 0) shard_sum += value;
+    }
+    EXPECT_EQ(shard_sum, base.at("propagate.delta_rows"))
+        << "shards " << inst->num_shards;
+  }
+}
+
+}  // namespace
+}  // namespace sdelta::shard

@@ -343,6 +343,60 @@ TEST(PromLintTest, ConsistentMqoCountersLintClean) {
   EXPECT_TRUE(LintPrometheusText(doc).empty());
 }
 
+TEST(PromLintTest, ReplicaAheadOfWriterIsFlagged) {
+  const char* doc =
+      "# TYPE sdelta_writer_installed_epoch gauge\n"
+      "sdelta_writer_installed_epoch 4\n"
+      "# TYPE sdelta_replica_applied_epoch gauge\n"
+      "sdelta_replica_applied_epoch 5\n";
+  const auto problems = LintPrometheusText(doc);
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("sdelta_replica_applied_epoch"),
+            std::string::npos);
+  EXPECT_NE(problems[0].find("exceeds"), std::string::npos);
+}
+
+TEST(PromLintTest, ReplicaAtOrBehindWriterLintsClean) {
+  const char* doc =
+      "# TYPE sdelta_writer_installed_epoch gauge\n"
+      "sdelta_writer_installed_epoch 4\n"
+      "# TYPE sdelta_replica_applied_epoch gauge\n"
+      "sdelta_replica_applied_epoch 4\n";
+  EXPECT_TRUE(LintPrometheusText(doc).empty());
+}
+
+TEST(PromLintTest, ShardDeltaRowsMustPartitionPropagateTotal) {
+  const char* doc =
+      "# TYPE sdelta_propagate_delta_rows_total counter\n"
+      "sdelta_propagate_delta_rows_total 100\n"
+      "# TYPE sdelta_shard_delta_rows_0_total counter\n"
+      "sdelta_shard_delta_rows_0_total 60\n"
+      "# TYPE sdelta_shard_delta_rows_1_total counter\n"
+      "sdelta_shard_delta_rows_1_total 30\n";
+  const auto problems = LintPrometheusText(doc);
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("partition"), std::string::npos);
+}
+
+TEST(PromLintTest, ShardDeltaRowsSummingExactlyLintsClean) {
+  const char* doc =
+      "# TYPE sdelta_propagate_delta_rows_total counter\n"
+      "sdelta_propagate_delta_rows_total 100\n"
+      "# TYPE sdelta_shard_delta_rows_0_total counter\n"
+      "sdelta_shard_delta_rows_0_total 60\n"
+      "# TYPE sdelta_shard_delta_rows_1_total counter\n"
+      "sdelta_shard_delta_rows_1_total 40\n";
+  EXPECT_TRUE(LintPrometheusText(doc).empty());
+}
+
+TEST(PromLintTest, UnshardedDocumentSkipsThePartitionCheck) {
+  // No shard counters at all: the propagate total stands alone.
+  const char* doc =
+      "# TYPE sdelta_propagate_delta_rows_total counter\n"
+      "sdelta_propagate_delta_rows_total 100\n";
+  EXPECT_TRUE(LintPrometheusText(doc).empty());
+}
+
 TEST(PromLintTest, AbsentDiagnosticFamiliesSkipTheCrossChecks) {
   // A service with the anomaly layer off exports neither series; the
   // cross-family checks must not demand them.
